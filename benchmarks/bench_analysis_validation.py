@@ -1,0 +1,94 @@
+"""Bench: analytic models vs simulation (the 'analysis' of the title).
+
+Cross-validates the M/G/1 response model and the Poisson idle-period power
+model against the discrete-event simulator on a mid-size array, and times
+the closed-form evaluations (they must stay orders of magnitude cheaper
+than simulating).
+"""
+
+import math
+
+from repro.analysis import (
+    allocation_power_estimate,
+    allocation_response_estimate,
+    disk_power_estimate,
+    mg1_response_time,
+)
+from repro.core import pack_disks
+from repro.disk import ST3500630AS
+from repro.reporting.table import format_table
+from repro.system import StorageConfig, build_items, simulate
+from repro.workload import FileCatalog, RequestStream
+
+
+def _setup(rate=1.0, n=600, seed=4):
+    catalog = FileCatalog.from_zipf(n=n, s_max=1e9, s_min=1e8)
+    cfg = StorageConfig(
+        num_disks=12, load_constraint=0.6, idleness_threshold=math.inf
+    )
+    items = build_items(catalog, cfg, rate)
+    alloc = pack_disks(items)
+    stream = RequestStream.poisson(
+        catalog.popularities, rate=rate, duration=15_000.0, rng=seed
+    )
+    return catalog, cfg, alloc, stream
+
+
+def test_response_model_validation(benchmark, capsys):
+    rate = 1.0
+    catalog, cfg, alloc, stream = _setup(rate)
+    service = cfg.service_model()
+
+    estimate = benchmark(
+        allocation_response_estimate, catalog, alloc, rate, service
+    )
+
+    result = simulate(catalog, stream, alloc, cfg, num_disks=12)
+    error = abs(estimate - result.mean_response) / result.mean_response
+    with capsys.disabled():
+        print()
+        print(format_table(
+            [["mean response (s)", f"{result.mean_response:.3f}",
+              f"{estimate:.3f}", f"{error:.1%}"]],
+            headers=["metric", "simulated", "analytic", "error"],
+            title="M/G/1 response model vs simulator",
+        ))
+    assert error < 0.2
+
+
+def test_power_model_validation(benchmark, capsys):
+    rate = 1.0
+    catalog, cfg, alloc, stream = _setup(rate)
+    cfg = cfg.with_overrides(idleness_threshold=None)  # break-even policy
+    service = cfg.service_model()
+
+    estimate = benchmark(
+        allocation_power_estimate,
+        catalog, alloc, rate, service, cfg.threshold, cfg.spec,
+        12,
+    )
+
+    result = simulate(catalog, stream, alloc, cfg, num_disks=12)
+    error = abs(estimate - result.mean_power) / result.mean_power
+    with capsys.disabled():
+        print()
+        print(format_table(
+            [["array power (W)", f"{result.mean_power:.1f}",
+              f"{estimate:.1f}", f"{error:.1%}"]],
+            headers=["metric", "simulated", "analytic", "error"],
+            title="Idle-period power model vs simulator",
+        ))
+    assert error < 0.2
+
+
+def test_closed_form_throughput(benchmark):
+    """The per-disk closed forms, evaluated as a planner would (hot loop)."""
+
+    def sweep():
+        total = 0.0
+        for lam in (1e-4, 1e-3, 1e-2, 1e-1):
+            total += disk_power_estimate(lam, 5.0, 53.3, ST3500630AS)
+            total += mg1_response_time(lam, 5.0, 40.0)
+        return total
+
+    assert benchmark(sweep) > 0

@@ -1,0 +1,27 @@
+"""Bench: regenerate Figure 3 (response-time ratio vs arrival rate).
+
+Paper shape targets: ratio roughly within 0.5-2.5 (up to ~3.5 at L=80%);
+Pack_Disks can be *faster* than random at low rates (random pays spin-ups)
+and slower at high rates (packed disks queue).
+"""
+
+from repro.experiments import fig3_response_ratio
+
+
+def test_fig3_regeneration(benchmark, report, scale):
+    result = benchmark.pedantic(
+        fig3_response_ratio.run, kwargs=dict(scale=scale), rounds=1, iterations=1
+    )
+    report(result)
+
+    bundle = result.bundles["response_ratio"]
+    ys = [y for s in bundle.series.values() for y in s.y]
+    # The paper's observed band, with slack for the reimplemented substrate.
+    assert min(ys) > 0.2
+    assert max(ys) < 8.0
+    # Tighter L (more disks, less queueing) gives lower ratios at high R.
+    high_r = {
+        label: series.y[series.x.index(12.0)]
+        for label, series in bundle.series.items()
+    }
+    assert high_r["L=50%"] <= high_r["L=80%"] * 1.25

@@ -1,0 +1,26 @@
+"""Bench: regenerate Figure 4 (power and response vs load constraint, R=6).
+
+Paper shape targets: monotone trade-off — raising L lowers power and
+raises response time.
+"""
+
+import numpy as np
+
+from repro.experiments import fig4_tradeoff
+
+
+def test_fig4_regeneration(benchmark, report, scale):
+    result = benchmark.pedantic(
+        fig4_tradeoff.run, kwargs=dict(scale=scale), rounds=1, iterations=1
+    )
+    report(result)
+
+    bundle = result.bundles["tradeoff"]
+    power = np.array(bundle.series["Power (W)"].y)
+    resp = np.array(bundle.series["Response (s)"].y)
+    # Trend assertions via endpoints (individual points are noisy):
+    assert power[-1] < power[0], "power must fall as L grows"
+    assert resp[-1] > resp[0], "response must rise as L grows"
+    # Disks used must be non-increasing in L (packing is deterministic).
+    disks = result.bundles["disks"].series["pack_disks"].y
+    assert all(b <= a for a, b in zip(disks, disks[1:]))

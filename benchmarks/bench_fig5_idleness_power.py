@@ -1,0 +1,31 @@
+"""Bench: regenerate Figure 5 (power saving vs idleness threshold, NERSC).
+
+Paper shape targets: Pack_Disk(4) saves a high, nearly flat fraction of the
+always-spinning cost; RND's saving collapses as the threshold grows; the
+16 GB LRU cache helps only marginally (hit ratio ~5.6%).  The trace sweep
+is memoized for Figure 6's bench.
+"""
+
+from repro.experiments import fig5_idleness_power
+
+
+def test_fig5_regeneration(benchmark, report, scale):
+    result = benchmark.pedantic(
+        fig5_idleness_power.run, kwargs=dict(scale=scale), rounds=1, iterations=1
+    )
+    report(result)
+
+    bundle = result.bundles["power_saving"]
+    rnd = bundle.series["RND"]
+    pack = bundle.series["Pack_Disk"]
+    pack4 = bundle.series["Pack_Disk4"]
+
+    # RND's saving falls sharply with the threshold...
+    assert rnd.y[0] - rnd.y[-1] > 0.3
+    # ...while Pack_Disk stays much flatter...
+    assert (pack.y[0] - pack.y[-1]) < 0.6 * (rnd.y[0] - rnd.y[-1])
+    # ...and beats RND decisively at the 2 h threshold.
+    assert pack.y[-1] > rnd.y[-1] + 0.2
+    assert pack4.y[-1] > rnd.y[-1]
+    # High absolute saving for the packing family (paper: ~85%).
+    assert max(pack.y) > 0.6

@@ -1,0 +1,27 @@
+"""Bench: regenerate Figure 6 (response time vs idleness threshold, NERSC).
+
+Paper shape targets: random placement needs a large threshold before its
+response settles (every spun-down hit pays 15 s); Pack_Disk4 responds
+similar-or-better than Pack_Disk under the batched same-size arrivals it
+was designed for.
+"""
+
+from repro.experiments import fig6_idleness_response
+
+
+def test_fig6_regeneration(benchmark, report, scale):
+    result = benchmark.pedantic(
+        fig6_idleness_response.run, kwargs=dict(scale=scale), rounds=1, iterations=1
+    )
+    report(result)
+
+    bundle = result.bundles["response"]
+    rnd = bundle.series["RND"]
+    pack = bundle.series["Pack_Disk"]
+    pack4 = bundle.series["Pack_Disk4"]
+
+    # RND's response improves as the threshold grows (fewer spin-up hits).
+    assert rnd.y[-1] < rnd.y[0]
+    # The grouped variant fixes Pack_Disk's batching penalty: at the large
+    # threshold Pack_Disk4 responds no worse than Pack_Disk.
+    assert pack4.y[-1] <= pack.y[-1] * 1.1

@@ -1,0 +1,24 @@
+"""Bench: §5.1's Pack_Disk_v sweep (v = 1..8 at a 0.5 h threshold).
+
+Paper claim: v=4 is the knee — grouping helps response up to ~4 disks,
+then only dilutes power saving.
+"""
+
+from repro.experiments import groupsize_sweep
+
+
+def test_groupsize_sweep(benchmark, report, scale):
+    result = benchmark.pedantic(
+        groupsize_sweep.run, kwargs=dict(scale=scale), rounds=1, iterations=1
+    )
+    report(result)
+
+    bundle = result.bundles["sweep"]
+    saving = bundle.series["power saving"]
+    resp = bundle.series["mean response (s)"]
+    # Grouping trades power for response: v=8 saves no more than v=1.
+    assert saving.y[-1] <= saving.y[0] + 0.02
+    # Response at the paper's recommended v=4 is no worse than v=1.
+    v4 = resp.y[resp.x.index(4.0)]
+    v1 = resp.y[resp.x.index(1.0)]
+    assert v4 <= v1 * 1.1

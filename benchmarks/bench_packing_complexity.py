@@ -1,0 +1,54 @@
+"""Bench: the §3 algorithmic claim — O(n log n) vs the O(n^2) reference.
+
+Times both implementations on identical instances (outputs are
+bit-identical; only the data structures differ) and benchmarks the heap
+kernel itself.
+"""
+
+import numpy as np
+
+from repro.core import MaxHeap, make_items, pack_disks, pack_disks_quadratic
+from repro.experiments import ablations
+
+
+def _instance(n, seed=7):
+    rng = np.random.default_rng(seed)
+    return make_items(rng.uniform(0.001, 0.3, n), rng.uniform(0.001, 0.3, n))
+
+
+def test_complexity_ablation(benchmark, report, scale):
+    result = benchmark.pedantic(
+        ablations.run_complexity, kwargs=dict(scale=scale), rounds=1, iterations=1
+    )
+    report(result)
+    assert any("True" in n for n in result.notes)
+    # The heap version must win at the largest measured size.
+    runtime = result.bundles["runtime"]
+    fast = runtime.series["pack_disks (heap)"].y[-1]
+    slow = runtime.series["reference (scan)"].y[-1]
+    assert fast < slow
+
+
+def test_pack_disks_throughput_40k(benchmark):
+    """Packing the paper's full 40000-item instance."""
+    items = _instance(40_000)
+    allocation = benchmark(pack_disks, items)
+    assert allocation.num_items == 40_000
+
+
+def test_quadratic_reference_2k(benchmark):
+    """The reference at a size where it is still tolerable to run."""
+    items = _instance(2_000)
+    allocation = benchmark(pack_disks_quadratic, items)
+    assert allocation.num_items == 2_000
+
+
+def test_heap_build_and_drain(benchmark):
+    keys = np.random.default_rng(1).uniform(0, 1, 50_000)
+
+    def build_and_drain():
+        heap = MaxHeap((k, i) for i, k in enumerate(keys))
+        while heap:
+            heap.pop()
+
+    benchmark(build_and_drain)

@@ -1,0 +1,39 @@
+"""Bench: packing quality — Theorem 1's guarantee and baseline comparison.
+
+Regenerates the allocator-vs-lower-bound table and asserts the guarantee.
+"""
+
+import numpy as np
+
+from repro.core import (
+    continuous_lower_bound,
+    first_fit_decreasing,
+    make_items,
+    pack_disks,
+    theorem1_guarantee,
+)
+from repro.experiments import ablations
+
+
+def test_quality_ablation(benchmark, report, scale):
+    result = benchmark.pedantic(
+        ablations.run_quality, kwargs=dict(scale=scale), rounds=1, iterations=1
+    )
+    report(result)
+    assert any("satisfied" in n for n in result.notes)
+
+
+def test_pack_vs_ffd_quality(benchmark):
+    """Pack_Disks must stay within a small factor of FFD (and the bound)."""
+    rng = np.random.default_rng(11)
+    items = make_items(
+        rng.uniform(0.001, 0.35, 8_000), rng.uniform(0.001, 0.35, 8_000)
+    )
+
+    allocation = benchmark(pack_disks, items)
+
+    lb = continuous_lower_bound(items)
+    assert allocation.num_disks <= theorem1_guarantee(items)
+    ffd = first_fit_decreasing(items)
+    assert allocation.num_disks <= 1.8 * ffd.num_disks
+    assert allocation.num_disks >= lb

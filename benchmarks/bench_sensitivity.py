@@ -1,0 +1,38 @@
+"""Bench: sensitivity studies (idleness threshold; service-time model)."""
+
+from repro.experiments import sensitivity
+
+
+def test_threshold_sensitivity(benchmark, report, scale):
+    result = benchmark.pedantic(
+        sensitivity.run_threshold, kwargs=dict(scale=scale), rounds=1, iterations=1
+    )
+    report(result)
+    bundle = result.bundles["threshold"]
+    rnd = bundle.series["rnd saving (norm.)"]
+    pack = bundle.series["pack saving (norm.)"]
+    thresholds = pack.x
+
+    # Pack's cold-disk advantage holds at every threshold.
+    assert all(p > r for p, r in zip(pack.y, rnd.y))
+    # On this busy Poisson workload random's per-disk gaps sit below
+    # break-even: thresholds shorter than break-even actively waste energy
+    # (spin thrash), so random's saving *rises* toward its no-spin-down
+    # plateau as the threshold grows.
+    assert rnd.y[0] < rnd.y[-1] + 1e-9
+    # The break-even threshold is near-optimal for Pack_Disks: within 0.1
+    # of the best saving across the sweep.
+    at_breakeven = pack.y[thresholds.index(53.3)]
+    assert at_breakeven > max(pack.y) - 0.1
+    # Spin cycles drop monotonically as the threshold grows.
+    spins = bundle.series["rnd spin-ups"].y
+    assert all(b <= a for a, b in zip(spins, spins[1:]))
+
+
+def test_service_mode_sensitivity(benchmark, report, scale):
+    result = benchmark.pedantic(
+        sensitivity.run_service_mode, kwargs=dict(scale=scale), rounds=1, iterations=1
+    )
+    report(result)
+    table = result.tables["service_mode"]
+    assert "full" in table and "transfer" in table

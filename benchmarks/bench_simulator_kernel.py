@@ -1,0 +1,78 @@
+"""Bench: the discrete-event kernel and drive substrate throughput.
+
+Not a paper figure — these establish that the simulation substrate is fast
+enough for the full-scale experiments (hundreds of thousands of events per
+second) and guard against regressions.
+"""
+
+import math
+
+import numpy as np
+
+from repro.disk import DiskDrive, ST3500630AS
+from repro.sim import Environment, Store
+from repro.units import MB
+
+
+def test_event_loop_throughput(benchmark):
+    """Ping-pong processes: ~100k event dispatches."""
+
+    def run():
+        env = Environment()
+
+        def ticker(env, n):
+            for _ in range(n):
+                yield env.timeout(1.0)
+
+        for _ in range(10):
+            env.process(ticker(env, 5_000))
+        env.run()
+        return env.now
+
+    assert benchmark(run) == 5_000.0
+
+
+def test_store_handoff_throughput(benchmark):
+    """Producer/consumer through a Store: 20k handoffs."""
+
+    def run():
+        env = Environment()
+        store = Store(env)
+        done = []
+
+        def producer(env):
+            for i in range(20_000):
+                yield store.put(i)
+
+        def consumer(env):
+            for _ in range(20_000):
+                item = yield store.get()
+            done.append(item)
+
+        env.process(producer(env))
+        env.process(consumer(env))
+        env.run()
+        return done[0]
+
+    assert benchmark(run) == 19_999
+
+
+def test_drive_request_throughput(benchmark):
+    """One drive serving 5k requests with idle gaps and spin cycles."""
+    rng = np.random.default_rng(2)
+    gaps = rng.exponential(10.0, size=5_000)
+
+    def run():
+        env = Environment()
+        drive = DiskDrive(env, ST3500630AS, idleness_threshold=20.0)
+
+        def feeder(env):
+            for gap in gaps:
+                yield env.timeout(gap)
+                drive.submit(0, 36 * MB)
+
+        env.process(feeder(env))
+        env.run()
+        return drive.stats.completions
+
+    assert benchmark(run) == 5_000

@@ -1,0 +1,22 @@
+"""Bench: regenerate Table 1 (the synthetic workload parameters).
+
+Times the full 40000-file catalog + request-stream synthesis (vectorized;
+this is what every Figure 2-4 grid point pays).
+"""
+
+from repro.experiments import table1_workload
+from repro.workload import SyntheticWorkloadParams, generate_workload
+
+
+def test_table1_regeneration(benchmark, report):
+    result = benchmark.pedantic(table1_workload.run, rounds=1, iterations=1)
+    report(result)
+    assert "Table 1" in result.tables["table1"]
+
+
+def test_workload_generation_throughput(benchmark):
+    params = SyntheticWorkloadParams(
+        n_files=40_000, arrival_rate=6.0, duration=4_000.0, seed=1
+    )
+    workload = benchmark(generate_workload, params)
+    assert workload.catalog.n == 40_000

@@ -1,0 +1,28 @@
+"""Bench: regenerate Table 2 / Figure 1 (disk characteristics + power modes).
+
+Also micro-benchmarks the power-model energy integration, the hot inner
+operation of the energy accounting.
+"""
+
+from repro.disk import DiskState, PowerModel, ST3500630AS
+from repro.experiments import table2_disk
+
+
+def test_table2_regeneration(benchmark, report):
+    result = benchmark.pedantic(table2_disk.run, rounds=1, iterations=1)
+    report(result)
+    assert "53.3 secs" in result.tables["table2"]
+
+
+def test_power_model_energy_integration(benchmark):
+    pm = PowerModel(ST3500630AS)
+    durations = {
+        DiskState.IDLE: 1_000.0,
+        DiskState.STANDBY: 2_000.0,
+        DiskState.ACTIVE: 300.0,
+        DiskState.SEEK: 5.0,
+        DiskState.SPINUP: 45.0,
+        DiskState.SPINDOWN: 30.0,
+    }
+    energy = benchmark(pm.energy, durations)
+    assert energy > 0

@@ -1,0 +1,47 @@
+"""Benchmark harness configuration.
+
+Every figure/table of the paper has one bench module here.  The expensive
+regenerations run exactly once per session (``benchmark.pedantic`` with one
+round); the experiment's table is printed to the terminal (bypassing pytest
+capture) and saved under ``benchmarks/results/``.
+
+Scaling: the ``REPRO_BENCH_SCALE`` environment variable (default ``0.25``)
+shrinks simulated duration / trace length while preserving rates and
+distribution shapes.  Run with ``REPRO_BENCH_SCALE=1.0`` for the paper's
+full configuration (a few extra minutes).
+"""
+
+from __future__ import annotations
+
+import os
+from pathlib import Path
+
+import pytest
+
+RESULTS_DIR = Path(__file__).parent / "results"
+
+
+def bench_scale() -> float:
+    """The session's scale factor (see module docstring)."""
+    return float(os.environ.get("REPRO_BENCH_SCALE", "0.25"))
+
+
+@pytest.fixture(scope="session")
+def scale() -> float:
+    return bench_scale()
+
+
+@pytest.fixture
+def report(capsys):
+    """Print an ExperimentResult to the real terminal and save its CSVs."""
+
+    def _report(result) -> None:
+        RESULTS_DIR.mkdir(parents=True, exist_ok=True)
+        result.save_csv(RESULTS_DIR)
+        text = result.to_text()
+        (RESULTS_DIR / f"{result.name}.txt").write_text(text + "\n")
+        with capsys.disabled():
+            print()
+            print(text)
+
+    return _report

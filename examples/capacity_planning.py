@@ -1,0 +1,70 @@
+#!/usr/bin/env python
+"""Disk-farm sizing: how many disks must stay online to meet a response SLA?
+
+The paper names this as a direct application: "obtaining reliable estimates
+on the size of a disk farm needed to support a given workload of requests
+while satisfying constraints on I/O response times" (§6).  This example
+plans a farm for a Zipf workload with the analytic models, then validates
+the recommended plan with a short simulation.
+
+Usage::
+
+    python examples/capacity_planning.py [--rate 6] [--target 15]
+"""
+
+import argparse
+
+from repro import StorageConfig, generate_workload
+from repro.analysis import minimum_disks, plan_disk_farm
+from repro.system import run_policy
+from repro.workload import SyntheticWorkloadParams
+
+
+def main() -> None:
+    parser = argparse.ArgumentParser(description=__doc__)
+    parser.add_argument("--rate", type=float, default=6.0)
+    parser.add_argument("--target", type=float, default=15.0,
+                        help="mean response-time target (s)")
+    parser.add_argument("--files", type=int, default=10_000)
+    parser.add_argument("--seed", type=int, default=42)
+    args = parser.parse_args()
+
+    workload = generate_workload(
+        SyntheticWorkloadParams(
+            n_files=args.files, arrival_rate=args.rate,
+            duration=1_200.0, seed=args.seed,
+        )
+    )
+    cat = workload.catalog
+    config = StorageConfig()
+
+    print(f"Workload: {cat.n} files, {cat.total_bytes / 1e12:.2f} TB, "
+          f"R={args.rate}/s")
+    print(f"Continuous lower bound on farm size: "
+          f"{minimum_disks(cat, config, args.rate)} disks\n")
+
+    print(f"Candidate plans (response target {args.target:.0f} s):")
+    plans = plan_disk_farm(cat, args.rate, args.target, config=config)
+    for plan in plans:
+        print(" ", plan)
+    best = next(p for p in plans if p.feasible)
+    print(f"\nRecommended: L={best.load_constraint:.2f} with "
+          f"{best.num_disks} disks "
+          f"(analytic response {best.expected_response:.1f} s)\n")
+
+    print("Validating the recommended plan by simulation ...")
+    cfg = config.with_overrides(
+        load_constraint=best.load_constraint,
+        num_disks=best.num_disks,
+    )
+    result = run_policy(cat, workload.stream, "pack", cfg,
+                        arrival_rate=args.rate)
+    print(result.summary())
+    ok = result.mean_response <= args.target * 1.5
+    print(f"\nSimulated mean response {result.mean_response:.1f} s vs "
+          f"target {args.target:.0f} s: "
+          f"{'within tolerance' if ok else 'OVER TARGET — consider lower L'}")
+
+
+if __name__ == "__main__":
+    main()

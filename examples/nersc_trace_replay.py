@@ -1,0 +1,97 @@
+#!/usr/bin/env python
+"""Trace-driven evaluation: replay a NERSC-like 30-day log (paper §5.1).
+
+Synthesizes a trace matching the published NERSC statistics (or loads a
+real trace from CSV if you have one), then compares RND / Pack_Disk /
+Pack_Disk4 with and without a 16 GB LRU cache at a chosen idleness
+threshold — one column of Figures 5 and 6.
+
+Usage::
+
+    python examples/nersc_trace_replay.py [--scale 0.1] [--threshold 0.5]
+    python examples/nersc_trace_replay.py --trace mylog.csv
+"""
+
+import argparse
+
+from repro import StorageConfig
+from repro.system import allocate, simulate
+from repro.units import GiB, HOUR
+from repro.workload import (
+    NerscTraceParams,
+    load_trace_csv,
+    nersc_statistics,
+    synthesize_nersc_trace,
+)
+
+CONFIGS = (
+    ("RND", "random", None),
+    ("Pack_Disk", "pack", None),
+    ("Pack_Disk4", "pack_v4", None),
+    ("RND+LRU", "random", "lru"),
+    ("Pack_Disk4+LRU", "pack_v4", "lru"),
+)
+
+
+def main() -> None:
+    parser = argparse.ArgumentParser(description=__doc__)
+    parser.add_argument("--scale", type=float, default=0.1,
+                        help="trace size fraction (1.0 = full 115832 requests)")
+    parser.add_argument("--threshold", type=float, default=0.5,
+                        help="idleness threshold in hours")
+    parser.add_argument("--trace", type=str, default=None,
+                        help="CSV trace file to replay instead of synthesizing")
+    parser.add_argument("--seed", type=int, default=20080531)
+    args = parser.parse_args()
+
+    if args.trace:
+        print(f"Loading trace from {args.trace} ...")
+        trace = load_trace_csv(args.trace)
+    else:
+        params = NerscTraceParams(seed=args.seed)
+        if args.scale < 1.0:
+            params = params.scaled(args.scale)
+        print(f"Synthesizing NERSC-like trace (scale {args.scale:g}) ...")
+        trace = synthesize_nersc_trace(params)
+
+    stats = nersc_statistics(trace)
+    print("Trace statistics (paper §5.1 reports the full-scale values):")
+    for key, value in stats.items():
+        print(f"  {key:>28}: {value:,.4g}")
+    print()
+
+    rate = trace.mean_request_rate()
+    base = StorageConfig(
+        load_constraint=0.8,
+        idleness_threshold=args.threshold * HOUR,
+        cache_capacity=16 * GiB,
+    )
+    allocations = {
+        policy: allocate(trace.catalog, policy, base, rate)
+        for policy in ("pack", "pack_v4")
+    }
+    num_disks = max(a.num_disks for a in allocations.values())
+    allocations["random"] = allocate(trace.catalog, "random", base, rate,
+                                     rng=args.seed, num_disks=num_disks)
+    print(f"Pack_Disks uses {allocations['pack'].num_disks} disks; every "
+          f"config gets the same {num_disks}-disk pool (as in the paper).\n")
+
+    print(f"{'config':<16} {'saving':>8} {'mean rsp':>9} {'median':>8} "
+          f"{'spin-ups':>9} {'cache hit':>9}")
+    for name, policy, cache in CONFIGS:
+        cfg = base.with_overrides(num_disks=num_disks, cache_policy=cache)
+        alloc = allocations[policy]
+        res = simulate(trace.catalog, trace.stream, alloc, cfg,
+                       num_disks=num_disks, label=name)
+        hit = (f"{res.cache_stats.hit_ratio:8.3f}"
+               if res.cache_stats is not None else "       -")
+        print(f"{name:<16} {res.power_saving_normalized:8.3f} "
+              f"{res.mean_response:9.2f} {res.median_response:8.2f} "
+              f"{res.spinups:9d} {hit}")
+
+    print("\nPaper's Figure 5/6 shape: Pack_Disk(4) saves ~85% at any "
+          "threshold; RND's saving and response depend strongly on it.")
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,64 @@
+#!/usr/bin/env python
+"""Explore the power/response trade-off curve (the paper's Figure 4).
+
+Sweeps the load constraint L at a fixed arrival rate, simulating each
+operating point and overlaying the closed-form M/G/1 + idle-power analysis,
+then renders both curves as terminal plots.
+
+Usage::
+
+    python examples/tradeoff_explorer.py [--rate 6] [--scale 0.25]
+"""
+
+import argparse
+
+from repro.experiments import fig4_tradeoff
+from repro.reporting.ascii_plot import ascii_plot
+
+
+def main() -> None:
+    parser = argparse.ArgumentParser(description=__doc__)
+    parser.add_argument("--rate", type=float, default=6.0)
+    parser.add_argument("--scale", type=float, default=0.25,
+                        help="simulated-duration fraction of the paper's 4000 s")
+    parser.add_argument("--files", type=int, default=20_000)
+    parser.add_argument("--seed", type=int, default=20090525)
+    args = parser.parse_args()
+
+    print(f"Sweeping L at R={args.rate:g} (scale {args.scale:g}) ...\n")
+    result = fig4_tradeoff.run(
+        scale=args.scale, seed=args.seed, rate=args.rate,
+        n_files=args.files,
+    )
+    bundle = result.bundles["tradeoff"]
+
+    power = bundle.series["Power (W)"]
+    power_a = bundle.series["Power analytic (W)"]
+    print(ascii_plot(
+        {
+            "simulated": (power.x, power.y),
+            "analytic": (power_a.x, power_a.y),
+        },
+        title="Array power vs load constraint L",
+        x_label="L", y_label="W",
+    ))
+    print()
+
+    resp = bundle.series["Response (s)"]
+    resp_a = bundle.series["Response analytic (s)"]
+    print(ascii_plot(
+        {
+            "simulated": (resp.x, resp.y),
+            "analytic": (resp_a.x, resp_a.y),
+        },
+        title="Mean response time vs load constraint L",
+        x_label="L", y_label="s",
+    ))
+    print()
+    print(result.bundle_table("disks"))
+    for note in result.notes:
+        print("note:", note)
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,10 @@
+"""Shim so `pip install -e .` works without the `wheel` package installed.
+
+All metadata lives in pyproject.toml; with no [build-system] table pip uses
+the legacy setuptools path, which supports editable installs on
+environments (like this offline one) that lack `wheel`.
+"""
+
+from setuptools import setup
+
+setup()

@@ -1,0 +1,120 @@
+"""repro — reproduction of *Analysis of Trade-Off Between Power Saving and
+Response Time in Disk Storage Systems* (Otoo, Rotem & Tsao, 2009).
+
+The library has three layers:
+
+* **core** (:mod:`repro.core`) — the paper's contribution: the
+  ``Pack_Disks`` O(n log n) 2DVPP file-allocation algorithm, its grouped
+  variant, the quadratic reference, baselines and bounds;
+* **substrates** — a discrete-event simulation kernel (:mod:`repro.sim`),
+  a disk power/performance model (:mod:`repro.disk`), workload generators
+  and traces (:mod:`repro.workload`), and caches (:mod:`repro.cache`);
+* **system & analysis** — the glued storage simulator
+  (:mod:`repro.system`) and closed-form models (:mod:`repro.analysis`),
+  plus experiment harnesses (:mod:`repro.experiments`) regenerating every
+  figure and table of the paper.
+
+Quickstart::
+
+    from repro import (
+        StorageConfig, SyntheticWorkloadParams, generate_workload, run_policy,
+    )
+    wl = generate_workload(SyntheticWorkloadParams(n_files=2000, arrival_rate=4))
+    cfg = StorageConfig(num_disks=20, load_constraint=0.7)
+    packed = run_policy(wl.catalog, wl.stream, "pack", cfg, arrival_rate=4)
+    random_ = run_policy(wl.catalog, wl.stream, "random", cfg, arrival_rate=4)
+    print(f"power saving: {packed.power_saving_vs(random_):.0%}")
+"""
+
+from repro.core import (
+    Allocation,
+    PackItem,
+    PackedDisk,
+    make_items,
+    pack_disks,
+    pack_disks_grouped,
+    pack_disks_quadratic,
+    random_allocation,
+    rho_of,
+)
+from repro.disk import (
+    DiskArray,
+    DiskDrive,
+    DiskSpec,
+    DiskState,
+    PowerModel,
+    ST3500630AS,
+    ServiceModel,
+)
+from repro.errors import (
+    CapacityError,
+    ConfigError,
+    PackingError,
+    ReproError,
+    SimulationError,
+    TraceFormatError,
+)
+from repro.sim import Environment
+from repro.system import (
+    ReorganizingRunner,
+    SimulationResult,
+    StorageConfig,
+    StorageSystem,
+    allocate,
+    build_items,
+    run_policy,
+    simulate,
+)
+from repro.workload import (
+    FileCatalog,
+    NerscTraceParams,
+    RequestStream,
+    SyntheticWorkloadParams,
+    Trace,
+    generate_workload,
+    synthesize_nersc_trace,
+)
+
+__version__ = "1.0.0"
+
+__all__ = [
+    "Allocation",
+    "CapacityError",
+    "ConfigError",
+    "DiskArray",
+    "DiskDrive",
+    "DiskSpec",
+    "DiskState",
+    "Environment",
+    "FileCatalog",
+    "NerscTraceParams",
+    "PackItem",
+    "PackedDisk",
+    "PackingError",
+    "PowerModel",
+    "ReorganizingRunner",
+    "ReproError",
+    "RequestStream",
+    "ST3500630AS",
+    "ServiceModel",
+    "SimulationError",
+    "SimulationResult",
+    "StorageConfig",
+    "StorageSystem",
+    "SyntheticWorkloadParams",
+    "Trace",
+    "TraceFormatError",
+    "allocate",
+    "build_items",
+    "generate_workload",
+    "make_items",
+    "pack_disks",
+    "pack_disks_grouped",
+    "pack_disks_quadratic",
+    "random_allocation",
+    "rho_of",
+    "run_policy",
+    "simulate",
+    "synthesize_nersc_trace",
+    "__version__",
+]

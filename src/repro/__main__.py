@@ -1,0 +1,145 @@
+"""Command-line entry point: ``python -m repro``.
+
+Subcommands::
+
+    python -m repro list                       # available experiments
+    python -m repro run fig2 --scale 0.25      # regenerate one figure/table
+    python -m repro run all --scale 0.1        # everything, quickly
+    python -m repro info                       # library + paper summary
+
+Results are printed as the ASCII tables the paper's figures plot; pass
+``--csv-dir DIR`` to also export every curve as CSV.
+"""
+
+from __future__ import annotations
+
+import argparse
+import sys
+from typing import Callable, Dict
+
+from repro import __version__
+
+__all__ = ["main"]
+
+
+def _experiment_registry() -> Dict[str, Callable]:
+    from repro.experiments import (
+        ablations,
+        fig2_power_saving,
+        fig3_response_ratio,
+        fig4_tradeoff,
+        fig5_idleness_power,
+        fig6_idleness_response,
+        groupsize_sweep,
+        sensitivity,
+        table1_workload,
+        table2_disk,
+    )
+
+    return {
+        "table1": table1_workload.run,
+        "table2": table2_disk.run,
+        "fig2": fig2_power_saving.run,
+        "fig3": fig3_response_ratio.run,
+        "fig4": fig4_tradeoff.run,
+        "fig5": fig5_idleness_power.run,
+        "fig6": fig6_idleness_response.run,
+        "groupsize": groupsize_sweep.run,
+        "complexity": ablations.run_complexity,
+        "quality": ablations.run_quality,
+        "correlation": ablations.run_correlation,
+        "cache-policies": ablations.run_cache_policies,
+        "segregation": ablations.run_segregation,
+        "sensitivity-threshold": sensitivity.run_threshold,
+        "sensitivity-service": sensitivity.run_service_mode,
+    }
+
+
+def _cmd_list(args: argparse.Namespace) -> int:
+    registry = _experiment_registry()
+    print("Available experiments (see DESIGN.md for the paper mapping):")
+    for name in registry:
+        print(f"  {name}")
+    print("\nRun one with: python -m repro run <name> [--scale S] [--seed N]")
+    return 0
+
+
+def _cmd_info(args: argparse.Namespace) -> int:
+    print(f"repro {__version__}")
+    print(
+        "Reproduction of: Otoo, Rotem & Tsao, 'Analysis of Trade-Off "
+        "Between Power Saving\nand Response Time in Disk Storage Systems' "
+        "(LBNL, 2009)."
+    )
+    print(
+        "\nCore: Pack_Disks O(n log n) 2DVPP file allocation with the "
+        "C*/(1-rho)+1 bound.\nSubstrates: DES kernel, Table-2 disk power "
+        "model, Zipf/NERSC workloads, caches.\nDocs: README.md, DESIGN.md, "
+        "EXPERIMENTS.md."
+    )
+    return 0
+
+
+def _cmd_run(args: argparse.Namespace) -> int:
+    registry = _experiment_registry()
+    names = list(registry) if args.experiment == "all" else [args.experiment]
+    unknown = [n for n in names if n not in registry]
+    if unknown:
+        print(
+            f"unknown experiment(s): {', '.join(unknown)}; "
+            "see 'python -m repro list'",
+            file=sys.stderr,
+        )
+        return 2
+    for name in names:
+        kwargs = {"scale": args.scale}
+        if args.seed is not None:
+            kwargs["seed"] = args.seed
+        result = registry[name](**kwargs)
+        print(result.to_text())
+        print()
+        if args.csv_dir:
+            for path in result.save_csv(args.csv_dir):
+                print(f"wrote {path}")
+    return 0
+
+
+def build_parser() -> argparse.ArgumentParser:
+    parser = argparse.ArgumentParser(
+        prog="python -m repro",
+        description=__doc__,
+        formatter_class=argparse.RawDescriptionHelpFormatter,
+    )
+    parser.add_argument("--version", action="version", version=__version__)
+    sub = parser.add_subparsers(dest="command", required=True)
+
+    sub.add_parser("list", help="list available experiments").set_defaults(
+        func=_cmd_list
+    )
+    sub.add_parser("info", help="library and paper summary").set_defaults(
+        func=_cmd_info
+    )
+
+    run = sub.add_parser("run", help="run one experiment (or 'all')")
+    run.add_argument("experiment", help="experiment name, or 'all'")
+    run.add_argument(
+        "--scale",
+        type=float,
+        default=0.25,
+        help="workload scale factor, 1.0 = full paper scale (default 0.25)",
+    )
+    run.add_argument("--seed", type=int, default=None, help="override the seed")
+    run.add_argument(
+        "--csv-dir", type=str, default=None, help="export curves as CSV here"
+    )
+    run.set_defaults(func=_cmd_run)
+    return parser
+
+
+def main(argv=None) -> int:
+    args = build_parser().parse_args(argv)
+    return args.func(args)
+
+
+if __name__ == "__main__":  # pragma: no cover
+    sys.exit(main())

@@ -1,0 +1,67 @@
+"""Analytical models of the power/response-time trade-off.
+
+The paper's title promises *analysis*; this package provides the closed-form
+counterparts of the simulator, used both as a fast planning tool and as an
+independent cross-check of the simulation (the test suite validates one
+against the other):
+
+* :mod:`~repro.analysis.mg1` — M/G/1 response times per disk
+  (Pollaczek-Khinchine),
+* :mod:`~repro.analysis.powermodel` — expected power and spin-up penalty of
+  the threshold policy under Poisson arrivals (idle periods are exactly
+  exponential in an M/G/1 disk),
+* :mod:`~repro.analysis.breakeven` — the break-even threshold and the
+  classic 2-competitive guarantee, with offline-optimal energy on recorded
+  gap sequences,
+* :mod:`~repro.analysis.capacity` — disk-farm sizing under response-time
+  constraints (the paper's stated planning use-case),
+* :mod:`~repro.analysis.tradeoff` — the analytic Figure 4 curve.
+"""
+
+from repro.analysis.breakeven import (
+    breakeven_threshold,
+    offline_optimal_energy,
+    threshold_policy_energy,
+)
+from repro.analysis.capacity import FarmPlan, minimum_disks, plan_disk_farm
+from repro.disk.dpm import (
+    DpmState,
+    MultiStateDpmPolicy,
+    offline_optimal_gap_energy,
+    states_from_spec,
+)
+from repro.analysis.mg1 import (
+    allocation_response_estimate,
+    mg1_response_time,
+    mg1_waiting_time,
+)
+from repro.analysis.powermodel import (
+    IdlePowerAnalysis,
+    allocation_power_estimate,
+    disk_power_estimate,
+)
+from repro.analysis.reliability import SpinCycleStress, spin_cycle_stress
+from repro.analysis.tradeoff import TradeoffPoint, tradeoff_curve
+
+__all__ = [
+    "DpmState",
+    "FarmPlan",
+    "IdlePowerAnalysis",
+    "MultiStateDpmPolicy",
+    "offline_optimal_gap_energy",
+    "states_from_spec",
+    "SpinCycleStress",
+    "TradeoffPoint",
+    "spin_cycle_stress",
+    "allocation_power_estimate",
+    "allocation_response_estimate",
+    "breakeven_threshold",
+    "disk_power_estimate",
+    "mg1_response_time",
+    "mg1_waiting_time",
+    "minimum_disks",
+    "offline_optimal_energy",
+    "plan_disk_farm",
+    "threshold_policy_energy",
+    "tradeoff_curve",
+]

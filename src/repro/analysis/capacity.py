@@ -1,0 +1,120 @@
+"""Disk-farm sizing under response-time constraints.
+
+The paper (§1, §6) highlights this planning use: "computing the percentage
+of disks that must be maintained on-line to meet file access response time
+under budget constraints" and "obtaining reliable estimates on the size of a
+disk farm needed to support a given workload".  :func:`plan_disk_farm`
+sweeps the load constraint ``L``, packs the catalog for each value, checks
+the analytic M/G/1 response time, and returns the cheapest feasible plan.
+"""
+
+from __future__ import annotations
+
+import math
+from dataclasses import dataclass
+from typing import List, Optional, Sequence
+
+from repro.analysis.mg1 import allocation_response_estimate
+from repro.analysis.powermodel import allocation_power_estimate
+from repro.core.packing import pack_disks
+from repro.errors import CapacityError, ConfigError, PackingError
+from repro.system.config import StorageConfig
+from repro.system.runner import build_items
+from repro.workload.catalog import FileCatalog
+
+__all__ = ["FarmPlan", "minimum_disks", "plan_disk_farm"]
+
+
+def minimum_disks(
+    catalog: FileCatalog,
+    config: StorageConfig,
+    arrival_rate: float,
+) -> int:
+    """Continuous lower bound on the farm size: storage and load volumes."""
+    service = config.service_model()
+    by_space = catalog.total_bytes / config.usable_capacity
+    by_load = catalog.total_load(arrival_rate, service) / config.load_constraint
+    return int(math.ceil(max(by_space, by_load)))
+
+
+@dataclass
+class FarmPlan:
+    """One feasible (or infeasible) operating point of the farm."""
+
+    load_constraint: float
+    num_disks: int
+    expected_response: float
+    expected_power: float
+    feasible: bool
+
+    def __str__(self) -> str:
+        flag = "ok " if self.feasible else "INFEASIBLE"
+        return (
+            f"L={self.load_constraint:.2f}: {self.num_disks:4d} disks, "
+            f"T~{self.expected_response:8.2f} s, P~{self.expected_power:8.1f} W "
+            f"[{flag}]"
+        )
+
+
+def plan_disk_farm(
+    catalog: FileCatalog,
+    arrival_rate: float,
+    response_target: float,
+    config: Optional[StorageConfig] = None,
+    load_grid: Optional[Sequence[float]] = None,
+) -> List[FarmPlan]:
+    """Evaluate candidate load constraints and mark which meet the target.
+
+    Returns all evaluated plans sorted by increasing disk count; the first
+    feasible one is the recommended (cheapest) configuration.
+
+    Raises
+    ------
+    CapacityError
+        If no candidate meets the response target.
+    """
+    if response_target <= 0:
+        raise ConfigError("response_target must be positive")
+    if config is None:
+        config = StorageConfig()
+    if load_grid is None:
+        load_grid = [0.9, 0.8, 0.7, 0.6, 0.5, 0.4, 0.3, 0.2]
+    service = config.service_model()
+    plans: List[FarmPlan] = []
+    for L in load_grid:
+        cfg = config.with_overrides(load_constraint=L)
+        try:
+            items = build_items(catalog, cfg, arrival_rate)
+        except PackingError:
+            # Below some L the hottest file alone exceeds the per-disk
+            # load budget; that operating point simply does not exist.
+            continue
+        allocation = pack_disks(items)
+        response = allocation_response_estimate(
+            catalog, allocation, arrival_rate, service
+        )
+        power = allocation_power_estimate(
+            catalog,
+            allocation,
+            arrival_rate,
+            service,
+            cfg.threshold,
+            cfg.spec,
+            num_disks=max(cfg.num_disks, allocation.num_disks),
+        )
+        plans.append(
+            FarmPlan(
+                load_constraint=L,
+                num_disks=allocation.num_disks,
+                expected_response=response,
+                expected_power=power,
+                feasible=response <= response_target,
+            )
+        )
+    plans.sort(key=lambda p: (p.num_disks, p.load_constraint))
+    if not any(p.feasible for p in plans):
+        raise CapacityError(
+            f"no evaluated configuration meets the {response_target:.1f} s "
+            "response target; relax the target or extend load_grid"
+        )
+    return plans

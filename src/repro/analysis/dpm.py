@@ -1,0 +1,17 @@
+"""Compatibility alias: the multi-state DPM model lives in
+:mod:`repro.disk.dpm` (it is disk-domain machinery); this module re-exports
+it so analysis-oriented callers find it next to the other closed forms."""
+
+from repro.disk.dpm import (
+    DpmState,
+    MultiStateDpmPolicy,
+    offline_optimal_gap_energy,
+    states_from_spec,
+)
+
+__all__ = [
+    "DpmState",
+    "MultiStateDpmPolicy",
+    "offline_optimal_gap_energy",
+    "states_from_spec",
+]

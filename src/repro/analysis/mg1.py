@@ -1,0 +1,89 @@
+"""M/G/1 queueing estimates for per-disk response times.
+
+Each disk serves its files FIFO with Poisson arrivals (a thinning of the
+system's Poisson stream), so the Pollaczek-Khinchine formula gives the mean
+waiting time:
+
+.. math:: W_q = \\frac{\\lambda E[S^2]}{2 (1 - \\rho)}, \\qquad \\rho = \\lambda E[S]
+
+and mean response time ``T = W_q + E[S]``.  These estimates ignore the
+spin-up penalty (see :mod:`repro.analysis.powermodel` for that term) and are
+exact for a disk that never spins down.
+"""
+
+from __future__ import annotations
+
+import math
+from typing import Optional, Sequence
+
+import numpy as np
+
+from repro.core.allocation import Allocation
+from repro.disk.service import ServiceModel
+from repro.errors import ConfigError
+from repro.workload.catalog import FileCatalog
+
+__all__ = [
+    "allocation_response_estimate",
+    "mg1_response_time",
+    "mg1_waiting_time",
+]
+
+
+def mg1_waiting_time(arrival_rate: float, es: float, es2: float) -> float:
+    """Pollaczek-Khinchine mean queueing delay.
+
+    Returns ``inf`` for an overloaded queue (``rho >= 1``).
+    """
+    if arrival_rate < 0 or es < 0 or es2 < 0:
+        raise ConfigError("arrival rate and service moments must be >= 0")
+    rho = arrival_rate * es
+    if rho >= 1.0:
+        return math.inf
+    return arrival_rate * es2 / (2.0 * (1.0 - rho))
+
+
+def mg1_response_time(arrival_rate: float, es: float, es2: float) -> float:
+    """Mean response time ``W_q + E[S]``."""
+    return mg1_waiting_time(arrival_rate, es, es2) + es
+
+
+def allocation_response_estimate(
+    catalog: FileCatalog,
+    allocation: Allocation,
+    arrival_rate: float,
+    service: ServiceModel,
+    popularities: Optional[Sequence[float]] = None,
+) -> float:
+    """System-wide mean response time under an allocation (no spin-downs).
+
+    Computes per-disk M/G/1 response times from each disk's file mix and
+    averages them weighted by the probability a request targets that disk.
+    ``inf`` if any disk is overloaded.
+    """
+    pops = (
+        catalog.popularities
+        if popularities is None
+        else np.asarray(popularities, dtype=float)
+    )
+    total = 0.0
+    service_times = service.service_time(catalog.sizes)
+    for disk in allocation.disks:
+        idx = np.fromiter(
+            (item.index for item in disk.items), dtype=np.int64, count=len(disk)
+        )
+        if idx.size == 0:
+            continue
+        p_disk = float(pops[idx].sum())
+        if p_disk <= 0:
+            continue
+        lam = arrival_rate * p_disk
+        w = pops[idx] / p_disk
+        s = service_times[idx]
+        es = float(np.dot(w, s))
+        es2 = float(np.dot(w, s * s))
+        t = mg1_response_time(lam, es, es2)
+        if math.isinf(t):
+            return math.inf
+        total += p_disk * t
+    return total

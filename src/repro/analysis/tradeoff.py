@@ -1,0 +1,67 @@
+"""The analytic power/response trade-off curve (Figure 4's closed form).
+
+For each load constraint ``L``, pack the catalog, then estimate total power
+(threshold policy, Poisson idle analysis) and mean response (M/G/1 mix).
+Increasing ``L`` packs the same files onto fewer disks: power falls, queues
+grow — the trade-off the paper's title names.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import List, Optional, Sequence
+
+from repro.analysis.mg1 import allocation_response_estimate
+from repro.analysis.powermodel import allocation_power_estimate
+from repro.core.packing import pack_disks
+from repro.system.config import StorageConfig
+from repro.system.runner import build_items
+from repro.workload.catalog import FileCatalog
+
+__all__ = ["TradeoffPoint", "tradeoff_curve"]
+
+
+@dataclass(frozen=True)
+class TradeoffPoint:
+    """One point of the analytic trade-off curve."""
+
+    load_constraint: float
+    num_disks: int
+    power_watts: float
+    response_seconds: float
+
+
+def tradeoff_curve(
+    catalog: FileCatalog,
+    arrival_rate: float,
+    config: Optional[StorageConfig] = None,
+    load_grid: Optional[Sequence[float]] = None,
+) -> List[TradeoffPoint]:
+    """Evaluate the analytic curve over a grid of load constraints."""
+    if config is None:
+        config = StorageConfig()
+    if load_grid is None:
+        load_grid = [0.4, 0.5, 0.6, 0.7, 0.8, 0.9]
+    service = config.service_model()
+    points: List[TradeoffPoint] = []
+    for L in load_grid:
+        cfg = config.with_overrides(load_constraint=L)
+        items = build_items(catalog, cfg, arrival_rate)
+        allocation = pack_disks(items)
+        num_disks = max(cfg.num_disks, allocation.num_disks)
+        power = allocation_power_estimate(
+            catalog, allocation, arrival_rate, service,
+            cfg.threshold, cfg.spec, num_disks=num_disks,
+        )
+        response = allocation_response_estimate(
+            catalog, allocation, arrival_rate, service
+        )
+        points.append(
+            TradeoffPoint(
+                load_constraint=L,
+                num_disks=allocation.num_disks,
+                power_watts=power,
+                response_seconds=response,
+            )
+        )
+    return points

@@ -1,0 +1,26 @@
+"""Whole-file cache substrate placed in front of the disk array.
+
+The paper evaluates a 16 GB LRU cache ("RND+LRU", "Pack_Disk4+LRU" in
+Figures 5/6) and names replacement policy a future-work axis; besides
+:class:`~repro.cache.lru.LRUCache` this package ships LFU, FIFO and CLOCK
+policies for that ablation.
+
+Caches store *whole files* keyed by file id, evict to byte capacity, and
+never admit a file larger than their capacity.
+"""
+
+from repro.cache.base import BaseCache, CacheStats, make_cache
+from repro.cache.clock import ClockCache
+from repro.cache.fifo import FIFOCache
+from repro.cache.lfu import LFUCache
+from repro.cache.lru import LRUCache
+
+__all__ = [
+    "BaseCache",
+    "CacheStats",
+    "ClockCache",
+    "FIFOCache",
+    "LFUCache",
+    "LRUCache",
+    "make_cache",
+]

@@ -1,0 +1,148 @@
+"""Cache interface, statistics, and factory."""
+
+from __future__ import annotations
+
+from abc import ABC, abstractmethod
+from dataclasses import dataclass, field
+from typing import Dict
+
+from repro.errors import ConfigError
+
+__all__ = ["BaseCache", "CacheStats", "make_cache"]
+
+
+@dataclass
+class CacheStats:
+    """Hit/miss/eviction counters for one cache instance."""
+
+    hits: int = 0
+    misses: int = 0
+    insertions: int = 0
+    evictions: int = 0
+    rejected: int = 0  # files larger than the whole cache
+    bytes_hit: float = 0.0
+    bytes_missed: float = 0.0
+
+    @property
+    def lookups(self) -> int:
+        return self.hits + self.misses
+
+    @property
+    def hit_ratio(self) -> float:
+        """Fraction of lookups served from cache (nan before any lookup)."""
+        total = self.lookups
+        return self.hits / total if total else float("nan")
+
+    @property
+    def byte_hit_ratio(self) -> float:
+        total = self.bytes_hit + self.bytes_missed
+        return self.bytes_hit / total if total else float("nan")
+
+
+class BaseCache(ABC):
+    """Common machinery for whole-file caches.
+
+    Subclasses implement the eviction order via :meth:`_victim` and the
+    bookkeeping hooks :meth:`_on_hit` / :meth:`_on_insert` / :meth:`_on_evict`.
+
+    Parameters
+    ----------
+    capacity:
+        Cache size in bytes (> 0).
+    """
+
+    policy_name = "base"
+
+    def __init__(self, capacity: float) -> None:
+        if capacity <= 0:
+            raise ConfigError(f"cache capacity must be positive, got {capacity}")
+        self.capacity = float(capacity)
+        self.used = 0.0
+        self._sizes: Dict[int, float] = {}
+        self.stats = CacheStats()
+
+    def __len__(self) -> int:
+        return len(self._sizes)
+
+    def __contains__(self, file_id: int) -> bool:
+        return file_id in self._sizes
+
+    def lookup(self, file_id: int, size: float) -> bool:
+        """Check for ``file_id``; records hit/miss and updates recency.
+
+        Returns True on hit.
+        """
+        if file_id in self._sizes:
+            self.stats.hits += 1
+            self.stats.bytes_hit += size
+            self._on_hit(file_id)
+            return True
+        self.stats.misses += 1
+        self.stats.bytes_missed += size
+        return False
+
+    def admit(self, file_id: int, size: float) -> bool:
+        """Insert ``file_id`` after a miss completes, evicting as needed.
+
+        Files larger than the entire cache are rejected (returns False).
+        Re-admitting a resident file only refreshes its policy state.
+        """
+        if size < 0:
+            raise ConfigError("file size must be >= 0")
+        if size > self.capacity:
+            self.stats.rejected += 1
+            return False
+        if file_id in self._sizes:
+            self._on_hit(file_id)
+            return True
+        while self.used + size > self.capacity:
+            victim = self._victim()
+            self._evict(victim)
+        self._sizes[file_id] = size
+        self.used += size
+        self.stats.insertions += 1
+        self._on_insert(file_id)
+        return True
+
+    def _evict(self, file_id: int) -> None:
+        size = self._sizes.pop(file_id)
+        self.used -= size
+        self.stats.evictions += 1
+        self._on_evict(file_id)
+
+    # -- policy hooks ------------------------------------------------------------
+
+    @abstractmethod
+    def _victim(self) -> int:
+        """Choose the file id to evict next (cache guaranteed non-empty)."""
+
+    def _on_hit(self, file_id: int) -> None:  # pragma: no cover - default no-op
+        pass
+
+    def _on_insert(self, file_id: int) -> None:  # pragma: no cover - default no-op
+        pass
+
+    def _on_evict(self, file_id: int) -> None:  # pragma: no cover - default no-op
+        pass
+
+
+def make_cache(policy: str, capacity: float) -> BaseCache:
+    """Factory by policy name: ``lru``, ``lfu``, ``fifo`` or ``clock``."""
+    from repro.cache.clock import ClockCache
+    from repro.cache.fifo import FIFOCache
+    from repro.cache.lfu import LFUCache
+    from repro.cache.lru import LRUCache
+
+    policies = {
+        "lru": LRUCache,
+        "lfu": LFUCache,
+        "fifo": FIFOCache,
+        "clock": ClockCache,
+    }
+    try:
+        cls = policies[policy.lower()]
+    except KeyError:
+        raise ConfigError(
+            f"unknown cache policy {policy!r}; choose from {sorted(policies)}"
+        ) from None
+    return cls(capacity)

@@ -1,0 +1,44 @@
+"""CLOCK (second-chance) cache — an LRU approximation with O(1) hits."""
+
+from __future__ import annotations
+
+from collections import OrderedDict
+
+from repro.cache.base import BaseCache
+
+__all__ = ["ClockCache"]
+
+
+class ClockCache(BaseCache):
+    """Second-chance eviction.
+
+    Resident files sit on a circular list with a reference bit.  A hit sets
+    the bit; the eviction hand clears bits until it finds an unset one,
+    which is evicted.  Approximates LRU without per-hit reordering.
+    """
+
+    policy_name = "clock"
+
+    def __init__(self, capacity: float) -> None:
+        super().__init__(capacity)
+        # OrderedDict models the circle: iteration order is hand order.
+        self._ref: OrderedDict = OrderedDict()
+
+    def _victim(self) -> int:
+        while True:
+            file_id, referenced = next(iter(self._ref.items()))
+            if referenced:
+                # Second chance: clear the bit, move behind the hand.
+                self._ref[file_id] = False
+                self._ref.move_to_end(file_id)
+            else:
+                return file_id
+
+    def _on_hit(self, file_id: int) -> None:
+        self._ref[file_id] = True
+
+    def _on_insert(self, file_id: int) -> None:
+        self._ref[file_id] = False
+
+    def _on_evict(self, file_id: int) -> None:
+        del self._ref[file_id]

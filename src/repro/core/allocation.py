@@ -1,0 +1,168 @@
+"""Allocation result types shared by every packing algorithm."""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, Iterable, List, Optional, Sequence
+
+import numpy as np
+
+from repro.core.item import EPS, PackItem
+from repro.errors import PackingError
+
+__all__ = ["Allocation", "PackedDisk"]
+
+
+@dataclass
+class PackedDisk:
+    """One disk's worth of items produced by an allocator.
+
+    Attributes
+    ----------
+    index:
+        Disk number (0-based).
+    items:
+        The items placed on this disk, in placement order.
+    """
+
+    index: int
+    items: List[PackItem] = field(default_factory=list)
+
+    @property
+    def total_size(self) -> float:
+        """``S(D_i)`` — summed normalized sizes."""
+        return sum(item.size for item in self.items)
+
+    @property
+    def total_load(self) -> float:
+        """``L(D_i)`` — summed normalized loads."""
+        return sum(item.load for item in self.items)
+
+    def is_s_complete(self, rho: float) -> bool:
+        """Paper definition: ``1 >= S(D_i) >= 1 - rho``."""
+        return 1 - rho - EPS <= self.total_size <= 1 + EPS
+
+    def is_l_complete(self, rho: float) -> bool:
+        """Paper definition: ``1 >= L(D_i) >= 1 - rho``."""
+        return 1 - rho - EPS <= self.total_load <= 1 + EPS
+
+    def is_complete(self, rho: float) -> bool:
+        """Both s-complete and l-complete."""
+        return self.is_s_complete(rho) and self.is_l_complete(rho)
+
+    def __len__(self) -> int:
+        return len(self.items)
+
+
+@dataclass
+class Allocation:
+    """A full file-to-disk assignment.
+
+    Attributes
+    ----------
+    disks:
+        The packed disks, densely numbered from 0.
+    algorithm:
+        Human-readable name of the allocator that produced this.
+    rho:
+        The ``rho`` (max normalized coordinate) of the packed item set;
+        carried along for bound checking.
+    """
+
+    disks: List[PackedDisk]
+    algorithm: str
+    rho: float = 0.0
+
+    @property
+    def num_disks(self) -> int:
+        """Number of (non-empty) disks used."""
+        return len(self.disks)
+
+    @property
+    def num_items(self) -> int:
+        """Total number of items across all disks."""
+        return sum(len(d) for d in self.disks)
+
+    def mapping(self, num_files: Optional[int] = None) -> np.ndarray:
+        """Dense ``file index -> disk index`` array.
+
+        Parameters
+        ----------
+        num_files:
+            Length of the output array; defaults to ``max index + 1``.
+            Unassigned slots (if any) are ``-1``.
+        """
+        if num_files is None:
+            num_files = 1 + max(
+                (item.index for d in self.disks for item in d.items),
+                default=-1,
+            )
+        table = np.full(num_files, -1, dtype=np.int64)
+        for disk in self.disks:
+            for item in disk.items:
+                if item.index >= num_files:
+                    raise PackingError(
+                        f"item index {item.index} out of range for "
+                        f"num_files={num_files}"
+                    )
+                table[item.index] = disk.index
+        return table
+
+    def mapping_dict(self) -> Dict[int, int]:
+        """``{file index: disk index}`` for sparse use."""
+        return {
+            item.index: disk.index
+            for disk in self.disks
+            for item in disk.items
+        }
+
+    def sizes_per_disk(self) -> np.ndarray:
+        """Array of ``S(D_i)`` per disk."""
+        return np.array([d.total_size for d in self.disks], dtype=float)
+
+    def loads_per_disk(self) -> np.ndarray:
+        """Array of ``L(D_i)`` per disk."""
+        return np.array([d.total_load for d in self.disks], dtype=float)
+
+    def validate(self, items: Optional[Sequence[PackItem]] = None, tol: float = EPS) -> None:
+        """Raise :class:`PackingError` unless this is a feasible allocation.
+
+        Checks per-disk capacity on both dimensions, dense disk numbering,
+        and — when ``items`` is given — that every input item appears exactly
+        once.
+        """
+        for pos, disk in enumerate(self.disks):
+            if disk.index != pos:
+                raise PackingError(
+                    f"disks are not densely numbered: position {pos} holds "
+                    f"disk {disk.index}"
+                )
+            if disk.total_size > 1 + tol:
+                raise PackingError(
+                    f"disk {pos} storage overflow: S={disk.total_size:.9f}"
+                )
+            if disk.total_load > 1 + tol:
+                raise PackingError(
+                    f"disk {pos} load overflow: L={disk.total_load:.9f}"
+                )
+        if items is not None:
+            seen = sorted(
+                item.index for d in self.disks for item in d.items
+            )
+            expected = sorted(item.index for item in items)
+            if seen != expected:
+                raise PackingError(
+                    f"allocation covers {len(seen)} items but input has "
+                    f"{len(expected)} (or indices differ)"
+                )
+
+    def summary(self) -> str:
+        """One-line human-readable description."""
+        if not self.disks:
+            return f"{self.algorithm}: empty allocation"
+        s = self.sizes_per_disk()
+        l = self.loads_per_disk()
+        return (
+            f"{self.algorithm}: {self.num_items} files on {self.num_disks} "
+            f"disks (mean fill S={s.mean():.3f}, L={l.mean():.3f})"
+        )

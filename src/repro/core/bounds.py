@@ -1,0 +1,94 @@
+"""Lower bounds and the Theorem 1 optimality guarantee.
+
+The optimum ``C*`` of a 2DVPP instance is NP-hard to compute, but the paper's
+proof only needs the *continuous* lower bound
+
+.. math:: C^* \\ge \\max\\Big(\\sum_i s_i,\\; \\sum_i l_i\\Big)
+
+(total volume on either dimension).  The proof of Theorem 1 then shows
+
+.. math:: C_{PD} \\le 1 + \\frac{1}{1-\\rho}\\max\\Big(\\sum s_i, \\sum l_i\\Big)
+
+— a fully *checkable* consequence that :func:`theorem1_guarantee` verifies
+for any produced allocation (used heavily by the property-based tests).
+"""
+
+from __future__ import annotations
+
+import math
+from typing import Sequence
+
+from repro.core.allocation import Allocation
+from repro.core.item import EPS, PackItem, rho_of
+from repro.errors import PackingError
+
+__all__ = [
+    "continuous_lower_bound",
+    "optimality_gap",
+    "theorem1_guarantee",
+    "verify_allocation",
+]
+
+
+def continuous_lower_bound(items: Sequence[PackItem]) -> float:
+    """``max(sum of sizes, sum of loads)`` — a lower bound on ``C*``.
+
+    The integral number of disks needed is at least ``ceil`` of this.
+    """
+    total_s = sum(item.size for item in items)
+    total_l = sum(item.load for item in items)
+    return max(total_s, total_l)
+
+
+def theorem1_guarantee(items: Sequence[PackItem], rho: float = None) -> float:
+    """The provable cap on ``Pack_Disks``' disk count for this input:
+    ``1 + lower_bound / (1 - rho)``.
+
+    Returns ``inf`` when ``rho >= 1`` (degenerate: items fill whole disks).
+    """
+    if rho is None:
+        rho = rho_of(items)
+    if rho >= 1.0:
+        return math.inf
+    return 1.0 + continuous_lower_bound(items) / (1.0 - rho)
+
+
+def optimality_gap(allocation: Allocation, items: Sequence[PackItem]) -> float:
+    """Ratio of disks used to the integral continuous lower bound.
+
+    1.0 means provably optimal; Theorem 1 caps this near ``1/(1 - rho)``
+    asymptotically.  Returns ``nan`` for empty inputs.
+    """
+    lb = math.ceil(continuous_lower_bound(items) - EPS)
+    if lb <= 0:
+        return math.nan
+    return allocation.num_disks / lb
+
+
+def verify_allocation(
+    allocation: Allocation,
+    items: Sequence[PackItem],
+    check_bound: bool = False,
+) -> None:
+    """Raise :class:`PackingError` unless ``allocation`` is feasible (and,
+    optionally, within the Theorem 1 guarantee).
+
+    Parameters
+    ----------
+    allocation:
+        The allocation to verify.
+    items:
+        The full input item set (coverage is checked).
+    check_bound:
+        Additionally require ``num_disks <= 1 + LB/(1 - rho)``.  Only valid
+        for allocations produced by ``pack_disks`` (v=1) — baselines and the
+        grouped variant carry no such guarantee.
+    """
+    allocation.validate(items)
+    if check_bound:
+        cap = theorem1_guarantee(items, rho=rho_of(items))
+        if allocation.num_disks > math.floor(cap + EPS):
+            raise PackingError(
+                f"{allocation.algorithm} used {allocation.num_disks} disks, "
+                f"above the Theorem 1 guarantee {cap:.3f}"
+            )

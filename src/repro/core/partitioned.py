@@ -1,0 +1,83 @@
+"""Class-partitioned packing (paper §6's file-type restriction).
+
+The paper's future-work section observes that "large files that introduce
+long response time delays, residing on the same disk with small and
+frequently accessed files lead to the formation of long queues".  The fix
+it suggests — "restricting the types of files that are allocated to the
+same disk" — is implemented here: items are partitioned by a classifier
+(size class by default), each class is packed independently with
+``Pack_Disks``, and the per-class allocations are concatenated onto
+disjoint disk ranges.
+
+The Theorem 1 bound degrades gracefully: with ``k`` classes the count is
+within ``k`` extra disks of ``C*/(1-rho)`` (one possibly-incomplete final
+disk per class).
+"""
+
+from __future__ import annotations
+
+from typing import Callable, Dict, Hashable, List, Optional, Sequence
+
+from repro.core.allocation import Allocation, PackedDisk
+from repro.core.item import PackItem
+from repro.core.packing import pack_disks
+from repro.errors import PackingError
+
+__all__ = ["pack_disks_partitioned", "size_class_classifier"]
+
+
+def size_class_classifier(boundary: float) -> Callable[[PackItem], str]:
+    """Two-way classifier on the *normalized* item size.
+
+    ``boundary`` is in normalized units (fraction of a disk); e.g. with
+    500 GB disks, ``boundary=0.004`` separates files at 2 GB.
+    """
+    if boundary <= 0:
+        raise PackingError("boundary must be positive")
+
+    def classify(item: PackItem) -> str:
+        return "large" if item.size > boundary else "small"
+
+    return classify
+
+
+def pack_disks_partitioned(
+    items: Sequence[PackItem],
+    classifier: Callable[[PackItem], Hashable],
+    rho: Optional[float] = None,
+) -> Allocation:
+    """Pack each item class onto its own disjoint set of disks.
+
+    Parameters
+    ----------
+    items:
+        Normalized items.
+    classifier:
+        Maps an item to its class key; classes are packed in sorted key
+        order (deterministic output).
+    rho:
+        Optional coordinate bound forwarded to each per-class pack.
+
+    Returns
+    -------
+    Allocation
+        Feasible on both dimensions; ``algorithm`` records the class count.
+    """
+    groups: Dict[Hashable, List[PackItem]] = {}
+    for item in items:
+        groups.setdefault(classifier(item), []).append(item)
+
+    disks: List[PackedDisk] = []
+    for key in sorted(groups, key=repr):
+        sub = pack_disks(groups[key], rho=rho)
+        for disk in sub.disks:
+            disks.append(PackedDisk(index=len(disks), items=disk.items))
+
+    effective_rho = max(
+        (max(it.size, it.load) for it in items), default=0.0
+    )
+    return Allocation(
+        disks=disks,
+        algorithm=f"pack_disks_partitioned_{len(groups)}",
+        rho=rho if rho is not None else effective_rho,
+    )

@@ -1,0 +1,30 @@
+"""Disk drive substrate: datasheet specs, power states, service times and the
+simulated drive process.
+
+The power/timing figures come from the paper's Table 2 / Figure 1 (Seagate
+ST3500630AS, 7200 rpm SATA): active 13 W, seek 12.6 W, idle 9.3 W, standby
+0.8 W, spin-up 24 W for 15 s, spin-down 9.3 W for 10 s, 72 MB/s transfer.
+A drive that stays idle for the *idleness threshold* spins down to standby;
+the first request afterwards pays the spin-up latency.  The default threshold
+is the break-even time (Table 2's 53.3 s).
+"""
+
+from repro.disk.array import DiskArray
+from repro.disk.drive import DiskDrive, DiskRequest, DriveStats
+from repro.disk.multistate import MultiStateDiskDrive
+from repro.disk.power import DiskState, PowerModel
+from repro.disk.service import ServiceModel
+from repro.disk.specs import DiskSpec, ST3500630AS
+
+__all__ = [
+    "DiskArray",
+    "DiskDrive",
+    "DiskRequest",
+    "DiskSpec",
+    "DiskState",
+    "DriveStats",
+    "MultiStateDiskDrive",
+    "PowerModel",
+    "ST3500630AS",
+    "ServiceModel",
+]

@@ -1,0 +1,113 @@
+"""A homogeneous array of simulated drives with aggregate accounting."""
+
+from __future__ import annotations
+
+import math
+from typing import Dict, List, Optional
+
+import numpy as np
+
+from repro.disk.drive import DiskDrive, DiskRequest
+from repro.disk.power import DiskState, PowerModel
+from repro.disk.specs import DiskSpec
+from repro.errors import ConfigError
+from repro.sim.environment import Environment
+
+__all__ = ["DiskArray"]
+
+
+class DiskArray:
+    """``num_disks`` identical drives sharing one environment.
+
+    Parameters
+    ----------
+    env, spec:
+        As for :class:`~repro.disk.drive.DiskDrive`.
+    num_disks:
+        Pool size.
+    idleness_threshold:
+        Shared spin-down threshold (``None`` = break-even).
+    initial_state:
+        Starting state for every drive.
+    """
+
+    def __init__(
+        self,
+        env: Environment,
+        spec: DiskSpec,
+        num_disks: int,
+        idleness_threshold: Optional[float] = None,
+        initial_state: DiskState = DiskState.IDLE,
+        record_history: bool = False,
+    ) -> None:
+        if num_disks < 1:
+            raise ConfigError(f"num_disks must be >= 1, got {num_disks}")
+        self.env = env
+        self.spec = spec
+        self.power_model = PowerModel(spec)
+        self.disks: List[DiskDrive] = [
+            DiskDrive(
+                env,
+                spec,
+                disk_id=i,
+                idleness_threshold=idleness_threshold,
+                initial_state=initial_state,
+                record_history=record_history,
+            )
+            for i in range(num_disks)
+        ]
+
+    def __len__(self) -> int:
+        return len(self.disks)
+
+    def __getitem__(self, disk_id: int) -> DiskDrive:
+        return self.disks[disk_id]
+
+    def submit(self, disk_id: int, file_id: int, size: float, kind: str = "read") -> DiskRequest:
+        """Enqueue a request on drive ``disk_id``."""
+        return self.disks[disk_id].submit(file_id, size, kind)
+
+    # -- aggregate accounting ---------------------------------------------------
+
+    def energy_per_disk(self) -> np.ndarray:
+        """Energy consumed so far by each drive (J)."""
+        return np.array([d.energy() for d in self.disks], dtype=float)
+
+    def total_energy(self) -> float:
+        """Energy consumed so far by the whole array (J)."""
+        return float(self.energy_per_disk().sum())
+
+    def state_durations(self) -> Dict[DiskState, float]:
+        """Per-state time summed over all drives."""
+        totals: Dict[DiskState, float] = {}
+        for d in self.disks:
+            for state, t in d.state_durations().items():
+                totals[state] = totals.get(state, 0.0) + t
+        return totals
+
+    def total_spinups(self) -> int:
+        return sum(d.stats.spinups for d in self.disks)
+
+    def total_spindowns(self) -> int:
+        return sum(d.stats.spindowns for d in self.disks)
+
+    def total_completions(self) -> int:
+        return sum(d.stats.completions for d in self.disks)
+
+    def requests_per_disk(self) -> np.ndarray:
+        return np.array([d.stats.arrivals for d in self.disks], dtype=np.int64)
+
+    def always_on_energy(self, duration: float) -> float:
+        """Figure 5 normalization: all drives spinning idle for ``duration``."""
+        if duration < 0:
+            raise ConfigError("duration must be >= 0")
+        return len(self.disks) * self.power_model.always_on_energy(duration)
+
+    def normalized_power_cost(self, duration: Optional[float] = None) -> float:
+        """Energy so far as a fraction of the always-spinning baseline."""
+        if duration is None:
+            duration = self.env.now
+        baseline = self.always_on_energy(duration)
+        if baseline <= 0:
+            return math.nan
+        return self.total_energy() / baseline

@@ -1,0 +1,241 @@
+"""The simulated disk drive: FIFO service, idleness timer, spin transitions.
+
+State machine (paper Figure 1):
+
+* While requests are queued the drive is ``SEEK`` (positioning) then
+  ``ACTIVE`` (transferring) per request, FIFO.
+* When the queue drains, the drive sits ``IDLE``.  If no request arrives
+  within the *idleness threshold*, it transitions ``SPINDOWN`` (10 s) ->
+  ``STANDBY``.
+* A request arriving in ``STANDBY`` (or during ``SPINDOWN`` — the spin-down
+  is not abortable) triggers ``SPINUP`` (15 s) before service resumes.
+
+Energy is integrated from the state timeline against the spec's per-state
+power figures.
+"""
+
+from __future__ import annotations
+
+import math
+from collections import deque
+from dataclasses import dataclass, field
+from typing import Deque, Dict, Optional
+
+from repro.disk.power import DiskState, PowerModel
+from repro.disk.specs import DiskSpec
+from repro.errors import SimulationError
+from repro.sim.environment import Environment
+from repro.sim.events import Event
+from repro.sim.monitor import StateTimeline, Tally, TimeWeighted
+
+__all__ = ["DiskDrive", "DiskRequest", "DriveStats"]
+
+READ = "read"
+WRITE = "write"
+
+
+class DiskRequest:
+    """One I/O request travelling through a drive.
+
+    Attributes
+    ----------
+    file_id:
+        Identifier of the requested file (opaque to the drive).
+    size:
+        Bytes to transfer.
+    arrival_time:
+        Simulation time the request was submitted to the drive.
+    done:
+        Event succeeding with the response time (completion - arrival).
+    kind:
+        ``"read"`` or ``"write"`` (identical service; tracked for stats).
+    """
+
+    __slots__ = ("file_id", "size", "arrival_time", "done", "kind")
+
+    def __init__(
+        self,
+        env: Environment,
+        file_id: int,
+        size: float,
+        kind: str = READ,
+    ) -> None:
+        self.file_id = file_id
+        self.size = float(size)
+        self.arrival_time = env.now
+        self.done = Event(env)
+        self.kind = kind
+
+
+@dataclass
+class DriveStats:
+    """Counters and aggregates for one drive."""
+
+    arrivals: int = 0
+    completions: int = 0
+    reads: int = 0
+    writes: int = 0
+    spinups: int = 0
+    spindowns: int = 0
+    bytes_transferred: float = 0.0
+    response: Tally = field(default_factory=Tally)
+
+    def record_completion(self, response_time: float, size: float, kind: str) -> None:
+        self.completions += 1
+        self.bytes_transferred += size
+        if kind == WRITE:
+            self.writes += 1
+        else:
+            self.reads += 1
+        self.response.add(response_time)
+
+
+class DiskDrive:
+    """A single simulated drive bound to an environment.
+
+    Parameters
+    ----------
+    env:
+        Simulation environment.
+    spec:
+        Drive characteristics (timing + power).
+    disk_id:
+        Identifier used in results.
+    idleness_threshold:
+        Seconds of idleness before spinning down.  ``None`` uses the spec's
+        break-even threshold (the paper's default policy); ``math.inf``
+        disables spin-down entirely; ``0`` spins down immediately.
+    initial_state:
+        ``DiskState.IDLE`` (spinning, default) or ``DiskState.STANDBY``.
+    record_history:
+        Keep the full state-transition history (for tests/plots).
+    """
+
+    def __init__(
+        self,
+        env: Environment,
+        spec: DiskSpec,
+        disk_id: int = 0,
+        idleness_threshold: Optional[float] = None,
+        initial_state: DiskState = DiskState.IDLE,
+        record_history: bool = False,
+    ) -> None:
+        if initial_state not in (DiskState.IDLE, DiskState.STANDBY):
+            raise SimulationError(
+                "drives must start IDLE (spinning) or STANDBY (spun down)"
+            )
+        if idleness_threshold is None:
+            idleness_threshold = spec.breakeven_threshold()
+        if idleness_threshold < 0:
+            raise SimulationError("idleness threshold must be >= 0")
+        self.env = env
+        self.spec = spec
+        self.disk_id = disk_id
+        self.threshold = float(idleness_threshold)
+        self.power_model = PowerModel(spec)
+        self.timeline = StateTimeline(env, initial_state, record_history)
+        self.stats = DriveStats()
+        self.queue_length = TimeWeighted(env, 0.0)
+        self._pending: Deque[DiskRequest] = deque()
+        self._wake: Optional[Event] = None
+        self.process = env.process(self._run(initial_state))
+
+    # -- public API ------------------------------------------------------------
+
+    @property
+    def state(self) -> DiskState:
+        """Current power state."""
+        return self.timeline.state
+
+    @property
+    def queue_depth(self) -> int:
+        """Requests currently waiting or in service."""
+        return len(self._pending)
+
+    def submit(self, file_id: int, size: float, kind: str = READ) -> DiskRequest:
+        """Enqueue a request; returns it (wait on ``request.done``)."""
+        if size < 0:
+            raise SimulationError("request size must be >= 0")
+        request = DiskRequest(self.env, file_id, size, kind)
+        self._pending.append(request)
+        self.queue_length.set(len(self._pending))
+        self.stats.arrivals += 1
+        if self._wake is not None and not self._wake.triggered:
+            self._wake.succeed()
+        self._wake = None
+        return request
+
+    def state_durations(self) -> Dict[DiskState, float]:
+        """Seconds spent per power state so far."""
+        return self.timeline.durations()
+
+    def energy(self) -> float:
+        """Energy consumed so far (J)."""
+        return self.power_model.energy(self.timeline.durations())
+
+    def mean_power(self) -> float:
+        """Average draw so far (W); ``nan`` before any time elapses."""
+        total = self.timeline.total_time()
+        return self.energy() / total if total else math.nan
+
+    # -- the drive process -------------------------------------------------------
+
+    def _arrival_event(self) -> Event:
+        event = Event(self.env)
+        self._wake = event
+        return event
+
+    def _run(self, initial_state: DiskState):
+        env = self.env
+        spec = self.spec
+
+        if initial_state is DiskState.STANDBY:
+            yield from self._sleep_then_spin_up()
+
+        while True:
+            if not self._pending:
+                self.timeline.set(DiskState.IDLE)
+                if math.isinf(self.threshold):
+                    yield self._arrival_event()
+                else:
+                    wake = self._arrival_event()
+                    timer = env.timeout(self.threshold)
+                    yield env.any_of([wake, timer])
+                    if not self._pending:
+                        # The idleness threshold expired: power down.
+                        yield from self._spin_down()
+                        yield from self._sleep_then_spin_up()
+                continue
+
+            request = self._pending.popleft()
+            self.queue_length.set(len(self._pending))
+            self.timeline.set(DiskState.SEEK)
+            yield env.timeout(spec.access_overhead)
+            self.timeline.set(DiskState.ACTIVE)
+            yield env.timeout(spec.transfer_time(request.size))
+            self.timeline.set(DiskState.IDLE)
+            response = env.now - request.arrival_time
+            self.stats.record_completion(response, request.size, request.kind)
+            request.done.succeed(response)
+
+    def _spin_down(self):
+        self.timeline.set(DiskState.SPINDOWN)
+        self.stats.spindowns += 1
+        # Not abortable: requests arriving now wait for the full transition.
+        yield self.env.timeout(self.spec.spindown_time)
+        self.timeline.set(DiskState.STANDBY)
+
+    def _sleep_then_spin_up(self):
+        if not self._pending:
+            self.timeline.set(DiskState.STANDBY)
+            yield self._arrival_event()
+        self.timeline.set(DiskState.SPINUP)
+        self.stats.spinups += 1
+        yield self.env.timeout(self.spec.spinup_time)
+        self.timeline.set(DiskState.IDLE)
+
+    def __repr__(self) -> str:  # pragma: no cover - cosmetic
+        return (
+            f"<DiskDrive {self.disk_id} state={self.state.value} "
+            f"queue={self.queue_depth}>"
+        )

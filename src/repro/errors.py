@@ -1,0 +1,36 @@
+"""Exception hierarchy for :mod:`repro`.
+
+All library-raised exceptions derive from :class:`ReproError` so callers can
+catch everything the library signals with a single ``except`` clause while
+still distinguishing configuration mistakes from algorithmic infeasibility.
+"""
+
+from __future__ import annotations
+
+
+class ReproError(Exception):
+    """Base class for every exception raised by the repro library."""
+
+
+class ConfigError(ReproError, ValueError):
+    """A configuration value is invalid or inconsistent."""
+
+
+class PackingError(ReproError):
+    """A packing algorithm received infeasible input.
+
+    Raised, for example, when a single item already exceeds the per-disk
+    storage or load capacity (no algorithm can place it).
+    """
+
+
+class CapacityError(ReproError):
+    """A fixed-size allocation target cannot hold the given items."""
+
+
+class TraceFormatError(ReproError, ValueError):
+    """A workload trace file is malformed."""
+
+
+class SimulationError(ReproError):
+    """The discrete-event simulation reached an inconsistent state."""

@@ -1,0 +1,12 @@
+"""Experiment harnesses — one module per table/figure of the paper.
+
+Every module exposes ``run(scale=..., seed=...) -> ExperimentResult`` and a
+``main()`` CLI.  ``scale`` shrinks simulated time (synthetic workloads) or
+trace length (NERSC workload) while preserving rates and distributional
+shapes; ``scale=1.0`` is the paper's full configuration.  See DESIGN.md's
+per-experiment index for the mapping to the paper.
+"""
+
+from repro.experiments.common import ExperimentResult
+
+__all__ = ["ExperimentResult"]

@@ -1,0 +1,94 @@
+"""Shared experiment machinery: results container, scaling, memoization."""
+
+from __future__ import annotations
+
+import time
+from dataclasses import dataclass, field
+from pathlib import Path
+from typing import Callable, Dict, List, Optional, Union
+
+from repro.errors import ConfigError
+from repro.reporting.series import SeriesBundle
+from repro.reporting.table import format_table
+
+__all__ = ["ExperimentResult", "memoize_by_key", "scaled_duration"]
+
+
+@dataclass
+class ExperimentResult:
+    """Output of one experiment: curves, tables and paper-comparison notes."""
+
+    name: str
+    bundles: Dict[str, SeriesBundle] = field(default_factory=dict)
+    tables: Dict[str, str] = field(default_factory=dict)
+    #: Free-form remarks, including the paper's expected shape for the
+    #: experiment and whether the run matched it.
+    notes: List[str] = field(default_factory=list)
+    wall_seconds: float = 0.0
+
+    def bundle_table(self, key: str) -> str:
+        """Render one bundle as an aligned ASCII table."""
+        bundle = self.bundles[key]
+        return format_table(
+            bundle.rows(), headers=bundle.headers(), title=bundle.title
+        )
+
+    def to_text(self) -> str:
+        """Full human-readable report."""
+        parts = [f"=== {self.name} (wall {self.wall_seconds:.1f}s) ==="]
+        for key in self.bundles:
+            parts.append(self.bundle_table(key))
+        for title, table in self.tables.items():
+            parts.append(table if table.startswith(title) else f"{title}\n{table}")
+        if self.notes:
+            parts.append("notes:")
+            parts.extend(f"  - {n}" for n in self.notes)
+        return "\n\n".join(parts)
+
+    def save_csv(self, directory: Union[str, Path]) -> List[Path]:
+        """Write every bundle to ``directory`` as CSV; returns the paths."""
+        directory = Path(directory)
+        directory.mkdir(parents=True, exist_ok=True)
+        paths = []
+        for key, bundle in self.bundles.items():
+            path = directory / f"{self.name}_{key}.csv"
+            bundle.to_csv(path)
+            paths.append(path)
+        return paths
+
+
+def scaled_duration(base: float, scale: float, minimum: float = 200.0) -> float:
+    """Scale a simulated duration, keeping a floor for statistical sanity."""
+    if not 0 < scale <= 1:
+        raise ConfigError(f"scale must be in (0, 1], got {scale}")
+    return max(minimum, base * scale)
+
+
+def memoize_by_key(func: Callable) -> Callable:
+    """Memoize an expensive sweep by an explicit hashable key argument.
+
+    The wrapped function must accept ``memo_key`` as its first argument;
+    results are cached per key for the process lifetime (used so Figure 3
+    reuses Figure 2's sweep instead of re-simulating).
+    """
+    cache: Dict = {}
+
+    def wrapper(memo_key, *args, **kwargs):
+        if memo_key not in cache:
+            cache[memo_key] = func(memo_key, *args, **kwargs)
+        return cache[memo_key]
+
+    wrapper.cache = cache  # type: ignore[attr-defined]
+    return wrapper
+
+
+class Stopwatch:
+    """Tiny context timer for ExperimentResult.wall_seconds."""
+
+    def __enter__(self) -> "Stopwatch":
+        self._start = time.perf_counter()
+        self.elapsed = 0.0
+        return self
+
+    def __exit__(self, *exc) -> None:
+        self.elapsed = time.perf_counter() - self._start

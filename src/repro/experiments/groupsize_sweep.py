@@ -1,0 +1,79 @@
+"""§5.1's group-size study: Pack_Disk_v for v = 1..8 at a 0.5 h threshold.
+
+Paper's claims: v = 4 is the sweet spot — grouping beyond 4 disks no longer
+improves response time but dilutes the load concentration and so degrades
+power saving.  (Pack_Disk_1 is plain Pack_Disks.)
+"""
+
+from __future__ import annotations
+
+from typing import Sequence
+
+from repro.experiments.common import ExperimentResult, Stopwatch
+from repro.reporting.series import SeriesBundle
+from repro.system.config import StorageConfig
+from repro.system.runner import allocate, simulate
+from repro.units import HOUR
+from repro.workload.nersc import NerscTraceParams, synthesize_nersc_trace
+
+__all__ = ["run"]
+
+PAPER_NOTE = (
+    "paper: v=4 ideal — response stops improving past v=4 while power "
+    "saving keeps degrading (§5.1)"
+)
+
+
+def run(
+    scale: float = 1.0,
+    seed: int = 20080531,
+    group_sizes: Sequence[int] = (1, 2, 3, 4, 5, 6, 7, 8),
+    threshold_hours: float = 0.5,
+) -> ExperimentResult:
+    """Sweep the group size v over the NERSC-like trace."""
+    with Stopwatch() as timer:
+        params = NerscTraceParams(seed=seed)
+        if scale < 1.0:
+            params = params.scaled(scale)
+        trace = synthesize_nersc_trace(params)
+        rate = trace.mean_request_rate()
+        base_cfg = StorageConfig(
+            load_constraint=0.8, idleness_threshold=threshold_hours * HOUR
+        )
+
+        bundle = SeriesBundle(
+            title=f"Pack_Disk_v sweep at threshold {threshold_hours:g} h",
+            x_label="v (group size)",
+            y_label="value",
+        )
+        for v in group_sizes:
+            policy = "pack" if v == 1 else f"pack_v{v}"
+            alloc = allocate(trace.catalog, policy, base_cfg, rate)
+            cfg = base_cfg.with_overrides(num_disks=alloc.num_disks)
+            res = simulate(
+                trace.catalog, trace.stream, alloc, cfg,
+                num_disks=alloc.num_disks, label=f"v={v}",
+            )
+            bundle.add("power saving", v, res.power_saving_normalized)
+            bundle.add("mean response (s)", v, res.mean_response)
+            bundle.add("median response (s)", v, res.median_response)
+            bundle.add("disks used", v, alloc.num_disks)
+
+    result = ExperimentResult(name="groupsize_sweep", wall_seconds=timer.elapsed)
+    result.bundles["sweep"] = bundle
+    result.notes.append(PAPER_NOTE)
+    return result
+
+
+def main() -> None:  # pragma: no cover - CLI convenience
+    import argparse
+
+    parser = argparse.ArgumentParser(description=__doc__)
+    parser.add_argument("--scale", type=float, default=0.25)
+    parser.add_argument("--seed", type=int, default=20080531)
+    args = parser.parse_args()
+    print(run(scale=args.scale, seed=args.seed).to_text())
+
+
+if __name__ == "__main__":  # pragma: no cover
+    main()

@@ -1,0 +1,94 @@
+"""The shared R-sweep behind Figures 2 and 3.
+
+For each arrival rate ``R`` (1..12 in the paper) the Table 1 workload is
+generated, placed once at random over the 100-disk pool (the baseline is
+independent of ``L``), and packed with ``Pack_Disks`` for every load
+constraint ``L``; all allocations are simulated over the same request
+stream.  Figure 2 plots ``1 - E_pack/E_random`` and Figure 3 plots
+``T_pack / T_random``, so one sweep feeds both figures (memoized).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict, Sequence, Tuple
+
+from repro.experiments.common import memoize_by_key, scaled_duration
+from repro.system.config import StorageConfig
+from repro.system.metrics import SimulationResult
+from repro.system.runner import allocate, simulate
+from repro.workload.generator import SyntheticWorkloadParams, generate_workload
+
+__all__ = ["RateSweep", "sweep_rates"]
+
+DEFAULT_RATES: Tuple[float, ...] = tuple(range(1, 13))
+DEFAULT_LOADS: Tuple[float, ...] = (0.5, 0.6, 0.7, 0.8)
+
+
+@dataclass
+class RateSweep:
+    """All simulation results of one (rates x loads) grid."""
+
+    rates: Tuple[float, ...]
+    loads: Tuple[float, ...]
+    #: ``random[R]`` — the baseline run for each rate.
+    random: Dict[float, SimulationResult]
+    #: ``packed[(R, L)]`` — the Pack_Disks run for each grid point.
+    packed: Dict[Tuple[float, float], SimulationResult]
+    #: Disks used by Pack_Disks at each grid point.
+    pack_disks_used: Dict[Tuple[float, float], int]
+
+
+@memoize_by_key
+def _sweep(memo_key, rates, loads, scale, seed, num_disks, n_files) -> RateSweep:
+    random_results: Dict[float, SimulationResult] = {}
+    packed_results: Dict[Tuple[float, float], SimulationResult] = {}
+    disks_used: Dict[Tuple[float, float], int] = {}
+
+    for rate in rates:
+        params = SyntheticWorkloadParams(
+            n_files=n_files,
+            arrival_rate=rate,
+            duration=scaled_duration(4_000.0, scale),
+            seed=seed,
+        )
+        workload = generate_workload(params)
+        base_cfg = StorageConfig(num_disks=num_disks)
+        rnd_alloc = allocate(
+            workload.catalog, "random", base_cfg, rate, rng=seed,
+            num_disks=num_disks,
+        )
+        random_results[rate] = simulate(
+            workload.catalog, workload.stream, rnd_alloc, base_cfg,
+            num_disks=num_disks, label=f"random R={rate:g}",
+        )
+        for load in loads:
+            cfg = base_cfg.with_overrides(load_constraint=load)
+            alloc = allocate(workload.catalog, "pack", cfg, rate)
+            disks_used[(rate, load)] = alloc.num_disks
+            packed_results[(rate, load)] = simulate(
+                workload.catalog, workload.stream, alloc, cfg,
+                num_disks=num_disks, label=f"pack R={rate:g} L={load:g}",
+            )
+    return RateSweep(
+        rates=tuple(rates),
+        loads=tuple(loads),
+        random=random_results,
+        packed=packed_results,
+        pack_disks_used=disks_used,
+    )
+
+
+def sweep_rates(
+    rates: Sequence[float] = DEFAULT_RATES,
+    loads: Sequence[float] = DEFAULT_LOADS,
+    scale: float = 1.0,
+    seed: int = 20090525,
+    num_disks: int = 100,
+    n_files: int = 40_000,
+) -> RateSweep:
+    """Run (or fetch the memoized) grid sweep."""
+    rates = tuple(float(r) for r in rates)
+    loads = tuple(float(l) for l in loads)
+    key = (rates, loads, float(scale), int(seed), int(num_disks), int(n_files))
+    return _sweep(key, rates, loads, scale, seed, num_disks, n_files)

@@ -1,0 +1,136 @@
+"""The shared NERSC-trace sweep behind Figures 5 and 6.
+
+Five system configurations — RND, Pack_Disk, Pack_Disk4, RND+LRU,
+Pack_Disk4+LRU — are replayed over the same synthesized 30-day trace for a
+grid of idleness thresholds (0..2 h in the paper).  As in §5.1, the random
+baseline packs into the *same number of disks* as Pack_Disks so the
+comparison isolates placement quality, and power is normalized by the cost
+of spinning all N disks with no power management.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict, Sequence, Tuple
+
+from repro.experiments.common import memoize_by_key
+from repro.system.config import StorageConfig
+from repro.system.metrics import SimulationResult
+from repro.system.runner import allocate, simulate
+from repro.units import GiB, HOUR
+from repro.workload.nersc import NerscTraceParams, synthesize_nersc_trace
+
+__all__ = ["TraceSweep", "sweep_trace", "DEFAULT_THRESHOLD_HOURS", "CONFIG_NAMES"]
+
+DEFAULT_THRESHOLD_HOURS: Tuple[float, ...] = (0.05, 0.1, 0.25, 0.5, 1.0, 1.5, 2.0)
+
+#: The five curves of Figures 5/6 (paper naming).
+CONFIG_NAMES: Tuple[str, ...] = (
+    "RND",
+    "Pack_Disk",
+    "Pack_Disk4",
+    "RND+LRU",
+    "Pack_Disk4+LRU",
+)
+
+_POLICY_OF = {
+    "RND": ("random", None),
+    "Pack_Disk": ("pack", None),
+    "Pack_Disk4": ("pack_v4", None),
+    "RND+LRU": ("random", "lru"),
+    "Pack_Disk4+LRU": ("pack_v4", "lru"),
+}
+
+
+@dataclass
+class TraceSweep:
+    """Results of the five-config threshold grid over one trace."""
+
+    threshold_hours: Tuple[float, ...]
+    configs: Tuple[str, ...]
+    results: Dict[Tuple[str, float], SimulationResult]
+    num_disks: int
+    trace_stats: Dict[str, float]
+
+
+@memoize_by_key
+def _sweep(
+    memo_key, threshold_hours, configs, scale, seed, load_constraint,
+    cache_bytes,
+) -> TraceSweep:
+    from repro.workload.nersc import nersc_statistics
+
+    params = NerscTraceParams(seed=seed)
+    if scale < 1.0:
+        params = params.scaled(scale)
+    trace = synthesize_nersc_trace(params)
+    base_cfg = StorageConfig(load_constraint=load_constraint)
+    rate = trace.mean_request_rate()
+
+    # §5.1: random packs into the same number of disks as Pack_Disks.  The
+    # grouped variant can need a disk or two more at small scales, so the
+    # shared pool is the max over the packing family.
+    by_policy = {}
+    for name in configs:
+        policy, _ = _POLICY_OF[name]
+        if policy != "random" and policy not in by_policy:
+            by_policy[policy] = allocate(trace.catalog, policy, base_cfg, rate)
+    if "pack" not in by_policy:
+        by_policy["pack"] = allocate(trace.catalog, "pack", base_cfg, rate)
+    num_disks = max(a.num_disks for a in by_policy.values())
+    if any(_POLICY_OF[name][0] == "random" for name in configs):
+        by_policy["random"] = allocate(
+            trace.catalog, "random", base_cfg, rate,
+            rng=seed, num_disks=num_disks,
+        )
+    allocations = {name: by_policy[_POLICY_OF[name][0]] for name in configs}
+
+    results: Dict[Tuple[str, float], SimulationResult] = {}
+    for hours in threshold_hours:
+        for name in configs:
+            policy, cache = _POLICY_OF[name]
+            cfg = base_cfg.with_overrides(
+                num_disks=num_disks,
+                idleness_threshold=hours * HOUR,
+                cache_policy=cache,
+                cache_capacity=cache_bytes,
+            )
+            results[(name, hours)] = simulate(
+                trace.catalog,
+                trace.stream,
+                allocations[name],
+                cfg,
+                num_disks=num_disks,
+                label=f"{name} thr={hours:g}h",
+            )
+    return TraceSweep(
+        threshold_hours=tuple(threshold_hours),
+        configs=tuple(configs),
+        results=results,
+        num_disks=num_disks,
+        trace_stats=nersc_statistics(trace),
+    )
+
+
+def sweep_trace(
+    threshold_hours: Sequence[float] = DEFAULT_THRESHOLD_HOURS,
+    configs: Sequence[str] = CONFIG_NAMES,
+    scale: float = 1.0,
+    seed: int = 20080531,
+    load_constraint: float = 0.8,
+    cache_bytes: float = 16 * GiB,
+) -> TraceSweep:
+    """Run (or fetch the memoized) trace sweep."""
+    threshold_hours = tuple(float(h) for h in threshold_hours)
+    configs = tuple(configs)
+    for name in configs:
+        if name not in _POLICY_OF:
+            raise KeyError(f"unknown config {name!r}; choose from {CONFIG_NAMES}")
+    key = (
+        threshold_hours, configs, float(scale), int(seed),
+        float(load_constraint), float(cache_bytes),
+    )
+    return _sweep(
+        key, threshold_hours, configs, scale, seed, load_constraint,
+        cache_bytes,
+    )

@@ -1,0 +1,8 @@
+"""Result presentation: ASCII tables, data series with CSV export, and
+terminal line plots used by the experiment harness and examples."""
+
+from repro.reporting.ascii_plot import ascii_plot
+from repro.reporting.series import Series, SeriesBundle
+from repro.reporting.table import format_table
+
+__all__ = ["Series", "SeriesBundle", "ascii_plot", "format_table"]

@@ -1,0 +1,63 @@
+"""Minimal terminal line plots, so examples can show figure shapes offline."""
+
+from __future__ import annotations
+
+import math
+from typing import Dict, Optional, Sequence
+
+__all__ = ["ascii_plot"]
+
+_MARKERS = "ox+*#@%&"
+
+
+def ascii_plot(
+    curves: Dict[str, Sequence],
+    width: int = 64,
+    height: int = 18,
+    title: Optional[str] = None,
+    x_label: str = "x",
+    y_label: str = "y",
+) -> str:
+    """Render ``{label: (xs, ys)}`` as a character grid.
+
+    Intended for quick shape inspection (monotonicity, crossovers) in the
+    examples — not a plotting library.
+    """
+    points = []
+    for idx, (label, (xs, ys)) in enumerate(curves.items()):
+        marker = _MARKERS[idx % len(_MARKERS)]
+        for x, y in zip(xs, ys):
+            if x == x and y == y and not math.isinf(y):
+                points.append((float(x), float(y), marker))
+    if not points:
+        return "(no finite data)"
+
+    x_min = min(p[0] for p in points)
+    x_max = max(p[0] for p in points)
+    y_min = min(p[1] for p in points)
+    y_max = max(p[1] for p in points)
+    if x_max == x_min:
+        x_max = x_min + 1.0
+    if y_max == y_min:
+        y_max = y_min + 1.0
+
+    grid = [[" "] * width for _ in range(height)]
+    for x, y, marker in points:
+        col = int((x - x_min) / (x_max - x_min) * (width - 1))
+        row = int((y - y_min) / (y_max - y_min) * (height - 1))
+        grid[height - 1 - row][col] = marker
+
+    lines = []
+    if title:
+        lines.append(title)
+    legend = "   ".join(
+        f"{_MARKERS[i % len(_MARKERS)]}={label}"
+        for i, label in enumerate(curves)
+    )
+    lines.append(f"{y_label} (top={y_max:.3g}, bottom={y_min:.3g})")
+    for row in grid:
+        lines.append("|" + "".join(row))
+    lines.append("+" + "-" * width)
+    lines.append(f" {x_label}: {x_min:.3g} .. {x_max:.3g}")
+    lines.append(f" {legend}")
+    return "\n".join(lines)

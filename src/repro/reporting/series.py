@@ -1,0 +1,106 @@
+"""Named data series (one per plotted curve) with CSV export."""
+
+from __future__ import annotations
+
+import csv
+from dataclasses import dataclass, field
+from pathlib import Path
+from typing import Dict, List, Sequence, Union
+
+import numpy as np
+
+from repro.errors import ConfigError
+
+__all__ = ["Series", "SeriesBundle"]
+
+
+@dataclass
+class Series:
+    """One curve: y values over shared x values, like a gnuplot column."""
+
+    label: str
+    x: List[float] = field(default_factory=list)
+    y: List[float] = field(default_factory=list)
+
+    def add(self, x: float, y: float) -> None:
+        self.x.append(float(x))
+        self.y.append(float(y))
+
+    def as_arrays(self) -> tuple:
+        return np.asarray(self.x), np.asarray(self.y)
+
+    def __len__(self) -> int:
+        return len(self.x)
+
+
+@dataclass
+class SeriesBundle:
+    """All curves of one figure, exportable as a single CSV."""
+
+    title: str
+    x_label: str
+    y_label: str
+    series: Dict[str, Series] = field(default_factory=dict)
+
+    def curve(self, label: str) -> Series:
+        """Get (creating on first use) the named curve."""
+        if label not in self.series:
+            self.series[label] = Series(label)
+        return self.series[label]
+
+    def add(self, label: str, x: float, y: float) -> None:
+        self.curve(label).add(x, y)
+
+    def x_values(self) -> List[float]:
+        """Union of all x values across curves, sorted."""
+        xs = sorted({x for s in self.series.values() for x in s.x})
+        return xs
+
+    def rows(self) -> List[List[object]]:
+        """Tabular view: one row per x, one column per curve."""
+        labels = list(self.series)
+        lookup = {
+            label: dict(zip(s.x, s.y)) for label, s in self.series.items()
+        }
+        out: List[List[object]] = []
+        for x in self.x_values():
+            row: List[object] = [x]
+            for label in labels:
+                row.append(lookup[label].get(x, float("nan")))
+            out.append(row)
+        return out
+
+    def headers(self) -> List[str]:
+        return [self.x_label] + list(self.series)
+
+    def to_csv(self, path: Union[str, Path]) -> None:
+        """Write the tabular view to ``path``."""
+        path = Path(path)
+        path.parent.mkdir(parents=True, exist_ok=True)
+        with path.open("w", newline="") as fh:
+            writer = csv.writer(fh)
+            writer.writerow([f"# {self.title}"])
+            writer.writerow(self.headers())
+            writer.writerows(self.rows())
+
+    @classmethod
+    def from_csv(cls, path: Union[str, Path]) -> "SeriesBundle":
+        """Read back a bundle written by :meth:`to_csv`."""
+        path = Path(path)
+        with path.open("r", newline="") as fh:
+            reader = csv.reader(fh)
+            rows = list(reader)
+        if len(rows) < 2 or not rows[0] or not rows[0][0].startswith("# "):
+            raise ConfigError(f"{path} is not a SeriesBundle CSV")
+        title = rows[0][0][2:]
+        headers = rows[1]
+        bundle = cls(title=title, x_label=headers[0], y_label="")
+        for row in rows[2:]:
+            if not row:
+                continue
+            x = float(row[0])
+            for label, cell in zip(headers[1:], row[1:]):
+                y = float(cell)
+                if y == y:  # skip holes
+                    bundle.add(label, x, y)
+        return bundle

@@ -1,0 +1,60 @@
+"""Plain-text table formatting for experiment output."""
+
+from __future__ import annotations
+
+from typing import Any, List, Optional, Sequence
+
+__all__ = ["format_table"]
+
+
+def _render(value: Any) -> str:
+    if isinstance(value, float):
+        if value != value:  # nan
+            return "nan"
+        if value == 0:
+            return "0"
+        if abs(value) >= 1e5 or abs(value) < 1e-3:
+            return f"{value:.3e}"
+        return f"{value:.4g}"
+    return str(value)
+
+
+def format_table(
+    rows: Sequence[Sequence[Any]],
+    headers: Optional[Sequence[str]] = None,
+    title: Optional[str] = None,
+) -> str:
+    """Render rows as an aligned ASCII table.
+
+    >>> print(format_table([[1, 2.5]], headers=["a", "b"]))
+    a | b
+    --+----
+    1 | 2.5
+    """
+    str_rows: List[List[str]] = [[_render(v) for v in row] for row in rows]
+    if headers is not None:
+        widths = [len(h) for h in headers]
+    elif str_rows:
+        widths = [0] * len(str_rows[0])
+    else:
+        widths = []
+    for row in str_rows:
+        for i, cell in enumerate(row):
+            if i >= len(widths):
+                widths.extend([0] * (i + 1 - len(widths)))
+            widths[i] = max(widths[i], len(cell))
+
+    def fmt_row(cells: Sequence[str]) -> str:
+        return " | ".join(
+            cell.ljust(widths[i]) for i, cell in enumerate(cells)
+        ).rstrip()
+
+    lines: List[str] = []
+    if title:
+        lines.append(title)
+        lines.append("=" * len(title))
+    if headers is not None:
+        lines.append(fmt_row(list(headers)))
+        lines.append("-+-".join("-" * w for w in widths))
+    lines.extend(fmt_row(row) for row in str_rows)
+    return "\n".join(lines)

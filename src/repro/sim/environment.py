@@ -1,0 +1,170 @@
+"""The simulation environment: clock, event queue and run loop."""
+
+from __future__ import annotations
+
+from heapq import heappop, heappush
+from itertools import count
+from math import inf
+from typing import Any, Generator, Iterable, Optional, Union
+
+from repro.errors import SimulationError
+from repro.sim.events import AllOf, AnyOf, Event, Process, Timeout
+
+__all__ = ["Environment", "EmptySchedule", "NORMAL", "URGENT"]
+
+#: Scheduling priorities; URGENT events at a timestamp run before NORMAL ones.
+URGENT = 0
+NORMAL = 1
+
+
+class EmptySchedule(Exception):
+    """Raised by :meth:`Environment.step` when no events remain."""
+
+
+class _StopSimulation(Exception):
+    """Internal control-flow exception ending :meth:`Environment.run`."""
+
+    def __init__(self, event: Event) -> None:
+        super().__init__(event)
+        self.event = event
+
+    @classmethod
+    def callback(cls, event: Event) -> None:
+        if event._ok:
+            raise cls(event)
+        raise event._value
+
+
+class Environment:
+    """Discrete-event execution environment.
+
+    Keeps the simulation clock and a priority queue of triggered events.
+    Events scheduled at the same timestamp are processed in FIFO order of
+    scheduling (stable, deterministic), with URGENT events first.
+
+    Parameters
+    ----------
+    initial_time:
+        Starting value of the simulation clock.
+    """
+
+    def __init__(self, initial_time: float = 0.0) -> None:
+        self._now = float(initial_time)
+        self._queue: list = []
+        self._eid = count()
+        #: The process currently executing (or ``None``); used to forbid
+        #: self-interrupts and useful for debugging.
+        self.active_process: Optional[Process] = None
+
+    @property
+    def now(self) -> float:
+        """Current simulation time."""
+        return self._now
+
+    # -- event factories -----------------------------------------------------
+
+    def event(self) -> Event:
+        """Create a new untriggered :class:`Event`."""
+        return Event(self)
+
+    def timeout(self, delay: float, value: Any = None) -> Timeout:
+        """Create a :class:`Timeout` firing ``delay`` after now."""
+        return Timeout(self, delay, value)
+
+    def process(self, generator: Generator) -> Process:
+        """Start a new :class:`Process` running ``generator``."""
+        return Process(self, generator)
+
+    def any_of(self, events: Iterable[Event]) -> AnyOf:
+        """Condition triggering when any of ``events`` triggers."""
+        return AnyOf(self, events)
+
+    def all_of(self, events: Iterable[Event]) -> AllOf:
+        """Condition triggering when all of ``events`` have triggered."""
+        return AllOf(self, events)
+
+    # -- scheduling & stepping -------------------------------------------------
+
+    def _schedule(self, event: Event, delay: float = 0.0, priority: int = NORMAL) -> None:
+        heappush(self._queue, (self._now + delay, priority, next(self._eid), event))
+
+    def peek(self) -> float:
+        """Time of the next scheduled event, or ``inf`` if none."""
+        return self._queue[0][0] if self._queue else inf
+
+    def step(self) -> None:
+        """Process the next scheduled event.
+
+        Raises
+        ------
+        EmptySchedule
+            If no events remain.
+        """
+        try:
+            when, _, _, event = heappop(self._queue)
+        except IndexError:
+            raise EmptySchedule("no scheduled events") from None
+        self._now = when
+        callbacks, event.callbacks = event.callbacks, None
+        for callback in callbacks:
+            callback(event)
+        if not event._ok and not event._defused:
+            # Nobody handled the failure: crash the simulation loudly.
+            raise event._value
+
+    def run(self, until: Union[None, float, Event] = None) -> Any:
+        """Run the simulation.
+
+        Parameters
+        ----------
+        until:
+            ``None``
+                run until no events remain;
+            a number
+                run up to (and including urgent events at) that time, then
+                stop with ``now == until``;
+            an :class:`Event`
+                run until that event is processed and return its value.
+
+        Returns
+        -------
+        The value of the ``until`` event if one was given, else ``None``.
+        """
+        if until is not None and not isinstance(until, Event):
+            at = float(until)
+            if at < self._now:
+                raise ValueError(
+                    f"until={at} lies in the past (now={self._now})"
+                )
+            stop = Event(self)
+            stop._ok = True
+            stop._value = None
+            self._schedule(stop, delay=at - self._now, priority=URGENT)
+            until = stop
+
+        if until is not None:
+            if until.callbacks is None:  # already processed
+                if until._ok:
+                    return until._value
+                raise until._value
+            until.callbacks.append(_StopSimulation.callback)
+
+        while True:
+            try:
+                self.step()
+            except _StopSimulation as stop:
+                # Stop events from a *previous* run() that aborted (e.g. a
+                # crashed process) may still be queued; only our own event
+                # ends this run — stale ones are ignored.
+                if stop.event is until:
+                    return stop.event._value
+            except EmptySchedule:
+                if until is not None and not until.triggered:
+                    raise SimulationError(
+                        "no scheduled events left but the 'until' event was "
+                        "never triggered"
+                    ) from None
+                return None
+
+    def __repr__(self) -> str:  # pragma: no cover - cosmetic
+        return f"<Environment now={self._now} pending={len(self._queue)}>"

@@ -1,0 +1,259 @@
+"""Shared-resource primitives: :class:`Resource`, :class:`PriorityResource`
+and :class:`Store`.
+
+These follow SimPy's request/release model.  ``Resource.request()`` returns a
+:class:`Request` event that succeeds when a capacity slot is granted; requests
+are granted in FIFO order (or priority order for :class:`PriorityResource`).
+``Store`` is a FIFO buffer of Python objects with blocking ``put``/``get``.
+"""
+
+from __future__ import annotations
+
+from collections import deque
+from heapq import heappop, heappush
+from itertools import count
+from math import inf
+from typing import Any, Optional
+
+from repro.errors import SimulationError
+from repro.sim.events import Event
+
+__all__ = [
+    "PriorityResource",
+    "Release",
+    "Request",
+    "Resource",
+    "Store",
+    "StoreGet",
+    "StorePut",
+]
+
+
+class Request(Event):
+    """A pending or granted claim on one unit of a :class:`Resource`.
+
+    Usable as a context manager::
+
+        with resource.request() as req:
+            yield req
+            ...  # the slot is held here
+        # released on exit
+    """
+
+    __slots__ = ("resource", "priority", "_key")
+
+    def __init__(self, resource: "Resource", priority: int = 0) -> None:
+        super().__init__(resource.env)
+        self.resource = resource
+        self.priority = priority
+        self._key = None
+        resource._do_request(self)
+
+    def __enter__(self) -> "Request":
+        return self
+
+    def __exit__(self, exc_type, exc, tb) -> None:
+        self.resource.release(self)
+
+    def cancel(self) -> None:
+        """Withdraw a not-yet-granted request from the wait queue."""
+        if not self.triggered:
+            self.resource._withdraw(self)
+
+
+class Release(Event):
+    """Event representing a completed release (always already succeeded)."""
+
+    __slots__ = ("request",)
+
+    def __init__(self, env, request: Request) -> None:
+        super().__init__(env)
+        self.request = request
+        self._ok = True
+        self._value = None
+        env._schedule(self)
+
+
+class Resource:
+    """A capacity-limited resource with FIFO granting.
+
+    Parameters
+    ----------
+    env:
+        Owning environment.
+    capacity:
+        Number of concurrent users (>= 1).
+    """
+
+    def __init__(self, env, capacity: int = 1) -> None:
+        if capacity < 1:
+            raise ValueError(f"capacity must be >= 1, got {capacity}")
+        self.env = env
+        self._capacity = int(capacity)
+        self.users: list = []
+        self.queue: deque = deque()
+
+    @property
+    def capacity(self) -> int:
+        """Maximum number of concurrent users."""
+        return self._capacity
+
+    @property
+    def count(self) -> int:
+        """Current number of users holding the resource."""
+        return len(self.users)
+
+    def request(self) -> Request:
+        """Claim one slot; the returned event succeeds once granted."""
+        return Request(self)
+
+    def release(self, request: Request) -> Release:
+        """Release a previously granted ``request``.
+
+        Releasing an ungranted (still queued) request cancels it instead.
+        """
+        if request in self.users:
+            self.users.remove(request)
+            self._grant_next()
+        else:
+            self._withdraw(request)
+        return Release(self.env, request)
+
+    # -- internals -----------------------------------------------------------
+
+    def _do_request(self, request: Request) -> None:
+        if len(self.users) < self._capacity:
+            self.users.append(request)
+            request.succeed()
+        else:
+            self.queue.append(request)
+
+    def _withdraw(self, request: Request) -> None:
+        try:
+            self.queue.remove(request)
+        except ValueError:
+            pass
+
+    def _grant_next(self) -> None:
+        while self.queue and len(self.users) < self._capacity:
+            nxt = self.queue.popleft()
+            if nxt.triggered:  # cancelled/raced
+                continue
+            self.users.append(nxt)
+            nxt.succeed()
+
+
+class PriorityResource(Resource):
+    """A :class:`Resource` granting queued requests by ascending priority.
+
+    Ties are broken FIFO.  Request with ``priority=-1`` beats ``priority=0``.
+    """
+
+    def __init__(self, env, capacity: int = 1) -> None:
+        super().__init__(env, capacity)
+        self.queue: list = []  # heap of (priority, seq, request)
+        self._seq = count()
+
+    def request(self, priority: int = 0) -> Request:  # type: ignore[override]
+        """Claim one slot with the given ``priority`` (lower = sooner)."""
+        return Request(self, priority)
+
+    def _do_request(self, request: Request) -> None:
+        if len(self.users) < self._capacity:
+            self.users.append(request)
+            request.succeed()
+        else:
+            key = (request.priority, next(self._seq))
+            request._key = key
+            heappush(self.queue, (key, request))
+
+    def _withdraw(self, request: Request) -> None:
+        # Lazy deletion: mark and skip at grant time.
+        request._key = None
+
+    def _grant_next(self) -> None:
+        while self.queue and len(self.users) < self._capacity:
+            key, nxt = heappop(self.queue)
+            if nxt.triggered or nxt._key is None:
+                continue
+            self.users.append(nxt)
+            nxt.succeed()
+
+
+class StorePut(Event):
+    """Pending ``put`` into a full :class:`Store`."""
+
+    __slots__ = ("item",)
+
+    def __init__(self, env, item: Any) -> None:
+        super().__init__(env)
+        self.item = item
+
+
+class StoreGet(Event):
+    """Pending ``get`` from a :class:`Store`; value is the retrieved item."""
+
+    __slots__ = ("_cancelled",)
+
+    def __init__(self, env) -> None:
+        super().__init__(env)
+        self._cancelled = False
+
+    def cancel(self) -> None:
+        """Withdraw the get; it will never receive an item."""
+        if self.triggered:
+            raise SimulationError("cannot cancel a fulfilled get")
+        self._cancelled = True
+
+
+class Store:
+    """A FIFO object buffer with blocking put/get.
+
+    Parameters
+    ----------
+    env:
+        Owning environment.
+    capacity:
+        Maximum buffered items (default: unbounded).
+    """
+
+    def __init__(self, env, capacity: float = inf) -> None:
+        if capacity <= 0:
+            raise ValueError(f"capacity must be positive, got {capacity}")
+        self.env = env
+        self.capacity = capacity
+        self.items: deque = deque()
+        self._getters: deque = deque()
+        self._putters: deque = deque()
+
+    def __len__(self) -> int:
+        return len(self.items)
+
+    def put(self, item: Any) -> StorePut:
+        """Deposit ``item``; the returned event succeeds once buffered."""
+        event = StorePut(self.env, item)
+        if len(self.items) < self.capacity:
+            self.items.append(item)
+            event.succeed()
+            self._serve()
+        else:
+            self._putters.append(event)
+        return event
+
+    def get(self) -> StoreGet:
+        """Retrieve the oldest item; the event's value is the item."""
+        event = StoreGet(self.env)
+        self._getters.append(event)
+        self._serve()
+        return event
+
+    def _serve(self) -> None:
+        while self._getters and self.items:
+            getter = self._getters.popleft()
+            if getter._cancelled:
+                continue
+            getter.succeed(self.items.popleft())
+            while self._putters and len(self.items) < self.capacity:
+                putter = self._putters.popleft()
+                self.items.append(putter.item)
+                putter.succeed()

@@ -1,0 +1,34 @@
+"""System glue: configuration, dispatcher, storage system and runners.
+
+This package wires the substrates together the way the paper's simulation
+environment does: a workload generator feeds a *file dispatcher* which
+forwards each request to the disk holding the file (per the allocation
+mapping table), optionally after a shared whole-file cache lookup.
+"""
+
+from repro.system.config import StorageConfig
+from repro.system.dispatcher import Dispatcher, drive_stream
+from repro.system.metrics import SimulationResult
+from repro.system.runner import (
+    ALLOCATOR_NAMES,
+    ReorganizingRunner,
+    allocate,
+    build_items,
+    run_policy,
+    simulate,
+)
+from repro.system.storage import StorageSystem
+
+__all__ = [
+    "ALLOCATOR_NAMES",
+    "Dispatcher",
+    "ReorganizingRunner",
+    "SimulationResult",
+    "StorageConfig",
+    "StorageSystem",
+    "allocate",
+    "build_items",
+    "drive_stream",
+    "run_policy",
+    "simulate",
+]

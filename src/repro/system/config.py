@@ -1,0 +1,88 @@
+"""Storage-system configuration with the paper's defaults."""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, replace
+from typing import Optional
+
+from repro.disk.service import ServiceModel
+from repro.disk.specs import ST3500630AS, DiskSpec
+from repro.errors import ConfigError
+from repro.units import GiB
+
+__all__ = ["StorageConfig"]
+
+
+@dataclass(frozen=True)
+class StorageConfig:
+    """Everything needed to build a :class:`~repro.system.storage.StorageSystem`.
+
+    Attributes
+    ----------
+    spec:
+        Drive model (Table 2's Seagate by default).
+    num_disks:
+        Size of the disk pool (Table 1 uses 100).  Allocators may use fewer
+        disks; the remainder idle and eventually spin down.
+    idleness_threshold:
+        Spin-down threshold in seconds; ``None`` = the spec's break-even
+        value (53.3 s); ``math.inf`` disables spin-down.
+    load_constraint:
+        The paper's ``L``: per-disk load budget as a fraction of the disk's
+        service-time capacity (Figures 2-4 sweep 0.4-0.9).
+    storage_utilization:
+        Usable fraction of the raw capacity given to the packer.
+    service_mode:
+        ``"full"`` (seek + rotation + transfer) or ``"transfer"``.
+    cache_policy / cache_capacity / cache_hit_latency:
+        Optional shared front-end cache (paper: 16 GB LRU, hits free).
+    """
+
+    spec: DiskSpec = ST3500630AS
+    num_disks: int = 100
+    idleness_threshold: Optional[float] = None
+    load_constraint: float = 0.8
+    storage_utilization: float = 1.0
+    service_mode: str = "full"
+    cache_policy: Optional[str] = None
+    cache_capacity: float = 16 * GiB
+    cache_hit_latency: float = 0.0
+
+    def __post_init__(self) -> None:
+        if self.num_disks < 1:
+            raise ConfigError("num_disks must be >= 1")
+        if not 0 < self.load_constraint <= 1:
+            raise ConfigError(
+                f"load_constraint must be in (0, 1], got {self.load_constraint}"
+            )
+        if not 0 < self.storage_utilization <= 1:
+            raise ConfigError(
+                "storage_utilization must be in (0, 1], got "
+                f"{self.storage_utilization}"
+            )
+        if self.idleness_threshold is not None and self.idleness_threshold < 0:
+            raise ConfigError("idleness_threshold must be >= 0")
+        if self.cache_hit_latency < 0:
+            raise ConfigError("cache_hit_latency must be >= 0")
+        if self.cache_capacity <= 0:
+            raise ConfigError("cache_capacity must be positive")
+
+    @property
+    def usable_capacity(self) -> float:
+        """Bytes the packer may place on one disk."""
+        return self.spec.capacity * self.storage_utilization
+
+    @property
+    def threshold(self) -> float:
+        """The effective idleness threshold (break-even when unset)."""
+        if self.idleness_threshold is None:
+            return self.spec.breakeven_threshold()
+        return self.idleness_threshold
+
+    def service_model(self) -> ServiceModel:
+        """The configured :class:`~repro.disk.service.ServiceModel`."""
+        return ServiceModel(self.spec, self.service_mode)
+
+    def with_overrides(self, **kwargs) -> "StorageConfig":
+        """Copy with some fields replaced."""
+        return replace(self, **kwargs)

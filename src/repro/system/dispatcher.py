@@ -1,0 +1,178 @@
+"""The file dispatcher: routes requests to disks via the mapping table.
+
+Mirrors the paper's simulation environment: "Once a request is generated,
+the file dispatcher forwards it to the corresponding disk based on the
+file-to-disk mapping table, which is built using Pack_Disks".  Mapping time
+is ignored (negligible next to multi-second file transfers).
+
+Reads go through the (optional) shared cache; writes follow the paper's
+§1.1 energy-friendly policy: prefer an already-spinning disk with space,
+otherwise fall back to the disk with the most free space (best-fit among
+standby disks), updating the mapping table for later reads.
+"""
+
+from __future__ import annotations
+
+from typing import List, Optional
+
+import numpy as np
+
+from repro.cache.base import BaseCache
+from repro.disk.array import DiskArray
+from repro.disk.drive import READ, WRITE
+from repro.errors import CapacityError, SimulationError
+from repro.sim.environment import Environment
+
+__all__ = ["Dispatcher", "drive_stream"]
+
+
+class Dispatcher:
+    """Routes file requests to drives and records per-request outcomes.
+
+    Parameters
+    ----------
+    env, array:
+        The environment and disk pool.
+    mapping:
+        Dense ``file_id -> disk index`` array (``-1`` = unallocated; reads
+        of unallocated files raise, writes allocate).
+    sizes:
+        ``file_id -> bytes`` array (shared with the catalog).
+    cache:
+        Optional shared whole-file cache (lookup on read, admit on miss
+        completion).
+    cache_hit_latency:
+        Response time recorded for a cache hit.
+    usable_capacity:
+        Per-disk byte budget used by the write-allocation policy.
+    """
+
+    def __init__(
+        self,
+        env: Environment,
+        array: DiskArray,
+        mapping: np.ndarray,
+        sizes: np.ndarray,
+        cache: Optional[BaseCache] = None,
+        cache_hit_latency: float = 0.0,
+        usable_capacity: Optional[float] = None,
+    ) -> None:
+        self.env = env
+        self.array = array
+        self.mapping = np.asarray(mapping, dtype=np.int64).copy()
+        self.sizes = np.asarray(sizes, dtype=float)
+        if self.mapping.shape != self.sizes.shape:
+            raise SimulationError("mapping and sizes must align per file id")
+        if self.mapping.size and self.mapping.max() >= len(array):
+            raise SimulationError(
+                f"mapping references disk {self.mapping.max()} but the "
+                f"array has only {len(array)} disks"
+            )
+        self.cache = cache
+        self.cache_hit_latency = float(cache_hit_latency)
+        self.usable_capacity = (
+            array.spec.capacity if usable_capacity is None else float(usable_capacity)
+        )
+        # Free space per disk under the current mapping (writes consume it).
+        self.free_bytes = np.full(len(array), self.usable_capacity, dtype=float)
+        for fid, disk in enumerate(self.mapping):
+            if disk >= 0:
+                self.free_bytes[disk] -= self.sizes[fid]
+        #: Response time of every completed request, in completion order.
+        self.response_times: List[float] = []
+        #: Parallel list: True when the request was served from cache.
+        self.served_from_cache: List[bool] = []
+        self.arrivals = 0
+        self.write_count = 0
+
+    # -- read path ------------------------------------------------------------
+
+    def submit(self, file_id: int, kind: str = READ) -> None:
+        """Dispatch one request (fire-and-forget; outcome recorded on completion)."""
+        self.arrivals += 1
+        if kind == WRITE:
+            self._submit_write(file_id)
+            return
+        size = self.sizes[file_id]
+        if self.cache is not None and self.cache.lookup(file_id, size):
+            self.response_times.append(self.cache_hit_latency)
+            self.served_from_cache.append(True)
+            return
+        disk = self.mapping[file_id]
+        if disk < 0:
+            raise SimulationError(
+                f"read of unallocated file {file_id}; allocate it first"
+            )
+        request = self.array.submit(int(disk), file_id, size, READ)
+        request.done.callbacks.append(
+            lambda ev, fid=file_id, sz=size: self._complete(ev, fid, sz)
+        )
+
+    def _complete(self, event, file_id: int, size: float) -> None:
+        self.response_times.append(event.value)
+        self.served_from_cache.append(False)
+        if self.cache is not None:
+            self.cache.admit(file_id, size)
+
+    # -- write path (paper §1.1 policy) -----------------------------------------
+
+    def _submit_write(self, file_id: int) -> None:
+        size = self.sizes[file_id]
+        disk = self.mapping[file_id]
+        if disk < 0:
+            disk = self._allocate_for_write(size)
+            self.mapping[file_id] = disk
+            self.free_bytes[disk] -= size
+        self.write_count += 1
+        request = self.array.submit(int(disk), file_id, size, WRITE)
+        request.done.callbacks.append(
+            lambda ev, fid=file_id, sz=size: self._complete_write(ev)
+        )
+
+    def _complete_write(self, event) -> None:
+        self.response_times.append(event.value)
+        self.served_from_cache.append(False)
+
+    def _allocate_for_write(self, size: float) -> int:
+        """Pick a disk for a new file: spinning-with-space first, then
+        best-fit (most free) overall."""
+        spinning = [
+            d.disk_id
+            for d in self.array.disks
+            if d.state.spinning and self.free_bytes[d.disk_id] >= size
+        ]
+        if spinning:
+            # Best-fit among spinning disks: tightest remaining space.
+            return min(spinning, key=lambda i: self.free_bytes[i])
+        feasible = np.flatnonzero(self.free_bytes >= size)
+        if feasible.size == 0:
+            raise CapacityError(
+                f"no disk has {size:.0f} free bytes for the written file"
+            )
+        return int(feasible[np.argmax(self.free_bytes[feasible])])
+
+    # -- accessors ---------------------------------------------------------------
+
+    def responses_array(self) -> np.ndarray:
+        """Completed-request response times as an array."""
+        return np.asarray(self.response_times, dtype=float)
+
+    @property
+    def completions(self) -> int:
+        return len(self.response_times)
+
+
+def drive_stream(env: Environment, dispatcher: Dispatcher, stream) -> "object":
+    """Generator process replaying a request stream through the dispatcher.
+
+    ``stream`` is any iterable of ``(time, file_id)`` or
+    ``(time, file_id, kind)`` with non-decreasing times (e.g.
+    :class:`~repro.workload.arrivals.RequestStream` or
+    :class:`~repro.workload.mixed.MixedRequestStream`).
+    """
+    for item in stream:
+        t, file_id, *rest = item
+        delay = t - env.now
+        if delay > 0:
+            yield env.timeout(delay)
+        dispatcher.submit(file_id, kind=rest[0] if rest else READ)

@@ -1,0 +1,130 @@
+"""Simulation result container and derived metrics.
+
+Two power metrics appear in the paper and both are provided:
+
+* **pairwise saving** (Figure 2): ``1 - E_self / E_other`` against a
+  baseline run over the same duration;
+* **normalized power cost** (Figure 5): ``E / (N * P_idle * T)`` — energy as
+  a fraction of spinning all ``N`` disks with no power management — with
+  ``power_saving_normalized = 1 - cost``.
+"""
+
+from __future__ import annotations
+
+import math
+from dataclasses import dataclass, field
+from typing import Dict, Optional
+
+import numpy as np
+
+from repro.cache.base import CacheStats
+from repro.disk.power import DiskState
+
+__all__ = ["SimulationResult"]
+
+
+@dataclass
+class SimulationResult:
+    """Everything measured in one simulation run."""
+
+    algorithm: str
+    duration: float
+    num_disks: int
+    energy: float
+    energy_per_disk: np.ndarray
+    state_durations: Dict[DiskState, float]
+    response_times: np.ndarray
+    arrivals: int
+    completions: int
+    spinups: int
+    spindowns: int
+    always_on_energy: float
+    cache_stats: Optional[CacheStats] = None
+    requests_per_disk: Optional[np.ndarray] = None
+    spinups_per_disk: Optional[np.ndarray] = None
+    extra: Dict[str, float] = field(default_factory=dict)
+
+    # -- power ---------------------------------------------------------------
+
+    @property
+    def mean_power(self) -> float:
+        """Average array draw over the run (W)."""
+        return self.energy / self.duration if self.duration else math.nan
+
+    @property
+    def normalized_power_cost(self) -> float:
+        """Figure 5 normalization: energy / always-spinning energy."""
+        if self.always_on_energy <= 0:
+            return math.nan
+        return self.energy / self.always_on_energy
+
+    @property
+    def power_saving_normalized(self) -> float:
+        """``1 - normalized_power_cost`` (Figure 5's y-axis)."""
+        return 1.0 - self.normalized_power_cost
+
+    def power_saving_vs(self, other: "SimulationResult") -> float:
+        """Figure 2's ratio: fraction of ``other``'s energy saved by self."""
+        if other.energy <= 0:
+            return math.nan
+        return 1.0 - self.energy / other.energy
+
+    # -- response time ---------------------------------------------------------
+
+    @property
+    def mean_response(self) -> float:
+        """Mean response time of completed requests (s)."""
+        return float(self.response_times.mean()) if self.response_times.size else math.nan
+
+    @property
+    def median_response(self) -> float:
+        return float(np.median(self.response_times)) if self.response_times.size else math.nan
+
+    def response_percentile(self, q: float) -> float:
+        """q-th percentile (0-100) of response time."""
+        if not self.response_times.size:
+            return math.nan
+        return float(np.percentile(self.response_times, q))
+
+    @property
+    def max_response(self) -> float:
+        return float(self.response_times.max()) if self.response_times.size else math.nan
+
+    def response_ratio_vs(self, other: "SimulationResult") -> float:
+        """Figure 3's ratio: self mean response / other mean response."""
+        denom = other.mean_response
+        if not denom or denom != denom:
+            return math.nan
+        return self.mean_response / denom
+
+    # -- sanity/diagnostics -----------------------------------------------------
+
+    @property
+    def completion_ratio(self) -> float:
+        """Completed / arrived (requests still queued at cutoff lower this)."""
+        return self.completions / self.arrivals if self.arrivals else math.nan
+
+    def state_fraction(self, state: DiskState) -> float:
+        """Fraction of total disk-time spent in ``state``."""
+        total = self.duration * self.num_disks
+        return self.state_durations.get(state, 0.0) / total if total else math.nan
+
+    def summary(self) -> str:
+        """Multi-line human-readable digest."""
+        lines = [
+            f"{self.algorithm}: {self.num_disks} disks, {self.duration:.0f} s",
+            f"  energy      {self.energy / 3.6e6:.3f} kWh "
+            f"(mean power {self.mean_power:.1f} W, "
+            f"normalized cost {self.normalized_power_cost:.3f})",
+            f"  response    mean {self.mean_response:.2f} s, "
+            f"median {self.median_response:.2f} s, "
+            f"p95 {self.response_percentile(95):.2f} s",
+            f"  requests    {self.completions}/{self.arrivals} completed, "
+            f"{self.spinups} spin-ups, {self.spindowns} spin-downs",
+        ]
+        if self.cache_stats is not None and self.cache_stats.lookups:
+            lines.append(
+                f"  cache       hit ratio {self.cache_stats.hit_ratio:.3f} "
+                f"({self.cache_stats.hits}/{self.cache_stats.lookups})"
+            )
+        return "\n".join(lines)

@@ -1,0 +1,300 @@
+"""High-level experiment runners: allocate, simulate, compare, reorganize.
+
+These are the entry points the experiments and examples use::
+
+    workload = generate_workload(SyntheticWorkloadParams(arrival_rate=6))
+    cfg = StorageConfig(load_constraint=0.7)
+    result = run_policy(workload.catalog, workload.stream, "pack", cfg)
+    baseline = run_policy(workload.catalog, workload.stream, "random", cfg)
+    print(result.power_saving_vs(baseline))
+"""
+
+from __future__ import annotations
+
+import re
+from typing import Dict, List, Optional, Sequence, Tuple
+
+import numpy as np
+
+from repro.core.allocation import Allocation
+from repro.core.baselines import (
+    best_fit,
+    first_fit,
+    first_fit_decreasing,
+    next_fit,
+    random_allocation,
+    round_robin_allocation,
+)
+from repro.core.grouped import pack_disks_grouped
+from repro.core.item import PackItem, make_items
+from repro.core.packing import pack_disks
+from repro.errors import ConfigError
+from repro.sim.rng import rng_from_seed
+from repro.system.config import StorageConfig
+from repro.system.metrics import SimulationResult
+from repro.system.storage import StorageSystem
+from repro.workload.arrivals import RequestStream
+from repro.workload.catalog import FileCatalog
+
+__all__ = [
+    "ALLOCATOR_NAMES",
+    "ReorganizingRunner",
+    "allocate",
+    "build_items",
+    "run_policy",
+    "simulate",
+]
+
+#: Allocation policies accepted by :func:`allocate` (``pack_v<k>`` for any k).
+ALLOCATOR_NAMES = (
+    "pack",
+    "pack_v4",
+    "random",
+    "round_robin",
+    "first_fit",
+    "first_fit_decreasing",
+    "best_fit",
+    "next_fit",
+)
+
+_PACK_V = re.compile(r"^pack_v(\d+)$")
+
+
+def build_items(
+    catalog: FileCatalog,
+    config: StorageConfig,
+    arrival_rate: float,
+    popularities: Optional[np.ndarray] = None,
+) -> List[PackItem]:
+    """Turn a catalog into normalized 2DVPP items.
+
+    ``l_i = R p_i f(s_i)`` normalized by the load constraint ``L``;
+    ``s_i`` normalized by the usable per-disk capacity.  ``popularities``
+    overrides the catalog's (used by reorganization with observed counts).
+    """
+    service = config.service_model()
+    pops = catalog.popularities if popularities is None else popularities
+    loads = service.loads(catalog.sizes, pops, arrival_rate)
+    return make_items(
+        catalog.sizes,
+        loads,
+        storage_capacity=config.usable_capacity,
+        load_capacity=config.load_constraint,
+    )
+
+
+def allocate(
+    catalog: FileCatalog,
+    policy: str,
+    config: StorageConfig,
+    arrival_rate: float,
+    rng=None,
+    num_disks: Optional[int] = None,
+    popularities: Optional[np.ndarray] = None,
+) -> Allocation:
+    """Run the named allocation policy over the catalog.
+
+    ``num_disks`` bounds the pool for the fixed-pool policies
+    (``random``/``round_robin``); defaults to ``config.num_disks``.
+    """
+    items = build_items(catalog, config, arrival_rate, popularities)
+    if num_disks is None:
+        num_disks = config.num_disks
+    match = _PACK_V.match(policy)
+    if policy == "pack":
+        return pack_disks(items)
+    if match:
+        return pack_disks_grouped(items, v=int(match.group(1)))
+    if policy == "random":
+        return random_allocation(items, num_disks, rng=rng_from_seed(rng))
+    if policy == "round_robin":
+        return round_robin_allocation(items, num_disks)
+    if policy == "first_fit":
+        return first_fit(items)
+    if policy == "first_fit_decreasing":
+        return first_fit_decreasing(items)
+    if policy == "best_fit":
+        return best_fit(items)
+    if policy == "next_fit":
+        return next_fit(items)
+    raise ConfigError(
+        f"unknown allocation policy {policy!r}; choose from "
+        f"{ALLOCATOR_NAMES} (or pack_v<k>)"
+    )
+
+
+def simulate(
+    catalog: FileCatalog,
+    stream: RequestStream,
+    allocation: Allocation,
+    config: StorageConfig,
+    num_disks: Optional[int] = None,
+    duration: Optional[float] = None,
+    label: Optional[str] = None,
+) -> SimulationResult:
+    """Simulate ``stream`` against an allocation; returns the metrics.
+
+    ``num_disks`` sets the pool size but grows automatically when the
+    allocation references more disks (packing at a tight load constraint
+    can exceed a nominal pool; the extra disks idle and spin down like any
+    other unused disk).  Use :class:`~repro.system.storage.StorageSystem`
+    directly for strict pool-size enforcement.
+    """
+    if num_disks is not None and num_disks < allocation.num_disks:
+        num_disks = allocation.num_disks
+    system = StorageSystem(
+        catalog,
+        allocation.mapping(catalog.n),
+        config,
+        num_disks=num_disks,
+    )
+    return system.run(
+        stream,
+        duration=duration,
+        label=label or allocation.algorithm,
+    )
+
+
+def run_policy(
+    catalog: FileCatalog,
+    stream: RequestStream,
+    policy: str,
+    config: StorageConfig,
+    arrival_rate: Optional[float] = None,
+    rng=None,
+    num_disks: Optional[int] = None,
+    duration: Optional[float] = None,
+) -> SimulationResult:
+    """Allocate with ``policy`` then simulate; the one-call entry point.
+
+    ``arrival_rate`` defaults to the stream's empirical rate (what a real
+    deployment would estimate from logs).
+    """
+    if arrival_rate is None:
+        arrival_rate = stream.mean_rate
+    allocation = allocate(
+        catalog, policy, config, arrival_rate, rng=rng, num_disks=num_disks
+    )
+    return simulate(
+        catalog, stream, allocation, config,
+        num_disks=num_disks, duration=duration,
+    )
+
+
+class ReorganizingRunner:
+    """Semi-dynamic operation (paper §1.1/§6): re-pack at intervals using
+    access statistics observed in the previous epoch.
+
+    The stream is split into epochs of ``interval`` seconds.  Epoch 0 runs
+    on the initial allocation (from catalog popularities); each later epoch
+    re-packs with popularities estimated from the previous epoch's observed
+    request counts (plus smoothing), modelling the paper's "accumulating
+    access statistics over periodic intervals and performing reorganization".
+    Remapping is instantaneous; the number of files whose disk changed is
+    reported per epoch so migration cost can be modelled externally.
+    """
+
+    def __init__(
+        self,
+        catalog: FileCatalog,
+        config: StorageConfig,
+        policy: str = "pack",
+        interval: float = 1000.0,
+        smoothing: float = 0.5,
+    ) -> None:
+        if interval <= 0:
+            raise ConfigError("interval must be positive")
+        if not 0 <= smoothing <= 1:
+            raise ConfigError("smoothing must be in [0, 1]")
+        self.catalog = catalog
+        self.config = config
+        self.policy = policy
+        self.interval = interval
+        self.smoothing = smoothing
+        self.moved_files: List[int] = []
+        self.epoch_results: List[SimulationResult] = []
+
+    def run(self, stream: RequestStream, rng=None) -> SimulationResult:
+        """Run the whole stream with periodic reorganization."""
+        epochs = self._split(stream)
+        pops = self.catalog.popularities
+        mapping_prev: Optional[np.ndarray] = None
+        total_energy = 0.0
+        responses = []
+        arrivals = completions = spinups = spindowns = 0
+        always_on = 0.0
+        num_disks = None
+        state_durations: Dict = {}
+
+        for i, epoch in enumerate(epochs):
+            rate = max(epoch[0].mean_rate, 1e-9)
+            allocation = allocate(
+                self.catalog, self.policy, self.config, rate,
+                rng=rng, popularities=pops,
+            )
+            mapping = allocation.mapping(self.catalog.n)
+            if mapping_prev is not None:
+                self.moved_files.append(int(np.sum(mapping != mapping_prev)))
+            mapping_prev = mapping
+            system = StorageSystem(self.catalog, mapping, self.config)
+            result = system.run(epoch[0], label=f"{self.policy}@epoch{i}")
+            self.epoch_results.append(result)
+
+            total_energy += result.energy
+            responses.append(result.response_times)
+            arrivals += result.arrivals
+            completions += result.completions
+            spinups += result.spinups
+            spindowns += result.spindowns
+            always_on += result.always_on_energy
+            num_disks = result.num_disks
+            for state, t in result.state_durations.items():
+                state_durations[state] = state_durations.get(state, 0.0) + t
+
+            # Update popularity estimate from observed counts.
+            counts = np.bincount(
+                epoch[0].file_ids, minlength=self.catalog.n
+            ).astype(float)
+            if counts.sum() > 0:
+                observed = counts / counts.sum()
+                pops = (
+                    self.smoothing * pops + (1.0 - self.smoothing) * observed
+                )
+                pops = pops / pops.sum()
+
+        return SimulationResult(
+            algorithm=f"{self.policy}+reorg",
+            duration=stream.duration,
+            num_disks=num_disks or self.config.num_disks,
+            energy=total_energy,
+            energy_per_disk=np.zeros(num_disks or 0),
+            state_durations=state_durations,
+            response_times=(
+                np.concatenate(responses) if responses else np.empty(0)
+            ),
+            arrivals=arrivals,
+            completions=completions,
+            spinups=spinups,
+            spindowns=spindowns,
+            always_on_energy=always_on,
+            extra={
+                "epochs": float(len(epochs)),
+                "mean_moved_files": (
+                    float(np.mean(self.moved_files)) if self.moved_files else 0.0
+                ),
+            },
+        )
+
+    def _split(self, stream: RequestStream) -> List[Tuple[RequestStream, float]]:
+        edges = np.arange(0.0, stream.duration, self.interval)
+        out = []
+        for start in edges:
+            end = min(start + self.interval, stream.duration)
+            mask = (stream.times >= start) & (stream.times < end)
+            epoch = RequestStream(
+                times=stream.times[mask] - start,
+                file_ids=stream.file_ids[mask],
+                duration=end - start,
+            )
+            out.append((epoch, start))
+        return out

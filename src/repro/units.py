@@ -1,0 +1,85 @@
+"""Unit constants and formatting helpers.
+
+Conventions used throughout :mod:`repro`:
+
+* sizes are in **bytes** (decimal SI multiples, matching disk datasheets:
+  ``72 MB/s`` means ``72e6`` bytes/second, ``500 GB`` means ``500e9`` bytes),
+* times are in **seconds**,
+* power is in **watts**, energy in **joules**.
+"""
+
+from __future__ import annotations
+
+#: Decimal byte multiples (disk vendors use SI units).
+KB = 1_000.0
+MB = 1_000_000.0
+GB = 1_000_000_000.0
+TB = 1_000_000_000_000.0
+
+#: Binary byte multiples, for memory-style quantities.
+KiB = 1024.0
+MiB = 1024.0**2
+GiB = 1024.0**3
+TiB = 1024.0**4
+
+#: Time multiples in seconds.
+MS = 1e-3
+SECOND = 1.0
+MINUTE = 60.0
+HOUR = 3_600.0
+DAY = 86_400.0
+
+
+def format_bytes(n: float) -> str:
+    """Render a byte count with an appropriate SI suffix.
+
+    >>> format_bytes(544_000_000)
+    '544.0 MB'
+    """
+    n = float(n)
+    for limit, suffix in ((TB, "TB"), (GB, "GB"), (MB, "MB"), (KB, "KB")):
+        if abs(n) >= limit:
+            return f"{n / limit:.1f} {suffix}"
+    return f"{n:.0f} B"
+
+
+def format_time(seconds: float) -> str:
+    """Render a duration with an appropriate suffix.
+
+    >>> format_time(7200)
+    '2.00 h'
+    """
+    s = float(seconds)
+    if abs(s) >= HOUR:
+        return f"{s / HOUR:.2f} h"
+    if abs(s) >= MINUTE:
+        return f"{s / MINUTE:.2f} min"
+    if abs(s) >= 1.0:
+        return f"{s:.2f} s"
+    return f"{s * 1e3:.2f} ms"
+
+
+def format_power(watts: float) -> str:
+    """Render a power figure.
+
+    >>> format_power(453.2)
+    '453.2 W'
+    """
+    w = float(watts)
+    if abs(w) >= 1e3:
+        return f"{w / 1e3:.2f} kW"
+    return f"{w:.1f} W"
+
+
+def format_energy(joules: float) -> str:
+    """Render an energy figure, switching to kWh for large values.
+
+    >>> format_energy(3_600_000)
+    '1.000 kWh'
+    """
+    j = float(joules)
+    if abs(j) >= 3.6e6:
+        return f"{j / 3.6e6:.3f} kWh"
+    if abs(j) >= 1e3:
+        return f"{j / 1e3:.1f} kJ"
+    return f"{j:.1f} J"

@@ -1,0 +1,63 @@
+"""Workload substrate: Zipf-like distributions, file catalogs, Poisson
+request streams, trace files, and the NERSC-like trace synthesizer.
+
+The paper's synthetic workload (Table 1) has file access frequencies
+following a Zipf-like distribution ``p_i = c / rank_i^(1-theta)`` with
+``theta = log 0.6 / log 0.4`` (a 60/40 skew), file sizes following the
+*inverse* Zipf-like distribution between 188 MB and 20 GB (the most popular
+files are the smallest), and Poisson request arrivals at rate ``R``.
+"""
+
+from repro.workload.arrivals import RequestStream, poisson_arrival_times, sample_file_ids
+from repro.workload.catalog import FileCatalog
+from repro.workload.generator import (
+    SyntheticWorkload,
+    SyntheticWorkloadParams,
+    generate_workload,
+    table1_summary,
+)
+from repro.workload.diurnal import (
+    diurnal_rate,
+    nonhomogeneous_stream,
+    thinned_arrival_times,
+)
+from repro.workload.mixed import (
+    MixedRequestStream,
+    MixedWorkloadParams,
+    generate_mixed_workload,
+)
+from repro.workload.nersc import NerscTraceParams, nersc_statistics, synthesize_nersc_trace
+from repro.workload.trace import Trace, load_trace_csv, save_trace_csv
+from repro.workload.zipf import (
+    PAPER_THETA,
+    generalized_harmonic,
+    inverse_zipf_sizes,
+    zipf_popularities,
+)
+
+__all__ = [
+    "FileCatalog",
+    "MixedRequestStream",
+    "MixedWorkloadParams",
+    "NerscTraceParams",
+    "generate_mixed_workload",
+    "PAPER_THETA",
+    "RequestStream",
+    "diurnal_rate",
+    "nonhomogeneous_stream",
+    "thinned_arrival_times",
+    "SyntheticWorkload",
+    "SyntheticWorkloadParams",
+    "Trace",
+    "generalized_harmonic",
+    "generate_workload",
+    "inverse_zipf_sizes",
+    "load_trace_csv",
+    "nersc_statistics",
+    "poisson_arrival_times",
+    "sample_file_ids",
+    "save_trace_csv",
+    "synthesize_nersc_trace",
+    "table1_summary",
+    "zipf_popularities",
+]

@@ -1,0 +1,126 @@
+"""The synthetic workload of the paper's Table 1."""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, Optional
+
+from repro.disk.service import ServiceModel
+from repro.disk.specs import ST3500630AS, DiskSpec
+from repro.errors import ConfigError
+from repro.sim.rng import rng_from_seed
+from repro.units import GB, MB, TB
+from repro.workload.arrivals import RequestStream
+from repro.workload.catalog import FileCatalog
+from repro.workload.zipf import PAPER_THETA
+
+__all__ = [
+    "SyntheticWorkload",
+    "SyntheticWorkloadParams",
+    "generate_workload",
+    "table1_summary",
+]
+
+
+@dataclass(frozen=True)
+class SyntheticWorkloadParams:
+    """Knobs of the Table 1 workload (defaults are the paper's values)."""
+
+    n_files: int = 40_000
+    theta: float = PAPER_THETA
+    s_max: float = 20 * GB
+    s_min: Optional[float] = 188 * MB
+    arrival_rate: float = 6.0
+    duration: float = 4_000.0
+    correlation: str = "inverse"
+    seed: Optional[int] = 20090525
+
+    def __post_init__(self) -> None:
+        if self.n_files < 1:
+            raise ConfigError("n_files must be >= 1")
+        if self.duration <= 0:
+            raise ConfigError("duration must be positive")
+        if self.arrival_rate < 0:
+            raise ConfigError("arrival_rate must be >= 0")
+
+    def scaled(self, scale: float) -> "SyntheticWorkloadParams":
+        """Shrink the instance (file count) while preserving shapes.
+
+        Arrival rate, duration, size range and skew are untouched so loads
+        per disk and idleness behaviour stay comparable; only the file
+        population (and hence the storage footprint) shrinks.
+        """
+        if not 0 < scale <= 1:
+            raise ConfigError(f"scale must be in (0, 1], got {scale}")
+        return SyntheticWorkloadParams(
+            n_files=max(1, int(self.n_files * scale)),
+            theta=self.theta,
+            s_max=self.s_max,
+            s_min=self.s_min,
+            arrival_rate=self.arrival_rate,
+            duration=self.duration,
+            correlation=self.correlation,
+            seed=self.seed,
+        )
+
+
+@dataclass
+class SyntheticWorkload:
+    """A generated (catalog, request stream) pair plus its parameters."""
+
+    params: SyntheticWorkloadParams
+    catalog: FileCatalog
+    stream: RequestStream
+
+
+def generate_workload(params: SyntheticWorkloadParams) -> SyntheticWorkload:
+    """Generate the Table 1 workload: Zipf catalog + Poisson request stream."""
+    rng = rng_from_seed(params.seed)
+    catalog = FileCatalog.from_zipf(
+        n=params.n_files,
+        theta=params.theta,
+        s_max=params.s_max,
+        s_min=params.s_min,
+        correlation=params.correlation,
+        rng=rng,
+    )
+    stream = RequestStream.poisson(
+        catalog.popularities,
+        rate=params.arrival_rate,
+        duration=params.duration,
+        rng=rng,
+    )
+    return SyntheticWorkload(params=params, catalog=catalog, stream=stream)
+
+
+def table1_summary(
+    workload: SyntheticWorkload,
+    spec: DiskSpec = ST3500630AS,
+    num_disks: int = 100,
+) -> Dict[str, str]:
+    """Regenerate the rows of the paper's Table 1 from a generated workload."""
+    p = workload.params
+    cat = workload.catalog
+    service = ServiceModel(spec)
+    return {
+        "n = Number of files": f"n = {cat.n}",
+        "R = Expected request rate": (
+            f"Poisson, expected value R = {p.arrival_rate:g} per second"
+        ),
+        "p_i = Access frequency": (
+            f"Zipf-like, p_i = c/rank^(1-theta), theta = {p.theta:.4f} "
+            f"(= log0.6/log0.4), c = 1/H_n^(1-theta)"
+        ),
+        "s_i = File size": (
+            f"Inverse Zipf-like; minimum {cat.sizes.min() / MB:.0f} MB, "
+            f"maximum {cat.sizes.max() / GB:.0f} GB"
+        ),
+        "l_i = Disk load of a file": "l_i = r_i * f(s_i), r_i = p_i * R",
+        "Number of disks": f"{num_disks}",
+        "Simulated time": f"{p.duration:.0f} sec",
+        "Space requirement": f"{cat.total_bytes / TB:.2f} TB",
+        "Total load (disk-seconds/sec)": (
+            f"{cat.total_load(p.arrival_rate, service):.2f}"
+        ),
+        "Generated requests": f"{len(workload.stream)}",
+    }

@@ -1,0 +1,185 @@
+"""Trace container and CSV persistence.
+
+A trace bundles a :class:`~repro.workload.catalog.FileCatalog` with a
+:class:`~repro.workload.arrivals.RequestStream` so real workload logs (like
+the NERSC log the paper uses) can be fed to the simulator.  The on-disk
+format is a single CSV with two sections::
+
+    # trace: <name>
+    # duration: <seconds>
+    # files
+    file_id,size_bytes
+    0,188000000
+    ...
+    # requests
+    time,file_id
+    12.5,17
+    ...
+
+Popularities are reconstructed from empirical request counts (files never
+requested get a uniform share of a tiny epsilon mass so the catalog stays a
+valid distribution).
+"""
+
+from __future__ import annotations
+
+import csv
+from dataclasses import dataclass
+from pathlib import Path
+from typing import Union
+
+import numpy as np
+
+from repro.errors import TraceFormatError
+from repro.workload.arrivals import RequestStream
+from repro.workload.catalog import FileCatalog
+
+__all__ = ["Trace", "load_trace_csv", "save_trace_csv"]
+
+
+@dataclass
+class Trace:
+    """A named, replayable workload trace."""
+
+    name: str
+    catalog: FileCatalog
+    stream: RequestStream
+
+    def __post_init__(self) -> None:
+        if self.stream.file_ids.size and (
+            self.stream.file_ids.min() < 0
+            or self.stream.file_ids.max() >= self.catalog.n
+        ):
+            raise TraceFormatError(
+                "trace references file ids outside the catalog"
+            )
+
+    @property
+    def n_files(self) -> int:
+        return self.catalog.n
+
+    @property
+    def n_requests(self) -> int:
+        return len(self.stream)
+
+    def mean_request_rate(self) -> float:
+        """Average arrivals per second over the trace horizon."""
+        return self.stream.mean_rate
+
+    @classmethod
+    def from_requests(
+        cls,
+        name: str,
+        sizes: np.ndarray,
+        times: np.ndarray,
+        file_ids: np.ndarray,
+        duration: float,
+    ) -> "Trace":
+        """Build a trace from raw arrays, deriving popularities empirically."""
+        sizes = np.asarray(sizes, dtype=float)
+        file_ids = np.asarray(file_ids, dtype=np.int64)
+        counts = np.bincount(file_ids, minlength=sizes.shape[0]).astype(float)
+        if counts.shape[0] > sizes.shape[0]:
+            raise TraceFormatError(
+                "requests reference file ids outside the catalog"
+            )
+        total = counts.sum()
+        if total <= 0:
+            # Degenerate empty trace: uniform popularities.
+            pops = np.full(sizes.shape[0], 1.0 / sizes.shape[0])
+        else:
+            # Give never-requested files a vanishing share to keep a valid
+            # probability vector (they still occupy space when packing).
+            eps = 1e-12
+            pops = (counts + eps) / (total + eps * sizes.shape[0])
+        catalog = FileCatalog(sizes=sizes, popularities=pops)
+        stream = RequestStream(
+            times=np.asarray(times, dtype=float),
+            file_ids=file_ids,
+            duration=float(duration),
+        )
+        return cls(name=name, catalog=catalog, stream=stream)
+
+
+def save_trace_csv(trace: Trace, path: Union[str, Path]) -> None:
+    """Write a trace to the sectioned CSV format described above."""
+    path = Path(path)
+    with path.open("w", newline="") as fh:
+        fh.write(f"# trace: {trace.name}\n")
+        fh.write(f"# duration: {trace.stream.duration!r}\n")
+        fh.write("# files\n")
+        writer = csv.writer(fh)
+        writer.writerow(["file_id", "size_bytes"])
+        for i, size in enumerate(trace.catalog.sizes):
+            writer.writerow([i, repr(float(size))])
+        fh.write("# requests\n")
+        writer.writerow(["time", "file_id"])
+        for t, f in zip(trace.stream.times, trace.stream.file_ids):
+            writer.writerow([repr(float(t)), int(f)])
+
+
+def load_trace_csv(path: Union[str, Path]) -> Trace:
+    """Read a trace written by :func:`save_trace_csv`.
+
+    Raises
+    ------
+    TraceFormatError
+        On any structural problem (missing sections, bad ids, unsorted
+        times are reported through RequestStream/Trace validation).
+    """
+    path = Path(path)
+    name = path.stem
+    duration = None
+    section = None
+    sizes = {}
+    times = []
+    ids = []
+    try:
+        with path.open("r", newline="") as fh:
+            for raw in fh:
+                line = raw.strip()
+                if not line:
+                    continue
+                if line.startswith("#"):
+                    tag = line[1:].strip()
+                    if tag.startswith("trace:"):
+                        name = tag.split(":", 1)[1].strip()
+                    elif tag.startswith("duration:"):
+                        duration = float(tag.split(":", 1)[1])
+                    elif tag == "files":
+                        section = "files"
+                    elif tag == "requests":
+                        section = "requests"
+                    else:
+                        raise TraceFormatError(f"unknown section marker {line!r}")
+                    continue
+                fields = next(csv.reader([line]))
+                if fields[0] in ("file_id", "time"):
+                    continue  # header row
+                if section == "files":
+                    if len(fields) != 2:
+                        raise TraceFormatError(f"bad file row {line!r}")
+                    sizes[int(fields[0])] = float(fields[1])
+                elif section == "requests":
+                    if len(fields) != 2:
+                        raise TraceFormatError(f"bad request row {line!r}")
+                    times.append(float(fields[0]))
+                    ids.append(int(fields[1]))
+                else:
+                    raise TraceFormatError(
+                        f"data row {line!r} before any section marker"
+                    )
+    except (ValueError, StopIteration) as exc:
+        raise TraceFormatError(f"malformed trace file {path}: {exc}") from exc
+
+    if not sizes:
+        raise TraceFormatError(f"{path} contains no files section")
+    n = max(sizes) + 1
+    if sorted(sizes) != list(range(n)):
+        raise TraceFormatError(f"{path} file ids are not dense 0..{n - 1}")
+    size_arr = np.array([sizes[i] for i in range(n)], dtype=float)
+    times_arr = np.array(times, dtype=float)
+    ids_arr = np.array(ids, dtype=np.int64)
+    if duration is None:
+        duration = float(times_arr[-1]) if times_arr.size else 0.0
+    return Trace.from_requests(name, size_arr, times_arr, ids_arr, duration)

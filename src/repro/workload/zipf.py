@@ -1,0 +1,95 @@
+"""Zipf-like distributions exactly as parameterized in the paper's Table 1.
+
+Access frequency of the file with popularity rank ``r`` (1 = hottest):
+
+.. math:: p_r = c \\, / \\, r^{1-\\theta}, \\qquad c = 1/H_n^{(1-\\theta)},
+          \\qquad \\theta = \\log 0.6 / \\log 0.4
+
+(``H_n^{(1-\\theta)}`` is the generalized harmonic number; the paper's
+``c = 1 - H...`` is a typo — normalization requires the reciprocal).
+``theta = log0.6/log0.4`` encodes a "60/40" skew: roughly 60% of accesses
+target the most popular 40% of files.
+
+File sizes follow the *inverse* Zipf-like distribution: the k-th *largest*
+file has size ``s_max / k^{1-theta}``, and size rank is the reverse of
+popularity rank (hot files are small).  With Table 1's n=40000 and
+s_max=20 GB this makes the smallest (and hottest) file
+``20 GB / 40000^{1-theta}`` ≈ 188 MB — Table 1's minimum — and the total
+footprint ≈ 13 TB (the paper reports 12.86 TB).
+"""
+
+from __future__ import annotations
+
+import math
+from typing import Optional
+
+import numpy as np
+
+from repro.errors import ConfigError
+
+__all__ = [
+    "PAPER_THETA",
+    "generalized_harmonic",
+    "inverse_zipf_sizes",
+    "zipf_popularities",
+]
+
+#: Table 1's theta = log 0.6 / log 0.4 (~0.5575).
+PAPER_THETA = math.log(0.6) / math.log(0.4)
+
+
+def generalized_harmonic(n: int, exponent: float) -> float:
+    """``H_n^(exponent) = sum_{k=1..n} k^-exponent``."""
+    if n < 0:
+        raise ConfigError(f"n must be >= 0, got {n}")
+    if n == 0:
+        return 0.0
+    return float(np.sum(np.arange(1, n + 1, dtype=float) ** (-exponent)))
+
+
+def zipf_popularities(n: int, theta: float = PAPER_THETA) -> np.ndarray:
+    """Access probabilities by popularity rank: ``p_r = c / r^(1-theta)``.
+
+    Returns an array of length ``n`` summing to 1, descending.
+    """
+    if n < 1:
+        raise ConfigError(f"n must be >= 1, got {n}")
+    if not 0.0 <= theta < 1.0:
+        raise ConfigError(f"theta must be in [0, 1), got {theta}")
+    ranks = np.arange(1, n + 1, dtype=float)
+    weights = ranks ** (theta - 1.0)
+    return weights / weights.sum()
+
+
+def inverse_zipf_sizes(
+    n: int,
+    theta: float = PAPER_THETA,
+    s_max: float = 20e9,
+    s_min: Optional[float] = None,
+) -> np.ndarray:
+    """File sizes by *popularity rank* under the inverse Zipf-like law.
+
+    The popularity-rank-r file is the ``(n+1-r)``-th largest:
+    ``size_r = s_max / (n+1-r)^(1-theta)``, so the hottest file is the
+    smallest.  If ``s_min`` is given, sizes are clamped from below (Table 1
+    lists a 188 MB minimum, which is the natural value for the default
+    parameters anyway).
+
+    Returns an array of length ``n`` aligned with
+    :func:`zipf_popularities` (ascending sizes).
+    """
+    if n < 1:
+        raise ConfigError(f"n must be >= 1, got {n}")
+    if s_max <= 0:
+        raise ConfigError(f"s_max must be positive, got {s_max}")
+    if not 0.0 <= theta < 1.0:
+        raise ConfigError(f"theta must be in [0, 1), got {theta}")
+    size_rank = np.arange(n, 0, -1, dtype=float)  # rank r -> n+1-r
+    sizes = s_max * size_rank ** (theta - 1.0)
+    if s_min is not None:
+        if s_min <= 0 or s_min > s_max:
+            raise ConfigError(
+                f"s_min must be in (0, s_max], got {s_min}"
+            )
+        np.maximum(sizes, s_min, out=sizes)
+    return sizes

@@ -1,0 +1,91 @@
+"""Tests for the break-even analysis and the 2-competitive guarantee."""
+
+import math
+
+import pytest
+from hypothesis import given
+from hypothesis import strategies as st
+
+from repro.analysis import (
+    breakeven_threshold,
+    offline_optimal_energy,
+    threshold_policy_energy,
+)
+from repro.disk import ST3500630AS
+from repro.errors import ConfigError
+
+SPEC = ST3500630AS
+
+
+class TestBreakeven:
+    def test_matches_table2(self):
+        assert breakeven_threshold(SPEC) == pytest.approx(53.3, abs=0.05)
+
+
+class TestGapEnergies:
+    def test_short_gap_stays_up(self):
+        energy = threshold_policy_energy([10.0], SPEC, threshold=53.3)
+        assert energy == pytest.approx(10.0 * SPEC.idle_power)
+
+    def test_long_gap_spins_down(self):
+        tau = 53.3
+        g = 10_000.0
+        energy = threshold_policy_energy([g], SPEC, threshold=tau)
+        expected = (
+            SPEC.idle_power * tau
+            + SPEC.spindown_energy
+            + SPEC.standby_power * (g - tau - SPEC.spindown_time)
+            + SPEC.spinup_energy
+        )
+        assert energy == pytest.approx(expected)
+
+    def test_infinite_threshold_never_transitions(self):
+        energy = threshold_policy_energy([1e6], SPEC, threshold=math.inf)
+        assert energy == pytest.approx(1e6 * SPEC.idle_power)
+
+    def test_offline_picks_cheaper_option(self):
+        # Tiny gap: staying up wins.  Huge gap: sleeping wins.
+        small = offline_optimal_energy([1.0], SPEC)
+        assert small == pytest.approx(SPEC.idle_power * 1.0)
+        big = offline_optimal_energy([1e6], SPEC)
+        sleep_cost = (
+            SPEC.spindown_energy
+            + SPEC.standby_power * (1e6 - SPEC.spindown_time)
+            + SPEC.spinup_energy
+        )
+        assert big == pytest.approx(sleep_cost)
+
+    def test_negative_inputs_rejected(self):
+        with pytest.raises(ConfigError):
+            threshold_policy_energy([-1.0], SPEC, 10.0)
+        with pytest.raises(ConfigError):
+            threshold_policy_energy([1.0], SPEC, -1.0)
+        with pytest.raises(ConfigError):
+            offline_optimal_energy([-1.0], SPEC)
+
+
+class TestCompetitiveRatio:
+    @given(
+        st.lists(
+            st.floats(min_value=0.0, max_value=1e5),
+            min_size=1,
+            max_size=50,
+        )
+    )
+    def test_breakeven_policy_is_2_competitive(self, gaps):
+        # The classic DPM theorem the paper's related work cites: the
+        # break-even threshold policy never spends more than twice the
+        # clairvoyant optimum on any gap sequence.
+        tau = breakeven_threshold(SPEC)
+        online = threshold_policy_energy(gaps, SPEC, tau)
+        offline = offline_optimal_energy(gaps, SPEC)
+        assert online <= 2.0 * offline + 1e-6
+
+    @given(
+        st.lists(st.floats(0.0, 1e5), min_size=1, max_size=30),
+        st.floats(0.0, 1e4),
+    )
+    def test_offline_lower_bounds_any_threshold(self, gaps, tau):
+        online = threshold_policy_energy(gaps, SPEC, tau)
+        offline = offline_optimal_energy(gaps, SPEC)
+        assert offline <= online + 1e-6

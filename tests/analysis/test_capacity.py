@@ -1,0 +1,86 @@
+"""Tests for the disk-farm planning tool."""
+
+import pytest
+
+from repro.analysis import minimum_disks, plan_disk_farm
+from repro.errors import CapacityError, ConfigError
+from repro.system import StorageConfig
+from repro.workload import FileCatalog
+
+
+@pytest.fixture(scope="module")
+def catalog():
+    return FileCatalog.from_zipf(n=2_000, s_max=4e9)
+
+
+class TestMinimumDisks:
+    def test_space_bound_dominates_at_low_rate(self, catalog):
+        cfg = StorageConfig(load_constraint=0.8)
+        low = minimum_disks(catalog, cfg, arrival_rate=0.001)
+        import numpy as np
+
+        assert low == int(
+            np.ceil(catalog.total_bytes / cfg.usable_capacity)
+        )
+
+    def test_load_bound_dominates_at_high_rate(self, catalog):
+        cfg = StorageConfig(load_constraint=0.8)
+        high = minimum_disks(catalog, cfg, arrival_rate=50.0)
+        low = minimum_disks(catalog, cfg, arrival_rate=0.001)
+        assert high > low
+
+    def test_monotone_in_rate(self, catalog):
+        cfg = StorageConfig(load_constraint=0.5)
+        counts = [
+            minimum_disks(catalog, cfg, r) for r in (0.1, 1.0, 5.0, 20.0)
+        ]
+        assert counts == sorted(counts)
+
+
+class TestPlanning:
+    def test_plans_sorted_and_feasible_found(self, catalog):
+        plans = plan_disk_farm(
+            catalog, arrival_rate=1.0, response_target=60.0,
+            config=StorageConfig(),
+        )
+        disk_counts = [p.num_disks for p in plans]
+        assert disk_counts == sorted(disk_counts)
+        assert any(p.feasible for p in plans)
+
+    def test_lower_l_gives_more_disks_less_latency(self, catalog):
+        plans = plan_disk_farm(
+            catalog, arrival_rate=1.0, response_target=1e9,
+            config=StorageConfig(), load_grid=[0.8, 0.4],
+        )
+        by_l = {p.load_constraint: p for p in plans}
+        assert by_l[0.4].num_disks >= by_l[0.8].num_disks
+        assert by_l[0.4].expected_response <= by_l[0.8].expected_response
+
+    def test_impossible_target_raises(self, catalog):
+        with pytest.raises(CapacityError):
+            plan_disk_farm(
+                catalog, arrival_rate=1.0, response_target=1e-6,
+                config=StorageConfig(),
+            )
+
+    def test_invalid_target_rejected(self, catalog):
+        with pytest.raises(ConfigError):
+            plan_disk_farm(catalog, 1.0, response_target=0.0)
+
+    def test_infeasible_load_points_skipped(self, catalog):
+        # At a tiny L the hottest file alone exceeds the per-disk load
+        # budget; those grid points must be skipped, not crash.
+        plans = plan_disk_farm(
+            catalog, arrival_rate=6.0, response_target=1e9,
+            config=StorageConfig(), load_grid=[0.8, 0.01],
+        )
+        assert all(p.load_constraint == 0.8 for p in plans)
+
+    def test_plan_string_rendering(self, catalog):
+        plans = plan_disk_farm(
+            catalog, arrival_rate=0.5, response_target=100.0,
+            config=StorageConfig(), load_grid=[0.6],
+        )
+        text = str(plans[0])
+        assert "L=0.60" in text
+        assert "disks" in text

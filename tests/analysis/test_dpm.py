@@ -1,0 +1,167 @@
+"""Tests for the multi-state DPM policy (paper §2's framework)."""
+
+import math
+
+import numpy as np
+import pytest
+from hypothesis import given
+from hypothesis import strategies as st
+
+from repro.analysis.dpm import (
+    DpmState,
+    MultiStateDpmPolicy,
+    offline_optimal_gap_energy,
+    states_from_spec,
+)
+from repro.disk import ST3500630AS
+from repro.errors import ConfigError
+
+SPEC = ST3500630AS
+
+TWO_STATE = [
+    DpmState("idle", 9.3, 0.0, 0.0),
+    DpmState("standby", 0.8, 453.0, 15.0),
+]
+THREE_STATE = [
+    DpmState("idle", 9.3, 0.0, 0.0),
+    DpmState("nap", 4.0, 60.0, 2.0),
+    DpmState("standby", 0.8, 453.0, 15.0),
+]
+
+
+class TestLadderValidation:
+    def test_empty_rejected(self):
+        with pytest.raises(ConfigError):
+            MultiStateDpmPolicy([])
+
+    def test_first_state_needs_zero_wake(self):
+        with pytest.raises(ConfigError):
+            MultiStateDpmPolicy([DpmState("idle", 9.3, 1.0)])
+
+    def test_power_must_decrease(self):
+        with pytest.raises(ConfigError):
+            MultiStateDpmPolicy(
+                [DpmState("a", 5.0, 0.0), DpmState("b", 6.0, 10.0)]
+            )
+
+    def test_wake_energy_must_increase(self):
+        with pytest.raises(ConfigError):
+            MultiStateDpmPolicy(
+                [
+                    DpmState("a", 5.0, 0.0),
+                    DpmState("b", 4.0, 10.0),
+                    DpmState("c", 3.0, 5.0),
+                ]
+            )
+
+    def test_negative_figures_rejected(self):
+        with pytest.raises(ConfigError):
+            DpmState("x", -1.0, 0.0)
+
+
+class TestTwoStateReduction:
+    def test_threshold_is_breakeven(self):
+        policy = MultiStateDpmPolicy.two_state(SPEC)
+        (threshold,) = policy.thresholds()
+        assert threshold == pytest.approx(SPEC.breakeven_threshold())
+        assert threshold == pytest.approx(53.3, abs=0.05)
+
+    def test_states_from_spec(self):
+        idle, standby = states_from_spec(SPEC)
+        assert idle.power == 9.3 and idle.wake_energy == 0.0
+        assert standby.wake_energy == pytest.approx(453.0)
+        assert standby.wake_time == 15.0
+
+    def test_gap_energy_short_gap(self):
+        policy = MultiStateDpmPolicy(TWO_STATE)
+        assert policy.gap_energy(10.0) == pytest.approx(93.0)
+
+    def test_gap_energy_long_gap(self):
+        policy = MultiStateDpmPolicy(TWO_STATE)
+        tau = policy.thresholds()[0]
+        g = 1_000.0
+        expected = 9.3 * tau + 0.8 * (g - tau) + 453.0
+        assert policy.gap_energy(g) == pytest.approx(expected)
+
+
+class TestSchedule:
+    def test_three_state_thresholds_increase(self):
+        policy = MultiStateDpmPolicy(THREE_STATE)
+        thresholds = policy.thresholds()
+        assert thresholds == sorted(thresholds)
+        assert len(thresholds) == 2
+
+    def test_dominated_state_skipped(self):
+        # A nap state so expensive it never pays off is dropped from the
+        # envelope entirely.
+        states = [
+            DpmState("idle", 9.3, 0.0),
+            DpmState("nap", 9.2, 1_000.0),
+            DpmState("standby", 0.8, 1_001.0),
+        ]
+        policy = MultiStateDpmPolicy(states)
+        names = [s.name for _, s in policy.schedule]
+        assert "nap" not in names
+        assert names == ["idle", "standby"]
+
+    def test_state_at_walks_ladder(self):
+        policy = MultiStateDpmPolicy(THREE_STATE)
+        t1, t2 = policy.thresholds()
+        assert policy.state_at(0.0).name == "idle"
+        assert policy.state_at((t1 + t2) / 2).name == "nap"
+        assert policy.state_at(t2 + 1).name == "standby"
+        with pytest.raises(ConfigError):
+            policy.state_at(-1.0)
+
+    def test_wake_penalty(self):
+        policy = MultiStateDpmPolicy(THREE_STATE)
+        t1, t2 = policy.thresholds()
+        assert policy.wake_penalty(0.0) == 0.0
+        assert policy.wake_penalty(t2 + 1) == 15.0
+
+
+class TestCompetitiveness:
+    @given(st.lists(st.floats(0.0, 1e5), min_size=1, max_size=40))
+    def test_two_state_2_competitive(self, gaps):
+        policy = MultiStateDpmPolicy(TWO_STATE)
+        online = policy.sequence_energy(gaps)
+        offline = sum(
+            offline_optimal_gap_energy(TWO_STATE, g) for g in gaps
+        )
+        assert online <= 2.0 * offline + 1e-6
+
+    @given(st.lists(st.floats(0.0, 1e5), min_size=1, max_size=40))
+    def test_three_state_2_competitive(self, gaps):
+        policy = MultiStateDpmPolicy(THREE_STATE)
+        online = policy.sequence_energy(gaps)
+        offline = sum(
+            offline_optimal_gap_energy(THREE_STATE, g) for g in gaps
+        )
+        assert online <= 2.0 * offline + 1e-6
+
+    def test_deeper_ladder_never_hurts_offline(self):
+        g = 500.0
+        assert offline_optimal_gap_energy(
+            THREE_STATE, g
+        ) <= offline_optimal_gap_energy(TWO_STATE, g)
+
+
+class TestExpectedEnergy:
+    def test_monte_carlo_agreement(self, rng):
+        policy = MultiStateDpmPolicy(THREE_STATE)
+        lam = 0.01
+        gaps = rng.exponential(1 / lam, size=100_000)
+        mc = float(np.mean([policy.gap_energy(g) for g in gaps[:20_000]]))
+        closed = policy.expected_gap_energy(lam)
+        assert closed == pytest.approx(mc, rel=0.03)
+
+    def test_invalid_rate(self):
+        with pytest.raises(ConfigError):
+            MultiStateDpmPolicy(TWO_STATE).expected_gap_energy(0.0)
+
+    def test_negative_gap_rejected(self):
+        policy = MultiStateDpmPolicy(TWO_STATE)
+        with pytest.raises(ConfigError):
+            policy.gap_energy(-1.0)
+        with pytest.raises(ConfigError):
+            offline_optimal_gap_energy(TWO_STATE, -1.0)

@@ -1,0 +1,88 @@
+"""Tests for the M/G/1 response-time model, including cross-validation
+against the discrete-event simulator."""
+
+import math
+
+import numpy as np
+import pytest
+
+from repro.analysis import allocation_response_estimate, mg1_response_time, mg1_waiting_time
+from repro.core import pack_disks
+from repro.disk import ST3500630AS, ServiceModel
+from repro.errors import ConfigError
+from repro.system import StorageConfig, build_items, simulate
+from repro.units import MB
+from repro.workload import FileCatalog, RequestStream
+
+
+class TestFormulas:
+    def test_mm1_special_case(self):
+        # For exponential service (E[S^2] = 2 E[S]^2), M/G/1 reduces to
+        # M/M/1: W_q = rho/(mu - lambda).
+        lam, mu = 0.5, 1.0
+        es = 1 / mu
+        es2 = 2 / mu**2
+        wq = mg1_waiting_time(lam, es, es2)
+        rho = lam / mu
+        assert wq == pytest.approx(rho / (mu - lam))
+
+    def test_md1_special_case(self):
+        # Deterministic service: W_q = rho ES / (2 (1 - rho)).
+        lam, es = 0.5, 1.0
+        wq = mg1_waiting_time(lam, es, es * es)
+        assert wq == pytest.approx(0.5 * 1.0 / (2 * 0.5))
+
+    def test_zero_rate_no_waiting(self):
+        assert mg1_waiting_time(0.0, 5.0, 30.0) == 0.0
+        assert mg1_response_time(0.0, 5.0, 30.0) == 5.0
+
+    def test_overload_is_infinite(self):
+        assert math.isinf(mg1_waiting_time(2.0, 1.0, 2.0))
+
+    def test_negative_args_rejected(self):
+        with pytest.raises(ConfigError):
+            mg1_waiting_time(-1.0, 1.0, 1.0)
+
+
+class TestAllocationEstimate:
+    def test_single_disk_uniform(self):
+        catalog = FileCatalog(
+            sizes=np.full(4, 72 * MB), popularities=np.full(4, 0.25)
+        )
+        items = build_items(catalog, StorageConfig(), arrival_rate=0.2)
+        alloc = pack_disks(items)
+        service = ServiceModel(ST3500630AS)
+        est = allocation_response_estimate(catalog, alloc, 0.2, service)
+        es = service.service_time(72 * MB)
+        expected = mg1_response_time(0.2, es, es * es)
+        assert est == pytest.approx(expected, rel=1e-6)
+
+    def test_overloaded_disk_gives_inf(self):
+        catalog = FileCatalog(
+            sizes=np.array([720 * MB]), popularities=np.array([1.0])
+        )
+        items = build_items(catalog, StorageConfig(), arrival_rate=0.01)
+        alloc = pack_disks(items)
+        service = ServiceModel(ST3500630AS)
+        # 1 request/s x 10 s service = overload.
+        assert math.isinf(
+            allocation_response_estimate(catalog, alloc, 1.0, service)
+        )
+
+    def test_cross_validation_against_simulator(self):
+        # A moderately loaded array with spin-down disabled: M/G/1 should
+        # predict the simulated mean response within ~15%.
+        catalog = FileCatalog.from_zipf(n=400, s_max=1e9, s_min=1e8)
+        rate = 1.0
+        cfg = StorageConfig(
+            num_disks=10, load_constraint=0.6, idleness_threshold=math.inf
+        )
+        items = build_items(catalog, cfg, rate)
+        alloc = pack_disks(items)
+        stream = RequestStream.poisson(
+            catalog.popularities, rate=rate, duration=20_000.0, rng=4
+        )
+        result = simulate(catalog, stream, alloc, cfg, num_disks=10)
+        service = cfg.service_model()
+        est = allocation_response_estimate(catalog, alloc, rate, service)
+        assert est == pytest.approx(result.mean_response, rel=0.15)

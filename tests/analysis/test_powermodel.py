@@ -1,0 +1,145 @@
+"""Tests for the threshold-policy power model, including Monte Carlo and
+simulator cross-validation."""
+
+import math
+
+import numpy as np
+import pytest
+
+from repro.analysis import disk_power_estimate
+from repro.analysis.powermodel import analyze_idle_period
+from repro.core import pack_disks
+from repro.disk import DiskDrive, ST3500630AS
+from repro.errors import ConfigError
+from repro.sim import Environment
+from repro.units import MB
+
+SPEC = ST3500630AS
+
+
+class TestIdlePeriodClosedForms:
+    def test_against_monte_carlo(self, rng):
+        lam, tau = 0.01, 53.3
+        analysis = analyze_idle_period(lam, tau, SPEC)
+        x = rng.exponential(1 / lam, size=200_000)
+        p_down = float(np.mean(x > tau))
+        assert analysis.spin_down_probability == pytest.approx(p_down, rel=0.02)
+
+        idle_e = SPEC.idle_power * np.minimum(x, tau)
+        down = x > tau
+        trans_e = down * (SPEC.spindown_energy + SPEC.spinup_energy)
+        standby_e = SPEC.standby_power * np.maximum(
+            x - tau - SPEC.spindown_time, 0.0
+        )
+        mc_energy = float(np.mean(idle_e + trans_e + standby_e))
+        assert analysis.idle_period_energy == pytest.approx(mc_energy, rel=0.02)
+
+        # Penalty: remaining spin-down + full spin-up when spun down.
+        remaining = np.where(
+            down,
+            np.maximum(tau + SPEC.spindown_time - x, 0.0) + SPEC.spinup_time,
+            0.0,
+        )
+        assert analysis.spin_penalty_wait == pytest.approx(
+            float(np.mean(remaining)), rel=0.02
+        )
+
+    def test_infinite_threshold(self):
+        analysis = analyze_idle_period(0.01, math.inf, SPEC)
+        assert analysis.spin_down_probability == 0.0
+        assert analysis.spin_penalty_wait == 0.0
+        assert analysis.idle_period_energy == pytest.approx(SPEC.idle_power / 0.01)
+
+    def test_zero_threshold(self):
+        analysis = analyze_idle_period(0.01, 0.0, SPEC)
+        assert analysis.spin_down_probability == 1.0
+
+    def test_invalid_args(self):
+        with pytest.raises(ConfigError):
+            analyze_idle_period(0.0, 10.0, SPEC)
+        with pytest.raises(ConfigError):
+            analyze_idle_period(1.0, -1.0, SPEC)
+
+
+class TestDiskPowerEstimate:
+    def test_zero_rate_disk_sleeps(self):
+        assert disk_power_estimate(0.0, 0.0, 100.0, SPEC) == SPEC.standby_power
+
+    def test_zero_rate_no_spindown_idles(self):
+        assert disk_power_estimate(0.0, 0.0, math.inf, SPEC) == SPEC.idle_power
+
+    def test_saturated_disk_at_active_power(self):
+        assert disk_power_estimate(1.0, 2.0, 100.0, SPEC) == SPEC.active_power
+
+    def test_monotone_in_rate_for_sleepy_disks(self):
+        # More traffic on a mostly-sleeping disk means more power.
+        powers = [
+            disk_power_estimate(lam, 1.0, SPEC.breakeven_threshold(), SPEC)
+            for lam in (1e-5, 1e-4, 1e-3)
+        ]
+        assert powers[0] < powers[1] < powers[2]
+
+    def test_never_spin_down_bounds(self):
+        p = disk_power_estimate(0.001, 1.0, math.inf, SPEC)
+        assert SPEC.idle_power < p < SPEC.active_power
+
+    def test_cross_validation_against_simulator(self):
+        # One disk, Poisson arrivals, break-even threshold: the renewal
+        # analysis should land within ~10% of the simulated mean power.
+        lam = 0.005
+        size = 72 * MB  # 1 s service
+        threshold = SPEC.breakeven_threshold()
+        env = Environment()
+        drive = DiskDrive(env, SPEC, idleness_threshold=threshold)
+        rng = np.random.default_rng(8)
+        times = np.cumsum(rng.exponential(1 / lam, size=2_000))
+
+        def feeder(env):
+            for t in times:
+                yield env.timeout(t - env.now)
+                drive.submit(0, size)
+
+        env.process(feeder(env))
+        env.run(until=float(times[-1]))
+        simulated = drive.mean_power()
+        es = drive.spec.access_overhead + 1.0
+        estimated = disk_power_estimate(lam, es, threshold, SPEC)
+        assert estimated == pytest.approx(simulated, rel=0.10)
+
+    def test_invalid_args(self):
+        with pytest.raises(ConfigError):
+            disk_power_estimate(-1.0, 1.0, 10.0, SPEC)
+
+
+class TestAllocationPowerEstimate:
+    def test_idle_pool_counts_standby(self, small_catalog):
+        from repro.analysis import allocation_power_estimate
+        from repro.disk import ServiceModel
+        from repro.system import StorageConfig, build_items
+
+        cfg = StorageConfig(num_disks=50, load_constraint=0.8)
+        items = build_items(small_catalog, cfg, 0.1)
+        alloc = pack_disks(items)
+        service = ServiceModel(SPEC)
+        with_pool = allocation_power_estimate(
+            small_catalog, alloc, 0.1, service, 100.0, SPEC, num_disks=50
+        )
+        bare = allocation_power_estimate(
+            small_catalog, alloc, 0.1, service, 100.0, SPEC
+        )
+        extra = (50 - alloc.num_disks) * SPEC.standby_power
+        assert with_pool == pytest.approx(bare + extra)
+
+    def test_pool_smaller_than_allocation_rejected(self, small_catalog):
+        from repro.analysis import allocation_power_estimate
+        from repro.disk import ServiceModel
+        from repro.system import StorageConfig, build_items
+
+        cfg = StorageConfig(load_constraint=0.8)
+        items = build_items(small_catalog, cfg, 0.1)
+        alloc = pack_disks(items)
+        with pytest.raises(ConfigError):
+            allocation_power_estimate(
+                small_catalog, alloc, 0.1, ServiceModel(SPEC), 100.0, SPEC,
+                num_disks=0,
+            )

@@ -1,0 +1,81 @@
+"""Tests for the spin-cycle reliability projection."""
+
+import math
+
+import numpy as np
+import pytest
+
+from repro.analysis import spin_cycle_stress
+from repro.disk import DiskState
+from repro.errors import ConfigError
+from repro.system import SimulationResult
+from repro.units import DAY
+
+
+def make_result(spinups=100, num_disks=10, days=10.0, per_disk=None):
+    return SimulationResult(
+        algorithm="t",
+        duration=days * DAY,
+        num_disks=num_disks,
+        energy=1.0,
+        energy_per_disk=np.ones(num_disks),
+        state_durations={DiskState.IDLE: days * DAY * num_disks},
+        response_times=np.array([1.0]),
+        arrivals=1,
+        completions=1,
+        spinups=spinups,
+        spindowns=spinups,
+        always_on_energy=1.0,
+        spinups_per_disk=per_disk,
+    )
+
+
+class TestStress:
+    def test_mean_rate(self):
+        stress = spin_cycle_stress(make_result(spinups=100, num_disks=10, days=10))
+        assert stress.cycles_per_disk_day == pytest.approx(1.0)
+        assert stress.years_to_rated_mean == pytest.approx(
+            50_000 / 1.0 / 365.25
+        )
+
+    def test_worst_disk(self):
+        per_disk = np.array([90, 10] + [0] * 8)
+        stress = spin_cycle_stress(
+            make_result(spinups=100, num_disks=10, days=10),
+            spinups_per_disk=per_disk,
+        )
+        assert stress.worst_disk_cycles_per_day == pytest.approx(9.0)
+        assert stress.years_to_rated_worst < stress.years_to_rated_mean
+
+    def test_no_spinups_infinite_life(self):
+        stress = spin_cycle_stress(make_result(spinups=0))
+        assert math.isinf(stress.years_to_rated_mean)
+        assert stress.acceptable()
+
+    def test_acceptable_threshold(self):
+        # 100 cycles/day exhausts 50k cycles in ~1.4 years.
+        stress = spin_cycle_stress(
+            make_result(spinups=10_000, num_disks=10, days=10)
+        )
+        assert not stress.acceptable(min_years=5.0)
+
+    def test_validation(self):
+        with pytest.raises(ConfigError):
+            spin_cycle_stress(make_result(), rated_cycles=0)
+
+    def test_from_simulation(self):
+        # End-to-end: the fields flow from an actual simulation result.
+        from repro.system import StorageConfig, run_policy
+        from repro.workload import SyntheticWorkloadParams, generate_workload
+
+        wl = generate_workload(
+            SyntheticWorkloadParams(
+                n_files=1_000, arrival_rate=1.0, duration=600.0, seed=13
+            )
+        )
+        cfg = StorageConfig(num_disks=30, load_constraint=0.8,
+                            idleness_threshold=30.0)
+        res = run_policy(wl.catalog, wl.stream, "pack", cfg, arrival_rate=1.0)
+        stress = spin_cycle_stress(res, spinups_per_disk=res.spinups_per_disk)
+        assert stress.cycles_per_disk_day >= 0
+        assert stress.worst_disk_cycles_per_day >= stress.cycles_per_disk_day

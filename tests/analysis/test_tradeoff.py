@@ -1,0 +1,47 @@
+"""Tests for the analytic trade-off curve (Figure 4's closed form)."""
+
+import pytest
+
+from repro.analysis import tradeoff_curve
+from repro.system import StorageConfig
+from repro.workload import FileCatalog
+
+
+@pytest.fixture(scope="module")
+def catalog():
+    return FileCatalog.from_zipf(n=3_000, s_max=4e9)
+
+
+class TestTradeoffCurve:
+    def test_disks_decrease_with_l(self, catalog):
+        points = tradeoff_curve(
+            catalog, arrival_rate=2.0, config=StorageConfig(num_disks=1),
+            load_grid=[0.4, 0.6, 0.8],
+        )
+        disks = [p.num_disks for p in points]
+        assert disks == sorted(disks, reverse=True)
+
+    def test_response_increases_with_l(self, catalog):
+        points = tradeoff_curve(
+            catalog, arrival_rate=2.0, config=StorageConfig(num_disks=1),
+            load_grid=[0.4, 0.8],
+        )
+        assert points[0].response_seconds <= points[1].response_seconds
+
+    def test_power_decreases_with_l_with_fixed_pool(self, catalog):
+        # With the full 100-disk pool, higher L concentrates load on fewer
+        # spinning disks: total power falls (Figure 4's left axis).
+        points = tradeoff_curve(
+            catalog, arrival_rate=2.0, config=StorageConfig(num_disks=100),
+            load_grid=[0.4, 0.8],
+        )
+        assert points[1].power_watts <= points[0].power_watts
+
+    def test_point_fields(self, catalog):
+        (point,) = tradeoff_curve(
+            catalog, arrival_rate=1.0, load_grid=[0.5],
+        )
+        assert point.load_constraint == 0.5
+        assert point.num_disks > 0
+        assert point.power_watts > 0
+        assert point.response_seconds > 0

@@ -1,0 +1,139 @@
+"""Unit tests for the baseline allocators."""
+
+import numpy as np
+import pytest
+from hypothesis import given
+from hypothesis import strategies as st
+
+from repro.core import (
+    best_fit,
+    first_fit,
+    first_fit_decreasing,
+    make_items,
+    next_fit,
+    random_allocation,
+    round_robin_allocation,
+)
+from repro.core.item import PackItem
+from repro.errors import CapacityError, PackingError
+
+coords = st.floats(min_value=1e-4, max_value=0.45)
+item_lists = st.lists(st.tuples(coords, coords), min_size=1, max_size=100)
+
+
+def items_from(pairs):
+    return [PackItem(i, s, l) for i, (s, l) in enumerate(pairs)]
+
+
+class TestRandom:
+    def test_uses_fixed_pool(self):
+        items = items_from([(0.01, 0.01)] * 50)
+        alloc = random_allocation(items, num_disks=10, rng=1)
+        assert alloc.num_disks == 10
+        assert alloc.num_items == 50
+
+    def test_respects_storage(self):
+        items = items_from([(0.6, 0.0)] * 10)
+        alloc = random_allocation(items, num_disks=10, rng=2)
+        for disk in alloc.disks:
+            assert disk.total_size <= 1.0 + 1e-9
+
+    def test_capacity_error_when_full(self):
+        items = items_from([(0.9, 0.0)] * 3)
+        with pytest.raises(CapacityError):
+            random_allocation(items, num_disks=2, rng=3)
+
+    def test_deterministic_with_seed(self):
+        items = items_from([(0.05, 0.05)] * 40)
+        a = random_allocation(items, num_disks=8, rng=42).mapping(40)
+        b = random_allocation(items, num_disks=8, rng=42).mapping(40)
+        assert np.array_equal(a, b)
+
+    def test_invalid_pool_rejected(self):
+        with pytest.raises(PackingError):
+            random_allocation([], num_disks=0)
+
+    def test_oblivious_to_load(self):
+        # Random placement ignores loads entirely (the paper's baseline):
+        # overloaded disks are allowed.
+        items = items_from([(0.01, 0.9)] * 5)
+        alloc = random_allocation(items, num_disks=1, rng=0)
+        assert alloc.disks[0].total_load > 1.0
+
+
+class TestRoundRobin:
+    def test_striping(self):
+        items = items_from([(0.01, 0.01)] * 9)
+        mapping = round_robin_allocation(items, num_disks=3).mapping(9)
+        assert mapping.tolist() == [0, 1, 2, 0, 1, 2, 0, 1, 2]
+
+    def test_capacity_fallback(self):
+        items = items_from([(0.7, 0.0), (0.7, 0.0), (0.2, 0.0)])
+        alloc = round_robin_allocation(items, num_disks=2)
+        for disk in alloc.disks:
+            assert disk.total_size <= 1.0 + 1e-9
+
+    def test_capacity_error(self):
+        items = items_from([(0.9, 0.0)] * 3)
+        with pytest.raises(CapacityError):
+            round_robin_allocation(items, num_disks=2)
+
+
+class TestFitHeuristics:
+    @given(item_lists)
+    def test_first_fit_feasible(self, pairs):
+        items = items_from(pairs)
+        first_fit(items).validate(items)
+
+    @given(item_lists)
+    def test_best_fit_feasible(self, pairs):
+        items = items_from(pairs)
+        best_fit(items).validate(items)
+
+    @given(item_lists)
+    def test_ffd_feasible(self, pairs):
+        items = items_from(pairs)
+        first_fit_decreasing(items).validate(items)
+
+    @given(item_lists)
+    def test_next_fit_feasible(self, pairs):
+        items = items_from(pairs)
+        next_fit(items).validate(items)
+
+    @given(item_lists)
+    def test_next_fit_never_beats_first_fit(self, pairs):
+        # First-fit dominates next-fit disk-for-disk on identical input.
+        items = items_from(pairs)
+        assert first_fit(items).num_disks <= next_fit(items).num_disks
+
+    def test_first_fit_reuses_open_disks(self):
+        items = items_from([(0.6, 0.1), (0.6, 0.1), (0.3, 0.1)])
+        alloc = first_fit(items)
+        # Third item fits on disk 0 next to the first.
+        assert alloc.mapping(3).tolist() == [0, 1, 0]
+
+    def test_best_fit_prefers_tighter_disk(self):
+        # Disk 0 has 0.4 slack, disk 1 has 0.2 slack; a 0.2 item should
+        # land on disk 1.
+        items = items_from([(0.6, 0.1), (0.8, 0.1), (0.2, 0.05)])
+        alloc = best_fit(items)
+        assert alloc.mapping(3).tolist() == [0, 1, 1]
+
+    def test_ffd_sorts_by_max_coordinate(self):
+        items = items_from([(0.1, 0.1), (0.9, 0.1), (0.5, 0.6)])
+        alloc = first_fit_decreasing(items)
+        # 0.9 item first -> disk 0; (0.5,0.6) next -> new disk; small last.
+        mapping = alloc.mapping(3)
+        assert mapping[1] == 0
+        assert alloc.algorithm == "first_fit_decreasing"
+
+    def test_custom_ffd_key(self):
+        items = items_from([(0.1, 0.4), (0.2, 0.1)])
+        alloc = first_fit_decreasing(items, key=lambda it: it.size)
+        assert alloc.num_items == 2
+
+    def test_empty_inputs(self):
+        assert first_fit([]).num_disks == 0
+        assert best_fit([]).num_disks == 0
+        assert next_fit([]).num_disks == 0
+        assert first_fit_decreasing([]).num_disks == 0

@@ -1,0 +1,143 @@
+"""Unit tests for lower bounds and allocation verification."""
+
+import math
+
+import pytest
+
+from repro.core import (
+    Allocation,
+    PackedDisk,
+    PackItem,
+    continuous_lower_bound,
+    optimality_gap,
+    pack_disks,
+    theorem1_guarantee,
+    verify_allocation,
+)
+from repro.errors import PackingError
+
+
+def items_from(pairs):
+    return [PackItem(i, s, l) for i, (s, l) in enumerate(pairs)]
+
+
+class TestLowerBound:
+    def test_max_of_dimensions(self):
+        items = items_from([(0.5, 0.1), (0.5, 0.1)])
+        assert continuous_lower_bound(items) == pytest.approx(1.0)
+        items = items_from([(0.1, 0.8), (0.1, 0.8)])
+        assert continuous_lower_bound(items) == pytest.approx(1.6)
+
+    def test_empty(self):
+        assert continuous_lower_bound([]) == 0.0
+
+
+class TestGuarantee:
+    def test_formula(self):
+        items = items_from([(0.5, 0.5)] * 4)  # LB = 2, rho = 0.5
+        assert theorem1_guarantee(items) == pytest.approx(1 + 2 / 0.5)
+
+    def test_degenerate_rho(self):
+        items = items_from([(1.0, 0.1)])
+        assert math.isinf(theorem1_guarantee(items))
+
+    def test_explicit_rho(self):
+        items = items_from([(0.2, 0.2)] * 5)  # LB = 1
+        assert theorem1_guarantee(items, rho=0.5) == pytest.approx(3.0)
+
+
+class TestGap:
+    def test_gap_of_packing(self):
+        items = items_from([(0.5, 0.25), (0.25, 0.5)] * 8)
+        alloc = pack_disks(items)
+        gap = optimality_gap(alloc, items)
+        assert 1.0 <= gap <= 2.5
+
+    def test_gap_nan_for_empty(self):
+        alloc = pack_disks([])
+        assert math.isnan(optimality_gap(alloc, []))
+
+
+class TestVerify:
+    def test_valid_allocation_passes(self):
+        items = items_from([(0.3, 0.2), (0.2, 0.3)])
+        verify_allocation(pack_disks(items), items, check_bound=True)
+
+    def test_overflow_detected(self):
+        items = items_from([(0.7, 0.1), (0.7, 0.1)])
+        bad = Allocation(
+            disks=[PackedDisk(index=0, items=list(items))],
+            algorithm="bogus",
+        )
+        with pytest.raises(PackingError, match="overflow"):
+            verify_allocation(bad, items)
+
+    def test_missing_item_detected(self):
+        items = items_from([(0.3, 0.1), (0.3, 0.1)])
+        bad = Allocation(
+            disks=[PackedDisk(index=0, items=[items[0]])],
+            algorithm="bogus",
+        )
+        with pytest.raises(PackingError, match="covers"):
+            verify_allocation(bad, items)
+
+    def test_duplicate_item_detected(self):
+        items = items_from([(0.3, 0.1)])
+        bad = Allocation(
+            disks=[PackedDisk(index=0, items=[items[0], items[0]])],
+            algorithm="bogus",
+        )
+        with pytest.raises(PackingError):
+            verify_allocation(bad, items)
+
+    def test_non_dense_numbering_detected(self):
+        items = items_from([(0.3, 0.1)])
+        bad = Allocation(
+            disks=[PackedDisk(index=5, items=[items[0]])],
+            algorithm="bogus",
+        )
+        with pytest.raises(PackingError, match="densely"):
+            verify_allocation(bad, items)
+
+    def test_bound_violation_detected(self):
+        # One item per disk is far above the guarantee for tiny items.
+        items = items_from([(0.01, 0.01)] * 50)
+        bad = Allocation(
+            disks=[
+                PackedDisk(index=i, items=[item])
+                for i, item in enumerate(items)
+            ],
+            algorithm="one_per_disk",
+        )
+        with pytest.raises(PackingError, match="Theorem 1"):
+            verify_allocation(bad, items, check_bound=True)
+
+
+class TestAllocationContainer:
+    def test_summary_mentions_algorithm(self):
+        items = items_from([(0.3, 0.1)])
+        alloc = pack_disks(items)
+        assert "pack_disks" in alloc.summary()
+        assert "1 files" in alloc.summary() or "1 " in alloc.summary()
+
+    def test_mapping_dict(self):
+        items = items_from([(0.3, 0.1), (0.1, 0.3)])
+        alloc = pack_disks(items)
+        md = alloc.mapping_dict()
+        assert set(md) == {0, 1}
+
+    def test_mapping_out_of_range(self):
+        items = items_from([(0.3, 0.1), (0.1, 0.3)])
+        alloc = pack_disks(items)
+        with pytest.raises(PackingError):
+            alloc.mapping(num_files=1)
+
+    def test_per_disk_arrays(self):
+        items = items_from([(0.3, 0.1), (0.1, 0.3)])
+        alloc = pack_disks(items)
+        assert alloc.sizes_per_disk().sum() == pytest.approx(0.4)
+        assert alloc.loads_per_disk().sum() == pytest.approx(0.4)
+
+    def test_empty_summary(self):
+        alloc = pack_disks([])
+        assert "empty" in alloc.summary()

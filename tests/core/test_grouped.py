@@ -1,0 +1,74 @@
+"""Unit and property tests for Pack_Disks_v (the grouped variant)."""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.core import make_items, pack_disks, pack_disks_grouped
+from repro.core.item import PackItem
+from repro.errors import PackingError
+
+coords = st.floats(min_value=1e-4, max_value=0.45)
+item_lists = st.lists(st.tuples(coords, coords), min_size=1, max_size=120)
+
+
+class TestBasics:
+    def test_v1_equals_pack_disks(self):
+        rng = np.random.default_rng(3)
+        items = make_items(
+            rng.uniform(0.001, 0.3, 300), rng.uniform(0.001, 0.3, 300)
+        )
+        plain = pack_disks(items)
+        grouped = pack_disks_grouped(items, v=1)
+        assert [
+            sorted(i.index for i in d.items) for d in plain.disks
+        ] == [sorted(i.index for i in d.items) for d in grouped.disks]
+
+    def test_invalid_v_rejected(self):
+        with pytest.raises(PackingError):
+            pack_disks_grouped([PackItem(0, 0.1, 0.1)], v=0)
+
+    def test_empty_input(self):
+        assert pack_disks_grouped([], v=4).num_disks == 0
+
+    def test_algorithm_label(self):
+        alloc = pack_disks_grouped([PackItem(0, 0.1, 0.1)], v=3)
+        assert alloc.algorithm == "pack_disks_v3"
+
+    def test_spreads_similar_items_across_group(self):
+        # 40 identical size-intensive items; with v=4 consecutive items
+        # must land on different disks (round-robin), unlike v=1 which
+        # fills one disk at a time.
+        items = [PackItem(i, 0.2, 0.05) for i in range(40)]
+        alloc = pack_disks_grouped(items, v=4)
+        alloc.validate(items)
+        mapping = alloc.mapping(40)
+        # The first four consecutive items land on four distinct disks.
+        assert len(set(mapping[:4].tolist())) == 4
+
+    def test_v1_keeps_similar_items_together(self):
+        items = [PackItem(i, 0.2, 0.05) for i in range(40)]
+        mapping = pack_disks(items).mapping(40)
+        assert len(set(mapping[:4].tolist())) == 1
+
+
+class TestProperties:
+    @given(item_lists, st.integers(1, 6))
+    def test_feasible_and_covering(self, pairs, v):
+        items = [PackItem(i, s, l) for i, (s, l) in enumerate(pairs)]
+        alloc = pack_disks_grouped(items, v=v)
+        alloc.validate(items)
+
+    @settings(max_examples=15)
+    @given(st.integers(50, 500), st.integers(0, 2**31 - 1), st.integers(2, 8))
+    def test_disk_count_overhead_bounded(self, n, seed, v):
+        # The grouped variant may use more disks than v=1, but not wildly
+        # more: each group boundary wastes at most v-1 partially-full disks.
+        rng = np.random.default_rng(seed)
+        items = make_items(
+            rng.uniform(0.001, 0.3, n), rng.uniform(0.001, 0.3, n)
+        )
+        plain = pack_disks(items).num_disks
+        grouped = pack_disks_grouped(items, v=v).num_disks
+        assert grouped <= plain + max(2 * v, int(0.5 * plain) + v)

@@ -1,0 +1,95 @@
+"""Tests for class-partitioned packing (§6's file-type restriction)."""
+
+import numpy as np
+import pytest
+from hypothesis import given
+from hypothesis import strategies as st
+
+from repro.core import (
+    make_items,
+    pack_disks,
+    pack_disks_partitioned,
+    size_class_classifier,
+)
+from repro.core.item import PackItem
+from repro.errors import PackingError
+
+coords = st.floats(min_value=1e-4, max_value=0.45)
+item_lists = st.lists(st.tuples(coords, coords), min_size=1, max_size=100)
+
+
+class TestClassifier:
+    def test_boundary_split(self):
+        classify = size_class_classifier(0.1)
+        assert classify(PackItem(0, 0.05, 0.0)) == "small"
+        assert classify(PackItem(1, 0.2, 0.0)) == "large"
+
+    def test_invalid_boundary(self):
+        with pytest.raises(PackingError):
+            size_class_classifier(0.0)
+
+
+class TestPartitionedPacking:
+    def test_classes_on_disjoint_disks(self):
+        items = [PackItem(i, 0.05, 0.01) for i in range(10)] + [
+            PackItem(10 + i, 0.4, 0.01) for i in range(10)
+        ]
+        alloc = pack_disks_partitioned(items, size_class_classifier(0.1))
+        alloc.validate(items)
+        small_disks = {
+            d.index for d in alloc.disks
+            if any(it.size <= 0.1 for it in d.items)
+        }
+        large_disks = {
+            d.index for d in alloc.disks
+            if any(it.size > 0.1 for it in d.items)
+        }
+        assert small_disks.isdisjoint(large_disks)
+
+    def test_single_class_equals_pack_disks(self):
+        rng = np.random.default_rng(2)
+        items = make_items(
+            rng.uniform(0.001, 0.2, 200), rng.uniform(0.001, 0.2, 200)
+        )
+        plain = pack_disks(items)
+        partitioned = pack_disks_partitioned(items, lambda it: "all")
+        assert partitioned.num_disks == plain.num_disks
+
+    def test_algorithm_label_counts_classes(self):
+        items = [PackItem(0, 0.05, 0.01), PackItem(1, 0.4, 0.01)]
+        alloc = pack_disks_partitioned(items, size_class_classifier(0.1))
+        assert alloc.algorithm == "pack_disks_partitioned_2"
+
+    def test_deterministic_class_order(self):
+        items = [PackItem(i, 0.05 + 0.1 * (i % 3), 0.01) for i in range(30)]
+        classify = lambda it: round(it.size, 2)  # noqa: E731
+        a = pack_disks_partitioned(items, classify)
+        b = pack_disks_partitioned(items, classify)
+        assert [
+            [it.index for it in d.items] for d in a.disks
+        ] == [[it.index for it in d.items] for d in b.disks]
+
+    @given(item_lists, st.floats(0.05, 0.4))
+    def test_feasible_for_any_boundary(self, pairs, boundary):
+        items = [PackItem(i, s, l) for i, (s, l) in enumerate(pairs)]
+        alloc = pack_disks_partitioned(
+            items, size_class_classifier(boundary)
+        )
+        alloc.validate(items)
+
+    @given(item_lists)
+    def test_overhead_at_most_one_disk_per_class(self, pairs):
+        # k classes cost at most k-1 extra open disks vs packing jointly
+        # is NOT guaranteed in general, but each class individually obeys
+        # Theorem 1; check the sum of per-class guarantees.
+        from repro.core.bounds import theorem1_guarantee
+
+        items = [PackItem(i, s, l) for i, (s, l) in enumerate(pairs)]
+        classify = size_class_classifier(0.2)
+        alloc = pack_disks_partitioned(items, classify)
+        small = [it for it in items if classify(it) == "small"]
+        large = [it for it in items if classify(it) == "large"]
+        cap = sum(
+            theorem1_guarantee(group) for group in (small, large) if group
+        )
+        assert alloc.num_disks <= cap + 1e-9

@@ -1,0 +1,47 @@
+"""The O(n^2) reference must produce bit-identical output to Pack_Disks."""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.core import make_items, pack_disks, pack_disks_quadratic
+from repro.core.item import PackItem
+from repro.errors import PackingError
+
+coords = st.floats(min_value=1e-4, max_value=0.45)
+item_lists = st.lists(st.tuples(coords, coords), min_size=0, max_size=120)
+
+
+def disks_as_indices(alloc):
+    return [[item.index for item in d.items] for d in alloc.disks]
+
+
+class TestEquivalence:
+    @given(item_lists)
+    def test_identical_output(self, pairs):
+        items = [PackItem(i, s, l) for i, (s, l) in enumerate(pairs)]
+        fast = pack_disks(items)
+        slow = pack_disks_quadratic(items)
+        assert disks_as_indices(fast) == disks_as_indices(slow)
+
+    @settings(max_examples=10)
+    @given(st.integers(50, 800), st.integers(0, 2**31 - 1))
+    def test_identical_on_larger_instances(self, n, seed):
+        rng = np.random.default_rng(seed)
+        items = make_items(
+            rng.uniform(0.001, 0.35, n), rng.uniform(0.001, 0.35, n)
+        )
+        assert disks_as_indices(pack_disks(items)) == disks_as_indices(
+            pack_disks_quadratic(items)
+        )
+
+    def test_validation_matches(self):
+        with pytest.raises(PackingError):
+            pack_disks_quadratic([PackItem(0, 2.0, 0.1)])
+        with pytest.raises(PackingError):
+            pack_disks_quadratic([PackItem(0, 0.5, 0.1)], rho=0.2)
+
+    def test_algorithm_label(self):
+        alloc = pack_disks_quadratic([PackItem(0, 0.1, 0.1)])
+        assert alloc.algorithm == "pack_disks_quadratic"

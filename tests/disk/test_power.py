@@ -1,0 +1,52 @@
+"""Unit tests for the power model (Figure 1)."""
+
+import pytest
+
+from repro.disk import DiskState, PowerModel
+
+
+class TestDiskState:
+    def test_spinning_classification(self):
+        assert DiskState.IDLE.spinning
+        assert DiskState.ACTIVE.spinning
+        assert DiskState.SPINUP.spinning
+        assert not DiskState.STANDBY.spinning
+
+    def test_serving_classification(self):
+        assert DiskState.SEEK.serving
+        assert DiskState.ACTIVE.serving
+        assert not DiskState.IDLE.serving
+        assert not DiskState.SPINUP.serving
+
+
+class TestPowerModel:
+    def test_state_powers(self, spec):
+        pm = PowerModel(spec)
+        assert pm.power(DiskState.IDLE) == 9.3
+        assert pm.power(DiskState.STANDBY) == 0.8
+        assert pm.power(DiskState.ACTIVE) == 13.0
+        assert pm.power(DiskState.SEEK) == 12.6
+        assert pm.power(DiskState.SPINUP) == 24.0
+        assert pm.power(DiskState.SPINDOWN) == 9.3
+
+    def test_energy_integration(self, spec):
+        pm = PowerModel(spec)
+        energy = pm.energy({DiskState.IDLE: 100.0, DiskState.STANDBY: 50.0})
+        assert energy == pytest.approx(100 * 9.3 + 50 * 0.8)
+
+    def test_energy_unknown_state_raises(self, spec):
+        pm = PowerModel(spec)
+        with pytest.raises(KeyError):
+            pm.energy({"bogus": 1.0})
+
+    def test_always_on_energy(self, spec):
+        pm = PowerModel(spec)
+        assert pm.always_on_energy(1000.0) == pytest.approx(9300.0)
+        busy = pm.always_on_energy(1000.0, serving_fraction=0.5)
+        assert busy == pytest.approx(500 * 13.0 + 500 * 9.3)
+
+    def test_power_table_is_copy(self, spec):
+        pm = PowerModel(spec)
+        table = pm.power_table()
+        table[DiskState.IDLE] = 0.0
+        assert pm.power(DiskState.IDLE) == 9.3

@@ -1,0 +1,90 @@
+"""Unit tests for the service-time model."""
+
+import numpy as np
+import pytest
+
+from repro.disk import ServiceModel
+from repro.errors import ConfigError
+from repro.units import MB
+
+
+class TestServiceTime:
+    def test_full_mode_includes_overhead(self, spec):
+        sm = ServiceModel(spec, "full")
+        assert sm.service_time(72 * MB) == pytest.approx(1.0 + 0.01266)
+
+    def test_transfer_mode_is_pure_transfer(self, spec):
+        sm = ServiceModel(spec, "transfer")
+        assert sm.service_time(72 * MB) == pytest.approx(1.0)
+        assert sm.overhead == 0.0
+
+    def test_vectorized(self, spec):
+        sm = ServiceModel(spec, "full")
+        sizes = np.array([72 * MB, 144 * MB])
+        times = sm.service_time(sizes)
+        assert times.shape == (2,)
+        assert times[1] == pytest.approx(2.0 + 0.01266)
+
+    def test_monotone_in_size(self, spec):
+        sm = ServiceModel(spec)
+        sizes = np.linspace(1 * MB, 1000 * MB, 50)
+        times = sm.service_time(sizes)
+        assert np.all(np.diff(times) > 0)
+
+    def test_unknown_mode_rejected(self, spec):
+        with pytest.raises(ConfigError):
+            ServiceModel(spec, "warp")
+
+
+class TestMoments:
+    def test_uniform_mix(self, spec):
+        sm = ServiceModel(spec, "transfer")
+        es, es2 = sm.service_moments(
+            np.array([72 * MB, 144 * MB]), np.array([0.5, 0.5])
+        )
+        assert es == pytest.approx(1.5)
+        assert es2 == pytest.approx(0.5 * 1 + 0.5 * 4)
+
+    def test_weights_normalized(self, spec):
+        sm = ServiceModel(spec, "transfer")
+        es_a, _ = sm.service_moments(np.array([72 * MB]), np.array([2.0]))
+        es_b, _ = sm.service_moments(np.array([72 * MB]), np.array([1.0]))
+        assert es_a == es_b
+
+    def test_zero_weights_rejected(self, spec):
+        sm = ServiceModel(spec)
+        with pytest.raises(ConfigError):
+            sm.service_moments(np.array([1.0]), np.array([0.0]))
+
+    def test_shape_mismatch_rejected(self, spec):
+        sm = ServiceModel(spec)
+        with pytest.raises(ConfigError):
+            sm.service_moments(np.array([1.0, 2.0]), np.array([1.0]))
+
+
+class TestLoads:
+    def test_load_formula(self, spec):
+        sm = ServiceModel(spec, "transfer")
+        loads = sm.loads(
+            np.array([72 * MB]), np.array([1.0]), arrival_rate=0.5
+        )
+        # l = R * p * s/rate = 0.5 * 1.0 * 1.0
+        assert loads[0] == pytest.approx(0.5)
+
+    def test_loads_scale_with_rate(self, spec):
+        sm = ServiceModel(spec)
+        sizes = np.array([100 * MB, 200 * MB])
+        pops = np.array([0.7, 0.3])
+        l1 = sm.loads(sizes, pops, 1.0)
+        l4 = sm.loads(sizes, pops, 4.0)
+        assert np.allclose(l4, 4 * l1)
+
+    def test_negative_rate_rejected(self, spec):
+        sm = ServiceModel(spec)
+        with pytest.raises(ConfigError):
+            sm.loads(np.array([1.0]), np.array([1.0]), -1.0)
+
+    def test_shape_mismatch_rejected(self, spec):
+        sm = ServiceModel(spec)
+        with pytest.raises(ConfigError):
+            sm.loads(np.array([1.0, 2.0]), np.array([1.0]), 1.0)

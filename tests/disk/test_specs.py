@@ -1,0 +1,65 @@
+"""Unit tests for the disk spec (Table 2)."""
+
+import pytest
+
+from repro.disk import DiskSpec, ST3500630AS
+from repro.errors import ConfigError
+from repro.units import GB, MB
+
+
+class TestST3500630AS:
+    def test_table2_values(self, spec):
+        assert spec.capacity == 500 * GB
+        assert spec.transfer_rate == 72 * MB
+        assert spec.avg_seek_time == pytest.approx(0.0085)
+        assert spec.avg_rotation_time == pytest.approx(0.00416)
+        assert spec.idle_power == 9.3
+        assert spec.standby_power == 0.8
+        assert spec.active_power == 13.0
+        assert spec.seek_power == 12.6
+        assert spec.spinup_power == 24.0
+        assert spec.spindown_power == 9.3
+        assert spec.spinup_time == 15.0
+        assert spec.spindown_time == 10.0
+
+    def test_breakeven_matches_paper(self, spec):
+        # Table 2 lists the idleness threshold as 53.3 s.
+        assert spec.breakeven_threshold() == pytest.approx(53.3, abs=0.05)
+
+    def test_transition_energy(self, spec):
+        assert spec.spindown_energy == pytest.approx(93.0)
+        assert spec.spinup_energy == pytest.approx(360.0)
+        assert spec.transition_energy == pytest.approx(453.0)
+
+    def test_access_overhead(self, spec):
+        assert spec.access_overhead == pytest.approx(0.01266)
+
+    def test_transfer_time(self, spec):
+        assert spec.transfer_time(72 * MB) == pytest.approx(1.0)
+        assert spec.transfer_time(0) == 0.0
+
+    def test_table2_rows_render(self, spec):
+        rows = spec.table2_rows()
+        assert rows["Disk model"] == "Seagate ST3500630AS"
+        assert rows["Idleness threshold"] == "53.3 secs"
+        assert rows["Disk load (Transfer rate)"] == "72 MBytes/sec"
+
+
+class TestValidation:
+    def test_negative_field_rejected(self, spec):
+        with pytest.raises(ConfigError):
+            spec.with_overrides(avg_seek_time=-1.0)
+
+    def test_standby_above_idle_rejected(self, spec):
+        with pytest.raises(ConfigError):
+            spec.with_overrides(standby_power=10.0)
+
+    def test_zero_capacity_rejected(self, spec):
+        with pytest.raises(ConfigError):
+            spec.with_overrides(capacity=0)
+
+    def test_with_overrides_creates_copy(self, spec):
+        faster = spec.with_overrides(transfer_rate=100 * MB)
+        assert faster.transfer_rate == 100 * MB
+        assert spec.transfer_rate == 72 * MB
+        assert faster.model == spec.model

@@ -1,0 +1,84 @@
+"""Unit tests for the shared sweep machinery behind the figure harnesses."""
+
+import pytest
+
+from repro.experiments.common import memoize_by_key, scaled_duration
+from repro.experiments.rate_sweep import sweep_rates
+from repro.experiments.trace_sweep import sweep_trace
+from repro.errors import ConfigError
+
+
+class TestMemoize:
+    def test_caches_by_key(self):
+        calls = []
+
+        @memoize_by_key
+        def expensive(key, value):
+            calls.append(key)
+            return value * 2
+
+        assert expensive("a", 1) == 2
+        assert expensive("a", 999) == 2  # cached; args ignored
+        assert expensive("b", 3) == 6
+        assert calls == ["a", "b"]
+
+
+class TestScaledDuration:
+    def test_scaling_and_floor(self):
+        assert scaled_duration(4_000.0, 1.0) == 4_000.0
+        assert scaled_duration(4_000.0, 0.5) == 2_000.0
+        assert scaled_duration(4_000.0, 0.01) == 200.0  # floor
+
+    def test_invalid_scale(self):
+        with pytest.raises(ConfigError):
+            scaled_duration(4_000.0, 0.0)
+        with pytest.raises(ConfigError):
+            scaled_duration(4_000.0, 1.5)
+
+
+class TestRateSweep:
+    def test_memoized_identity(self):
+        kwargs = dict(
+            rates=(1.0,), loads=(0.8,), scale=0.05, seed=55,
+            num_disks=40, n_files=5_000,
+        )
+        first = sweep_rates(**kwargs)
+        second = sweep_rates(**kwargs)
+        assert first is second  # same object: no re-simulation
+
+    def test_grid_is_complete(self):
+        sweep = sweep_rates(
+            rates=(1.0, 2.0), loads=(0.6, 0.8), scale=0.05, seed=56,
+            num_disks=40, n_files=5_000,
+        )
+        assert set(sweep.random) == {1.0, 2.0}
+        assert set(sweep.packed) == {
+            (1.0, 0.6), (1.0, 0.8), (2.0, 0.6), (2.0, 0.8)
+        }
+        assert all(n > 0 for n in sweep.pack_disks_used.values())
+
+    def test_random_baseline_shared_across_loads(self):
+        sweep = sweep_rates(
+            rates=(1.0,), loads=(0.6, 0.8), scale=0.05, seed=57,
+            num_disks=40, n_files=5_000,
+        )
+        # One baseline run per rate, reused for every load.
+        assert len(sweep.random) == 1
+
+
+class TestTraceSweep:
+    def test_unknown_config_rejected(self):
+        with pytest.raises(KeyError, match="unknown config"):
+            sweep_trace(configs=("WARP",), scale=0.02)
+
+    def test_pool_shared_across_configs(self):
+        sweep = sweep_trace(
+            threshold_hours=(0.5,),
+            configs=("RND", "Pack_Disk", "Pack_Disk4"),
+            scale=0.02,
+            seed=58,
+        )
+        pools = {
+            res.num_disks for res in sweep.results.values()
+        }
+        assert pools == {sweep.num_disks}

@@ -1,0 +1,117 @@
+"""Tests for tables, series bundles and terminal plots."""
+
+import math
+
+import pytest
+
+from repro.errors import ConfigError
+from repro.reporting import Series, SeriesBundle, ascii_plot, format_table
+
+
+class TestFormatTable:
+    def test_alignment_and_headers(self):
+        text = format_table(
+            [[1, "abc"], [22, "d"]], headers=["num", "str"]
+        )
+        lines = text.splitlines()
+        assert lines[0].startswith("num")
+        assert "-+-" in lines[1]
+        assert lines[2].startswith("1 ")
+
+    def test_title(self):
+        text = format_table([[1]], title="My Table")
+        assert text.splitlines()[0] == "My Table"
+        assert text.splitlines()[1] == "========"
+
+    def test_float_rendering(self):
+        text = format_table([[0.000123456, 1234567.0, float("nan"), 0.0]])
+        assert "1.235e-04" in text
+        assert "1.235e+06" in text
+        assert "nan" in text
+
+    def test_empty_rows(self):
+        assert format_table([]) == ""
+
+    def test_ragged_rows_tolerated(self):
+        text = format_table([[1], [2, 3]])
+        assert "3" in text
+
+
+class TestSeries:
+    def test_add_and_arrays(self):
+        s = Series("curve")
+        s.add(1, 10)
+        s.add(2, 20)
+        xs, ys = s.as_arrays()
+        assert xs.tolist() == [1.0, 2.0]
+        assert ys.tolist() == [10.0, 20.0]
+        assert len(s) == 2
+
+
+class TestSeriesBundle:
+    def make_bundle(self):
+        b = SeriesBundle(title="T", x_label="x", y_label="y")
+        b.add("a", 1, 10)
+        b.add("a", 2, 20)
+        b.add("b", 1, 100)
+        return b
+
+    def test_rows_align_on_x(self):
+        b = self.make_bundle()
+        rows = b.rows()
+        assert rows[0][0] == 1
+        assert rows[0][1] == 10
+        assert rows[0][2] == 100
+        assert math.isnan(rows[1][2])  # curve b has no x=2
+
+    def test_headers(self):
+        assert self.make_bundle().headers() == ["x", "a", "b"]
+
+    def test_csv_roundtrip(self, tmp_path):
+        b = self.make_bundle()
+        path = tmp_path / "bundle.csv"
+        b.to_csv(path)
+        loaded = SeriesBundle.from_csv(path)
+        assert loaded.title == "T"
+        assert loaded.series["a"].y == [10.0, 20.0]
+        assert loaded.series["b"].x == [1.0]
+
+    def test_from_csv_rejects_garbage(self, tmp_path):
+        path = tmp_path / "bad.csv"
+        path.write_text("nope\n")
+        with pytest.raises(ConfigError):
+            SeriesBundle.from_csv(path)
+
+    def test_curve_creates_once(self):
+        b = SeriesBundle(title="T", x_label="x", y_label="y")
+        assert b.curve("z") is b.curve("z")
+
+
+class TestAsciiPlot:
+    def test_renders_markers_and_labels(self):
+        text = ascii_plot(
+            {"up": ([0, 1, 2], [0, 1, 2])}, width=20, height=5,
+            title="Line", x_label="t", y_label="v",
+        )
+        assert "Line" in text
+        assert "o=up" in text
+        assert "t: 0 .. 2" in text
+
+    def test_handles_empty(self):
+        assert "no finite data" in ascii_plot({"e": ([], [])})
+
+    def test_skips_non_finite(self):
+        text = ascii_plot(
+            {"c": ([0, 1], [float("inf"), 5.0])}, width=10, height=4
+        )
+        assert "5" in text  # max label present
+
+    def test_multiple_curves_get_distinct_markers(self):
+        text = ascii_plot(
+            {"a": ([0], [0]), "b": ([1], [1])}, width=10, height=4
+        )
+        assert "o=a" in text and "x=b" in text
+
+    def test_flat_line_does_not_crash(self):
+        text = ascii_plot({"flat": ([0, 1], [3.0, 3.0])}, width=10, height=4)
+        assert "flat" in text

@@ -1,0 +1,150 @@
+"""Unit tests for StateTimeline, Tally and TimeWeighted."""
+
+import math
+
+import numpy as np
+import pytest
+from hypothesis import given
+from hypothesis import strategies as st
+
+from repro.sim import Environment, StateTimeline, Tally, TimeWeighted
+
+
+def advance(env, dt):
+    """Advance the clock by scheduling and consuming a timeout."""
+    env.timeout(dt)
+    env.run()
+
+
+class TestStateTimeline:
+    def test_durations_accumulate(self, env):
+        tl = StateTimeline(env, "a")
+        advance(env, 5.0)
+        tl.set("b")
+        advance(env, 3.0)
+        tl.set("a")
+        advance(env, 2.0)
+        durations = tl.durations()
+        assert durations["a"] == pytest.approx(7.0)
+        assert durations["b"] == pytest.approx(3.0)
+
+    def test_open_interval_included(self, env):
+        tl = StateTimeline(env, "x")
+        advance(env, 4.0)
+        assert tl.durations()["x"] == pytest.approx(4.0)
+
+    def test_transitions_counted_only_on_change(self, env):
+        tl = StateTimeline(env, "a")
+        tl.set("a")  # no change
+        tl.set("b")
+        tl.set("b")
+        tl.set("c")
+        assert tl.transitions == 2
+
+    def test_history_recording(self, env):
+        tl = StateTimeline(env, "a", record_history=True)
+        advance(env, 1.0)
+        tl.set("b")
+        advance(env, 1.0)
+        tl.set("c")
+        assert tl.history == [(0.0, "a"), (1.0, "b"), (2.0, "c")]
+
+    def test_history_disabled_by_default(self, env):
+        assert StateTimeline(env, "a").history is None
+
+    def test_weighted_total(self, env):
+        tl = StateTimeline(env, "on")
+        advance(env, 10.0)
+        tl.set("off")
+        advance(env, 5.0)
+        assert tl.weighted_total({"on": 2.0, "off": 1.0}) == pytest.approx(25.0)
+
+    def test_weighted_total_missing_state_raises(self, env):
+        tl = StateTimeline(env, "on")
+        advance(env, 1.0)
+        with pytest.raises(KeyError):
+            tl.weighted_total({})
+
+    def test_durations_sum_to_total_time(self, env):
+        tl = StateTimeline(env, 0)
+        for i, dt in enumerate([1.5, 2.5, 0.0, 4.0]):
+            advance(env, dt)
+            tl.set(i % 2)
+        assert sum(tl.durations().values()) == pytest.approx(tl.total_time())
+
+
+class TestTally:
+    def test_empty_stats_are_nan(self):
+        t = Tally()
+        assert math.isnan(t.mean)
+        assert math.isnan(t.variance)
+        assert math.isnan(t.minimum)
+        assert t.count == 0
+
+    def test_against_numpy(self, rng):
+        data = rng.normal(10.0, 3.0, size=500)
+        t = Tally()
+        for x in data:
+            t.add(x)
+        assert t.count == 500
+        assert t.mean == pytest.approx(np.mean(data))
+        assert t.variance == pytest.approx(np.var(data, ddof=1))
+        assert t.std == pytest.approx(np.std(data, ddof=1))
+        assert t.minimum == pytest.approx(np.min(data))
+        assert t.maximum == pytest.approx(np.max(data))
+        assert t.total == pytest.approx(np.sum(data))
+
+    def test_percentile_requires_samples(self):
+        t = Tally()
+        t.add(1.0)
+        with pytest.raises(ValueError):
+            t.percentile(0.5)
+
+    def test_percentile_values(self):
+        t = Tally(keep_samples=True)
+        for x in range(1, 101):
+            t.add(float(x))
+        assert t.percentile(0.5) == 50.0
+        assert t.percentile(0.95) == 95.0
+        assert t.percentile(0.0) == 1.0
+        assert t.percentile(1.0) == 100.0
+
+    def test_percentile_bounds_checked(self):
+        t = Tally(keep_samples=True)
+        t.add(1.0)
+        with pytest.raises(ValueError):
+            t.percentile(1.5)
+
+    def test_single_observation_variance_nan(self):
+        t = Tally()
+        t.add(5.0)
+        assert math.isnan(t.variance)
+
+    @given(st.lists(st.floats(-1e6, 1e6), min_size=2, max_size=200))
+    def test_mean_within_bounds_property(self, xs):
+        t = Tally()
+        for x in xs:
+            t.add(x)
+        assert min(xs) - 1e-6 <= t.mean <= max(xs) + 1e-6
+
+
+class TestTimeWeighted:
+    def test_average(self):
+        env = Environment()
+        tw = TimeWeighted(env, 2.0)
+        advance(env, 10.0)
+        tw.set(4.0)
+        advance(env, 10.0)
+        assert tw.average() == pytest.approx(3.0)
+        assert tw.integral() == pytest.approx(60.0)
+
+    def test_average_nan_with_no_time(self):
+        env = Environment()
+        tw = TimeWeighted(env, 1.0)
+        assert math.isnan(tw.average())
+
+    def test_value_property(self):
+        env = Environment()
+        tw = TimeWeighted(env, 1.0)
+        tw.set(9.0)
+        assert tw.value == 9.0

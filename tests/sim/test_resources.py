@@ -1,0 +1,216 @@
+"""Unit tests for Resource, PriorityResource and Store."""
+
+import pytest
+
+from repro.errors import SimulationError
+from repro.sim import PriorityResource, Resource, Store
+
+
+class TestResource:
+    def test_capacity_validation(self, env):
+        with pytest.raises(ValueError):
+            Resource(env, capacity=0)
+
+    def test_grant_within_capacity_is_immediate(self, env):
+        res = Resource(env, capacity=2)
+        granted = []
+
+        def proc(env):
+            req = res.request()
+            yield req
+            granted.append(env.now)
+
+        env.process(proc(env))
+        env.process(proc(env))
+        env.run()
+        assert granted == [0.0, 0.0]
+        assert res.count == 2
+
+    def test_fifo_queueing(self, env):
+        res = Resource(env, capacity=1)
+        order = []
+
+        def holder(env):
+            req = res.request()
+            yield req
+            yield env.timeout(5.0)
+            res.release(req)
+
+        def waiter(env, name, delay):
+            yield env.timeout(delay)
+            req = res.request()
+            yield req
+            order.append((name, env.now))
+            res.release(req)
+
+        env.process(holder(env))
+        env.process(waiter(env, "a", 1.0))
+        env.process(waiter(env, "b", 2.0))
+        env.run()
+        assert order == [("a", 5.0), ("b", 5.0)]
+
+    def test_context_manager_releases(self, env):
+        res = Resource(env, capacity=1)
+        done = []
+
+        def proc(env, name):
+            with res.request() as req:
+                yield req
+                yield env.timeout(1.0)
+                done.append((name, env.now))
+
+        env.process(proc(env, "first"))
+        env.process(proc(env, "second"))
+        env.run()
+        assert done == [("first", 1.0), ("second", 2.0)]
+
+    def test_cancel_queued_request(self, env):
+        res = Resource(env, capacity=1)
+        holder_req = res.request()
+        queued = res.request()
+        queued.cancel()
+        res.release(holder_req)
+        third = res.request()
+        env.run()
+        assert not queued.triggered
+        assert third.triggered
+
+    def test_release_returns_release_event(self, env):
+        res = Resource(env)
+        req = res.request()
+        rel = res.release(req)
+        env.run()
+        assert rel.processed
+
+
+class TestPriorityResource:
+    def test_priority_order(self, env):
+        res = PriorityResource(env, capacity=1)
+        order = []
+
+        def holder(env):
+            req = res.request(priority=0)
+            yield req
+            yield env.timeout(5.0)
+            res.release(req)
+
+        def waiter(env, name, prio, delay):
+            yield env.timeout(delay)
+            req = res.request(priority=prio)
+            yield req
+            order.append(name)
+            res.release(req)
+
+        env.process(holder(env))
+        env.process(waiter(env, "low", 5, 1.0))
+        env.process(waiter(env, "high", -5, 2.0))
+        env.run()
+        assert order == ["high", "low"]
+
+    def test_fifo_within_priority(self, env):
+        res = PriorityResource(env, capacity=1)
+        order = []
+
+        def holder(env):
+            req = res.request()
+            yield req
+            yield env.timeout(5.0)
+            res.release(req)
+
+        def waiter(env, name, delay):
+            yield env.timeout(delay)
+            req = res.request(priority=1)
+            yield req
+            order.append(name)
+            res.release(req)
+
+        env.process(holder(env))
+        env.process(waiter(env, "a", 1.0))
+        env.process(waiter(env, "b", 2.0))
+        env.run()
+        assert order == ["a", "b"]
+
+
+class TestStore:
+    def test_put_get_fifo(self, env):
+        store = Store(env)
+        got = []
+
+        def producer(env):
+            for i in range(3):
+                yield env.timeout(1.0)
+                store.put(i)
+
+        def consumer(env):
+            for _ in range(3):
+                item = yield store.get()
+                got.append((item, env.now))
+
+        env.process(producer(env))
+        env.process(consumer(env))
+        env.run()
+        assert got == [(0, 1.0), (1, 2.0), (2, 3.0)]
+
+    def test_get_blocks_until_put(self, env):
+        store = Store(env)
+        got = []
+
+        def consumer(env):
+            item = yield store.get()
+            got.append((item, env.now))
+
+        def producer(env):
+            yield env.timeout(7.0)
+            store.put("x")
+
+        env.process(consumer(env))
+        env.process(producer(env))
+        env.run()
+        assert got == [("x", 7.0)]
+
+    def test_capacity_blocks_put(self, env):
+        store = Store(env, capacity=1)
+        log = []
+
+        def producer(env):
+            yield store.put("a")
+            log.append(("a", env.now))
+            yield store.put("b")
+            log.append(("b", env.now))
+
+        def consumer(env):
+            yield env.timeout(5.0)
+            item = yield store.get()
+            log.append((f"got {item}", env.now))
+
+        env.process(producer(env))
+        env.process(consumer(env))
+        env.run()
+        assert log == [("a", 0.0), ("got a", 5.0), ("b", 5.0)]
+
+    def test_cancelled_get_never_receives(self, env):
+        store = Store(env)
+        g1 = store.get()
+        g1.cancel()
+        g2 = store.get()
+        store.put("only")
+        env.run()
+        assert not g1.triggered
+        assert g2.value == "only"
+
+    def test_cancel_fulfilled_get_raises(self, env):
+        store = Store(env)
+        store.put("x")
+        g = store.get()
+        with pytest.raises(SimulationError):
+            g.cancel()
+
+    def test_len_tracks_buffer(self, env):
+        store = Store(env)
+        store.put(1)
+        store.put(2)
+        assert len(store) == 2
+
+    def test_invalid_capacity(self, env):
+        with pytest.raises(ValueError):
+            Store(env, capacity=0)

@@ -1,0 +1,49 @@
+"""Unit tests for the RNG stream helpers."""
+
+import numpy as np
+import pytest
+
+from repro.sim import rng_from_seed, spawn_rngs
+
+
+class TestRngFromSeed:
+    def test_int_seed_deterministic(self):
+        a = rng_from_seed(42).integers(0, 1_000_000, size=10)
+        b = rng_from_seed(42).integers(0, 1_000_000, size=10)
+        assert np.array_equal(a, b)
+
+    def test_generator_passthrough(self):
+        gen = np.random.default_rng(1)
+        assert rng_from_seed(gen) is gen
+
+    def test_seed_sequence(self):
+        ss = np.random.SeedSequence(5)
+        rng = rng_from_seed(ss)
+        assert isinstance(rng, np.random.Generator)
+
+    def test_none_gives_generator(self):
+        assert isinstance(rng_from_seed(None), np.random.Generator)
+
+
+class TestSpawn:
+    def test_streams_differ(self):
+        a, b = spawn_rngs(42, 2)
+        assert not np.array_equal(
+            a.integers(0, 2**32, size=100), b.integers(0, 2**32, size=100)
+        )
+
+    def test_deterministic(self):
+        first = [g.integers(0, 2**32) for g in spawn_rngs(7, 3)]
+        second = [g.integers(0, 2**32) for g in spawn_rngs(7, 3)]
+        assert first == second
+
+    def test_spawn_from_generator(self):
+        children = spawn_rngs(np.random.default_rng(3), 4)
+        assert len(children) == 4
+
+    def test_negative_count_rejected(self):
+        with pytest.raises(ValueError):
+            spawn_rngs(1, -1)
+
+    def test_zero_count(self):
+        assert spawn_rngs(1, 0) == []

@@ -1,0 +1,61 @@
+"""Unit tests for StorageConfig."""
+
+import math
+
+import pytest
+
+from repro.disk import ServiceModel
+from repro.errors import ConfigError
+from repro.system import StorageConfig
+from repro.units import GiB
+
+
+class TestValidation:
+    def test_defaults_valid(self):
+        cfg = StorageConfig()
+        assert cfg.num_disks == 100
+        assert cfg.load_constraint == 0.8
+        assert cfg.cache_policy is None
+
+    @pytest.mark.parametrize(
+        "kwargs",
+        [
+            {"num_disks": 0},
+            {"load_constraint": 0.0},
+            {"load_constraint": 1.5},
+            {"storage_utilization": 0.0},
+            {"idleness_threshold": -5.0},
+            {"cache_hit_latency": -1.0},
+            {"cache_capacity": 0.0},
+        ],
+    )
+    def test_invalid_rejected(self, kwargs):
+        with pytest.raises(ConfigError):
+            StorageConfig(**kwargs)
+
+
+class TestDerived:
+    def test_threshold_defaults_to_breakeven(self, spec):
+        cfg = StorageConfig()
+        assert cfg.threshold == pytest.approx(spec.breakeven_threshold())
+
+    def test_explicit_threshold(self):
+        assert StorageConfig(idleness_threshold=120.0).threshold == 120.0
+
+    def test_infinite_threshold_allowed(self):
+        assert math.isinf(StorageConfig(idleness_threshold=math.inf).threshold)
+
+    def test_usable_capacity(self, spec):
+        cfg = StorageConfig(storage_utilization=0.9)
+        assert cfg.usable_capacity == pytest.approx(0.9 * spec.capacity)
+
+    def test_service_model(self):
+        sm = StorageConfig(service_mode="transfer").service_model()
+        assert isinstance(sm, ServiceModel)
+        assert sm.mode == "transfer"
+
+    def test_with_overrides(self):
+        cfg = StorageConfig().with_overrides(num_disks=7, cache_policy="lru")
+        assert cfg.num_disks == 7
+        assert cfg.cache_policy == "lru"
+        assert cfg.cache_capacity == 16 * GiB

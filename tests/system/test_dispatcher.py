@@ -1,0 +1,164 @@
+"""Unit tests for the file dispatcher (routing, cache path, writes)."""
+
+import math
+
+import numpy as np
+import pytest
+
+from repro.cache import LRUCache
+from repro.disk import DiskArray, DiskState, ST3500630AS
+from repro.errors import CapacityError, SimulationError
+from repro.sim import Environment
+from repro.system.dispatcher import Dispatcher, drive_stream
+from repro.units import GB, MB
+from repro.workload.arrivals import RequestStream
+
+
+def build(env, num_disks=3, mapping=None, sizes=None, **kwargs):
+    array = DiskArray(env, ST3500630AS, num_disks, idleness_threshold=math.inf)
+    if sizes is None:
+        sizes = np.array([72 * MB, 144 * MB, 72 * MB])
+    if mapping is None:
+        mapping = np.array([0, 1, 2])
+    return array, Dispatcher(env, array, mapping, sizes, **kwargs)
+
+
+class TestRouting:
+    def test_requests_follow_mapping(self, env):
+        array, disp = build(env)
+        disp.submit(0)
+        disp.submit(1)
+        env.run(until=100.0)
+        assert array[0].stats.arrivals == 1
+        assert array[1].stats.arrivals == 1
+        assert array[2].stats.arrivals == 0
+
+    def test_response_recorded_on_completion(self, env):
+        _, disp = build(env)
+        disp.submit(0)
+        env.run(until=100.0)
+        assert disp.completions == 1
+        assert disp.response_times[0] == pytest.approx(1.0 + 0.01266)
+        assert disp.served_from_cache == [False]
+
+    def test_unallocated_read_raises(self, env):
+        _, disp = build(env, mapping=np.array([-1, 1, 2]))
+        with pytest.raises(SimulationError, match="unallocated"):
+            disp.submit(0)
+
+    def test_mapping_out_of_range_rejected(self, env):
+        with pytest.raises(SimulationError):
+            build(env, num_disks=2, mapping=np.array([0, 1, 5]))
+
+    def test_mapping_shape_mismatch_rejected(self, env):
+        with pytest.raises(SimulationError):
+            build(env, mapping=np.array([0, 1]))
+
+
+class TestCachePath:
+    def test_hit_skips_disk(self, env):
+        cache = LRUCache(1 * GB)
+        array, disp = build(env, cache=cache)
+        disp.submit(0)
+        env.run(until=50.0)  # miss -> disk -> admitted on completion
+        disp.submit(0)
+        env.run(until=100.0)
+        assert cache.stats.hits == 1
+        assert array[0].stats.arrivals == 1  # second request never hit disk
+        assert disp.response_times[1] == 0.0
+        assert disp.served_from_cache == [False, True]
+
+    def test_hit_latency_recorded(self, env):
+        cache = LRUCache(1 * GB)
+        _, disp = build(env, cache=cache, cache_hit_latency=0.25)
+        disp.submit(0)
+        env.run(until=50.0)
+        disp.submit(0)
+        env.run(until=100.0)
+        assert disp.response_times[1] == 0.25
+
+    def test_admit_happens_after_completion(self, env):
+        cache = LRUCache(1 * GB)
+        _, disp = build(env, cache=cache)
+        disp.submit(0)
+        # Before the transfer finishes the file is not yet cached.
+        assert 0 not in cache
+        env.run(until=50.0)
+        assert 0 in cache
+
+
+class TestWrites:
+    def test_write_to_existing_file_uses_its_disk(self, env):
+        array, disp = build(env)
+        disp.submit(1, kind="write")
+        env.run(until=100.0)
+        assert array[1].stats.writes == 1
+        assert disp.write_count == 1
+
+    def test_new_file_prefers_spinning_disk(self):
+        env = Environment()
+        array = DiskArray(env, ST3500630AS, 2, idleness_threshold=5.0)
+        sizes = np.array([100 * MB, 100 * MB])
+        mapping = np.array([0, -1])
+        disp = Dispatcher(env, array, mapping, sizes)
+
+        def scenario(env):
+            yield env.timeout(30.0)
+            # Untouched disks spun down at the 5 s threshold by now.
+            assert array[1].state is DiskState.STANDBY
+            # Wake disk 0 with a read; during its spin-up/serve it counts
+            # as spinning while disk 1 stays in standby.
+            disp.submit(0)
+            yield env.timeout(1.0)
+            disp.submit(1, kind="write")
+
+        env.process(scenario(env))
+        env.run(until=100.0)
+        # The write landed on the spinning disk 0, not standby disk 1.
+        assert disp.mapping[1] == 0
+        assert array[0].stats.writes == 1
+
+    def test_write_capacity_error(self, env):
+        sizes = np.array([400 * GB, 200 * GB])
+        mapping = np.array([0, -1])
+        array = DiskArray(env, ST3500630AS, 1, idleness_threshold=math.inf)
+        disp = Dispatcher(
+            env, array, mapping, sizes, usable_capacity=500 * GB
+        )
+        with pytest.raises(CapacityError):
+            disp.submit(1, kind="write")
+
+    def test_free_bytes_tracks_writes(self, env):
+        array, disp = build(env, mapping=np.array([0, 0, -1]))
+        before = disp.free_bytes[0]
+        disp.submit(2, kind="write")
+        env.run(until=100.0)
+        written_disk = disp.mapping[2]
+        assert disp.free_bytes[written_disk] <= before
+
+
+class TestDriveStream:
+    def test_replays_arrival_times(self, env):
+        array, disp = build(env)
+        stream = RequestStream(
+            times=np.array([5.0, 10.0]),
+            file_ids=np.array([0, 2]),
+            duration=20.0,
+        )
+        env.process(drive_stream(env, disp, stream))
+        env.run(until=5.5)
+        assert disp.arrivals == 1
+        env.run(until=20.0)
+        assert disp.arrivals == 2
+        assert disp.completions == 2
+
+    def test_simultaneous_arrivals(self, env):
+        array, disp = build(env)
+        stream = RequestStream(
+            times=np.array([1.0, 1.0, 1.0]),
+            file_ids=np.array([0, 1, 2]),
+            duration=5.0,
+        )
+        env.process(drive_stream(env, disp, stream))
+        env.run(until=5.0)
+        assert disp.arrivals == 3

@@ -1,0 +1,93 @@
+"""Unit tests for SimulationResult's derived metrics."""
+
+import math
+
+import numpy as np
+import pytest
+
+from repro.disk import DiskState
+from repro.system import SimulationResult
+
+
+def result(**overrides):
+    base = dict(
+        algorithm="test",
+        duration=1_000.0,
+        num_disks=10,
+        energy=3.6e5,
+        energy_per_disk=np.full(10, 3.6e4),
+        state_durations={DiskState.IDLE: 9_000.0, DiskState.STANDBY: 1_000.0},
+        response_times=np.array([1.0, 2.0, 3.0, 10.0]),
+        arrivals=5,
+        completions=4,
+        spinups=2,
+        spindowns=3,
+        always_on_energy=9.3 * 10 * 1_000.0,
+    )
+    base.update(overrides)
+    return SimulationResult(**base)
+
+
+class TestPower:
+    def test_mean_power(self):
+        assert result().mean_power == pytest.approx(360.0)
+
+    def test_normalized_cost_and_saving(self):
+        r = result()
+        assert r.normalized_power_cost == pytest.approx(3.6e5 / 9.3e4)
+        assert r.power_saving_normalized == pytest.approx(
+            1 - 3.6e5 / 9.3e4
+        )
+
+    def test_power_saving_vs(self):
+        a = result(energy=100.0)
+        b = result(energy=400.0)
+        assert a.power_saving_vs(b) == pytest.approx(0.75)
+        assert b.power_saving_vs(a) == pytest.approx(-3.0)
+
+    def test_saving_vs_zero_energy_nan(self):
+        assert math.isnan(result().power_saving_vs(result(energy=0.0)))
+
+
+class TestResponse:
+    def test_mean_median_max(self):
+        r = result()
+        assert r.mean_response == pytest.approx(4.0)
+        assert r.median_response == pytest.approx(2.5)
+        assert r.max_response == 10.0
+
+    def test_percentile(self):
+        assert result().response_percentile(50) == pytest.approx(2.5)
+
+    def test_empty_responses_nan(self):
+        r = result(response_times=np.array([]))
+        assert math.isnan(r.mean_response)
+        assert math.isnan(r.median_response)
+        assert math.isnan(r.max_response)
+        assert math.isnan(r.response_percentile(95))
+
+    def test_response_ratio(self):
+        a = result(response_times=np.array([2.0]))
+        b = result(response_times=np.array([4.0]))
+        assert a.response_ratio_vs(b) == pytest.approx(0.5)
+
+    def test_ratio_vs_empty_nan(self):
+        a = result()
+        b = result(response_times=np.array([]))
+        assert math.isnan(a.response_ratio_vs(b))
+
+
+class TestDiagnostics:
+    def test_completion_ratio(self):
+        assert result().completion_ratio == pytest.approx(0.8)
+
+    def test_state_fraction(self):
+        r = result()
+        assert r.state_fraction(DiskState.IDLE) == pytest.approx(0.9)
+        assert r.state_fraction(DiskState.ACTIVE) == 0.0
+
+    def test_summary_contains_key_figures(self):
+        text = result().summary()
+        assert "test" in text
+        assert "spin-ups" in text
+        assert "response" in text

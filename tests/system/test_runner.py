@@ -1,0 +1,133 @@
+"""Tests for the high-level runners (allocate / simulate / reorganize)."""
+
+import numpy as np
+import pytest
+
+from repro.errors import ConfigError
+from repro.system import (
+    ReorganizingRunner,
+    StorageConfig,
+    allocate,
+    build_items,
+    run_policy,
+    simulate,
+)
+from repro.workload import (
+    FileCatalog,
+    RequestStream,
+    SyntheticWorkloadParams,
+    generate_workload,
+)
+
+
+@pytest.fixture(scope="module")
+def workload():
+    return generate_workload(
+        SyntheticWorkloadParams(
+            n_files=1_500, arrival_rate=2.0, duration=400.0, seed=11
+        )
+    )
+
+
+# 1500 files at R=2 carry ~33 disk-seconds/s of load (small catalogs have
+# a hot, large head), needing ~48 disks at L=0.7; a 60-disk pool leaves
+# Pack_Disks comfortable headroom.
+CFG = StorageConfig(num_disks=60, load_constraint=0.7)
+
+
+class TestBuildItems:
+    def test_normalization(self, workload):
+        items = build_items(workload.catalog, CFG, arrival_rate=2.0)
+        assert len(items) == 1_500
+        assert all(0 <= it.size <= 1 and 0 <= it.load <= 1 for it in items)
+
+    def test_loads_scale_with_rate(self, workload):
+        low = build_items(workload.catalog, CFG, arrival_rate=1.0)
+        high = build_items(workload.catalog, CFG, arrival_rate=2.0)
+        assert high[0].load == pytest.approx(2 * low[0].load)
+
+    def test_popularity_override(self, workload):
+        uniform = np.full(1_500, 1 / 1_500)
+        items = build_items(
+            workload.catalog, CFG, arrival_rate=2.0, popularities=uniform
+        )
+        # Uniform popularity: load proportional to service time only.
+        assert items[0].load < items[-1].load
+
+
+class TestAllocate:
+    @pytest.mark.parametrize(
+        "policy",
+        ["pack", "pack_v4", "pack_v2", "random", "round_robin",
+         "first_fit", "first_fit_decreasing", "best_fit", "next_fit"],
+    )
+    def test_policies_produce_valid_allocations(self, workload, policy):
+        alloc = allocate(workload.catalog, policy, CFG, 2.0, rng=1)
+        items = build_items(workload.catalog, CFG, 2.0)
+        # Random/round-robin are load-oblivious; check storage only.
+        for disk in alloc.disks:
+            assert disk.total_size <= 1 + 1e-9
+        assert alloc.num_items == len(items)
+
+    def test_unknown_policy(self, workload):
+        with pytest.raises(ConfigError):
+            allocate(workload.catalog, "quantum", CFG, 2.0)
+
+    def test_pack_uses_fewer_disks_than_pool(self, workload):
+        alloc = allocate(workload.catalog, "pack", CFG, 2.0)
+        assert alloc.num_disks <= CFG.num_disks
+
+
+class TestRunPolicy:
+    def test_end_to_end(self, workload):
+        res = run_policy(
+            workload.catalog, workload.stream, "pack", CFG, arrival_rate=2.0
+        )
+        assert res.arrivals == len(workload.stream)
+        assert res.energy > 0
+        assert res.num_disks == CFG.num_disks
+
+    def test_rate_defaults_to_stream_rate(self, workload):
+        res = run_policy(workload.catalog, workload.stream, "pack", CFG)
+        assert res.completions > 0
+
+    def test_deterministic(self, workload):
+        a = run_policy(
+            workload.catalog, workload.stream, "random", CFG, rng=5
+        )
+        b = run_policy(
+            workload.catalog, workload.stream, "random", CFG, rng=5
+        )
+        assert a.energy == pytest.approx(b.energy)
+        assert np.array_equal(a.response_times, b.response_times)
+
+    def test_simulate_with_explicit_allocation(self, workload):
+        alloc = allocate(workload.catalog, "pack", CFG, 2.0)
+        res = simulate(
+            workload.catalog, workload.stream, alloc, CFG, label="custom"
+        )
+        assert res.algorithm == "custom"
+
+
+class TestReorganizingRunner:
+    def test_epochs_and_movement(self):
+        catalog = FileCatalog.from_zipf(n=300, s_max=1e9)
+        stream = RequestStream.poisson(
+            catalog.popularities, rate=1.0, duration=600.0, rng=3
+        )
+        cfg = StorageConfig(num_disks=10, load_constraint=0.8)
+        runner = ReorganizingRunner(catalog, cfg, interval=200.0)
+        result = runner.run(stream)
+        assert result.extra["epochs"] == 3.0
+        assert len(runner.epoch_results) == 3
+        assert len(runner.moved_files) == 2  # epochs-1 remap events
+        assert result.arrivals == len(stream)
+        assert result.algorithm == "pack+reorg"
+
+    def test_invalid_interval(self, small_catalog):
+        with pytest.raises(ConfigError):
+            ReorganizingRunner(small_catalog, CFG, interval=0.0)
+
+    def test_invalid_smoothing(self, small_catalog):
+        with pytest.raises(ConfigError):
+            ReorganizingRunner(small_catalog, CFG, smoothing=2.0)

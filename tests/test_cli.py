@@ -1,0 +1,48 @@
+"""Tests for the ``python -m repro`` command-line interface."""
+
+import pytest
+
+from repro.__main__ import main
+
+
+class TestList:
+    def test_lists_experiments(self, capsys):
+        assert main(["list"]) == 0
+        out = capsys.readouterr().out
+        for name in ("fig2", "fig5", "table2", "complexity"):
+            assert name in out
+
+
+class TestInfo:
+    def test_info_mentions_paper(self, capsys):
+        assert main(["info"]) == 0
+        out = capsys.readouterr().out
+        assert "Otoo" in out
+        assert "Pack_Disks" in out
+
+
+class TestRun:
+    def test_run_table2(self, capsys):
+        assert main(["run", "table2"]) == 0
+        out = capsys.readouterr().out
+        assert "53.3" in out
+
+    def test_run_with_csv_export(self, capsys, tmp_path):
+        code = main(
+            ["run", "quality", "--scale", "0.1", "--csv-dir", str(tmp_path)]
+        )
+        assert code == 0
+        out = capsys.readouterr().out
+        assert "pack_disks" in out
+
+    def test_run_unknown_experiment(self, capsys):
+        assert main(["run", "fig99"]) == 2
+        assert "unknown" in capsys.readouterr().err
+
+    def test_seed_override(self, capsys):
+        assert main(["run", "complexity", "--scale", "0.2", "--seed", "5"]) == 0
+
+    def test_version_flag(self, capsys):
+        with pytest.raises(SystemExit) as exc:
+            main(["--version"])
+        assert exc.value.code == 0

@@ -1,0 +1,28 @@
+"""Run the doctests embedded in user-facing docstrings."""
+
+import doctest
+
+import pytest
+
+import repro.reporting.table
+import repro.sim
+import repro.sim.monitor
+import repro.sim.rng
+import repro.units
+
+MODULES = [
+    repro.units,
+    repro.reporting.table,
+    repro.sim,
+    repro.sim.monitor,
+    repro.sim.rng,
+]
+
+
+@pytest.mark.parametrize(
+    "module", MODULES, ids=[m.__name__ for m in MODULES]
+)
+def test_module_doctests(module):
+    result = doctest.testmod(module, verbose=False)
+    assert result.failed == 0, f"{result.failed} doctest failures in {module.__name__}"
+    assert result.attempted > 0, f"no doctests collected from {module.__name__}"

@@ -1,0 +1,178 @@
+"""End-to-end integration tests: the paper's headline claims in miniature,
+plus whole-pipeline conservation and determinism properties."""
+
+import math
+
+import numpy as np
+import pytest
+
+from repro import (
+    StorageConfig,
+    generate_workload,
+    run_policy,
+)
+from repro.disk import DiskState, PowerModel
+from repro.system import allocate, simulate
+from repro.units import GiB, HOUR
+from repro.workload import (
+    NerscTraceParams,
+    SyntheticWorkloadParams,
+    synthesize_nersc_trace,
+)
+
+
+@pytest.fixture(scope="module")
+def workload():
+    return generate_workload(
+        SyntheticWorkloadParams(
+            n_files=10_000, arrival_rate=2.0, duration=1_200.0, seed=77
+        )
+    )
+
+
+@pytest.fixture(scope="module")
+def config():
+    return StorageConfig(num_disks=50, load_constraint=0.7)
+
+
+@pytest.fixture(scope="module")
+def packed_and_random(workload, config):
+    packed = run_policy(
+        workload.catalog, workload.stream, "pack", config, arrival_rate=2.0
+    )
+    rnd = run_policy(
+        workload.catalog, workload.stream, "random", config,
+        arrival_rate=2.0, rng=77,
+    )
+    return packed, rnd
+
+
+class TestHeadlineClaims:
+    def test_pack_disks_saves_power_over_random(self, packed_and_random):
+        packed, rnd = packed_and_random
+        saving = packed.power_saving_vs(rnd)
+        assert saving > 0.3, f"expected substantial saving, got {saving:.2%}"
+
+    def test_response_penalty_is_modest(self, packed_and_random):
+        packed, rnd = packed_and_random
+        ratio = packed.response_ratio_vs(rnd)
+        assert 0.3 < ratio < 4.0  # paper Fig 3's range
+
+    def test_pack_concentrates_requests(self, packed_and_random):
+        packed, rnd = packed_and_random
+        # Gini-style check: under pack, request counts across disks are
+        # far more skewed than under random.
+        def top_decile_share(res):
+            counts = np.sort(res.requests_per_disk)[::-1]
+            k = max(1, len(counts) // 10)
+            return counts[:k].sum() / max(1, counts.sum())
+
+        assert top_decile_share(packed) > 2 * top_decile_share(rnd)
+
+    def test_random_spins_up_more(self, packed_and_random):
+        packed, rnd = packed_and_random
+        assert rnd.spinups > packed.spinups
+
+
+class TestConservation:
+    def test_state_time_conservation(self, workload, config):
+        alloc = allocate(workload.catalog, "pack", config, 2.0)
+        res = simulate(
+            workload.catalog, workload.stream, alloc, config, num_disks=50
+        )
+        total = sum(res.state_durations.values())
+        assert total == pytest.approx(res.duration * res.num_disks, rel=1e-9)
+
+    def test_energy_equals_power_integral(self, workload, config):
+        alloc = allocate(workload.catalog, "pack", config, 2.0)
+        res = simulate(
+            workload.catalog, workload.stream, alloc, config, num_disks=50
+        )
+        pm = PowerModel(config.spec)
+        assert res.energy == pytest.approx(pm.energy(res.state_durations))
+
+    def test_request_conservation(self, workload, config):
+        alloc = allocate(workload.catalog, "pack", config, 2.0)
+        res = simulate(
+            workload.catalog, workload.stream, alloc, config, num_disks=50
+        )
+        assert res.arrivals == len(workload.stream)
+        assert 0 <= res.arrivals - res.completions <= 60
+
+    def test_energy_bounds(self, workload, config):
+        # Total energy must lie between all-standby and all-active arrays.
+        alloc = allocate(workload.catalog, "pack", config, 2.0)
+        res = simulate(
+            workload.catalog, workload.stream, alloc, config, num_disks=50
+        )
+        lower = 50 * config.spec.standby_power * res.duration
+        upper = 50 * config.spec.spinup_power * res.duration
+        assert lower < res.energy < upper
+
+
+class TestDeterminism:
+    def test_same_seed_bitwise_identical(self, workload, config):
+        a = run_policy(
+            workload.catalog, workload.stream, "pack", config, arrival_rate=2.0
+        )
+        b = run_policy(
+            workload.catalog, workload.stream, "pack", config, arrival_rate=2.0
+        )
+        assert a.energy == b.energy
+        assert np.array_equal(a.response_times, b.response_times)
+        assert a.spinups == b.spinups
+
+
+class TestThresholdMonotonicity:
+    def test_spindowns_decrease_with_threshold(self, workload):
+        counts = []
+        for thr in (30.0, 300.0, 3_000.0):
+            cfg = StorageConfig(
+                num_disks=50, load_constraint=0.7, idleness_threshold=thr
+            )
+            res = run_policy(
+                workload.catalog, workload.stream, "pack", cfg,
+                arrival_rate=2.0,
+            )
+            counts.append(res.spindowns)
+        assert counts[0] >= counts[1] >= counts[2]
+
+    def test_infinite_threshold_never_sleeps(self, workload):
+        cfg = StorageConfig(
+            num_disks=50, load_constraint=0.7, idleness_threshold=math.inf
+        )
+        res = run_policy(
+            workload.catalog, workload.stream, "pack", cfg, arrival_rate=2.0
+        )
+        assert res.spindowns == 0
+        assert res.state_durations.get(DiskState.STANDBY, 0.0) == 0.0
+
+
+class TestCacheIntegration:
+    def test_cache_reduces_disk_traffic_on_trace(self):
+        trace = synthesize_nersc_trace(
+            NerscTraceParams(seed=5).scaled(0.02)
+        )
+        rate = trace.mean_request_rate()
+        base = StorageConfig(
+            load_constraint=0.8, idleness_threshold=0.5 * HOUR
+        )
+        alloc = allocate(trace.catalog, "pack", base, rate)
+        pool = alloc.num_disks
+        plain = simulate(
+            trace.catalog, trace.stream, alloc,
+            base.with_overrides(num_disks=pool), num_disks=pool,
+        )
+        cached = simulate(
+            trace.catalog, trace.stream, alloc,
+            base.with_overrides(
+                num_disks=pool, cache_policy="lru", cache_capacity=16 * GiB
+            ),
+            num_disks=pool,
+        )
+        assert cached.cache_stats.hits > 0
+        # Disk-served request count drops by exactly the hit count.
+        assert (
+            sum(cached.requests_per_disk)
+            == sum(plain.requests_per_disk) - cached.cache_stats.hits
+        )

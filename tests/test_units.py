@@ -1,0 +1,71 @@
+"""Tests for unit constants and formatting."""
+
+import pytest
+
+from repro import units
+
+
+class TestConstants:
+    def test_decimal_multiples(self):
+        assert units.GB == 1e9
+        assert units.TB == 1e12
+
+    def test_binary_multiples(self):
+        assert units.GiB == 2**30
+
+    def test_time(self):
+        assert units.HOUR == 3600
+        assert units.DAY == 86400
+
+
+class TestFormatting:
+    @pytest.mark.parametrize(
+        "value,expected",
+        [
+            (544e6, "544.0 MB"),
+            (20e9, "20.0 GB"),
+            (12.86e12, "12.9 TB"),
+            (500.0, "500 B"),
+            (2048.0, "2.0 KB"),
+        ],
+    )
+    def test_format_bytes(self, value, expected):
+        assert units.format_bytes(value) == expected
+
+    @pytest.mark.parametrize(
+        "value,expected",
+        [
+            (7200, "2.00 h"),
+            (90, "1.50 min"),
+            (53.3, "53.30 s"),
+            (0.0085, "8.50 ms"),
+        ],
+    )
+    def test_format_time(self, value, expected):
+        assert units.format_time(value) == expected
+
+    def test_format_power(self):
+        assert units.format_power(9.3) == "9.3 W"
+        assert units.format_power(1500) == "1.50 kW"
+
+    def test_format_energy(self):
+        assert units.format_energy(453) == "453.0 J"
+        assert units.format_energy(7.2e6) == "2.000 kWh"
+        assert units.format_energy(4e3) == "4.0 kJ"
+
+
+class TestErrors:
+    def test_hierarchy(self):
+        from repro import errors
+
+        assert issubclass(errors.PackingError, errors.ReproError)
+        assert issubclass(errors.ConfigError, ValueError)
+        assert issubclass(errors.TraceFormatError, errors.ReproError)
+        assert issubclass(errors.CapacityError, errors.ReproError)
+        assert issubclass(errors.SimulationError, errors.ReproError)
+
+    def test_catch_all(self):
+        from repro.errors import ConfigError, ReproError
+
+        with pytest.raises(ReproError):
+            raise ConfigError("x")

@@ -1,0 +1,102 @@
+"""Tests for nonhomogeneous (diurnal) arrival generation."""
+
+import numpy as np
+import pytest
+
+from repro.errors import ConfigError
+from repro.units import DAY, HOUR
+from repro.workload.diurnal import (
+    diurnal_rate,
+    nonhomogeneous_stream,
+    thinned_arrival_times,
+)
+from repro.workload.zipf import zipf_popularities
+
+
+class TestDiurnalRate:
+    def test_peak_and_trough(self):
+        rate = diurnal_rate(1.0, amplitude=0.5, peak_hour=14.0)
+        assert rate(14 * HOUR) == pytest.approx(1.5)
+        assert rate(2 * HOUR) == pytest.approx(0.5)
+
+    def test_mean_over_period(self):
+        rate = diurnal_rate(2.0, amplitude=0.8)
+        ts = np.linspace(0, DAY, 10_001)
+        mean = np.mean([rate(t) for t in ts])
+        assert mean == pytest.approx(2.0, rel=0.01)
+
+    def test_never_negative(self):
+        rate = diurnal_rate(1.0, amplitude=1.0)
+        ts = np.linspace(0, DAY, 1_001)
+        assert all(rate(t) >= 0 for t in ts)
+
+    def test_validation(self):
+        with pytest.raises(ConfigError):
+            diurnal_rate(-1.0)
+        with pytest.raises(ConfigError):
+            diurnal_rate(1.0, amplitude=1.5)
+        with pytest.raises(ConfigError):
+            diurnal_rate(1.0, period=0)
+
+
+class TestThinning:
+    def test_constant_rate_reduces_to_poisson(self, rng):
+        times = thinned_arrival_times(lambda t: 2.0, 2.0, 5_000.0, rng)
+        assert abs(len(times) - 10_000) < 5 * np.sqrt(10_000)
+        assert np.all(np.diff(times) >= 0)
+
+    def test_intensity_follows_profile(self, rng):
+        rate = diurnal_rate(1.0, amplitude=0.8, peak_hour=12.0)
+        times = thinned_arrival_times(rate, 2.0, 10 * DAY, rng)
+        # Compare day vs night halves (peak at noon).
+        tod = times % DAY
+        day = np.sum((tod > 6 * HOUR) & (tod < 18 * HOUR))
+        night = len(times) - day
+        assert day > 2 * night
+
+    def test_rate_above_peak_rejected(self, rng):
+        with pytest.raises(ConfigError, match="peak"):
+            thinned_arrival_times(lambda t: 5.0, 1.0, 100.0, rng)
+
+    def test_negative_rate_rejected(self, rng):
+        with pytest.raises(ConfigError):
+            thinned_arrival_times(lambda t: -1.0, 1.0, 100.0, rng)
+
+    def test_invalid_args(self, rng):
+        with pytest.raises(ConfigError):
+            thinned_arrival_times(lambda t: 1.0, 0.0, 100.0, rng)
+        with pytest.raises(ConfigError):
+            thinned_arrival_times(lambda t: 1.0, 1.0, -1.0, rng)
+
+
+class TestStream:
+    def test_valid_request_stream(self, rng):
+        pops = zipf_popularities(100)
+        rate = diurnal_rate(0.5)
+        stream = nonhomogeneous_stream(pops, rate, 1.0, 2 * DAY, rng)
+        assert stream.duration == 2 * DAY
+        assert stream.file_ids.max() < 100
+        # Mean rate close to the profile's mean.
+        assert stream.mean_rate == pytest.approx(0.5, rel=0.1)
+
+    def test_deterministic(self):
+        pops = zipf_popularities(50)
+        rate = diurnal_rate(0.5)
+        a = nonhomogeneous_stream(pops, rate, 1.0, DAY, rng=9)
+        b = nonhomogeneous_stream(pops, rate, 1.0, DAY, rng=9)
+        assert np.array_equal(a.times, b.times)
+
+    def test_end_to_end_simulation(self, rng):
+        # A diurnal stream driven through the full system.
+        from repro.system import StorageConfig, run_policy
+        from repro.workload import FileCatalog
+
+        catalog = FileCatalog.from_zipf(n=300, s_max=1e9)
+        rate = diurnal_rate(0.2, amplitude=0.9)
+        stream = nonhomogeneous_stream(
+            catalog.popularities, rate, 0.4, 4 * HOUR, rng
+        )
+        cfg = StorageConfig(num_disks=12, load_constraint=0.8)
+        res = run_policy(catalog, stream, "pack", cfg)
+        assert res.arrivals == len(stream)
+        assert res.energy > 0

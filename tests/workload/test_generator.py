@@ -1,0 +1,81 @@
+"""Unit tests for the Table 1 workload generator."""
+
+import pytest
+
+from repro.errors import ConfigError
+from repro.units import GB, MB, TB
+from repro.workload import (
+    SyntheticWorkloadParams,
+    generate_workload,
+    table1_summary,
+)
+
+
+class TestParams:
+    def test_defaults_match_table1(self):
+        p = SyntheticWorkloadParams()
+        assert p.n_files == 40_000
+        assert p.s_max == 20 * GB
+        assert p.s_min == 188 * MB
+        assert p.duration == 4_000.0
+
+    def test_validation(self):
+        with pytest.raises(ConfigError):
+            SyntheticWorkloadParams(n_files=0)
+        with pytest.raises(ConfigError):
+            SyntheticWorkloadParams(duration=0)
+        with pytest.raises(ConfigError):
+            SyntheticWorkloadParams(arrival_rate=-1)
+
+    def test_scaled(self):
+        p = SyntheticWorkloadParams().scaled(0.1)
+        assert p.n_files == 4_000
+        assert p.arrival_rate == SyntheticWorkloadParams().arrival_rate
+        with pytest.raises(ConfigError):
+            SyntheticWorkloadParams().scaled(0)
+
+
+class TestGenerate:
+    def test_full_scale_catalog_matches_table1(self):
+        wl = generate_workload(
+            SyntheticWorkloadParams(arrival_rate=6, duration=300)
+        )
+        cat = wl.catalog
+        assert cat.n == 40_000
+        assert cat.sizes.min() == pytest.approx(188 * MB, rel=0.01)
+        assert cat.sizes.max() == pytest.approx(20 * GB)
+        # Paper: 12.86 TB; exact sum lands within a few percent.
+        assert cat.total_bytes == pytest.approx(12.86 * TB, rel=0.05)
+
+    def test_stream_rate(self):
+        wl = generate_workload(
+            SyntheticWorkloadParams(
+                n_files=1_000, arrival_rate=5.0, duration=2_000, seed=3
+            )
+        )
+        assert wl.stream.mean_rate == pytest.approx(5.0, rel=0.1)
+
+    def test_deterministic(self):
+        a = generate_workload(SyntheticWorkloadParams(n_files=500, seed=9))
+        b = generate_workload(SyntheticWorkloadParams(n_files=500, seed=9))
+        assert (a.stream.times == b.stream.times).all()
+        assert (a.stream.file_ids == b.stream.file_ids).all()
+
+    def test_different_seeds_differ(self):
+        a = generate_workload(SyntheticWorkloadParams(n_files=500, seed=1))
+        b = generate_workload(SyntheticWorkloadParams(n_files=500, seed=2))
+        assert len(a.stream) != len(b.stream) or not (
+            a.stream.times == b.stream.times
+        ).all()
+
+
+class TestTable1Summary:
+    def test_rows_present(self):
+        wl = generate_workload(
+            SyntheticWorkloadParams(n_files=2_000, duration=100, seed=1)
+        )
+        rows = table1_summary(wl)
+        assert "n = Number of files" in rows
+        assert "Space requirement" in rows
+        assert "theta = 0.5575" in rows["p_i = Access frequency"]
+        assert rows["Number of disks"] == "100"

@@ -1,0 +1,139 @@
+"""Unit tests for trace construction and CSV round-tripping."""
+
+import numpy as np
+import pytest
+
+from repro.errors import TraceFormatError
+from repro.workload import Trace, load_trace_csv, save_trace_csv
+from repro.workload.arrivals import RequestStream
+from repro.workload.catalog import FileCatalog
+
+
+def tiny_trace():
+    return Trace.from_requests(
+        name="tiny",
+        sizes=np.array([100.0, 200.0, 300.0]),
+        times=np.array([1.0, 2.0, 2.5]),
+        file_ids=np.array([0, 2, 0]),
+        duration=10.0,
+    )
+
+
+class TestFromRequests:
+    def test_popularities_from_counts(self):
+        trace = tiny_trace()
+        p = trace.catalog.popularities
+        assert p[0] == pytest.approx(2 / 3, rel=1e-6)
+        assert p[2] == pytest.approx(1 / 3, rel=1e-6)
+        assert p[1] > 0  # unreferenced file keeps vanishing mass
+        assert p.sum() == pytest.approx(1.0)
+
+    def test_out_of_range_ids_rejected(self):
+        with pytest.raises(TraceFormatError):
+            Trace.from_requests(
+                "bad",
+                sizes=np.array([1.0]),
+                times=np.array([0.0]),
+                file_ids=np.array([5]),
+                duration=1.0,
+            )
+
+    def test_stats(self):
+        trace = tiny_trace()
+        assert trace.n_files == 3
+        assert trace.n_requests == 3
+        assert trace.mean_request_rate() == pytest.approx(0.3)
+
+    def test_empty_trace_uniform_popularity(self):
+        trace = Trace.from_requests(
+            "empty",
+            sizes=np.array([1.0, 1.0]),
+            times=np.array([]),
+            file_ids=np.array([], dtype=np.int64),
+            duration=5.0,
+        )
+        assert trace.catalog.popularities.tolist() == [0.5, 0.5]
+
+
+class TestCsvRoundtrip:
+    def test_roundtrip(self, tmp_path):
+        trace = tiny_trace()
+        path = tmp_path / "tiny.csv"
+        save_trace_csv(trace, path)
+        loaded = load_trace_csv(path)
+        assert loaded.name == "tiny"
+        assert loaded.n_files == 3
+        assert np.allclose(loaded.catalog.sizes, trace.catalog.sizes)
+        assert np.allclose(loaded.stream.times, trace.stream.times)
+        assert np.array_equal(loaded.stream.file_ids, trace.stream.file_ids)
+        assert loaded.stream.duration == trace.stream.duration
+
+    def test_missing_files_section(self, tmp_path):
+        path = tmp_path / "bad.csv"
+        path.write_text("# requests\ntime,file_id\n1.0,0\n")
+        with pytest.raises(TraceFormatError):
+            load_trace_csv(path)
+
+    def test_data_before_section(self, tmp_path):
+        path = tmp_path / "bad.csv"
+        path.write_text("1.0,0\n")
+        with pytest.raises(TraceFormatError):
+            load_trace_csv(path)
+
+    def test_non_dense_ids(self, tmp_path):
+        path = tmp_path / "bad.csv"
+        path.write_text(
+            "# files\nfile_id,size_bytes\n0,1.0\n2,2.0\n# requests\ntime,file_id\n"
+        )
+        with pytest.raises(TraceFormatError, match="dense"):
+            load_trace_csv(path)
+
+    def test_malformed_number(self, tmp_path):
+        path = tmp_path / "bad.csv"
+        path.write_text("# files\nfile_id,size_bytes\n0,xyz\n")
+        with pytest.raises(TraceFormatError):
+            load_trace_csv(path)
+
+    def test_unknown_marker(self, tmp_path):
+        path = tmp_path / "bad.csv"
+        path.write_text("# nonsense\n")
+        with pytest.raises(TraceFormatError):
+            load_trace_csv(path)
+
+    def test_bad_row_width(self, tmp_path):
+        path = tmp_path / "bad.csv"
+        path.write_text("# files\nfile_id,size_bytes\n0,1.0,extra\n")
+        with pytest.raises(TraceFormatError):
+            load_trace_csv(path)
+
+
+class TestRoundtripProperty:
+    from hypothesis import given, settings
+    from hypothesis import strategies as st
+
+    @settings(max_examples=25)
+    @given(
+        sizes=st.lists(st.floats(1.0, 1e12), min_size=1, max_size=20),
+        raw_times=st.lists(st.floats(0.0, 1e6), min_size=0, max_size=30),
+        seed=st.integers(0, 2**31 - 1),
+    )
+    def test_random_traces_roundtrip(self, tmp_path_factory, sizes, raw_times, seed):
+        import numpy as np
+
+        rng = np.random.default_rng(seed)
+        times = np.sort(np.asarray(raw_times, dtype=float))
+        ids = rng.integers(0, len(sizes), size=times.size)
+        trace = Trace.from_requests(
+            "prop",
+            sizes=np.asarray(sizes),
+            times=times,
+            file_ids=ids,
+            duration=float(times[-1]) + 1.0 if times.size else 1.0,
+        )
+        path = tmp_path_factory.mktemp("traces") / "prop.csv"
+        save_trace_csv(trace, path)
+        loaded = load_trace_csv(path)
+        assert np.allclose(loaded.catalog.sizes, trace.catalog.sizes)
+        assert np.allclose(loaded.stream.times, trace.stream.times)
+        assert np.array_equal(loaded.stream.file_ids, trace.stream.file_ids)
+        assert loaded.stream.duration == trace.stream.duration

@@ -1,0 +1,103 @@
+"""Unit tests for the Zipf-like distributions of Table 1."""
+
+import math
+
+import numpy as np
+import pytest
+from hypothesis import given
+from hypothesis import strategies as st
+
+from repro.errors import ConfigError
+from repro.units import GB, MB
+from repro.workload import (
+    PAPER_THETA,
+    generalized_harmonic,
+    inverse_zipf_sizes,
+    zipf_popularities,
+)
+
+
+class TestTheta:
+    def test_paper_value(self):
+        assert PAPER_THETA == pytest.approx(math.log(0.6) / math.log(0.4))
+        assert PAPER_THETA == pytest.approx(0.5575, abs=1e-3)
+
+
+class TestHarmonic:
+    def test_known_values(self):
+        assert generalized_harmonic(3, 1.0) == pytest.approx(1 + 0.5 + 1 / 3)
+        assert generalized_harmonic(5, 0.0) == pytest.approx(5.0)
+        assert generalized_harmonic(0, 1.0) == 0.0
+
+    def test_negative_rejected(self):
+        with pytest.raises(ConfigError):
+            generalized_harmonic(-1, 1.0)
+
+
+class TestPopularities:
+    def test_sums_to_one(self):
+        p = zipf_popularities(1_000)
+        assert p.sum() == pytest.approx(1.0)
+
+    def test_descending(self):
+        p = zipf_popularities(500)
+        assert np.all(np.diff(p) <= 0)
+
+    def test_zipf_formula(self):
+        n, theta = 100, PAPER_THETA
+        p = zipf_popularities(n, theta)
+        c = 1.0 / generalized_harmonic(n, 1 - theta)
+        assert p[0] == pytest.approx(c)
+        assert p[9] == pytest.approx(c / 10 ** (1 - theta))
+
+    def test_sixty_forty_skew(self):
+        # theta = log0.6/log0.4 encodes: the top 40% of files receive
+        # ~60% of accesses.
+        p = zipf_popularities(10_000)
+        top40 = p[: 4_000].sum()
+        assert top40 == pytest.approx(0.6, abs=0.02)
+
+    def test_invalid_args(self):
+        with pytest.raises(ConfigError):
+            zipf_popularities(0)
+        with pytest.raises(ConfigError):
+            zipf_popularities(10, theta=1.5)
+
+    @given(st.integers(1, 2_000), st.floats(0.0, 0.99))
+    def test_valid_distribution_property(self, n, theta):
+        p = zipf_popularities(n, theta)
+        assert p.shape == (n,)
+        assert p.sum() == pytest.approx(1.0)
+        assert np.all(p > 0)
+
+
+class TestInverseSizes:
+    def test_table1_min_max(self):
+        # With the paper's n=40000, theta and 20 GB max, the smallest file
+        # is Table 1's 188 MB.
+        sizes = inverse_zipf_sizes(40_000, s_max=20 * GB)
+        assert sizes.max() == pytest.approx(20 * GB)
+        assert sizes.min() == pytest.approx(188 * MB, rel=0.03)
+
+    def test_ascending_with_popularity_rank(self):
+        # Index 0 = most popular = smallest (inverse relation).
+        sizes = inverse_zipf_sizes(1_000)
+        assert np.all(np.diff(sizes) >= 0)
+
+    def test_clamping(self):
+        sizes = inverse_zipf_sizes(100, s_max=1 * GB, s_min=0.5 * GB)
+        assert sizes.min() == pytest.approx(0.5 * GB)
+
+    def test_invalid_args(self):
+        with pytest.raises(ConfigError):
+            inverse_zipf_sizes(0)
+        with pytest.raises(ConfigError):
+            inverse_zipf_sizes(10, s_max=-1.0)
+        with pytest.raises(ConfigError):
+            inverse_zipf_sizes(10, s_max=1.0, s_min=2.0)
+
+    def test_footprint_matches_paper(self):
+        # Table 1: "Space requirement for all files: 12.86 TB".  The exact
+        # sum at the paper's parameters lands within a few percent.
+        sizes = inverse_zipf_sizes(40_000, s_max=20 * GB, s_min=188 * MB)
+        assert sizes.sum() / 1e12 == pytest.approx(12.86, rel=0.05)
