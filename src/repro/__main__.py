@@ -8,7 +8,9 @@ Subcommands::
     python -m repro info                       # library + paper summary
 
 Results are printed as the ASCII tables the paper's figures plot; pass
-``--csv-dir DIR`` to also export every curve as CSV.
+``--csv-dir DIR`` to also export every curve as CSV.  Sweep-backed
+experiments accept ``--workers N`` (process-parallel grid points via the
+orchestrator) and ``--engine fast`` (the batched simulation kernel).
 """
 
 from __future__ import annotations
@@ -82,6 +84,10 @@ def _cmd_info(args: argparse.Namespace) -> int:
 
 def _cmd_run(args: argparse.Namespace) -> int:
     registry = _experiment_registry()
+    if args.workers is not None or args.engine is not None:
+        from repro.experiments import orchestrator
+
+        orchestrator.configure(max_workers=args.workers, engine=args.engine)
     names = list(registry) if args.experiment == "all" else [args.experiment]
     unknown = [n for n in names if n not in registry]
     if unknown:
@@ -131,6 +137,18 @@ def build_parser() -> argparse.ArgumentParser:
     run.add_argument("--seed", type=int, default=None, help="override the seed")
     run.add_argument(
         "--csv-dir", type=str, default=None, help="export curves as CSV here"
+    )
+    run.add_argument(
+        "--workers",
+        type=int,
+        default=None,
+        help="sweep worker processes (default: REPRO_SWEEP_WORKERS or serial)",
+    )
+    run.add_argument(
+        "--engine",
+        choices=("event", "fast"),
+        default=None,
+        help="force a simulation kernel for sweep points that support it",
     )
     run.set_defaults(func=_cmd_run)
     return parser

@@ -5,6 +5,12 @@ Every module exposes ``run(scale=..., seed=...) -> ExperimentResult`` and a
 trace length (NERSC workload) while preserving rates and distributional
 shapes; ``scale=1.0`` is the paper's full configuration.  See DESIGN.md's
 per-experiment index for the mapping to the paper.
+
+Grid-shaped experiments route their simulations through
+:mod:`repro.experiments.orchestrator` (``SweepRunner``): per-point result
+caching keyed on the task fingerprint, in-batch deduplication, and optional
+``ProcessPoolExecutor`` fan-out (``python -m repro run ... --workers N``,
+or the ``REPRO_SWEEP_WORKERS`` environment variable).
 """
 
 from repro.experiments.common import ExperimentResult

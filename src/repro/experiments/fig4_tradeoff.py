@@ -12,10 +12,14 @@ from typing import Sequence
 
 from repro.analysis.tradeoff import tradeoff_curve
 from repro.experiments.common import ExperimentResult, Stopwatch, scaled_duration
+from repro.experiments.orchestrator import (
+    SimTask,
+    default_runner,
+    materialize_workload,
+)
 from repro.reporting.series import SeriesBundle
 from repro.system.config import StorageConfig
-from repro.system.runner import allocate, simulate
-from repro.workload.generator import SyntheticWorkloadParams, generate_workload
+from repro.workload.generator import SyntheticWorkloadParams
 
 __all__ = ["run"]
 
@@ -43,7 +47,9 @@ def run(
             duration=scaled_duration(4_000.0, scale),
             seed=seed,
         )
-        workload = generate_workload(params)
+        # Shares the process-level cache with the serial sweep workers, so
+        # the catalog for the analytic overlay is not synthesized twice.
+        catalog, _ = materialize_workload(params)
 
         bundle = SeriesBundle(
             title=f"Fig 4: power and response time vs L (R={rate:g})",
@@ -55,20 +61,28 @@ def run(
             x_label="L (load constraint)",
             y_label="disks",
         )
-        for load in loads:
-            cfg = StorageConfig(num_disks=num_disks, load_constraint=load)
-            alloc = allocate(workload.catalog, "pack", cfg, rate)
-            res = simulate(
-                workload.catalog, workload.stream, alloc, cfg,
-                num_disks=num_disks, label=f"pack L={load:g}",
+        tasks = [
+            SimTask(
+                label=f"pack L={load:g}",
+                workload=params,
+                config=StorageConfig(num_disks=num_disks, load_constraint=load),
+                policy="pack",
+                arrival_rate=rate,
+                num_disks=num_disks,
+                key=load,
             )
+            for load in loads
+        ]
+        by_load = default_runner().run_map(tasks)
+        for load in loads:
+            res = by_load[load]
             bundle.add("Power (W)", load, res.mean_power)
             bundle.add("Response (s)", load, res.mean_response)
-            disks_bundle.add("pack_disks", load, alloc.num_disks)
+            disks_bundle.add("pack_disks", load, int(res.extra["alloc_disks"]))
 
         # Analytic overlay (no simulation).
         for point in tradeoff_curve(
-            workload.catalog, rate,
+            catalog, rate,
             StorageConfig(num_disks=num_disks), load_grid=list(loads),
         ):
             bundle.add("Power analytic (W)", point.load_constraint, point.power_watts)

@@ -1,0 +1,428 @@
+"""Parallel sweep orchestration with per-point result caching.
+
+Every figure of the paper is a grid of near-identical simulations (rate x
+load, threshold x config, ...).  The :class:`SweepRunner` turns such grids
+into lists of self-contained, picklable :class:`SimTask` descriptions and
+
+* skips points whose result is already cached (in memory, and optionally on
+  disk) under a fingerprint of the full task — config, workload parameters
+  incl. the stream seed, policy, mapping and horizon;
+* deduplicates identical points within one batch;
+* fans the remaining points across ``concurrent.futures``
+  ``ProcessPoolExecutor`` workers (serially when only one worker is
+  configured or only one point is pending).
+
+Workers rebuild the workload from its parameters (synthetic and NERSC
+specs) or from inline arrays (:class:`InlineWorkload`), allocate when a
+``policy`` is given (recording the allocation's disk count in
+``result.extra["alloc_disks"]``) or simulate a prebuilt ``mapping``
+directly.
+
+The experiment harnesses (``rate_sweep``, ``trace_sweep``,
+``fig4_tradeoff``) route their grids through the shared
+:func:`default_runner`; ``python -m repro run ... --workers N
+[--engine fast]`` calls :func:`configure` to size the pool and optionally
+force the batched kernel (applied only where the scenario supports it).
+
+The worker count defaults to the ``REPRO_SWEEP_WORKERS`` environment
+variable, then to serial execution — multi-process fan-out is opt-in.
+"""
+
+from __future__ import annotations
+
+import dataclasses
+import functools
+import hashlib
+import os
+import pickle
+import tempfile
+from concurrent.futures import ProcessPoolExecutor
+from dataclasses import dataclass
+from pathlib import Path
+from typing import Any, Dict, Hashable, List, Optional, Sequence, Tuple, Union
+
+import numpy as np
+
+from repro.errors import ConfigError
+from repro.system.config import StorageConfig
+from repro.system.metrics import SimulationResult
+from repro.system.runner import allocate, simulate
+from repro.system.storage import StorageSystem
+from repro.workload.arrivals import RequestStream
+from repro.workload.catalog import FileCatalog
+from repro.workload.generator import SyntheticWorkloadParams, generate_workload
+from repro.workload.nersc import NerscTraceParams, synthesize_nersc_trace
+
+__all__ = [
+    "InlineWorkload",
+    "SimTask",
+    "SweepRunner",
+    "configure",
+    "default_runner",
+    "materialize_workload",
+    "task_fingerprint",
+]
+
+
+@dataclass(frozen=True, eq=False)
+class InlineWorkload:
+    """A fully materialized (catalog, stream) pair shipped to workers.
+
+    Used when the workload is expensive or stateful to synthesize (e.g. a
+    shared trace whose allocations were computed up front); the arrays are
+    pickled to the worker as-is.
+    """
+
+    sizes: np.ndarray
+    popularities: np.ndarray
+    times: np.ndarray
+    file_ids: np.ndarray
+    duration: float
+
+    def content_digest(self) -> str:
+        """Digest of the arrays, computed once and cached on the instance.
+
+        Grids embed the same inline workload in every task; hashing the
+        (potentially multi-megabyte) arrays once instead of per task keeps
+        :func:`task_fingerprint` cheap.
+        """
+        cached = self.__dict__.get("_digest")
+        if cached is None:
+            digest = hashlib.sha256()
+            for arr in (self.sizes, self.popularities, self.times, self.file_ids):
+                arr = np.ascontiguousarray(arr)
+                digest.update(arr.dtype.str.encode())
+                digest.update(str(arr.shape).encode())
+                digest.update(arr.tobytes())
+            digest.update(repr(float(self.duration)).encode())
+            cached = digest.hexdigest()
+            object.__setattr__(self, "_digest", cached)
+        return cached
+
+
+#: Workload descriptions a worker can materialize on its own.
+WorkloadSpec = Union[SyntheticWorkloadParams, NerscTraceParams, InlineWorkload]
+
+
+@dataclass(frozen=True, eq=False)
+class SimTask:
+    """One self-contained grid point: workload + placement + config.
+
+    Exactly one of ``policy`` (allocate inside the worker) or ``mapping``
+    (simulate a prebuilt file->disk array) must be set.  ``key`` is an
+    optional caller-side grid coordinate echoed by
+    :meth:`SweepRunner.run_map`.
+    """
+
+    label: str
+    workload: WorkloadSpec
+    config: StorageConfig
+    policy: Optional[str] = None
+    mapping: Optional[np.ndarray] = None
+    arrival_rate: Optional[float] = None
+    num_disks: Optional[int] = None
+    duration: Optional[float] = None
+    alloc_rng: Optional[int] = None
+    key: Optional[Hashable] = None
+
+    def __post_init__(self) -> None:
+        if (self.policy is None) == (self.mapping is None):
+            raise ConfigError(
+                "exactly one of policy/mapping must be set on a SimTask"
+            )
+
+
+def _canon(obj: Any) -> Any:
+    """Canonical, hashable-by-pickle form of task components."""
+    if isinstance(obj, InlineWorkload):
+        return ("InlineWorkload", obj.content_digest())
+    if dataclasses.is_dataclass(obj) and not isinstance(obj, type):
+        return (type(obj).__name__,) + tuple(
+            (f.name, _canon(getattr(obj, f.name)))
+            for f in dataclasses.fields(obj)
+        )
+    if isinstance(obj, np.ndarray):
+        return (obj.shape, obj.dtype.str, obj.tobytes())
+    return obj
+
+
+def task_fingerprint(task: SimTask) -> str:
+    """Stable hex digest identifying a task's simulation inputs.
+
+    Covers everything that shapes the result — config, workload parameters
+    (incl. the stream seed), policy/mapping, horizon, and the label the
+    result is reported under.  The caller-side ``key`` is presentation only
+    and excluded, so regrouping a grid does not invalidate its cache.
+    """
+    payload = pickle.dumps(
+        _canon(dataclasses.replace(task, key=None)), protocol=4
+    )
+    return hashlib.sha256(payload).hexdigest()
+
+
+def materialize_workload(
+    workload: WorkloadSpec,
+) -> Tuple[FileCatalog, RequestStream]:
+    """Build (catalog, stream) from a workload spec.
+
+    Synthesized workloads (synthetic/NERSC params) are cached per process,
+    so a grid sharing one spec generates it once, not once per task.
+    Experiment harnesses that also need the workload outside the sweep
+    (e.g. for analytic overlays) should call this instead of synthesizing
+    their own copy.  An :class:`InlineWorkload` is trivial array wrapping
+    and is built directly — caching it would only pin duplicate array
+    copies (unpickled worker instances hash by identity and never hit).
+    """
+    if isinstance(workload, InlineWorkload):
+        catalog = FileCatalog(
+            sizes=workload.sizes, popularities=workload.popularities
+        )
+        stream = RequestStream(
+            times=workload.times,
+            file_ids=workload.file_ids,
+            duration=workload.duration,
+        )
+        return catalog, stream
+    return _synthesize_cached(workload)
+
+
+# Synthetic/NERSC params hash by value (frozen dataclasses), so the cache
+# hits whenever grid points share a spec — even across separate run() calls.
+@functools.lru_cache(maxsize=8)
+def _synthesize_cached(
+    workload: WorkloadSpec,
+) -> Tuple[FileCatalog, RequestStream]:
+    if isinstance(workload, SyntheticWorkloadParams):
+        built = generate_workload(workload)
+        return built.catalog, built.stream
+    if isinstance(workload, NerscTraceParams):
+        trace = synthesize_nersc_trace(workload)
+        return trace.catalog, trace.stream
+    raise ConfigError(f"unsupported workload spec {type(workload).__name__}")
+
+
+def _execute_task(task: SimTask) -> SimulationResult:
+    """Run one grid point (module-level so ProcessPoolExecutor can pickle)."""
+    catalog, stream = materialize_workload(task.workload)
+    rate = (
+        task.arrival_rate
+        if task.arrival_rate is not None
+        else stream.mean_rate
+    )
+    if task.policy is not None:
+        allocation = allocate(
+            catalog,
+            task.policy,
+            task.config,
+            rate,
+            rng=task.alloc_rng,
+            num_disks=task.num_disks,
+        )
+        result = simulate(
+            catalog,
+            stream,
+            allocation,
+            task.config,
+            num_disks=task.num_disks,
+            duration=task.duration,
+            label=task.label,
+        )
+        result.extra["alloc_disks"] = float(allocation.num_disks)
+        return result
+    mapping = np.asarray(task.mapping, dtype=np.int64)
+    num_disks = task.num_disks
+    if num_disks is not None and mapping.size:
+        num_disks = max(num_disks, int(mapping.max()) + 1)
+    system = StorageSystem(catalog, mapping, task.config, num_disks=num_disks)
+    return system.run(stream, duration=task.duration, label=task.label)
+
+
+def _resolve_workers(max_workers: Optional[int]) -> int:
+    if max_workers is not None:
+        return max(1, int(max_workers))
+    env = os.environ.get("REPRO_SWEEP_WORKERS")
+    if env:
+        return max(1, int(env))
+    # Multi-process fan-out is opt-in (--workers / REPRO_SWEEP_WORKERS):
+    # spawning pools by default would re-execute unguarded user scripts on
+    # spawn-start platforms and surprise library callers.
+    return 1
+
+
+@dataclass
+class SweepStats:
+    """Counters of what one runner actually computed vs reused."""
+
+    executed: int = 0
+    cached: int = 0
+    deduplicated: int = 0
+
+
+class SweepRunner:
+    """Fans grids of :class:`SimTask` across processes with caching.
+
+    Parameters
+    ----------
+    max_workers:
+        Process pool size; ``None`` reads ``REPRO_SWEEP_WORKERS`` and falls
+        back to serial execution (fan-out is opt-in).
+    engine:
+        When set (``"event"``/``"fast"``), override each task's
+        ``config.engine`` — ``"fast"`` is applied only to tasks the batched
+        kernel supports (no cache; see :mod:`repro.sim.fastkernel`).
+    cache_dir:
+        Optional directory for persistent pickled results, keyed by
+        :func:`task_fingerprint`, surviving across processes and sessions.
+    """
+
+    def __init__(
+        self,
+        max_workers: Optional[int] = None,
+        engine: Optional[str] = None,
+        cache_dir: Union[None, str, Path] = None,
+    ) -> None:
+        if engine is not None and engine not in ("event", "fast"):
+            raise ConfigError(
+                f"engine must be 'event' or 'fast', got {engine!r}"
+            )
+        self.max_workers = _resolve_workers(max_workers)
+        self.engine = engine
+        self.cache_dir = Path(cache_dir) if cache_dir is not None else None
+        self._memory: Dict[str, SimulationResult] = {}
+        self.stats = SweepStats()
+
+    # -- engine + cache plumbing ---------------------------------------------
+
+    def _with_engine(self, task: SimTask) -> SimTask:
+        if self.engine is None or task.config.engine == self.engine:
+            return task
+        if self.engine == "fast":
+            # Every known workload spec materializes a read-only stream, so
+            # a shared cache is the only fast-kernel blocker; leave unknown
+            # future specs alone rather than risk a mid-sweep ConfigError.
+            known_read_only = isinstance(
+                task.workload,
+                (SyntheticWorkloadParams, NerscTraceParams, InlineWorkload),
+            )
+            if task.config.cache_policy or not known_read_only:
+                return task
+        return dataclasses.replace(
+            task, config=task.config.with_overrides(engine=self.engine)
+        )
+
+    def _cache_path(self, key: str) -> Optional[Path]:
+        if self.cache_dir is None:
+            return None
+        return self.cache_dir / f"{key}.pkl"
+
+    def _lookup(self, key: str) -> Optional[SimulationResult]:
+        hit = self._memory.get(key)
+        if hit is not None:
+            return hit
+        path = self._cache_path(key)
+        if path is not None and path.exists():
+            try:
+                with path.open("rb") as fh:
+                    result = pickle.load(fh)
+            except Exception:
+                # A truncated/corrupt entry (e.g. a crashed writer) is a
+                # miss, not a fatal error; it will be rewritten below.
+                return None
+            self._memory[key] = result
+            return result
+        return None
+
+    def _store(self, key: str, result: SimulationResult) -> None:
+        self._memory[key] = result
+        path = self._cache_path(key)
+        if path is not None:
+            path.parent.mkdir(parents=True, exist_ok=True)
+            # Unique temp name per writer: concurrent sessions sharing the
+            # cache_dir must not interleave bytes in one temp file.  The
+            # atomic replace makes the last complete writer win.
+            fd, tmp_name = tempfile.mkstemp(
+                dir=path.parent, prefix=f".{key[:16]}-", suffix=".tmp"
+            )
+            try:
+                with os.fdopen(fd, "wb") as fh:
+                    pickle.dump(result, fh, protocol=4)
+                os.replace(tmp_name, path)
+            except BaseException:
+                try:
+                    os.unlink(tmp_name)
+                except OSError:
+                    pass
+                raise
+
+    # -- execution -------------------------------------------------------------
+
+    def run(self, tasks: Sequence[SimTask]) -> List[SimulationResult]:
+        """Execute (or fetch) every task; results in task order."""
+        tasks = [self._with_engine(t) for t in tasks]
+        keys = [task_fingerprint(t) for t in tasks]
+        results: List[Optional[SimulationResult]] = [None] * len(tasks)
+
+        fresh: List[Tuple[str, SimTask]] = []
+        seen: Dict[str, int] = {}
+        for i, (task, key) in enumerate(zip(tasks, keys)):
+            cached = self._lookup(key)
+            if cached is not None:
+                results[i] = cached
+                self.stats.cached += 1
+            elif key in seen:
+                self.stats.deduplicated += 1
+            else:
+                seen[key] = i
+                fresh.append((key, task))
+
+        if fresh:
+            workers = min(self.max_workers, len(fresh))
+            if workers <= 1:
+                outputs = [_execute_task(task) for _, task in fresh]
+            else:
+                with ProcessPoolExecutor(max_workers=workers) as pool:
+                    outputs = list(
+                        pool.map(_execute_task, [task for _, task in fresh])
+                    )
+            for (key, _), result in zip(fresh, outputs):
+                self._store(key, result)
+                self.stats.executed += 1
+
+        for i, key in enumerate(keys):
+            if results[i] is None:
+                results[i] = self._memory[key]
+        return results  # type: ignore[return-value]
+
+    def run_map(
+        self, tasks: Sequence[SimTask]
+    ) -> Dict[Hashable, SimulationResult]:
+        """Like :meth:`run`, keyed by each task's ``key`` (index fallback)."""
+        results = self.run(tasks)
+        return {
+            task.key if task.key is not None else i: result
+            for i, (task, result) in enumerate(zip(tasks, results))
+        }
+
+
+_DEFAULT: Optional[SweepRunner] = None
+
+
+def default_runner() -> SweepRunner:
+    """The process-wide runner the experiment harnesses share."""
+    global _DEFAULT
+    if _DEFAULT is None:
+        _DEFAULT = SweepRunner()
+    return _DEFAULT
+
+
+def configure(
+    max_workers: Optional[int] = None,
+    engine: Optional[str] = None,
+    cache_dir: Union[None, str, Path] = None,
+) -> SweepRunner:
+    """Replace the shared runner (used by the ``--workers/--engine`` CLI)."""
+    global _DEFAULT
+    _DEFAULT = SweepRunner(
+        max_workers=max_workers, engine=engine, cache_dir=cache_dir
+    )
+    return _DEFAULT

@@ -6,6 +6,12 @@ independent of ``L``), and packed with ``Pack_Disks`` for every load
 constraint ``L``; all allocations are simulated over the same request
 stream.  Figure 2 plots ``1 - E_pack/E_random`` and Figure 3 plots
 ``T_pack / T_random``, so one sweep feeds both figures (memoized).
+
+The grid is executed through the shared
+:class:`~repro.experiments.orchestrator.SweepRunner`, so points are cached
+per (config, seed) fingerprint and fan out across worker processes when
+``python -m repro run ... --workers N`` (or ``REPRO_SWEEP_WORKERS``) asks
+for parallelism.
 """
 
 from __future__ import annotations
@@ -14,10 +20,10 @@ from dataclasses import dataclass
 from typing import Dict, Sequence, Tuple
 
 from repro.experiments.common import memoize_by_key, scaled_duration
+from repro.experiments.orchestrator import SimTask, default_runner
 from repro.system.config import StorageConfig
 from repro.system.metrics import SimulationResult
-from repro.system.runner import allocate, simulate
-from repro.workload.generator import SyntheticWorkloadParams, generate_workload
+from repro.workload.generator import SyntheticWorkloadParams
 
 __all__ = ["RateSweep", "sweep_rates"]
 
@@ -41,10 +47,7 @@ class RateSweep:
 
 @memoize_by_key
 def _sweep(memo_key, rates, loads, scale, seed, num_disks, n_files) -> RateSweep:
-    random_results: Dict[float, SimulationResult] = {}
-    packed_results: Dict[Tuple[float, float], SimulationResult] = {}
-    disks_used: Dict[Tuple[float, float], int] = {}
-
+    tasks = []
     for rate in rates:
         params = SyntheticWorkloadParams(
             n_files=n_files,
@@ -52,24 +55,43 @@ def _sweep(memo_key, rates, loads, scale, seed, num_disks, n_files) -> RateSweep
             duration=scaled_duration(4_000.0, scale),
             seed=seed,
         )
-        workload = generate_workload(params)
         base_cfg = StorageConfig(num_disks=num_disks)
-        rnd_alloc = allocate(
-            workload.catalog, "random", base_cfg, rate, rng=seed,
-            num_disks=num_disks,
-        )
-        random_results[rate] = simulate(
-            workload.catalog, workload.stream, rnd_alloc, base_cfg,
-            num_disks=num_disks, label=f"random R={rate:g}",
+        tasks.append(
+            SimTask(
+                label=f"random R={rate:g}",
+                workload=params,
+                config=base_cfg,
+                policy="random",
+                arrival_rate=rate,
+                num_disks=num_disks,
+                alloc_rng=seed,
+                key=("random", rate),
+            )
         )
         for load in loads:
-            cfg = base_cfg.with_overrides(load_constraint=load)
-            alloc = allocate(workload.catalog, "pack", cfg, rate)
-            disks_used[(rate, load)] = alloc.num_disks
-            packed_results[(rate, load)] = simulate(
-                workload.catalog, workload.stream, alloc, cfg,
-                num_disks=num_disks, label=f"pack R={rate:g} L={load:g}",
+            tasks.append(
+                SimTask(
+                    label=f"pack R={rate:g} L={load:g}",
+                    workload=params,
+                    config=base_cfg.with_overrides(load_constraint=load),
+                    policy="pack",
+                    arrival_rate=rate,
+                    num_disks=num_disks,
+                    key=("pack", rate, load),
+                )
             )
+
+    by_key = default_runner().run_map(tasks)
+    random_results: Dict[float, SimulationResult] = {
+        rate: by_key[("random", rate)] for rate in rates
+    }
+    packed_results: Dict[Tuple[float, float], SimulationResult] = {}
+    disks_used: Dict[Tuple[float, float], int] = {}
+    for rate in rates:
+        for load in loads:
+            result = by_key[("pack", rate, load)]
+            packed_results[(rate, load)] = result
+            disks_used[(rate, load)] = int(result.extra["alloc_disks"])
     return RateSweep(
         rates=tuple(rates),
         loads=tuple(loads),

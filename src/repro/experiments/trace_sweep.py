@@ -6,6 +6,11 @@ grid of idleness thresholds (0..2 h in the paper).  As in §5.1, the random
 baseline packs into the *same number of disks* as Pack_Disks so the
 comparison isolates placement quality, and power is normalized by the cost
 of spinning all N disks with no power management.
+
+Allocations are computed once up front (they are shared across thresholds);
+the simulation grid itself runs through the shared
+:class:`~repro.experiments.orchestrator.SweepRunner` for per-point caching
+and optional multi-process fan-out.
 """
 
 from __future__ import annotations
@@ -14,9 +19,14 @@ from dataclasses import dataclass
 from typing import Dict, Sequence, Tuple
 
 from repro.experiments.common import memoize_by_key
+from repro.experiments.orchestrator import (
+    InlineWorkload,
+    SimTask,
+    default_runner,
+)
 from repro.system.config import StorageConfig
 from repro.system.metrics import SimulationResult
-from repro.system.runner import allocate, simulate
+from repro.system.runner import allocate
 from repro.units import GiB, HOUR
 from repro.workload.nersc import NerscTraceParams, synthesize_nersc_trace
 
@@ -85,24 +95,43 @@ def _sweep(
         )
     allocations = {name: by_policy[_POLICY_OF[name][0]] for name in configs}
 
-    results: Dict[Tuple[str, float], SimulationResult] = {}
+    # One shared trace shipped inline; workers simulate prebuilt mappings so
+    # every config sees the identical pool and placement (§5.1 comparison).
+    inline = InlineWorkload(
+        sizes=trace.catalog.sizes,
+        popularities=trace.catalog.popularities,
+        times=trace.stream.times,
+        file_ids=trace.stream.file_ids,
+        duration=trace.stream.duration,
+    )
+    # One dense mapping per config name, shared by every threshold's task
+    # (mapping() walks all files in Python — build it once, not per point).
+    mappings = {
+        name: allocations[name].mapping(trace.catalog.n) for name in configs
+    }
+    tasks = []
     for hours in threshold_hours:
         for name in configs:
-            policy, cache = _POLICY_OF[name]
+            _, cache = _POLICY_OF[name]
             cfg = base_cfg.with_overrides(
                 num_disks=num_disks,
                 idleness_threshold=hours * HOUR,
                 cache_policy=cache,
                 cache_capacity=cache_bytes,
             )
-            results[(name, hours)] = simulate(
-                trace.catalog,
-                trace.stream,
-                allocations[name],
-                cfg,
-                num_disks=num_disks,
-                label=f"{name} thr={hours:g}h",
+            tasks.append(
+                SimTask(
+                    label=f"{name} thr={hours:g}h",
+                    workload=inline,
+                    config=cfg,
+                    mapping=mappings[name],
+                    num_disks=num_disks,
+                    key=(name, hours),
+                )
             )
+    results: Dict[Tuple[str, float], SimulationResult] = default_runner().run_map(
+        tasks
+    )
     return TraceSweep(
         threshold_hours=tuple(threshold_hours),
         configs=tuple(configs),

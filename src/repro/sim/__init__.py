@@ -14,7 +14,10 @@ written in), providing the same process-based modelling style:
   :class:`~repro.sim.resources.PriorityResource`,
   :class:`~repro.sim.resources.Store` — shared-resource primitives,
 * :mod:`~repro.sim.monitor` — state timelines and streaming statistics used
-  for energy accounting and response-time measurement.
+  for energy accounting and response-time measurement,
+* :mod:`~repro.sim.fastkernel` — a batched fast path for read-only
+  static-mapping scenarios (select with ``StorageConfig(engine="fast")``),
+  validated against the event kernel and typically 10-50x faster.
 
 Example
 -------

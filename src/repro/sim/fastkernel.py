@@ -1,0 +1,266 @@
+"""Batched fast-path simulation kernel (``StorageConfig(engine="fast")``).
+
+The event kernel (:mod:`repro.sim.environment`) replays one request at a
+time through generator processes: every arrival costs several heap
+operations, event allocations and coroutine hops.  That is flexible — it
+supports caches, write allocation and arbitrary process interleavings — but
+it makes large parameter sweeps (the paper's Figures 2-6 grids) simulation
+bound.
+
+This module is a drop-in fast path for the dominant scenario class: a
+read-only request stream replayed against a *static* file-to-disk mapping
+with no shared cache.  Because each drive is then a completely independent
+FIFO queue with the paper's Figure 1 power state machine, the whole run can
+be computed directly:
+
+1. the stream is pre-sorted into per-disk NumPy arrays,
+2. each disk's queue is advanced with a tight float recursion (a Lindley
+   recursion extended with the idleness-threshold spin-down / spin-up
+   transitions) — no per-request generator hop or event objects,
+3. all state-time, energy and response accounting is vectorized and
+   truncated at the measurement horizon exactly like the event kernel's
+   cutoff.
+
+Semantics mirror :class:`~repro.disk.drive.DiskDrive`: drives start IDLE
+with the idleness timer armed at t=0, spin-downs are not abortable
+(a request arriving mid-transition waits for spin-down + spin-up), and
+requests arriving at or after the horizon are censored (counted as neither
+arrivals nor completions).  Agreement with the event kernel is tested to
+tight tolerances in ``tests/sim/test_fastkernel.py``; the only differences
+are ~1 ulp float drift (the event loop accumulates arrival times as
+``now + (t - now)``) and tie-breaking at measure-zero coincidences.
+
+Select the engine per run via ``StorageConfig(engine="fast")``; scenarios
+the fast kernel cannot express (shared cache, write requests, non-array
+streams) raise :class:`~repro.errors.ConfigError` — use the default
+``engine="event"`` for those.
+"""
+
+from __future__ import annotations
+
+from math import isinf
+from typing import Optional
+
+import numpy as np
+
+from repro.disk.power import DiskState, PowerModel
+from repro.disk.specs import DiskSpec
+from repro.errors import ConfigError, SimulationError
+from repro.system.metrics import SimulationResult
+
+__all__ = ["fast_unsupported_reason", "simulate_fast"]
+
+
+def fast_unsupported_reason(config, stream) -> Optional[str]:
+    """Why ``engine="fast"`` cannot run this scenario (``None`` if it can).
+
+    The fast kernel requires per-disk independence and a static mapping:
+    no shared cache (cross-request coupling) and no writes (the write
+    allocation policy inspects global spin state).
+    """
+    if config.cache_policy:
+        return "a shared cache couples requests across disks"
+    if not hasattr(stream, "times") or not hasattr(stream, "file_ids"):
+        return "the stream is not array-backed (needs .times/.file_ids)"
+    kinds = getattr(stream, "kinds", None)
+    if kinds is not None and np.any(np.asarray(kinds) != "read"):
+        return "write requests mutate the mapping via the allocation policy"
+    return None
+
+
+def simulate_fast(
+    sizes: np.ndarray,
+    mapping: np.ndarray,
+    spec: DiskSpec,
+    num_disks: int,
+    threshold: float,
+    stream,
+    duration: float,
+    label: str = "run",
+) -> SimulationResult:
+    """Simulate ``stream`` against a static mapping without the event loop.
+
+    Parameters mirror what :class:`~repro.system.storage.StorageSystem`
+    assembles: ``sizes``/``mapping`` are dense per-file arrays, ``threshold``
+    is the effective idleness threshold (``inf`` disables spin-down) and
+    ``duration`` the measurement horizon.  Returns the same
+    :class:`~repro.system.metrics.SimulationResult` the event kernel
+    produces.
+    """
+    if duration <= 0:
+        raise ConfigError("duration must be positive")
+    T = float(duration)
+    times = np.asarray(stream.times, dtype=float)
+    file_ids = np.asarray(stream.file_ids, dtype=np.int64)
+
+    # The event kernel's cutoff is strict: the URGENT stop event at T
+    # pre-empts arrival and completion events scheduled at exactly T.
+    live = times < T
+    t_all = times[live]
+    fid = file_ids[live]
+    arrivals = int(t_all.size)
+
+    disk = np.asarray(mapping, dtype=np.int64)[fid]
+    if arrivals and int(disk.min()) < 0:
+        bad = int(fid[int(np.argmin(disk))])
+        raise SimulationError(
+            f"read of unallocated file {bad}; allocate it first"
+        )
+    if arrivals and int(disk.max()) >= num_disks:
+        raise SimulationError(
+            f"mapping references disk {int(disk.max())} but the pool has "
+            f"only {num_disks} disks"
+        )
+
+    oh = spec.access_overhead
+    transfer = sizes[fid] / spec.transfer_rate
+
+    # Pre-sort into per-disk groups; times are already non-decreasing, so a
+    # stable sort on the disk index keeps each disk's FIFO arrival order.
+    order = np.argsort(disk, kind="stable")
+    d_s = disk[order]
+    t_s = t_all[order]
+    tr_s = transfer[order]
+
+    starts = np.empty(arrivals, dtype=float)
+    avail = np.zeros(num_disks, dtype=float)
+    spindown_time = np.zeros(num_disks, dtype=float)
+    spinup_time = np.zeros(num_disks, dtype=float)
+    standby_time = np.zeros(num_disks, dtype=float)
+    spinups = np.zeros(num_disks, dtype=np.int64)
+    spindowns = np.zeros(num_disks, dtype=np.int64)
+
+    th = float(threshold)
+    D = spec.spindown_time
+    U = spec.spinup_time
+    no_spindown = isinf(th)
+
+    if arrivals:
+        cuts = np.flatnonzero(np.diff(d_s)) + 1
+        group_lo = np.concatenate(([0], cuts))
+        group_hi = np.concatenate((cuts, [arrivals]))
+        group_disk = d_s[group_lo]
+    else:
+        group_lo = group_hi = group_disk = np.empty(0, dtype=np.int64)
+
+    for lo, hi, d in zip(
+        group_lo.tolist(), group_hi.tolist(), group_disk.tolist()
+    ):
+        ts = t_s[lo:hi].tolist()
+        trs = tr_s[lo:hi].tolist()
+        out = []
+        a = 0.0
+        if no_spindown:
+            # Pure Lindley recursion: serve at max(arrival, free time).
+            for t, tr in zip(ts, trs):
+                s = t if t > a else a
+                out.append(s)
+                a = s + oh + tr
+        else:
+            sd_t = 0.0
+            su_t = 0.0
+            sb_t = 0.0
+            n_up = 0
+            n_down = 0
+            for t, tr in zip(ts, trs):
+                if t > a:
+                    if t - a > th:
+                        # Idleness timer expired at a+th: spin down (not
+                        # abortable), sleep, then spin up on this arrival.
+                        sd = a + th
+                        sd_end = sd + D
+                        n_down += 1
+                        sd_t += min(sd_end, T) - sd
+                        if t >= sd_end:
+                            sb_t += t - sd_end
+                            su = t
+                        else:
+                            su = sd_end
+                        if su < T:
+                            n_up += 1
+                            su_t += min(su + U, T) - su
+                        s = su + U
+                    else:
+                        s = t
+                else:
+                    s = a
+                out.append(s)
+                a = s + oh + tr
+            spindown_time[d] = sd_t
+            spinup_time[d] = su_t
+            standby_time[d] = sb_t
+            spinups[d] = n_up
+            spindowns[d] = n_down
+        starts[lo:hi] = out
+        avail[d] = a
+
+    # Trailing idleness: every disk (including ones that never served a
+    # request) spins down once its post-drain idle gap exceeds the
+    # threshold, provided the timer fires before the horizon.
+    if not no_spindown:
+        sd = avail + th
+        tail = sd < T
+        spindowns += tail
+        sd_end = sd + D
+        spindown_time += np.where(tail, np.minimum(sd_end, T) - sd, 0.0)
+        standby_time += np.where(tail, np.clip(T - sd_end, 0.0, None), 0.0)
+
+    # Vectorized service accounting, truncated at the horizon.
+    seek_time = np.bincount(
+        d_s, weights=np.clip(T - starts, 0.0, oh), minlength=num_disks
+    )
+    active_time = np.bincount(
+        d_s,
+        weights=np.clip(T - (starts + oh), 0.0, tr_s),
+        minlength=num_disks,
+    )
+    idle_time = np.clip(
+        T
+        - (seek_time + active_time + spindown_time + spinup_time + standby_time),
+        0.0,
+        None,
+    )
+
+    completion = starts + oh + tr_s
+    done = completion < T
+    responses = completion[done] - t_s[done]
+    # Report response times in completion order, like the dispatcher does.
+    response_times = responses[np.argsort(completion[done], kind="stable")]
+
+    per_state = {
+        DiskState.IDLE: idle_time,
+        DiskState.STANDBY: standby_time,
+        DiskState.SEEK: seek_time,
+        DiskState.ACTIVE: active_time,
+        DiskState.SPINUP: spinup_time,
+        DiskState.SPINDOWN: spindown_time,
+    }
+    power_model = PowerModel(spec)
+    energy_per_disk = np.zeros(num_disks, dtype=float)
+    for state, per_disk in per_state.items():
+        energy_per_disk += power_model.power(state) * per_disk
+    state_durations = {
+        state: float(per_disk.sum())
+        for state, per_disk in per_state.items()
+        if per_disk.any()
+    }
+
+    return SimulationResult(
+        algorithm=label,
+        duration=T,
+        num_disks=num_disks,
+        energy=float(energy_per_disk.sum()),
+        energy_per_disk=energy_per_disk,
+        state_durations=state_durations,
+        response_times=response_times,
+        arrivals=arrivals,
+        completions=int(done.sum()),
+        spinups=int(spinups.sum()),
+        spindowns=int(spindowns.sum()),
+        always_on_energy=num_disks * power_model.always_on_energy(T),
+        cache_stats=None,
+        requests_per_disk=np.bincount(d_s, minlength=num_disks).astype(
+            np.int64
+        ),
+        spinups_per_disk=spinups,
+    )

@@ -36,6 +36,11 @@ class StorageConfig:
         ``"full"`` (seek + rotation + transfer) or ``"transfer"``.
     cache_policy / cache_capacity / cache_hit_latency:
         Optional shared front-end cache (paper: 16 GB LRU, hits free).
+    engine:
+        Simulation kernel: ``"event"`` (the discrete-event loop; supports
+        every feature) or ``"fast"`` (the batched kernel in
+        :mod:`repro.sim.fastkernel`; read-only streams with a static
+        mapping and no cache, typically 10-50x faster).
     """
 
     spec: DiskSpec = ST3500630AS
@@ -47,6 +52,7 @@ class StorageConfig:
     cache_policy: Optional[str] = None
     cache_capacity: float = 16 * GiB
     cache_hit_latency: float = 0.0
+    engine: str = "event"
 
     def __post_init__(self) -> None:
         if self.num_disks < 1:
@@ -66,6 +72,10 @@ class StorageConfig:
             raise ConfigError("cache_hit_latency must be >= 0")
         if self.cache_capacity <= 0:
             raise ConfigError("cache_capacity must be positive")
+        if self.engine not in ("event", "fast"):
+            raise ConfigError(
+                f"engine must be 'event' or 'fast', got {self.engine!r}"
+            )
 
     @property
     def usable_capacity(self) -> float:

@@ -11,6 +11,7 @@ These are the entry points the experiments and examples use::
 
 from __future__ import annotations
 
+import math
 import re
 from typing import Dict, List, Optional, Sequence, Tuple
 
@@ -221,9 +222,10 @@ class ReorganizingRunner:
         mapping_prev: Optional[np.ndarray] = None
         total_energy = 0.0
         responses = []
+        epoch_energy: List[np.ndarray] = []
         arrivals = completions = spinups = spindowns = 0
         always_on = 0.0
-        num_disks = None
+        max_disks = 0
         state_durations: Dict = {}
 
         for i, epoch in enumerate(epochs):
@@ -242,12 +244,15 @@ class ReorganizingRunner:
 
             total_energy += result.energy
             responses.append(result.response_times)
+            epoch_energy.append(result.energy_per_disk)
             arrivals += result.arrivals
             completions += result.completions
             spinups += result.spinups
             spindowns += result.spindowns
             always_on += result.always_on_energy
-            num_disks = result.num_disks
+            # Write allocation / re-packing can change the pool size between
+            # epochs; report the widest pool the run ever used.
+            max_disks = max(max_disks, result.num_disks)
             for state, t in result.state_durations.items():
                 state_durations[state] = state_durations.get(state, 0.0) + t
 
@@ -262,12 +267,19 @@ class ReorganizingRunner:
                 )
                 pops = pops / pops.sum()
 
+        num_disks = max_disks or self.config.num_disks
+        # Per-disk energy summed across epochs, padded to the widest pool
+        # (disk i's total covers every epoch in which it existed).
+        energy_per_disk = np.zeros(num_disks)
+        for per_disk in epoch_energy:
+            energy_per_disk[: per_disk.shape[0]] += per_disk
+
         return SimulationResult(
             algorithm=f"{self.policy}+reorg",
             duration=stream.duration,
-            num_disks=num_disks or self.config.num_disks,
+            num_disks=num_disks,
             energy=total_energy,
-            energy_per_disk=np.zeros(num_disks or 0),
+            energy_per_disk=energy_per_disk,
             state_durations=state_durations,
             response_times=(
                 np.concatenate(responses) if responses else np.empty(0)
@@ -286,11 +298,26 @@ class ReorganizingRunner:
         )
 
     def _split(self, stream: RequestStream) -> List[Tuple[RequestStream, float]]:
-        edges = np.arange(0.0, stream.duration, self.interval)
+        # Integer epoch count: float edge accumulation (np.arange) could emit
+        # a sliver epoch when duration/interval lands near an integer, and a
+        # zero-length final epoch crashes StorageSystem.run.  Sub-1e-9
+        # overhangs are absorbed into the last epoch.
+        n_epochs = max(
+            1, int(math.ceil(stream.duration / self.interval - 1e-9))
+        )
         out = []
-        for start in edges:
-            end = min(start + self.interval, stream.duration)
-            mask = (stream.times >= start) & (stream.times < end)
+        for i in range(n_epochs):
+            start = i * self.interval
+            last = i == n_epochs - 1
+            end = stream.duration if last else (i + 1) * self.interval
+            mask = stream.times >= start
+            # RequestStream permits times[-1] == duration, so the final
+            # epoch's upper bound is inclusive: a strict < would drop a
+            # horizon request from every epoch, losing it from the access
+            # statistics that drive re-packing and from epoch-length
+            # conservation.  (The simulator still censors it at the cutoff,
+            # exactly as a monolithic run over the whole stream would.)
+            mask &= (stream.times <= end) if last else (stream.times < end)
             epoch = RequestStream(
                 times=stream.times[mask] - start,
                 file_ids=stream.file_ids[mask],

@@ -10,6 +10,7 @@ from repro.cache.base import make_cache
 from repro.disk.array import DiskArray
 from repro.errors import ConfigError
 from repro.sim.environment import Environment
+from repro.sim.fastkernel import fast_unsupported_reason, simulate_fast
 from repro.system.config import StorageConfig
 from repro.system.dispatcher import Dispatcher, drive_stream
 from repro.system.metrics import SimulationResult
@@ -22,7 +23,11 @@ class StorageSystem:
     """One simulatable storage system instance.
 
     Builds a fresh :class:`~repro.sim.environment.Environment` so every run
-    is independent and reproducible.
+    is independent and reproducible.  The event-kernel machinery
+    (environment, drive processes, dispatcher) is constructed lazily on
+    first access, so ``engine="fast"`` runs skip it entirely — for large
+    pools its construction would otherwise dominate the fast kernel's
+    wall time.
 
     Parameters
     ----------
@@ -61,27 +66,54 @@ class StorageSystem:
             )
         self.catalog = catalog
         self.config = config
-        self.env = Environment()
-        self.array = DiskArray(
-            self.env,
-            config.spec,
-            num_disks,
-            idleness_threshold=config.threshold,
+        self.num_disks = num_disks
+        self._mapping = mapping
+        self._env: Optional[Environment] = None
+        self._array: Optional[DiskArray] = None
+        self._dispatcher: Optional[Dispatcher] = None
+
+    # -- lazily built event-kernel machinery ------------------------------------
+
+    def _build_event_machinery(self) -> None:
+        self._env = Environment()
+        self._array = DiskArray(
+            self._env,
+            self.config.spec,
+            self.num_disks,
+            idleness_threshold=self.config.threshold,
         )
         cache = (
-            make_cache(config.cache_policy, config.cache_capacity)
-            if config.cache_policy
+            make_cache(self.config.cache_policy, self.config.cache_capacity)
+            if self.config.cache_policy
             else None
         )
-        self.dispatcher = Dispatcher(
-            self.env,
-            self.array,
-            mapping,
-            catalog.sizes,
+        self._dispatcher = Dispatcher(
+            self._env,
+            self._array,
+            self._mapping,
+            self.catalog.sizes,
             cache=cache,
-            cache_hit_latency=config.cache_hit_latency,
-            usable_capacity=config.usable_capacity,
+            cache_hit_latency=self.config.cache_hit_latency,
+            usable_capacity=self.config.usable_capacity,
         )
+
+    @property
+    def env(self) -> Environment:
+        if self._env is None:
+            self._build_event_machinery()
+        return self._env
+
+    @property
+    def array(self) -> DiskArray:
+        if self._array is None:
+            self._build_event_machinery()
+        return self._array
+
+    @property
+    def dispatcher(self) -> Dispatcher:
+        if self._dispatcher is None:
+            self._build_event_machinery()
+        return self._dispatcher
 
     def run(self, stream, duration: Optional[float] = None, label: str = "run") -> SimulationResult:
         """Replay ``stream`` and measure until ``duration`` (default: the
@@ -90,11 +122,32 @@ class StorageSystem:
         Requests still queued at the cutoff count as arrivals but not
         completions (their response time is not recorded), exactly like a
         fixed-length measurement window on a real system.
+
+        With ``config.engine == "fast"`` the run is dispatched to the
+        batched kernel (:mod:`repro.sim.fastkernel`); scenarios it cannot
+        express (cache, writes) raise :class:`~repro.errors.ConfigError`.
         """
         if duration is None:
             duration = stream.duration
         if duration <= 0:
             raise ConfigError("duration must be positive")
+        if self.config.engine == "fast":
+            reason = fast_unsupported_reason(self.config, stream)
+            if reason is not None:
+                raise ConfigError(
+                    f"engine='fast' cannot simulate this scenario ({reason});"
+                    " use engine='event'"
+                )
+            return simulate_fast(
+                sizes=self.catalog.sizes,
+                mapping=self._mapping,
+                spec=self.config.spec,
+                num_disks=self.num_disks,
+                threshold=self.config.threshold,
+                stream=stream,
+                duration=duration,
+                label=label,
+            )
         self.env.process(drive_stream(self.env, self.dispatcher, stream))
         self.env.run(until=duration)
         return self.collect(label)

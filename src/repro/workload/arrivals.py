@@ -7,7 +7,7 @@ stream) per the hpc-parallel guidance: no per-request Python-level RNG calls.
 from __future__ import annotations
 
 from dataclasses import dataclass
-from typing import Iterator, Tuple
+from typing import Iterator, Optional, Tuple
 
 import numpy as np
 
@@ -62,6 +62,9 @@ class RequestStream:
     times: np.ndarray
     file_ids: np.ndarray
     duration: float
+    #: Fraction of the parent stream kept by :meth:`scaled` (``None`` for
+    #: streams that were not produced by thinning).
+    thinning_factor: Optional[float] = None
 
     def __post_init__(self) -> None:
         self.times = np.asarray(self.times, dtype=float)
@@ -118,17 +121,29 @@ class RequestStream:
     def scaled(self, factor: float) -> "RequestStream":
         """Subsample a fraction ``factor`` of requests (horizon unchanged).
 
-        Deterministic thinning (every k-th request) so results are stable;
-        preserves the arrival-pattern shape at a proportionally lower rate.
+        Deterministic index-based thinning: ``round(len(self) * factor)``
+        requests are kept at evenly spaced positions, so arbitrary factors
+        are honored exactly (not just reciprocals of integers — ``0.4``
+        keeps 40%, not the 50% a naive every-k-th step would).  The achieved
+        fraction is recorded on the result as ``thinning_factor``; a factor
+        too small to keep even one request raises
+        :class:`~repro.errors.ConfigError`.
         """
         if not 0 < factor <= 1:
             raise ConfigError(f"factor must be in (0, 1], got {factor}")
         if factor == 1.0 or len(self) == 0:
             return self
-        step = int(round(1.0 / factor))
-        idx = np.arange(0, len(self), step)
+        keep = int(round(len(self) * factor))
+        if keep == 0:
+            raise ConfigError(
+                f"factor {factor} would keep zero of {len(self)} requests"
+            )
+        idx = np.floor(
+            np.linspace(0.0, len(self), keep, endpoint=False)
+        ).astype(np.int64)
         return RequestStream(
             times=self.times[idx].copy(),
             file_ids=self.file_ids[idx].copy(),
             duration=self.duration,
+            thinning_factor=keep / len(self),
         )

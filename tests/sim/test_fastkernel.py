@@ -1,0 +1,306 @@
+"""Equivalence suite: the batched fast kernel vs the event kernel.
+
+Every scenario is run through both engines via the public
+``StorageConfig(engine=...)`` switch and compared on energy, response-time
+distribution, spin counts and per-disk accounting.  Tolerances are far
+tighter than the 1e-6 acceptance bar: the only expected differences are
+~1 ulp float drift in the event loop's arrival-time accumulation.
+"""
+
+import math
+
+import numpy as np
+import pytest
+
+from repro.errors import ConfigError, SimulationError
+from repro.sim.fastkernel import fast_unsupported_reason, simulate_fast
+from repro.system import StorageConfig, StorageSystem, allocate
+from repro.units import MB
+from repro.workload import FileCatalog, RequestStream
+from repro.workload.generator import SyntheticWorkloadParams, generate_workload
+from repro.workload.mixed import MixedWorkloadParams, generate_mixed_workload
+
+
+def run_both(catalog, stream, mapping, cfg, num_disks=None, duration=None):
+    event = StorageSystem(
+        catalog, mapping, cfg.with_overrides(engine="event"),
+        num_disks=num_disks,
+    ).run(stream, duration=duration)
+    fast = StorageSystem(
+        catalog, mapping, cfg.with_overrides(engine="fast"),
+        num_disks=num_disks,
+    ).run(stream, duration=duration)
+    return event, fast
+
+
+def assert_equivalent(event, fast):
+    assert fast.num_disks == event.num_disks
+    assert fast.duration == pytest.approx(event.duration)
+    assert fast.arrivals == event.arrivals
+    assert fast.completions == event.completions
+    assert fast.spinups == event.spinups
+    assert fast.spindowns == event.spindowns
+    assert fast.energy == pytest.approx(event.energy, rel=1e-9)
+    assert fast.always_on_energy == pytest.approx(
+        event.always_on_energy, rel=1e-12
+    )
+    np.testing.assert_allclose(
+        fast.energy_per_disk, event.energy_per_disk, rtol=1e-9, atol=1e-6
+    )
+    np.testing.assert_allclose(
+        np.sort(fast.response_times),
+        np.sort(event.response_times),
+        rtol=1e-9,
+        atol=1e-9,
+    )
+    assert np.array_equal(fast.requests_per_disk, event.requests_per_disk)
+    assert np.array_equal(fast.spinups_per_disk, event.spinups_per_disk)
+    for state, t in event.state_durations.items():
+        assert fast.state_durations.get(state, 0.0) == pytest.approx(
+            t, rel=1e-9, abs=1e-6
+        )
+
+
+@pytest.fixture(scope="module")
+def fig2_workload():
+    """A Figure 2-style seed point: Table 1 shapes at R=4."""
+    return generate_workload(
+        SyntheticWorkloadParams(
+            n_files=3_000, arrival_rate=4.0, duration=600.0, seed=20090525
+        )
+    )
+
+
+@pytest.fixture(scope="module")
+def fig4_workload():
+    """A Figure 4-style seed point: R=6 at a tight load constraint."""
+    return generate_workload(
+        SyntheticWorkloadParams(
+            n_files=2_000, arrival_rate=6.0, duration=500.0, seed=20090525
+        )
+    )
+
+
+class TestSeedScenarioEquivalence:
+    def test_fig2_pack(self, fig2_workload):
+        cfg = StorageConfig(num_disks=100, load_constraint=0.7)
+        mapping = allocate(fig2_workload.catalog, "pack", cfg, 4.0).mapping(
+            fig2_workload.catalog.n
+        )
+        event, fast = run_both(
+            fig2_workload.catalog, fig2_workload.stream, mapping, cfg
+        )
+        assert_equivalent(event, fast)
+        assert event.spinups > 0  # the scenario exercises spin transitions
+
+    def test_fig2_random_baseline(self, fig2_workload):
+        cfg = StorageConfig(num_disks=100)
+        mapping = allocate(
+            fig2_workload.catalog, "random", cfg, 4.0, rng=7, num_disks=100
+        ).mapping(fig2_workload.catalog.n)
+        event, fast = run_both(
+            fig2_workload.catalog, fig2_workload.stream, mapping, cfg
+        )
+        assert_equivalent(event, fast)
+
+    @pytest.mark.parametrize("load", [0.5, 0.9])
+    def test_fig4_load_sweep(self, fig4_workload, load):
+        cfg = StorageConfig(num_disks=100, load_constraint=load)
+        mapping = allocate(fig4_workload.catalog, "pack", cfg, 6.0).mapping(
+            fig4_workload.catalog.n
+        )
+        event, fast = run_both(
+            fig4_workload.catalog, fig4_workload.stream, mapping, cfg
+        )
+        assert_equivalent(event, fast)
+
+    @pytest.mark.parametrize(
+        "threshold", [0.0, 2.0, 30.0, None, math.inf]
+    )
+    def test_threshold_grid(self, fig4_workload, threshold):
+        cfg = StorageConfig(
+            num_disks=100, load_constraint=0.7, idleness_threshold=threshold
+        )
+        mapping = allocate(fig4_workload.catalog, "pack", cfg, 6.0).mapping(
+            fig4_workload.catalog.n
+        )
+        event, fast = run_both(
+            fig4_workload.catalog, fig4_workload.stream, mapping, cfg
+        )
+        assert_equivalent(event, fast)
+
+    def test_drain_horizon_beyond_stream(self, fig4_workload):
+        cfg = StorageConfig(num_disks=100, load_constraint=0.7)
+        mapping = allocate(fig4_workload.catalog, "pack", cfg, 6.0).mapping(
+            fig4_workload.catalog.n
+        )
+        event, fast = run_both(
+            fig4_workload.catalog,
+            fig4_workload.stream,
+            mapping,
+            cfg,
+            duration=fig4_workload.stream.duration + 150.0,
+        )
+        assert_equivalent(event, fast)
+
+
+class TestEdgeCases:
+    @pytest.fixture
+    def one_file(self):
+        return FileCatalog(
+            sizes=np.array([72 * MB]), popularities=np.array([1.0])
+        )
+
+    def test_censored_completion(self):
+        # One giant service crossing the cutoff: arrival counted, no
+        # completion, partial SEEK/ACTIVE time billed identically.
+        big = FileCatalog(
+            sizes=np.array([7_200 * MB]), popularities=np.array([1.0])
+        )
+        stream = RequestStream(
+            times=np.array([0.0]), file_ids=np.array([0]), duration=10.0
+        )
+        event, fast = run_both(
+            big, stream, np.array([0]), StorageConfig(num_disks=1)
+        )
+        assert_equivalent(event, fast)
+        assert fast.completions == 0
+        assert fast.arrivals == 1
+
+    def test_arrival_exactly_at_horizon_censored(self, one_file):
+        stream = RequestStream(
+            times=np.array([1.0, 10.0]),
+            file_ids=np.array([0, 0]),
+            duration=10.0,
+        )
+        event, fast = run_both(
+            one_file, stream, np.array([0]), StorageConfig(num_disks=1)
+        )
+        assert_equivalent(event, fast)
+        assert fast.arrivals == 1  # the t == duration request never runs
+
+    def test_empty_stream_unused_disks_spin_down(self, one_file):
+        stream = RequestStream(
+            times=np.array([]), file_ids=np.array([]), duration=300.0
+        )
+        event, fast = run_both(
+            one_file, stream, np.array([0]), StorageConfig(num_disks=5)
+        )
+        assert_equivalent(event, fast)
+        assert fast.spindowns == 5
+
+    def test_spinup_delay_observed_in_response(self, one_file, spec):
+        # Second request arrives long after the first drained: it must pay
+        # spin-up (15 s) + seek + transfer; the first pays seek + transfer.
+        stream = RequestStream(
+            times=np.array([0.0, 500.0]),
+            file_ids=np.array([0, 0]),
+            duration=600.0,
+        )
+        cfg = StorageConfig(num_disks=1)  # break-even threshold (53.3 s)
+        event, fast = run_both(one_file, stream, np.array([0]), cfg)
+        assert_equivalent(event, fast)
+        service = spec.access_overhead + spec.transfer_time(72 * MB)
+        np.testing.assert_allclose(
+            np.sort(fast.response_times),
+            np.sort([service, spec.spinup_time + service]),
+            rtol=1e-12,
+        )
+
+    def test_arrival_during_spindown_waits_for_both_transitions(
+        self, one_file, spec
+    ):
+        # Arrival 2 s into the (10 s, non-abortable) spin-down: service
+        # waits for spin-down end + full spin-up.
+        threshold = 20.0
+        arrive = threshold + 2.0  # idle timer fired at t=20
+        stream = RequestStream(
+            times=np.array([arrive]), file_ids=np.array([0]), duration=200.0
+        )
+        cfg = StorageConfig(num_disks=1, idleness_threshold=threshold)
+        event, fast = run_both(one_file, stream, np.array([0]), cfg)
+        assert_equivalent(event, fast)
+        wait = (threshold + spec.spindown_time - arrive) + spec.spinup_time
+        service = spec.access_overhead + spec.transfer_time(72 * MB)
+        assert fast.response_times[0] == pytest.approx(wait + service)
+
+
+class TestUnsupportedScenarios:
+    def test_cache_rejected(self, fig4_workload):
+        cfg = StorageConfig(
+            num_disks=100, load_constraint=0.7,
+            cache_policy="lru", engine="fast",
+        )
+        mapping = allocate(fig4_workload.catalog, "pack", cfg, 6.0).mapping(
+            fig4_workload.catalog.n
+        )
+        system = StorageSystem(fig4_workload.catalog, mapping, cfg)
+        with pytest.raises(ConfigError, match="cache"):
+            system.run(fig4_workload.stream)
+
+    def test_write_stream_rejected(self, small_catalog):
+        extended, stream = generate_mixed_workload(
+            small_catalog,
+            MixedWorkloadParams(
+                write_fraction=0.3, arrival_rate=1.0, duration=100.0, seed=3
+            ),
+        )
+        cfg = StorageConfig(num_disks=4, engine="fast")
+        mapping = np.arange(extended.n) % 4
+        system = StorageSystem(extended, mapping, cfg)
+        with pytest.raises(ConfigError, match="[Ww]rite"):
+            system.run(stream)
+
+    def test_all_read_mixed_stream_supported(self, small_catalog):
+        extended, stream = generate_mixed_workload(
+            small_catalog,
+            MixedWorkloadParams(
+                write_fraction=0.0, arrival_rate=1.0, duration=100.0, seed=3
+            ),
+        )
+        assert fast_unsupported_reason(
+            StorageConfig(engine="fast"), stream
+        ) is None
+
+    def test_non_array_stream_rejected(self):
+        reason = fast_unsupported_reason(
+            StorageConfig(engine="fast"), iter([(0.0, 1)])
+        )
+        assert "array-backed" in reason
+
+    def test_invalid_engine_name(self):
+        with pytest.raises(ConfigError, match="engine"):
+            StorageConfig(engine="turbo")
+
+    def test_unallocated_read_raises(self, spec):
+        catalog = FileCatalog(
+            sizes=np.array([72 * MB]), popularities=np.array([1.0])
+        )
+        stream = RequestStream(
+            times=np.array([1.0]), file_ids=np.array([0]), duration=10.0
+        )
+        with pytest.raises(SimulationError, match="unallocated"):
+            simulate_fast(
+                sizes=catalog.sizes,
+                mapping=np.array([-1]),
+                spec=spec,
+                num_disks=1,
+                threshold=50.0,
+                stream=stream,
+                duration=10.0,
+            )
+
+    def test_invalid_duration(self, spec):
+        stream = RequestStream(
+            times=np.array([]), file_ids=np.array([]), duration=10.0
+        )
+        with pytest.raises(ConfigError, match="duration"):
+            simulate_fast(
+                sizes=np.array([MB]),
+                mapping=np.array([0]),
+                spec=spec,
+                num_disks=1,
+                threshold=50.0,
+                stream=stream,
+                duration=0.0,
+            )

@@ -131,3 +131,102 @@ class TestReorganizingRunner:
     def test_invalid_smoothing(self, small_catalog):
         with pytest.raises(ConfigError):
             ReorganizingRunner(small_catalog, CFG, smoothing=2.0)
+
+    def test_energy_per_disk_aggregated_across_epochs(self):
+        # Regression: per-disk energy used to be reported as zeros.
+        catalog = FileCatalog.from_zipf(n=300, s_max=1e9)
+        stream = RequestStream.poisson(
+            catalog.popularities, rate=1.0, duration=600.0, rng=3
+        )
+        cfg = StorageConfig(num_disks=10, load_constraint=0.8)
+        runner = ReorganizingRunner(catalog, cfg, interval=200.0)
+        result = runner.run(stream)
+        assert result.energy_per_disk.shape == (result.num_disks,)
+        assert np.all(result.energy_per_disk > 0)  # every disk draws power
+        assert result.energy_per_disk.sum() == pytest.approx(result.energy)
+        # Each disk's total is the sum of its per-epoch energies.
+        assert result.energy_per_disk[0] == pytest.approx(
+            sum(r.energy_per_disk[0] for r in runner.epoch_results)
+        )
+
+    def test_num_disks_is_max_pool_across_epochs(self):
+        catalog = FileCatalog.from_zipf(n=300, s_max=1e9)
+        stream = RequestStream.poisson(
+            catalog.popularities, rate=1.0, duration=600.0, rng=3
+        )
+        cfg = StorageConfig(num_disks=10, load_constraint=0.8)
+        runner = ReorganizingRunner(catalog, cfg, interval=200.0)
+        result = runner.run(stream)
+        assert result.num_disks == max(
+            r.num_disks for r in runner.epoch_results
+        )
+
+
+class TestReorganizingRunnerSplit:
+    """Regression tests for the float-accumulation epoch-edge bugs."""
+
+    def _runner(self, catalog, interval):
+        return ReorganizingRunner(catalog, CFG, interval=interval)
+
+    def test_no_sliver_epoch_from_float_accumulation(self, small_catalog):
+        # 3 * 0.1 != 0.3 in floats: np.arange used to emit a fourth,
+        # zero-length epoch here, crashing StorageSystem.run.
+        duration = 0.1 + 0.1 + 0.1  # 0.30000000000000004
+        stream = RequestStream(
+            times=np.array([0.05, 0.15, 0.25]),
+            file_ids=np.array([0, 1, 2]),
+            duration=duration,
+        )
+        epochs = self._runner(small_catalog, 0.1)._split(stream)
+        assert len(epochs) == 3
+        assert all(epoch.duration > 0 for epoch, _ in epochs)
+        assert sum(epoch.duration for epoch, _ in epochs) == pytest.approx(
+            duration
+        )
+
+    def test_split_runs_end_to_end_on_sliver_duration(self, small_catalog):
+        stream = RequestStream.poisson(
+            small_catalog.popularities,
+            rate=0.5,
+            duration=0.1 + 0.1 + 0.1,
+            rng=1,
+        )
+        runner = self._runner(small_catalog, 0.1)
+        result = runner.run(stream)
+        assert result.extra["epochs"] == 3.0
+
+    def test_partial_final_epoch_spans_remainder(self, small_catalog):
+        stream = RequestStream(
+            times=np.array([10.0, 450.0]),
+            file_ids=np.array([0, 1]),
+            duration=500.0,
+        )
+        epochs = self._runner(small_catalog, 200.0)._split(stream)
+        assert len(epochs) == 3
+        assert epochs[-1][0].duration == pytest.approx(100.0)
+        assert epochs[-1][1] == pytest.approx(400.0)
+
+    def test_request_at_exact_horizon_lands_in_final_epoch(
+        self, small_catalog
+    ):
+        # RequestStream permits times[-1] == duration; the final epoch's
+        # upper bound must be inclusive or the request silently vanishes.
+        stream = RequestStream(
+            times=np.array([50.0, 250.0, 600.0]),
+            file_ids=np.array([0, 1, 2]),
+            duration=600.0,
+        )
+        epochs = self._runner(small_catalog, 200.0)._split(stream)
+        assert sum(len(epoch) for epoch, _ in epochs) == len(stream)
+        last_epoch = epochs[-1][0]
+        assert last_epoch.times[-1] == pytest.approx(last_epoch.duration)
+
+    def test_interval_longer_than_stream_yields_one_epoch(
+        self, small_catalog
+    ):
+        stream = RequestStream(
+            times=np.array([5.0]), file_ids=np.array([0]), duration=100.0
+        )
+        epochs = self._runner(small_catalog, 1_000.0)._split(stream)
+        assert len(epochs) == 1
+        assert epochs[0][0].duration == pytest.approx(100.0)

@@ -123,6 +123,38 @@ class TestRequestStream:
         assert thin.duration == 100.0
         assert thin.times.tolist() == list(range(0, 100, 4))
 
+    def test_scaled_arbitrary_factor_honored_exactly(self):
+        # Regression: step = round(1/factor) turned factor=0.4 into a 0.5
+        # subsample; index-based thinning keeps exactly 40 of 100.
+        stream = RequestStream(
+            times=np.arange(100, dtype=float),
+            file_ids=np.arange(100),
+            duration=100.0,
+        )
+        thin = stream.scaled(0.4)
+        assert len(thin) == 40
+        assert thin.thinning_factor == pytest.approx(0.4)
+        assert np.all(np.diff(thin.times) > 0)  # still strictly ordered
+        assert thin.duration == 100.0
+
+    @pytest.mark.parametrize("factor", [0.1, 0.25, 1 / 3, 0.4, 0.7, 0.9])
+    def test_scaled_count_matches_factor(self, factor):
+        stream = RequestStream(
+            times=np.arange(1_000, dtype=float),
+            file_ids=np.arange(1_000),
+            duration=1_000.0,
+        )
+        thin = stream.scaled(factor)
+        assert len(thin) == round(1_000 * factor)
+        assert thin.thinning_factor == pytest.approx(len(thin) / 1_000)
+
+    def test_scaled_factor_keeping_zero_requests_rejected(self):
+        stream = RequestStream(
+            times=np.array([1.0]), file_ids=np.array([0]), duration=2.0
+        )
+        with pytest.raises(ConfigError, match="zero"):
+            stream.scaled(0.3)
+
     def test_scaled_identity(self):
         stream = RequestStream(
             times=np.array([1.0]), file_ids=np.array([0]), duration=2.0
