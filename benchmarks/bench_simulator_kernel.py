@@ -2,10 +2,11 @@
 
 Not a paper figure — these establish that the simulation substrate is fast
 enough for the full-scale experiments (hundreds of thousands of events per
-second) and guard against regressions.  The largest case pits the batched
-fast kernel (``engine="fast"``) against the event kernel on a Figure 2/4
-style scenario and enforces the >= 3x speedup the fast path exists for,
-and the sweep case drives a grid through the orchestrator's caching.
+second) and guard against regressions.  The largest cases pit the batched
+fast kernel (``engine="fast"``) against the event kernel — on a Figure 2/4
+style read-only scenario (>= 3x enforced) and on a shared-cache mixed
+read/write scenario through the global-merge path (>= 5x enforced) — and
+the sweep case drives a grid through the orchestrator's caching.
 """
 
 import math
@@ -18,8 +19,9 @@ from repro.disk import DiskDrive, ST3500630AS
 from repro.experiments.orchestrator import SimTask, SweepRunner
 from repro.sim import Environment, Store
 from repro.system import StorageConfig, StorageSystem, allocate
-from repro.units import MB
+from repro.units import GiB, MB
 from repro.workload.generator import SyntheticWorkloadParams, generate_workload
+from repro.workload.mixed import MixedWorkloadParams, generate_mixed_workload
 
 
 def test_event_loop_throughput(benchmark):
@@ -132,6 +134,75 @@ def test_fast_engine_speedup(scale, capsys):
             f"({event_s / fast_s:.1f}x speedup)"
         )
     assert event_s >= 3.0 * fast_s
+
+
+def test_fast_engine_speedup_cached_mixed(scale, capsys):
+    """The global-merge path: cache + writes; fast must win 5x."""
+    base = generate_workload(
+        SyntheticWorkloadParams(
+            n_files=4_000,
+            arrival_rate=6.0,
+            duration=max(600.0, 4_000.0 * scale),
+            seed=7,
+        )
+    )
+    catalog, stream = generate_mixed_workload(
+        base.catalog,
+        MixedWorkloadParams(
+            write_fraction=0.2,
+            new_file_fraction=0.3,
+            arrival_rate=8.0,
+            duration=max(600.0, 4_000.0 * scale),
+            seed=11,
+        ),
+    )
+    cfg = StorageConfig(
+        num_disks=100,
+        load_constraint=0.7,
+        cache_policy="lru",
+        cache_capacity=16 * GiB,
+    )
+    alloc = allocate(base.catalog, "pack", cfg, 8.0)
+    mapping = np.concatenate(
+        [
+            alloc.mapping(base.catalog.n),
+            np.full(catalog.n - base.catalog.n, -1, dtype=np.int64),
+        ]
+    )
+
+    def run_engine(engine):
+        system = StorageSystem(catalog, mapping, cfg.with_overrides(engine=engine))
+        return system.run(stream)
+
+    def timed(engine, rounds):
+        best = math.inf
+        result = None
+        for _ in range(rounds):
+            t0 = time.perf_counter()
+            result = run_engine(engine)
+            best = min(best, time.perf_counter() - t0)
+        return result, best
+
+    event, event_s = timed("event", rounds=2)
+    fast, fast_s = timed("fast", rounds=5)
+    fast_s = max(fast_s, 1e-9)
+
+    assert fast.energy == pytest.approx(event.energy, rel=1e-6)
+    assert fast.mean_response == pytest.approx(event.mean_response, rel=1e-6)
+    assert fast.spinups == event.spinups
+    assert fast.completions == event.completions
+    assert fast.cache_stats.hits == event.cache_stats.hits
+    assert fast.cache_stats.hit_ratio == pytest.approx(
+        event.cache_stats.hit_ratio, rel=1e-9
+    )
+    with capsys.disabled():
+        print(
+            f"\n[kernel/cached-mixed] {len(stream)} requests "
+            f"(hit ratio {event.cache_stats.hit_ratio:.3f}): "
+            f"event {event_s:.3f}s, fast {fast_s:.4f}s "
+            f"({event_s / fast_s:.1f}x speedup)"
+        )
+    assert event_s >= 5.0 * fast_s
 
 
 def test_orchestrated_sweep_throughput(scale, capsys):

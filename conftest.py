@@ -1,0 +1,29 @@
+"""Repo-wide pytest configuration (applies to tests/ and benchmarks/).
+
+Points the orchestrator's disk-backed sweep cache at a session tmp dir.
+The shared runner persists results under ``~/.cache/repro/sweeps`` by
+default; during tests and benchmarks that would both pollute the user's
+cache and — worse — serve results fingerprinted before a code change,
+masking regressions (and zeroing out cold-vs-cached benchmark timings).
+Tests that need a specific location still override ``cache_dir``
+explicitly.
+"""
+
+from __future__ import annotations
+
+import os
+
+import pytest
+
+
+@pytest.fixture(autouse=True, scope="session")
+def _isolated_sweep_cache(tmp_path_factory):
+    previous = os.environ.get("REPRO_SWEEP_CACHE")
+    os.environ["REPRO_SWEEP_CACHE"] = str(
+        tmp_path_factory.mktemp("sweep-cache")
+    )
+    yield
+    if previous is None:
+        os.environ.pop("REPRO_SWEEP_CACHE", None)
+    else:
+        os.environ["REPRO_SWEEP_CACHE"] = previous

@@ -10,7 +10,10 @@ Subcommands::
 Results are printed as the ASCII tables the paper's figures plot; pass
 ``--csv-dir DIR`` to also export every curve as CSV.  Sweep-backed
 experiments accept ``--workers N`` (process-parallel grid points via the
-orchestrator) and ``--engine fast`` (the batched simulation kernel).
+orchestrator), ``--engine fast`` (the batched simulation kernel — covers
+read/write mixes and shared caches) and ``--sweep-cache DIR|off`` (where
+sweep results persist across sessions; defaults to
+``REPRO_SWEEP_CACHE`` or ``~/.cache/repro/sweeps``).
 """
 
 from __future__ import annotations
@@ -84,10 +87,21 @@ def _cmd_info(args: argparse.Namespace) -> int:
 
 def _cmd_run(args: argparse.Namespace) -> int:
     registry = _experiment_registry()
-    if args.workers is not None or args.engine is not None:
+    if (
+        args.workers is not None
+        or args.engine is not None
+        or args.sweep_cache is not None
+    ):
         from repro.experiments import orchestrator
 
-        orchestrator.configure(max_workers=args.workers, engine=args.engine)
+        kwargs = {}
+        if args.sweep_cache is not None:
+            kwargs["cache_dir"] = orchestrator.resolve_cache_dir(
+                args.sweep_cache
+            )
+        orchestrator.configure(
+            max_workers=args.workers, engine=args.engine, **kwargs
+        )
     names = list(registry) if args.experiment == "all" else [args.experiment]
     unknown = [n for n in names if n not in registry]
     if unknown:
@@ -149,6 +163,16 @@ def build_parser() -> argparse.ArgumentParser:
         choices=("event", "fast"),
         default=None,
         help="force a simulation kernel for sweep points that support it",
+    )
+    run.add_argument(
+        "--sweep-cache",
+        type=str,
+        default=None,
+        metavar="DIR",
+        help=(
+            "directory for cross-session sweep result caching, or 'off' to "
+            "disable (default: REPRO_SWEEP_CACHE or ~/.cache/repro/sweeps)"
+        ),
     )
     run.set_defaults(func=_cmd_run)
     return parser

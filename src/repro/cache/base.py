@@ -95,7 +95,11 @@ class BaseCache(ABC):
         if file_id in self._sizes:
             self._on_hit(file_id)
             return True
-        while self.used + size > self.capacity:
+        # Guard on residency as well as byte pressure: `used` is a float
+        # accumulator, so evicting in a different order than insertion can
+        # leave a ~1e-16 residue even when the cache is empty — without the
+        # guard that residue would send `_victim()` hunting an empty cache.
+        while self._sizes and self.used + size > self.capacity:
             victim = self._victim()
             self._evict(victim)
         self._sizes[file_id] = size
@@ -107,6 +111,10 @@ class BaseCache(ABC):
     def _evict(self, file_id: int) -> None:
         size = self._sizes.pop(file_id)
         self.used -= size
+        if not self._sizes:
+            # Clear float-accumulation residue so `used <= capacity` stays
+            # an exact invariant across arbitrarily long admit streams.
+            self.used = 0.0
         self.stats.evictions += 1
         self._on_evict(file_id)
 

@@ -13,6 +13,11 @@
 * **size segregation** — §6 observes large files queued ahead of small hot
   files hurt response; packing size classes onto disjoint disks tests the
   suggested fix.
+
+The simulation-backed ablations (correlation, cache policy, segregation)
+dispatch their grid points through the shared
+:class:`~repro.experiments.orchestrator.SweepRunner`; the purely
+algorithmic ones (complexity, quality) run inline.
 """
 
 from __future__ import annotations
@@ -34,14 +39,19 @@ from repro.core.packing import pack_disks
 from repro.core.reference import pack_disks_quadratic
 from repro.errors import PackingError
 from repro.experiments.common import ExperimentResult, Stopwatch, scaled_duration
+from repro.experiments.orchestrator import (
+    SimTask,
+    default_runner,
+    materialize_workload,
+)
 from repro.reporting.series import SeriesBundle
 from repro.reporting.table import format_table
 from repro.sim.rng import rng_from_seed
 from repro.system.config import StorageConfig
-from repro.system.runner import allocate, build_items, simulate
+from repro.system.runner import allocate, build_items
 from repro.units import GiB, HOUR
-from repro.workload.generator import SyntheticWorkloadParams, generate_workload
-from repro.workload.nersc import NerscTraceParams, synthesize_nersc_trace
+from repro.workload.generator import SyntheticWorkloadParams
+from repro.workload.nersc import NerscTraceParams
 
 __all__ = [
     "run_cache_policies",
@@ -154,42 +164,58 @@ def run_correlation(
 ) -> ExperimentResult:
     """Power saving under inverse / none / direct size-popularity correlation."""
     with Stopwatch() as timer:
-        bundle = SeriesBundle(
-            title=f"Saving vs size-popularity correlation (R={rate:g})",
-            x_label="case (0=inverse, 1=none, 2=direct)",
-            y_label="power saving vs random",
-        )
         duration = scaled_duration(4_000.0, scale)
         n_files = max(1_000, int(40_000 * scale))
         infeasible = []
+        feasible_cases = []
+        tasks = []
+        cfg = StorageConfig(num_disks=100, load_constraint=0.7)
         for idx, correlation in enumerate(("inverse", "none", "direct")):
             params = SyntheticWorkloadParams(
                 n_files=n_files, arrival_rate=rate, duration=duration,
                 correlation=correlation, seed=seed,
             )
-            wl = generate_workload(params)
-            cfg = StorageConfig(num_disks=100, load_constraint=0.7)
+            catalog, _ = materialize_workload(params)
             try:
-                pack_alloc = allocate(wl.catalog, "pack", cfg, rate)
+                pack_alloc = allocate(catalog, "pack", cfg, rate)
             except PackingError:
                 # Direct correlation makes the hottest file also the largest;
                 # past a rate threshold a single file outgrows one disk's
                 # bandwidth and needs replication (outside the paper's model).
                 infeasible.append(correlation)
+                continue
+            rnd_alloc = allocate(
+                catalog, "random", cfg, rate, rng=seed, num_disks=100
+            )
+            feasible_cases.append((idx, pack_alloc.num_disks))
+            for name, alloc in (("pack", pack_alloc), ("rnd", rnd_alloc)):
+                tasks.append(
+                    SimTask(
+                        label=f"{name} {correlation}",
+                        workload=params,
+                        config=cfg,
+                        mapping=alloc.mapping(catalog.n),
+                        num_disks=100,
+                        key=(name, idx),
+                    )
+                )
+        by_key = default_runner().run_map(tasks)
+
+        bundle = SeriesBundle(
+            title=f"Saving vs size-popularity correlation (R={rate:g})",
+            x_label="case (0=inverse, 1=none, 2=direct)",
+            y_label="power saving vs random",
+        )
+        feasible_by_idx = dict(feasible_cases)
+        for idx in range(3):
+            if idx not in feasible_by_idx:
                 bundle.add("saving", idx, float("nan"))
                 bundle.add("pack disks", idx, float("nan"))
                 continue
-            rnd_alloc = allocate(
-                wl.catalog, "random", cfg, rate, rng=seed, num_disks=100
-            )
-            packed = simulate(
-                wl.catalog, wl.stream, pack_alloc, cfg, num_disks=100
-            )
-            rnd = simulate(
-                wl.catalog, wl.stream, rnd_alloc, cfg, num_disks=100
-            )
+            packed = by_key[("pack", idx)]
+            rnd = by_key[("rnd", idx)]
             bundle.add("saving", idx, packed.power_saving_vs(rnd))
-            bundle.add("pack disks", idx, pack_alloc.num_disks)
+            bundle.add("pack disks", idx, feasible_by_idx[idx])
 
     result = ExperimentResult(
         name="ablation_correlation", wall_seconds=timer.elapsed
@@ -218,24 +244,32 @@ def run_cache_policies(
         params = NerscTraceParams(seed=seed)
         if scale < 1.0:
             params = params.scaled(scale)
-        trace = synthesize_nersc_trace(params)
-        rate = trace.mean_request_rate()
+        catalog, stream = materialize_workload(params)
+        rate = stream.mean_rate
         base_cfg = StorageConfig(
             load_constraint=0.8, idleness_threshold=0.5 * HOUR
         )
-        alloc = allocate(trace.catalog, "pack_v4", base_cfg, rate)
+        alloc = allocate(catalog, "pack_v4", base_cfg, rate)
+        mapping = alloc.mapping(catalog.n)
+        tasks = [
+            SimTask(
+                label=f"pack_v4+{policy or 'nocache'}",
+                workload=params,
+                config=base_cfg.with_overrides(
+                    num_disks=alloc.num_disks,
+                    cache_policy=policy,
+                    cache_capacity=cache_bytes,
+                ),
+                mapping=mapping,
+                num_disks=alloc.num_disks,
+                key=policy or "nocache",
+            )
+            for policy in (None, *policies)
+        ]
+        by_key = default_runner().run_map(tasks)
         rows = []
         for policy in (None, *policies):
-            cfg = base_cfg.with_overrides(
-                num_disks=alloc.num_disks,
-                cache_policy=policy,
-                cache_capacity=cache_bytes,
-            )
-            res = simulate(
-                trace.catalog, trace.stream, alloc, cfg,
-                num_disks=alloc.num_disks,
-                label=f"pack_v4+{policy or 'nocache'}",
-            )
+            res = by_key[policy or "nocache"]
             hit = (
                 res.cache_stats.hit_ratio
                 if res.cache_stats is not None
@@ -286,9 +320,9 @@ def run_segregation(
             duration=scaled_duration(4_000.0, scale),
             seed=seed,
         )
-        wl = generate_workload(params)
+        catalog, _ = materialize_workload(params)
         cfg = StorageConfig(num_disks=100, load_constraint=0.7)
-        items = build_items(wl.catalog, cfg, rate)
+        items = build_items(catalog, cfg, rate)
 
         plain = pack_disks(items)
         segregated = pack_disks_partitioned(
@@ -296,12 +330,21 @@ def run_segregation(
             size_class_classifier(boundary_bytes / cfg.usable_capacity),
         )
 
-        res_plain = simulate(
-            wl.catalog, wl.stream, plain, cfg, num_disks=100
+        by_key = default_runner().run_map(
+            [
+                SimTask(
+                    label=alloc.algorithm,
+                    workload=params,
+                    config=cfg,
+                    mapping=alloc.mapping(catalog.n),
+                    num_disks=100,
+                    key=name,
+                )
+                for name, alloc in (("plain", plain), ("seg", segregated))
+            ]
         )
-        res_seg = simulate(
-            wl.catalog, wl.stream, segregated, cfg, num_disks=100
-        )
+        res_plain = by_key["plain"]
+        res_seg = by_key["seg"]
         table = format_table(
             [
                 [

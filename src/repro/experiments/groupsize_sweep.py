@@ -3,6 +3,12 @@
 Paper's claims: v = 4 is the sweet spot — grouping beyond 4 disks no longer
 improves response time but dilutes the load concentration and so degrades
 power saving.  (Pack_Disk_1 is plain Pack_Disks.)
+
+Allocations are computed up front (each v resizes the pool, so the harness
+needs the disk counts anyway) and the per-v simulations dispatch through
+the shared :class:`~repro.experiments.orchestrator.SweepRunner`: points are
+cached per fingerprint (in memory and on the disk-backed default cache) and
+fan out across worker processes under ``--workers N``.
 """
 
 from __future__ import annotations
@@ -10,11 +16,16 @@ from __future__ import annotations
 from typing import Sequence
 
 from repro.experiments.common import ExperimentResult, Stopwatch
+from repro.experiments.orchestrator import (
+    SimTask,
+    default_runner,
+    materialize_workload,
+)
 from repro.reporting.series import SeriesBundle
 from repro.system.config import StorageConfig
-from repro.system.runner import allocate, simulate
+from repro.system.runner import allocate
 from repro.units import HOUR
-from repro.workload.nersc import NerscTraceParams, synthesize_nersc_trace
+from repro.workload.nersc import NerscTraceParams
 
 __all__ = ["run"]
 
@@ -35,11 +46,29 @@ def run(
         params = NerscTraceParams(seed=seed)
         if scale < 1.0:
             params = params.scaled(scale)
-        trace = synthesize_nersc_trace(params)
-        rate = trace.mean_request_rate()
+        catalog, stream = materialize_workload(params)
+        rate = stream.mean_rate
         base_cfg = StorageConfig(
             load_constraint=0.8, idleness_threshold=threshold_hours * HOUR
         )
+
+        tasks = []
+        disks_used = {}
+        for v in group_sizes:
+            policy = "pack" if v == 1 else f"pack_v{v}"
+            alloc = allocate(catalog, policy, base_cfg, rate)
+            disks_used[v] = alloc.num_disks
+            tasks.append(
+                SimTask(
+                    label=f"v={v}",
+                    workload=params,
+                    config=base_cfg.with_overrides(num_disks=alloc.num_disks),
+                    mapping=alloc.mapping(catalog.n),
+                    num_disks=alloc.num_disks,
+                    key=v,
+                )
+            )
+        by_key = default_runner().run_map(tasks)
 
         bundle = SeriesBundle(
             title=f"Pack_Disk_v sweep at threshold {threshold_hours:g} h",
@@ -47,17 +76,11 @@ def run(
             y_label="value",
         )
         for v in group_sizes:
-            policy = "pack" if v == 1 else f"pack_v{v}"
-            alloc = allocate(trace.catalog, policy, base_cfg, rate)
-            cfg = base_cfg.with_overrides(num_disks=alloc.num_disks)
-            res = simulate(
-                trace.catalog, trace.stream, alloc, cfg,
-                num_disks=alloc.num_disks, label=f"v={v}",
-            )
+            res = by_key[v]
             bundle.add("power saving", v, res.power_saving_normalized)
             bundle.add("mean response (s)", v, res.mean_response)
             bundle.add("median response (s)", v, res.median_response)
-            bundle.add("disks used", v, alloc.num_disks)
+            bundle.add("disks used", v, disks_used[v])
 
     result = ExperimentResult(name="groupsize_sweep", wall_seconds=timer.elapsed)
     result.bundles["sweep"] = bundle

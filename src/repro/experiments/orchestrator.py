@@ -10,22 +10,32 @@ into lists of self-contained, picklable :class:`SimTask` descriptions and
 * deduplicates identical points within one batch;
 * fans the remaining points across ``concurrent.futures``
   ``ProcessPoolExecutor`` workers (serially when only one worker is
-  configured or only one point is pending).
+  configured or only one point is pending), shipping each distinct
+  :class:`InlineWorkload` to the pool **once** via the executor
+  initializer instead of pickling its arrays into every task.
 
 Workers rebuild the workload from its parameters (synthetic and NERSC
-specs) or from inline arrays (:class:`InlineWorkload`), allocate when a
-``policy`` is given (recording the allocation's disk count in
-``result.extra["alloc_disks"]``) or simulate a prebuilt ``mapping``
-directly.
+specs) or from inline arrays (:class:`InlineWorkload`, optionally carrying
+read/write ``kinds``), allocate when a ``policy`` is given (recording the
+allocation's disk count in ``result.extra["alloc_disks"]``) or simulate a
+prebuilt ``mapping`` directly.
 
-The experiment harnesses (``rate_sweep``, ``trace_sweep``,
-``fig4_tradeoff``) route their grids through the shared
-:func:`default_runner`; ``python -m repro run ... --workers N
-[--engine fast]`` calls :func:`configure` to size the pool and optionally
-force the batched kernel (applied only where the scenario supports it).
+All grid-shaped experiment harnesses (``rate_sweep``, ``trace_sweep``,
+``fig4_tradeoff``, ``groupsize_sweep``, ``sensitivity``, the simulation
+``ablations``) route their grids through the shared :func:`default_runner`;
+``python -m repro run ... --workers N [--engine fast] [--sweep-cache DIR]``
+calls :func:`configure` to size the pool, optionally force the batched
+kernel, and point the disk-backed result cache somewhere else.
 
-The worker count defaults to the ``REPRO_SWEEP_WORKERS`` environment
-variable, then to serial execution — multi-process fan-out is opt-in.
+Defaults are environment-driven: the worker count reads
+``REPRO_SWEEP_WORKERS`` and falls back to serial execution (multi-process
+fan-out is opt-in), while the *shared* runner persists results under
+``REPRO_SWEEP_CACHE`` (default ``~/.cache/repro/sweeps``; set it to
+``off`` to disable) so repeated CLI invocations of the same grid reuse
+each other's points across sessions.  Fingerprints are salted with
+:data:`RESULT_SCHEMA_VERSION` and the package version; bump the schema
+constant whenever simulation semantics change within a release so
+persisted results from the older simulator become misses.
 """
 
 from __future__ import annotations
@@ -43,7 +53,7 @@ from typing import Any, Dict, Hashable, List, Optional, Sequence, Tuple, Union
 
 import numpy as np
 
-from repro.errors import ConfigError
+from repro.errors import ConfigError, SimulationError
 from repro.system.config import StorageConfig
 from repro.system.metrics import SimulationResult
 from repro.system.runner import allocate, simulate
@@ -51,6 +61,7 @@ from repro.system.storage import StorageSystem
 from repro.workload.arrivals import RequestStream
 from repro.workload.catalog import FileCatalog
 from repro.workload.generator import SyntheticWorkloadParams, generate_workload
+from repro.workload.mixed import MixedRequestStream
 from repro.workload.nersc import NerscTraceParams, synthesize_nersc_trace
 
 __all__ = [
@@ -58,6 +69,7 @@ __all__ = [
     "SimTask",
     "SweepRunner",
     "configure",
+    "default_cache_dir",
     "default_runner",
     "materialize_workload",
     "task_fingerprint",
@@ -69,8 +81,12 @@ class InlineWorkload:
     """A fully materialized (catalog, stream) pair shipped to workers.
 
     Used when the workload is expensive or stateful to synthesize (e.g. a
-    shared trace whose allocations were computed up front); the arrays are
-    pickled to the worker as-is.
+    shared trace whose allocations were computed up front).  When several
+    tasks of one batch share the instance it is pickled to each worker
+    process exactly once, through the pool initializer.  An optional
+    ``kinds`` array (``"read"``/``"write"`` per request) materializes as a
+    :class:`~repro.workload.mixed.MixedRequestStream`, so mixed
+    read/write grid points are first-class sweep citizens.
     """
 
     sizes: np.ndarray
@@ -78,6 +94,7 @@ class InlineWorkload:
     times: np.ndarray
     file_ids: np.ndarray
     duration: float
+    kinds: Optional[np.ndarray] = None
 
     def content_digest(self) -> str:
         """Digest of the arrays, computed once and cached on the instance.
@@ -89,12 +106,16 @@ class InlineWorkload:
         cached = self.__dict__.get("_digest")
         if cached is None:
             digest = hashlib.sha256()
-            for arr in (self.sizes, self.popularities, self.times, self.file_ids):
+            arrays = [self.sizes, self.popularities, self.times, self.file_ids]
+            if self.kinds is not None:
+                arrays.append(np.asarray(self.kinds))
+            for arr in arrays:
                 arr = np.ascontiguousarray(arr)
                 digest.update(arr.dtype.str.encode())
                 digest.update(str(arr.shape).encode())
                 digest.update(arr.tobytes())
             digest.update(repr(float(self.duration)).encode())
+            digest.update(b"mixed" if self.kinds is not None else b"reads")
             cached = digest.hexdigest()
             object.__setattr__(self, "_digest", cached)
         return cached
@@ -102,6 +123,29 @@ class InlineWorkload:
 
 #: Workload descriptions a worker can materialize on its own.
 WorkloadSpec = Union[SyntheticWorkloadParams, NerscTraceParams, InlineWorkload]
+
+
+@dataclass(frozen=True)
+class _SharedWorkloadRef:
+    """Stand-in for an :class:`InlineWorkload` installed in the worker.
+
+    The pool initializer ships each distinct inline workload's arrays to
+    every worker exactly once; tasks submitted to the pool then carry only
+    this digest reference instead of re-pickling megabytes per grid point.
+    Fingerprints are computed on the original tasks, so cache keys are
+    unaffected by the substitution.
+    """
+
+    digest: str
+
+
+#: Per-process registry the pool initializer fills (worker side).
+_SHARED_WORKLOADS: Dict[str, InlineWorkload] = {}
+
+
+def _install_shared_workloads(payload: Dict[str, InlineWorkload]) -> None:
+    """Executor initializer: register the batch's inline workloads."""
+    _SHARED_WORKLOADS.update(payload)
 
 
 @dataclass(frozen=True, eq=False)
@@ -146,16 +190,34 @@ def _canon(obj: Any) -> Any:
     return obj
 
 
+#: Salt mixed into every task fingerprint.  Bump this whenever simulation
+#: *semantics* change within a release (kernel behavior, dispatcher
+#: policy, metric definitions), so disk-cached results computed by an
+#: older simulator are treated as misses instead of being silently served.
+#: The package version is mixed in automatically, so releases always
+#: invalidate regardless of discipline here.
+RESULT_SCHEMA_VERSION = 2
+
+
 def task_fingerprint(task: SimTask) -> str:
     """Stable hex digest identifying a task's simulation inputs.
 
     Covers everything that shapes the result — config, workload parameters
-    (incl. the stream seed), policy/mapping, horizon, and the label the
-    result is reported under.  The caller-side ``key`` is presentation only
-    and excluded, so regrouping a grid does not invalidate its cache.
+    (incl. the stream seed), policy/mapping, horizon, the label the result
+    is reported under — plus :data:`RESULT_SCHEMA_VERSION` and the package
+    version, so persisted results do not survive semantic changes to the
+    simulator.  The caller-side ``key`` is presentation only and excluded,
+    so regrouping a grid does not invalidate its cache.
     """
+    from repro import __version__
+
     payload = pickle.dumps(
-        _canon(dataclasses.replace(task, key=None)), protocol=4
+        (
+            RESULT_SCHEMA_VERSION,
+            __version__,
+            _canon(dataclasses.replace(task, key=None)),
+        ),
+        protocol=4,
     )
     return hashlib.sha256(payload).hexdigest()
 
@@ -173,10 +235,25 @@ def materialize_workload(
     and is built directly — caching it would only pin duplicate array
     copies (unpickled worker instances hash by identity and never hit).
     """
+    if isinstance(workload, _SharedWorkloadRef):
+        try:
+            workload = _SHARED_WORKLOADS[workload.digest]
+        except KeyError:
+            raise SimulationError(
+                f"shared workload {workload.digest[:12]}… was not installed "
+                "in this process (pool initializer missing?)"
+            ) from None
     if isinstance(workload, InlineWorkload):
         catalog = FileCatalog(
             sizes=workload.sizes, popularities=workload.popularities
         )
+        if workload.kinds is not None:
+            return catalog, MixedRequestStream(
+                times=workload.times,
+                file_ids=workload.file_ids,
+                kinds=workload.kinds,
+                duration=workload.duration,
+            )
         stream = RequestStream(
             times=workload.times,
             file_ids=workload.file_ids,
@@ -249,6 +326,43 @@ def _resolve_workers(max_workers: Optional[int]) -> int:
     return 1
 
 
+#: ``REPRO_SWEEP_CACHE`` / ``--sweep-cache`` values that disable the
+#: disk-backed result cache (case-insensitive; shared with the CLI).
+CACHE_OFF_TOKENS = ("", "0", "off", "none", "disabled")
+
+
+def resolve_cache_dir(value: Union[str, Path]) -> Optional[Path]:
+    """Turn a user-supplied cache location into a path (or ``None``).
+
+    One resolver for both ``REPRO_SWEEP_CACHE`` and the CLI's
+    ``--sweep-cache``: off-tokens (:data:`CACHE_OFF_TOKENS`) disable the
+    disk cache, anything else is a directory with ``~`` expanded.
+    """
+    if isinstance(value, str):
+        if value.strip().lower() in CACHE_OFF_TOKENS:
+            return None
+        return Path(value).expanduser()
+    return value
+
+
+def default_cache_dir() -> Optional[Path]:
+    """Where the *shared* runner persists sweep results across sessions.
+
+    ``REPRO_SWEEP_CACHE`` overrides the location (set it to ``off``/``0``/
+    ``none`` to disable persistence entirely); otherwise results land under
+    ``$XDG_CACHE_HOME/repro/sweeps`` (``~/.cache/repro/sweeps``).  Only
+    :func:`default_runner`/:func:`configure` apply this default —
+    constructing a :class:`SweepRunner` directly still opts into disk
+    caching explicitly via ``cache_dir``.
+    """
+    env = os.environ.get("REPRO_SWEEP_CACHE")
+    if env is not None:
+        return resolve_cache_dir(env)
+    base = os.environ.get("XDG_CACHE_HOME")
+    root = Path(base).expanduser() if base else Path.home() / ".cache"
+    return root / "repro" / "sweeps"
+
+
 @dataclass
 class SweepStats:
     """Counters of what one runner actually computed vs reused."""
@@ -268,11 +382,15 @@ class SweepRunner:
         back to serial execution (fan-out is opt-in).
     engine:
         When set (``"event"``/``"fast"``), override each task's
-        ``config.engine`` — ``"fast"`` is applied only to tasks the batched
-        kernel supports (no cache; see :mod:`repro.sim.fastkernel`).
+        ``config.engine`` — ``"fast"`` is applied to every known workload
+        spec (the batched kernel covers writes and shared caches; see the
+        coverage matrix in :mod:`repro.sim.fastkernel`).
     cache_dir:
         Optional directory for persistent pickled results, keyed by
         :func:`task_fingerprint`, surviving across processes and sessions.
+        The shared :func:`default_runner` fills this from
+        :func:`default_cache_dir`; direct constructions default to no disk
+        cache.
     """
 
     def __init__(
@@ -297,14 +415,16 @@ class SweepRunner:
         if self.engine is None or task.config.engine == self.engine:
             return task
         if self.engine == "fast":
-            # Every known workload spec materializes a read-only stream, so
-            # a shared cache is the only fast-kernel blocker; leave unknown
-            # future specs alone rather than risk a mid-sweep ConfigError.
-            known_read_only = isinstance(
+            # Every known workload spec materializes an array-backed stream
+            # — the only thing the fast kernel still cannot express (writes
+            # and shared caches are covered since the global-merge pass).
+            # Leave unknown future specs alone rather than risk a mid-sweep
+            # ConfigError.
+            known_array_backed = isinstance(
                 task.workload,
                 (SyntheticWorkloadParams, NerscTraceParams, InlineWorkload),
             )
-            if task.config.cache_policy or not known_read_only:
+            if not known_array_backed:
                 return task
         return dataclasses.replace(
             task, config=task.config.with_overrides(engine=self.engine)
@@ -380,10 +500,26 @@ class SweepRunner:
             if workers <= 1:
                 outputs = [_execute_task(task) for _, task in fresh]
             else:
-                with ProcessPoolExecutor(max_workers=workers) as pool:
-                    outputs = list(
-                        pool.map(_execute_task, [task for _, task in fresh])
-                    )
+                # Ship each distinct inline workload once per worker (via
+                # the pool initializer) and submit lightweight digest refs
+                # instead of re-pickling the arrays into every task.
+                shared: Dict[str, InlineWorkload] = {}
+                submit: List[SimTask] = []
+                for _, task in fresh:
+                    workload = task.workload
+                    if isinstance(workload, InlineWorkload):
+                        digest = workload.content_digest()
+                        shared[digest] = workload
+                        task = dataclasses.replace(
+                            task, workload=_SharedWorkloadRef(digest)
+                        )
+                    submit.append(task)
+                pool_kwargs: Dict[str, Any] = {"max_workers": workers}
+                if shared:
+                    pool_kwargs["initializer"] = _install_shared_workloads
+                    pool_kwargs["initargs"] = (shared,)
+                with ProcessPoolExecutor(**pool_kwargs) as pool:
+                    outputs = list(pool.map(_execute_task, submit))
             for (key, _), result in zip(fresh, outputs):
                 self._store(key, result)
                 self.stats.executed += 1
@@ -406,22 +542,40 @@ class SweepRunner:
 
 _DEFAULT: Optional[SweepRunner] = None
 
+#: Sentinel for :func:`configure`'s ``cache_dir``: resolve via
+#: :func:`default_cache_dir` (env override, else ``~/.cache/repro/sweeps``).
+#: A unique object, not a string, so a real directory literally named
+#: ``auto`` cannot collide with it.
+AUTO_CACHE: object = object()
+
 
 def default_runner() -> SweepRunner:
-    """The process-wide runner the experiment harnesses share."""
+    """The process-wide runner the experiment harnesses share.
+
+    Created lazily with the disk-backed :func:`default_cache_dir`, so CLI
+    runs of the same grid reuse each other's points across sessions.
+    """
     global _DEFAULT
     if _DEFAULT is None:
-        _DEFAULT = SweepRunner()
+        _DEFAULT = SweepRunner(cache_dir=default_cache_dir())
     return _DEFAULT
 
 
 def configure(
     max_workers: Optional[int] = None,
     engine: Optional[str] = None,
-    cache_dir: Union[None, str, Path] = None,
+    cache_dir: Union[None, str, Path, object] = AUTO_CACHE,
 ) -> SweepRunner:
-    """Replace the shared runner (used by the ``--workers/--engine`` CLI)."""
+    """Replace the shared runner (used by the CLI's ``--workers``,
+    ``--engine`` and ``--sweep-cache`` flags).
+
+    ``cache_dir`` accepts a directory, ``None`` (no disk cache), or the
+    default :data:`AUTO_CACHE` sentinel (resolve via
+    :func:`default_cache_dir`).
+    """
     global _DEFAULT
+    if cache_dir is AUTO_CACHE:
+        cache_dir = default_cache_dir()
     _DEFAULT = SweepRunner(
         max_workers=max_workers, engine=engine, cache_dir=cache_dir
     )

@@ -11,6 +11,11 @@ Two knobs the paper holds constant:
   ``l_i = r_i * s_i`` (pure transfer); our default adds the 12.66 ms
   seek + rotation overhead.  For multi-hundred-MB files the choice must
   not matter — this experiment quantifies the gap.
+
+Allocations are computed once per study (they are shared across the grid)
+and the simulations dispatch as mapping-based tasks through the shared
+:class:`~repro.experiments.orchestrator.SweepRunner` — fingerprint-cached,
+process-parallel under ``--workers N``.
 """
 
 from __future__ import annotations
@@ -18,11 +23,16 @@ from __future__ import annotations
 from typing import Sequence
 
 from repro.experiments.common import ExperimentResult, Stopwatch, scaled_duration
+from repro.experiments.orchestrator import (
+    SimTask,
+    default_runner,
+    materialize_workload,
+)
 from repro.reporting.series import SeriesBundle
 from repro.reporting.table import format_table
 from repro.system.config import StorageConfig
-from repro.system.runner import allocate, simulate
-from repro.workload.generator import SyntheticWorkloadParams, generate_workload
+from repro.system.runner import allocate
+from repro.workload.generator import SyntheticWorkloadParams
 
 __all__ = ["run_service_mode", "run_threshold"]
 
@@ -41,25 +51,36 @@ def run_threshold(
             n_files=n_files, arrival_rate=rate,
             duration=scaled_duration(4_000.0, scale), seed=seed,
         )
-        wl = generate_workload(params)
+        catalog, _ = materialize_workload(params)
+        base = StorageConfig(num_disks=num_disks, load_constraint=0.7)
+        pack_map = allocate(catalog, "pack", base, rate).mapping(catalog.n)
+        rnd_map = allocate(
+            catalog, "random", base, rate, rng=seed, num_disks=num_disks
+        ).mapping(catalog.n)
+        tasks = []
+        for thr in thresholds:
+            cfg = base.with_overrides(idleness_threshold=thr)
+            for name, mapping in (("pack", pack_map), ("rnd", rnd_map)):
+                tasks.append(
+                    SimTask(
+                        label=f"{name} thr={thr:g}",
+                        workload=params,
+                        config=cfg,
+                        mapping=mapping,
+                        num_disks=num_disks,
+                        key=(name, thr),
+                    )
+                )
+        by_key = default_runner().run_map(tasks)
+
         bundle = SeriesBundle(
             title=f"Saving and spin cycles vs idleness threshold (R={rate:g})",
             x_label="threshold (s)",
             y_label="value",
         )
-        base = StorageConfig(num_disks=num_disks, load_constraint=0.7)
-        pack_alloc = allocate(wl.catalog, "pack", base, rate)
-        rnd_alloc = allocate(
-            wl.catalog, "random", base, rate, rng=seed, num_disks=num_disks
-        )
         for thr in thresholds:
-            cfg = base.with_overrides(idleness_threshold=thr)
-            packed = simulate(
-                wl.catalog, wl.stream, pack_alloc, cfg, num_disks=num_disks
-            )
-            rnd = simulate(
-                wl.catalog, wl.stream, rnd_alloc, cfg, num_disks=num_disks
-            )
+            packed = by_key[("pack", thr)]
+            rnd = by_key[("rnd", thr)]
             bundle.add("saving pack-vs-rnd", thr, packed.power_saving_vs(rnd))
             bundle.add("pack saving (norm.)", thr, packed.power_saving_normalized)
             bundle.add("rnd saving (norm.)", thr, rnd.power_saving_normalized)
@@ -91,20 +112,33 @@ def run_service_mode(
             n_files=n_files, arrival_rate=rate,
             duration=scaled_duration(4_000.0, scale), seed=seed,
         )
-        wl = generate_workload(params)
-        rows = []
+        catalog, _ = materialize_workload(params)
+        tasks = []
+        alloc_disks = {}
         for mode in ("full", "transfer"):
             cfg = StorageConfig(
                 num_disks=num_disks, load_constraint=0.7, service_mode=mode
             )
-            alloc = allocate(wl.catalog, "pack", cfg, rate)
-            res = simulate(
-                wl.catalog, wl.stream, alloc, cfg, num_disks=num_disks
+            alloc = allocate(catalog, "pack", cfg, rate)
+            alloc_disks[mode] = alloc.num_disks
+            tasks.append(
+                SimTask(
+                    label=f"pack {mode}",
+                    workload=params,
+                    config=cfg,
+                    mapping=alloc.mapping(catalog.n),
+                    num_disks=num_disks,
+                    key=mode,
+                )
             )
+        by_key = default_runner().run_map(tasks)
+        rows = []
+        for mode in ("full", "transfer"):
+            res = by_key[mode]
             rows.append(
                 [
                     mode,
-                    alloc.num_disks,
+                    alloc_disks[mode],
                     f"{res.mean_power:.1f}",
                     f"{res.mean_response:.2f}",
                 ]

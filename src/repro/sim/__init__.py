@@ -15,9 +15,11 @@ written in), providing the same process-based modelling style:
   :class:`~repro.sim.resources.Store` — shared-resource primitives,
 * :mod:`~repro.sim.monitor` — state timelines and streaming statistics used
   for energy accounting and response-time measurement,
-* :mod:`~repro.sim.fastkernel` — a batched fast path for read-only
-  static-mapping scenarios (select with ``StorageConfig(engine="fast")``),
-  validated against the event kernel and typically 10-50x faster.
+* :mod:`~repro.sim.fastkernel` — a batched fast path for array-backed
+  streams, covering read/write mixes (§1.1 write allocation) and shared
+  caches as well as the read-only case (select with
+  ``StorageConfig(engine="fast")``), validated against the event kernel
+  and typically 5-50x faster.
 
 Example
 -------

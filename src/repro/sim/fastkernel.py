@@ -3,49 +3,90 @@
 The event kernel (:mod:`repro.sim.environment`) replays one request at a
 time through generator processes: every arrival costs several heap
 operations, event allocations and coroutine hops.  That is flexible — it
-supports caches, write allocation and arbitrary process interleavings — but
-it makes large parameter sweeps (the paper's Figures 2-6 grids) simulation
-bound.
+supports arbitrary process interleavings — but it makes large parameter
+sweeps (the paper's Figures 2-6 grids) simulation bound.
 
-This module is a drop-in fast path for the dominant scenario class: a
-read-only request stream replayed against a *static* file-to-disk mapping
-with no shared cache.  Because each drive is then a completely independent
-FIFO queue with the paper's Figure 1 power state machine, the whole run can
-be computed directly:
+This module computes the same runs directly, without the event loop.  The
+drive semantics are exactly those of :class:`~repro.disk.drive.DiskDrive`
+(paper Figure 1): each disk is a FIFO queue whose service start follows a
+Lindley recursion extended with the idleness-threshold spin-down / spin-up
+transitions.  That per-disk recursion needs only two kinds of global
+coupling, both handled here:
 
-1. the stream is pre-sorted into per-disk NumPy arrays,
-2. each disk's queue is advanced with a tight float recursion (a Lindley
-   recursion extended with the idleness-threshold spin-down / spin-up
-   transitions) — no per-request generator hop or event objects,
-3. all state-time, energy and response accounting is vectorized and
-   truncated at the measurement horizon exactly like the event kernel's
-   cutoff.
+* **write allocation** (paper §1.1) — a write of a not-yet-mapped file
+  inspects every disk's *current* spin state and free space, then updates
+  the mapping for later requests;
+* **a shared whole-file cache** — reads look the cache up at arrival and
+  admit on miss *completion*, so cache contents depend on the global
+  interleaving of arrivals and completions across disks.
 
-Semantics mirror :class:`~repro.disk.drive.DiskDrive`: drives start IDLE
-with the idleness timer armed at t=0, spin-downs are not abortable
-(a request arriving mid-transition waits for spin-down + spin-up), and
-requests arriving at or after the horizon are censored (counted as neither
-arrivals nor completions).  Agreement with the event kernel is tested to
-tight tolerances in ``tests/sim/test_fastkernel.py``; the only differences
-are ~1 ulp float drift (the event loop accumulates arrival times as
-``now + (t - now)``) and tie-breaking at measure-zero coincidences.
+Engine coverage matrix
+----------------------
 
-Select the engine per run via ``StorageConfig(engine="fast")``; scenarios
-the fast kernel cannot express (shared cache, write requests, non-array
-streams) raise :class:`~repro.errors.ConfigError` — use the default
+====================================  ==========  ===========
+scenario feature                      ``fast``    ``event``
+====================================  ==========  ===========
+read-only static mapping              yes         yes
+idleness thresholds (0, finite, inf)  yes         yes
+write streams (§1.1 allocation)       yes         yes
+shared whole-file cache (any policy)  yes         yes
+mixed read/write + cache              yes         yes
+array-backed streams (``.times``)     required    not needed
+arbitrary iterator streams            no          yes
+custom per-request processes          no          yes
+====================================  ==========  ===========
+
+Execution strategy (fastest applicable path is chosen per run):
+
+1. **grouped** (read-only, no cache): the stream is pre-sorted into
+   per-disk NumPy groups and each disk's queue is advanced independently —
+   the original fully batched path;
+2. **segmented** (writes, no cache): only writes that *allocate* a new
+   file couple the disks, so the stream is split at those coupling points
+   and the same vectorized per-disk recursion replays each read-only
+   segment between them; the allocation itself is resolved scalar against
+   the banked per-disk spin state;
+3. **coupled** (shared cache): a single globally time-merged pass walks
+   arrivals in order, draining a min-heap of pending cache admissions
+   (miss completions) between arrivals; the per-disk recursion state is
+   identical, only advanced one request at a time.
+
+All state-time, energy and response accounting is vectorized afterwards
+and truncated at the measurement horizon exactly like the event kernel's
+cutoff.  Semantics mirror :class:`~repro.disk.drive.DiskDrive`: drives
+start IDLE with the idleness timer armed at t=0, spin-downs are not
+abortable (a request arriving mid-transition waits for spin-down +
+spin-up), and requests arriving at or after the horizon are censored
+(counted as neither arrivals nor completions).  Agreement with the event
+kernel is tested to tight tolerances in ``tests/sim/test_fastkernel.py``;
+the only differences are ~1 ulp float drift (the event loop accumulates
+arrival times as ``now + (t - now)``) and tie-breaking at measure-zero
+coincidences (a completion and an arrival at the exact same instant — the
+fast kernel admits the completion first).
+
+Select the engine per run via ``StorageConfig(engine="fast")``; the one
+scenario class the fast kernel cannot express (streams that are not
+array-backed) raises :class:`~repro.errors.ConfigError` — use the default
 ``engine="event"`` for those.
 """
 
 from __future__ import annotations
 
+from heapq import heappop, heappush
 from math import isinf
-from typing import Optional
+from typing import List, Optional
 
 import numpy as np
 
+from repro.disk.drive import WRITE
 from repro.disk.power import DiskState, PowerModel
 from repro.disk.specs import DiskSpec
 from repro.errors import ConfigError, SimulationError
+from repro.system.dispatcher import (
+    choose_write_disk,
+    initial_free_bytes,
+    validate_free_bytes,
+)
 from repro.system.metrics import SimulationResult
 
 __all__ = ["fast_unsupported_reason", "simulate_fast"]
@@ -54,119 +95,102 @@ __all__ = ["fast_unsupported_reason", "simulate_fast"]
 def fast_unsupported_reason(config, stream) -> Optional[str]:
     """Why ``engine="fast"`` cannot run this scenario (``None`` if it can).
 
-    The fast kernel requires per-disk independence and a static mapping:
-    no shared cache (cross-request coupling) and no writes (the write
-    allocation policy inspects global spin state).
+    Since the global-merge pass landed, write streams and shared caches are
+    supported; the only remaining requirement is an array-backed stream
+    (dense ``.times``/``.file_ids`` — plus optional ``.kinds`` — so the run
+    can be batched at all).
     """
-    if config.cache_policy:
-        return "a shared cache couples requests across disks"
     if not hasattr(stream, "times") or not hasattr(stream, "file_ids"):
         return "the stream is not array-backed (needs .times/.file_ids)"
-    kinds = getattr(stream, "kinds", None)
-    if kinds is not None and np.any(np.asarray(kinds) != "read"):
-        return "write requests mutate the mapping via the allocation policy"
     return None
 
 
-def simulate_fast(
-    sizes: np.ndarray,
-    mapping: np.ndarray,
-    spec: DiskSpec,
-    num_disks: int,
-    threshold: float,
-    stream,
-    duration: float,
-    label: str = "run",
-) -> SimulationResult:
-    """Simulate ``stream`` against a static mapping without the event loop.
+class _DiskBank:
+    """Scalar per-disk queue/power state with carry-in, shared by all paths.
 
-    Parameters mirror what :class:`~repro.system.storage.StorageSystem`
-    assembles: ``sizes``/``mapping`` are dense per-file arrays, ``threshold``
-    is the effective idleness threshold (``inf`` disables spin-down) and
-    ``duration`` the measurement horizon.  Returns the same
-    :class:`~repro.system.metrics.SimulationResult` the event kernel
-    produces.
+    Holds exactly the state the event kernel's ``DiskDrive`` evolves — the
+    time each disk next falls idle plus spin-transition accounting — in
+    plain Python lists, so single-request advances at coupling points stay
+    cheap while :meth:`serve_batch` replays a whole per-disk FIFO segment
+    with hoisted locals.
     """
-    if duration <= 0:
-        raise ConfigError("duration must be positive")
-    T = float(duration)
-    times = np.asarray(stream.times, dtype=float)
-    file_ids = np.asarray(stream.file_ids, dtype=np.int64)
 
-    # The event kernel's cutoff is strict: the URGENT stop event at T
-    # pre-empts arrival and completion events scheduled at exactly T.
-    live = times < T
-    t_all = times[live]
-    fid = file_ids[live]
-    arrivals = int(t_all.size)
+    __slots__ = (
+        "avail", "sd_t", "su_t", "sb_t", "n_up", "n_down",
+        "th", "no_spindown", "D", "U", "oh", "T",
+    )
 
-    disk = np.asarray(mapping, dtype=np.int64)[fid]
-    if arrivals and int(disk.min()) < 0:
-        bad = int(fid[int(np.argmin(disk))])
-        raise SimulationError(
-            f"read of unallocated file {bad}; allocate it first"
-        )
-    if arrivals and int(disk.max()) >= num_disks:
-        raise SimulationError(
-            f"mapping references disk {int(disk.max())} but the pool has "
-            f"only {num_disks} disks"
-        )
+    def __init__(
+        self, num_disks: int, threshold: float, spec: DiskSpec, horizon: float
+    ) -> None:
+        self.avail = [0.0] * num_disks
+        self.sd_t = [0.0] * num_disks
+        self.su_t = [0.0] * num_disks
+        self.sb_t = [0.0] * num_disks
+        self.n_up = [0] * num_disks
+        self.n_down = [0] * num_disks
+        self.th = float(threshold)
+        self.no_spindown = isinf(self.th)
+        self.D = spec.spindown_time
+        self.U = spec.spinup_time
+        self.oh = spec.access_overhead
+        self.T = horizon
 
-    oh = spec.access_overhead
-    transfer = sizes[fid] / spec.transfer_rate
+    def serve(self, d: int, t: float, tr: float) -> float:
+        """Queue one request on disk ``d`` arriving at ``t``; returns the
+        service start (the event kernel's SEEK entry time)."""
+        a = self.avail[d]
+        if t > a:
+            if not self.no_spindown and t - a > self.th:
+                # Idleness timer expired at a+th: spin down (not abortable),
+                # sleep, then spin up on this arrival.
+                sd = a + self.th
+                sd_end = sd + self.D
+                self.n_down[d] += 1
+                self.sd_t[d] += min(sd_end, self.T) - sd
+                if t >= sd_end:
+                    self.sb_t[d] += t - sd_end
+                    su = t
+                else:
+                    su = sd_end
+                if su < self.T:
+                    self.n_up[d] += 1
+                    self.su_t[d] += min(su + self.U, self.T) - su
+                s = su + self.U
+            else:
+                s = t
+        else:
+            s = a
+        self.avail[d] = s + self.oh + tr
+        return s
 
-    # Pre-sort into per-disk groups; times are already non-decreasing, so a
-    # stable sort on the disk index keeps each disk's FIFO arrival order.
-    order = np.argsort(disk, kind="stable")
-    d_s = disk[order]
-    t_s = t_all[order]
-    tr_s = transfer[order]
-
-    starts = np.empty(arrivals, dtype=float)
-    avail = np.zeros(num_disks, dtype=float)
-    spindown_time = np.zeros(num_disks, dtype=float)
-    spinup_time = np.zeros(num_disks, dtype=float)
-    standby_time = np.zeros(num_disks, dtype=float)
-    spinups = np.zeros(num_disks, dtype=np.int64)
-    spindowns = np.zeros(num_disks, dtype=np.int64)
-
-    th = float(threshold)
-    D = spec.spindown_time
-    U = spec.spinup_time
-    no_spindown = isinf(th)
-
-    if arrivals:
-        cuts = np.flatnonzero(np.diff(d_s)) + 1
-        group_lo = np.concatenate(([0], cuts))
-        group_hi = np.concatenate((cuts, [arrivals]))
-        group_disk = d_s[group_lo]
-    else:
-        group_lo = group_hi = group_disk = np.empty(0, dtype=np.int64)
-
-    for lo, hi, d in zip(
-        group_lo.tolist(), group_hi.tolist(), group_disk.tolist()
-    ):
-        ts = t_s[lo:hi].tolist()
-        trs = tr_s[lo:hi].tolist()
-        out = []
-        a = 0.0
-        if no_spindown:
+    def serve_batch(self, d: int, ts: list, trs: list) -> List[float]:
+        """Advance disk ``d`` through a FIFO run of requests; returns the
+        service starts.  Identical recursion to :meth:`serve`, with the
+        per-disk state hoisted into locals for the long read-only runs."""
+        out: List[float] = []
+        append = out.append
+        a = self.avail[d]
+        oh = self.oh
+        if self.no_spindown:
             # Pure Lindley recursion: serve at max(arrival, free time).
             for t, tr in zip(ts, trs):
                 s = t if t > a else a
-                out.append(s)
+                append(s)
                 a = s + oh + tr
         else:
-            sd_t = 0.0
-            su_t = 0.0
-            sb_t = 0.0
-            n_up = 0
-            n_down = 0
+            th = self.th
+            D = self.D
+            U = self.U
+            T = self.T
+            sd_t = self.sd_t[d]
+            su_t = self.su_t[d]
+            sb_t = self.sb_t[d]
+            n_up = self.n_up[d]
+            n_down = self.n_down[d]
             for t, tr in zip(ts, trs):
                 if t > a:
                     if t - a > th:
-                        # Idleness timer expired at a+th: spin down (not
-                        # abortable), sleep, then spin up on this arrival.
                         sd = a + th
                         sd_end = sd + D
                         n_down += 1
@@ -184,34 +208,346 @@ def simulate_fast(
                         s = t
                 else:
                     s = a
-                out.append(s)
+                append(s)
                 a = s + oh + tr
-            spindown_time[d] = sd_t
-            spinup_time[d] = su_t
-            standby_time[d] = sb_t
-            spinups[d] = n_up
-            spindowns[d] = n_down
-        starts[lo:hi] = out
-        avail[d] = a
+            self.sd_t[d] = sd_t
+            self.su_t[d] = su_t
+            self.sb_t[d] = sb_t
+            self.n_up[d] = n_up
+            self.n_down[d] = n_down
+        self.avail[d] = a
+        return out
+
+    def spinning_mask(self, t: float) -> np.ndarray:
+        """Per-disk "not STANDBY at time ``t``" — the §1.1 write policy's
+        view of the pool.
+
+        Mirrors :attr:`~repro.disk.power.DiskState.spinning`: SEEK/ACTIVE/
+        IDLE/SPINUP *and SPINDOWN* all count as spinning.  A drained disk is
+        IDLE until ``avail + th``, SPINDOWN until ``avail + th + D``, and
+        STANDBY after; a disk still working (``t < avail``) is never in
+        STANDBY because a pending request always rides the spin transitions
+        straight back up.
+        """
+        avail = np.asarray(self.avail)
+        if self.no_spindown:
+            return np.ones(avail.shape, dtype=bool)
+        return t < avail + self.th + self.D
+
+
+def _allocate_for_write(
+    bank: _DiskBank, free: np.ndarray, size: float, t: float
+) -> int:
+    """Paper §1.1 placement for a new file at time ``t``: the shared
+    :func:`~repro.system.dispatcher.choose_write_disk` decision against the
+    banked spin state, so both engines pick byte-identical disks."""
+    return choose_write_disk(bank.spinning_mask(t), free, size)
+
+
+def _serve_segment(
+    bank: _DiskBank,
+    d_seg: np.ndarray,
+    t_seg: np.ndarray,
+    tr_seg: np.ndarray,
+    starts_out: np.ndarray,
+) -> None:
+    """Replay one read-only segment: stable per-disk grouping + batch FIFO.
+
+    ``d_seg`` must be fully resolved (no ``-1``; callers validate); times
+    are globally non-decreasing, so a stable sort on the disk index
+    preserves each disk's arrival order.  ``starts_out`` (a view onto the
+    segment's slice of the global starts array) is filled in place.
+    """
+    n = int(d_seg.size)
+    if not n:
+        return
+    order = np.argsort(d_seg, kind="stable")
+    d_s = d_seg[order]
+    t_s = t_seg[order]
+    tr_s = tr_seg[order]
+    cuts = np.flatnonzero(np.diff(d_s)) + 1
+    group_lo = np.concatenate(([0], cuts))
+    group_hi = np.concatenate((cuts, [n]))
+    seg_starts = np.empty(n, dtype=float)
+    for lo, hi in zip(group_lo.tolist(), group_hi.tolist()):
+        seg_starts[lo:hi] = bank.serve_batch(
+            int(d_s[lo]), t_s[lo:hi].tolist(), tr_s[lo:hi].tolist()
+        )
+    starts_out[order] = seg_starts
+
+
+def _serve_segmented(
+    bank: _DiskBank,
+    mapping: np.ndarray,
+    free: np.ndarray,
+    sizes: np.ndarray,
+    fid: np.ndarray,
+    t_all: np.ndarray,
+    tr_all: np.ndarray,
+    is_write: np.ndarray,
+    starts: np.ndarray,
+    d_req: np.ndarray,
+) -> None:
+    """Mixed read/write stream without a cache.
+
+    Only the *first* touch of an initially-unmapped file couples the disks
+    (it runs the §1.1 allocation against global spin state); everything
+    between those coupling points is replayed through the vectorized
+    per-disk recursion with carried-in state.
+    """
+    unmapped = np.flatnonzero(mapping[fid] < 0)
+    if unmapped.size:
+        _, first = np.unique(fid[unmapped], return_index=True)
+        boundaries = np.sort(unmapped[first])
+    else:
+        boundaries = np.empty(0, dtype=np.int64)
+
+    prev = 0
+    for b in boundaries.tolist():
+        if b > prev:
+            seg = slice(prev, b)
+            d_seg = mapping[fid[seg]]
+            bad = np.flatnonzero(d_seg < 0)
+            if bad.size:
+                raise SimulationError(
+                    f"read of unallocated file {int(fid[prev + bad[0]])}; "
+                    "allocate it first"
+                )
+            _serve_segment(bank, d_seg, t_all[seg], tr_all[seg], starts[seg])
+            d_req[seg] = d_seg
+        f = int(fid[b])
+        if not is_write[b]:
+            raise SimulationError(
+                f"read of unallocated file {f}; allocate it first"
+            )
+        t = float(t_all[b])
+        size = float(sizes[f])
+        d = _allocate_for_write(bank, free, size, t)
+        mapping[f] = d
+        free[d] -= size
+        starts[b] = bank.serve(d, t, float(tr_all[b]))
+        d_req[b] = d
+        prev = b + 1
+
+    tail = slice(prev, int(t_all.size))
+    d_tail = mapping[fid[tail]]
+    bad = np.flatnonzero(d_tail < 0)
+    if bad.size:
+        raise SimulationError(
+            f"read of unallocated file {int(fid[prev + bad[0]])}; "
+            "allocate it first"
+        )
+    _serve_segment(bank, d_tail, t_all[tail], tr_all[tail], starts[tail])
+    d_req[tail] = d_tail
+
+
+def _serve_coupled(
+    bank: _DiskBank,
+    mapping: np.ndarray,
+    free: np.ndarray,
+    sizes: np.ndarray,
+    fid: np.ndarray,
+    t_all: np.ndarray,
+    tr_all: np.ndarray,
+    is_write: Optional[np.ndarray],
+    cache,
+    starts: np.ndarray,
+    d_req: np.ndarray,
+) -> None:
+    """Globally time-merged pass for shared-cache runs (writes optional).
+
+    Reads look the cache up at arrival and, on a miss, schedule an
+    admission at their completion time; a min-heap drains those admissions
+    in completion order between arrivals, reproducing the event kernel's
+    interleaving (hit short-circuit, admit-on-miss-completion).  Ties
+    (admission exactly at an arrival instant) admit first; admissions at or
+    after the horizon never happen, exactly like the event kernel's URGENT
+    stop pre-empting completion events at ``T``.
+    """
+    heap: list = []
+    lookup = cache.lookup
+    admit = cache.admit
+    serve = bank.serve
+    oh = bank.oh
+    T = bank.T
+    map_l = mapping.tolist()
+    size_l = sizes.tolist()
+    fid_l = fid.tolist()
+    t_l = t_all.tolist()
+    tr_l = tr_all.tolist()
+    w_l = is_write.tolist() if is_write is not None else None
+    for i in range(len(t_l)):
+        t = t_l[i]
+        f = fid_l[i]
+        while heap and heap[0][0] <= t:
+            _, _, hf, hs = heappop(heap)
+            admit(hf, hs)
+        if w_l is not None and w_l[i]:
+            d = map_l[f]
+            if d < 0:
+                size = size_l[f]
+                d = _allocate_for_write(bank, free, size, t)
+                map_l[f] = d
+                mapping[f] = d
+                free[d] -= size
+            starts[i] = serve(d, t, tr_l[i])
+            d_req[i] = d
+        else:
+            size = size_l[f]
+            if lookup(f, size):
+                starts[i] = t  # a hit "completes" at its arrival instant
+                d_req[i] = -1
+                continue
+            d = map_l[f]
+            if d < 0:
+                raise SimulationError(
+                    f"read of unallocated file {f}; allocate it first"
+                )
+            tr = tr_l[i]
+            s = serve(d, t, tr)
+            starts[i] = s
+            d_req[i] = d
+            c = s + oh + tr
+            if c < T:
+                heappush(heap, (c, i, f, size))
+    while heap and heap[0][0] < T:
+        _, _, hf, hs = heappop(heap)
+        admit(hf, hs)
+
+
+def simulate_fast(
+    sizes: np.ndarray,
+    mapping: np.ndarray,
+    spec: DiskSpec,
+    num_disks: int,
+    threshold: float,
+    stream,
+    duration: float,
+    label: str = "run",
+    cache=None,
+    cache_hit_latency: float = 0.0,
+    usable_capacity: Optional[float] = None,
+) -> SimulationResult:
+    """Simulate ``stream`` against ``mapping`` without the event loop.
+
+    Parameters mirror what :class:`~repro.system.storage.StorageSystem`
+    assembles: ``sizes``/``mapping`` are dense per-file arrays, ``threshold``
+    is the effective idleness threshold (``inf`` disables spin-down) and
+    ``duration`` the measurement horizon.  ``cache`` is an optional
+    :class:`~repro.cache.base.BaseCache` instance (hits respond with
+    ``cache_hit_latency``); ``usable_capacity`` is the per-disk byte budget
+    the §1.1 write allocation spends (defaults to the spec's raw capacity,
+    like the dispatcher).  Returns the same
+    :class:`~repro.system.metrics.SimulationResult` the event kernel
+    produces.  The caller's ``mapping`` is not mutated; writes allocate
+    against an internal copy.
+    """
+    if duration <= 0:
+        raise ConfigError("duration must be positive")
+    T = float(duration)
+    times = np.asarray(stream.times, dtype=float)
+    file_ids = np.asarray(stream.file_ids, dtype=np.int64)
+    # Every path below relies on time-sorted arrivals (stable per-disk
+    # grouping, the global merge); the event engine's drive_stream raises
+    # on out-of-order times, so match it rather than silently reordering.
+    if times.size > 1 and bool(np.any(np.diff(times) < 0)):
+        bad = int(np.argmax(np.diff(times) < 0)) + 1
+        raise SimulationError(
+            "request stream times must be non-decreasing: got "
+            f"{times[bad]} after {times[bad - 1]}"
+        )
+    sizes = np.asarray(sizes, dtype=float)
+    mapping = np.asarray(mapping, dtype=np.int64).copy()
+    if mapping.shape != sizes.shape:
+        raise SimulationError("mapping and sizes must align per file id")
+    if mapping.size and int(mapping.max()) >= num_disks:
+        raise SimulationError(
+            f"mapping references disk {int(mapping.max())} but the pool has "
+            f"only {num_disks} disks"
+        )
+    usable = spec.capacity if usable_capacity is None else float(usable_capacity)
+    free = initial_free_bytes(mapping, sizes, usable, num_disks)
+    validate_free_bytes(free, usable)
+
+    # The event kernel's cutoff is strict: the URGENT stop event at T
+    # pre-empts arrival and completion events scheduled at exactly T.
+    live = times < T
+    t_all = times[live]
+    fid = file_ids[live]
+    arrivals = int(t_all.size)
+
+    kinds = getattr(stream, "kinds", None)
+    is_write: Optional[np.ndarray] = None
+    if kinds is not None:
+        w = np.asarray(kinds)[live] == WRITE
+        if w.any():
+            is_write = w
+
+    oh = spec.access_overhead
+    tr_all = sizes[fid] / spec.transfer_rate
+
+    bank = _DiskBank(num_disks, threshold, spec, T)
+    starts = np.empty(arrivals, dtype=float)
+    d_req = np.empty(arrivals, dtype=np.int64)
+
+    if cache is not None:
+        _serve_coupled(
+            bank, mapping, free, sizes, fid, t_all, tr_all, is_write,
+            cache, starts, d_req,
+        )
+    elif is_write is not None:
+        _serve_segmented(
+            bank, mapping, free, sizes, fid, t_all, tr_all, is_write,
+            starts, d_req,
+        )
+    else:
+        disk = mapping[fid]
+        if arrivals and int(disk.min()) < 0:
+            bad = int(fid[int(np.argmin(disk))])
+            raise SimulationError(
+                f"read of unallocated file {bad}; allocate it first"
+            )
+        _serve_segment(bank, disk, t_all, tr_all, starts)
+        d_req = disk
+
+    # -- vectorized accounting over the banked state ---------------------------
+
+    avail = np.asarray(bank.avail, dtype=float)
+    spindown_time = np.asarray(bank.sd_t, dtype=float)
+    spinup_time = np.asarray(bank.su_t, dtype=float)
+    standby_time = np.asarray(bank.sb_t, dtype=float)
+    spinups = np.asarray(bank.n_up, dtype=np.int64)
+    spindowns = np.asarray(bank.n_down, dtype=np.int64)
 
     # Trailing idleness: every disk (including ones that never served a
     # request) spins down once its post-drain idle gap exceeds the
     # threshold, provided the timer fires before the horizon.
-    if not no_spindown:
-        sd = avail + th
+    if not bank.no_spindown:
+        sd = avail + bank.th
         tail = sd < T
-        spindowns += tail
-        sd_end = sd + D
-        spindown_time += np.where(tail, np.minimum(sd_end, T) - sd, 0.0)
-        standby_time += np.where(tail, np.clip(T - sd_end, 0.0, None), 0.0)
+        spindowns = spindowns + tail
+        sd_end = sd + bank.D
+        spindown_time = spindown_time + np.where(
+            tail, np.minimum(sd_end, T) - sd, 0.0
+        )
+        standby_time = standby_time + np.where(
+            tail, np.clip(T - sd_end, 0.0, None), 0.0
+        )
+
+    served = d_req >= 0
+    hits = int(arrivals - int(served.sum()))
+    d_s = d_req[served] if hits else d_req
+    s_s = starts[served] if hits else starts
+    tr_s = tr_all[served] if hits else tr_all
+    t_s = t_all[served] if hits else t_all
 
     # Vectorized service accounting, truncated at the horizon.
     seek_time = np.bincount(
-        d_s, weights=np.clip(T - starts, 0.0, oh), minlength=num_disks
+        d_s, weights=np.clip(T - s_s, 0.0, oh), minlength=num_disks
     )
     active_time = np.bincount(
         d_s,
-        weights=np.clip(T - (starts + oh), 0.0, tr_s),
+        weights=np.clip(T - (s_s + oh), 0.0, tr_s),
         minlength=num_disks,
     )
     idle_time = np.clip(
@@ -221,11 +557,18 @@ def simulate_fast(
         None,
     )
 
-    completion = starts + oh + tr_s
+    completion = s_s + oh + tr_s
     done = completion < T
-    responses = completion[done] - t_s[done]
+    resp_completion = completion[done]
+    resp_values = resp_completion - t_s[done]
+    if hits:
+        hit_times = t_all[~served]
+        resp_completion = np.concatenate((resp_completion, hit_times))
+        resp_values = np.concatenate(
+            (resp_values, np.full(hits, float(cache_hit_latency)))
+        )
     # Report response times in completion order, like the dispatcher does.
-    response_times = responses[np.argsort(completion[done], kind="stable")]
+    response_times = resp_values[np.argsort(resp_completion, kind="stable")]
 
     per_state = {
         DiskState.IDLE: idle_time,
@@ -254,11 +597,11 @@ def simulate_fast(
         state_durations=state_durations,
         response_times=response_times,
         arrivals=arrivals,
-        completions=int(done.sum()),
+        completions=int(response_times.size),
         spinups=int(spinups.sum()),
         spindowns=int(spindowns.sum()),
         always_on_energy=num_disks * power_model.always_on_energy(T),
-        cache_stats=None,
+        cache_stats=cache.stats if cache is not None else None,
         requests_per_disk=np.bincount(d_s, minlength=num_disks).astype(
             np.int64
         ),

@@ -39,8 +39,10 @@ class StorageConfig:
     engine:
         Simulation kernel: ``"event"`` (the discrete-event loop; supports
         every feature) or ``"fast"`` (the batched kernel in
-        :mod:`repro.sim.fastkernel`; read-only streams with a static
-        mapping and no cache, typically 10-50x faster).
+        :mod:`repro.sim.fastkernel`; covers read *and* write streams, the
+        §1.1 write-allocation policy and shared whole-file caches on
+        array-backed streams, typically 5-50x faster — see that module's
+        engine coverage matrix).
     """
 
     spec: DiskSpec = ST3500630AS

@@ -6,9 +6,12 @@ file-to-disk mapping table, which is built using Pack_Disks".  Mapping time
 is ignored (negligible next to multi-second file transfers).
 
 Reads go through the (optional) shared cache; writes follow the paper's
-§1.1 energy-friendly policy: prefer an already-spinning disk with space,
-otherwise fall back to the disk with the most free space (best-fit among
-standby disks), updating the mapping table for later reads.
+§1.1 energy-friendly policy: prefer an already-spinning disk with space
+(best-fit — the tightest remaining space, concentrating new data on the
+already-loaded disks), otherwise fall back to *worst-fit* — the disk with
+the most free space — so one unlucky spin-up absorbs as many future writes
+as possible.  Either way the mapping table is updated so later reads find
+the file.
 """
 
 from __future__ import annotations
@@ -23,7 +26,77 @@ from repro.disk.drive import READ, WRITE
 from repro.errors import CapacityError, SimulationError
 from repro.sim.environment import Environment
 
-__all__ = ["Dispatcher", "drive_stream"]
+__all__ = [
+    "Dispatcher",
+    "choose_write_disk",
+    "drive_stream",
+    "initial_free_bytes",
+    "validate_free_bytes",
+]
+
+#: Relative overpack slack tolerated at construction: the packers place
+#: files against a normalized capacity with a 1e-9 feasibility epsilon
+#: (:data:`repro.core.item.EPS`), so a valid allocation can exceed the
+#: byte budget by a few hundred bytes on a 500 GB disk.  Anything beyond
+#: this fraction of the usable capacity is a genuine overpack.
+_OVERPACK_TOL = 1e-6
+
+
+def initial_free_bytes(
+    mapping: np.ndarray,
+    sizes: np.ndarray,
+    usable_capacity: float,
+    num_disks: int,
+) -> np.ndarray:
+    """Free space per disk under ``mapping`` (shared by both engines).
+
+    Both the event-kernel dispatcher and the fast kernel derive the §1.1
+    write policy's free-space view through this one helper so their
+    byte-for-byte allocation decisions cannot drift apart.
+    """
+    free = np.full(num_disks, float(usable_capacity), dtype=float)
+    allocated = mapping >= 0
+    if allocated.any():
+        free -= np.bincount(
+            mapping[allocated], weights=sizes[allocated], minlength=num_disks
+        )
+    return free
+
+
+def validate_free_bytes(free: np.ndarray, usable_capacity: float) -> None:
+    """Raise :class:`~repro.errors.CapacityError` when an initial mapping
+    materially overpacks a disk (beyond the packers' epsilon slack)."""
+    if not free.size:
+        return
+    worst = int(np.argmin(free))
+    if free[worst] < -_OVERPACK_TOL * usable_capacity:
+        raise CapacityError(
+            f"initial mapping overpacks disk {worst}: "
+            f"{usable_capacity - free[worst]:.0f} bytes mapped but only "
+            f"{usable_capacity:.0f} usable"
+        )
+
+
+def choose_write_disk(
+    spinning: np.ndarray, free: np.ndarray, size: float
+) -> int:
+    """The paper §1.1 placement decision, shared by both engines.
+
+    Best-fit (tightest remaining space) among spinning disks with room;
+    otherwise worst-fit (most free space) among all disks with room, so one
+    spin-up absorbs as many future writes as possible.  Ties break toward
+    the lowest disk id in both branches.  Raises
+    :class:`~repro.errors.CapacityError` when no disk fits the file.
+    """
+    candidates = np.flatnonzero(spinning & (free >= size))
+    if candidates.size:
+        return int(candidates[np.argmin(free[candidates])])
+    feasible = np.flatnonzero(free >= size)
+    if feasible.size == 0:
+        raise CapacityError(
+            f"no disk has {size:.0f} free bytes for the written file"
+        )
+    return int(feasible[np.argmax(free[feasible])])
 
 
 class Dispatcher:
@@ -74,10 +147,13 @@ class Dispatcher:
             array.spec.capacity if usable_capacity is None else float(usable_capacity)
         )
         # Free space per disk under the current mapping (writes consume it).
-        self.free_bytes = np.full(len(array), self.usable_capacity, dtype=float)
-        for fid, disk in enumerate(self.mapping):
-            if disk >= 0:
-                self.free_bytes[disk] -= self.sizes[fid]
+        # A mapping that materially overpacks a disk is rejected up front
+        # rather than letting free_bytes go silently negative and corrupt
+        # every later write-allocation decision.
+        self.free_bytes = initial_free_bytes(
+            self.mapping, self.sizes, self.usable_capacity, len(array)
+        )
+        validate_free_bytes(self.free_bytes, self.usable_capacity)
         #: Response time of every completed request, in completion order.
         self.response_times: List[float] = []
         #: Parallel list: True when the request was served from cache.
@@ -134,22 +210,19 @@ class Dispatcher:
         self.served_from_cache.append(False)
 
     def _allocate_for_write(self, size: float) -> int:
-        """Pick a disk for a new file: spinning-with-space first, then
-        best-fit (most free) overall."""
-        spinning = [
-            d.disk_id
-            for d in self.array.disks
-            if d.state.spinning and self.free_bytes[d.disk_id] >= size
-        ]
-        if spinning:
-            # Best-fit among spinning disks: tightest remaining space.
-            return min(spinning, key=lambda i: self.free_bytes[i])
-        feasible = np.flatnonzero(self.free_bytes >= size)
-        if feasible.size == 0:
-            raise CapacityError(
-                f"no disk has {size:.0f} free bytes for the written file"
-            )
-        return int(feasible[np.argmax(self.free_bytes[feasible])])
+        """Pick a disk for a new file (paper §1.1's energy-friendly policy).
+
+        The decision itself — best-fit among spinning disks, worst-fit
+        fallback — lives in the shared :func:`choose_write_disk` so the
+        fast kernel's copy of this policy cannot drift; this method only
+        supplies the live drives' spin states.
+        """
+        spinning = np.fromiter(
+            (d.state.spinning for d in self.array.disks),
+            dtype=bool,
+            count=len(self.array),
+        )
+        return choose_write_disk(spinning, self.free_bytes, size)
 
     # -- accessors ---------------------------------------------------------------
 
@@ -169,9 +242,22 @@ def drive_stream(env: Environment, dispatcher: Dispatcher, stream) -> "object":
     ``(time, file_id, kind)`` with non-decreasing times (e.g.
     :class:`~repro.workload.arrivals.RequestStream` or
     :class:`~repro.workload.mixed.MixedRequestStream`).
+
+    A decreasing timestamp raises :class:`~repro.errors.SimulationError`
+    instead of being silently coalesced to ``env.now`` — replaying an
+    out-of-order trace at the wrong instants would skew every queueing
+    metric downstream.  The comparison is against the stream's own previous
+    timestamp (not the accumulated clock), so equal arrival times are fine.
     """
+    last: Optional[float] = None
     for item in stream:
         t, file_id, *rest = item
+        if last is not None and t < last:
+            raise SimulationError(
+                f"request stream times must be non-decreasing: got {t} "
+                f"after {last}"
+            )
+        last = t
         delay = t - env.now
         if delay > 0:
             yield env.timeout(delay)

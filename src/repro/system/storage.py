@@ -124,8 +124,10 @@ class StorageSystem:
         fixed-length measurement window on a real system.
 
         With ``config.engine == "fast"`` the run is dispatched to the
-        batched kernel (:mod:`repro.sim.fastkernel`); scenarios it cannot
-        express (cache, writes) raise :class:`~repro.errors.ConfigError`.
+        batched kernel (:mod:`repro.sim.fastkernel`), which covers write
+        streams and shared caches as well as the read-only case; the one
+        scenario it cannot express (a stream without dense arrays) raises
+        :class:`~repro.errors.ConfigError`.
         """
         if duration is None:
             duration = stream.duration
@@ -138,6 +140,11 @@ class StorageSystem:
                     f"engine='fast' cannot simulate this scenario ({reason});"
                     " use engine='event'"
                 )
+            cache = (
+                make_cache(self.config.cache_policy, self.config.cache_capacity)
+                if self.config.cache_policy
+                else None
+            )
             return simulate_fast(
                 sizes=self.catalog.sizes,
                 mapping=self._mapping,
@@ -147,6 +154,9 @@ class StorageSystem:
                 stream=stream,
                 duration=duration,
                 label=label,
+                cache=cache,
+                cache_hit_latency=self.config.cache_hit_latency,
+                usable_capacity=self.config.usable_capacity,
             )
         self.env.process(drive_stream(self.env, self.dispatcher, stream))
         self.env.run(until=duration)

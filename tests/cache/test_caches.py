@@ -181,3 +181,54 @@ class TestInvariantProperty:
                 sum(sizes[f] for f in sizes if f in cache)
             )
             assert len(cache) == sum(1 for f in sizes if f in cache)
+
+
+class TestAdmitTermination:
+    """Regression: float-accumulated `used` must never strand the eviction
+    loop on an empty cache (or let `used` exceed `capacity`)."""
+
+    # Inserting these then evicting all of them in insertion order leaves
+    # `used` at +1.87e-16 (float addition does not commute with the
+    # subtraction order), which is large enough that `used + 1.0 > 1.0`
+    # still holds on the emptied cache.
+    RESIDUE_SIZES = (0.105, 0.113, 0.025, 0.176, 0.059, 0.062, 0.048, 0.044, 0.052)
+
+    @pytest.mark.parametrize("policy", ALL_POLICIES)
+    def test_full_flush_with_float_residue(self, policy):
+        # Admitting a capacity-sized file must evict *everything* and still
+        # terminate — the unguarded eviction loop used to keep calling
+        # `_victim()` on the emptied cache and crash on the residue.
+        cache = make_cache(policy, 1.0)
+        for i, size in enumerate(self.RESIDUE_SIZES):
+            cache.admit(i, size)
+        assert cache.admit(100, 1.0) is True
+        assert 100 in cache
+        assert len(cache) == 1
+        assert cache.used <= cache.capacity
+
+    @pytest.mark.parametrize("policy", ALL_POLICIES)
+    def test_used_resets_exactly_at_empty(self, policy):
+        cache = make_cache(policy, 1.0)
+        for i in range(7):
+            cache.admit(i, 1.0 / 7.0)
+        # Evict everything through capacity pressure.
+        cache.admit(99, 1.0)
+        cache._evict(99)
+        assert len(cache) == 0
+        assert cache.used == 0.0
+
+    @pytest.mark.parametrize("policy", ALL_POLICIES)
+    @given(
+        ops=st.lists(
+            st.tuples(st.integers(0, 30), st.sampled_from([0.1, 0.2, 0.3, 1.0])),
+            max_size=300,
+        )
+    )
+    def test_capacity_invariant_under_float_sizes(self, policy, ops):
+        cache = make_cache(policy, 1.0)
+        for file_id, size in ops:
+            if not cache.lookup(file_id, size):
+                cache.admit(file_id, size)
+            assert cache.used <= cache.capacity + 1e-12
+            if len(cache) == 0:
+                assert cache.used == 0.0

@@ -1,4 +1,8 @@
-"""Shared fixtures and hypothesis configuration for the test suite."""
+"""Shared fixtures and hypothesis configuration for the test suite.
+
+(The sweep-cache isolation fixture lives in the repo-root conftest so the
+benchmarks get it too.)
+"""
 
 from __future__ import annotations
 

@@ -1,0 +1,103 @@
+"""Orchestrator engine-agreement smoke: one cached and one mixed point.
+
+This is the quick cross-engine contract check CI runs as its own job: a
+shared-cache sweep point and a mixed read/write sweep point, each executed
+through :class:`~repro.experiments.orchestrator.SweepRunner` under both
+engines, must agree on energy, response times, spin counts and cache hit
+ratio within tolerance.  It is deliberately tiny (a few hundred requests)
+so it finishes in seconds.
+"""
+
+import math
+
+import numpy as np
+import pytest
+
+from repro.experiments.orchestrator import InlineWorkload, SimTask, SweepRunner
+from repro.system import StorageConfig
+from repro.units import GiB
+from repro.workload.generator import SyntheticWorkloadParams, generate_workload
+from repro.workload.mixed import MixedWorkloadParams, generate_mixed_workload
+
+TOL = 1e-6
+
+
+def both_engines(task):
+    (event,) = SweepRunner(max_workers=1, engine="event").run([task])
+    (fast,) = SweepRunner(max_workers=1, engine="fast").run([task])
+    return event, fast
+
+
+def assert_agreement(event, fast):
+    assert fast.arrivals == event.arrivals
+    assert fast.completions == event.completions
+    assert fast.spinups == event.spinups
+    assert fast.spindowns == event.spindowns
+    assert fast.energy == pytest.approx(event.energy, rel=TOL)
+    assert fast.mean_response == pytest.approx(event.mean_response, rel=TOL)
+    assert fast.response_percentile(95) == pytest.approx(
+        event.response_percentile(95), rel=TOL
+    )
+    if event.cache_stats is not None:
+        assert fast.cache_stats.hits == event.cache_stats.hits
+        ratio = event.cache_stats.hit_ratio
+        if not math.isnan(ratio):
+            assert fast.cache_stats.hit_ratio == pytest.approx(ratio, rel=TOL)
+
+
+def test_cached_sweep_point_agrees_across_engines():
+    task = SimTask(
+        label="smoke cached",
+        workload=SyntheticWorkloadParams(
+            n_files=400, arrival_rate=1.5, duration=300.0, seed=17
+        ),
+        config=StorageConfig(
+            num_disks=20,
+            load_constraint=0.7,
+            cache_policy="lru",
+            cache_capacity=2 * GiB,
+        ),
+        policy="pack",
+        arrival_rate=1.5,
+        num_disks=20,
+    )
+    event, fast = both_engines(task)
+    assert_agreement(event, fast)
+    assert event.cache_stats.lookups > 0
+
+
+def test_mixed_sweep_point_agrees_across_engines():
+    base = generate_workload(
+        SyntheticWorkloadParams(
+            n_files=300, arrival_rate=1.0, duration=300.0, seed=19
+        )
+    )
+    catalog, stream = generate_mixed_workload(
+        base.catalog,
+        MixedWorkloadParams(
+            write_fraction=0.3,
+            new_file_fraction=0.5,
+            arrival_rate=1.5,
+            duration=300.0,
+            seed=19,
+        ),
+    )
+    mapping = np.arange(catalog.n, dtype=np.int64) % 10
+    mapping[base.catalog.n:] = -1  # new files allocate on first write
+    task = SimTask(
+        label="smoke mixed",
+        workload=InlineWorkload(
+            sizes=catalog.sizes,
+            popularities=catalog.popularities,
+            times=stream.times,
+            file_ids=stream.file_ids,
+            duration=stream.duration,
+            kinds=stream.kinds,
+        ),
+        config=StorageConfig(num_disks=10, load_constraint=0.7),
+        mapping=mapping,
+        num_disks=10,
+    )
+    event, fast = both_engines(task)
+    assert_agreement(event, fast)
+    assert event.arrivals > 0

@@ -2,9 +2,10 @@
 
 Every scenario is run through both engines via the public
 ``StorageConfig(engine=...)`` switch and compared on energy, response-time
-distribution, spin counts and per-disk accounting.  Tolerances are far
-tighter than the 1e-6 acceptance bar: the only expected differences are
-~1 ulp float drift in the event loop's arrival-time accumulation.
+distribution, spin counts, cache statistics and per-disk accounting.
+Tolerances are far tighter than the 1e-6 acceptance bar: the only expected
+differences are ~1 ulp float drift in the event loop's arrival-time
+accumulation.
 """
 
 import math
@@ -15,7 +16,7 @@ import pytest
 from repro.errors import ConfigError, SimulationError
 from repro.sim.fastkernel import fast_unsupported_reason, simulate_fast
 from repro.system import StorageConfig, StorageSystem, allocate
-from repro.units import MB
+from repro.units import GiB, MB
 from repro.workload import FileCatalog, RequestStream
 from repro.workload.generator import SyntheticWorkloadParams, generate_workload
 from repro.workload.mixed import MixedWorkloadParams, generate_mixed_workload
@@ -58,6 +59,18 @@ def assert_equivalent(event, fast):
     for state, t in event.state_durations.items():
         assert fast.state_durations.get(state, 0.0) == pytest.approx(
             t, rel=1e-9, abs=1e-6
+        )
+    assert (fast.cache_stats is None) == (event.cache_stats is None)
+    if event.cache_stats is not None:
+        for field in ("hits", "misses", "insertions", "evictions", "rejected"):
+            assert getattr(fast.cache_stats, field) == getattr(
+                event.cache_stats, field
+            ), field
+        assert fast.cache_stats.bytes_hit == pytest.approx(
+            event.cache_stats.bytes_hit
+        )
+        assert fast.cache_stats.bytes_missed == pytest.approx(
+            event.cache_stats.bytes_missed
         )
 
 
@@ -225,32 +238,151 @@ class TestEdgeCases:
         assert fast.response_times[0] == pytest.approx(wait + service)
 
 
-class TestUnsupportedScenarios:
-    def test_cache_rejected(self, fig4_workload):
-        cfg = StorageConfig(
-            num_disks=100, load_constraint=0.7,
-            cache_policy="lru", engine="fast",
-        )
-        mapping = allocate(fig4_workload.catalog, "pack", cfg, 6.0).mapping(
-            fig4_workload.catalog.n
-        )
-        system = StorageSystem(fig4_workload.catalog, mapping, cfg)
-        with pytest.raises(ConfigError, match="cache"):
-            system.run(fig4_workload.stream)
+def mixed_scenario(
+    catalog,
+    write_fraction=0.3,
+    new_file_fraction=0.5,
+    rate=1.5,
+    duration=1500.0,
+    seed=11,
+    num_disks=8,
+    **cfg_overrides,
+):
+    """Build (extended catalog, stream, mapping, cfg) for a mixed run.
 
-    def test_write_stream_rejected(self, small_catalog):
-        extended, stream = generate_mixed_workload(
+    Existing files are packed; files appended by the generator start
+    unallocated (``-1``) so the §1.1 write-allocation path is exercised.
+    """
+    extended, stream = generate_mixed_workload(
+        catalog,
+        MixedWorkloadParams(
+            write_fraction=write_fraction,
+            new_file_fraction=new_file_fraction,
+            arrival_rate=rate,
+            duration=duration,
+            seed=seed,
+        ),
+    )
+    cfg = StorageConfig(
+        num_disks=num_disks, load_constraint=0.7, **cfg_overrides
+    )
+    alloc = allocate(catalog, "pack", cfg, rate)
+    mapping = np.concatenate(
+        [
+            alloc.mapping(catalog.n),
+            np.full(extended.n - catalog.n, -1, dtype=np.int64),
+        ]
+    )
+    return extended, stream, mapping, cfg
+
+
+class TestMixedStreamEquivalence:
+    """§1.1 write allocation on the fast path vs the event dispatcher."""
+
+    @pytest.mark.parametrize("write_fraction", [0.1, 0.4])
+    @pytest.mark.parametrize("threshold", [0.0, 30.0, None, math.inf])
+    def test_mixed_grid(self, small_catalog, write_fraction, threshold):
+        extended, stream, mapping, cfg = mixed_scenario(
             small_catalog,
-            MixedWorkloadParams(
-                write_fraction=0.3, arrival_rate=1.0, duration=100.0, seed=3
-            ),
+            write_fraction=write_fraction,
+            idleness_threshold=threshold,
         )
-        cfg = StorageConfig(num_disks=4, engine="fast")
-        mapping = np.arange(extended.n) % 4
-        system = StorageSystem(extended, mapping, cfg)
-        with pytest.raises(ConfigError, match="[Ww]rite"):
-            system.run(stream)
+        event, fast = run_both(extended, stream, mapping, cfg)
+        assert_equivalent(event, fast)
+        assert event.arrivals > 0
 
+    def test_writes_allocate_and_later_reads_follow(self, small_catalog):
+        # High new-file fraction: mapping updates made by the §1.1 policy
+        # must be visible to subsequent reads of the same file.
+        extended, stream, mapping, cfg = mixed_scenario(
+            small_catalog,
+            write_fraction=0.5,
+            new_file_fraction=0.9,
+            rate=2.0,
+            seed=29,
+        )
+        event, fast = run_both(extended, stream, mapping, cfg)
+        assert_equivalent(event, fast)
+
+    def test_standby_fallback_branch(self, small_catalog):
+        # A tiny threshold keeps the pool asleep between sparse arrivals,
+        # forcing writes through the worst-fit standby fallback.
+        extended, stream, mapping, cfg = mixed_scenario(
+            small_catalog,
+            write_fraction=0.6,
+            new_file_fraction=0.8,
+            rate=0.05,
+            duration=20_000.0,
+            seed=5,
+            idleness_threshold=1.0,
+        )
+        event, fast = run_both(extended, stream, mapping, cfg)
+        assert_equivalent(event, fast)
+        assert event.spinups > 0
+
+
+class TestCachedEquivalence:
+    """Shared whole-file cache on the fast path vs the event dispatcher."""
+
+    @pytest.mark.parametrize("policy", ["lru", "lfu", "fifo", "clock"])
+    def test_policy_grid(self, policy):
+        workload = generate_workload(
+            SyntheticWorkloadParams(
+                n_files=800, arrival_rate=3.0, duration=800.0, seed=7
+            )
+        )
+        cfg = StorageConfig(
+            num_disks=30,
+            load_constraint=0.7,
+            cache_policy=policy,
+            cache_capacity=4 * GiB,
+            cache_hit_latency=0.05,
+        )
+        mapping = allocate(workload.catalog, "pack", cfg, 3.0).mapping(
+            workload.catalog.n
+        )
+        event, fast = run_both(workload.catalog, workload.stream, mapping, cfg)
+        assert_equivalent(event, fast)
+        assert event.cache_stats.lookups > 0
+
+    def test_small_cache_forces_evictions(self, small_catalog):
+        # A cache barely larger than the hottest files: admissions evict
+        # constantly, so eviction ordering must match the event kernel.
+        stream = RequestStream.poisson(
+            small_catalog.popularities, rate=2.0, duration=2_000.0, rng=13
+        )
+        cfg = StorageConfig(
+            num_disks=6,
+            load_constraint=0.7,
+            cache_policy="lru",
+            cache_capacity=3e9,
+        )
+        mapping = allocate(small_catalog, "pack", cfg, 2.0).mapping(
+            small_catalog.n
+        )
+        event, fast = run_both(small_catalog, stream, mapping, cfg)
+        assert_equivalent(event, fast)
+        assert event.cache_stats.evictions > 0
+        assert event.cache_stats.hits > 0
+
+    @pytest.mark.parametrize("policy", ["lru", "clock"])
+    def test_cached_mixed_grid(self, small_catalog, policy):
+        extended, stream, mapping, cfg = mixed_scenario(
+            small_catalog,
+            write_fraction=0.2,
+            new_file_fraction=0.6,
+            rate=2.0,
+            duration=1200.0,
+            seed=23,
+            cache_policy=policy,
+            cache_capacity=6 * GiB,
+        )
+        event, fast = run_both(extended, stream, mapping, cfg)
+        assert_equivalent(event, fast)
+        assert event.cache_stats.hits > 0
+
+
+class TestUnsupportedScenarios:
     def test_all_read_mixed_stream_supported(self, small_catalog):
         extended, stream = generate_mixed_workload(
             small_catalog,
@@ -262,11 +394,50 @@ class TestUnsupportedScenarios:
             StorageConfig(engine="fast"), stream
         ) is None
 
+    def test_cache_configs_supported(self, small_catalog):
+        # Narrowed since the global-merge pass: caches no longer fall back.
+        stream = RequestStream(
+            times=np.array([1.0]), file_ids=np.array([0]), duration=10.0
+        )
+        cfg = StorageConfig(engine="fast", cache_policy="lru")
+        assert fast_unsupported_reason(cfg, stream) is None
+
+    def test_write_streams_supported(self, small_catalog):
+        extended, stream = generate_mixed_workload(
+            small_catalog,
+            MixedWorkloadParams(
+                write_fraction=0.3, arrival_rate=1.0, duration=100.0, seed=3
+            ),
+        )
+        assert fast_unsupported_reason(
+            StorageConfig(engine="fast"), stream
+        ) is None
+
     def test_non_array_stream_rejected(self):
         reason = fast_unsupported_reason(
             StorageConfig(engine="fast"), iter([(0.0, 1)])
         )
         assert "array-backed" in reason
+
+    def test_out_of_order_times_raise(self, spec):
+        # RequestStream validates ordering itself, so hand the kernel a raw
+        # array-backed object; it must match drive_stream's SimulationError
+        # instead of silently reordering the FIFO queues.
+        class Raw:
+            times = np.array([5.0, 3.0])
+            file_ids = np.array([0, 0])
+            duration = 10.0
+
+        with pytest.raises(SimulationError, match="non-decreasing"):
+            simulate_fast(
+                sizes=np.array([MB]),
+                mapping=np.array([0]),
+                spec=spec,
+                num_disks=1,
+                threshold=50.0,
+                stream=Raw(),
+                duration=10.0,
+            )
 
     def test_invalid_engine_name(self):
         with pytest.raises(ConfigError, match="engine"):

@@ -54,6 +54,31 @@ class TestRouting:
         with pytest.raises(SimulationError):
             build(env, mapping=np.array([0, 1]))
 
+    def test_overpacked_initial_mapping_rejected(self, env):
+        # Two 400 GB files on one 500 GB disk: free_bytes would silently go
+        # -300 GB and corrupt every later write-allocation decision.
+        sizes = np.array([400 * GB, 400 * GB, 72 * MB])
+        with pytest.raises(CapacityError, match="disk 0"):
+            build(
+                env,
+                mapping=np.array([0, 0, 1]),
+                sizes=sizes,
+                usable_capacity=500 * GB,
+            )
+
+    def test_packer_epsilon_overpack_tolerated(self, env):
+        # The packers work against a normalized capacity with a 1e-9
+        # feasibility epsilon; a few hundred excess bytes must not raise.
+        usable = 500 * GB
+        sizes = np.array([300 * GB, usable - 300 * GB + 100.0, 72 * MB])
+        _, disp = build(
+            env,
+            mapping=np.array([0, 0, 1]),
+            sizes=sizes,
+            usable_capacity=usable,
+        )
+        assert disp.free_bytes[0] == pytest.approx(-100.0)
+
 
 class TestCachePath:
     def test_hit_skips_disk(self, env):
@@ -136,6 +161,35 @@ class TestWrites:
         written_disk = disp.mapping[2]
         assert disp.free_bytes[written_disk] <= before
 
+    def test_spinning_branch_is_best_fit(self, env):
+        # Both disks spinning (threshold inf fixture): the write lands on
+        # the one with the *tightest* remaining space, not the emptiest.
+        sizes = np.array([300 * GB, 100 * GB, 10 * GB])
+        array, disp = build(env, mapping=np.array([0, 1, -1]), sizes=sizes)
+        disp.submit(2, kind="write")
+        env.run(until=10_000.0)
+        assert disp.mapping[2] == 0  # 200 GB free beats 400 GB free
+        assert array[0].stats.writes == 1
+
+    def test_standby_fallback_is_worst_fit(self):
+        # Whole pool asleep: the fallback wakes the disk with the *most*
+        # free space, so one spin-up absorbs the most future writes.
+        env = Environment()
+        array = DiskArray(env, ST3500630AS, 3, idleness_threshold=2.0)
+        sizes = np.array([300 * GB, 100 * GB, 10 * GB])
+        mapping = np.array([0, 1, -1])
+        disp = Dispatcher(env, array, mapping, sizes)
+
+        def scenario(env):
+            yield env.timeout(30.0)
+            assert all(d.state is DiskState.STANDBY for d in array.disks)
+            disp.submit(2, kind="write")
+
+        env.process(scenario(env))
+        env.run(until=10_000.0)
+        assert disp.mapping[2] == 2  # untouched disk 2 has the most space
+        assert array[2].stats.writes == 1
+
 
 class TestDriveStream:
     def test_replays_arrival_times(self, env):
@@ -162,3 +216,13 @@ class TestDriveStream:
         env.process(drive_stream(env, disp, stream))
         env.run(until=5.0)
         assert disp.arrivals == 3
+
+    def test_decreasing_times_raise(self, env):
+        # Out-of-order timestamps used to be silently coalesced to env.now,
+        # replaying the request at the wrong instant.
+        _, disp = build(env)
+        stream = [(5.0, 0), (3.0, 1)]
+        env.process(drive_stream(env, disp, stream))
+        with pytest.raises(SimulationError, match="non-decreasing"):
+            env.run(until=100.0)
+        assert disp.arrivals == 1  # only the in-order prefix was submitted
