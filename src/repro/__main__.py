@@ -13,7 +13,9 @@ experiments accept ``--workers N`` (process-parallel grid points via the
 orchestrator), ``--engine fast`` (the batched simulation kernel — covers
 read/write mixes and shared caches) and ``--sweep-cache DIR|off`` (where
 sweep results persist across sessions; defaults to
-``REPRO_SWEEP_CACHE`` or ``~/.cache/repro/sweeps``).
+``REPRO_SWEEP_CACHE`` or ``~/.cache/repro/sweeps``).  The ``placement``
+ablation additionally accepts ``--write-policy NAME`` to restrict the
+swept write-placement registry to one policy.
 """
 
 from __future__ import annotations
@@ -36,6 +38,7 @@ def _experiment_registry() -> Dict[str, Callable]:
         fig5_idleness_power,
         fig6_idleness_response,
         groupsize_sweep,
+        placement_sweep,
         sensitivity,
         table1_workload,
         table2_disk,
@@ -50,6 +53,7 @@ def _experiment_registry() -> Dict[str, Callable]:
         "fig5": fig5_idleness_power.run,
         "fig6": fig6_idleness_response.run,
         "groupsize": groupsize_sweep.run,
+        "placement": placement_sweep.run,
         "complexity": ablations.run_complexity,
         "quality": ablations.run_quality,
         "correlation": ablations.run_correlation,
@@ -115,6 +119,18 @@ def _cmd_run(args: argparse.Namespace) -> int:
         kwargs = {"scale": args.scale}
         if args.seed is not None:
             kwargs["seed"] = args.seed
+        if args.write_policy is not None:
+            import inspect
+
+            if "write_policy" in inspect.signature(registry[name]).parameters:
+                kwargs["write_policy"] = args.write_policy
+            elif args.experiment != "all":
+                print(
+                    f"--write-policy is not applicable to {name!r} "
+                    "(only the 'placement' sweep accepts it)",
+                    file=sys.stderr,
+                )
+                return 2
         result = registry[name](**kwargs)
         print(result.to_text())
         print()
@@ -163,6 +179,16 @@ def build_parser() -> argparse.ArgumentParser:
         choices=("event", "fast"),
         default=None,
         help="force a simulation kernel for sweep points that support it",
+    )
+    run.add_argument(
+        "--write-policy",
+        type=str,
+        default=None,
+        metavar="POLICY",
+        help=(
+            "restrict the 'placement' sweep to one write-placement policy "
+            "from the registry (see repro.system.placement)"
+        ),
     )
     run.add_argument(
         "--sweep-cache",

@@ -196,7 +196,10 @@ def _canon(obj: Any) -> Any:
 #: older simulator are treated as misses instead of being silently served.
 #: The package version is mixed in automatically, so releases always
 #: invalidate regardless of discipline here.
-RESULT_SCHEMA_VERSION = 2
+#: v3: pluggable write-placement registry (``StorageConfig.write_policy``
+#: salts fingerprints via the config dataclass) + ``final_mapping`` on
+#: :class:`SimulationResult`.
+RESULT_SCHEMA_VERSION = 3
 
 
 def task_fingerprint(task: SimTask) -> str:

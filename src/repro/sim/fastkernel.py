@@ -13,9 +13,11 @@ Lindley recursion extended with the idleness-threshold spin-down / spin-up
 transitions.  That per-disk recursion needs only two kinds of global
 coupling, both handled here:
 
-* **write allocation** (paper §1.1) — a write of a not-yet-mapped file
-  inspects every disk's *current* spin state and free space, then updates
-  the mapping for later requests;
+* **write allocation** — a write of a not-yet-mapped file inspects every
+  disk's *current* spin state, free space and dispatched load through the
+  configured :class:`~repro.system.placement.WritePlacementPolicy` (the
+  paper's §1.1 ``spinning_best_fit`` by default), then updates the mapping
+  for later requests;
 * **a shared whole-file cache** — reads look the cache up at arrival and
   admit on miss *completion*, so cache contents depend on the global
   interleaving of arrivals and completions across disks.
@@ -23,18 +25,27 @@ coupling, both handled here:
 Engine coverage matrix
 ----------------------
 
-====================================  ==========  ===========
-scenario feature                      ``fast``    ``event``
-====================================  ==========  ===========
-read-only static mapping              yes         yes
-idleness thresholds (0, finite, inf)  yes         yes
-write streams (§1.1 allocation)       yes         yes
-shared whole-file cache (any policy)  yes         yes
-mixed read/write + cache              yes         yes
-array-backed streams (``.times``)     required    not needed
-arbitrary iterator streams            no          yes
-custom per-request processes          no          yes
-====================================  ==========  ===========
+=========================================  ==========  ===========
+scenario feature                           ``fast``    ``event``
+=========================================  ==========  ===========
+read-only static mapping                   yes         yes
+idleness thresholds (0, finite, inf)       yes         yes
+write streams (placement on first touch)   yes         yes
+pluggable write placement (full registry)  yes         yes
+shared whole-file cache (any policy)       yes         yes
+mixed read/write + cache                   yes         yes
+array-backed streams (``.times``)          required    not needed
+arbitrary iterator streams                 no          yes
+custom per-request processes               no          yes
+=========================================  ==========  ===========
+
+Every policy in :data:`repro.system.placement.PLACEMENT_POLICIES` is
+engine-agnostic: both kernels feed it the same
+:class:`~repro.system.placement.PlacementContext` (spin mask, free bytes,
+per-disk dispatched service seconds accumulated in the same per-request
+order), so allocation decisions — and hence final file→disk mappings — are
+byte-identical across engines; ``tests/experiments/test_engine_smoke.py``
+iterates the registry to enforce this.
 
 Execution strategy (fastest applicable path is chosen per run):
 
@@ -82,12 +93,13 @@ from repro.disk.drive import WRITE
 from repro.disk.power import DiskState, PowerModel
 from repro.disk.specs import DiskSpec
 from repro.errors import ConfigError, SimulationError
-from repro.system.dispatcher import (
-    choose_write_disk,
-    initial_free_bytes,
-    validate_free_bytes,
-)
+from repro.system.dispatcher import initial_free_bytes, validate_free_bytes
 from repro.system.metrics import SimulationResult
+from repro.system.placement import (
+    PlacementContext,
+    WritePlacementPolicy,
+    make_placement_policy,
+)
 
 __all__ = ["fast_unsupported_reason", "simulate_fast"]
 
@@ -116,7 +128,7 @@ class _DiskBank:
     """
 
     __slots__ = (
-        "avail", "sd_t", "su_t", "sb_t", "n_up", "n_down",
+        "avail", "sd_t", "su_t", "sb_t", "n_up", "n_down", "load",
         "th", "no_spindown", "D", "U", "oh", "T",
     )
 
@@ -129,6 +141,10 @@ class _DiskBank:
         self.sb_t = [0.0] * num_disks
         self.n_up = [0] * num_disks
         self.n_down = [0] * num_disks
+        # Cumulative dispatched service seconds per disk, accumulated one
+        # request at a time (same order as the event dispatcher's ledger,
+        # so load-comparing placement policies see bit-equal values).
+        self.load = [0.0] * num_disks
         self.th = float(threshold)
         self.no_spindown = isinf(self.th)
         self.D = spec.spindown_time
@@ -162,6 +178,7 @@ class _DiskBank:
         else:
             s = a
         self.avail[d] = s + self.oh + tr
+        self.load[d] += self.oh + tr
         return s
 
     def serve_batch(self, d: int, ts: list, trs: list) -> List[float]:
@@ -172,12 +189,14 @@ class _DiskBank:
         append = out.append
         a = self.avail[d]
         oh = self.oh
+        ld = self.load[d]
         if self.no_spindown:
             # Pure Lindley recursion: serve at max(arrival, free time).
             for t, tr in zip(ts, trs):
                 s = t if t > a else a
                 append(s)
                 a = s + oh + tr
+                ld += oh + tr
         else:
             th = self.th
             D = self.D
@@ -210,12 +229,14 @@ class _DiskBank:
                     s = a
                 append(s)
                 a = s + oh + tr
+                ld += oh + tr
             self.sd_t[d] = sd_t
             self.su_t[d] = su_t
             self.sb_t[d] = sb_t
             self.n_up[d] = n_up
             self.n_down[d] = n_down
         self.avail[d] = a
+        self.load[d] = ld
         return out
 
     def spinning_mask(self, t: float) -> np.ndarray:
@@ -236,12 +257,22 @@ class _DiskBank:
 
 
 def _allocate_for_write(
-    bank: _DiskBank, free: np.ndarray, size: float, t: float
+    bank: _DiskBank,
+    policy: WritePlacementPolicy,
+    free: np.ndarray,
+    size: float,
+    t: float,
 ) -> int:
-    """Paper §1.1 placement for a new file at time ``t``: the shared
-    :func:`~repro.system.dispatcher.choose_write_disk` decision against the
-    banked spin state, so both engines pick byte-identical disks."""
-    return choose_write_disk(bank.spinning_mask(t), free, size)
+    """Placement for a new file at time ``t``: the shared registry policy
+    decides against the banked spin state / free bytes / dispatched load,
+    so both engines pick byte-identical disks."""
+    ctx = PlacementContext(
+        time=t,
+        spinning=bank.spinning_mask(t),
+        free=free,
+        load=np.asarray(bank.load, dtype=float),
+    )
+    return policy.choose(ctx, size)
 
 
 def _serve_segment(
@@ -278,6 +309,7 @@ def _serve_segment(
 
 def _serve_segmented(
     bank: _DiskBank,
+    policy: WritePlacementPolicy,
     mapping: np.ndarray,
     free: np.ndarray,
     sizes: np.ndarray,
@@ -291,9 +323,9 @@ def _serve_segmented(
     """Mixed read/write stream without a cache.
 
     Only the *first* touch of an initially-unmapped file couples the disks
-    (it runs the §1.1 allocation against global spin state); everything
-    between those coupling points is replayed through the vectorized
-    per-disk recursion with carried-in state.
+    (it runs the placement policy against global spin/load state);
+    everything between those coupling points is replayed through the
+    vectorized per-disk recursion with carried-in state.
     """
     unmapped = np.flatnonzero(mapping[fid] < 0)
     if unmapped.size:
@@ -322,7 +354,7 @@ def _serve_segmented(
             )
         t = float(t_all[b])
         size = float(sizes[f])
-        d = _allocate_for_write(bank, free, size, t)
+        d = _allocate_for_write(bank, policy, free, size, t)
         mapping[f] = d
         free[d] -= size
         starts[b] = bank.serve(d, t, float(tr_all[b]))
@@ -343,6 +375,7 @@ def _serve_segmented(
 
 def _serve_coupled(
     bank: _DiskBank,
+    policy: WritePlacementPolicy,
     mapping: np.ndarray,
     free: np.ndarray,
     sizes: np.ndarray,
@@ -386,7 +419,7 @@ def _serve_coupled(
             d = map_l[f]
             if d < 0:
                 size = size_l[f]
-                d = _allocate_for_write(bank, free, size, t)
+                d = _allocate_for_write(bank, policy, free, size, t)
                 map_l[f] = d
                 mapping[f] = d
                 free[d] -= size
@@ -427,6 +460,7 @@ def simulate_fast(
     cache=None,
     cache_hit_latency: float = 0.0,
     usable_capacity: Optional[float] = None,
+    write_policy=None,
 ) -> SimulationResult:
     """Simulate ``stream`` against ``mapping`` without the event loop.
 
@@ -436,11 +470,13 @@ def simulate_fast(
     ``duration`` the measurement horizon.  ``cache`` is an optional
     :class:`~repro.cache.base.BaseCache` instance (hits respond with
     ``cache_hit_latency``); ``usable_capacity`` is the per-disk byte budget
-    the §1.1 write allocation spends (defaults to the spec's raw capacity,
-    like the dispatcher).  Returns the same
+    the write allocation spends (defaults to the spec's raw capacity, like
+    the dispatcher); ``write_policy`` selects the placement strategy (a
+    registry name, a policy instance, or ``None`` for the paper's §1.1
+    ``spinning_best_fit``).  Returns the same
     :class:`~repro.system.metrics.SimulationResult` the event kernel
-    produces.  The caller's ``mapping`` is not mutated; writes allocate
-    against an internal copy.
+    produces, including the post-run ``final_mapping``.  The caller's
+    ``mapping`` is not mutated; writes allocate against an internal copy.
     """
     if duration <= 0:
         raise ConfigError("duration must be positive")
@@ -468,6 +504,8 @@ def simulate_fast(
     usable = spec.capacity if usable_capacity is None else float(usable_capacity)
     free = initial_free_bytes(mapping, sizes, usable, num_disks)
     validate_free_bytes(free, usable)
+    policy = make_placement_policy(write_policy)
+    policy.reset(num_disks)
 
     # The event kernel's cutoff is strict: the URGENT stop event at T
     # pre-empts arrival and completion events scheduled at exactly T.
@@ -492,13 +530,13 @@ def simulate_fast(
 
     if cache is not None:
         _serve_coupled(
-            bank, mapping, free, sizes, fid, t_all, tr_all, is_write,
-            cache, starts, d_req,
+            bank, policy, mapping, free, sizes, fid, t_all, tr_all,
+            is_write, cache, starts, d_req,
         )
     elif is_write is not None:
         _serve_segmented(
-            bank, mapping, free, sizes, fid, t_all, tr_all, is_write,
-            starts, d_req,
+            bank, policy, mapping, free, sizes, fid, t_all, tr_all,
+            is_write, starts, d_req,
         )
     else:
         disk = mapping[fid]
@@ -606,4 +644,5 @@ def simulate_fast(
             np.int64
         ),
         spinups_per_disk=spinups,
+        final_mapping=mapping,
     )

@@ -9,6 +9,13 @@ mapping table), optionally after a shared whole-file cache lookup.
 from repro.system.config import StorageConfig
 from repro.system.dispatcher import Dispatcher, drive_stream
 from repro.system.metrics import SimulationResult
+from repro.system.placement import (
+    DEFAULT_WRITE_POLICY,
+    PlacementContext,
+    WritePlacementPolicy,
+    make_placement_policy,
+    placement_policy_names,
+)
 from repro.system.runner import (
     ALLOCATOR_NAMES,
     ReorganizingRunner,
@@ -21,14 +28,19 @@ from repro.system.storage import StorageSystem
 
 __all__ = [
     "ALLOCATOR_NAMES",
+    "DEFAULT_WRITE_POLICY",
     "Dispatcher",
+    "PlacementContext",
     "ReorganizingRunner",
     "SimulationResult",
     "StorageConfig",
     "StorageSystem",
+    "WritePlacementPolicy",
     "allocate",
     "build_items",
     "drive_stream",
+    "make_placement_policy",
+    "placement_policy_names",
     "run_policy",
     "simulate",
 ]

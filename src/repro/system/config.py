@@ -8,6 +8,11 @@ from typing import Optional
 from repro.disk.service import ServiceModel
 from repro.disk.specs import ST3500630AS, DiskSpec
 from repro.errors import ConfigError
+from repro.system.placement import (
+    DEFAULT_WRITE_POLICY,
+    make_placement_policy,
+    placement_policy_names,
+)
 from repro.units import GiB
 
 __all__ = ["StorageConfig"]
@@ -36,6 +41,15 @@ class StorageConfig:
         ``"full"`` (seek + rotation + transfer) or ``"transfer"``.
     cache_policy / cache_capacity / cache_hit_latency:
         Optional shared front-end cache (paper: 16 GB LRU, hits free).
+    write_policy:
+        Write-placement strategy for not-yet-mapped written files, by
+        registry name (see :mod:`repro.system.placement`).  The default
+        ``"spinning_best_fit"`` is the paper's §1.1 rule (best-fit among
+        spinning disks, worst-fit standby fallback); alternatives
+        (``spinning_worst_fit``, ``first_fit_spinning``, ``round_robin``,
+        ``coldest_disk``, ``fullest_spinning``) are swept by the
+        ``placement`` ablation.  Every policy is honored identically by
+        both engines.
     engine:
         Simulation kernel: ``"event"`` (the discrete-event loop; supports
         every feature) or ``"fast"`` (the batched kernel in
@@ -54,6 +68,7 @@ class StorageConfig:
     cache_policy: Optional[str] = None
     cache_capacity: float = 16 * GiB
     cache_hit_latency: float = 0.0
+    write_policy: str = DEFAULT_WRITE_POLICY
     engine: str = "event"
 
     def __post_init__(self) -> None:
@@ -74,6 +89,11 @@ class StorageConfig:
             raise ConfigError("cache_hit_latency must be >= 0")
         if self.cache_capacity <= 0:
             raise ConfigError("cache_capacity must be positive")
+        if self.write_policy not in placement_policy_names():
+            raise ConfigError(
+                f"unknown write placement policy {self.write_policy!r}; "
+                f"choose from {placement_policy_names()}"
+            )
         if self.engine not in ("event", "fast"):
             raise ConfigError(
                 f"engine must be 'event' or 'fast', got {self.engine!r}"
@@ -94,6 +114,14 @@ class StorageConfig:
     def service_model(self) -> ServiceModel:
         """The configured :class:`~repro.disk.service.ServiceModel`."""
         return ServiceModel(self.spec, self.service_mode)
+
+    def placement_policy(self):
+        """A fresh :class:`~repro.system.placement.WritePlacementPolicy`.
+
+        A new instance per call: stateful policies (round-robin's cursor)
+        must not leak decisions between independent simulation runs.
+        """
+        return make_placement_policy(self.write_policy)
 
     def with_overrides(self, **kwargs) -> "StorageConfig":
         """Copy with some fields replaced."""

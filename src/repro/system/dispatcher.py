@@ -5,18 +5,21 @@ the file dispatcher forwards it to the corresponding disk based on the
 file-to-disk mapping table, which is built using Pack_Disks".  Mapping time
 is ignored (negligible next to multi-second file transfers).
 
-Reads go through the (optional) shared cache; writes follow the paper's
-§1.1 energy-friendly policy: prefer an already-spinning disk with space
-(best-fit — the tightest remaining space, concentrating new data on the
-already-loaded disks), otherwise fall back to *worst-fit* — the disk with
-the most free space — so one unlucky spin-up absorbs as many future writes
-as possible.  Either way the mapping table is updated so later reads find
-the file.
+Reads go through the (optional) shared cache; writes of not-yet-mapped
+files are placed by the configured
+:class:`~repro.system.placement.WritePlacementPolicy`.  The default is the
+paper's §1.1 energy-friendly rule: prefer an already-spinning disk with
+space (best-fit — the tightest remaining space, concentrating new data on
+the already-loaded disks), otherwise fall back to *worst-fit* — the disk
+with the most free space — so one unlucky spin-up absorbs as many future
+writes as possible.  Either way the mapping table is updated so later
+reads find the file.  The same policy instance semantics drive the fast
+kernel, so placement decisions are byte-identical across engines.
 """
 
 from __future__ import annotations
 
-from typing import List, Optional
+from typing import List, Optional, Union
 
 import numpy as np
 
@@ -25,6 +28,12 @@ from repro.disk.array import DiskArray
 from repro.disk.drive import READ, WRITE
 from repro.errors import CapacityError, SimulationError
 from repro.sim.environment import Environment
+from repro.system.placement import (
+    PlacementContext,
+    WritePlacementPolicy,
+    make_placement_policy,
+    spinning_best_fit_choice,
+)
 
 __all__ = [
     "Dispatcher",
@@ -80,23 +89,20 @@ def validate_free_bytes(free: np.ndarray, usable_capacity: float) -> None:
 def choose_write_disk(
     spinning: np.ndarray, free: np.ndarray, size: float
 ) -> int:
-    """The paper §1.1 placement decision, shared by both engines.
+    """The paper §1.1 placement decision (compat shim).
 
     Best-fit (tightest remaining space) among spinning disks with room;
     otherwise worst-fit (most free space) among all disks with room, so one
     spin-up absorbs as many future writes as possible.  Ties break toward
     the lowest disk id in both branches.  Raises
     :class:`~repro.errors.CapacityError` when no disk fits the file.
+
+    The decision itself lives in
+    :func:`repro.system.placement.spinning_best_fit_choice`, the default
+    entry of the write-placement registry; this wrapper is kept for callers
+    of the pre-registry API.
     """
-    candidates = np.flatnonzero(spinning & (free >= size))
-    if candidates.size:
-        return int(candidates[np.argmin(free[candidates])])
-    feasible = np.flatnonzero(free >= size)
-    if feasible.size == 0:
-        raise CapacityError(
-            f"no disk has {size:.0f} free bytes for the written file"
-        )
-    return int(feasible[np.argmax(free[feasible])])
+    return spinning_best_fit_choice(spinning, free, size)
 
 
 class Dispatcher:
@@ -118,6 +124,10 @@ class Dispatcher:
         Response time recorded for a cache hit.
     usable_capacity:
         Per-disk byte budget used by the write-allocation policy.
+    write_policy:
+        Placement strategy for not-yet-mapped written files: a registry
+        name or a ready :class:`~repro.system.placement.WritePlacementPolicy`
+        instance (``None`` = the paper's §1.1 ``spinning_best_fit``).
     """
 
     def __init__(
@@ -129,6 +139,7 @@ class Dispatcher:
         cache: Optional[BaseCache] = None,
         cache_hit_latency: float = 0.0,
         usable_capacity: Optional[float] = None,
+        write_policy: Union[None, str, WritePlacementPolicy] = None,
     ) -> None:
         self.env = env
         self.array = array
@@ -154,6 +165,16 @@ class Dispatcher:
             self.mapping, self.sizes, self.usable_capacity, len(array)
         )
         validate_free_bytes(self.free_bytes, self.usable_capacity)
+        self.write_policy = make_placement_policy(write_policy)
+        self.write_policy.reset(len(array))
+        # Cumulative dispatched service seconds per disk (cache hits
+        # excluded), accumulated one request at a time so the fast kernel's
+        # identical accumulation yields bit-equal values — placement
+        # policies comparing load (coldest_disk) then decide identically
+        # in both engines.
+        self.dispatched_seconds = np.zeros(len(array), dtype=float)
+        self._access_overhead = array.spec.access_overhead
+        self._transfer_rate = array.spec.transfer_rate
         #: Response time of every completed request, in completion order.
         self.response_times: List[float] = []
         #: Parallel list: True when the request was served from cache.
@@ -179,9 +200,21 @@ class Dispatcher:
             raise SimulationError(
                 f"read of unallocated file {file_id}; allocate it first"
             )
+        self._track_dispatch(int(disk), size)
         request = self.array.submit(int(disk), file_id, size, READ)
         request.done.callbacks.append(
             lambda ev, fid=file_id, sz=size: self._complete(ev, fid, sz)
+        )
+
+    def _track_dispatch(self, disk: int, size: float) -> None:
+        """Accumulate one request's service seconds for placement policies.
+
+        Same formula and same per-request order as the fast kernel's
+        :class:`~repro.sim.fastkernel._DiskBank` load tracking, so policy
+        views are bit-identical across engines.
+        """
+        self.dispatched_seconds[disk] += (
+            self._access_overhead + size / self._transfer_rate
         )
 
     def _complete(self, event, file_id: int, size: float) -> None:
@@ -190,7 +223,7 @@ class Dispatcher:
         if self.cache is not None:
             self.cache.admit(file_id, size)
 
-    # -- write path (paper §1.1 policy) -----------------------------------------
+    # -- write path (pluggable placement; §1.1 by default) ----------------------
 
     def _submit_write(self, file_id: int) -> None:
         size = self.sizes[file_id]
@@ -200,6 +233,7 @@ class Dispatcher:
             self.mapping[file_id] = disk
             self.free_bytes[disk] -= size
         self.write_count += 1
+        self._track_dispatch(int(disk), size)
         request = self.array.submit(int(disk), file_id, size, WRITE)
         request.done.callbacks.append(
             lambda ev, fid=file_id, sz=size: self._complete_write(ev)
@@ -210,19 +244,25 @@ class Dispatcher:
         self.served_from_cache.append(False)
 
     def _allocate_for_write(self, size: float) -> int:
-        """Pick a disk for a new file (paper §1.1's energy-friendly policy).
+        """Pick a disk for a new file via the configured placement policy.
 
-        The decision itself — best-fit among spinning disks, worst-fit
-        fallback — lives in the shared :func:`choose_write_disk` so the
-        fast kernel's copy of this policy cannot drift; this method only
-        supplies the live drives' spin states.
+        The decision lives in the policy object (shared registry with the
+        fast kernel, so neither engine's copy can drift); this method only
+        assembles the :class:`~repro.system.placement.PlacementContext`
+        from the live drives' spin states and the dispatch ledger.
         """
         spinning = np.fromiter(
             (d.state.spinning for d in self.array.disks),
             dtype=bool,
             count=len(self.array),
         )
-        return choose_write_disk(spinning, self.free_bytes, size)
+        ctx = PlacementContext(
+            time=self.env.now,
+            spinning=spinning,
+            free=self.free_bytes,
+            load=self.dispatched_seconds,
+        )
+        return self.write_policy.choose(ctx, size)
 
     # -- accessors ---------------------------------------------------------------
 

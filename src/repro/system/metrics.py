@@ -42,6 +42,11 @@ class SimulationResult:
     cache_stats: Optional[CacheStats] = None
     requests_per_disk: Optional[np.ndarray] = None
     spinups_per_disk: Optional[np.ndarray] = None
+    #: Post-run ``file_id -> disk`` mapping (``-1`` = never allocated).
+    #: Reflects every write allocation the run performed, so cross-engine
+    #: tests can assert both kernels placed files identically.  ``None``
+    #: for aggregate results (e.g. reorganizing runs spanning re-packs).
+    final_mapping: Optional[np.ndarray] = None
     extra: Dict[str, float] = field(default_factory=dict)
 
     # -- power ---------------------------------------------------------------

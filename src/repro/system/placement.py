@@ -1,0 +1,304 @@
+"""Pluggable write-placement policies (the paper's §1.1 rule and friends).
+
+The paper fixes one write-allocation rule: best-fit among spinning disks,
+worst-fit fallback among all disks with room.  That rule is exactly the
+power/response lever the placement ablation sweeps, so it lives here as one
+of several registered :class:`WritePlacementPolicy` strategies, selected
+via ``StorageConfig(write_policy=...)`` and honored **identically** by both
+simulation engines:
+
+* the event kernel's :class:`~repro.system.dispatcher.Dispatcher` calls the
+  policy from ``_allocate_for_write``;
+* the fast kernel (:mod:`repro.sim.fastkernel`) calls the same policy
+  instance at its write-allocation coupling points.
+
+Both engines hand the policy an identical :class:`PlacementContext` — the
+per-disk spin mask, free bytes and cumulative dispatched service seconds
+are maintained with the same per-request accumulation order on both sides,
+so every policy's decisions (including float-tie argmins) are
+byte-identical across engines.  Policies carrying state across decisions
+(:class:`RoundRobin`'s cursor) stay in sync because allocation decisions
+happen in stream order in both engines.
+
+Registered policies
+-------------------
+
+==================== ========================================================
+name                 rule (ties break toward the lowest disk id)
+==================== ========================================================
+spinning_best_fit    paper §1.1: best-fit (tightest room) among spinning
+                     disks; worst-fit fallback among all disks with room
+spinning_worst_fit   worst-fit (most room) among spinning disks; worst-fit
+                     fallback — spreads writes over the loaded disks
+first_fit_spinning   lowest-id spinning disk with room; worst-fit fallback
+fullest_spinning     best-fit among spinning *and* best-fit fallback —
+                     isolates the effect of §1.1's worst-fit standby rule
+round_robin          cyclic cursor over all disks with room, spin-oblivious
+                     (the classic load-spreading, spin-up-heavy baseline)
+coldest_disk         the most-idle disk with room (least cumulative
+                     dispatched service time), spin-oblivious
+==================== ========================================================
+
+Use :func:`make_placement_policy` to instantiate by name and
+:func:`placement_policy_names` to iterate the registry (tests do, so new
+policies are covered by the cross-engine equivalence grid automatically).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Callable, Dict, Tuple, Type, Union
+
+import numpy as np
+
+from repro.errors import CapacityError, ConfigError
+
+__all__ = [
+    "DEFAULT_WRITE_POLICY",
+    "PlacementContext",
+    "WritePlacementPolicy",
+    "make_placement_policy",
+    "placement_policy_names",
+    "register_placement_policy",
+    "spinning_best_fit_choice",
+]
+
+#: The paper's §1.1 rule; what ``StorageConfig.write_policy`` defaults to.
+DEFAULT_WRITE_POLICY = "spinning_best_fit"
+
+
+@dataclass
+class PlacementContext:
+    """Everything a policy may consult when placing one write.
+
+    Attributes
+    ----------
+    time:
+        Simulation time of the allocation decision.
+    spinning:
+        Per-disk bool mask: ``True`` unless the disk is in STANDBY
+        (SEEK/ACTIVE/IDLE/SPINUP/SPINDOWN all count as spinning, matching
+        :attr:`repro.disk.power.DiskState.spinning`).
+    free:
+        Per-disk free bytes under the current mapping.
+    load:
+        Per-disk cumulative *dispatched* service seconds (access overhead +
+        transfer time of every request routed to the disk so far, cache
+        hits excluded).  Both engines accumulate this in the same
+        per-request order, so comparisons are exact across engines.
+    """
+
+    time: float
+    spinning: np.ndarray
+    free: np.ndarray
+    load: np.ndarray
+
+
+def _no_room(size: float) -> CapacityError:
+    return CapacityError(
+        f"no disk has {size:.0f} free bytes for the written file"
+    )
+
+
+def _worst_fit(free: np.ndarray, size: float) -> int:
+    """Most free space among disks with room (§1.1's standby fallback)."""
+    feasible = np.flatnonzero(free >= size)
+    if feasible.size == 0:
+        raise _no_room(size)
+    return int(feasible[np.argmax(free[feasible])])
+
+
+def _best_fit(free: np.ndarray, size: float) -> int:
+    """Tightest remaining space among disks with room."""
+    feasible = np.flatnonzero(free >= size)
+    if feasible.size == 0:
+        raise _no_room(size)
+    return int(feasible[np.argmin(free[feasible])])
+
+
+class WritePlacementPolicy:
+    """Base class: one placement decision per not-yet-mapped written file.
+
+    Subclasses set ``name`` (the registry key) and implement
+    :meth:`choose`.  :meth:`reset` is called once per simulation run with
+    the pool size; stateful policies (e.g. :class:`RoundRobin`) initialize
+    their cross-decision state there.
+    """
+
+    name: str = ""
+
+    def reset(self, num_disks: int) -> None:
+        """Prepare per-run state (default: stateless, nothing to do)."""
+
+    def choose(self, ctx: PlacementContext, size: float) -> int:
+        """Return the disk index for a ``size``-byte new file.
+
+        Must raise :class:`~repro.errors.CapacityError` when no disk has
+        room; must never return a disk with ``free < size``.
+        """
+        raise NotImplementedError
+
+
+#: name -> policy class.  Populated by :func:`register_placement_policy`.
+PLACEMENT_POLICIES: Dict[str, Type[WritePlacementPolicy]] = {}
+
+
+def register_placement_policy(
+    cls: Type[WritePlacementPolicy],
+) -> Type[WritePlacementPolicy]:
+    """Class decorator adding a policy to the registry (keyed by ``name``)."""
+    if not cls.name:
+        raise ConfigError(f"{cls.__name__} must set a non-empty name")
+    if cls.name in PLACEMENT_POLICIES:
+        raise ConfigError(f"duplicate placement policy {cls.name!r}")
+    PLACEMENT_POLICIES[cls.name] = cls
+    return cls
+
+
+def placement_policy_names() -> Tuple[str, ...]:
+    """All registered policy names (registration order; default first)."""
+    return tuple(PLACEMENT_POLICIES)
+
+
+def make_placement_policy(
+    policy: Union[str, WritePlacementPolicy, None] = None,
+) -> WritePlacementPolicy:
+    """Instantiate a policy by registry name (``None`` = the §1.1 default).
+
+    A ready-made :class:`WritePlacementPolicy` instance passes through
+    unchanged (callers own its lifecycle; remember one instance must not be
+    shared between concurrently running simulations if it is stateful).
+    """
+    if policy is None:
+        policy = DEFAULT_WRITE_POLICY
+    if isinstance(policy, WritePlacementPolicy):
+        return policy
+    try:
+        cls = PLACEMENT_POLICIES[policy]
+    except KeyError:
+        raise ConfigError(
+            f"unknown write placement policy {policy!r}; choose from "
+            f"{placement_policy_names()}"
+        ) from None
+    return cls()
+
+
+# -- the registered strategies --------------------------------------------------
+
+
+def spinning_best_fit_choice(
+    spinning: np.ndarray, free: np.ndarray, size: float
+) -> int:
+    """The paper §1.1 decision as a plain function (shared compat shim).
+
+    Best-fit among spinning disks with room; otherwise worst-fit among all
+    disks with room, so one unlucky spin-up absorbs as many future writes
+    as possible.  Ties break toward the lowest disk id in both branches.
+    """
+    candidates = np.flatnonzero(spinning & (free >= size))
+    if candidates.size:
+        return int(candidates[np.argmin(free[candidates])])
+    return _worst_fit(free, size)
+
+
+@register_placement_policy
+class SpinningBestFit(WritePlacementPolicy):
+    """Paper §1.1: best-fit among spinning, worst-fit standby fallback."""
+
+    name = "spinning_best_fit"
+
+    def choose(self, ctx: PlacementContext, size: float) -> int:
+        return spinning_best_fit_choice(ctx.spinning, ctx.free, size)
+
+
+@register_placement_policy
+class SpinningWorstFit(WritePlacementPolicy):
+    """Worst-fit among spinning disks (spread writes); worst-fit fallback."""
+
+    name = "spinning_worst_fit"
+
+    def choose(self, ctx: PlacementContext, size: float) -> int:
+        candidates = np.flatnonzero(ctx.spinning & (ctx.free >= size))
+        if candidates.size:
+            return int(candidates[np.argmax(ctx.free[candidates])])
+        return _worst_fit(ctx.free, size)
+
+
+@register_placement_policy
+class FirstFitSpinning(WritePlacementPolicy):
+    """Lowest-id spinning disk with room; worst-fit standby fallback."""
+
+    name = "first_fit_spinning"
+
+    def choose(self, ctx: PlacementContext, size: float) -> int:
+        candidates = np.flatnonzero(ctx.spinning & (ctx.free >= size))
+        if candidates.size:
+            return int(candidates[0])
+        return _worst_fit(ctx.free, size)
+
+
+@register_placement_policy
+class FullestSpinning(WritePlacementPolicy):
+    """Best-fit among spinning *and* on fallback (no worst-fit rule).
+
+    The spinning branch matches :class:`SpinningBestFit` exactly; only the
+    all-disks-standby fallback differs (fullest feasible disk instead of
+    emptiest), so sweeping the two isolates how much §1.1's worst-fit
+    standby rule actually buys.
+    """
+
+    name = "fullest_spinning"
+
+    def choose(self, ctx: PlacementContext, size: float) -> int:
+        candidates = np.flatnonzero(ctx.spinning & (ctx.free >= size))
+        if candidates.size:
+            return int(candidates[np.argmin(ctx.free[candidates])])
+        return _best_fit(ctx.free, size)
+
+
+@register_placement_policy
+class RoundRobin(WritePlacementPolicy):
+    """Cyclic cursor over all disks with room, ignoring spin state.
+
+    The classic load-spreading baseline: maximally even placement at the
+    cost of waking standby disks.  The cursor advances past the chosen
+    disk; infeasible disks are skipped without consuming the turn.
+    """
+
+    name = "round_robin"
+
+    def __init__(self) -> None:
+        self._cursor = 0
+
+    def reset(self, num_disks: int) -> None:
+        self._cursor = 0
+
+    def choose(self, ctx: PlacementContext, size: float) -> int:
+        n = int(ctx.free.shape[0])
+        order = (np.arange(n) + self._cursor) % n
+        feasible = ctx.free[order] >= size
+        if not feasible.any():
+            raise _no_room(size)
+        disk = int(order[int(np.argmax(feasible))])
+        self._cursor = (disk + 1) % n
+        return disk
+
+
+@register_placement_policy
+class ColdestDisk(WritePlacementPolicy):
+    """The most-idle disk with room, ignoring spin state.
+
+    "Coldest" = least cumulative dispatched service time
+    (:attr:`PlacementContext.load`), i.e. the disk that has been the most
+    idle over the run so far.  Spreads new data away from the hot spindles
+    — the anti-§1.1 strategy that trades spin-up energy for queueing
+    headroom.
+    """
+
+    name = "coldest_disk"
+
+    def choose(self, ctx: PlacementContext, size: float) -> int:
+        feasible = np.flatnonzero(ctx.free >= size)
+        if feasible.size == 0:
+            raise _no_room(size)
+        return int(feasible[np.argmin(ctx.load[feasible])])

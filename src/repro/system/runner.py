@@ -36,6 +36,7 @@ from repro.system.metrics import SimulationResult
 from repro.system.storage import StorageSystem
 from repro.workload.arrivals import RequestStream
 from repro.workload.catalog import FileCatalog
+from repro.workload.mixed import MixedRequestStream
 
 __all__ = [
     "ALLOCATOR_NAMES",
@@ -193,6 +194,18 @@ class ReorganizingRunner:
     access statistics over periodic intervals and performing reorganization".
     Remapping is instantaneous; the number of files whose disk changed is
     reported per epoch so migration cost can be modelled externally.
+
+    Mixed read/write streams (anything carrying a per-request ``kinds``
+    array, e.g. :class:`~repro.workload.mixed.MixedRequestStream`) are
+    split with their kinds intact, so writes stay writes in every epoch.
+
+    ``initial_candidates`` optionally names several allocation policies to
+    try for epoch 0: the candidates fan out in parallel through the sweep
+    orchestrator (:func:`repro.experiments.orchestrator.default_runner`,
+    so ``--workers``/caching apply) and the energy-best initial packing
+    seeds the serial epoch chain; the winner is recorded on
+    :attr:`chosen_initial_policy`.  Later epochs always re-pack with
+    ``policy``.
     """
 
     def __init__(
@@ -202,6 +215,7 @@ class ReorganizingRunner:
         policy: str = "pack",
         interval: float = 1000.0,
         smoothing: float = 0.5,
+        initial_candidates: Optional[Sequence[str]] = None,
     ) -> None:
         if interval <= 0:
             raise ConfigError("interval must be positive")
@@ -212,6 +226,14 @@ class ReorganizingRunner:
         self.policy = policy
         self.interval = interval
         self.smoothing = smoothing
+        self.initial_candidates: Tuple[str, ...] = tuple(
+            dict.fromkeys(initial_candidates or ())
+        )
+        #: Which candidate won the epoch-0 fan-out (``None`` until
+        #: :meth:`run` with ``initial_candidates`` set has completed).
+        self.chosen_initial_policy: Optional[str] = None
+        #: Epoch-0 result per candidate from the fan-out (for inspection).
+        self.initial_candidate_results: Dict[str, SimulationResult] = {}
         self.moved_files: List[int] = []
         self.epoch_results: List[SimulationResult] = []
 
@@ -228,18 +250,25 @@ class ReorganizingRunner:
         max_disks = 0
         state_durations: Dict = {}
 
-        for i, epoch in enumerate(epochs):
-            rate = max(epoch[0].mean_rate, 1e-9)
-            allocation = allocate(
-                self.catalog, self.policy, self.config, rate,
-                rng=rng, popularities=pops,
-            )
+        for i, (epoch, _start) in enumerate(epochs):
+            rate = max(epoch.mean_rate, 1e-9)
+            result: Optional[SimulationResult] = None
+            if i == 0 and self.initial_candidates:
+                allocation, result = self._pick_initial_allocation(
+                    epoch, rate, rng, pops
+                )
+            else:
+                allocation = allocate(
+                    self.catalog, self.policy, self.config, rate,
+                    rng=rng, popularities=pops,
+                )
             mapping = allocation.mapping(self.catalog.n)
             if mapping_prev is not None:
                 self.moved_files.append(int(np.sum(mapping != mapping_prev)))
             mapping_prev = mapping
-            system = StorageSystem(self.catalog, mapping, self.config)
-            result = system.run(epoch[0], label=f"{self.policy}@epoch{i}")
+            if result is None:
+                system = StorageSystem(self.catalog, mapping, self.config)
+                result = system.run(epoch, label=f"{self.policy}@epoch{i}")
             self.epoch_results.append(result)
 
             total_energy += result.energy
@@ -258,7 +287,7 @@ class ReorganizingRunner:
 
             # Update popularity estimate from observed counts.
             counts = np.bincount(
-                epoch[0].file_ids, minlength=self.catalog.n
+                epoch.file_ids, minlength=self.catalog.n
             ).astype(float)
             if counts.sum() > 0:
                 observed = counts / counts.sum()
@@ -297,6 +326,71 @@ class ReorganizingRunner:
             },
         )
 
+    def _pick_initial_allocation(self, epoch, rate: float, rng, pops):
+        """Fan out the epoch-0 allocation candidates via the orchestrator.
+
+        Each candidate policy is packaged as a :class:`SimTask` over the
+        epoch-0 stream and dispatched through the shared sweep runner
+        (parallel when ``--workers``/``REPRO_SWEEP_WORKERS`` says so, and
+        fingerprint-cached like any other grid point).  The energy-best
+        packing (mean response breaks ties) wins; its allocation is
+        recomputed locally — deterministically identical to the worker's —
+        and its simulated result is reused as the epoch-0 result.
+        """
+        # Imported lazily: the orchestrator imports this module's
+        # allocate/simulate helpers, so a top-level import would be a cycle.
+        from repro.experiments.orchestrator import (
+            InlineWorkload,
+            SimTask,
+            default_runner,
+        )
+
+        if rng is not None and not isinstance(rng, (int, np.integer)):
+            raise ConfigError(
+                "initial_candidates fan-out requires a picklable integer "
+                "seed (or None) for rng, not a Generator instance"
+            )
+        if rng is None and "random" in self.initial_candidates:
+            raise ConfigError(
+                "candidate 'random' needs an integer rng seed so the "
+                "fanned-out simulation and the continued mapping agree"
+            )
+        workload = InlineWorkload(
+            sizes=self.catalog.sizes,
+            popularities=pops,
+            times=epoch.times,
+            file_ids=epoch.file_ids,
+            duration=epoch.duration,
+            kinds=getattr(epoch, "kinds", None),
+        )
+        tasks = [
+            SimTask(
+                label=f"{candidate}@epoch0",
+                workload=workload,
+                config=self.config,
+                policy=candidate,
+                arrival_rate=rate,
+                alloc_rng=None if rng is None else int(rng),
+                key=candidate,
+            )
+            for candidate in self.initial_candidates
+        ]
+        by_key = default_runner().run_map(tasks)
+        self.initial_candidate_results = dict(by_key)
+
+        def score(candidate: str) -> Tuple[float, float]:
+            res = by_key[candidate]
+            resp = res.mean_response
+            return res.energy, resp if resp == resp else float("inf")
+
+        best = min(self.initial_candidates, key=score)
+        self.chosen_initial_policy = best
+        allocation = allocate(
+            self.catalog, best, self.config, rate, rng=rng,
+            popularities=pops,
+        )
+        return allocation, by_key[best]
+
     def _split(self, stream: RequestStream) -> List[Tuple[RequestStream, float]]:
         # Integer epoch count: float edge accumulation (np.arange) could emit
         # a sliver epoch when duration/interval lands near an integer, and a
@@ -305,6 +399,16 @@ class ReorganizingRunner:
         n_epochs = max(
             1, int(math.ceil(stream.duration / self.interval - 1e-9))
         )
+        # A duck-typed mixed stream carries a per-request kind; epochs must
+        # keep it, or every write would silently be simulated as a read
+        # (and writes of new files would crash as unallocated reads).
+        kinds = getattr(stream, "kinds", None)
+        if kinds is not None:
+            kinds = np.asarray(kinds)
+            if kinds.shape != np.shape(stream.times):
+                raise ConfigError(
+                    "stream kinds must align with times to split into epochs"
+                )
         out = []
         for i in range(n_epochs):
             start = i * self.interval
@@ -318,10 +422,18 @@ class ReorganizingRunner:
             # conservation.  (The simulator still censors it at the cutoff,
             # exactly as a monolithic run over the whole stream would.)
             mask &= (stream.times <= end) if last else (stream.times < end)
-            epoch = RequestStream(
-                times=stream.times[mask] - start,
-                file_ids=stream.file_ids[mask],
-                duration=end - start,
-            )
+            if kinds is not None:
+                epoch = MixedRequestStream(
+                    times=stream.times[mask] - start,
+                    file_ids=stream.file_ids[mask],
+                    kinds=kinds[mask],
+                    duration=end - start,
+                )
+            else:
+                epoch = RequestStream(
+                    times=stream.times[mask] - start,
+                    file_ids=stream.file_ids[mask],
+                    duration=end - start,
+                )
             out.append((epoch, start))
         return out

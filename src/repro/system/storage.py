@@ -95,6 +95,7 @@ class StorageSystem:
             cache=cache,
             cache_hit_latency=self.config.cache_hit_latency,
             usable_capacity=self.config.usable_capacity,
+            write_policy=self.config.placement_policy(),
         )
 
     @property
@@ -157,6 +158,7 @@ class StorageSystem:
                 cache=cache,
                 cache_hit_latency=self.config.cache_hit_latency,
                 usable_capacity=self.config.usable_capacity,
+                write_policy=self.config.placement_policy(),
             )
         self.env.process(drive_stream(self.env, self.dispatcher, stream))
         self.env.run(until=duration)
@@ -184,4 +186,5 @@ class StorageSystem:
             spinups_per_disk=np.array(
                 [d.stats.spinups for d in self.array.disks], dtype=np.int64
             ),
+            final_mapping=self.dispatcher.mapping.copy(),
         )

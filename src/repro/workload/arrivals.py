@@ -97,14 +97,25 @@ class RequestStream:
 
     @classmethod
     def merge(cls, streams: list) -> "RequestStream":
-        """Merge several streams into one time-ordered stream."""
+        """Merge several streams into one time-ordered stream.
+
+        The result's ``thinning_factor`` is explicitly ``None``: inputs may
+        carry different factors (or none), and a merged stream is no longer
+        a thinning of any single parent, so the factor is cleared rather
+        than propagated from an arbitrary input.
+        """
         if not streams:
             raise ConfigError("cannot merge zero streams")
         times = np.concatenate([s.times for s in streams])
         ids = np.concatenate([s.file_ids for s in streams])
         order = np.argsort(times, kind="stable")
         duration = max(s.duration for s in streams)
-        return cls(times=times[order], file_ids=ids[order], duration=duration)
+        return cls(
+            times=times[order],
+            file_ids=ids[order],
+            duration=duration,
+            thinning_factor=None,
+        )
 
     def __len__(self) -> int:
         return int(self.times.shape[0])
@@ -115,7 +126,15 @@ class RequestStream:
 
     @property
     def mean_rate(self) -> float:
-        """Empirical arrival rate over the stream horizon."""
+        """Empirical arrival rate over the stream horizon.
+
+        An empty stream has rate ``0.0`` — even at ``duration == 0`` —
+        so downstream ``allocate(rate=...)`` callers never see ``NaN``.
+        A *non-empty* zero-duration stream (every arrival at t=0) has no
+        finite empirical rate and stays ``nan``.
+        """
+        if len(self) == 0:
+            return 0.0
         return len(self) / self.duration if self.duration > 0 else float("nan")
 
     def scaled(self, factor: float) -> "RequestStream":
@@ -128,11 +147,23 @@ class RequestStream:
         fraction is recorded on the result as ``thinning_factor``; a factor
         too small to keep even one request raises
         :class:`~repro.errors.ConfigError`.
+
+        Always returns a *fresh* stream with copied arrays — including at
+        ``factor == 1.0``, which used to alias ``self`` and made mutations
+        of the "scaled" stream silently corrupt the parent.
         """
         if not 0 < factor <= 1:
             raise ConfigError(f"factor must be in (0, 1], got {factor}")
         if factor == 1.0 or len(self) == 0:
-            return self
+            # Defensive copy, never self: callers may mutate the result.
+            # A kept-everything stream records the factor it achieved
+            # (1.0 — trivially exact for the empty stream too).
+            return RequestStream(
+                times=self.times.copy(),
+                file_ids=self.file_ids.copy(),
+                duration=self.duration,
+                thinning_factor=1.0,
+            )
         keep = int(round(len(self) * factor))
         if keep == 0:
             raise ConfigError(

@@ -60,6 +60,10 @@ class MixedRequestStream:
 
     @property
     def mean_rate(self) -> float:
+        """Empirical rate; ``0.0`` for empty streams (never ``NaN``),
+        matching :attr:`repro.workload.arrivals.RequestStream.mean_rate`."""
+        if not len(self):
+            return 0.0
         return len(self) / self.duration if self.duration > 0 else float("nan")
 
     @property

@@ -1,11 +1,13 @@
-"""Orchestrator engine-agreement smoke: one cached and one mixed point.
+"""Orchestrator engine-agreement smoke: cached, mixed and placement grid.
 
 This is the quick cross-engine contract check CI runs as its own job: a
-shared-cache sweep point and a mixed read/write sweep point, each executed
-through :class:`~repro.experiments.orchestrator.SweepRunner` under both
-engines, must agree on energy, response times, spin counts and cache hit
-ratio within tolerance.  It is deliberately tiny (a few hundred requests)
-so it finishes in seconds.
+shared-cache sweep point, a mixed read/write sweep point and — for every
+policy in the write-placement registry — mixed points with and without a
+cache, each executed through
+:class:`~repro.experiments.orchestrator.SweepRunner` under both engines,
+must agree on energy, response times, spin counts, cache hit ratio and the
+final file->disk mapping.  It is deliberately tiny (a few hundred requests
+per point) so it finishes in seconds.
 """
 
 import math
@@ -14,12 +16,17 @@ import numpy as np
 import pytest
 
 from repro.experiments.orchestrator import InlineWorkload, SimTask, SweepRunner
-from repro.system import StorageConfig
+from repro.system import StorageConfig, placement_policy_names
 from repro.units import GiB
 from repro.workload.generator import SyntheticWorkloadParams, generate_workload
 from repro.workload.mixed import MixedWorkloadParams, generate_mixed_workload
 
 TOL = 1e-6
+
+#: The placement grid's bound: placement decisions must be byte-identical
+#: across engines, so metric drift is down to the kernels' ~1 ulp float
+#: noise — hold them to a far tighter bar than the generic smoke points.
+PLACEMENT_TOL = 1e-9
 
 
 def both_engines(task):
@@ -28,21 +35,21 @@ def both_engines(task):
     return event, fast
 
 
-def assert_agreement(event, fast):
+def assert_agreement(event, fast, tol=TOL):
     assert fast.arrivals == event.arrivals
     assert fast.completions == event.completions
     assert fast.spinups == event.spinups
     assert fast.spindowns == event.spindowns
-    assert fast.energy == pytest.approx(event.energy, rel=TOL)
-    assert fast.mean_response == pytest.approx(event.mean_response, rel=TOL)
+    assert fast.energy == pytest.approx(event.energy, rel=tol)
+    assert fast.mean_response == pytest.approx(event.mean_response, rel=tol)
     assert fast.response_percentile(95) == pytest.approx(
-        event.response_percentile(95), rel=TOL
+        event.response_percentile(95), rel=tol
     )
     if event.cache_stats is not None:
         assert fast.cache_stats.hits == event.cache_stats.hits
         ratio = event.cache_stats.hit_ratio
         if not math.isnan(ratio):
-            assert fast.cache_stats.hit_ratio == pytest.approx(ratio, rel=TOL)
+            assert fast.cache_stats.hit_ratio == pytest.approx(ratio, rel=tol)
 
 
 def test_cached_sweep_point_agrees_across_engines():
@@ -101,3 +108,95 @@ def test_mixed_sweep_point_agrees_across_engines():
     event, fast = both_engines(task)
     assert_agreement(event, fast)
     assert event.arrivals > 0
+
+
+# -- the placement-policy agreement grid ---------------------------------------
+
+
+def _mixed_fixture(seed):
+    """A mixed read/write workload with new files left for the policy."""
+    base = generate_workload(
+        SyntheticWorkloadParams(
+            n_files=250, arrival_rate=1.0, duration=400.0, seed=seed
+        )
+    )
+    catalog, stream = generate_mixed_workload(
+        base.catalog,
+        MixedWorkloadParams(
+            write_fraction=0.35,
+            new_file_fraction=0.6,
+            arrival_rate=1.5,
+            duration=400.0,
+            seed=seed,
+        ),
+    )
+    mapping = np.arange(catalog.n, dtype=np.int64) % 8
+    mapping[base.catalog.n:] = -1  # new files: the policy decides
+    workload = InlineWorkload(
+        sizes=catalog.sizes,
+        popularities=catalog.popularities,
+        times=stream.times,
+        file_ids=stream.file_ids,
+        duration=stream.duration,
+        kinds=stream.kinds,
+    )
+    n_new = catalog.n - base.catalog.n
+    return workload, mapping, n_new
+
+
+@pytest.mark.parametrize("cache_policy", [None, "lru"])
+@pytest.mark.parametrize("policy", placement_policy_names())
+def test_every_placement_policy_agrees_across_engines(policy, cache_policy):
+    """Iterates the registry, so future policies are covered automatically.
+
+    Responses and energy must agree to 1e-9 and — the stronger claim —
+    both engines must produce the *identical* final file->disk mapping,
+    i.e. every single allocation decision matched.
+    """
+    workload, mapping, n_new = _mixed_fixture(seed=23)
+    assert n_new > 0, "fixture must exercise policy allocations"
+    task = SimTask(
+        label=f"placement {policy} cache={cache_policy or 'off'}",
+        workload=workload,
+        config=StorageConfig(
+            num_disks=8,
+            load_constraint=0.7,
+            write_policy=policy,
+            cache_policy=cache_policy,
+            cache_capacity=GiB,
+        ),
+        mapping=mapping,
+        num_disks=8,
+    )
+    event, fast = both_engines(task)
+    assert_agreement(event, fast, tol=PLACEMENT_TOL)
+    ev_sorted = np.sort(event.response_times)
+    fa_sorted = np.sort(fast.response_times)
+    assert np.allclose(fa_sorted, ev_sorted, rtol=PLACEMENT_TOL, atol=1e-9)
+    # Identical placement decisions: the post-run mappings match exactly,
+    # and the policy actually allocated every new file that was written.
+    assert event.final_mapping is not None
+    assert fast.final_mapping is not None
+    assert np.array_equal(fast.final_mapping, event.final_mapping)
+    allocated_new = int(np.sum(event.final_mapping[-n_new:] >= 0))
+    assert allocated_new > 0
+
+
+def test_placement_policies_actually_differ():
+    """Sanity: the grid is not vacuous — policies place files differently."""
+    workload, mapping, _ = _mixed_fixture(seed=23)
+    finals = {}
+    for policy in placement_policy_names():
+        task = SimTask(
+            label=f"differ {policy}",
+            workload=workload,
+            config=StorageConfig(
+                num_disks=8, load_constraint=0.7, write_policy=policy
+            ),
+            mapping=mapping,
+            num_disks=8,
+        )
+        (res,) = SweepRunner(max_workers=1, engine="fast").run([task])
+        finals[policy] = res.final_mapping
+    distinct = {tuple(m.tolist()) for m in finals.values()}
+    assert len(distinct) >= 3

@@ -3,6 +3,7 @@
 import numpy as np
 import pytest
 
+from repro.disk.drive import READ, WRITE
 from repro.errors import ConfigError
 from repro.system import (
     ReorganizingRunner,
@@ -17,6 +18,11 @@ from repro.workload import (
     RequestStream,
     SyntheticWorkloadParams,
     generate_workload,
+)
+from repro.workload.mixed import (
+    MixedRequestStream,
+    MixedWorkloadParams,
+    generate_mixed_workload,
 )
 
 
@@ -160,6 +166,149 @@ class TestReorganizingRunner:
         assert result.num_disks == max(
             r.num_disks for r in runner.epoch_results
         )
+
+
+class TestReorganizingRunnerMixedStreams:
+    """Regression: epoch splitting used to drop ``kinds`` silently."""
+
+    def _mixed(self, seed=7, duration=600.0):
+        base = FileCatalog.from_zipf(n=250, s_max=1e9)
+        catalog, stream = generate_mixed_workload(
+            base,
+            MixedWorkloadParams(
+                write_fraction=0.4,
+                new_file_fraction=0.5,
+                arrival_rate=1.0,
+                duration=duration,
+                seed=seed,
+            ),
+        )
+        return catalog, stream
+
+    def test_split_threads_kinds_through_epochs(self):
+        catalog, stream = self._mixed()
+        runner = ReorganizingRunner(
+            catalog, StorageConfig(num_disks=10, load_constraint=0.8),
+            interval=200.0,
+        )
+        epochs = runner._split(stream)
+        assert all(isinstance(e, MixedRequestStream) for e, _ in epochs)
+        assert sum(len(e) for e, _ in epochs) == len(stream)
+        # Kinds stay aligned with their requests across the split.
+        n_writes = int(np.sum(stream.kinds == WRITE))
+        assert sum(int(np.sum(e.kinds == WRITE)) for e, _ in epochs) == n_writes
+        assert n_writes > 0
+        for epoch, start in epochs:
+            lo = np.searchsorted(stream.times, start)
+            np.testing.assert_array_equal(
+                epoch.kinds, stream.kinds[lo:lo + len(epoch)]
+            )
+
+    def test_split_rejects_misaligned_kinds(self, small_catalog):
+        stream = MixedRequestStream(
+            times=np.array([1.0, 2.0]),
+            file_ids=np.array([0, 1]),
+            kinds=np.array([READ, WRITE]),
+            duration=10.0,
+        )
+        stream.kinds = np.array([READ])  # corrupt after validation
+        runner = ReorganizingRunner(small_catalog, CFG, interval=5.0)
+        with pytest.raises(ConfigError, match="kinds"):
+            runner._split(stream)
+
+    def test_writes_are_not_simulated_as_reads(self):
+        # The observable difference between a write and a read is the
+        # shared cache: reads are looked up, writes are not.  The old
+        # _split rebuilt epochs as plain RequestStreams, so every write
+        # hit the cache path as a read and inflated lookups.
+        catalog, stream = self._mixed()
+        cfg = StorageConfig(
+            num_disks=10,
+            load_constraint=0.8,
+            cache_policy="lru",
+        )
+        runner = ReorganizingRunner(catalog, cfg, interval=200.0)
+        result = runner.run(stream)
+        assert result.arrivals == len(stream)
+        n_reads = int(np.sum(stream.kinds == READ))
+        lookups = sum(
+            r.cache_stats.lookups for r in runner.epoch_results
+        )
+        assert lookups == n_reads
+        assert n_reads < len(stream)  # the stream really carries writes
+
+
+class TestReorganizingRunnerInitialCandidates:
+    """Epoch-0 allocation candidates fan out through the orchestrator."""
+
+    def _workload(self):
+        catalog = FileCatalog.from_zipf(n=300, s_max=1e9)
+        stream = RequestStream.poisson(
+            catalog.popularities, rate=1.0, duration=600.0, rng=3
+        )
+        return catalog, stream
+
+    CANDIDATES = ("pack", "first_fit_decreasing", "best_fit")
+
+    def test_winner_minimizes_energy_and_seeds_the_chain(self):
+        catalog, stream = self._workload()
+        cfg = StorageConfig(num_disks=10, load_constraint=0.8)
+        runner = ReorganizingRunner(
+            catalog, cfg, interval=200.0,
+            initial_candidates=self.CANDIDATES,
+        )
+        result = runner.run(stream)
+        assert runner.chosen_initial_policy in self.CANDIDATES
+        assert set(runner.initial_candidate_results) == set(self.CANDIDATES)
+        best = runner.initial_candidate_results[runner.chosen_initial_policy]
+        assert best.energy == min(
+            r.energy for r in runner.initial_candidate_results.values()
+        )
+        # The winning candidate's simulation *is* the epoch-0 result.
+        assert runner.epoch_results[0] is best
+        assert runner.epoch_results[0].algorithm == (
+            f"{runner.chosen_initial_policy}@epoch0"
+        )
+        # Later epochs still re-pack with the runner's own policy.
+        assert runner.epoch_results[1].algorithm == "pack@epoch1"
+        assert result.arrivals == len(stream)
+        assert result.extra["epochs"] == 3.0
+
+    def test_single_candidate_matches_serial_run(self):
+        catalog, stream = self._workload()
+        cfg = StorageConfig(num_disks=10, load_constraint=0.8)
+        serial = ReorganizingRunner(catalog, cfg, interval=200.0).run(stream)
+        fanned = ReorganizingRunner(
+            catalog, cfg, interval=200.0, initial_candidates=("pack",)
+        ).run(stream)
+        assert fanned.energy == pytest.approx(serial.energy, rel=1e-12)
+        assert fanned.arrivals == serial.arrivals
+        assert np.allclose(fanned.response_times, serial.response_times)
+
+    def test_generator_rng_rejected(self, small_catalog, rng):
+        runner = ReorganizingRunner(
+            small_catalog, CFG, interval=200.0,
+            initial_candidates=("pack", "best_fit"),
+        )
+        stream = RequestStream.poisson(
+            small_catalog.popularities, rate=0.5, duration=400.0, rng=1
+        )
+        with pytest.raises(ConfigError, match="seed"):
+            runner.run(stream, rng=rng)
+
+    def test_random_candidate_requires_seed(self, small_catalog):
+        runner = ReorganizingRunner(
+            small_catalog, CFG, interval=200.0,
+            initial_candidates=("pack", "random"),
+        )
+        stream = RequestStream.poisson(
+            small_catalog.popularities, rate=0.5, duration=400.0, rng=1
+        )
+        with pytest.raises(ConfigError, match="random"):
+            runner.run(stream)
+        result = runner.run(stream, rng=9)  # a seed makes it legal
+        assert runner.chosen_initial_policy in ("pack", "random")
+        assert result.arrivals == len(stream)
 
 
 class TestReorganizingRunnerSplit:

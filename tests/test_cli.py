@@ -39,6 +39,27 @@ class TestRun:
         assert main(["run", "fig99"]) == 2
         assert "unknown" in capsys.readouterr().err
 
+    def test_run_placement_with_write_policy(self, capsys):
+        code = main(
+            [
+                "run", "placement", "--scale", "0.02",
+                "--engine", "fast", "--sweep-cache", "off",
+                "--write-policy", "round_robin",
+            ]
+        )
+        assert code == 0
+        out = capsys.readouterr().out
+        assert "round_robin power" in out
+        # Restricted to one policy: no other registry entry is swept.
+        assert "spinning_best_fit power" not in out
+        assert "first_fit_spinning" not in out
+
+    def test_write_policy_rejected_for_other_experiments(self, capsys):
+        assert main(
+            ["run", "table2", "--write-policy", "round_robin"]
+        ) == 2
+        assert "not applicable" in capsys.readouterr().err
+
     def test_seed_override(self, capsys):
         assert main(["run", "complexity", "--scale", "0.2", "--seed", "5"]) == 0
 

@@ -112,6 +112,41 @@ class TestRequestStream:
         with pytest.raises(ConfigError):
             RequestStream.merge([])
 
+    def test_merge_clears_thinning_factor(self):
+        # Regression: merge used to drop the field implicitly; it is now an
+        # explicit, documented decision — a merged stream is not a thinning
+        # of any single parent, even when every input carries a factor.
+        base = RequestStream(
+            times=np.arange(10, dtype=float),
+            file_ids=np.arange(10),
+            duration=10.0,
+        )
+        a = base.scaled(0.5)
+        b = base.scaled(0.5)
+        assert a.thinning_factor == pytest.approx(0.5)
+        merged = RequestStream.merge([a, b])
+        assert merged.thinning_factor is None
+
+    def test_mean_rate_zero_for_empty_streams(self):
+        # Regression: a zero-duration empty stream returned NaN, which
+        # poisoned downstream allocate(rate=...) calls.
+        empty_zero = RequestStream(
+            times=np.array([]), file_ids=np.array([]), duration=0.0
+        )
+        assert empty_zero.mean_rate == 0.0
+        empty_long = RequestStream(
+            times=np.array([]), file_ids=np.array([]), duration=10.0
+        )
+        assert empty_long.mean_rate == 0.0
+        merged = RequestStream.merge([empty_zero, empty_zero])
+        assert merged.mean_rate == 0.0
+
+    def test_mean_rate_nan_only_for_nonempty_zero_duration(self):
+        stream = RequestStream(
+            times=np.array([0.0]), file_ids=np.array([0]), duration=0.0
+        )
+        assert np.isnan(stream.mean_rate)
+
     def test_scaled_thinning(self):
         stream = RequestStream(
             times=np.arange(100, dtype=float),
@@ -155,11 +190,31 @@ class TestRequestStream:
         with pytest.raises(ConfigError, match="zero"):
             stream.scaled(0.3)
 
-    def test_scaled_identity(self):
+    def test_scaled_identity_returns_defensive_copy(self):
+        # Regression: scaled(1.0) used to return self, so mutating the
+        # "scaled" stream corrupted the parent's arrays.
         stream = RequestStream(
-            times=np.array([1.0]), file_ids=np.array([0]), duration=2.0
+            times=np.array([1.0, 2.0]), file_ids=np.array([0, 1]), duration=4.0
         )
-        assert stream.scaled(1.0) is stream
+        full = stream.scaled(1.0)
+        assert full is not stream
+        assert full.times is not stream.times
+        assert full.file_ids is not stream.file_ids
+        assert full.times.tolist() == stream.times.tolist()
+        assert full.file_ids.tolist() == stream.file_ids.tolist()
+        assert full.duration == stream.duration
+        assert full.thinning_factor == 1.0
+        full.times[0] = 99.0  # must not reach the parent
+        assert stream.times[0] == 1.0
+
+    def test_scaled_empty_stream_returns_copy(self):
+        stream = RequestStream(
+            times=np.array([]), file_ids=np.array([]), duration=5.0
+        )
+        thin = stream.scaled(0.5)
+        assert thin is not stream
+        assert len(thin) == 0
+        assert thin.duration == 5.0
 
     def test_scaled_invalid(self):
         stream = RequestStream(
