@@ -15,7 +15,10 @@ read/write mixes and shared caches) and ``--sweep-cache DIR|off`` (where
 sweep results persist across sessions; defaults to
 ``REPRO_SWEEP_CACHE`` or ``~/.cache/repro/sweeps``).  The ``placement``
 ablation additionally accepts ``--write-policy NAME`` to restrict the
-swept write-placement registry to one policy.
+swept write-placement registry to one policy; the ``slo-frontier``
+experiment (online DPM control: static thresholds vs adaptive policies vs
+the SLO-feedback controller, per load level) accepts ``--dpm-policy NAME``
+and ``--slo-target SECONDS`` to restrict its grid.
 """
 
 from __future__ import annotations
@@ -40,6 +43,7 @@ def _experiment_registry() -> Dict[str, Callable]:
         groupsize_sweep,
         placement_sweep,
         sensitivity,
+        slo_frontier,
         table1_workload,
         table2_disk,
     )
@@ -54,6 +58,7 @@ def _experiment_registry() -> Dict[str, Callable]:
         "fig6": fig6_idleness_response.run,
         "groupsize": groupsize_sweep.run,
         "placement": placement_sweep.run,
+        "slo-frontier": slo_frontier.run,
         "complexity": ablations.run_complexity,
         "quality": ablations.run_quality,
         "correlation": ablations.run_correlation,
@@ -115,19 +120,29 @@ def _cmd_run(args: argparse.Namespace) -> int:
             file=sys.stderr,
         )
         return 2
+    # Experiment-specific pass-through flags: forwarded when the target
+    # experiment's run() accepts the keyword, an error when it does not
+    # (unless sweeping 'all', where inapplicable flags are just skipped).
+    passthrough = {
+        "write_policy": (args.write_policy, "the 'placement' sweep"),
+        "dpm_policy": (args.dpm_policy, "the 'slo-frontier' experiment"),
+        "slo_target": (args.slo_target, "the 'slo-frontier' experiment"),
+    }
     for name in names:
         kwargs = {"scale": args.scale}
         if args.seed is not None:
             kwargs["seed"] = args.seed
-        if args.write_policy is not None:
+        for key, (value, owner) in passthrough.items():
+            if value is None:
+                continue
             import inspect
 
-            if "write_policy" in inspect.signature(registry[name]).parameters:
-                kwargs["write_policy"] = args.write_policy
+            if key in inspect.signature(registry[name]).parameters:
+                kwargs[key] = value
             elif args.experiment != "all":
                 print(
-                    f"--write-policy is not applicable to {name!r} "
-                    "(only the 'placement' sweep accepts it)",
+                    f"--{key.replace('_', '-')} is not applicable to "
+                    f"{name!r} (only {owner} accepts it)",
                     file=sys.stderr,
                 )
                 return 2
@@ -188,6 +203,27 @@ def build_parser() -> argparse.ArgumentParser:
         help=(
             "restrict the 'placement' sweep to one write-placement policy "
             "from the registry (see repro.system.placement)"
+        ),
+    )
+    run.add_argument(
+        "--dpm-policy",
+        type=str,
+        default=None,
+        metavar="POLICY",
+        help=(
+            "restrict the 'slo-frontier' grid to one DPM policy ('fixed', "
+            "'adaptive_timeout', 'exponential_predictive' or "
+            "'slo_feedback'; see repro.control.policies)"
+        ),
+    )
+    run.add_argument(
+        "--slo-target",
+        type=float,
+        default=None,
+        metavar="SECONDS",
+        help=(
+            "restrict the 'slo-frontier' grid to one p95 response-time "
+            "target for the slo_feedback controller"
         ),
     )
     run.add_argument(

@@ -1,0 +1,269 @@
+"""Streaming control-loop telemetry: percentile estimation and windows.
+
+The online DPM policies (:mod:`repro.control.policies`) make one decision
+per *control interval* from what the system observed during it.  This
+module provides the observation substrate shared by both simulation
+engines:
+
+* :class:`P2Quantile` — the Jain & Chlamtac P² streaming percentile
+  estimator (five markers, O(1) memory), used for the running p95/p99
+  response-time estimates the ``slo_feedback`` controller steers by;
+* :class:`IntervalTelemetry` — everything a policy may consult at one
+  control boundary: the interval's completed response times (completion
+  order), the per-disk idle gaps closed during the interval, per-disk
+  queue depth at the boundary, and the running percentile estimates;
+* :class:`IntervalRecord` — the per-interval trace row (thresholds in
+  effect, percentile estimates, per-disk mean power when available)
+  surfaced through ``SimulationResult.extra["dpm"]``.
+
+Both engines feed these objects the **same observations in the same
+order** (responses in completion order, gaps in per-disk close order), so
+a policy's threshold decisions — and hence the simulated trajectories —
+agree across engines to the kernels' ~1 ulp float drift.
+"""
+
+from __future__ import annotations
+
+import math
+from bisect import insort
+from dataclasses import dataclass
+from typing import List, Optional, Sequence, Tuple
+
+import numpy as np
+
+from repro.errors import ConfigError
+
+__all__ = ["IntervalRecord", "IntervalTelemetry", "P2Quantile"]
+
+
+class P2Quantile:
+    """Streaming percentile estimate without storing observations (P²).
+
+    The classic five-marker algorithm (Jain & Chlamtac, CACM 1985): marker
+    heights track the running min, max, the target percentile and the two
+    flanking percentiles; marker positions are nudged toward their desired
+    positions with a piecewise-parabolic height update.  Until five
+    observations have arrived the estimate is the exact linear-interpolated
+    empirical percentile (same convention as ``np.percentile``).
+
+    The recursion is deterministic in the observation order, which is why
+    both simulation engines must feed completions in the same order.
+
+    Parameters
+    ----------
+    percentile:
+        Target percentile in (0, 100), e.g. ``95.0``.
+    """
+
+    __slots__ = ("percentile", "count", "_p", "_dn", "_q", "_n", "_np", "_initial")
+
+    def __init__(self, percentile: float) -> None:
+        percentile = float(percentile)
+        if not 0.0 < percentile < 100.0:
+            raise ConfigError(
+                f"percentile must be in (0, 100), got {percentile}"
+            )
+        self.percentile = percentile
+        self.count = 0
+        p = percentile / 100.0
+        self._p = p
+        self._dn = (0.0, p / 2.0, p, (1.0 + p) / 2.0, 1.0)
+        self._q: Optional[List[float]] = None  # marker heights
+        self._n: Optional[List[int]] = None  # marker positions
+        self._np: Optional[List[float]] = None  # desired positions
+        self._initial: List[float] = []
+
+    def add(self, x: float) -> None:
+        """Fold one observation into the estimate."""
+        x = float(x)
+        self.count += 1
+        if self._q is None:
+            insort(self._initial, x)
+            if len(self._initial) == 5:
+                p = self._p
+                self._q = list(self._initial)
+                self._n = [0, 1, 2, 3, 4]
+                self._np = [0.0, 2.0 * p, 4.0 * p, 2.0 + 2.0 * p, 4.0]
+            return
+        q, n, npos = self._q, self._n, self._np
+        if x < q[0]:
+            q[0] = x
+            k = 0
+        elif x >= q[4]:
+            q[4] = x
+            k = 3
+        else:
+            k = 0
+            while x >= q[k + 1]:
+                k += 1
+        for i in range(k + 1, 5):
+            n[i] += 1
+        for i in range(5):
+            npos[i] += self._dn[i]
+        for i in (1, 2, 3):
+            d = npos[i] - n[i]
+            if (d >= 1.0 and n[i + 1] - n[i] > 1) or (
+                d <= -1.0 and n[i - 1] - n[i] < -1
+            ):
+                step = 1 if d > 0 else -1
+                candidate = self._parabolic(i, step)
+                if not (q[i - 1] < candidate < q[i + 1]):
+                    candidate = self._linear(i, step)
+                q[i] = candidate
+                n[i] += step
+
+    def _parabolic(self, i: int, d: int) -> float:
+        q, n = self._q, self._n
+        return q[i] + d / (n[i + 1] - n[i - 1]) * (
+            (n[i] - n[i - 1] + d) * (q[i + 1] - q[i]) / (n[i + 1] - n[i])
+            + (n[i + 1] - n[i] - d) * (q[i] - q[i - 1]) / (n[i] - n[i - 1])
+        )
+
+    def _linear(self, i: int, d: int) -> float:
+        q, n = self._q, self._n
+        return q[i] + d * (q[i + d] - q[i]) / (n[i + d] - n[i])
+
+    @property
+    def value(self) -> float:
+        """Current estimate (``nan`` before any observation)."""
+        if self.count == 0:
+            return math.nan
+        if self._q is None:
+            return float(np.percentile(self._initial, self.percentile))
+        return self._q[2]
+
+    def __repr__(self) -> str:  # pragma: no cover - cosmetic
+        return (
+            f"<P2Quantile p{self.percentile:g} n={self.count} "
+            f"value={self.value:.4g}>"
+        )
+
+
+#: One closed idle gap: ``(gap_seconds, threshold_at_drain)``.  Whether the
+#: disk spun down during the gap is derivable (``gap > threshold``, the
+#: strict comparison both engines use), so it is not stored separately.
+GapObservation = Tuple[float, float]
+
+
+@dataclass
+class IntervalTelemetry:
+    """Everything a DPM policy may consult at one control boundary.
+
+    Attributes
+    ----------
+    index:
+        Zero-based control-interval index.
+    t_start, t_end:
+        The interval's bounds in simulation time (``t_end`` is the boundary
+        at which the policy decides the *next* interval's thresholds).
+    responses:
+        Response times of requests completed during the interval, in
+        completion order (cache hits included, horizon-censored requests
+        excluded) — identical across engines.
+    gaps:
+        Per-disk idle gaps *closed* during the interval (the arrival that
+        ended the gap fell inside it), each a
+        ``(gap_seconds, threshold_at_drain)`` pair in close order.
+    queue_depth:
+        Per-disk requests dispatched but not yet in service at ``t_end``.
+    thresholds:
+        The per-disk idleness thresholds that were in effect *during* the
+        interval.
+    p95_running, p99_running:
+        Streaming P² estimates over every response observed so far.
+    slo_estimate:
+        The running estimate at the configured SLO percentile (``nan``
+        until the first completion).
+    """
+
+    index: int
+    t_start: float
+    t_end: float
+    responses: np.ndarray
+    gaps: Sequence[Sequence[GapObservation]]
+    queue_depth: np.ndarray
+    thresholds: np.ndarray
+    p95_running: float
+    p99_running: float
+    slo_estimate: float
+
+
+@dataclass
+class IntervalRecord:
+    """One row of the per-run control trace (kept by the controller)."""
+
+    index: int
+    t_start: float
+    t_end: float
+    #: Thresholds in effect during the interval (per disk).
+    thresholds: np.ndarray
+    completions: int
+    #: Exact percentile of this interval's responses alone (``nan`` when
+    #: the interval completed nothing).
+    interval_p95: float
+    p95_running: float
+    p99_running: float
+    slo_estimate: float
+    mean_queue_depth: float
+    #: Per-disk mean draw over the interval (W); filled by the event
+    #: engine online and by the fast kernel's post-run span binning.
+    power: Optional[np.ndarray] = None
+    gap_count: int = 0
+
+
+def bin_spans(
+    disks: np.ndarray,
+    starts: np.ndarray,
+    ends: np.ndarray,
+    edges: Sequence[float],
+    num_disks: int,
+) -> np.ndarray:
+    """Overlap seconds of ``[start, end)`` spans with contiguous windows.
+
+    ``edges`` are the ``K+1`` ascending boundaries of ``K`` contiguous
+    windows (``[edges[k], edges[k+1])`` — exactly the control-interval
+    grid).  Returns a ``(K, num_disks)`` matrix; used by the fast kernel
+    to reconstruct the per-interval per-disk power trace from its logged
+    state episodes (the event engine diffs drive energies online
+    instead).
+
+    O(N log K + K·D): each span's first and last partial windows are
+    scattered directly, and the windows a span covers *fully* are
+    accumulated through a difference array over the window axis — no
+    per-window rescans of the span list, so long controlled runs (many
+    intervals) cost the same per span as short ones.
+    """
+    edges = np.asarray(edges, dtype=float)
+    n_windows = int(edges.size) - 1
+    out = np.zeros((max(n_windows, 0), num_disks), dtype=float)
+    if not len(disks) or n_windows <= 0:
+        return out
+    d = np.asarray(disks, dtype=np.int64)
+    s = np.clip(np.asarray(starts, dtype=float), edges[0], edges[-1])
+    e = np.clip(np.asarray(ends, dtype=float), edges[0], edges[-1])
+    keep = e > s
+    d, s, e = d[keep], s[keep], e[keep]
+    if not d.size:
+        return out
+    i_s = np.clip(
+        np.searchsorted(edges, s, side="right") - 1, 0, n_windows - 1
+    )
+    i_e = np.clip(
+        np.searchsorted(edges, e, side="right") - 1, 0, n_windows - 1
+    )
+    same = i_s == i_e
+    np.add.at(out, (i_s[same], d[same]), e[same] - s[same])
+    cross = ~same
+    if cross.any():
+        dc, sc, ec = d[cross], s[cross], e[cross]
+        lo_w, hi_w = i_s[cross], i_e[cross]
+        np.add.at(out, (lo_w, dc), edges[lo_w + 1] - sc)
+        # A span ending exactly on an edge contributes 0 here — harmless.
+        np.add.at(out, (hi_w, dc), ec - edges[hi_w])
+        # Fully covered windows (lo_w < k < hi_w): +1/-1 difference
+        # markers cumsum'd along the window axis, times window widths.
+        cover = np.zeros((n_windows + 1, num_disks), dtype=float)
+        np.add.at(cover, (lo_w + 1, dc), 1.0)
+        np.add.at(cover, (hi_w, dc), -1.0)
+        out += np.cumsum(cover[:-1], axis=0) * np.diff(edges)[:, None]
+    return out

@@ -19,7 +19,7 @@ from __future__ import annotations
 import math
 from collections import deque
 from dataclasses import dataclass, field
-from typing import Deque, Dict, Optional
+from typing import Deque, Dict, List, Optional, Tuple
 
 from repro.disk.power import DiskState, PowerModel
 from repro.disk.specs import DiskSpec
@@ -138,6 +138,21 @@ class DiskDrive:
         self.queue_length = TimeWeighted(env, 0.0)
         self._pending: Deque[DiskRequest] = deque()
         self._wake: Optional[Event] = None
+        #: Closed idle gaps in close order: ``(gap_seconds,
+        #: threshold_at_drain)`` appended at the arrival that ends the gap.
+        #: The control loop (:mod:`repro.control`) consumes this per
+        #: interval; whether the gap spun the disk down is derivable
+        #: (``gap > threshold``).  The fast kernel logs identical entries.
+        #: Populated only while :attr:`log_gaps` is set — uncontrolled
+        #: runs must not accumulate telemetry nothing reads.
+        self.gap_log: List[Tuple[float, float]] = []
+        #: Enable gap telemetry (set by the control loop at attach time).
+        self.log_gaps: bool = False
+        # The drive counts as drained from construction: its idleness
+        # timer is armed at t=0, so the first arrival closes a gap that
+        # began at creation time — like the fast kernel's avail=0 start.
+        self._drain_time: Optional[float] = env.now
+        self._drain_threshold: float = self.threshold
         self.process = env.process(self._run(initial_state))
 
     # -- public API ------------------------------------------------------------
@@ -156,6 +171,13 @@ class DiskDrive:
         """Enqueue a request; returns it (wait on ``request.done``)."""
         if size < 0:
             raise SimulationError("request size must be >= 0")
+        if self._drain_time is not None:
+            # First arrival since the queue drained: close the idle gap.
+            if self.log_gaps:
+                self.gap_log.append(
+                    (self.env.now - self._drain_time, self._drain_threshold)
+                )
+            self._drain_time = None
         request = DiskRequest(self.env, file_id, size, kind)
         self._pending.append(request)
         self.queue_length.set(len(self._pending))
@@ -195,6 +217,11 @@ class DiskDrive:
         while True:
             if not self._pending:
                 self.timeline.set(DiskState.IDLE)
+                # The queue just drained: the gap starting now is governed
+                # by the *current* threshold (the timer armed below), even
+                # if a control loop changes ``self.threshold`` mid-gap.
+                self._drain_time = env.now
+                self._drain_threshold = self.threshold
                 if math.isinf(self.threshold):
                     yield self._arrival_event()
                 else:

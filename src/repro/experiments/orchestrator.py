@@ -199,7 +199,12 @@ def _canon(obj: Any) -> Any:
 #: v3: pluggable write-placement registry (``StorageConfig.write_policy``
 #: salts fingerprints via the config dataclass) + ``final_mapping`` on
 #: :class:`SimulationResult`.
-RESULT_SCHEMA_VERSION = 3
+#: v4: online DPM control subsystem (``StorageConfig.dpm_policy`` /
+#: ``control_interval`` / ``slo_target`` / ``slo_percentile`` salt
+#: fingerprints via the config dataclass; controlled runs carry
+#: per-interval traces in ``extra["dpm"]``) + the ``hottest_spinning``
+#: write-placement policy.
+RESULT_SCHEMA_VERSION = 4
 
 
 def task_fingerprint(task: SimTask) -> str:

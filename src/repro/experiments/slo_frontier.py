@@ -1,0 +1,360 @@
+"""SLO frontier: online DPM policies vs. static thresholds across load.
+
+The paper sweeps the idleness threshold *offline* and reads the trade-off
+from the resulting curves; a real system has to pick its operating point
+**online**, against a response-time service-level objective.  This
+experiment maps that decision surface: for every load level it runs
+
+* a grid of **static thresholds** (the paper's policy at several fixed
+  operating points, ``dpm_policy="fixed"``),
+* the **adaptive** policies (``adaptive_timeout``,
+  ``exponential_predictive``) that steer per-disk thresholds from
+  observed idle gaps, and
+* the **SLO-feedback controller** (``slo_feedback``) at several p95
+  targets — tightening thresholds to save power whenever the running P²
+  percentile estimate shows slack, relaxing them on violation,
+
+and reports each run's (power saving, p95 response) point: the frontier
+a threshold controller navigates at run time.
+
+The workload deliberately spreads load (round-robin placement, small
+files): under the paper's packed allocations the threshold is nearly
+free — hot disks never idle, cold disks never wake (Figures 2-6 show
+exactly that) — whereas spread traffic puts a real price on every
+threshold choice, which is the regime where online control earns its
+keep.  The headline check, reported in the notes: for at least one
+(load, target) cell the feedback controller *meets* a p95 target that
+every static threshold at equal-or-better power saving *misses* — the
+static grid quantizes the frontier, the controller lands between its
+points.
+
+Every grid point dispatches through the shared
+:class:`~repro.experiments.orchestrator.SweepRunner` (``--workers``,
+``--engine fast`` and the cross-session disk cache apply; fingerprints
+are salted with the DPM fields via the config dataclass).  Run from the
+CLI with::
+
+    python -m repro run slo-frontier --scale 0.25 --workers 4 --engine fast
+    python -m repro run slo-frontier --dpm-policy slo_feedback --slo-target 18
+"""
+
+from __future__ import annotations
+
+import math
+from typing import Optional, Sequence
+
+from repro.errors import ConfigError
+from repro.experiments.common import ExperimentResult, Stopwatch, scaled_duration
+from repro.experiments.orchestrator import (
+    InlineWorkload,
+    SimTask,
+    default_runner,
+)
+from repro.reporting.ascii_plot import ascii_plot
+from repro.reporting.series import SeriesBundle
+from repro.reporting.table import format_table
+from repro.system.config import StorageConfig
+from repro.system.runner import allocate
+from repro.units import MB
+from repro.workload.generator import SyntheticWorkloadParams, generate_workload
+
+__all__ = ["build_tasks", "run"]
+
+#: Static thresholds swept (seconds): deliberately coarse — bracketing the
+#: spec's ~53 s break-even without hitting it — so the quantization cost
+#: of a static grid is visible next to the online controller.
+DEFAULT_STATIC_THRESHOLDS = (15.0, 60.0, 240.0)
+
+#: Arrival rates swept (req/s over the whole array).  Low rates over the
+#: spread placement give every disk sparse traffic — the regime where the
+#: threshold choice prices real power against real tail latency.
+DEFAULT_RATES = (0.5, 1.0)
+
+#: p95 response-time targets (seconds) handed to the feedback controller.
+#: Chosen inside the contested band: above the no-spin-down tail, below
+#: the spin-up-dominated tail of an aggressive threshold.
+DEFAULT_SLO_TARGETS = (12.0, 18.0, 24.0)
+
+#: Adaptive (target-free) policies included once per load level.
+DEFAULT_DYNAMIC_POLICIES = ("adaptive_timeout", "exponential_predictive")
+
+
+def build_tasks(
+    scale: float,
+    seed: int,
+    rates: Sequence[float],
+    static_thresholds: Sequence[float],
+    slo_targets: Sequence[float],
+    dynamic_policies: Sequence[str],
+    num_disks: int,
+    load_constraint: float,
+):
+    """The grid as :class:`SimTask` descriptions (shared with the bench).
+
+    One workload per rate (shipped to pool workers once as an
+    :class:`InlineWorkload`), mapped round-robin across the full pool;
+    grid keys are ``(policy, rate, threshold_or_None, target_or_None)``.
+    """
+    duration = scaled_duration(4_000.0, scale)
+    # Decide ~10 times per run regardless of scale, with a floor so tiny
+    # smoke runs still cross at least a few control boundaries.
+    control_interval = max(50.0, duration / 10.0)
+    base_cfg = StorageConfig(
+        num_disks=num_disks,
+        load_constraint=load_constraint,
+        control_interval=control_interval,
+    )
+
+    tasks = []
+    for rate in rates:
+        wl = generate_workload(
+            SyntheticWorkloadParams(
+                n_files=max(2_000, int(20_000 * scale)),
+                arrival_rate=rate,
+                duration=duration,
+                seed=seed,
+                s_max=500 * MB,
+                s_min=20 * MB,
+            )
+        )
+        mapping = allocate(
+            wl.catalog, "round_robin", base_cfg, rate, num_disks=num_disks
+        ).mapping(wl.catalog.n)
+        workload = InlineWorkload(
+            sizes=wl.catalog.sizes,
+            popularities=wl.catalog.popularities,
+            times=wl.stream.times,
+            file_ids=wl.stream.file_ids,
+            duration=wl.stream.duration,
+        )
+
+        def add(label, config, key):
+            tasks.append(
+                SimTask(
+                    label=label,
+                    workload=workload,
+                    config=config,
+                    mapping=mapping,
+                    num_disks=num_disks,
+                    key=key,
+                )
+            )
+
+        for threshold in static_thresholds:
+            add(
+                f"fixed th={threshold:g} R={rate:g}",
+                base_cfg.with_overrides(idleness_threshold=threshold),
+                ("fixed", rate, threshold, None),
+            )
+        for policy in dynamic_policies:
+            add(
+                f"{policy} R={rate:g}",
+                base_cfg.with_overrides(dpm_policy=policy),
+                (policy, rate, None, None),
+            )
+        for target in slo_targets:
+            add(
+                f"slo_feedback p95<={target:g}s R={rate:g}",
+                base_cfg.with_overrides(
+                    dpm_policy="slo_feedback",
+                    slo_target=target,
+                    slo_percentile=95.0,
+                ),
+                ("slo_feedback", rate, None, target),
+            )
+    return tasks
+
+
+def _saving(result) -> float:
+    return 1.0 - result.normalized_power_cost
+
+
+def run(
+    scale: float = 1.0,
+    seed: int = 20090607,
+    rates: Sequence[float] = DEFAULT_RATES,
+    static_thresholds: Sequence[float] = DEFAULT_STATIC_THRESHOLDS,
+    slo_targets: Sequence[float] = DEFAULT_SLO_TARGETS,
+    dynamic_policies: Sequence[str] = DEFAULT_DYNAMIC_POLICIES,
+    num_disks: int = 100,
+    load_constraint: float = 0.6,
+    dpm_policy: Optional[str] = None,
+    slo_target: Optional[float] = None,
+) -> ExperimentResult:
+    """Sweep DPM policy x load x SLO target; report the frontier.
+
+    ``dpm_policy`` (the CLI's ``--dpm-policy``) restricts the dynamic
+    policies to one name (``fixed`` keeps only the static grid);
+    ``slo_target`` (``--slo-target``) restricts the feedback targets to
+    one value.
+    """
+    if dpm_policy is not None:
+        valid = ("fixed", "slo_feedback") + tuple(DEFAULT_DYNAMIC_POLICIES)
+        if dpm_policy not in valid:
+            raise ConfigError(
+                f"unknown --dpm-policy {dpm_policy!r}; choose from {valid}"
+            )
+        if dpm_policy == "fixed":
+            dynamic_policies, slo_targets = (), ()
+        elif dpm_policy == "slo_feedback":
+            dynamic_policies = ()
+        else:
+            dynamic_policies, slo_targets = (dpm_policy,), ()
+    if slo_target is not None:
+        if not slo_targets:
+            raise ConfigError(
+                "--slo-target only applies to the slo_feedback grid, "
+                f"which --dpm-policy {dpm_policy!r} excludes"
+            )
+        slo_targets = (float(slo_target),)
+
+    with Stopwatch() as timer:
+        tasks = build_tasks(
+            scale=scale,
+            seed=seed,
+            rates=rates,
+            static_thresholds=static_thresholds,
+            slo_targets=slo_targets,
+            dynamic_policies=dynamic_policies,
+            num_disks=num_disks,
+            load_constraint=load_constraint,
+        )
+        by_key = default_runner().run_map(tasks)
+
+        result = ExperimentResult(name="slo_frontier")
+        demonstrations = []
+        for rate in rates:
+            statics = {
+                th: by_key[("fixed", rate, th, None)]
+                for th in static_thresholds
+            }
+
+            bundle = SeriesBundle(
+                title=f"SLO frontier at R={rate:g} (x=p95, y=power saving)",
+                x_label="p95 response (s)",
+                y_label="normalized power saving",
+            )
+            curves = {}
+            rows = []
+
+            def account(label, res, target=None):
+                p95 = res.p95_response
+                saving = _saving(res)
+                bundle.add(label, p95, saving)
+                curves.setdefault(label.split(" ")[0], ([], []))
+                xs, ys = curves[label.split(" ")[0]]
+                xs.append(p95)
+                ys.append(saving)
+                met = "-" if target is None else (
+                    "yes" if p95 <= target else "NO"
+                )
+                rows.append(
+                    [
+                        label,
+                        f"{saving:.3f}",
+                        f"{p95:.2f}",
+                        f"{res.p99_response:.2f}",
+                        f"{res.mean_response:.2f}",
+                        res.spinups,
+                        met,
+                    ]
+                )
+
+            for th, res in statics.items():
+                account(f"fixed th={th:g}", res)
+            for policy in dynamic_policies:
+                account(policy, by_key[(policy, rate, None, None)])
+            for target in slo_targets:
+                fb = by_key[("slo_feedback", rate, None, target)]
+                account(f"slo_feedback p95<={target:g}", fb, target=target)
+
+                # The headline comparison: does the controller meet a
+                # target that every static threshold at equal-or-better
+                # power saving misses?
+                fb_saving = _saving(fb)
+                met = fb.p95_response <= target
+                rivals = [
+                    (th, res)
+                    for th, res in statics.items()
+                    if _saving(res) >= fb_saving - 1e-12
+                ]
+                meeting = [
+                    (_saving(res), th)
+                    for th, res in statics.items()
+                    if res.p95_response <= target
+                ]
+                best_static = max(meeting)[0] if meeting else math.nan
+                if met and all(
+                    res.p95_response > target for _, res in rivals
+                ):
+                    demonstrations.append(
+                        f"R={rate:g}, p95<={target:g}s: slo_feedback meets "
+                        f"the target at saving {fb_saving:.3f} while every "
+                        f"static threshold with >= that saving misses it "
+                        f"(best target-meeting static saves "
+                        f"{best_static:.3f})"
+                    )
+
+            result.bundles[f"R_{rate:g}"] = bundle
+            result.tables[f"R_{rate:g}"] = format_table(
+                rows,
+                headers=[
+                    "policy", "saving", "p95", "p99", "mean", "spinups",
+                    "SLO met",
+                ],
+                title=f"DPM policies at R={rate:g} req/s",
+            )
+            result.tables[f"R_{rate:g}_plot"] = ascii_plot(
+                curves,
+                title=f"power saving vs p95 at R={rate:g}",
+                x_label="p95 response (s)",
+                y_label="power saving",
+                width=56,
+                height=14,
+            )
+
+        if demonstrations:
+            result.notes.append(
+                "frontier demonstration: "
+                + "; ".join(demonstrations)
+            )
+        elif slo_targets:
+            result.notes.append(
+                "no (rate, target) cell demonstrated the controller beating "
+                "the static grid at this scale — try scale>=0.25"
+            )
+        result.notes.append(
+            "spread (round_robin) placement on purpose: packed allocations "
+            "make the threshold nearly free (Figs 2-6), spread traffic "
+            "prices every choice — the regime where online DPM control "
+            "matters"
+        )
+        result.notes.append(
+            f"{len(tasks)} grid points dispatched through the shared "
+            "SweepRunner (DPM-salted fingerprints, disk-cacheable); "
+            "controlled runs carry per-interval threshold/percentile "
+            "traces in result.extra['dpm']"
+        )
+    result.wall_seconds = timer.elapsed
+    return result
+
+
+def main() -> None:  # pragma: no cover - CLI convenience
+    import argparse
+
+    parser = argparse.ArgumentParser(description=__doc__)
+    parser.add_argument("--scale", type=float, default=0.25)
+    parser.add_argument("--dpm-policy", type=str, default=None)
+    parser.add_argument("--slo-target", type=float, default=None)
+    args = parser.parse_args()
+    print(
+        run(
+            scale=args.scale,
+            dpm_policy=args.dpm_policy,
+            slo_target=args.slo_target,
+        ).to_text()
+    )
+
+
+if __name__ == "__main__":  # pragma: no cover
+    main()

@@ -34,6 +34,7 @@ write streams (placement on first touch)   yes         yes
 pluggable write placement (full registry)  yes         yes
 shared whole-file cache (any policy)       yes         yes
 mixed read/write + cache                   yes         yes
+online DPM policies (full registry)        yes         yes
 array-backed streams (``.times``)          required    not needed
 arbitrary iterator streams                 no          yes
 custom per-request processes               no          yes
@@ -60,7 +61,20 @@ Execution strategy (fastest applicable path is chosen per run):
 3. **coupled** (shared cache): a single globally time-merged pass walks
    arrivals in order, draining a min-heap of pending cache admissions
    (miss completions) between arrivals; the per-disk recursion state is
-   identical, only advanced one request at a time.
+   identical, only advanced one request at a time;
+4. **controlled** (a dynamic ``StorageConfig.dpm_policy``): the stream is
+   segmented at control-interval boundaries and each interval replays
+   through whichever of the three paths above applies, against a
+   :class:`_ControlledBank` holding *per-interval, per-disk* threshold
+   vectors.  An idle gap is governed by the threshold in effect at the
+   disk's drain instant (the event drive's already-armed timer), so the
+   per-gap threshold is looked up from the drain time's interval.  At
+   each boundary the interval's telemetry — responses in completion
+   order, closed idle gaps per disk, queue depths — is handed to the
+   shared :class:`~repro.control.controller.ThresholdController`, which
+   returns the next threshold vector; the event engine's control process
+   consumes identical telemetry, so every registered DPM policy
+   simulates identically (~1e-9) on both engines.
 
 All state-time, energy and response accounting is vectorized afterwards
 and truncated at the measurement horizon exactly like the event kernel's
@@ -255,6 +269,217 @@ class _DiskBank:
             return np.ones(avail.shape, dtype=bool)
         return t < avail + self.th + self.D
 
+    def tail_arrays(self):
+        """Spin/transition accounting as arrays, with trailing idleness.
+
+        Called once at the horizon: every disk (including ones that never
+        served a request) spins down once its post-drain idle gap exceeds
+        the threshold, provided the timer fires before the horizon.
+        Returns ``(spindown_time, spinup_time, standby_time, spinups,
+        spindowns)`` per disk.
+        """
+        avail = np.asarray(self.avail, dtype=float)
+        spindown_time = np.asarray(self.sd_t, dtype=float)
+        spinup_time = np.asarray(self.su_t, dtype=float)
+        standby_time = np.asarray(self.sb_t, dtype=float)
+        spinups = np.asarray(self.n_up, dtype=np.int64)
+        spindowns = np.asarray(self.n_down, dtype=np.int64)
+        if not self.no_spindown:
+            sd = avail + self.th
+            tail = sd < self.T
+            spindowns = spindowns + tail
+            sd_end = sd + self.D
+            spindown_time = spindown_time + np.where(
+                tail, np.minimum(sd_end, self.T) - sd, 0.0
+            )
+            standby_time = standby_time + np.where(
+                tail, np.clip(self.T - sd_end, 0.0, None), 0.0
+            )
+        return spindown_time, spinup_time, standby_time, spinups, spindowns
+
+
+class _ControlledBank(_DiskBank):
+    """Per-interval, per-disk threshold variant of :class:`_DiskBank`.
+
+    Used by the controlled execution path (dynamic DPM policies).  The
+    threshold governing an idle gap is the one in effect at the disk's
+    *drain* instant — resolved by looking the drain time's control
+    interval up in ``_th_rows`` (the history of applied threshold
+    vectors).  By the time a gap's closing arrival is processed, its
+    drain interval has necessarily been reached, so the lookup is always
+    resolvable (FIFO per disk; arrivals are processed in time order).
+
+    Also logs what the fixed-path bank does not need: per-disk closed
+    idle gaps ``(gap, threshold_at_drain)`` for the control telemetry,
+    and every spin-transition episode as ``(disk, start, end)`` spans so
+    the per-interval power trace can be reconstructed after the run.
+    An infinite per-disk threshold needs no special casing: ``gap > inf``
+    is never true, so such disks simply never spin down.
+    """
+
+    __slots__ = (
+        "ci", "_th_rows", "k", "gap_log", "sd_spans", "su_spans", "sb_spans",
+    )
+
+    def __init__(
+        self,
+        num_disks: int,
+        init_thresholds: np.ndarray,
+        spec: DiskSpec,
+        horizon: float,
+        interval: float,
+    ) -> None:
+        super().__init__(num_disks, 0.0, spec, horizon)
+        self.th = float("nan")  # scalar threshold unused in controlled mode
+        self.no_spindown = False
+        self.ci = float(interval)
+        # One row per control interval; plain float lists because the hot
+        # per-gap lookup (a python list index) beats NumPy scalar
+        # extraction by a wide margin.
+        self._th_rows: List[List[float]] = [
+            np.asarray(init_thresholds, dtype=float).tolist()
+        ]
+        self.k = 0
+        self.gap_log: List[List[tuple]] = [[] for _ in range(num_disks)]
+        self.sd_spans: List[tuple] = []
+        self.su_spans: List[tuple] = []
+        self.sb_spans: List[tuple] = []
+
+    def push_thresholds(self, thresholds: np.ndarray) -> None:
+        """Apply the vector decided at the boundary entering interval k+1."""
+        self._th_rows.append(np.asarray(thresholds, dtype=float).tolist())
+        self.k += 1
+
+    def _th_at(self, drain: float, d: int) -> float:
+        """Threshold governing a gap that began at ``drain`` on disk ``d``."""
+        idx = int(drain / self.ci)
+        if idx > self.k:
+            idx = self.k
+        return self._th_rows[idx][d]
+
+    def serve(self, d: int, t: float, tr: float) -> float:
+        """:meth:`_DiskBank.serve` with the per-gap threshold lookup,
+        gap logging and transition-span logging."""
+        a = self.avail[d]
+        if t > a:
+            th = self._th_at(a, d)
+            self.gap_log[d].append((t - a, th))
+            if t - a > th:
+                sd = a + th
+                sd_end = sd + self.D
+                self.n_down[d] += 1
+                self.sd_t[d] += min(sd_end, self.T) - sd
+                self.sd_spans.append((d, sd, sd_end))
+                if t >= sd_end:
+                    self.sb_t[d] += t - sd_end
+                    self.sb_spans.append((d, sd_end, t))
+                    su = t
+                else:
+                    su = sd_end
+                if su < self.T:
+                    self.n_up[d] += 1
+                    self.su_t[d] += min(su + self.U, self.T) - su
+                    self.su_spans.append((d, su, su + self.U))
+                s = su + self.U
+            else:
+                s = t
+        else:
+            s = a
+        self.avail[d] = s + self.oh + tr
+        self.load[d] += self.oh + tr
+        return s
+
+    def serve_batch(self, d: int, ts: list, trs: list) -> List[float]:
+        """Hoisted-locals FIFO replay with the per-gap threshold lookup.
+
+        Identical recursion to :meth:`serve`; only the per-disk state (and
+        the threshold-history rows) are lifted into locals for the long
+        read-only runs between coupling points.
+        """
+        out: List[float] = []
+        append = out.append
+        a = self.avail[d]
+        oh = self.oh
+        ld = self.load[d]
+        ci = self.ci
+        th_rows = self._th_rows
+        k = self.k
+        D = self.D
+        U = self.U
+        T = self.T
+        sd_t = self.sd_t[d]
+        su_t = self.su_t[d]
+        sb_t = self.sb_t[d]
+        n_up = self.n_up[d]
+        n_down = self.n_down[d]
+        gap_append = self.gap_log[d].append
+        sd_spans = self.sd_spans
+        su_spans = self.su_spans
+        sb_spans = self.sb_spans
+        for t, tr in zip(ts, trs):
+            if t > a:
+                idx = int(a / ci)
+                th = th_rows[idx if idx <= k else k][d]
+                gap_append((t - a, th))
+                if t - a > th:
+                    sd = a + th
+                    sd_end = sd + D
+                    n_down += 1
+                    sd_t += min(sd_end, T) - sd
+                    sd_spans.append((d, sd, sd_end))
+                    if t >= sd_end:
+                        sb_t += t - sd_end
+                        sb_spans.append((d, sd_end, t))
+                        su = t
+                    else:
+                        su = sd_end
+                    if su < T:
+                        n_up += 1
+                        su_t += min(su + U, T) - su
+                        su_spans.append((d, su, su + U))
+                    s = su + U
+                else:
+                    s = t
+            else:
+                s = a
+            append(s)
+            a = s + oh + tr
+            ld += oh + tr
+        self.sd_t[d] = sd_t
+        self.su_t[d] = su_t
+        self.sb_t[d] = sb_t
+        self.n_up[d] = n_up
+        self.n_down[d] = n_down
+        self.avail[d] = a
+        self.load[d] = ld
+        return out
+
+    def spinning_mask(self, t: float) -> np.ndarray:
+        out = np.empty(len(self.avail), dtype=bool)
+        for d, a in enumerate(self.avail):
+            # inf threshold => a + inf == inf => always spinning.
+            out[d] = t < a + self._th_at(a, d) + self.D
+        return out
+
+    def tail_arrays(self):
+        spindown_time = np.asarray(self.sd_t, dtype=float)
+        spinup_time = np.asarray(self.su_t, dtype=float)
+        standby_time = np.asarray(self.sb_t, dtype=float)
+        spinups = np.asarray(self.n_up, dtype=np.int64)
+        spindowns = np.asarray(self.n_down, dtype=np.int64).copy()
+        T = self.T
+        for d, a in enumerate(self.avail):
+            sd = a + self._th_at(a, d)
+            if sd < T:
+                spindowns[d] += 1
+                sd_end = sd + self.D
+                spindown_time[d] += min(sd_end, T) - sd
+                self.sd_spans.append((d, sd, sd_end))
+                if sd_end < T:
+                    standby_time[d] += T - sd_end
+                    self.sb_spans.append((d, sd_end, T))
+        return spindown_time, spinup_time, standby_time, spinups, spindowns
+
 
 def _allocate_for_write(
     bank: _DiskBank,
@@ -386,6 +611,11 @@ def _serve_coupled(
     cache,
     starts: np.ndarray,
     d_req: np.ndarray,
+    heap: Optional[list] = None,
+    base_index: int = 0,
+    flush: bool = True,
+    map_l: Optional[list] = None,
+    size_l: Optional[list] = None,
 ) -> None:
     """Globally time-merged pass for shared-cache runs (writes optional).
 
@@ -396,15 +626,26 @@ def _serve_coupled(
     (admission exactly at an arrival instant) admit first; admissions at or
     after the horizon never happen, exactly like the event kernel's URGENT
     stop pre-empting completion events at ``T``.
+
+    The controlled path calls this once per control interval on a slice of
+    the stream: ``heap`` carries pending admissions across the calls,
+    ``base_index`` keeps the heap's tie-break sequence global,
+    ``flush=False`` defers the final drain until the last slice, and
+    ``map_l``/``size_l`` reuse one list materialization of the (large)
+    per-file arrays across all slices (``map_l`` is kept in sync with
+    ``mapping`` on every allocation, so sharing it is safe).
     """
-    heap: list = []
+    if heap is None:
+        heap = []
+    if map_l is None:
+        map_l = mapping.tolist()
+    if size_l is None:
+        size_l = sizes.tolist()
     lookup = cache.lookup
     admit = cache.admit
     serve = bank.serve
     oh = bank.oh
     T = bank.T
-    map_l = mapping.tolist()
-    size_l = sizes.tolist()
     fid_l = fid.tolist()
     t_l = t_all.tolist()
     tr_l = tr_all.tolist()
@@ -442,10 +683,209 @@ def _serve_coupled(
             d_req[i] = d
             c = s + oh + tr
             if c < T:
-                heappush(heap, (c, i, f, size))
-    while heap and heap[0][0] < T:
-        _, _, hf, hs = heappop(heap)
-        admit(hf, hs)
+                heappush(heap, (c, base_index + i, f, size))
+    if flush:
+        while heap and heap[0][0] < T:
+            _, _, hf, hs = heappop(heap)
+            admit(hf, hs)
+
+
+def _serve_controlled(
+    bank: "_ControlledBank",
+    dpm,
+    policy: WritePlacementPolicy,
+    mapping: np.ndarray,
+    free: np.ndarray,
+    sizes: np.ndarray,
+    fid: np.ndarray,
+    t_all: np.ndarray,
+    tr_all: np.ndarray,
+    is_write: Optional[np.ndarray],
+    cache,
+    cache_hit_latency: float,
+    starts: np.ndarray,
+    d_req: np.ndarray,
+) -> None:
+    """Interval-segmented execution under a dynamic DPM policy.
+
+    Arrivals are processed one control interval at a time through
+    whichever of the grouped/segmented/coupled paths applies; at each
+    boundary the interval's telemetry (responses completed by the
+    boundary in completion order, per-disk closed idle gaps, per-disk
+    queue depth) is fed to the controller and the returned threshold
+    vector is pushed onto the bank's history.  Cache admissions pending
+    at a boundary stay in the shared heap — they are drained as the next
+    interval's arrivals replay, exactly like the uncontrolled coupled
+    pass.  The final (possibly partial) interval is observed without a
+    policy update: a decision at or beyond the horizon could never take
+    effect (the event engine's cutoff pre-empts that firing too).
+    """
+    T = bank.T
+    ci = dpm.interval
+    oh = bank.oh
+    n = int(t_all.size)
+    heap: list = []
+    # One list materialization of the per-file arrays shared by every
+    # interval's coupled pass (kept in sync with ``mapping`` there).
+    map_l = mapping.tolist() if cache is not None else None
+    size_l = sizes.tolist() if cache is not None else None
+    # Telemetry backlog: completions not yet reported at a boundary.
+    pend_c: List[np.ndarray] = []
+    pend_seq: List[np.ndarray] = []
+    pend_r: List[np.ndarray] = []
+    gap_lo = [0] * len(bank.avail)
+    waiting = np.empty(0, dtype=np.int64)  # dispatched, not yet in service
+    lo = 0
+    k = 0
+    t_start = 0.0
+    while True:
+        t_end = min((k + 1) * ci, T)
+        last = t_end >= T
+        hi = int(np.searchsorted(t_all, t_end, side="left"))
+        sl = slice(lo, hi)
+        if hi > lo:
+            if cache is not None:
+                _serve_coupled(
+                    bank, policy, mapping, free, sizes, fid[sl], t_all[sl],
+                    tr_all[sl],
+                    None if is_write is None else is_write[sl],
+                    cache, starts[sl], d_req[sl],
+                    heap=heap, base_index=lo, flush=False,
+                    map_l=map_l, size_l=size_l,
+                )
+            elif is_write is not None:
+                _serve_segmented(
+                    bank, policy, mapping, free, sizes, fid[sl], t_all[sl],
+                    tr_all[sl], is_write[sl], starts[sl], d_req[sl],
+                )
+            else:
+                d_seg = mapping[fid[sl]]
+                bad = np.flatnonzero(d_seg < 0)
+                if bad.size:
+                    raise SimulationError(
+                        f"read of unallocated file {int(fid[lo + bad[0]])}; "
+                        "allocate it first"
+                    )
+                _serve_segment(bank, d_seg, t_all[sl], tr_all[sl], starts[sl])
+                d_req[sl] = d_seg
+            # Queue newly served requests' completions for the telemetry
+            # feed (cache hits complete at their arrival instant; requests
+            # censored at the horizon never complete, like the event
+            # engine's cutoff pre-empting their completion events).
+            d_sl = d_req[sl]
+            served = d_sl >= 0
+            c_sl = np.where(served, starts[sl] + oh + tr_all[sl], t_all[sl])
+            r_sl = np.where(
+                served, c_sl - t_all[sl], float(cache_hit_latency)
+            )
+            keep = c_sl < T
+            pend_c.append(c_sl[keep])
+            pend_seq.append(np.arange(lo, hi, dtype=np.int64)[keep])
+            pend_r.append(r_sl[keep])
+
+        # -- boundary: assemble the interval's telemetry -----------------------
+        c = np.concatenate(pend_c) if pend_c else np.empty(0)
+        seq = np.concatenate(pend_seq) if pend_seq else np.empty(0, np.int64)
+        r = np.concatenate(pend_r) if pend_r else np.empty(0)
+        # Strictly-before: a completion landing exactly on a boundary is
+        # observed in the *next* interval, matching the event engine's
+        # control event (armed at the previous boundary, hence an earlier
+        # FIFO id than completions scheduled during the interval) firing
+        # first at the shared instant.  The one residual measure-zero tie
+        # — a service spanning a whole interval and completing exactly at
+        # its end — still orders the other way in the event loop.
+        done = c < t_end
+        order = np.lexsort((seq[done], c[done]))
+        responses = r[done][order]
+        pend_c = [c[~done]]
+        pend_seq = [seq[~done]]
+        pend_r = [r[~done]]
+        gaps = []
+        for d, log in enumerate(bank.gap_log):
+            gaps.append(log[gap_lo[d]:])
+            gap_lo[d] = len(log)
+        # Dispatched but not yet in service at the boundary (the event
+        # drive pops a request from its queue exactly at service start).
+        # ``starts`` never changes once computed and boundaries only move
+        # forward, so a request that has entered service can never wait
+        # again — carry only the still-waiting indices across boundaries
+        # instead of rescanning the whole prefix.
+        fresh = np.arange(lo, hi, dtype=np.int64)[d_req[sl] >= 0]
+        candidates = np.concatenate((waiting, fresh))
+        waiting = candidates[starts[candidates] > t_end]
+        queue_depth = np.bincount(
+            d_req[waiting], minlength=len(bank.avail)
+        ).astype(float)
+        if last:
+            dpm.finalize(t_start, t_end, responses, gaps, queue_depth)
+            break
+        bank.push_thresholds(
+            dpm.advance(t_start, t_end, responses, gaps, queue_depth)
+        )
+        t_start = t_end
+        lo = hi
+        k += 1
+    if cache is not None:
+        admit = cache.admit
+        while heap and heap[0][0] < T:
+            _, _, hf, hs = heappop(heap)
+            admit(hf, hs)
+
+
+def _controlled_power_matrix(
+    bank: "_ControlledBank",
+    records,
+    d_s: np.ndarray,
+    s_s: np.ndarray,
+    tr_s: np.ndarray,
+    power_model: PowerModel,
+    num_disks: int,
+) -> np.ndarray:
+    """Per-interval per-disk mean power from the bank's logged episodes.
+
+    The event engine diffs live drive energies at each boundary; this
+    reconstructs the same physical quantity from the controlled run's
+    state spans (seek/active per request, logged spin transitions, idle
+    as the window residual), so the two traces agree to float-accumulation
+    noise.
+    """
+    from repro.control.telemetry import bin_spans
+
+    # Control intervals are contiguous by construction, so the records'
+    # bounds collapse to one ascending edge vector.
+    edges = np.array(
+        [records[0].t_start] + [rec.t_end for rec in records], dtype=float
+    )
+    windows = np.diff(edges)
+
+    def spans(entries):
+        if not entries:
+            empty = np.empty(0)
+            return np.empty(0, np.int64), empty, empty
+        arr = np.asarray(entries, dtype=float)
+        return arr[:, 0].astype(np.int64), arr[:, 1], arr[:, 2]
+
+    seek = bin_spans(d_s, s_s, s_s + bank.oh, edges, num_disks)
+    active = bin_spans(
+        d_s, s_s + bank.oh, s_s + bank.oh + tr_s, edges, num_disks
+    )
+    spindown = bin_spans(*spans(bank.sd_spans), edges, num_disks)
+    spinup = bin_spans(*spans(bank.su_spans), edges, num_disks)
+    standby = bin_spans(*spans(bank.sb_spans), edges, num_disks)
+    idle = np.clip(
+        windows[:, None] - (seek + active + spindown + spinup + standby),
+        0.0,
+        None,
+    )
+    energy = (
+        power_model.power(DiskState.SEEK) * seek
+        + power_model.power(DiskState.ACTIVE) * active
+        + power_model.power(DiskState.SPINDOWN) * spindown
+        + power_model.power(DiskState.SPINUP) * spinup
+        + power_model.power(DiskState.STANDBY) * standby
+        + power_model.power(DiskState.IDLE) * idle
+    )
+    return energy / windows[:, None]
 
 
 def simulate_fast(
@@ -461,6 +901,7 @@ def simulate_fast(
     cache_hit_latency: float = 0.0,
     usable_capacity: Optional[float] = None,
     write_policy=None,
+    dpm=None,
 ) -> SimulationResult:
     """Simulate ``stream`` against ``mapping`` without the event loop.
 
@@ -473,9 +914,15 @@ def simulate_fast(
     the write allocation spends (defaults to the spec's raw capacity, like
     the dispatcher); ``write_policy`` selects the placement strategy (a
     registry name, a policy instance, or ``None`` for the paper's §1.1
-    ``spinning_best_fit``).  Returns the same
+    ``spinning_best_fit``).  ``dpm`` is an optional fresh
+    :class:`~repro.control.controller.ThresholdController` (one per run)
+    engaging the interval-segmented controlled path — ``None`` (or a
+    static policy, which :meth:`StorageConfig.dpm_controller` maps to
+    ``None``) keeps the fixed-threshold paths byte-identical to the
+    pre-control kernel.  Returns the same
     :class:`~repro.system.metrics.SimulationResult` the event kernel
-    produces, including the post-run ``final_mapping``.  The caller's
+    produces, including the post-run ``final_mapping`` and — under
+    control — the per-interval traces in ``extra["dpm"]``.  The caller's
     ``mapping`` is not mutated; writes allocate against an internal copy.
     """
     if duration <= 0:
@@ -524,53 +971,51 @@ def simulate_fast(
     oh = spec.access_overhead
     tr_all = sizes[fid] / spec.transfer_rate
 
-    bank = _DiskBank(num_disks, threshold, spec, T)
     starts = np.empty(arrivals, dtype=float)
     d_req = np.empty(arrivals, dtype=np.int64)
 
-    if cache is not None:
-        _serve_coupled(
-            bank, policy, mapping, free, sizes, fid, t_all, tr_all,
-            is_write, cache, starts, d_req,
+    if dpm is not None:
+        if dpm.num_disks != num_disks:
+            raise ConfigError(
+                f"controller sized for {dpm.num_disks} disks but the pool "
+                f"has {num_disks}"
+            )
+        bank: _DiskBank = _ControlledBank(
+            num_disks, dpm.thresholds, spec, T, dpm.interval
         )
-    elif is_write is not None:
-        _serve_segmented(
-            bank, policy, mapping, free, sizes, fid, t_all, tr_all,
-            is_write, starts, d_req,
+        _serve_controlled(
+            bank, dpm, policy, mapping, free, sizes, fid, t_all, tr_all,
+            is_write, cache, cache_hit_latency, starts, d_req,
         )
     else:
-        disk = mapping[fid]
-        if arrivals and int(disk.min()) < 0:
-            bad = int(fid[int(np.argmin(disk))])
-            raise SimulationError(
-                f"read of unallocated file {bad}; allocate it first"
+        bank = _DiskBank(num_disks, threshold, spec, T)
+        if cache is not None:
+            _serve_coupled(
+                bank, policy, mapping, free, sizes, fid, t_all, tr_all,
+                is_write, cache, starts, d_req,
             )
-        _serve_segment(bank, disk, t_all, tr_all, starts)
-        d_req = disk
+        elif is_write is not None:
+            _serve_segmented(
+                bank, policy, mapping, free, sizes, fid, t_all, tr_all,
+                is_write, starts, d_req,
+            )
+        else:
+            disk = mapping[fid]
+            if arrivals and int(disk.min()) < 0:
+                bad = int(fid[int(np.argmin(disk))])
+                raise SimulationError(
+                    f"read of unallocated file {bad}; allocate it first"
+                )
+            _serve_segment(bank, disk, t_all, tr_all, starts)
+            d_req = disk
 
     # -- vectorized accounting over the banked state ---------------------------
 
-    avail = np.asarray(bank.avail, dtype=float)
-    spindown_time = np.asarray(bank.sd_t, dtype=float)
-    spinup_time = np.asarray(bank.su_t, dtype=float)
-    standby_time = np.asarray(bank.sb_t, dtype=float)
-    spinups = np.asarray(bank.n_up, dtype=np.int64)
-    spindowns = np.asarray(bank.n_down, dtype=np.int64)
-
-    # Trailing idleness: every disk (including ones that never served a
-    # request) spins down once its post-drain idle gap exceeds the
-    # threshold, provided the timer fires before the horizon.
-    if not bank.no_spindown:
-        sd = avail + bank.th
-        tail = sd < T
-        spindowns = spindowns + tail
-        sd_end = sd + bank.D
-        spindown_time = spindown_time + np.where(
-            tail, np.minimum(sd_end, T) - sd, 0.0
-        )
-        standby_time = standby_time + np.where(
-            tail, np.clip(T - sd_end, 0.0, None), 0.0
-        )
+    # Spin accounting with trailing idleness applied (a disk whose
+    # post-drain gap outlasts its threshold spins down before the horizon).
+    spindown_time, spinup_time, standby_time, spinups, spindowns = (
+        bank.tail_arrays()
+    )
 
     served = d_req >= 0
     hits = int(arrivals - int(served.sum()))
@@ -626,6 +1071,15 @@ def simulate_fast(
         if per_disk.any()
     }
 
+    extra = {}
+    if dpm is not None:
+        dpm.attach_power(
+            _controlled_power_matrix(
+                bank, dpm.records, d_s, s_s, tr_s, power_model, num_disks
+            )
+        )
+        extra["dpm"] = dpm.extra()
+
     return SimulationResult(
         algorithm=label,
         duration=T,
@@ -645,4 +1099,5 @@ def simulate_fast(
         ),
         spinups_per_disk=spinups,
         final_mapping=mapping,
+        extra=extra,
     )

@@ -5,6 +5,12 @@ from __future__ import annotations
 from dataclasses import dataclass, replace
 from typing import Optional
 
+from repro.control.controller import controller_from
+from repro.control.policies import (
+    DEFAULT_DPM_POLICY,
+    DPM_POLICIES,
+    dpm_policy_names,
+)
 from repro.disk.service import ServiceModel
 from repro.disk.specs import ST3500630AS, DiskSpec
 from repro.errors import ConfigError
@@ -47,9 +53,27 @@ class StorageConfig:
         ``"spinning_best_fit"`` is the paper's §1.1 rule (best-fit among
         spinning disks, worst-fit standby fallback); alternatives
         (``spinning_worst_fit``, ``first_fit_spinning``, ``round_robin``,
-        ``coldest_disk``, ``fullest_spinning``) are swept by the
-        ``placement`` ablation.  Every policy is honored identically by
-        both engines.
+        ``coldest_disk``, ``fullest_spinning``, ``hottest_spinning``) are
+        swept by the ``placement`` ablation.  Every policy is honored
+        identically by both engines.
+    dpm_policy:
+        Online dynamic-power-management policy, by registry name (see
+        :mod:`repro.control.policies`).  The default ``"fixed"`` is the
+        pre-control behavior — one static ``idleness_threshold``, engines
+        take the uncontrolled code path byte-identically.  Dynamic
+        policies (``adaptive_timeout``, ``exponential_predictive``,
+        ``slo_feedback``) adjust per-disk thresholds every
+        ``control_interval`` seconds from streaming telemetry and are
+        honored identically (~1e-9) by both engines.
+    control_interval:
+        Length of one control interval in seconds (dynamic policies
+        decide once per interval; ignored by ``"fixed"``).
+    slo_target / slo_percentile:
+        Response-time service-level objective: ``slo_target`` seconds at
+        the ``slo_percentile``-th percentile.  Required by
+        ``slo_feedback`` (which tightens/relaxes thresholds to maximize
+        power saving subject to the target) and ignored by policies that
+        do not steer by it.
     engine:
         Simulation kernel: ``"event"`` (the discrete-event loop; supports
         every feature) or ``"fast"`` (the batched kernel in
@@ -69,6 +93,10 @@ class StorageConfig:
     cache_capacity: float = 16 * GiB
     cache_hit_latency: float = 0.0
     write_policy: str = DEFAULT_WRITE_POLICY
+    dpm_policy: str = DEFAULT_DPM_POLICY
+    control_interval: float = 250.0
+    slo_target: Optional[float] = None
+    slo_percentile: float = 95.0
     engine: str = "event"
 
     def __post_init__(self) -> None:
@@ -93,6 +121,25 @@ class StorageConfig:
             raise ConfigError(
                 f"unknown write placement policy {self.write_policy!r}; "
                 f"choose from {placement_policy_names()}"
+            )
+        if self.dpm_policy not in dpm_policy_names():
+            raise ConfigError(
+                f"unknown DPM policy {self.dpm_policy!r}; "
+                f"choose from {dpm_policy_names()}"
+            )
+        if self.control_interval <= 0:
+            raise ConfigError("control_interval must be positive")
+        if self.slo_target is not None and self.slo_target <= 0:
+            raise ConfigError("slo_target must be positive when set")
+        if not 0 < self.slo_percentile < 100:
+            raise ConfigError(
+                f"slo_percentile must be in (0, 100), got "
+                f"{self.slo_percentile}"
+            )
+        if DPM_POLICIES[self.dpm_policy].requires_slo and self.slo_target is None:
+            raise ConfigError(
+                f"dpm_policy {self.dpm_policy!r} requires an slo_target "
+                "(seconds at slo_percentile)"
             )
         if self.engine not in ("event", "fast"):
             raise ConfigError(
@@ -122,6 +169,22 @@ class StorageConfig:
         must not leak decisions between independent simulation runs.
         """
         return make_placement_policy(self.write_policy)
+
+    def dpm_controller(self, num_disks: int):
+        """A fresh :class:`~repro.control.controller.ThresholdController`
+        for one run, or ``None`` when ``dpm_policy`` is static (``fixed``)
+        — static policies take the uncontrolled, byte-identical code path
+        in both engines.
+        """
+        return controller_from(
+            self.dpm_policy,
+            self.control_interval,
+            num_disks,
+            self.threshold,
+            self.spec,
+            slo_target=self.slo_target,
+            slo_percentile=self.slo_percentile,
+        )
 
     def with_overrides(self, **kwargs) -> "StorageConfig":
         """Copy with some fields replaced."""

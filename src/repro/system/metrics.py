@@ -13,7 +13,7 @@ from __future__ import annotations
 
 import math
 from dataclasses import dataclass, field
-from typing import Dict, Optional
+from typing import Any, Dict, Optional
 
 import numpy as np
 
@@ -47,14 +47,22 @@ class SimulationResult:
     #: tests can assert both kernels placed files identically.  ``None``
     #: for aggregate results (e.g. reorganizing runs spanning re-packs).
     final_mapping: Optional[np.ndarray] = None
-    extra: Dict[str, float] = field(default_factory=dict)
+    #: Free-form per-run extras: scalar annotations (``alloc_disks``) and
+    #: structured traces (the control subsystem's per-interval ``"dpm"``
+    #: record — thresholds, percentile estimates, power per interval).
+    extra: Dict[str, Any] = field(default_factory=dict)
 
     # -- power ---------------------------------------------------------------
 
     @property
     def mean_power(self) -> float:
-        """Average array draw over the run (W)."""
-        return self.energy / self.duration if self.duration else math.nan
+        """Average array draw over the run (W).
+
+        ``nan`` for a non-positive duration — the same guard
+        :attr:`normalized_power_cost` applies, so a degenerate (zero *or*
+        negative) duration cannot return a sign-flipped wattage.
+        """
+        return self.energy / self.duration if self.duration > 0 else math.nan
 
     @property
     def normalized_power_cost(self) -> float:
@@ -90,6 +98,16 @@ class SimulationResult:
         if not self.response_times.size:
             return math.nan
         return float(np.percentile(self.response_times, q))
+
+    @property
+    def p95_response(self) -> float:
+        """95th-percentile response time (the SLO-frontier headline)."""
+        return self.response_percentile(95.0)
+
+    @property
+    def p99_response(self) -> float:
+        """99th-percentile response time."""
+        return self.response_percentile(99.0)
 
     @property
     def max_response(self) -> float:

@@ -37,6 +37,9 @@ round_robin          cyclic cursor over all disks with room, spin-oblivious
                      (the classic load-spreading, spin-up-heavy baseline)
 coldest_disk         the most-idle disk with room (least cumulative
                      dispatched service time), spin-oblivious
+hottest_spinning     popularity-aware: the busiest spinning disk with room
+                     (highest cumulative dispatched service time — the
+                     observed heat ledger); worst-fit standby fallback
 ==================== ========================================================
 
 Use :func:`make_placement_policy` to instantiate by name and
@@ -302,3 +305,27 @@ class ColdestDisk(WritePlacementPolicy):
         if feasible.size == 0:
             raise _no_room(size)
         return int(feasible[np.argmin(ctx.load[feasible])])
+
+
+@register_placement_policy
+class HottestSpinning(WritePlacementPolicy):
+    """Popularity-aware §1.1 variant: pile writes onto the *hottest* spindle.
+
+    "Hottest" = highest cumulative dispatched service time
+    (:attr:`PlacementContext.load`) — the same observed per-disk heat the
+    reorganizer estimates popularities from, already carried by both
+    engines' placement contexts.  Concentrating new data where the traffic
+    already is keeps the cold disks' idle gaps long (deeper spin-down
+    residency than best-fit-by-space can achieve) at the cost of queueing
+    on the hot disk.  Falls back to §1.1's worst-fit among standby disks
+    so one unlucky spin-up absorbs future writes.  Ties break toward the
+    lowest disk id.
+    """
+
+    name = "hottest_spinning"
+
+    def choose(self, ctx: PlacementContext, size: float) -> int:
+        candidates = np.flatnonzero(ctx.spinning & (ctx.free >= size))
+        if candidates.size:
+            return int(candidates[np.argmax(ctx.load[candidates])])
+        return _worst_fit(ctx.free, size)

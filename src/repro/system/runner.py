@@ -200,12 +200,17 @@ class ReorganizingRunner:
     split with their kinds intact, so writes stay writes in every epoch.
 
     ``initial_candidates`` optionally names several allocation policies to
-    try for epoch 0: the candidates fan out in parallel through the sweep
-    orchestrator (:func:`repro.experiments.orchestrator.default_runner`,
-    so ``--workers``/caching apply) and the energy-best initial packing
-    seeds the serial epoch chain; the winner is recorded on
-    :attr:`chosen_initial_policy`.  Later epochs always re-pack with
-    ``policy``.
+    tournament **at every re-pack epoch**: the candidates fan out in
+    parallel through the sweep orchestrator
+    (:func:`repro.experiments.orchestrator.default_runner`, so
+    ``--workers``/caching apply) against that epoch's stream and
+    popularity estimate, and the energy-best packing (mean response breaks
+    ties) continues the serial chain.  The per-epoch winners are recorded
+    on :attr:`chosen_policies` (``chosen_initial_policy`` keeps exposing
+    epoch 0's) and each epoch's full candidate results on
+    :attr:`candidate_results`.  Without candidates the runner keeps the
+    original serial-chain semantics: every epoch re-packs with ``policy``
+    and no fan-out happens.
     """
 
     def __init__(
@@ -232,7 +237,13 @@ class ReorganizingRunner:
         #: Which candidate won the epoch-0 fan-out (``None`` until
         #: :meth:`run` with ``initial_candidates`` set has completed).
         self.chosen_initial_policy: Optional[str] = None
-        #: Epoch-0 result per candidate from the fan-out (for inspection).
+        #: Winning candidate per epoch (empty when fan-out is off).
+        self.chosen_policies: List[str] = []
+        #: Per-epoch result per candidate from the fan-out (one dict per
+        #: epoch; empty list when fan-out is off).
+        self.candidate_results: List[Dict[str, SimulationResult]] = []
+        #: Epoch-0 result per candidate from the fan-out (for inspection;
+        #: alias of ``candidate_results[0]`` once run).
         self.initial_candidate_results: Dict[str, SimulationResult] = {}
         self.moved_files: List[int] = []
         self.epoch_results: List[SimulationResult] = []
@@ -253,9 +264,11 @@ class ReorganizingRunner:
         for i, (epoch, _start) in enumerate(epochs):
             rate = max(epoch.mean_rate, 1e-9)
             result: Optional[SimulationResult] = None
-            if i == 0 and self.initial_candidates:
-                allocation, result = self._pick_initial_allocation(
-                    epoch, rate, rng, pops
+            if self.initial_candidates:
+                # Re-run the packing tournament at every re-pack epoch —
+                # the winner can change as the popularity estimate drifts.
+                allocation, result = self._pick_epoch_allocation(
+                    epoch, rate, rng, pops, i
                 )
             else:
                 allocation = allocate(
@@ -323,19 +336,25 @@ class ReorganizingRunner:
                 "mean_moved_files": (
                     float(np.mean(self.moved_files)) if self.moved_files else 0.0
                 ),
+                **(
+                    {"chosen_policies": list(self.chosen_policies)}
+                    if self.chosen_policies
+                    else {}
+                ),
             },
         )
 
-    def _pick_initial_allocation(self, epoch, rate: float, rng, pops):
-        """Fan out the epoch-0 allocation candidates via the orchestrator.
+    def _pick_epoch_allocation(self, epoch, rate: float, rng, pops, index: int):
+        """Fan out one epoch's allocation candidates via the orchestrator.
 
         Each candidate policy is packaged as a :class:`SimTask` over the
-        epoch-0 stream and dispatched through the shared sweep runner
-        (parallel when ``--workers``/``REPRO_SWEEP_WORKERS`` says so, and
+        epoch's stream (with the current popularity estimate) and
+        dispatched through the shared sweep runner (parallel when
+        ``--workers``/``REPRO_SWEEP_WORKERS`` says so, and
         fingerprint-cached like any other grid point).  The energy-best
         packing (mean response breaks ties) wins; its allocation is
         recomputed locally — deterministically identical to the worker's —
-        and its simulated result is reused as the epoch-0 result.
+        and its simulated result is reused as the epoch's result.
         """
         # Imported lazily: the orchestrator imports this module's
         # allocate/simulate helpers, so a top-level import would be a cycle.
@@ -365,7 +384,7 @@ class ReorganizingRunner:
         )
         tasks = [
             SimTask(
-                label=f"{candidate}@epoch0",
+                label=f"{candidate}@epoch{index}",
                 workload=workload,
                 config=self.config,
                 policy=candidate,
@@ -376,7 +395,9 @@ class ReorganizingRunner:
             for candidate in self.initial_candidates
         ]
         by_key = default_runner().run_map(tasks)
-        self.initial_candidate_results = dict(by_key)
+        self.candidate_results.append(dict(by_key))
+        if index == 0:
+            self.initial_candidate_results = dict(by_key)
 
         def score(candidate: str) -> Tuple[float, float]:
             res = by_key[candidate]
@@ -384,7 +405,9 @@ class ReorganizingRunner:
             return res.energy, resp if resp == resp else float("inf")
 
         best = min(self.initial_candidates, key=score)
-        self.chosen_initial_policy = best
+        self.chosen_policies.append(best)
+        if index == 0:
+            self.chosen_initial_policy = best
         allocation = allocate(
             self.catalog, best, self.config, rate, rng=rng,
             popularities=pops,

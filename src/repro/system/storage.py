@@ -7,6 +7,7 @@ from typing import Optional
 import numpy as np
 
 from repro.cache.base import make_cache
+from repro.control.controller import EventControlLoop
 from repro.disk.array import DiskArray
 from repro.errors import ConfigError
 from repro.sim.environment import Environment
@@ -129,6 +130,14 @@ class StorageSystem:
         streams and shared caches as well as the read-only case; the one
         scenario it cannot express (a stream without dense arrays) raises
         :class:`~repro.errors.ConfigError`.
+
+        A dynamic ``config.dpm_policy`` engages the online control loop
+        (:mod:`repro.control`): the event engine spawns a control-boundary
+        process adjusting per-drive thresholds, the fast kernel runs its
+        interval-segmented recursion — both against the same controller
+        semantics, with the per-interval traces attached to
+        ``result.extra["dpm"]``.  The default ``"fixed"`` policy skips all
+        of this and stays byte-identical to the fixed-threshold simulator.
         """
         if duration is None:
             duration = stream.duration
@@ -159,10 +168,23 @@ class StorageSystem:
                 cache_hit_latency=self.config.cache_hit_latency,
                 usable_capacity=self.config.usable_capacity,
                 write_policy=self.config.placement_policy(),
+                dpm=self.config.dpm_controller(self.num_disks),
             )
+        controller = self.config.dpm_controller(self.num_disks)
+        loop = None
+        if controller is not None:
+            loop = EventControlLoop(
+                self.env, self.array.disks, self.dispatcher, controller,
+                horizon=duration,
+            )
+            self.env.process(loop.run())
         self.env.process(drive_stream(self.env, self.dispatcher, stream))
         self.env.run(until=duration)
-        return self.collect(label)
+        result = self.collect(label)
+        if loop is not None:
+            loop.finalize()
+            result.extra["dpm"] = controller.extra()
+        return result
 
     def collect(self, label: str = "run") -> SimulationResult:
         """Snapshot all metrics at the current simulation time."""

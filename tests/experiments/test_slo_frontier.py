@@ -1,0 +1,130 @@
+"""Structure + acceptance tests for the SLO-frontier experiment."""
+
+import numpy as np
+import pytest
+
+from repro.experiments import orchestrator, slo_frontier
+from repro.errors import ConfigError
+
+
+@pytest.fixture
+def fast_runner():
+    """Route the shared runner through the fast kernel for the test."""
+    orchestrator.configure(engine="fast", cache_dir=None)
+    yield
+    orchestrator.configure()
+
+
+class TestStructure:
+    def test_smoke_tables_and_bundles(self, fast_runner):
+        result = slo_frontier.run(
+            scale=0.05, rates=(1.0,), slo_targets=(18.0,)
+        )
+        assert "R_1" in result.tables
+        assert "R_1_plot" in result.tables
+        assert "slo_feedback" in result.tables["R_1"]
+        assert "SLO met" in result.tables["R_1"]
+        bundle = result.bundles["R_1"]
+        # One frontier point per grid entry: 3 statics + 2 adaptives + 1
+        # feedback target.
+        assert len(bundle.series) == 6
+        assert any("SweepRunner" in n for n in result.notes)
+
+    def test_dpm_policy_restriction(self, fast_runner):
+        result = slo_frontier.run(
+            scale=0.05, rates=(1.0,), dpm_policy="adaptive_timeout"
+        )
+        table = result.tables["R_1"]
+        assert "adaptive_timeout" in table
+        assert "slo_feedback" not in table
+        assert "exponential_predictive" not in table
+
+    def test_slo_target_restriction(self, fast_runner):
+        result = slo_frontier.run(
+            scale=0.05, rates=(1.0,), dpm_policy="slo_feedback",
+            slo_target=18.0,
+        )
+        table = result.tables["R_1"]
+        assert "p95<=18" in table
+        assert "p95<=12" not in table
+
+    def test_unknown_dpm_policy_rejected(self):
+        with pytest.raises(ConfigError, match="dpm-policy"):
+            slo_frontier.run(scale=0.05, dpm_policy="nope")
+
+    def test_slo_target_without_feedback_grid_rejected(self):
+        # --dpm-policy restrictions that exclude slo_feedback make
+        # --slo-target meaningless; dropping it silently would misreport
+        # what was swept.
+        with pytest.raises(ConfigError, match="slo-target"):
+            slo_frontier.run(
+                scale=0.05, dpm_policy="adaptive_timeout", slo_target=18.0
+            )
+
+
+class TestAcceptance:
+    def test_feedback_meets_target_the_static_grid_misses(self, fast_runner):
+        """The PR's headline cell: at R=1, p95<=18 s, the feedback
+        controller meets the target while every static threshold at
+        equal-or-better power saving misses it — the static grid
+        quantizes the frontier, the controller lands between its points.
+        """
+        rate, target = 1.0, 18.0
+        result = slo_frontier.run(
+            scale=0.25, rates=(rate,), slo_targets=(target,),
+            dynamic_policies=(),
+        )
+        assert any("frontier demonstration" in n for n in result.notes)
+
+        # Re-derive the comparison from the raw grid to pin the numbers.
+        tasks = slo_frontier.build_tasks(
+            scale=0.25,
+            seed=20090607,
+            rates=(rate,),
+            static_thresholds=slo_frontier.DEFAULT_STATIC_THRESHOLDS,
+            slo_targets=(target,),
+            dynamic_policies=(),
+            num_disks=100,
+            load_constraint=0.6,
+        )
+        by_key = orchestrator.default_runner().run_map(tasks)
+        fb = by_key[("slo_feedback", rate, None, target)]
+        fb_saving = 1.0 - fb.normalized_power_cost
+        assert fb.p95_response <= target
+        statics = [
+            by_key[("fixed", rate, th, None)]
+            for th in slo_frontier.DEFAULT_STATIC_THRESHOLDS
+        ]
+        for res in statics:
+            saving = 1.0 - res.normalized_power_cost
+            # Equal-or-better saving implies a missed target...
+            if saving >= fb_saving:
+                assert res.p95_response > target
+        # ...and some static does meet the target (the cell is contested,
+        # not vacuous), just at strictly less power saving.
+        meeting = [
+            1.0 - res.normalized_power_cost
+            for res in statics
+            if res.p95_response <= target
+        ]
+        assert meeting and max(meeting) < fb_saving
+
+    def test_controlled_run_carries_traces(self, fast_runner):
+        tasks = slo_frontier.build_tasks(
+            scale=0.05,
+            seed=20090607,
+            rates=(1.0,),
+            static_thresholds=(60.0,),
+            slo_targets=(18.0,),
+            dynamic_policies=(),
+            num_disks=100,
+            load_constraint=0.6,
+        )
+        by_key = orchestrator.default_runner().run_map(tasks)
+        fb = by_key[("slo_feedback", 1.0, None, 18.0)]
+        dpm = fb.extra["dpm"]
+        assert dpm["policy"] == "slo_feedback"
+        assert len(dpm["thresholds"]) == len(dpm["t_end"]) >= 2
+        assert np.asarray(dpm["power"]).shape[1] == 100
+        # Static grid points carry no control trace.
+        assert "dpm" not in by_key[("fixed", 1.0, 60.0, None)].extra

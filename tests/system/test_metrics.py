@@ -39,6 +39,16 @@ class TestPower:
             1 - 3.6e5 / 9.3e4
         )
 
+    def test_mean_power_nan_on_non_positive_duration(self):
+        # The guard matches normalized_power_cost: *non-positive*, not
+        # merely falsy — a negative duration must not return a
+        # sign-flipped wattage.
+        assert math.isnan(result(duration=0.0).mean_power)
+        assert math.isnan(result(duration=-1.0).mean_power)
+        assert math.isnan(
+            result(duration=-1.0, always_on_energy=-93.0).normalized_power_cost
+        )
+
     def test_power_saving_vs(self):
         a = result(energy=100.0)
         b = result(energy=400.0)
@@ -59,12 +69,20 @@ class TestResponse:
     def test_percentile(self):
         assert result().response_percentile(50) == pytest.approx(2.5)
 
+    def test_percentile_properties(self):
+        r = result(response_times=np.arange(1, 101, dtype=float))
+        assert r.p95_response == pytest.approx(np.percentile(r.response_times, 95))
+        assert r.p99_response == pytest.approx(np.percentile(r.response_times, 99))
+        assert r.p95_response == r.response_percentile(95)
+
     def test_empty_responses_nan(self):
         r = result(response_times=np.array([]))
         assert math.isnan(r.mean_response)
         assert math.isnan(r.median_response)
         assert math.isnan(r.max_response)
         assert math.isnan(r.response_percentile(95))
+        assert math.isnan(r.p95_response)
+        assert math.isnan(r.p99_response)
 
     def test_response_ratio(self):
         a = result(response_times=np.array([2.0]))

@@ -48,6 +48,7 @@ class TestRegistry:
             "round_robin",
             "coldest_disk",
             "fullest_spinning",
+            "hottest_spinning",
         ):
             assert required in names
 
@@ -130,6 +131,32 @@ class TestDecisions:
 
     def test_coldest_disk_tie_breaks_low_id(self):
         assert choose("coldest_disk", ctx(self.SPIN, self.FREE, None), 5) == 0
+
+    def test_hottest_spinning_reads_the_heat_ledger(self):
+        # Busiest *spinning* disk with room: disk 0 (load 5 > 1).
+        load = [5.0, 1.0, 9.0, 3.0]
+        assert (
+            choose("hottest_spinning", ctx(self.SPIN, self.FREE, load), 5)
+            == 0
+        )
+        # Disk 0 infeasible for 20 bytes: disk 1 is the hot spinning fit;
+        # disk 2 (load 9) is hotter but in standby and must not win.
+        assert (
+            choose("hottest_spinning", ctx(self.SPIN, self.FREE, load), 20)
+            == 1
+        )
+        # No spinning disk fits: §1.1 worst-fit standby fallback (disk 3),
+        # not the hottest standby disk.
+        assert (
+            choose("hottest_spinning", ctx(self.SPIN, self.FREE, load), 50)
+            == 3
+        )
+
+    def test_hottest_spinning_tie_breaks_low_id(self):
+        assert (
+            choose("hottest_spinning", ctx(self.SPIN, self.FREE, None), 5)
+            == 0
+        )
 
     def test_round_robin_cursor_advances_and_skips_full_disks(self):
         policy = make_placement_policy("round_robin")

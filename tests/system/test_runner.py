@@ -239,7 +239,7 @@ class TestReorganizingRunnerMixedStreams:
 
 
 class TestReorganizingRunnerInitialCandidates:
-    """Epoch-0 allocation candidates fan out through the orchestrator."""
+    """Allocation candidates tournament at every epoch via the orchestrator."""
 
     def _workload(self):
         catalog = FileCatalog.from_zipf(n=300, s_max=1e9)
@@ -269,10 +269,52 @@ class TestReorganizingRunnerInitialCandidates:
         assert runner.epoch_results[0].algorithm == (
             f"{runner.chosen_initial_policy}@epoch0"
         )
-        # Later epochs still re-pack with the runner's own policy.
-        assert runner.epoch_results[1].algorithm == "pack@epoch1"
+        # The tournament re-runs at every re-pack epoch: each epoch's
+        # result is its own winner's simulation.
+        assert runner.epoch_results[1].algorithm == (
+            f"{runner.chosen_policies[1]}@epoch1"
+        )
         assert result.arrivals == len(stream)
         assert result.extra["epochs"] == 3.0
+
+    def test_tournament_reruns_at_every_epoch(self):
+        catalog, stream = self._workload()
+        cfg = StorageConfig(num_disks=10, load_constraint=0.8)
+        runner = ReorganizingRunner(
+            catalog, cfg, interval=200.0,
+            initial_candidates=self.CANDIDATES,
+        )
+        result = runner.run(stream)
+        n_epochs = int(result.extra["epochs"])
+        assert n_epochs == 3
+        # One winner and one full candidate-result dict per epoch.
+        assert len(runner.chosen_policies) == n_epochs
+        assert all(p in self.CANDIDATES for p in runner.chosen_policies)
+        assert len(runner.candidate_results) == n_epochs
+        for i, per_epoch in enumerate(runner.candidate_results):
+            assert set(per_epoch) == set(self.CANDIDATES)
+            winner = runner.chosen_policies[i]
+            assert per_epoch[winner].energy == min(
+                r.energy for r in per_epoch.values()
+            )
+            assert runner.epoch_results[i] is per_epoch[winner]
+        # Epoch-0 compat surface unchanged.
+        assert runner.chosen_initial_policy == runner.chosen_policies[0]
+        assert runner.initial_candidate_results == runner.candidate_results[0]
+        assert result.extra["chosen_policies"] == runner.chosen_policies
+
+    def test_no_candidates_keeps_serial_chain_semantics(self):
+        catalog, stream = self._workload()
+        cfg = StorageConfig(num_disks=10, load_constraint=0.8)
+        runner = ReorganizingRunner(catalog, cfg, interval=200.0)
+        result = runner.run(stream)
+        assert runner.chosen_policies == []
+        assert runner.candidate_results == []
+        assert "chosen_policies" not in result.extra
+        assert all(
+            r.algorithm == f"pack@epoch{i}"
+            for i, r in enumerate(runner.epoch_results)
+        )
 
     def test_single_candidate_matches_serial_run(self):
         catalog, stream = self._workload()
