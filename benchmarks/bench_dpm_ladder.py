@@ -2,18 +2,27 @@
 
 The related work the paper builds on allows n power states; this bench
 measures, in the simulator, how much an intermediate "nap" state saves on
-gap mixes where the 53.3 s two-state threshold is too blunt, and times the
-closed-form schedule construction.
+gap mixes where the 53.3 s two-state threshold is too blunt, times the
+closed-form schedule construction, and guards the array-level ladder
+mode's fast-kernel speedup: ``StorageConfig(dpm_ladder=...)`` through the
+per-rung ``_LadderBank`` recursion must beat the event engine >= 5x —
+with and without online control — while agreeing to 1e-9.
 """
 
+import math
+import time
+
 import numpy as np
+import pytest
 
 from repro.disk import ST3500630AS
 from repro.disk.dpm import DpmState, MultiStateDpmPolicy
 from repro.disk.multistate import MultiStateDiskDrive
 from repro.reporting.table import format_table
 from repro.sim import Environment
+from repro.system import StorageConfig, StorageSystem, allocate
 from repro.units import MB
+from repro.workload.generator import SyntheticWorkloadParams, generate_workload
 
 SPEC = ST3500630AS
 
@@ -78,3 +87,62 @@ def test_schedule_construction_throughput(benchmark):
     ]
     policy = benchmark(MultiStateDpmPolicy, states)
     assert policy.thresholds() == sorted(policy.thresholds())
+
+
+def _timed(run, rounds):
+    best = math.inf
+    result = None
+    for _ in range(rounds):
+        t0 = time.perf_counter()
+        result = run()
+        best = min(best, time.perf_counter() - t0)
+    return result, best
+
+
+@pytest.mark.parametrize("dpm_policy", ["fixed", "adaptive_timeout"])
+def test_fast_engine_speedup_ladder(scale, capsys, dpm_policy):
+    """Array-level drpm4 ladder runs: the fast kernel must win >= 5x over
+    the event engine (the ladder's extra per-gap work must not erase the
+    batched kernel's advantage), agreeing to 1e-9."""
+    workload = generate_workload(
+        SyntheticWorkloadParams(
+            n_files=5_000,
+            arrival_rate=6.0,
+            duration=max(800.0, 4_000.0 * scale),
+            seed=7,
+        )
+    )
+    cfg = StorageConfig(
+        num_disks=100,
+        load_constraint=0.7,
+        dpm_ladder="drpm4",
+        dpm_policy=dpm_policy,
+        control_interval=200.0,
+    )
+    mapping = allocate(workload.catalog, "pack", cfg, 6.0).mapping(
+        workload.catalog.n
+    )
+
+    def run_engine(engine):
+        return StorageSystem(
+            workload.catalog, mapping, cfg.with_overrides(engine=engine)
+        ).run(workload.stream)
+
+    # Best-of-N so a scheduling hiccup on a shared CI runner cannot flip
+    # the speedup assertion (the fast run is only milliseconds long).
+    event, event_s = _timed(lambda: run_engine("event"), rounds=2)
+    fast, fast_s = _timed(lambda: run_engine("fast"), rounds=5)
+    fast_s = max(fast_s, 1e-9)
+
+    assert fast.energy == pytest.approx(event.energy, rel=1e-9)
+    assert fast.spinups == event.spinups
+    assert fast.spindowns == event.spindowns
+    assert fast.completions == event.completions
+    assert event.spindowns > 0
+    with capsys.disabled():
+        print(
+            f"\n[ladder/{dpm_policy}] {len(workload.stream)} requests: "
+            f"event {event_s:.3f}s, fast {fast_s:.4f}s "
+            f"({event_s / fast_s:.1f}x speedup)"
+        )
+    assert event_s >= 5.0 * fast_s

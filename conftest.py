@@ -16,6 +16,34 @@ import os
 import pytest
 
 
+def pytest_addoption(parser):
+    parser.addoption(
+        "--runslow",
+        action="store_true",
+        default=False,
+        help=(
+            "run tests marked @pytest.mark.slow (e.g. the differential "
+            "harness's exhaustive ladder x DPM-policy equivalence grid)"
+        ),
+    )
+
+
+def pytest_configure(config):
+    config.addinivalue_line(
+        "markers",
+        "slow: nightly-style sweeps, skipped unless --runslow is given",
+    )
+
+
+def pytest_collection_modifyitems(config, items):
+    if config.getoption("--runslow"):
+        return
+    skip = pytest.mark.skip(reason="needs --runslow")
+    for item in items:
+        if "slow" in item.keywords:
+            item.add_marker(skip)
+
+
 @pytest.fixture(autouse=True, scope="session")
 def _isolated_sweep_cache(tmp_path_factory):
     previous = os.environ.get("REPRO_SWEEP_CACHE")

@@ -18,7 +18,12 @@ ablation additionally accepts ``--write-policy NAME`` to restrict the
 swept write-placement registry to one policy; the ``slo-frontier``
 experiment (online DPM control: static thresholds vs adaptive policies vs
 the SLO-feedback controller, per load level) accepts ``--dpm-policy NAME``
-and ``--slo-target SECONDS`` to restrict its grid.
+and ``--slo-target SECONDS`` to restrict its grid, and ``--dpm-ladder
+NAME`` (``two_state``, ``nap``, ``drpm4`` — see ``repro.disk.dpm``) to add
+a multi-state power-ladder axis: every cell re-runs with the ladder, whose
+intermediate low-power rungs both engines simulate identically, and the
+report shows where the ladder beats the best two-state static threshold
+at equal p95.
 """
 
 from __future__ import annotations
@@ -127,6 +132,7 @@ def _cmd_run(args: argparse.Namespace) -> int:
         "write_policy": (args.write_policy, "the 'placement' sweep"),
         "dpm_policy": (args.dpm_policy, "the 'slo-frontier' experiment"),
         "slo_target": (args.slo_target, "the 'slo-frontier' experiment"),
+        "dpm_ladder": (args.dpm_ladder, "the 'slo-frontier' experiment"),
     }
     for name in names:
         kwargs = {"scale": args.scale}
@@ -224,6 +230,17 @@ def build_parser() -> argparse.ArgumentParser:
         help=(
             "restrict the 'slo-frontier' grid to one p95 response-time "
             "target for the slo_feedback controller"
+        ),
+    )
+    run.add_argument(
+        "--dpm-ladder",
+        type=str,
+        default=None,
+        metavar="LADDER",
+        help=(
+            "add a multi-state DPM ladder axis to the 'slo-frontier' grid "
+            "('two_state', 'nap' or 'drpm4'; see repro.disk.dpm) — every "
+            "cell re-runs with StorageConfig(dpm_ladder=LADDER)"
         ),
     )
     run.add_argument(

@@ -3,15 +3,25 @@
 it so analysis-oriented callers find it next to the other closed forms."""
 
 from repro.disk.dpm import (
+    DPM_LADDERS,
+    DpmLadder,
     DpmState,
+    LadderRung,
     MultiStateDpmPolicy,
+    dpm_ladder_names,
+    make_dpm_ladder,
     offline_optimal_gap_energy,
     states_from_spec,
 )
 
 __all__ = [
+    "DPM_LADDERS",
+    "DpmLadder",
     "DpmState",
+    "LadderRung",
     "MultiStateDpmPolicy",
+    "dpm_ladder_names",
+    "make_dpm_ladder",
     "offline_optimal_gap_energy",
     "states_from_spec",
 ]

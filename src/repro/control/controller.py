@@ -19,6 +19,15 @@ same order, the per-interval threshold vectors — and hence the simulated
 trajectories — agree to the kernels' ~1 ulp float drift; the grid in
 ``tests/control/test_dpm_equivalence.py`` enforces ~1e-9 agreement for
 every registered policy.
+
+The same scalar-per-disk protocol steers **multi-state DPM ladders**
+(``StorageConfig(dpm_ladder=...)``): the controller's threshold is the
+ladder's first-descent time, and each drive maps it onto per-rung descent
+times via :meth:`repro.disk.dpm.DpmLadder.scaled_entries` at the gap's
+drain instant — so ``adaptive_timeout``/``slo_feedback`` move the whole
+descent schedule without policy-side changes, identically in both engines
+(the randomized harness in ``tests/differential/`` covers the
+ladder x policy product).
 """
 
 from __future__ import annotations

@@ -10,6 +10,15 @@ is the break-even time (Table 2's 53.3 s).
 """
 
 from repro.disk.array import DiskArray
+from repro.disk.dpm import (
+    DPM_LADDERS,
+    DpmLadder,
+    DpmState,
+    LadderRung,
+    MultiStateDpmPolicy,
+    dpm_ladder_names,
+    make_dpm_ladder,
+)
 from repro.disk.drive import DiskDrive, DiskRequest, DriveStats
 from repro.disk.multistate import MultiStateDiskDrive
 from repro.disk.power import DiskState, PowerModel
@@ -17,14 +26,21 @@ from repro.disk.service import ServiceModel
 from repro.disk.specs import DiskSpec, ST3500630AS
 
 __all__ = [
+    "DPM_LADDERS",
     "DiskArray",
     "DiskDrive",
     "DiskRequest",
     "DiskSpec",
+    "DpmLadder",
+    "DpmState",
     "DiskState",
     "DriveStats",
+    "LadderRung",
     "MultiStateDiskDrive",
+    "MultiStateDpmPolicy",
     "PowerModel",
     "ST3500630AS",
     "ServiceModel",
+    "dpm_ladder_names",
+    "make_dpm_ladder",
 ]

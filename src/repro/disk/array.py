@@ -7,7 +7,9 @@ from typing import Dict, List, Optional
 
 import numpy as np
 
+from repro.disk.dpm import DpmLadder
 from repro.disk.drive import DiskDrive, DiskRequest
+from repro.disk.multistate import MultiStateDiskDrive
 from repro.disk.power import DiskState, PowerModel
 from repro.disk.specs import DiskSpec
 from repro.errors import ConfigError
@@ -26,9 +28,14 @@ class DiskArray:
     num_disks:
         Pool size.
     idleness_threshold:
-        Shared spin-down threshold (``None`` = break-even).
+        Shared spin-down threshold (``None`` = break-even, or the
+        ladder's native first entry when a ladder is given).
     initial_state:
-        Starting state for every drive.
+        Starting state for every drive (classic drives only).
+    ladder:
+        Optional :class:`~repro.disk.dpm.DpmLadder`: the pool is built
+        from :class:`~repro.disk.multistate.MultiStateDiskDrive` instead
+        of the classic two-state drive, descending the ladder while idle.
     """
 
     def __init__(
@@ -39,23 +46,41 @@ class DiskArray:
         idleness_threshold: Optional[float] = None,
         initial_state: DiskState = DiskState.IDLE,
         record_history: bool = False,
+        ladder: Optional[DpmLadder] = None,
     ) -> None:
         if num_disks < 1:
             raise ConfigError(f"num_disks must be >= 1, got {num_disks}")
         self.env = env
         self.spec = spec
         self.power_model = PowerModel(spec)
-        self.disks: List[DiskDrive] = [
-            DiskDrive(
-                env,
-                spec,
-                disk_id=i,
-                idleness_threshold=idleness_threshold,
-                initial_state=initial_state,
-                record_history=record_history,
-            )
-            for i in range(num_disks)
-        ]
+        if ladder is not None:
+            if initial_state is not DiskState.IDLE:
+                raise ConfigError(
+                    "ladder-backed arrays start spinning (rung 0)"
+                )
+            self.disks: List = [
+                MultiStateDiskDrive(
+                    env,
+                    spec,
+                    ladder,
+                    disk_id=i,
+                    idleness_threshold=idleness_threshold,
+                    record_history=record_history,
+                )
+                for i in range(num_disks)
+            ]
+        else:
+            self.disks = [
+                DiskDrive(
+                    env,
+                    spec,
+                    disk_id=i,
+                    idleness_threshold=idleness_threshold,
+                    initial_state=initial_state,
+                    record_history=record_history,
+                )
+                for i in range(num_disks)
+            ]
 
     def __len__(self) -> int:
         return len(self.disks)

@@ -163,6 +163,15 @@ class DiskDrive:
         return self.timeline.state
 
     @property
+    def spinning(self) -> bool:
+        """Whether the platters are (or are being brought) up to speed.
+
+        Duck-typed with :class:`~repro.disk.multistate.MultiStateDiskDrive`
+        so the dispatcher's placement context reads either drive kind.
+        """
+        return self.state.spinning
+
+    @property
     def queue_depth(self) -> int:
         """Requests currently waiting or in service."""
         return len(self._pending)

@@ -1,27 +1,42 @@
 """A drive that descends a multi-state power ladder while idle.
 
 Generalizes :class:`~repro.disk.drive.DiskDrive`'s two-state
-idle-threshold behaviour to an arbitrary
-:class:`~repro.analysis.dpm.MultiStateDpmPolicy` ladder (e.g. an
-intermediate low-RPM "nap" state between idle and standby, as in the DRPM
-work the paper cites).  With the two-state ladder derived from the spec it
-reproduces the classic drive's energy accounting, which the test suite
-asserts.
+idle-threshold behaviour to an arbitrary :class:`~repro.disk.dpm.DpmLadder`
+(e.g. an intermediate low-RPM "nap" state between idle and standby, as in
+the DRPM work the paper cites).  Semantics per idle gap:
 
-State accounting maps ladder rungs onto the Figure 1 states where
-possible (``idle``/``standby``); additional rungs appear in the timeline
-under their own names, with the wake transition billed at spin-up power
-for its configured wake time.
+* the disk parks in rung 0 when its queue drains; at each rung's
+  (possibly control-scaled) entry time it starts a **non-abortable
+  descent** into the next rung, billed at that rung's ``down_power`` for
+  ``down_time`` seconds — Figure 1's spin-down, generalized per rung;
+* a request arriving while parked in rung ``i`` (or mid-descent into it;
+  the descent finishes first) pays the rung's ``wake_time``, billed at
+  ``wake_power`` for exactly the configured wake time — no folded lump
+  sums, so energy is conserved across every descent/ascent cycle.
+
+With the ``two_state`` ladder derived from the spec this reproduces the
+classic drive's timing and energy accounting bit for bit, which the test
+suite asserts.  The per-disk ``threshold`` attribute (consumed at each
+queue drain, like the classic drive's armed idleness timer) lets the
+online control loop (:mod:`repro.control`) steer ladder descent: entries
+scale by ``threshold / base_threshold`` via
+:meth:`~repro.disk.dpm.DpmLadder.scaled_entries`.
+
+The timeline records ladder state *names* (strings): rung names while
+parked, ``down:<name>`` during descents, ``wake:<name>`` during wakes,
+plus ``seek``/``active`` while serving.  The fast kernel's
+:class:`~repro.sim.fastkernel._LadderBank` replays identical semantics and
+uses the same labels.
 """
 
 from __future__ import annotations
 
+import math
 from collections import deque
-from typing import Deque, Dict, Optional
+from typing import Deque, Dict, List, Optional, Tuple, Union
 
-from repro.disk.dpm import MultiStateDpmPolicy
+from repro.disk.dpm import DpmLadder, MultiStateDpmPolicy
 from repro.disk.drive import DiskRequest, DriveStats, READ
-from repro.disk.power import DiskState
 from repro.disk.specs import DiskSpec
 from repro.errors import SimulationError
 from repro.sim.environment import Environment
@@ -35,36 +50,65 @@ class MultiStateDiskDrive:
     """A drive whose idle behaviour follows a DPM state ladder.
 
     The interface mirrors :class:`~repro.disk.drive.DiskDrive` (submit /
-    state_durations / energy / stats), but the timeline records ladder
-    state *names* (strings) rather than :class:`DiskState` members, since
-    the ladder is user-defined.
+    state_durations / energy / stats / threshold / gap_log), so the
+    dispatcher, array aggregation and the event control loop drive both
+    classes interchangeably.
+
+    Parameters
+    ----------
+    env, spec:
+        As for the classic drive.
+    ladder:
+        A :class:`~repro.disk.dpm.DpmLadder`, or a
+        :class:`~repro.disk.dpm.MultiStateDpmPolicy` (bridged via
+        :meth:`DpmLadder.from_policy`).
+    idleness_threshold:
+        First-descent threshold; ``None`` uses the ladder's native entry.
+        Deeper entries scale proportionally (see
+        :meth:`DpmLadder.scaled_entries`).
+    record_history:
+        Keep the full state-transition history (for tests/plots), like
+        the classic drive.
     """
 
     def __init__(
         self,
         env: Environment,
         spec: DiskSpec,
-        policy: MultiStateDpmPolicy,
+        ladder: Union[DpmLadder, MultiStateDpmPolicy],
         disk_id: int = 0,
+        idleness_threshold: Optional[float] = None,
+        record_history: bool = False,
     ) -> None:
+        if isinstance(ladder, MultiStateDpmPolicy):
+            ladder = DpmLadder.from_policy(ladder, spec)
+        if idleness_threshold is None:
+            idleness_threshold = ladder.base_threshold
+        if idleness_threshold < 0:
+            raise SimulationError("idleness threshold must be >= 0")
         self.env = env
         self.spec = spec
-        self.policy = policy
+        self.ladder = ladder
         self.disk_id = disk_id
+        #: First-descent threshold; the control loop overwrites this and
+        #: the value is consumed at the next queue drain (like the classic
+        #: drive's already-armed idleness timer).
+        self.threshold = float(idleness_threshold)
         self.stats = DriveStats()
         self.queue_length = TimeWeighted(env, 0.0)
-        # Power by timeline label: ladder states by name + serving states.
-        self._power: Dict[str, float] = {
-            state.name: state.power for state in policy.states
-        }
-        self._power["seek"] = spec.seek_power
-        self._power["active"] = spec.active_power
-        self._power["waking"] = spec.spinup_power
-        self.timeline = StateTimeline(env, policy.states[0].name)
+        self._power: Dict[str, float] = ladder.power_table(spec)
+        self.timeline = StateTimeline(
+            env, ladder.rungs[0].name, record_history
+        )
         self._pending: Deque[DiskRequest] = deque()
         self._wake: Optional[Event] = None
-        #: Wake energy billed beyond the waking-state residency (J).
-        self._wake_energy_billed = 0.0
+        #: Closed idle gaps ``(gap_seconds, threshold_at_drain)`` appended
+        #: at the arrival ending each gap — same telemetry contract as the
+        #: classic drive; populated only while :attr:`log_gaps` is set.
+        self.gap_log: List[Tuple[float, float]] = []
+        self.log_gaps: bool = False
+        self._drain_time: Optional[float] = env.now
+        self._drain_threshold: float = self.threshold
         self.process = env.process(self._run())
 
     # -- public API ------------------------------------------------------------
@@ -75,6 +119,19 @@ class MultiStateDiskDrive:
         return self.timeline.state
 
     @property
+    def spinning(self) -> bool:
+        """Whether the platters are (or are being brought) up to speed.
+
+        Matches the classic drive's convention: only a disk *parked in
+        the deepest rung* counts as spun down — descents (like Figure 1's
+        SPINDOWN), intermediate reduced-RPM rungs and wakes all spin.
+        """
+        rungs = self.ladder.rungs
+        return not (
+            len(rungs) > 1 and self.timeline.state == rungs[-1].name
+        )
+
+    @property
     def queue_depth(self) -> int:
         return len(self._pending)
 
@@ -82,6 +139,12 @@ class MultiStateDiskDrive:
         """Enqueue a request; wait on ``request.done`` for the response."""
         if size < 0:
             raise SimulationError("request size must be >= 0")
+        if self._drain_time is not None:
+            if self.log_gaps:
+                self.gap_log.append(
+                    (self.env.now - self._drain_time, self._drain_threshold)
+                )
+            self._drain_time = None
         request = DiskRequest(self.env, file_id, size, kind)
         self._pending.append(request)
         self.queue_length.set(len(self._pending))
@@ -95,18 +158,11 @@ class MultiStateDiskDrive:
         return self.timeline.durations()
 
     def energy(self) -> float:
-        """Energy so far (J): residency plus per-visit wake energies.
-
-        Wake transitions are billed per the ladder's ``wake_energy`` at the
-        moment they happen (tracked in ``stats.spinups`` as wake events);
-        the residual wake *time* is additionally billed at spin-up power to
-        mirror the two-state drive's accounting.
-        """
-        residency = sum(
+        """Energy so far (J): every timeline label billed at its power."""
+        return sum(
             self._power[state] * t
             for state, t in self.timeline.durations().items()
         )
-        return residency + self._wake_energy_billed
 
     def mean_power(self) -> float:
         total = self.timeline.total_time()
@@ -122,42 +178,53 @@ class MultiStateDiskDrive:
     def _run(self):
         env = self.env
         spec = self.spec
+        rungs = self.ladder.rungs
+        depth = len(rungs)
         while True:
             if not self._pending:
-                # Walk the ladder: at each rung, wait for the next
-                # threshold or an arrival.
-                idle_started = env.now
-                schedule = self.policy.schedule
-                woke_from = None
-                for i, (entry, state) in enumerate(schedule):
-                    self.timeline.set(state.name)
-                    next_entry = (
-                        schedule[i + 1][0] if i + 1 < len(schedule) else None
-                    )
-                    wake = self._arrival_event()
-                    if next_entry is None:
-                        yield wake
-                    else:
-                        remaining = (idle_started + next_entry) - env.now
+                drain = env.now
+                threshold = self.threshold
+                self._drain_time = drain
+                self._drain_threshold = threshold
+                entries = self.ladder.scaled_entries(threshold)
+                self.timeline.set(rungs[0].name)
+                woke = 0
+                if depth == 1 or math.isinf(entries[1]):
+                    yield self._arrival_event()
+                else:
+                    i = 1
+                    while True:
+                        # Parked in rung i-1: wait for the next descent
+                        # or an arrival, whichever comes first.
+                        wake = self._arrival_event()
+                        remaining = entries[i] - (env.now - drain)
                         timer = env.timeout(max(0.0, remaining))
                         yield env.any_of([wake, timer])
-                    if self._pending:
-                        woke_from = state
+                        if self._pending:
+                            woke = i - 1
+                            break
+                        # Non-abortable descent into rung i: an arrival
+                        # during it waits for the transition to finish.
+                        self.timeline.set(f"down:{rungs[i].name}")
+                        self.stats.spindowns += 1
+                        yield env.timeout(rungs[i].down_time)
+                        self.timeline.set(rungs[i].name)
+                        if self._pending:
+                            woke = i
+                            break
+                        if i + 1 < depth:
+                            i += 1
+                            continue
+                        # Deepest rung: only an arrival ends the gap.
+                        yield self._arrival_event()
+                        woke = depth - 1
                         break
-                if woke_from is None:
-                    # Deepest state; the final `yield wake` above only
-                    # returns on an arrival.
-                    woke_from = schedule[-1][1]
-                if woke_from.wake_time > 0 or woke_from.wake_energy > 0:
-                    self.timeline.set("waking")
+                if woke > 0:
+                    rung = rungs[woke]
+                    self.timeline.set(f"wake:{rung.name}")
                     self.stats.spinups += 1
-                    # Bill the ladder's wake energy beyond what the waking
-                    # residency at spin-up power covers.
-                    residency = spec.spinup_power * woke_from.wake_time
-                    self._wake_energy_billed += max(
-                        0.0, woke_from.wake_energy - residency
-                    )
-                    yield env.timeout(woke_from.wake_time)
+                    if rung.wake_time > 0:
+                        yield env.timeout(rung.wake_time)
                 continue
 
             request = self._pending.popleft()
@@ -166,7 +233,7 @@ class MultiStateDiskDrive:
             yield env.timeout(spec.access_overhead)
             self.timeline.set("active")
             yield env.timeout(spec.transfer_time(request.size))
-            self.timeline.set(self.policy.states[0].name)
+            self.timeline.set(rungs[0].name)
             response = env.now - request.arrival_time
             self.stats.record_completion(response, request.size, request.kind)
             request.done.succeed(response)

@@ -204,7 +204,11 @@ def _canon(obj: Any) -> Any:
 #: fingerprints via the config dataclass; controlled runs carry
 #: per-interval traces in ``extra["dpm"]``) + the ``hottest_spinning``
 #: write-placement policy.
-RESULT_SCHEMA_VERSION = 4
+#: v5: multi-state DPM ladders (``StorageConfig.dpm_ladder`` salts
+#: fingerprints via the config dataclass; ladder runs key
+#: ``state_durations`` by timeline label) + the reworked
+#: ``MultiStateDiskDrive`` descent/wake energy accounting.
+RESULT_SCHEMA_VERSION = 5
 
 
 def task_fingerprint(task: SimTask) -> str:

@@ -17,6 +17,17 @@ experiment maps that decision surface: for every load level it runs
 and reports each run's (power saving, p95 response) point: the frontier
 a threshold controller navigates at run time.
 
+``--dpm-ladder NAME`` adds a **multi-state ladder axis** (presets in
+:data:`repro.disk.dpm.DPM_LADDERS`: ``two_state``, ``nap``, ``drpm4``):
+every grid cell is re-run with ``StorageConfig(dpm_ladder=NAME)`` — the
+static thresholds scale the ladder's descent schedule, the adaptive and
+SLO-feedback policies steer it online — and the report compares the
+ladder frontier against the two-state one.  The headline ladder check:
+at least one ladder cell *beats the best two-state static threshold at
+equal-or-better p95* (intermediate rungs buy power saving on
+medium-length gaps that a single threshold must either idle through or
+pay a full spin-up for).
+
 The workload deliberately spreads load (round-robin placement, small
 files): under the paper's packed allocations the threshold is nearly
 free — hot disks never idle, cold disks never wake (Figures 2-6 show
@@ -43,6 +54,7 @@ from __future__ import annotations
 import math
 from typing import Optional, Sequence
 
+from repro.disk.dpm import dpm_ladder_names
 from repro.errors import ConfigError
 from repro.experiments.common import ExperimentResult, Stopwatch, scaled_duration
 from repro.experiments.orchestrator import (
@@ -88,12 +100,16 @@ def build_tasks(
     dynamic_policies: Sequence[str],
     num_disks: int,
     load_constraint: float,
+    dpm_ladder: Optional[str] = None,
 ):
     """The grid as :class:`SimTask` descriptions (shared with the bench).
 
     One workload per rate (shipped to pool workers once as an
     :class:`InlineWorkload`), mapped round-robin across the full pool;
-    grid keys are ``(policy, rate, threshold_or_None, target_or_None)``.
+    grid keys are ``(policy, rate, threshold_or_None, target_or_None,
+    ladder_or_None)``.  With ``dpm_ladder`` set, every cell is duplicated
+    on the ladder axis (plus a ladder cell at the ladder's *native*
+    descent schedule, ``threshold=None``).
     """
     duration = scaled_duration(4_000.0, scale)
     # Decide ~10 times per run regardless of scale, with a floor so tiny
@@ -106,6 +122,9 @@ def build_tasks(
     )
 
     tasks = []
+    ladders: Sequence[Optional[str]] = (
+        (None,) if dpm_ladder is None else (None, dpm_ladder)
+    )
     for rate in rates:
         wl = generate_workload(
             SyntheticWorkloadParams(
@@ -140,28 +159,41 @@ def build_tasks(
                 )
             )
 
-        for threshold in static_thresholds:
-            add(
-                f"fixed th={threshold:g} R={rate:g}",
-                base_cfg.with_overrides(idleness_threshold=threshold),
-                ("fixed", rate, threshold, None),
+        for ladder in ladders:
+            cfg = (
+                base_cfg if ladder is None
+                else base_cfg.with_overrides(dpm_ladder=ladder)
             )
-        for policy in dynamic_policies:
-            add(
-                f"{policy} R={rate:g}",
-                base_cfg.with_overrides(dpm_policy=policy),
-                (policy, rate, None, None),
-            )
-        for target in slo_targets:
-            add(
-                f"slo_feedback p95<={target:g}s R={rate:g}",
-                base_cfg.with_overrides(
-                    dpm_policy="slo_feedback",
-                    slo_target=target,
-                    slo_percentile=95.0,
-                ),
-                ("slo_feedback", rate, None, target),
-            )
+            tag = "" if ladder is None else f" [{ladder}]"
+            if ladder is not None:
+                # The ladder's own envelope schedule, unscaled.
+                add(
+                    f"fixed native{tag} R={rate:g}",
+                    cfg,
+                    ("fixed", rate, None, None, ladder),
+                )
+            for threshold in static_thresholds:
+                add(
+                    f"fixed th={threshold:g}{tag} R={rate:g}",
+                    cfg.with_overrides(idleness_threshold=threshold),
+                    ("fixed", rate, threshold, None, ladder),
+                )
+            for policy in dynamic_policies:
+                add(
+                    f"{policy}{tag} R={rate:g}",
+                    cfg.with_overrides(dpm_policy=policy),
+                    (policy, rate, None, None, ladder),
+                )
+            for target in slo_targets:
+                add(
+                    f"slo_feedback p95<={target:g}s{tag} R={rate:g}",
+                    cfg.with_overrides(
+                        dpm_policy="slo_feedback",
+                        slo_target=target,
+                        slo_percentile=95.0,
+                    ),
+                    ("slo_feedback", rate, None, target, ladder),
+                )
     return tasks
 
 
@@ -180,14 +212,22 @@ def run(
     load_constraint: float = 0.6,
     dpm_policy: Optional[str] = None,
     slo_target: Optional[float] = None,
+    dpm_ladder: Optional[str] = None,
 ) -> ExperimentResult:
-    """Sweep DPM policy x load x SLO target; report the frontier.
+    """Sweep DPM policy x load x SLO target (x ladder); report the frontier.
 
     ``dpm_policy`` (the CLI's ``--dpm-policy``) restricts the dynamic
     policies to one name (``fixed`` keeps only the static grid);
     ``slo_target`` (``--slo-target``) restricts the feedback targets to
-    one value.
+    one value; ``dpm_ladder`` (``--dpm-ladder``) duplicates the grid on a
+    multi-state ladder axis and reports where the ladder beats the best
+    two-state static threshold at equal-or-better p95.
     """
+    if dpm_ladder is not None and dpm_ladder not in dpm_ladder_names():
+        raise ConfigError(
+            f"unknown --dpm-ladder {dpm_ladder!r}; choose from "
+            f"{dpm_ladder_names()}"
+        )
     if dpm_policy is not None:
         valid = ("fixed", "slo_feedback") + tuple(DEFAULT_DYNAMIC_POLICIES)
         if dpm_policy not in valid:
@@ -218,14 +258,16 @@ def run(
             dynamic_policies=dynamic_policies,
             num_disks=num_disks,
             load_constraint=load_constraint,
+            dpm_ladder=dpm_ladder,
         )
         by_key = default_runner().run_map(tasks)
 
         result = ExperimentResult(name="slo_frontier")
         demonstrations = []
+        ladder_demonstrations = []
         for rate in rates:
             statics = {
-                th: by_key[("fixed", rate, th, None)]
+                th: by_key[("fixed", rate, th, None, None)]
                 for th in static_thresholds
             }
 
@@ -263,9 +305,23 @@ def run(
             for th, res in statics.items():
                 account(f"fixed th={th:g}", res)
             for policy in dynamic_policies:
-                account(policy, by_key[(policy, rate, None, None)])
+                account(policy, by_key[(policy, rate, None, None, None)])
+            ladder_cells = []
+            if dpm_ladder is not None:
+                for th in (None,) + tuple(static_thresholds):
+                    res = by_key[("fixed", rate, th, None, dpm_ladder)]
+                    label = (
+                        f"fixed native [{dpm_ladder}]" if th is None
+                        else f"fixed th={th:g} [{dpm_ladder}]"
+                    )
+                    account(label, res)
+                    ladder_cells.append((label, res))
+                for policy in dynamic_policies:
+                    res = by_key[(policy, rate, None, None, dpm_ladder)]
+                    account(f"{policy} [{dpm_ladder}]", res)
+                    ladder_cells.append((f"{policy} [{dpm_ladder}]", res))
             for target in slo_targets:
-                fb = by_key[("slo_feedback", rate, None, target)]
+                fb = by_key[("slo_feedback", rate, None, target, None)]
                 account(f"slo_feedback p95<={target:g}", fb, target=target)
 
                 # The headline comparison: does the controller meet a
@@ -294,6 +350,43 @@ def run(
                         f"(best target-meeting static saves "
                         f"{best_static:.3f})"
                     )
+                if dpm_ladder is not None:
+                    lfb = by_key[
+                        ("slo_feedback", rate, None, target, dpm_ladder)
+                    ]
+                    account(
+                        f"slo_feedback p95<={target:g} [{dpm_ladder}]",
+                        lfb,
+                        target=target,
+                    )
+
+            # The ladder headline: a cell on the ladder frontier that
+            # saves strictly more power than the *best* two-state static
+            # threshold among those with equal-or-better p95 — the
+            # intermediate rungs monetize the medium gaps a single
+            # threshold cannot.
+            if dpm_ladder is not None:
+                for label, res in ladder_cells:
+                    p95 = res.p95_response
+                    saving = _saving(res)
+                    rivals = [
+                        (th, s)
+                        for th, s in statics.items()
+                        if s.p95_response <= p95 * 1.02 + 0.25
+                    ]
+                    if not rivals:
+                        continue
+                    best_th, best = max(
+                        rivals, key=lambda pair: _saving(pair[1])
+                    )
+                    if saving > _saving(best) + 1e-9:
+                        ladder_demonstrations.append(
+                            f"R={rate:g}: {label} saves {saving:.3f} at "
+                            f"p95={p95:.2f}s — beating the best two-state "
+                            f"static at equal-or-better p95 (th={best_th:g}"
+                            f", saving {_saving(best):.3f}, "
+                            f"p95={best.p95_response:.2f}s)"
+                        )
 
             result.bundles[f"R_{rate:g}"] = bundle
             result.tables[f"R_{rate:g}"] = format_table(
@@ -323,6 +416,17 @@ def run(
                 "no (rate, target) cell demonstrated the controller beating "
                 "the static grid at this scale — try scale>=0.25"
             )
+        if ladder_demonstrations:
+            result.notes.append(
+                "ladder frontier demonstration: "
+                + "; ".join(ladder_demonstrations)
+            )
+        elif dpm_ladder is not None:
+            result.notes.append(
+                f"no cell showed the {dpm_ladder} ladder beating the best "
+                "two-state static threshold at equal p95 at this scale — "
+                "try scale>=0.25"
+            )
         result.notes.append(
             "spread (round_robin) placement on purpose: packed allocations "
             "make the threshold nearly free (Figs 2-6), spread traffic "
@@ -346,12 +450,14 @@ def main() -> None:  # pragma: no cover - CLI convenience
     parser.add_argument("--scale", type=float, default=0.25)
     parser.add_argument("--dpm-policy", type=str, default=None)
     parser.add_argument("--slo-target", type=float, default=None)
+    parser.add_argument("--dpm-ladder", type=str, default=None)
     args = parser.parse_args()
     print(
         run(
             scale=args.scale,
             dpm_policy=args.dpm_policy,
             slo_target=args.slo_target,
+            dpm_ladder=args.dpm_ladder,
         ).to_text()
     )
 

@@ -35,10 +35,21 @@ pluggable write placement (full registry)  yes         yes
 shared whole-file cache (any policy)       yes         yes
 mixed read/write + cache                   yes         yes
 online DPM policies (full registry)        yes         yes
+multi-state DPM ladders (presets + user)   yes         yes
+ladders under online control (scaled)      yes         yes
 array-backed streams (``.times``)          required    not needed
 arbitrary iterator streams                 no          yes
 custom per-request processes               no          yes
 =========================================  ==========  ===========
+
+Multi-state ladders (``StorageConfig(dpm_ladder=...)`` — presets
+``two_state``/``nap``/``drpm4`` in :data:`repro.disk.dpm.DPM_LADDERS`,
+or any user :class:`~repro.disk.dpm.DpmLadder`) replay through the
+per-rung :class:`_LadderBank` recursion; the ``two_state`` preset is
+byte-identical to the classic :class:`_DiskBank` path, and the seeded
+randomized differential harness in ``tests/differential/`` holds both
+engines to 1e-9 agreement across the full config space (disks x streams
+x cache x write policy x DPM policy x ladder).
 
 Every policy in :data:`repro.system.placement.PLACEMENT_POLICIES` is
 engine-agnostic: both kernels feed it the same
@@ -481,6 +492,289 @@ class _ControlledBank(_DiskBank):
         return spindown_time, spinup_time, standby_time, spinups, spindowns
 
 
+class _LadderBank:
+    """Multi-rung generalization of :class:`_DiskBank` for DPM ladders.
+
+    Evolves exactly the state the event kernel's
+    :class:`~repro.disk.multistate.MultiStateDiskDrive` evolves: per disk,
+    the time it next falls idle plus per-rung park/descent/wake
+    residencies.  An idle gap walks the ladder's (threshold-scaled)
+    descent schedule: fully traversed rungs bill their descent and park
+    times, the rung occupied when the gap ends bills a (possibly
+    horizon-clipped) descent plus park-until-arrival, and the wake is
+    billed at the rung's wake power for its configured wake time.  With
+    the ``two_state`` ladder the recursion's arithmetic is term-for-term
+    the classic :class:`_DiskBank` spin-down/spin-up recursion, so that
+    ladder simulates byte-identically to the pre-ladder kernel (the
+    regression tests in ``tests/sim/test_ladder_fastkernel.py`` assert
+    bit-equal response times and energies).
+    """
+
+    def __init__(
+        self, num_disks: int, threshold: float, ladder, spec: DiskSpec,
+        horizon: float,
+    ) -> None:
+        self.avail = [0.0] * num_disks
+        self.load = [0.0] * num_disks
+        self.n_up = [0] * num_disks
+        self.n_down = [0] * num_disks
+        self.oh = spec.access_overhead
+        self.T = horizon
+        self.ladder = ladder
+        rungs = ladder.rungs
+        self.R = len(rungs)
+        self.dn = [r.down_time for r in rungs]
+        self.wk = [r.wake_time for r in rungs]
+        # Per-rung per-disk residencies; rung 0's park time is computed as
+        # the horizon residual (like the classic bank's idle time).
+        self.park_t = [[0.0] * num_disks for _ in rungs]
+        self.down_t = [[0.0] * num_disks for _ in rungs]
+        self.wake_t = [[0.0] * num_disks for _ in rungs]
+        self.th = float(threshold)
+        self.entries = ladder.scaled_entries(self.th)
+        self.no_descend = self.R == 1 or isinf(self.entries[1])
+
+    def _descend(self, d: int, a: float, t: float, entries) -> float:
+        """Walk the idle gap ``[a, t)`` down the ladder; returns the wake
+        completion (service start) and bills every residency touched."""
+        g = t - a
+        T = self.T
+        dn = self.dn
+        R = self.R
+        i = 1
+        while i + 1 < R and g > entries[i + 1]:
+            i += 1
+        for j in range(1, i):
+            # Rungs fully traversed before the arrival: full descent plus
+            # park until the next rung's descent starts (all before t < T).
+            ds = a + entries[j]
+            de = ds + dn[j]
+            self.down_t[j][d] += de - ds
+            pe = a + entries[j + 1]
+            if pe > de:
+                self.park_t[j][d] += pe - de
+        ds = a + entries[i]
+        de = ds + dn[i]
+        self.n_down[d] += i
+        self.down_t[i][d] += min(de, T) - ds
+        if t >= de:
+            self.park_t[i][d] += t - de
+            ws = t
+        else:
+            # Arrived mid-descent: the transition is not abortable.
+            ws = de
+        w = self.wk[i]
+        if ws < T:
+            self.n_up[d] += 1
+            self.wake_t[i][d] += min(ws + w, T) - ws
+        return ws + w
+
+    def serve(self, d: int, t: float, tr: float) -> float:
+        """Queue one request on disk ``d`` arriving at ``t``; returns the
+        service start (the event kernel's seek entry time)."""
+        a = self.avail[d]
+        if t > a:
+            if self.no_descend or t - a <= self.entries[1]:
+                s = t
+            else:
+                s = self._descend(d, a, t, self.entries)
+        else:
+            s = a
+        self.avail[d] = s + self.oh + tr
+        self.load[d] += self.oh + tr
+        return s
+
+    def serve_batch(self, d: int, ts: list, trs: list) -> List[float]:
+        """FIFO replay of one disk's run (the gap walk dominates only on
+        sparse streams, where request counts are small anyway)."""
+        serve = self.serve
+        return [serve(d, t, tr) for t, tr in zip(ts, trs)]
+
+    def spinning_mask(self, t: float) -> np.ndarray:
+        """Per-disk "not parked in the deepest rung at ``t``" — descents,
+        intermediate rungs and wakes all count as spinning, exactly like
+        the classic bank's SPINDOWN-inclusive mask."""
+        avail = np.asarray(self.avail)
+        if self.no_descend:
+            return np.ones(avail.shape, dtype=bool)
+        return t < (avail + self.entries[-1]) + self.dn[-1]
+
+    def _tail_one(self, d: int, a: float, entries) -> None:
+        """Fold one disk's post-drain trailing idleness (descents started
+        before the horizon, parks clipped at it) into the residencies."""
+        T = self.T
+        R = self.R
+        dn = self.dn
+        for i in range(1, R):
+            ds = a + entries[i]
+            if ds >= T:
+                break
+            de = ds + dn[i]
+            self.n_down[d] += 1
+            self.down_t[i][d] += min(de, T) - ds
+            pe = (a + entries[i + 1]) if i + 1 < R else T
+            if pe > T:
+                pe = T
+            if pe > de:
+                self.park_t[i][d] += pe - de
+
+    def apply_tail(self):
+        """Trailing-idleness pass at the horizon; returns per-disk
+        ``(spinups, spindowns)`` arrays."""
+        if not self.no_descend:
+            for d, a in enumerate(self.avail):
+                self._tail_one(d, a, self.entries)
+        return (
+            np.asarray(self.n_up, dtype=np.int64),
+            np.asarray(self.n_down, dtype=np.int64),
+        )
+
+
+class _ControlledLadderBank(_LadderBank):
+    """Per-interval, per-disk threshold variant of :class:`_LadderBank`.
+
+    The controller's scalar per-disk threshold (resolved at each gap's
+    drain instant from the applied-vector history, exactly like
+    :class:`_ControlledBank`) scales the whole descent schedule via
+    :meth:`~repro.disk.dpm.DpmLadder.scaled_entries` — so
+    ``adaptive_timeout``/``slo_feedback`` steer ladder descent with the
+    same telemetry contract as the two-state drives.  Also logs closed
+    idle gaps for the telemetry feed and every park/descent/wake episode
+    as ``(disk, start, end)`` spans for the per-interval power trace.
+    """
+
+    def __init__(
+        self,
+        num_disks: int,
+        init_thresholds: np.ndarray,
+        ladder,
+        spec: DiskSpec,
+        horizon: float,
+        interval: float,
+    ) -> None:
+        super().__init__(num_disks, 0.0, ladder, spec, horizon)
+        self.entries = None  # per-gap schedules only; never a shared one
+        self.no_descend = False
+        self.ci = float(interval)
+        self._th_rows: List[List[float]] = [
+            np.asarray(init_thresholds, dtype=float).tolist()
+        ]
+        self.k = 0
+        self._entry_cache: dict = {}
+        self.gap_log: List[List[tuple]] = [[] for _ in range(num_disks)]
+        self.park_spans: List[List[tuple]] = [[] for _ in ladder.rungs]
+        self.down_spans: List[List[tuple]] = [[] for _ in ladder.rungs]
+        self.wake_spans: List[List[tuple]] = [[] for _ in ladder.rungs]
+
+    def push_thresholds(self, thresholds: np.ndarray) -> None:
+        """Apply the vector decided at the boundary entering interval k+1."""
+        self._th_rows.append(np.asarray(thresholds, dtype=float).tolist())
+        self.k += 1
+
+    def _th_at(self, drain: float, d: int) -> float:
+        """Threshold governing a gap that began at ``drain`` on disk ``d``."""
+        idx = int(drain / self.ci)
+        if idx > self.k:
+            idx = self.k
+        return self._th_rows[idx][d]
+
+    def _entries_for(self, th: float):
+        entries = self._entry_cache.get(th)
+        if entries is None:
+            entries = self.ladder.scaled_entries(th)
+            self._entry_cache[th] = entries
+        return entries
+
+    def _descend_logged(self, d: int, a: float, t: float, entries) -> float:
+        """:meth:`_LadderBank._descend` plus span logging for the trace."""
+        g = t - a
+        T = self.T
+        dn = self.dn
+        R = self.R
+        i = 1
+        while i + 1 < R and g > entries[i + 1]:
+            i += 1
+        for j in range(1, i):
+            ds = a + entries[j]
+            de = ds + dn[j]
+            self.down_t[j][d] += de - ds
+            self.down_spans[j].append((d, ds, de))
+            pe = a + entries[j + 1]
+            if pe > de:
+                self.park_t[j][d] += pe - de
+                self.park_spans[j].append((d, de, pe))
+        ds = a + entries[i]
+        de = ds + dn[i]
+        self.n_down[d] += i
+        self.down_t[i][d] += min(de, T) - ds
+        self.down_spans[i].append((d, ds, de))
+        if t >= de:
+            self.park_t[i][d] += t - de
+            self.park_spans[i].append((d, de, t))
+            ws = t
+        else:
+            ws = de
+        w = self.wk[i]
+        if ws < T:
+            self.n_up[d] += 1
+            self.wake_t[i][d] += min(ws + w, T) - ws
+            self.wake_spans[i].append((d, ws, ws + w))
+        return ws + w
+
+    def serve(self, d: int, t: float, tr: float) -> float:
+        a = self.avail[d]
+        if t > a:
+            th = self._th_at(a, d)
+            self.gap_log[d].append((t - a, th))
+            entries = self._entries_for(th)
+            if self.R == 1 or isinf(entries[1]) or t - a <= entries[1]:
+                s = t
+            else:
+                s = self._descend_logged(d, a, t, entries)
+        else:
+            s = a
+        self.avail[d] = s + self.oh + tr
+        self.load[d] += self.oh + tr
+        return s
+
+    def spinning_mask(self, t: float) -> np.ndarray:
+        out = np.empty(len(self.avail), dtype=bool)
+        last_dn = self.dn[-1]
+        for d, a in enumerate(self.avail):
+            entries = self._entries_for(self._th_at(a, d))
+            # inf threshold => a + inf == inf => always spinning.
+            out[d] = t < (a + entries[-1]) + last_dn
+        return out
+
+    def _tail_one(self, d: int, a: float, entries) -> None:
+        """Trailing idleness with span logging (parks clipped at T)."""
+        T = self.T
+        R = self.R
+        dn = self.dn
+        for i in range(1, R):
+            ds = a + entries[i]
+            if ds >= T:
+                break
+            de = ds + dn[i]
+            self.n_down[d] += 1
+            self.down_t[i][d] += min(de, T) - ds
+            self.down_spans[i].append((d, ds, de))
+            pe = (a + entries[i + 1]) if i + 1 < R else T
+            if pe > T:
+                pe = T
+            if pe > de:
+                self.park_t[i][d] += pe - de
+                self.park_spans[i].append((d, de, pe))
+
+    def apply_tail(self):
+        for d, a in enumerate(self.avail):
+            self._tail_one(d, a, self._entries_for(self._th_at(a, d)))
+        return (
+            np.asarray(self.n_up, dtype=np.int64),
+            np.asarray(self.n_down, dtype=np.int64),
+        )
+
+
 def _allocate_for_write(
     bank: _DiskBank,
     policy: WritePlacementPolicy,
@@ -888,6 +1182,56 @@ def _controlled_power_matrix(
     return energy / windows[:, None]
 
 
+def _controlled_ladder_power_matrix(
+    bank: "_ControlledLadderBank",
+    records,
+    d_s: np.ndarray,
+    s_s: np.ndarray,
+    tr_s: np.ndarray,
+    spec: DiskSpec,
+    num_disks: int,
+) -> np.ndarray:
+    """Ladder analogue of :func:`_controlled_power_matrix`: per-interval
+    per-disk mean power from the controlled ladder bank's logged episodes
+    (seek/active per request, park/descent/wake spans per rung, rung-0
+    park as the window residual)."""
+    from repro.control.telemetry import bin_spans
+
+    edges = np.array(
+        [records[0].t_start] + [rec.t_end for rec in records], dtype=float
+    )
+    windows = np.diff(edges)
+
+    def spans(entries):
+        if not entries:
+            empty = np.empty(0)
+            return np.empty(0, np.int64), empty, empty
+        arr = np.asarray(entries, dtype=float)
+        return arr[:, 0].astype(np.int64), arr[:, 1], arr[:, 2]
+
+    seek = bin_spans(d_s, s_s, s_s + bank.oh, edges, num_disks)
+    active = bin_spans(
+        d_s, s_s + bank.oh, s_s + bank.oh + tr_s, edges, num_disks
+    )
+    rungs = bank.ladder.rungs
+    occupied = seek + active
+    energy = spec.seek_power * seek + spec.active_power * active
+    for i in range(1, len(rungs)):
+        park = bin_spans(*spans(bank.park_spans[i]), edges, num_disks)
+        down = bin_spans(*spans(bank.down_spans[i]), edges, num_disks)
+        wake = bin_spans(*spans(bank.wake_spans[i]), edges, num_disks)
+        occupied = occupied + park + down + wake
+        energy = (
+            energy
+            + rungs[i].power * park
+            + rungs[i].down_power * down
+            + rungs[i].wake_power * wake
+        )
+    idle = np.clip(windows[:, None] - occupied, 0.0, None)
+    energy = energy + rungs[0].power * idle
+    return energy / windows[:, None]
+
+
 def simulate_fast(
     sizes: np.ndarray,
     mapping: np.ndarray,
@@ -902,6 +1246,7 @@ def simulate_fast(
     usable_capacity: Optional[float] = None,
     write_policy=None,
     dpm=None,
+    ladder=None,
 ) -> SimulationResult:
     """Simulate ``stream`` against ``mapping`` without the event loop.
 
@@ -919,7 +1264,13 @@ def simulate_fast(
     engaging the interval-segmented controlled path — ``None`` (or a
     static policy, which :meth:`StorageConfig.dpm_controller` maps to
     ``None``) keeps the fixed-threshold paths byte-identical to the
-    pre-control kernel.  Returns the same
+    pre-control kernel.  ``ladder`` is an optional
+    :class:`~repro.disk.dpm.DpmLadder`: the run replays through the
+    per-rung :class:`_LadderBank` recursion (or
+    :class:`_ControlledLadderBank` under a dynamic policy, with
+    ``threshold``/the controller vector scaling the descent schedule),
+    and ``state_durations`` is keyed by the ladder's timeline labels
+    instead of :class:`DiskState`.  Returns the same
     :class:`~repro.system.metrics.SimulationResult` the event kernel
     produces, including the post-run ``final_mapping`` and — under
     control — the per-interval traces in ``extra["dpm"]``.  The caller's
@@ -980,15 +1331,24 @@ def simulate_fast(
                 f"controller sized for {dpm.num_disks} disks but the pool "
                 f"has {num_disks}"
             )
-        bank: _DiskBank = _ControlledBank(
-            num_disks, dpm.thresholds, spec, T, dpm.interval
-        )
+        if ladder is not None:
+            bank = _ControlledLadderBank(
+                num_disks, dpm.thresholds, ladder, spec, T, dpm.interval
+            )
+        else:
+            bank = _ControlledBank(
+                num_disks, dpm.thresholds, spec, T, dpm.interval
+            )
         _serve_controlled(
             bank, dpm, policy, mapping, free, sizes, fid, t_all, tr_all,
             is_write, cache, cache_hit_latency, starts, d_req,
         )
     else:
-        bank = _DiskBank(num_disks, threshold, spec, T)
+        bank = (
+            _LadderBank(num_disks, threshold, ladder, spec, T)
+            if ladder is not None
+            else _DiskBank(num_disks, threshold, spec, T)
+        )
         if cache is not None:
             _serve_coupled(
                 bank, policy, mapping, free, sizes, fid, t_all, tr_all,
@@ -1012,10 +1372,14 @@ def simulate_fast(
     # -- vectorized accounting over the banked state ---------------------------
 
     # Spin accounting with trailing idleness applied (a disk whose
-    # post-drain gap outlasts its threshold spins down before the horizon).
-    spindown_time, spinup_time, standby_time, spinups, spindowns = (
-        bank.tail_arrays()
-    )
+    # post-drain gap outlasts its threshold spins down — or descends the
+    # ladder — before the horizon).
+    if ladder is not None:
+        spinups, spindowns = bank.apply_tail()
+    else:
+        spindown_time, spinup_time, standby_time, spinups, spindowns = (
+            bank.tail_arrays()
+        )
 
     served = d_req >= 0
     hits = int(arrivals - int(served.sum()))
@@ -1033,12 +1397,19 @@ def simulate_fast(
         weights=np.clip(T - (s_s + oh), 0.0, tr_s),
         minlength=num_disks,
     )
-    idle_time = np.clip(
-        T
-        - (seek_time + active_time + spindown_time + spinup_time + standby_time),
-        0.0,
-        None,
-    )
+    if ladder is None:
+        idle_time = np.clip(
+            T
+            - (
+                seek_time
+                + active_time
+                + spindown_time
+                + spinup_time
+                + standby_time
+            ),
+            0.0,
+            None,
+        )
 
     completion = s_s + oh + tr_s
     done = completion < T
@@ -1053,18 +1424,49 @@ def simulate_fast(
     # Report response times in completion order, like the dispatcher does.
     response_times = resp_values[np.argsort(resp_completion, kind="stable")]
 
-    per_state = {
-        DiskState.IDLE: idle_time,
-        DiskState.STANDBY: standby_time,
-        DiskState.SEEK: seek_time,
-        DiskState.ACTIVE: active_time,
-        DiskState.SPINUP: spinup_time,
-        DiskState.SPINDOWN: spindown_time,
-    }
     power_model = PowerModel(spec)
-    energy_per_disk = np.zeros(num_disks, dtype=float)
-    for state, per_disk in per_state.items():
-        energy_per_disk += power_model.power(state) * per_disk
+    if ladder is not None:
+        # Ladder runs are keyed by timeline label; the accumulation order
+        # (rung 0, parks, seek, active, wakes, descents) makes the
+        # two_state ladder's float arithmetic term-for-term identical to
+        # the classic DiskState path below.
+        rungs = ladder.rungs
+        park = [np.asarray(p, dtype=float) for p in bank.park_t]
+        down = [np.asarray(p, dtype=float) for p in bank.down_t]
+        wake = [np.asarray(p, dtype=float) for p in bank.wake_t]
+        occupied = seek_time + active_time
+        for arr in down[1:]:
+            occupied = occupied + arr
+        for arr in wake[1:]:
+            occupied = occupied + arr
+        for arr in park[1:]:
+            occupied = occupied + arr
+        idle_time = np.clip(T - occupied, 0.0, None)
+        per_state = {rungs[0].name: idle_time}
+        for i in range(1, len(rungs)):
+            per_state[rungs[i].name] = park[i]
+        per_state["seek"] = seek_time
+        per_state["active"] = active_time
+        for i in range(1, len(rungs)):
+            per_state[f"wake:{rungs[i].name}"] = wake[i]
+        for i in range(1, len(rungs)):
+            per_state[f"down:{rungs[i].name}"] = down[i]
+        powers = ladder.power_table(spec)
+        energy_per_disk = np.zeros(num_disks, dtype=float)
+        for state, per_disk in per_state.items():
+            energy_per_disk += powers[state] * per_disk
+    else:
+        per_state = {
+            DiskState.IDLE: idle_time,
+            DiskState.STANDBY: standby_time,
+            DiskState.SEEK: seek_time,
+            DiskState.ACTIVE: active_time,
+            DiskState.SPINUP: spinup_time,
+            DiskState.SPINDOWN: spindown_time,
+        }
+        energy_per_disk = np.zeros(num_disks, dtype=float)
+        for state, per_disk in per_state.items():
+            energy_per_disk += power_model.power(state) * per_disk
     state_durations = {
         state: float(per_disk.sum())
         for state, per_disk in per_state.items()
@@ -1073,11 +1475,18 @@ def simulate_fast(
 
     extra = {}
     if dpm is not None:
-        dpm.attach_power(
-            _controlled_power_matrix(
-                bank, dpm.records, d_s, s_s, tr_s, power_model, num_disks
+        if ladder is not None:
+            dpm.attach_power(
+                _controlled_ladder_power_matrix(
+                    bank, dpm.records, d_s, s_s, tr_s, spec, num_disks
+                )
             )
-        )
+        else:
+            dpm.attach_power(
+                _controlled_power_matrix(
+                    bank, dpm.records, d_s, s_s, tr_s, power_model, num_disks
+                )
+            )
         extra["dpm"] = dpm.extra()
 
     return SimulationResult(

@@ -3,7 +3,7 @@
 from __future__ import annotations
 
 from dataclasses import dataclass, replace
-from typing import Optional
+from typing import Optional, Union
 
 from repro.control.controller import controller_from
 from repro.control.policies import (
@@ -11,6 +11,7 @@ from repro.control.policies import (
     DPM_POLICIES,
     dpm_policy_names,
 )
+from repro.disk.dpm import DpmLadder, dpm_ladder_names, make_dpm_ladder
 from repro.disk.service import ServiceModel
 from repro.disk.specs import ST3500630AS, DiskSpec
 from repro.errors import ConfigError
@@ -68,6 +69,18 @@ class StorageConfig:
     control_interval:
         Length of one control interval in seconds (dynamic policies
         decide once per interval; ignored by ``"fixed"``).
+    dpm_ladder:
+        Optional multi-state power ladder: a preset name from
+        :data:`repro.disk.dpm.DPM_LADDERS` (``two_state``, ``nap``,
+        ``drpm4``) or a ready :class:`~repro.disk.dpm.DpmLadder`.
+        ``None`` (default) keeps the classic Figure 1 two-state drive —
+        byte-identical to the pre-ladder simulator; the ``two_state``
+        *preset* routes through the ladder machinery but is regression-
+        tested bit-equal to that classic path.  With a ladder,
+        ``idleness_threshold`` (and any dynamic ``dpm_policy``) steers
+        the *first-descent* threshold; deeper entries scale
+        proportionally (see :meth:`DpmLadder.scaled_entries`).  Both
+        engines honor ladders identically (~1e-9).
     slo_target / slo_percentile:
         Response-time service-level objective: ``slo_target`` seconds at
         the ``slo_percentile``-th percentile.  Required by
@@ -95,6 +108,7 @@ class StorageConfig:
     write_policy: str = DEFAULT_WRITE_POLICY
     dpm_policy: str = DEFAULT_DPM_POLICY
     control_interval: float = 250.0
+    dpm_ladder: Union[None, str, DpmLadder] = None
     slo_target: Optional[float] = None
     slo_percentile: float = 95.0
     engine: str = "event"
@@ -129,6 +143,19 @@ class StorageConfig:
             )
         if self.control_interval <= 0:
             raise ConfigError("control_interval must be positive")
+        if isinstance(self.dpm_ladder, str) and (
+            self.dpm_ladder not in dpm_ladder_names()
+        ):
+            raise ConfigError(
+                f"unknown DPM ladder {self.dpm_ladder!r}; "
+                f"choose from {dpm_ladder_names()}"
+            )
+        if self.dpm_ladder is not None and not isinstance(
+            self.dpm_ladder, (str, DpmLadder)
+        ):
+            raise ConfigError(
+                "dpm_ladder must be a preset name or a DpmLadder"
+            )
         if self.slo_target is not None and self.slo_target <= 0:
             raise ConfigError("slo_target must be positive when set")
         if not 0 < self.slo_percentile < 100:
@@ -153,10 +180,23 @@ class StorageConfig:
 
     @property
     def threshold(self) -> float:
-        """The effective idleness threshold (break-even when unset)."""
-        if self.idleness_threshold is None:
-            return self.spec.breakeven_threshold()
-        return self.idleness_threshold
+        """The effective idleness threshold (break-even when unset).
+
+        With a ladder configured this is the *first-descent* threshold;
+        when ``idleness_threshold`` is unset it defaults to the ladder's
+        native first entry (for the ``two_state`` preset that is exactly
+        the break-even value).
+        """
+        if self.idleness_threshold is not None:
+            return self.idleness_threshold
+        if self.dpm_ladder is not None:
+            return self.ladder().base_threshold
+        return self.spec.breakeven_threshold()
+
+    def ladder(self) -> Optional[DpmLadder]:
+        """The resolved :class:`~repro.disk.dpm.DpmLadder`, or ``None``
+        for the classic two-state drive."""
+        return make_dpm_ladder(self.dpm_ladder, self.spec)
 
     def service_model(self) -> ServiceModel:
         """The configured :class:`~repro.disk.service.ServiceModel`."""

@@ -252,7 +252,7 @@ class Dispatcher:
         from the live drives' spin states and the dispatch ledger.
         """
         spinning = np.fromiter(
-            (d.state.spinning for d in self.array.disks),
+            (d.spinning for d in self.array.disks),
             dtype=bool,
             count=len(self.array),
         )

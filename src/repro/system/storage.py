@@ -82,6 +82,7 @@ class StorageSystem:
             self.config.spec,
             self.num_disks,
             idleness_threshold=self.config.threshold,
+            ladder=self.config.ladder(),
         )
         cache = (
             make_cache(self.config.cache_policy, self.config.cache_capacity)
@@ -169,6 +170,7 @@ class StorageSystem:
                 usable_capacity=self.config.usable_capacity,
                 write_policy=self.config.placement_policy(),
                 dpm=self.config.dpm_controller(self.num_disks),
+                ladder=self.config.ladder(),
             )
         controller = self.config.dpm_controller(self.num_disks)
         loop = None

@@ -1,0 +1,112 @@
+"""Schema tests for the per-interval control trace in ``result.extra["dpm"]``.
+
+Every registered dynamic policy (with and without a ladder) must attach a
+complete, well-formed trace: aligned list lengths, contiguous monotone
+interval edges on the control grid, per-disk threshold rows, a full power
+matrix, and completion counts that add up to the run's.  Previously only
+spot-checked per policy; this grid pins the schema for all of them.
+"""
+
+import math
+
+import numpy as np
+import pytest
+
+from repro.control import dpm_policy_names
+from repro.system import StorageConfig, StorageSystem, allocate
+from repro.workload.generator import SyntheticWorkloadParams, generate_workload
+
+DYNAMIC = tuple(n for n in dpm_policy_names() if n != "fixed")
+
+#: Trace keys that must be one-entry-per-interval lists.
+PER_INTERVAL_KEYS = (
+    "t_start", "t_end", "thresholds", "completions", "interval_p95",
+    "p95_running", "p99_running", "slo_estimate", "mean_queue_depth",
+)
+
+
+@pytest.fixture(scope="module")
+def workload():
+    return generate_workload(
+        SyntheticWorkloadParams(
+            n_files=900, arrival_rate=1.0, duration=700.0, seed=31
+        )
+    )
+
+
+def _run(workload, policy, ladder, engine):
+    kwargs = dict(
+        num_disks=25,
+        load_constraint=0.6,
+        dpm_policy=policy,
+        control_interval=130.0,
+        dpm_ladder=ladder,
+        engine=engine,
+    )
+    if policy == "slo_feedback":
+        kwargs["slo_target"] = 25.0
+    cfg = StorageConfig(**kwargs)
+    mapping = allocate(workload.catalog, "pack", cfg, 1.0).mapping(
+        workload.catalog.n
+    )
+    system = StorageSystem(workload.catalog, mapping, cfg)
+    return system.run(workload.stream), system.num_disks
+
+
+@pytest.mark.parametrize("ladder", (None, "nap"))
+@pytest.mark.parametrize("policy", DYNAMIC)
+@pytest.mark.parametrize("engine", ("fast", "event"))
+def test_trace_schema(workload, policy, ladder, engine):
+    result, num_disks = _run(workload, policy, ladder, engine)
+    dpm = result.extra["dpm"]
+    assert dpm["policy"] == policy
+    interval = dpm["interval"]
+    assert interval == 130.0
+
+    n = len(dpm["t_end"])
+    assert n >= 2
+    for key in PER_INTERVAL_KEYS:
+        assert len(dpm[key]) == n, key
+
+    # Interval edges: contiguous, monotone, on the control grid, ending
+    # exactly at the horizon.
+    t_start, t_end = dpm["t_start"], dpm["t_end"]
+    assert t_start[0] == 0.0
+    assert t_end[-1] == pytest.approx(result.duration)
+    for i in range(n):
+        assert t_end[i] > t_start[i]
+        if i + 1 < n:
+            assert t_start[i + 1] == t_end[i]
+            assert t_end[i] == pytest.approx((i + 1) * interval)
+
+    # Threshold rows: one non-negative value per disk, every interval.
+    for row in dpm["thresholds"]:
+        assert len(row) == num_disks
+        assert all(th >= 0 for th in row)
+
+    # Completions observed per interval add up to the run's.
+    assert sum(dpm["completions"]) == result.completions
+
+    # Power trace: full (intervals x disks) matrix of finite wattages.
+    power = np.asarray(dpm["power"], dtype=float)
+    assert power.shape == (n, num_disks)
+    assert np.all(np.isfinite(power))
+    assert np.all(power >= 0)
+
+    # Percentile estimates: NaN only before any completion, then finite
+    # and non-negative.
+    seen = 0
+    for i, p95 in enumerate(dpm["p95_running"]):
+        seen += dpm["completions"][i]
+        if seen:
+            assert math.isfinite(p95) and p95 >= 0.0
+    # The trace's total window-weighted power equals the run's energy.
+    windows = np.asarray(t_end) - np.asarray(t_start)
+    assert float((power.T * windows).sum()) == pytest.approx(
+        result.energy, rel=1e-6
+    )
+
+
+def test_static_policy_attaches_no_trace(workload):
+    result, _ = _run(workload, "fixed", None, "fast")
+    assert "dpm" not in result.extra

@@ -1,0 +1,301 @@
+"""Seeded random-scenario generation for the cross-engine differential
+harness (see README.md in this directory for the reproduction workflow).
+
+One integer seed deterministically expands into a complete, *valid*
+simulation scenario — catalog, request stream, initial mapping and
+:class:`~repro.system.config.StorageConfig` — sampled across the full
+configuration product the engines must agree on:
+
+    disks x stream shape x read/write mix x cache (policy, capacity)
+    x write-placement policy x DPM policy (incl. SLO feedback)
+    x idleness threshold (0 / finite / inf / default)
+    x DPM ladder (none / presets / random user ladder)
+
+``build_case(seed)`` returns the scenario plus a paste-able description;
+``assert_engines_agree`` runs both kernels and holds them to 1e-9
+agreement plus a battery of physical invariants.  This harness replaces
+hand-enumerated grids as the primary engine-equivalence oracle: every new
+simulation feature multiplies the surface, and uniform random sampling
+covers the product where curated grids cannot.
+"""
+
+from __future__ import annotations
+
+import math
+from dataclasses import dataclass
+
+import numpy as np
+import pytest
+
+from repro.control.policies import dpm_policy_names
+from repro.disk.dpm import DpmLadder, LadderRung, dpm_ladder_names
+from repro.system import StorageConfig, StorageSystem
+from repro.system.placement import placement_policy_names
+from repro.units import GiB, MB
+from repro.workload.catalog import FileCatalog
+from repro.workload.arrivals import RequestStream
+from repro.workload.mixed import MixedRequestStream
+
+#: Event-vs-fast agreement tolerance (matches the curated control grids).
+TOL = 1e-9
+
+
+@dataclass
+class DifferentialCase:
+    """One fully materialized random scenario."""
+
+    seed: int
+    catalog: FileCatalog
+    stream: object
+    mapping: np.ndarray
+    config: StorageConfig
+    num_disks: int
+
+    def describe(self) -> str:
+        """Paste-able summary for bug reports and shrink-by-hand."""
+        cfg = self.config
+        stream = self.stream
+        kinds = getattr(stream, "kinds", None)
+        writes = int((np.asarray(kinds) == "write").sum()) if kinds is not None else 0
+        ladder = cfg.dpm_ladder
+        if isinstance(ladder, DpmLadder):
+            ladder = "DpmLadder(" + ", ".join(
+                f"({r.name!r}, p={r.power:.3f}, e={r.entry:.3f}, "
+                f"dn={r.down_time:.3f}, wk={r.wake_time:.3f})"
+                for r in ladder.rungs
+            ) + ")"
+        return (
+            f"DifferentialCase(seed={self.seed}): "
+            f"{self.num_disks} disks, {len(stream.times)} requests "
+            f"({writes} writes) over {stream.duration:.0f}s, "
+            f"files={self.catalog.n}, "
+            f"threshold={cfg.idleness_threshold!r}, "
+            f"cache={cfg.cache_policy!r}, write_policy={cfg.write_policy!r}, "
+            f"dpm_policy={cfg.dpm_policy!r} "
+            f"(interval={cfg.control_interval:g}, "
+            f"slo={cfg.slo_target!r}@{cfg.slo_percentile:g}), "
+            f"ladder={ladder!r}\n"
+            f"Reproduce: PYTHONPATH=src REPRO_DIFF_CASES=1 "
+            f"REPRO_DIFF_BASE_SEED={self.seed} "
+            f"python -m pytest 'tests/differential/test_differential.py::"
+            f"test_random_config_agrees' -q\n"
+            f"Or rebuild in a REPL: "
+            f"from diffgen import build_case; case = build_case({self.seed})"
+        )
+
+
+def _random_ladder(rng: np.random.Generator) -> DpmLadder:
+    """A random *valid* user ladder (entries built feasibly by construction)."""
+    depth = int(rng.integers(2, 5))
+    powers = np.sort(rng.uniform(0.5, 9.0, size=depth - 1))[::-1]
+    rungs = [LadderRung("idle", 9.3)]
+    entry = 0.0
+    down = 0.0
+    names = ["r1", "r2", "r3"]
+    for i in range(depth - 1):
+        entry = entry + down + float(rng.uniform(4.0, 90.0))
+        down = float(rng.uniform(0.0, 8.0))
+        rungs.append(
+            LadderRung(
+                names[i],
+                float(powers[i]),
+                entry=entry,
+                down_time=down,
+                down_power=float(rng.uniform(2.0, 12.0)),
+                wake_time=float(rng.uniform(0.0, 12.0)),
+                wake_power=float(rng.uniform(10.0, 30.0)),
+            )
+        )
+    return DpmLadder("random", tuple(rungs))
+
+
+def build_case(seed: int) -> DifferentialCase:
+    """Expand one seed into a valid random scenario (deterministically)."""
+    rng = np.random.default_rng(seed)
+    num_disks = int(rng.integers(2, 13))
+    duration = float(rng.uniform(200.0, 650.0))
+    rate = float(rng.uniform(0.1, 0.5)) * num_disks
+    n_files = int(rng.integers(30, 250))
+
+    sizes = rng.uniform(5 * MB, 400 * MB, size=n_files)
+    weights = rng.zipf(1.8, size=n_files).astype(float)
+    catalog = FileCatalog(sizes=sizes, popularities=weights / weights.sum())
+
+    count = int(rng.poisson(rate * duration))
+    times = np.sort(rng.uniform(0.0, duration, size=count))
+    file_ids = rng.choice(n_files, size=count, p=catalog.popularities)
+
+    # A fraction of runs mix in writes, some of which create new files
+    # (mapped -1 so the placement policy decides).
+    write_fraction = float(rng.choice([0.0, 0.0, 0.25, 0.5]))
+    mapping = rng.integers(0, num_disks, size=n_files).astype(np.int64)
+    if write_fraction > 0 and count:
+        n_new = int(rng.integers(0, max(1, n_files // 4) + 1))
+        if n_new:
+            new_sizes = rng.uniform(5 * MB, 400 * MB, size=n_new)
+            catalog = FileCatalog(
+                sizes=np.concatenate([catalog.sizes, new_sizes]),
+                popularities=np.concatenate(
+                    [catalog.popularities, np.zeros(n_new)]
+                ),
+            )
+            mapping = np.concatenate(
+                [mapping, np.full(n_new, -1, dtype=np.int64)]
+            )
+        kinds = np.where(
+            rng.random(count) < write_fraction, "write", "read"
+        ).astype(object)
+        if n_new:
+            # New files are written (first touch allocates), then may be
+            # re-read later in the stream.
+            new_ids = np.arange(n_files, n_files + n_new)
+            first_writes = rng.choice(
+                count, size=min(n_new, count), replace=False
+            )
+            for slot, fid in zip(np.sort(first_writes), new_ids):
+                file_ids[slot] = fid
+                kinds[slot] = "write"
+                later = (times > times[slot]) & (rng.random(count) < 0.05)
+                file_ids[later] = fid
+        stream = MixedRequestStream(
+            times=times, file_ids=file_ids, kinds=np.asarray(kinds, dtype=object),
+            duration=duration,
+        )
+    else:
+        stream = RequestStream(
+            times=times, file_ids=file_ids, duration=duration
+        )
+
+    cache_policy = rng.choice(
+        [None, None, None, "lru", "fifo", "clock", "lfu"]
+    )
+    threshold_kind = rng.choice(["default", "finite", "zero", "inf"])
+    idleness_threshold = {
+        "default": None,
+        "finite": float(rng.uniform(3.0, 150.0)),
+        "zero": 0.0,
+        "inf": math.inf,
+    }[threshold_kind]
+    dpm_policy = str(rng.choice(dpm_policy_names()))
+    ladder_choice = rng.choice(
+        [None, None, *dpm_ladder_names(), "random"]
+    )
+    if ladder_choice == "random":
+        dpm_ladder = _random_ladder(rng)
+    else:
+        dpm_ladder = ladder_choice
+
+    config = StorageConfig(
+        num_disks=num_disks,
+        idleness_threshold=idleness_threshold,
+        load_constraint=float(rng.uniform(0.4, 0.9)),
+        cache_policy=None if cache_policy is None else str(cache_policy),
+        cache_capacity=float(rng.uniform(0.25, 4.0)) * GiB,
+        cache_hit_latency=float(rng.choice([0.0, 0.0, 0.05])),
+        write_policy=str(rng.choice(placement_policy_names())),
+        dpm_policy=dpm_policy,
+        control_interval=float(rng.uniform(40.0, 160.0)),
+        slo_target=(
+            float(rng.uniform(5.0, 40.0))
+            if dpm_policy == "slo_feedback"
+            else None
+        ),
+        slo_percentile=float(rng.choice([95.0, 99.0])),
+        dpm_ladder=dpm_ladder,
+    )
+    return DifferentialCase(
+        seed=seed,
+        catalog=catalog,
+        stream=stream,
+        mapping=mapping,
+        config=config,
+        num_disks=num_disks,
+    )
+
+
+def run_engines(case: DifferentialCase):
+    """Run the scenario on both kernels; returns ``(event, fast)``."""
+    event = StorageSystem(
+        case.catalog,
+        case.mapping,
+        case.config.with_overrides(engine="event"),
+        num_disks=case.num_disks,
+    ).run(case.stream)
+    fast = StorageSystem(
+        case.catalog,
+        case.mapping,
+        case.config.with_overrides(engine="fast"),
+        num_disks=case.num_disks,
+    ).run(case.stream)
+    return event, fast
+
+
+def assert_invariants(result, case: DifferentialCase) -> None:
+    """Physical sanity independent of the other engine."""
+    note = case.describe()
+    T = result.duration
+    n = result.num_disks
+    assert result.completions <= result.arrivals, note
+    assert result.spinups <= result.spindowns + n, note
+    assert np.all(np.asarray(result.response_times) >= 0), note
+    # Per-state residencies tile the run exactly.
+    total = sum(result.state_durations.values())
+    assert abs(total - T * n) < 1e-6 * max(1.0, T * n), note
+    # Energy bounded by the extreme constant draws.
+    spec = case.config.spec
+    powers = [
+        spec.idle_power, spec.standby_power, spec.active_power,
+        spec.seek_power, spec.spinup_power, spec.spindown_power,
+    ]
+    ladder = case.config.ladder()
+    if ladder is not None:
+        powers.extend(
+            [r.power for r in ladder.rungs]
+            + [r.down_power for r in ladder.rungs]
+            + [r.wake_power for r in ladder.rungs]
+        )
+    assert result.energy <= max(powers) * T * n + 1e-6, note
+    assert result.energy >= min(powers) * T * n - 1e-6, note
+    assert np.all(result.energy_per_disk >= -1e-9), note
+
+
+def assert_engines_agree(event, fast, case: DifferentialCase) -> None:
+    """The 1e-9 cross-engine contract, annotated with the repro recipe."""
+    note = case.describe()
+    assert fast.arrivals == event.arrivals, note
+    assert fast.completions == event.completions, note
+    assert fast.spinups == event.spinups, note
+    assert fast.spindowns == event.spindowns, note
+    assert abs(fast.energy - event.energy) <= TOL * max(1.0, event.energy), note
+    np.testing.assert_allclose(
+        fast.energy_per_disk, event.energy_per_disk, rtol=TOL, atol=1e-6,
+        err_msg=note,
+    )
+    np.testing.assert_allclose(
+        np.sort(fast.response_times),
+        np.sort(event.response_times),
+        rtol=TOL,
+        atol=TOL,
+        err_msg=note,
+    )
+    for state, t in event.state_durations.items():
+        assert fast.state_durations.get(state, 0.0) == pytest.approx(
+            t, rel=TOL, abs=1e-6
+        ), (state, note)
+    if event.final_mapping is not None:
+        assert np.array_equal(fast.final_mapping, event.final_mapping), note
+    if event.cache_stats is not None:
+        assert fast.cache_stats.hits == event.cache_stats.hits, note
+        assert fast.cache_stats.misses == event.cache_stats.misses, note
+    if "dpm" in event.extra:
+        dpm_e, dpm_f = event.extra["dpm"], fast.extra["dpm"]
+        assert dpm_f["thresholds"] == dpm_e["thresholds"], note
+        assert dpm_f["t_end"] == dpm_e["t_end"], note
+        assert dpm_f["completions"] == dpm_e["completions"], note
+        np.testing.assert_allclose(
+            np.asarray(dpm_f["power"]),
+            np.asarray(dpm_e["power"]),
+            rtol=1e-6,
+            atol=1e-9,
+            err_msg=note,
+        )

@@ -1,13 +1,23 @@
-"""Tests for the multi-state drive, including equivalence with the classic
-two-state drive."""
+"""Tests for the multi-state drive, including exact equivalence with the
+classic two-state drive and energy conservation across descent/ascent
+cycles (wake transitions bill spin-up power for the *configured* wake
+time; descents are explicit, non-abortable transitions)."""
+
+import math
 
 import numpy as np
 import pytest
 
 from repro.analysis.dpm import DpmState, MultiStateDpmPolicy
-from repro.disk import DiskDrive, ST3500630AS
-from repro.disk.multistate import MultiStateDiskDrive
-from repro.errors import SimulationError
+from repro.disk import (
+    DiskDrive,
+    DpmLadder,
+    LadderRung,
+    MultiStateDiskDrive,
+    ST3500630AS,
+    make_dpm_ladder,
+)
+from repro.errors import ConfigError, SimulationError
 from repro.sim import Environment
 from repro.units import MB
 
@@ -27,6 +37,71 @@ def feed(env, drive, times, size=72 * MB):
             drive.submit(0, size)
 
     env.process(feeder(env))
+
+
+class TestLadderValidation:
+    def test_rung0_must_be_transitionless(self):
+        with pytest.raises(ConfigError):
+            DpmLadder("bad", (LadderRung("idle", 9.3, entry=1.0),))
+
+    def test_powers_must_decrease(self):
+        with pytest.raises(ConfigError):
+            DpmLadder(
+                "bad",
+                (
+                    LadderRung("idle", 9.3),
+                    LadderRung("deep", 9.3, entry=10.0),
+                ),
+            )
+
+    def test_descent_must_fit_before_next_entry(self):
+        with pytest.raises(ConfigError):
+            DpmLadder(
+                "bad",
+                (
+                    LadderRung("idle", 9.3),
+                    LadderRung("nap", 4.0, entry=10.0, down_time=30.0),
+                    LadderRung("standby", 0.8, entry=20.0),
+                ),
+            )
+
+    def test_reserved_names_rejected(self):
+        with pytest.raises(ConfigError):
+            LadderRung("down:x", 1.0)
+        with pytest.raises(ConfigError):
+            LadderRung("seek", 1.0)
+
+    def test_unknown_preset_rejected(self):
+        with pytest.raises(ConfigError):
+            make_dpm_ladder("nope", SPEC)
+
+
+class TestScaledEntries:
+    def test_native_threshold_is_exact_identity(self):
+        ladder = make_dpm_ladder("drpm4", SPEC)
+        assert ladder.scaled_entries(ladder.base_threshold) == ladder.entries
+
+    def test_scaling_moves_every_entry(self):
+        ladder = make_dpm_ladder("drpm4", SPEC)
+        doubled = ladder.scaled_entries(2 * ladder.base_threshold)
+        assert doubled[1] == 2 * ladder.base_threshold
+        assert all(
+            d >= n for d, n in zip(doubled[1:], ladder.entries[1:])
+        )
+
+    def test_zero_threshold_cascades_descents(self):
+        ladder = make_dpm_ladder("drpm4", SPEC)
+        entries = ladder.scaled_entries(0.0)
+        assert entries[1] == 0.0
+        # Each later descent waits for the previous transition to finish.
+        for i in range(2, len(entries)):
+            assert entries[i] == pytest.approx(
+                entries[i - 1] + ladder.rungs[i - 1].down_time
+            )
+
+    def test_inf_disables_descent(self):
+        ladder = make_dpm_ladder("nap", SPEC)
+        assert ladder.scaled_entries(math.inf) == (0.0, math.inf, math.inf)
 
 
 class TestBasicService:
@@ -50,13 +125,30 @@ class TestBasicService:
 
     def test_descends_ladder_when_idle(self):
         env = Environment()
-        policy = MultiStateDpmPolicy(NAP_LADDER)
-        drive = MultiStateDiskDrive(env, SPEC, policy)
-        t1, t2 = policy.thresholds()
+        drive = MultiStateDiskDrive(env, SPEC, MultiStateDpmPolicy(NAP_LADDER))
+        ladder = drive.ladder
+        t1, t2 = ladder.rungs[1].entry, ladder.rungs[2].entry
         env.run(until=(t1 + t2) / 2)
         assert drive.state_name == "nap"
-        env.run(until=t2 + 10)
+        env.run(until=t2 + ladder.rungs[2].down_time + 1.0)
         assert drive.state_name == "standby"
+        assert not drive.spinning
+
+    def test_descent_is_not_abortable(self):
+        # An arrival mid-descent waits for the transition to finish, then
+        # pays the wake — exactly the classic SPINDOWN semantics.
+        env = Environment()
+        ladder = make_dpm_ladder("two_state", SPEC)
+        drive = MultiStateDiskDrive(env, SPEC, ladder)
+        entry = ladder.rungs[1].entry
+        arrival = entry + SPEC.spindown_time / 2
+        feed(env, drive, [arrival])
+        env.run(until=arrival + 100.0)
+        expected_start = entry + SPEC.spindown_time + SPEC.spinup_time
+        response = drive.stats.response.mean
+        assert response == pytest.approx(
+            expected_start - arrival + SPEC.access_overhead + 1.0, abs=1e-9
+        )
 
     def test_wake_from_nap_is_cheaper_than_standby(self):
         policy = MultiStateDpmPolicy(NAP_LADDER)
@@ -85,6 +177,16 @@ class TestBasicService:
             1.0 + SPEC.access_overhead, abs=1e-6
         )
 
+    def test_threshold_scales_descent(self):
+        # Halving the drive's threshold halves the first descent time.
+        env = Environment()
+        ladder = make_dpm_ladder("nap", SPEC)
+        drive = MultiStateDiskDrive(
+            env, SPEC, ladder, idleness_threshold=ladder.base_threshold / 2
+        )
+        env.run(until=ladder.base_threshold / 2 + ladder.rungs[1].down_time + 0.5)
+        assert drive.state_name == "nap"
+
 
 class TestEnergyAccounting:
     def test_durations_cover_elapsed(self):
@@ -96,16 +198,81 @@ class TestEnergyAccounting:
         env.run(until=5_000.0)
         assert sum(drive.state_durations().values()) == pytest.approx(5_000.0)
 
-    def test_two_state_ladder_matches_classic_drive(self):
-        # The generalized drive with Table 2's two-state ladder must agree
-        # with the classic DiskDrive within ~2% (the ladder bills the 10 s
-        # spin-down at standby power + a lump sum instead of a SPINDOWN
-        # residency; everything else is identical).
+    def test_energy_conserved_across_descent_ascent_cycles(self):
+        """Regression: energy must equal the label-by-label integral of the
+        timeline — wakes billed at wake power for the *configured* wake
+        time, descents at down power for the descent time, no lump sums.
+        The old drive folded a spin-down-shaped residue into the wake and
+        double-billed standby residency during the transition window.
+        """
+        env = Environment()
+        ladder = make_dpm_ladder("drpm4", SPEC)
+        drive = MultiStateDiskDrive(env, SPEC, ladder)
+        rng = np.random.default_rng(3)
+        times = np.cumsum(rng.exponential(90.0, size=80))
+        feed(env, drive, times)
+        env.run(until=float(times[-1]) + 500.0)
+        assert drive.stats.spinups > 0
+        durations = drive.state_durations()
+        table = ladder.power_table(SPEC)
+        assert drive.energy() == sum(
+            table[state] * t for state, t in durations.items()
+        )
+        # Wake residency is exactly (wake count) x (configured wake times).
+        wake_time = sum(
+            t for s, t in durations.items() if s.startswith("wake:")
+        )
+        per_wake = {
+            f"wake:{r.name}": r.wake_time for r in ladder.rungs[1:]
+        }
+        assert wake_time <= drive.stats.spinups * max(per_wake.values())
+        assert sum(durations.values()) == pytest.approx(env.now)
+
+    def test_two_state_ladder_matches_classic_drive_exactly(self):
+        """The generalized drive with Table 2's two-state ladder is the
+        classic DiskDrive bit for bit: same spin transitions, same
+        response times, same energy."""
         rng = np.random.default_rng(5)
         times = np.cumsum(rng.exponential(120.0, size=300))
 
         env_a = Environment()
         classic = DiskDrive(env_a, SPEC)  # break-even threshold
+        feed(env_a, classic, times)
+        env_a.run(until=float(times[-1]) + 100.0)
+
+        env_b = Environment()
+        modern = MultiStateDiskDrive(
+            env_b, SPEC, make_dpm_ladder("two_state", SPEC)
+        )
+        feed(env_b, modern, times)
+        env_b.run(until=float(times[-1]) + 100.0)
+
+        assert modern.stats.spinups == classic.stats.spinups
+        assert modern.stats.spindowns == classic.stats.spindowns
+        assert modern.stats.completions == classic.stats.completions
+        assert modern.stats.response.mean == classic.stats.response.mean
+        assert modern.energy() == classic.energy()
+        mapping = {
+            "idle": "idle",
+            "standby": "standby",
+            "seek": "seek",
+            "active": "active",
+            "spinup": "wake:standby",
+            "spindown": "down:standby",
+        }
+        modern_durations = modern.state_durations()
+        for state, t in classic.state_durations().items():
+            assert modern_durations.get(mapping[state.value], 0.0) == t
+
+    def test_policy_bridge_matches_classic_to_float_noise(self):
+        """MultiStateDpmPolicy.two_state bridged through from_policy keeps
+        the classic energy accounting (the descent residue reconstructs
+        the spin-down transition up to float round-off)."""
+        rng = np.random.default_rng(9)
+        times = np.cumsum(rng.exponential(150.0, size=150))
+
+        env_a = Environment()
+        classic = DiskDrive(env_a, SPEC)
         feed(env_a, classic, times)
         env_a.run(until=float(times[-1]) + 100.0)
 
@@ -117,15 +284,14 @@ class TestEnergyAccounting:
         env_b.run(until=float(times[-1]) + 100.0)
 
         assert modern.stats.spinups == classic.stats.spinups
-        assert modern.stats.completions == classic.stats.completions
-        assert modern.mean_power() == pytest.approx(
-            classic.mean_power(), rel=0.02
+        assert modern.energy() == pytest.approx(classic.energy(), rel=1e-9)
+        assert modern.stats.response.mean == pytest.approx(
+            classic.stats.response.mean, rel=1e-9
         )
 
     def test_nap_state_saves_energy_on_medium_gaps(self):
         # Gaps sized for the nap state: the three-state ladder must beat
         # the two-state ladder on energy.
-        rng = np.random.default_rng(6)
         policy3 = MultiStateDpmPolicy(NAP_LADDER)
         t1, t2 = policy3.thresholds()
         gap = (t1 + t2) / 2
@@ -142,3 +308,15 @@ class TestEnergyAccounting:
             [NAP_LADDER[0], NAP_LADDER[2]]
         )
         assert run(policy3) < run(two_state)
+
+    def test_gap_log_matches_classic_contract(self):
+        env = Environment()
+        drive = MultiStateDiskDrive(
+            env, SPEC, make_dpm_ladder("nap", SPEC)
+        )
+        drive.log_gaps = True
+        feed(env, drive, [40.0, 45.0, 300.0])
+        env.run(until=400.0)
+        gaps = [g for g, _ in drive.gap_log]
+        assert gaps[0] == pytest.approx(40.0)
+        assert all(th == drive.threshold for _, th in drive.gap_log)

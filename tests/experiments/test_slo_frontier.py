@@ -88,11 +88,11 @@ class TestAcceptance:
             load_constraint=0.6,
         )
         by_key = orchestrator.default_runner().run_map(tasks)
-        fb = by_key[("slo_feedback", rate, None, target)]
+        fb = by_key[("slo_feedback", rate, None, target, None)]
         fb_saving = 1.0 - fb.normalized_power_cost
         assert fb.p95_response <= target
         statics = [
-            by_key[("fixed", rate, th, None)]
+            by_key[("fixed", rate, th, None, None)]
             for th in slo_frontier.DEFAULT_STATIC_THRESHOLDS
         ]
         for res in statics:
@@ -109,6 +109,28 @@ class TestAcceptance:
         ]
         assert meeting and max(meeting) < fb_saving
 
+    def test_ladder_beats_best_static_at_equal_p95(self, fast_runner):
+        """The ladder acceptance cell: with --dpm-ladder drpm4, some
+        ladder cell saves strictly more power than the best two-state
+        static threshold among those with equal-or-better p95 — the
+        intermediate rungs monetize medium-length gaps."""
+        result = slo_frontier.run(
+            scale=0.25,
+            rates=(1.0,),
+            slo_targets=(),
+            dynamic_policies=(),
+            dpm_ladder="drpm4",
+        )
+        assert any(
+            "ladder frontier demonstration" in n for n in result.notes
+        )
+        # The ladder cells made it into the report table too.
+        assert "[drpm4]" in result.tables["R_1"]
+
+    def test_unknown_ladder_rejected(self):
+        with pytest.raises(ConfigError, match="dpm-ladder"):
+            slo_frontier.run(scale=0.05, dpm_ladder="nope")
+
     def test_controlled_run_carries_traces(self, fast_runner):
         tasks = slo_frontier.build_tasks(
             scale=0.05,
@@ -121,10 +143,10 @@ class TestAcceptance:
             load_constraint=0.6,
         )
         by_key = orchestrator.default_runner().run_map(tasks)
-        fb = by_key[("slo_feedback", 1.0, None, 18.0)]
+        fb = by_key[("slo_feedback", 1.0, None, 18.0, None)]
         dpm = fb.extra["dpm"]
         assert dpm["policy"] == "slo_feedback"
         assert len(dpm["thresholds"]) == len(dpm["t_end"]) >= 2
         assert np.asarray(dpm["power"]).shape[1] == 100
         # Static grid points carry no control trace.
-        assert "dpm" not in by_key[("fixed", 1.0, 60.0, None)].extra
+        assert "dpm" not in by_key[("fixed", 1.0, 60.0, None, None)].extra

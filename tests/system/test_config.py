@@ -59,3 +59,54 @@ class TestDerived:
         assert cfg.num_disks == 7
         assert cfg.cache_policy == "lru"
         assert cfg.cache_capacity == 16 * GiB
+
+
+class TestLadderConfig:
+    def test_default_has_no_ladder(self):
+        cfg = StorageConfig()
+        assert cfg.dpm_ladder is None
+        assert cfg.ladder() is None
+
+    def test_preset_resolves(self, spec):
+        from repro.disk.dpm import DpmLadder
+
+        cfg = StorageConfig(dpm_ladder="nap")
+        ladder = cfg.ladder()
+        assert isinstance(ladder, DpmLadder)
+        assert [r.name for r in ladder.rungs] == ["idle", "nap", "standby"]
+        # Without an explicit threshold the ladder's first entry governs.
+        assert cfg.threshold == ladder.base_threshold
+
+    def test_two_state_preset_threshold_is_breakeven(self, spec):
+        cfg = StorageConfig(dpm_ladder="two_state")
+        assert cfg.threshold == spec.breakeven_threshold()
+
+    def test_explicit_threshold_scales_ladder(self):
+        cfg = StorageConfig(dpm_ladder="drpm4", idleness_threshold=30.0)
+        assert cfg.threshold == 30.0
+        assert cfg.ladder().scaled_entries(cfg.threshold)[1] == 30.0
+
+    def test_user_ladder_instance_accepted(self, spec):
+        from repro.disk.dpm import DpmLadder, LadderRung
+
+        ladder = DpmLadder(
+            "user",
+            (
+                LadderRung("idle", spec.idle_power),
+                LadderRung(
+                    "deep", 1.0, entry=40.0, down_time=2.0,
+                    down_power=5.0, wake_time=4.0, wake_power=20.0,
+                ),
+            ),
+        )
+        cfg = StorageConfig(dpm_ladder=ladder)
+        assert cfg.ladder() is ladder
+        assert cfg.threshold == 40.0
+
+    def test_unknown_preset_rejected(self):
+        with pytest.raises(ConfigError, match="ladder"):
+            StorageConfig(dpm_ladder="bogus")
+
+    def test_non_ladder_object_rejected(self):
+        with pytest.raises(ConfigError, match="ladder"):
+            StorageConfig(dpm_ladder=42)
