@@ -11,9 +11,11 @@ Results are printed as the ASCII tables the paper's figures plot; pass
 ``--csv-dir DIR`` to also export every curve as CSV.  Sweep-backed
 experiments accept ``--workers N`` (process-parallel grid points via the
 orchestrator), ``--engine fast`` (the batched simulation kernel — covers
-read/write mixes and shared caches) and ``--sweep-cache DIR|off`` (where
-sweep results persist across sessions; defaults to
-``REPRO_SWEEP_CACHE`` or ``~/.cache/repro/sweeps``).  The ``placement``
+read/write mixes and shared caches), ``--chunk-size N`` (out-of-core
+execution: fast-engine points stream through the chunked kernel N
+requests at a time, bit-identical to the monolithic runs) and
+``--sweep-cache DIR|off`` (where sweep results persist across sessions;
+defaults to ``REPRO_SWEEP_CACHE`` or ``~/.cache/repro/sweeps``).  The ``placement``
 ablation additionally accepts ``--write-policy NAME`` to restrict the
 swept write-placement registry to one policy; the ``slo-frontier``
 experiment (online DPM control: static thresholds vs adaptive policies vs
@@ -105,6 +107,7 @@ def _cmd_run(args: argparse.Namespace) -> int:
         args.workers is not None
         or args.engine is not None
         or args.sweep_cache is not None
+        or args.chunk_size is not None
     ):
         from repro.experiments import orchestrator
 
@@ -114,7 +117,10 @@ def _cmd_run(args: argparse.Namespace) -> int:
                 args.sweep_cache
             )
         orchestrator.configure(
-            max_workers=args.workers, engine=args.engine, **kwargs
+            max_workers=args.workers,
+            engine=args.engine,
+            chunk_size=args.chunk_size,
+            **kwargs,
         )
     names = list(registry) if args.experiment == "all" else [args.experiment]
     unknown = [n for n in names if n not in registry]
@@ -200,6 +206,18 @@ def build_parser() -> argparse.ArgumentParser:
         choices=("event", "fast"),
         default=None,
         help="force a simulation kernel for sweep points that support it",
+    )
+    run.add_argument(
+        "--chunk-size",
+        type=int,
+        default=None,
+        metavar="N",
+        help=(
+            "run fast-engine sweep points out-of-core, feeding the kernel "
+            "N requests at a time (bit-identical to monolithic runs; pair "
+            "with StorageConfig(metrics_mode='streaming') for bounded "
+            "memory)"
+        ),
     )
     run.add_argument(
         "--write-policy",

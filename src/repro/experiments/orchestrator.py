@@ -208,7 +208,11 @@ def _canon(obj: Any) -> Any:
 #: fingerprints via the config dataclass; ladder runs key
 #: ``state_durations`` by timeline label) + the reworked
 #: ``MultiStateDiskDrive`` descent/wake energy accounting.
-RESULT_SCHEMA_VERSION = 5
+#: v6: out-of-core streaming (``StorageConfig.metrics_mode`` /
+#: ``chunk_size`` salt fingerprints via the config dataclass; streaming
+#: results carry ``response_stats`` instead of ``response_times``) + the
+#: unified chunked fast-kernel core.
+RESULT_SCHEMA_VERSION = 6
 
 
 def task_fingerprint(task: SimTask) -> str:
@@ -403,6 +407,13 @@ class SweepRunner:
         The shared :func:`default_runner` fills this from
         :func:`default_cache_dir`; direct constructions default to no disk
         cache.
+    chunk_size:
+        When set, override each task's ``config.chunk_size`` so fast-engine
+        sweep points run out-of-core through the chunked kernel (the CLI's
+        ``--chunk-size``).  Results are bit-identical to monolithic runs
+        (the differential harness's chunked axis enforces it), so the
+        fingerprint still salts on the config — a chunked sweep and a
+        monolithic sweep are distinct cache entries by design.
     """
 
     def __init__(
@@ -410,13 +421,19 @@ class SweepRunner:
         max_workers: Optional[int] = None,
         engine: Optional[str] = None,
         cache_dir: Union[None, str, Path] = None,
+        chunk_size: Optional[int] = None,
     ) -> None:
         if engine is not None and engine not in ("event", "fast"):
             raise ConfigError(
                 f"engine must be 'event' or 'fast', got {engine!r}"
             )
+        if chunk_size is not None and chunk_size < 1:
+            raise ConfigError(
+                f"chunk_size must be a positive integer, got {chunk_size!r}"
+            )
         self.max_workers = _resolve_workers(max_workers)
         self.engine = engine
+        self.chunk_size = chunk_size
         self.cache_dir = Path(cache_dir) if cache_dir is not None else None
         self._memory: Dict[str, SimulationResult] = {}
         self.stats = SweepStats()
@@ -424,22 +441,30 @@ class SweepRunner:
     # -- engine + cache plumbing ---------------------------------------------
 
     def _with_engine(self, task: SimTask) -> SimTask:
-        if self.engine is None or task.config.engine == self.engine:
+        overrides: Dict[str, Any] = {}
+        if (
+            self.chunk_size is not None
+            and task.config.chunk_size != self.chunk_size
+        ):
+            overrides["chunk_size"] = self.chunk_size
+        if self.engine is not None and task.config.engine != self.engine:
+            apply_engine = True
+            if self.engine == "fast":
+                # Every known workload spec materializes an array-backed
+                # stream — the only thing the fast kernel still cannot
+                # express (writes and shared caches are covered since the
+                # global-merge pass).  Leave unknown future specs alone
+                # rather than risk a mid-sweep ConfigError.
+                apply_engine = isinstance(
+                    task.workload,
+                    (SyntheticWorkloadParams, NerscTraceParams, InlineWorkload),
+                )
+            if apply_engine:
+                overrides["engine"] = self.engine
+        if not overrides:
             return task
-        if self.engine == "fast":
-            # Every known workload spec materializes an array-backed stream
-            # — the only thing the fast kernel still cannot express (writes
-            # and shared caches are covered since the global-merge pass).
-            # Leave unknown future specs alone rather than risk a mid-sweep
-            # ConfigError.
-            known_array_backed = isinstance(
-                task.workload,
-                (SyntheticWorkloadParams, NerscTraceParams, InlineWorkload),
-            )
-            if not known_array_backed:
-                return task
         return dataclasses.replace(
-            task, config=task.config.with_overrides(engine=self.engine)
+            task, config=task.config.with_overrides(**overrides)
         )
 
     def _cache_path(self, key: str) -> Optional[Path]:
@@ -577,9 +602,10 @@ def configure(
     max_workers: Optional[int] = None,
     engine: Optional[str] = None,
     cache_dir: Union[None, str, Path, object] = AUTO_CACHE,
+    chunk_size: Optional[int] = None,
 ) -> SweepRunner:
     """Replace the shared runner (used by the CLI's ``--workers``,
-    ``--engine`` and ``--sweep-cache`` flags).
+    ``--engine``, ``--sweep-cache`` and ``--chunk-size`` flags).
 
     ``cache_dir`` accepts a directory, ``None`` (no disk cache), or the
     default :data:`AUTO_CACHE` sentinel (resolve via
@@ -589,6 +615,9 @@ def configure(
     if cache_dir is AUTO_CACHE:
         cache_dir = default_cache_dir()
     _DEFAULT = SweepRunner(
-        max_workers=max_workers, engine=engine, cache_dir=cache_dir
+        max_workers=max_workers,
+        engine=engine,
+        cache_dir=cache_dir,
+        chunk_size=chunk_size,
     )
     return _DEFAULT

@@ -37,10 +37,27 @@ mixed read/write + cache                   yes         yes
 online DPM policies (full registry)        yes         yes
 multi-state DPM ladders (presets + user)   yes         yes
 ladders under online control (scaled)      yes         yes
-array-backed streams (``.times``)          required    not needed
+array-backed streams (``.times``)          yes         yes
+chunked streams (``.iter_chunks()``)       yes         yes
+streaming metrics (bounded memory)         yes         API only
 arbitrary iterator streams                 no          yes
 custom per-request processes               no          yes
 =========================================  ==========  ===========
+
+Out-of-core streaming: :func:`simulate_fast_chunked` consumes any
+``ChunkedStream`` (see :mod:`repro.workload.chunked` — chunked
+generators, ``RequestStream.chunks(n)`` views, or
+:class:`~repro.workload.trace.ChunkedTraceStream` readers) one chunk at
+a time with full carry state across boundaries: per-disk queue/spin
+recursion, ladder rung positions, write placements, the cache-admission
+heap and the DPM controller's interval clock all persist, so chunked
+runs are bit-identical to materializing the whole stream (the
+differential harness's chunked axis asserts this at several chunk
+sizes, including pathological ones).  Pair it with
+``metrics_mode="streaming"`` to drop the per-request response array in
+favor of bounded :class:`~repro.system.metrics.ResponseStats`
+accumulators — peak memory then scales with the chunk size, not the
+request count.
 
 Multi-state ladders (``StorageConfig(dpm_ladder=...)`` — presets
 ``two_state``/``nap``/``drpm4`` in :data:`repro.disk.dpm.DPM_LADDERS`,
@@ -101,9 +118,9 @@ coincidences (a completion and an arrival at the exact same instant — the
 fast kernel admits the completion first).
 
 Select the engine per run via ``StorageConfig(engine="fast")``; the one
-scenario class the fast kernel cannot express (streams that are not
-array-backed) raises :class:`~repro.errors.ConfigError` — use the default
-``engine="event"`` for those.
+scenario class the fast kernel cannot express (streams that are neither
+array-backed nor chunked) raises :class:`~repro.errors.ConfigError` — use
+the default ``engine="event"`` for those.
 """
 
 from __future__ import annotations
@@ -119,27 +136,38 @@ from repro.disk.power import DiskState, PowerModel
 from repro.disk.specs import DiskSpec
 from repro.errors import ConfigError, SimulationError
 from repro.system.dispatcher import initial_free_bytes, validate_free_bytes
-from repro.system.metrics import SimulationResult
+from repro.system.metrics import ResponseAccumulator, SimulationResult
 from repro.system.placement import (
     PlacementContext,
     WritePlacementPolicy,
     make_placement_policy,
 )
 
-__all__ = ["fast_unsupported_reason", "simulate_fast"]
+__all__ = [
+    "fast_unsupported_reason",
+    "simulate_fast",
+    "simulate_fast_chunked",
+]
 
 
 def fast_unsupported_reason(config, stream) -> Optional[str]:
     """Why ``engine="fast"`` cannot run this scenario (``None`` if it can).
 
     Since the global-merge pass landed, write streams and shared caches are
-    supported; the only remaining requirement is an array-backed stream
-    (dense ``.times``/``.file_ids`` — plus optional ``.kinds`` — so the run
-    can be batched at all).
+    supported; the only remaining requirement is a batchable stream —
+    either array-backed (dense ``.times``/``.file_ids``, plus optional
+    ``.kinds``) for :func:`simulate_fast`, or chunked
+    (``.iter_chunks()`` with a ``duration``) for
+    :func:`simulate_fast_chunked`.
     """
-    if not hasattr(stream, "times") or not hasattr(stream, "file_ids"):
-        return "the stream is not array-backed (needs .times/.file_ids)"
-    return None
+    if hasattr(stream, "times") and hasattr(stream, "file_ids"):
+        return None
+    if hasattr(stream, "iter_chunks") and getattr(stream, "duration", None) is not None:
+        return None
+    return (
+        "the stream is not array-backed (needs .times/.file_ids) "
+        "or chunked (needs .iter_chunks()/.duration)"
+    )
 
 
 class _DiskBank:
@@ -983,189 +1011,322 @@ def _serve_coupled(
             _, _, hf, hs = heappop(heap)
             admit(hf, hs)
 
+class _ControlledDriver:
+    """Interval-segmented execution under a dynamic DPM policy, with all
+    carry state threaded across chunk boundaries.
 
-def _serve_controlled(
-    bank: "_ControlledBank",
-    dpm,
-    policy: WritePlacementPolicy,
-    mapping: np.ndarray,
-    free: np.ndarray,
-    sizes: np.ndarray,
-    fid: np.ndarray,
-    t_all: np.ndarray,
-    tr_all: np.ndarray,
-    is_write: Optional[np.ndarray],
-    cache,
-    cache_hit_latency: float,
-    starts: np.ndarray,
-    d_req: np.ndarray,
-) -> None:
-    """Interval-segmented execution under a dynamic DPM policy.
+    The monolithic controlled path is one :meth:`feed` of the whole stream
+    followed by :meth:`finish`; the chunked path feeds one chunk at a time.
+    Everything the interval loop needs to resume lives on the driver — the
+    cache-admission heap, the telemetry backlog (completions not yet
+    reported at a boundary), dispatched-but-waiting requests and the
+    controller's interval position — so splitting the stream at any point
+    is bit-identical to the single call:
 
-    Arrivals are processed one control interval at a time through
-    whichever of the grouped/segmented/coupled paths applies; at each
-    boundary the interval's telemetry (responses completed by the
-    boundary in completion order, per-disk closed idle gaps, per-disk
-    queue depth) is fed to the controller and the returned threshold
-    vector is pushed onto the bank's history.  Cache admissions pending
-    at a boundary stay in the shared heap — they are drained as the next
-    interval's arrivals replay, exactly like the uncontrolled coupled
-    pass.  The final (possibly partial) interval is observed without a
-    policy update: a decision at or beyond the horizon could never take
-    effect (the event engine's cutoff pre-empts that firing too).
+    * arrivals are processed one control interval at a time through
+      whichever of the grouped/segmented/coupled paths applies; an
+      interval whose arrivals span several chunks is served in several
+      sub-slices (the per-disk recursion carries exactly, and the coupled
+      pass's heap tie-break uses the *global* arrival index ``n_seen``);
+    * an interval's boundary is processed only once an arrival at or past
+      its ``t_end`` has been seen — a later chunk may still add arrivals
+      to the open interval.  :meth:`finish` processes every remaining
+      boundary, including trailing empty intervals, and hands the final
+      partial interval to ``dpm.finalize`` (a decision at or beyond the
+      horizon could never take effect; the event engine's cutoff pre-empts
+      that firing too).
+
+    Telemetry at each boundary matches the event engine's control process:
+    responses completed strictly before ``t_end`` in completion order
+    (sequence-stable at ties via the global arrival index), per-disk idle
+    gaps closed during the interval (the bank's ``gap_log`` is drained and
+    cleared *in place* — the serve loops hold bound ``append`` references)
+    and per-disk queue depths of dispatched requests not yet in service,
+    carried as ``(service start, disk)`` value arrays so no global
+    ``starts`` array is ever materialized.
     """
-    T = bank.T
-    ci = dpm.interval
-    oh = bank.oh
-    n = int(t_all.size)
-    heap: list = []
-    # One list materialization of the per-file arrays shared by every
-    # interval's coupled pass (kept in sync with ``mapping`` there).
-    map_l = mapping.tolist() if cache is not None else None
-    size_l = sizes.tolist() if cache is not None else None
-    # Telemetry backlog: completions not yet reported at a boundary.
-    pend_c: List[np.ndarray] = []
-    pend_seq: List[np.ndarray] = []
-    pend_r: List[np.ndarray] = []
-    gap_lo = [0] * len(bank.avail)
-    waiting = np.empty(0, dtype=np.int64)  # dispatched, not yet in service
-    lo = 0
-    k = 0
-    t_start = 0.0
-    while True:
-        t_end = min((k + 1) * ci, T)
-        last = t_end >= T
-        hi = int(np.searchsorted(t_all, t_end, side="left"))
-        sl = slice(lo, hi)
-        if hi > lo:
-            if cache is not None:
-                _serve_coupled(
-                    bank, policy, mapping, free, sizes, fid[sl], t_all[sl],
-                    tr_all[sl],
-                    None if is_write is None else is_write[sl],
-                    cache, starts[sl], d_req[sl],
-                    heap=heap, base_index=lo, flush=False,
-                    map_l=map_l, size_l=size_l,
-                )
-            elif is_write is not None:
-                _serve_segmented(
-                    bank, policy, mapping, free, sizes, fid[sl], t_all[sl],
-                    tr_all[sl], is_write[sl], starts[sl], d_req[sl],
-                )
-            else:
-                d_seg = mapping[fid[sl]]
-                bad = np.flatnonzero(d_seg < 0)
-                if bad.size:
-                    raise SimulationError(
-                        f"read of unallocated file {int(fid[lo + bad[0]])}; "
-                        "allocate it first"
-                    )
-                _serve_segment(bank, d_seg, t_all[sl], tr_all[sl], starts[sl])
-                d_req[sl] = d_seg
-            # Queue newly served requests' completions for the telemetry
-            # feed (cache hits complete at their arrival instant; requests
-            # censored at the horizon never complete, like the event
-            # engine's cutoff pre-empting their completion events).
-            d_sl = d_req[sl]
-            served = d_sl >= 0
-            c_sl = np.where(served, starts[sl] + oh + tr_all[sl], t_all[sl])
-            r_sl = np.where(
-                served, c_sl - t_all[sl], float(cache_hit_latency)
-            )
-            keep = c_sl < T
-            pend_c.append(c_sl[keep])
-            pend_seq.append(np.arange(lo, hi, dtype=np.int64)[keep])
-            pend_r.append(r_sl[keep])
 
-        # -- boundary: assemble the interval's telemetry -----------------------
-        c = np.concatenate(pend_c) if pend_c else np.empty(0)
-        seq = np.concatenate(pend_seq) if pend_seq else np.empty(0, np.int64)
-        r = np.concatenate(pend_r) if pend_r else np.empty(0)
+    __slots__ = (
+        "bank", "dpm", "policy", "mapping", "free", "sizes", "cache",
+        "hit_lat", "heap", "map_l", "size_l", "T", "ci", "oh",
+        "pend_c", "pend_seq", "pend_r", "wait_s", "wait_d",
+        "n_seen", "k", "t_start", "finished",
+    )
+
+    def __init__(
+        self,
+        bank,
+        dpm,
+        policy: WritePlacementPolicy,
+        mapping: np.ndarray,
+        free: np.ndarray,
+        sizes: np.ndarray,
+        cache,
+        cache_hit_latency: float,
+        heap: Optional[list],
+        map_l: Optional[list],
+        size_l: Optional[list],
+    ) -> None:
+        self.bank = bank
+        self.dpm = dpm
+        self.policy = policy
+        self.mapping = mapping
+        self.free = free
+        self.sizes = sizes
+        self.cache = cache
+        self.hit_lat = float(cache_hit_latency)
+        self.heap = heap if heap is not None else []
+        self.map_l = map_l
+        self.size_l = size_l
+        self.T = bank.T
+        self.ci = dpm.interval
+        self.oh = bank.oh
+        # Telemetry backlog: completions not yet reported at a boundary.
+        self.pend_c: List[np.ndarray] = []
+        self.pend_seq: List[np.ndarray] = []
+        self.pend_r: List[np.ndarray] = []
+        # Dispatched but not yet in service, as (service start, disk).
+        self.wait_s = np.empty(0, dtype=float)
+        self.wait_d = np.empty(0, dtype=np.int64)
+        self.n_seen = 0  # live arrivals fed so far (global sequence ids)
+        self.k = 0
+        self.t_start = 0.0
+        self.finished = False
+
+    def _serve_slice(
+        self,
+        fid: np.ndarray,
+        t_all: np.ndarray,
+        tr_all: np.ndarray,
+        is_write: Optional[np.ndarray],
+        starts: np.ndarray,
+        d_req: np.ndarray,
+        lo: int,
+        hi: int,
+    ) -> None:
+        bank = self.bank
+        sl = slice(lo, hi)
+        if self.cache is not None:
+            _serve_coupled(
+                bank, self.policy, self.mapping, self.free, self.sizes,
+                fid[sl], t_all[sl], tr_all[sl],
+                None if is_write is None else is_write[sl],
+                self.cache, starts[sl], d_req[sl],
+                heap=self.heap, base_index=self.n_seen + lo, flush=False,
+                map_l=self.map_l, size_l=self.size_l,
+            )
+        elif is_write is not None:
+            _serve_segmented(
+                bank, self.policy, self.mapping, self.free, self.sizes,
+                fid[sl], t_all[sl], tr_all[sl], is_write[sl],
+                starts[sl], d_req[sl],
+            )
+        else:
+            d_seg = self.mapping[fid[sl]]
+            bad = np.flatnonzero(d_seg < 0)
+            if bad.size:
+                raise SimulationError(
+                    f"read of unallocated file {int(fid[lo + bad[0]])}; "
+                    "allocate it first"
+                )
+            _serve_segment(bank, d_seg, t_all[sl], tr_all[sl], starts[sl])
+            d_req[sl] = d_seg
+        # Queue newly served requests' completions for the telemetry feed
+        # (cache hits complete at their arrival instant; requests censored
+        # at the horizon never complete, like the event engine's cutoff
+        # pre-empting their completion events).
+        d_sl = d_req[sl]
+        served = d_sl >= 0
+        c_sl = np.where(served, starts[sl] + self.oh + tr_all[sl], t_all[sl])
+        r_sl = np.where(served, c_sl - t_all[sl], self.hit_lat)
+        keep = c_sl < self.T
+        self.pend_c.append(c_sl[keep])
+        self.pend_seq.append(
+            np.arange(self.n_seen + lo, self.n_seen + hi, dtype=np.int64)[keep]
+        )
+        self.pend_r.append(r_sl[keep])
+        # Dispatched requests not yet in service at some future boundary
+        # (the event drive pops a request from its queue exactly at service
+        # start); boundaries only filter these down, never rescan.
+        w = starts[sl][served]
+        if w.size:
+            self.wait_s = np.concatenate((self.wait_s, w))
+            self.wait_d = np.concatenate((self.wait_d, d_sl[served]))
+
+    def _boundary(self, t_end: float, last: bool) -> None:
+        bank = self.bank
+        c = np.concatenate(self.pend_c) if self.pend_c else np.empty(0)
+        seq = (
+            np.concatenate(self.pend_seq)
+            if self.pend_seq
+            else np.empty(0, np.int64)
+        )
+        r = np.concatenate(self.pend_r) if self.pend_r else np.empty(0)
         # Strictly-before: a completion landing exactly on a boundary is
         # observed in the *next* interval, matching the event engine's
         # control event (armed at the previous boundary, hence an earlier
         # FIFO id than completions scheduled during the interval) firing
-        # first at the shared instant.  The one residual measure-zero tie
-        # — a service spanning a whole interval and completing exactly at
-        # its end — still orders the other way in the event loop.
+        # first at the shared instant.
         done = c < t_end
         order = np.lexsort((seq[done], c[done]))
         responses = r[done][order]
-        pend_c = [c[~done]]
-        pend_seq = [seq[~done]]
-        pend_r = [r[~done]]
+        self.pend_c = [c[~done]]
+        self.pend_seq = [seq[~done]]
+        self.pend_r = [r[~done]]
         gaps = []
-        for d, log in enumerate(bank.gap_log):
-            gaps.append(log[gap_lo[d]:])
-            gap_lo[d] = len(log)
-        # Dispatched but not yet in service at the boundary (the event
-        # drive pops a request from its queue exactly at service start).
-        # ``starts`` never changes once computed and boundaries only move
-        # forward, so a request that has entered service can never wait
-        # again — carry only the still-waiting indices across boundaries
-        # instead of rescanning the whole prefix.
-        fresh = np.arange(lo, hi, dtype=np.int64)[d_req[sl] >= 0]
-        candidates = np.concatenate((waiting, fresh))
-        waiting = candidates[starts[candidates] > t_end]
+        for log in bank.gap_log:
+            gaps.append(log[:])
+            log.clear()
+        keep = self.wait_s > t_end
+        self.wait_s = self.wait_s[keep]
+        self.wait_d = self.wait_d[keep]
         queue_depth = np.bincount(
-            d_req[waiting], minlength=len(bank.avail)
+            self.wait_d, minlength=len(bank.avail)
         ).astype(float)
         if last:
-            dpm.finalize(t_start, t_end, responses, gaps, queue_depth)
+            self.dpm.finalize(self.t_start, t_end, responses, gaps, queue_depth)
+            self.finished = True
+        else:
+            bank.push_thresholds(
+                self.dpm.advance(
+                    self.t_start, t_end, responses, gaps, queue_depth
+                )
+            )
+            self.t_start = t_end
+            self.k += 1
+
+    def feed(
+        self,
+        fid: np.ndarray,
+        t_all: np.ndarray,
+        tr_all: np.ndarray,
+        is_write: Optional[np.ndarray],
+        starts: np.ndarray,
+        d_req: np.ndarray,
+    ) -> None:
+        """Serve one chunk of live (pre-censored, time-sorted) arrivals."""
+        n = int(t_all.size)
+        lo = 0
+        while lo < n:
+            t_end = min((self.k + 1) * self.ci, self.T)
+            hi = int(np.searchsorted(t_all, t_end, side="left"))
+            if hi > lo:
+                self._serve_slice(
+                    fid, t_all, tr_all, is_write, starts, d_req, lo, hi
+                )
+            if hi == n:
+                # Chunk exhausted mid-interval: a later chunk may still add
+                # arrivals before t_end, so the boundary stays open.
+                break
+            self._boundary(t_end, t_end >= self.T)
+            lo = hi
+            if self.finished:  # pragma: no cover - arrivals are censored < T
+                break
+        self.n_seen += n
+
+    def finish(self) -> None:
+        """Process every remaining boundary (trailing empty intervals
+        included) and hand the final partial interval to ``dpm.finalize``."""
+        while not self.finished:
+            t_end = min((self.k + 1) * self.ci, self.T)
+            self._boundary(t_end, t_end >= self.T)
+
+
+def _interval_edges(interval: float, horizon: float) -> np.ndarray:
+    """The ascending control-interval grid ``[0, ci, 2ci, ..., T]``.
+
+    Computes the exact floats the controlled interval loop produces
+    (``min((k + 1) * ci, T)``), so the per-interval power bins align with
+    ``dpm.records`` bit-for-bit.
+    """
+    edges = [0.0]
+    k = 0
+    while True:
+        t_end = min((k + 1) * float(interval), horizon)
+        edges.append(t_end)
+        if t_end >= horizon:
             break
-        bank.push_thresholds(
-            dpm.advance(t_start, t_end, responses, gaps, queue_depth)
-        )
-        t_start = t_end
-        lo = hi
         k += 1
-    if cache is not None:
-        admit = cache.admit
-        while heap and heap[0][0] < T:
-            _, _, hf, hs = heappop(heap)
-            admit(hf, hs)
+    return np.asarray(edges, dtype=float)
 
 
-def _controlled_power_matrix(
-    bank: "_ControlledBank",
-    records,
-    d_s: np.ndarray,
-    s_s: np.ndarray,
-    tr_s: np.ndarray,
-    power_model: PowerModel,
-    num_disks: int,
+class _SpanBinner:
+    """Incremental per-interval per-disk state-overlap accumulator.
+
+    Chunked controlled runs cannot keep every logged state span until the
+    end (the span logs grow with the request count), so spans are folded
+    into fixed-size ``(K, D)`` overlap matrices between chunks and the
+    logs cleared.  The first batch folded under a key is stored as-is, so
+    a monolithic (single-chunk) run reproduces the historical one-shot
+    ``bin_spans`` call bit-for-bit; later batches accumulate, which only
+    regroups the float sums — the chunked-vs-monolithic differential axis
+    therefore holds the power trace to 1e-9 relative rather than exact.
+    """
+
+    __slots__ = ("edges", "num_disks", "_bins")
+
+    def __init__(self, edges: np.ndarray, num_disks: int) -> None:
+        self.edges = edges
+        self.num_disks = num_disks
+        self._bins: dict = {}
+
+    def add(self, key, disks, starts, ends) -> None:
+        from repro.control.telemetry import bin_spans
+
+        mat = bin_spans(disks, starts, ends, self.edges, self.num_disks)
+        prev = self._bins.get(key)
+        self._bins[key] = mat if prev is None else prev + mat
+
+    def add_entries(self, key, entries: list) -> None:
+        """Fold a ``(disk, start, end)`` tuple list (caller clears it)."""
+        if not entries:
+            return
+        arr = np.asarray(entries, dtype=float)
+        self.add(key, arr[:, 0].astype(np.int64), arr[:, 1], arr[:, 2])
+
+    def get(self, key) -> np.ndarray:
+        mat = self._bins.get(key)
+        if mat is None:
+            return np.zeros((int(self.edges.size) - 1, self.num_disks))
+        return mat
+
+
+def _flush_bank_spans(binner: _SpanBinner, bank, ladder) -> None:
+    """Fold the controlled bank's logged transition spans into the binner
+    and clear them in place (the serve loops hold bound references)."""
+    if ladder is not None:
+        for i in range(1, len(bank.ladder.rungs)):
+            binner.add_entries(("park", i), bank.park_spans[i])
+            bank.park_spans[i].clear()
+            binner.add_entries(("down", i), bank.down_spans[i])
+            bank.down_spans[i].clear()
+            binner.add_entries(("wake", i), bank.wake_spans[i])
+            bank.wake_spans[i].clear()
+    else:
+        binner.add_entries("sd", bank.sd_spans)
+        bank.sd_spans.clear()
+        binner.add_entries("su", bank.su_spans)
+        bank.su_spans.clear()
+        binner.add_entries("sb", bank.sb_spans)
+        bank.sb_spans.clear()
+
+
+def _power_from_binner(
+    binner: _SpanBinner, power_model: PowerModel
 ) -> np.ndarray:
-    """Per-interval per-disk mean power from the bank's logged episodes.
+    """Per-interval per-disk mean power from the binned state overlaps.
 
     The event engine diffs live drive energies at each boundary; this
-    reconstructs the same physical quantity from the controlled run's
-    state spans (seek/active per request, logged spin transitions, idle
-    as the window residual), so the two traces agree to float-accumulation
-    noise.
+    reconstructs the same physical quantity from the run's state spans
+    (seek/active per request, logged spin transitions, idle as the window
+    residual), so the two traces agree to float-accumulation noise.
     """
-    from repro.control.telemetry import bin_spans
-
-    # Control intervals are contiguous by construction, so the records'
-    # bounds collapse to one ascending edge vector.
-    edges = np.array(
-        [records[0].t_start] + [rec.t_end for rec in records], dtype=float
-    )
-    windows = np.diff(edges)
-
-    def spans(entries):
-        if not entries:
-            empty = np.empty(0)
-            return np.empty(0, np.int64), empty, empty
-        arr = np.asarray(entries, dtype=float)
-        return arr[:, 0].astype(np.int64), arr[:, 1], arr[:, 2]
-
-    seek = bin_spans(d_s, s_s, s_s + bank.oh, edges, num_disks)
-    active = bin_spans(
-        d_s, s_s + bank.oh, s_s + bank.oh + tr_s, edges, num_disks
-    )
-    spindown = bin_spans(*spans(bank.sd_spans), edges, num_disks)
-    spinup = bin_spans(*spans(bank.su_spans), edges, num_disks)
-    standby = bin_spans(*spans(bank.sb_spans), edges, num_disks)
+    windows = np.diff(binner.edges)
+    seek = binner.get("seek")
+    active = binner.get("active")
+    spindown = binner.get("sd")
+    spinup = binner.get("su")
+    standby = binner.get("sb")
     idle = np.clip(
         windows[:, None] - (seek + active + spindown + spinup + standby),
         0.0,
@@ -1182,44 +1343,21 @@ def _controlled_power_matrix(
     return energy / windows[:, None]
 
 
-def _controlled_ladder_power_matrix(
-    bank: "_ControlledLadderBank",
-    records,
-    d_s: np.ndarray,
-    s_s: np.ndarray,
-    tr_s: np.ndarray,
-    spec: DiskSpec,
-    num_disks: int,
+def _ladder_power_from_binner(
+    binner: _SpanBinner, ladder, spec: DiskSpec
 ) -> np.ndarray:
-    """Ladder analogue of :func:`_controlled_power_matrix`: per-interval
-    per-disk mean power from the controlled ladder bank's logged episodes
-    (seek/active per request, park/descent/wake spans per rung, rung-0
-    park as the window residual)."""
-    from repro.control.telemetry import bin_spans
-
-    edges = np.array(
-        [records[0].t_start] + [rec.t_end for rec in records], dtype=float
-    )
-    windows = np.diff(edges)
-
-    def spans(entries):
-        if not entries:
-            empty = np.empty(0)
-            return np.empty(0, np.int64), empty, empty
-        arr = np.asarray(entries, dtype=float)
-        return arr[:, 0].astype(np.int64), arr[:, 1], arr[:, 2]
-
-    seek = bin_spans(d_s, s_s, s_s + bank.oh, edges, num_disks)
-    active = bin_spans(
-        d_s, s_s + bank.oh, s_s + bank.oh + tr_s, edges, num_disks
-    )
-    rungs = bank.ladder.rungs
+    """Ladder analogue of :func:`_power_from_binner`: park/descent/wake
+    overlaps per rung, rung-0 park as the window residual."""
+    windows = np.diff(binner.edges)
+    seek = binner.get("seek")
+    active = binner.get("active")
+    rungs = ladder.rungs
     occupied = seek + active
     energy = spec.seek_power * seek + spec.active_power * active
     for i in range(1, len(rungs)):
-        park = bin_spans(*spans(bank.park_spans[i]), edges, num_disks)
-        down = bin_spans(*spans(bank.down_spans[i]), edges, num_disks)
-        wake = bin_spans(*spans(bank.wake_spans[i]), edges, num_disks)
+        park = binner.get(("park", i))
+        down = binner.get(("down", i))
+        wake = binner.get(("wake", i))
         occupied = occupied + park + down + wake
         energy = (
             energy
@@ -1247,6 +1385,7 @@ def simulate_fast(
     write_policy=None,
     dpm=None,
     ladder=None,
+    metrics_mode: str = "full",
 ) -> SimulationResult:
     """Simulate ``stream`` against ``mapping`` without the event loop.
 
@@ -1270,26 +1409,121 @@ def simulate_fast(
     :class:`_ControlledLadderBank` under a dynamic policy, with
     ``threshold``/the controller vector scaling the descent schedule),
     and ``state_durations`` is keyed by the ladder's timeline labels
-    instead of :class:`DiskState`.  Returns the same
+    instead of :class:`DiskState`.  ``metrics_mode="streaming"`` skips the
+    per-request response array: the result carries a bounded
+    :class:`~repro.system.metrics.ResponseStats` (exact count/mean/min/max,
+    P² percentiles) and ``response_times`` is ``None``.  Returns the same
     :class:`~repro.system.metrics.SimulationResult` the event kernel
     produces, including the post-run ``final_mapping`` and — under
     control — the per-interval traces in ``extra["dpm"]``.  The caller's
     ``mapping`` is not mutated; writes allocate against an internal copy.
     """
+    if not hasattr(stream, "times") or not hasattr(stream, "file_ids"):
+        raise ConfigError(
+            "simulate_fast needs an array-backed stream (.times/.file_ids); "
+            "chunked streams go through simulate_fast_chunked"
+        )
+    # The stream itself is a valid single chunk (``.times``/``.file_ids``
+    # and, for mixed streams, ``.kinds``) — every code path below is the
+    # chunked core, so monolithic and chunked runs cannot drift apart.
+    return _simulate_chunks(
+        sizes, mapping, spec, num_disks, threshold, (stream,), duration,
+        label, cache, cache_hit_latency, usable_capacity, write_policy,
+        dpm, ladder, metrics_mode,
+    )
+
+
+def simulate_fast_chunked(
+    sizes: np.ndarray,
+    mapping: np.ndarray,
+    spec: DiskSpec,
+    num_disks: int,
+    threshold: float,
+    stream,
+    duration: Optional[float] = None,
+    label: str = "run",
+    cache=None,
+    cache_hit_latency: float = 0.0,
+    usable_capacity: Optional[float] = None,
+    write_policy=None,
+    dpm=None,
+    ladder=None,
+    metrics_mode: str = "full",
+) -> SimulationResult:
+    """Out-of-core variant of :func:`simulate_fast` over a chunked stream.
+
+    ``stream`` follows the ``ChunkedStream`` protocol of
+    :mod:`repro.workload.chunked`: ``iter_chunks()`` yields time-sorted
+    chunks with ``.times``/``.file_ids`` (and optionally ``.kinds``),
+    globally non-decreasing across chunks (validated here, with a
+    :class:`~repro.errors.SimulationError` naming the offending boundary).
+    Per-disk queue/power state, cache-admission heaps, write placements and
+    the DPM controller's interval position all carry across chunk
+    boundaries, so the result is bit-identical to materializing the whole
+    stream and calling :func:`simulate_fast` — the chunked axis of the
+    differential harness asserts exactly that (responses, energies,
+    mappings and spin counters; the controlled per-interval power trace
+    agrees to 1e-9 relative, see :class:`_SpanBinner`).
+
+    With the default ``metrics_mode="full"`` the per-request response
+    array is still accumulated (O(completions) memory); pass
+    ``metrics_mode="streaming"`` for bounded memory — peak usage is then
+    O(chunk + files + disks), independent of the request count.
+    ``duration`` defaults to the stream's ``duration`` attribute.
+    """
+    if not hasattr(stream, "iter_chunks"):
+        raise ConfigError(
+            "simulate_fast_chunked needs a chunked stream (.iter_chunks()); "
+            "array-backed streams can be adapted with .chunks(n)"
+        )
+    if duration is None:
+        duration = getattr(stream, "duration", None)
+        if duration is None:
+            raise ConfigError(
+                "duration is required for chunked streams that do not carry "
+                "a duration attribute"
+            )
+    return _simulate_chunks(
+        sizes, mapping, spec, num_disks, threshold, stream.iter_chunks(),
+        float(duration), label, cache, cache_hit_latency, usable_capacity,
+        write_policy, dpm, ladder, metrics_mode,
+    )
+
+
+def _simulate_chunks(
+    sizes: np.ndarray,
+    mapping: np.ndarray,
+    spec: DiskSpec,
+    num_disks: int,
+    threshold: float,
+    chunks,
+    duration: float,
+    label: str,
+    cache,
+    cache_hit_latency: float,
+    usable_capacity: Optional[float],
+    write_policy,
+    dpm,
+    ladder,
+    metrics_mode: str,
+) -> SimulationResult:
+    """Shared replay core: one pass over ``chunks`` with full carry state.
+
+    Every accumulator that the monolithic kernel used to compute in one
+    vectorized shot at the end (per-disk seek/active bincounts, response
+    assembly, per-interval power bins) is maintained incrementally with
+    operations chosen for partition invariance — serial ``np.add.at``
+    scatter-adds continue ``np.bincount``'s left-to-right reduction exactly,
+    so a single-chunk pass reproduces the historical monolithic results
+    bit-for-bit and a many-chunk pass reproduces the single-chunk one.
+    """
     if duration <= 0:
         raise ConfigError("duration must be positive")
-    T = float(duration)
-    times = np.asarray(stream.times, dtype=float)
-    file_ids = np.asarray(stream.file_ids, dtype=np.int64)
-    # Every path below relies on time-sorted arrivals (stable per-disk
-    # grouping, the global merge); the event engine's drive_stream raises
-    # on out-of-order times, so match it rather than silently reordering.
-    if times.size > 1 and bool(np.any(np.diff(times) < 0)):
-        bad = int(np.argmax(np.diff(times) < 0)) + 1
-        raise SimulationError(
-            "request stream times must be non-decreasing: got "
-            f"{times[bad]} after {times[bad - 1]}"
+    if metrics_mode not in ("full", "streaming"):
+        raise ConfigError(
+            f"metrics_mode must be 'full' or 'streaming', got {metrics_mode!r}"
         )
+    T = float(duration)
     sizes = np.asarray(sizes, dtype=float)
     mapping = np.asarray(mapping, dtype=np.int64).copy()
     if mapping.shape != sizes.shape:
@@ -1305,26 +1539,19 @@ def simulate_fast(
     policy = make_placement_policy(write_policy)
     policy.reset(num_disks)
 
-    # The event kernel's cutoff is strict: the URGENT stop event at T
-    # pre-empts arrival and completion events scheduled at exactly T.
-    live = times < T
-    t_all = times[live]
-    fid = file_ids[live]
-    arrivals = int(t_all.size)
-
-    kinds = getattr(stream, "kinds", None)
-    is_write: Optional[np.ndarray] = None
-    if kinds is not None:
-        w = np.asarray(kinds)[live] == WRITE
-        if w.any():
-            is_write = w
-
     oh = spec.access_overhead
-    tr_all = sizes[fid] / spec.transfer_rate
+    rate = spec.transfer_rate
+    streaming = metrics_mode == "streaming"
 
-    starts = np.empty(arrivals, dtype=float)
-    d_req = np.empty(arrivals, dtype=np.int64)
+    # Cache plumbing shared by every chunk: one heap of pending admissions
+    # and one list materialization of the (large) per-file arrays
+    # (``map_l`` is kept in sync with ``mapping`` on every allocation).
+    heap: Optional[list] = [] if cache is not None else None
+    map_l = mapping.tolist() if cache is not None else None
+    size_l = sizes.tolist() if cache is not None else None
 
+    driver: Optional[_ControlledDriver] = None
+    binner: Optional[_SpanBinner] = None
     if dpm is not None:
         if dpm.num_disks != num_disks:
             raise ConfigError(
@@ -1339,20 +1566,85 @@ def simulate_fast(
             bank = _ControlledBank(
                 num_disks, dpm.thresholds, spec, T, dpm.interval
             )
-        _serve_controlled(
-            bank, dpm, policy, mapping, free, sizes, fid, t_all, tr_all,
-            is_write, cache, cache_hit_latency, starts, d_req,
+        driver = _ControlledDriver(
+            bank, dpm, policy, mapping, free, sizes, cache,
+            cache_hit_latency, heap, map_l, size_l,
         )
+        binner = _SpanBinner(_interval_edges(dpm.interval, T), num_disks)
     else:
         bank = (
             _LadderBank(num_disks, threshold, ladder, spec, T)
             if ladder is not None
             else _DiskBank(num_disks, threshold, spec, T)
         )
-        if cache is not None:
+
+    # Persistent accumulators (fixed size in the pool, not the stream).
+    seek_time = np.zeros(num_disks, dtype=float)
+    active_time = np.zeros(num_disks, dtype=float)
+    req_count = np.zeros(num_disks, dtype=np.int64)
+    arrivals = 0
+    hits = 0
+    acc = ResponseAccumulator() if streaming else None
+    resp_c_parts: List[np.ndarray] = []
+    resp_v_parts: List[np.ndarray] = []
+    hit_t_parts: List[np.ndarray] = []
+
+    prev_last: Optional[float] = None
+    for chunk in chunks:
+        t_all = np.asarray(chunk.times, dtype=float)
+        n = int(t_all.size)
+        if not n:
+            continue
+        # Every path relies on time-sorted arrivals (stable per-disk
+        # grouping, the global merge); the event engine's drive_stream
+        # raises on out-of-order times, so match it rather than silently
+        # reordering — within each chunk and across chunk boundaries.
+        if n > 1 and bool(np.any(np.diff(t_all) < 0)):
+            bad = int(np.argmax(np.diff(t_all) < 0)) + 1
+            raise SimulationError(
+                "request stream times must be non-decreasing: got "
+                f"{t_all[bad]} after {t_all[bad - 1]}"
+            )
+        if prev_last is not None and t_all[0] < prev_last:
+            raise SimulationError(
+                "chunked stream is not globally time-sorted: a chunk starts "
+                f"at {t_all[0]} but the previous chunk ended at {prev_last}"
+            )
+        prev_last = float(t_all[-1])
+        # The event kernel's cutoff is strict: the URGENT stop event at T
+        # pre-empts arrival and completion events scheduled at exactly T.
+        censored = bool(t_all[-1] >= T)
+        if censored:
+            cut = int(np.searchsorted(t_all, T, side="left"))
+            if not cut:
+                break
+            t_all = t_all[:cut]
+            n = cut
+        fid = np.asarray(chunk.file_ids, dtype=np.int64)[:n]
+        kinds = getattr(chunk, "kinds", None)
+        is_write: Optional[np.ndarray] = None
+        if kinds is not None:
+            w = np.asarray(kinds)[:n] == WRITE
+            if w.any():
+                is_write = w
+        tr_all = sizes[fid] / rate
+        starts = np.empty(n, dtype=float)
+        d_req = np.empty(n, dtype=np.int64)
+
+        if driver is not None:
+            if arrivals:
+                # Bounded memory: fold the spans logged so far before the
+                # next chunk grows the logs.  A single-chunk run never gets
+                # here and takes the one-shot fold at the end, staying
+                # bit-exact with the historical monolithic binning.
+                _flush_bank_spans(binner, bank, ladder)
+            driver.feed(fid, t_all, tr_all, is_write, starts, d_req)
+        elif cache is not None:
             _serve_coupled(
                 bank, policy, mapping, free, sizes, fid, t_all, tr_all,
                 is_write, cache, starts, d_req,
+                heap=heap, base_index=arrivals, flush=False,
+                map_l=map_l, size_l=size_l,
             )
         elif is_write is not None:
             _serve_segmented(
@@ -1361,13 +1653,68 @@ def simulate_fast(
             )
         else:
             disk = mapping[fid]
-            if arrivals and int(disk.min()) < 0:
-                bad = int(fid[int(np.argmin(disk))])
+            if n and int(disk.min()) < 0:
+                bad_f = int(fid[int(np.argmin(disk))])
                 raise SimulationError(
-                    f"read of unallocated file {bad}; allocate it first"
+                    f"read of unallocated file {bad_f}; allocate it first"
                 )
             _serve_segment(bank, disk, t_all, tr_all, starts)
             d_req = disk
+
+        # -- per-chunk accounting into the persistent accumulators ------------
+        served = d_req >= 0
+        n_hits = n - int(served.sum())
+        if n_hits:
+            d_s = d_req[served]
+            s_s = starts[served]
+            tr_s = tr_all[served]
+            t_s = t_all[served]
+        else:
+            d_s, s_s, tr_s, t_s = d_req, starts, tr_all, t_all
+        # Service accounting truncated at the horizon; the serial scatter-
+        # add continues np.bincount's reduction exactly across chunks.
+        np.add.at(seek_time, d_s, np.clip(T - s_s, 0.0, oh))
+        np.add.at(active_time, d_s, np.clip(T - (s_s + oh), 0.0, tr_s))
+        req_count += np.bincount(d_s, minlength=num_disks)
+        if binner is not None:
+            binner.add("seek", d_s, s_s, s_s + oh)
+            binner.add("active", d_s, s_s + oh, s_s + oh + tr_s)
+        completion = s_s + oh + tr_s
+        done = completion < T
+        if streaming:
+            # Feed responses in arrival order (served completions where
+            # they complete before T, hits at the hit latency) — the same
+            # per-chunk formula for every partition, so the accumulator's
+            # serial reductions are partition-invariant.
+            vals = np.empty(n, dtype=float)
+            ok = np.ones(n, dtype=bool)
+            vals[served] = completion - t_s
+            ok[served] = done
+            if n_hits:
+                vals[~served] = float(cache_hit_latency)
+            acc.add(vals[ok])
+        else:
+            resp_c_parts.append(completion[done])
+            resp_v_parts.append(completion[done] - t_s[done])
+            if n_hits:
+                hit_t_parts.append(t_all[~served])
+        arrivals += n
+        hits += n_hits
+        if censored:
+            # Chunks are globally sorted, so everything after this chunk's
+            # cut is at or past the horizon — censored, like the event
+            # engine's URGENT stop discarding queued arrivals.
+            break
+
+    if driver is not None:
+        driver.finish()
+    if cache is not None:
+        # Admissions pending at the horizon never happen (the event
+        # kernel's stop event pre-empts completions at T).
+        admit = cache.admit
+        while heap and heap[0][0] < T:
+            _, _, hf, hs = heappop(heap)
+            admit(hf, hs)
 
     # -- vectorized accounting over the banked state ---------------------------
 
@@ -1380,23 +1727,11 @@ def simulate_fast(
         spindown_time, spinup_time, standby_time, spinups, spindowns = (
             bank.tail_arrays()
         )
+    if binner is not None:
+        # Remaining spans, including the trailing-idleness episodes the
+        # tail pass just logged.
+        _flush_bank_spans(binner, bank, ladder)
 
-    served = d_req >= 0
-    hits = int(arrivals - int(served.sum()))
-    d_s = d_req[served] if hits else d_req
-    s_s = starts[served] if hits else starts
-    tr_s = tr_all[served] if hits else tr_all
-    t_s = t_all[served] if hits else t_all
-
-    # Vectorized service accounting, truncated at the horizon.
-    seek_time = np.bincount(
-        d_s, weights=np.clip(T - s_s, 0.0, oh), minlength=num_disks
-    )
-    active_time = np.bincount(
-        d_s,
-        weights=np.clip(T - (s_s + oh), 0.0, tr_s),
-        minlength=num_disks,
-    )
     if ladder is None:
         idle_time = np.clip(
             T
@@ -1411,18 +1746,30 @@ def simulate_fast(
             None,
         )
 
-    completion = s_s + oh + tr_s
-    done = completion < T
-    resp_completion = completion[done]
-    resp_values = resp_completion - t_s[done]
-    if hits:
-        hit_times = t_all[~served]
-        resp_completion = np.concatenate((resp_completion, hit_times))
-        resp_values = np.concatenate(
-            (resp_values, np.full(hits, float(cache_hit_latency)))
+    if streaming:
+        stats = acc.result()
+        response_times = None
+        completions = int(stats.count)
+    else:
+        stats = None
+        resp_completion = (
+            np.concatenate(resp_c_parts) if resp_c_parts else np.empty(0)
         )
-    # Report response times in completion order, like the dispatcher does.
-    response_times = resp_values[np.argsort(resp_completion, kind="stable")]
+        resp_values = (
+            np.concatenate(resp_v_parts) if resp_v_parts else np.empty(0)
+        )
+        if hits:
+            hit_times = np.concatenate(hit_t_parts)
+            resp_completion = np.concatenate((resp_completion, hit_times))
+            resp_values = np.concatenate(
+                (resp_values, np.full(hits, float(cache_hit_latency)))
+            )
+        # Report response times in completion order, like the dispatcher
+        # does (stable at ties: served completions before cache hits).
+        response_times = resp_values[
+            np.argsort(resp_completion, kind="stable")
+        ]
+        completions = int(response_times.size)
 
     power_model = PowerModel(spec)
     if ladder is not None:
@@ -1476,17 +1823,9 @@ def simulate_fast(
     extra = {}
     if dpm is not None:
         if ladder is not None:
-            dpm.attach_power(
-                _controlled_ladder_power_matrix(
-                    bank, dpm.records, d_s, s_s, tr_s, spec, num_disks
-                )
-            )
+            dpm.attach_power(_ladder_power_from_binner(binner, ladder, spec))
         else:
-            dpm.attach_power(
-                _controlled_power_matrix(
-                    bank, dpm.records, d_s, s_s, tr_s, power_model, num_disks
-                )
-            )
+            dpm.attach_power(_power_from_binner(binner, power_model))
         extra["dpm"] = dpm.extra()
 
     return SimulationResult(
@@ -1498,15 +1837,14 @@ def simulate_fast(
         state_durations=state_durations,
         response_times=response_times,
         arrivals=arrivals,
-        completions=int(response_times.size),
+        completions=completions,
         spinups=int(spinups.sum()),
         spindowns=int(spindowns.sum()),
         always_on_energy=num_disks * power_model.always_on_energy(T),
         cache_stats=cache.stats if cache is not None else None,
-        requests_per_disk=np.bincount(d_s, minlength=num_disks).astype(
-            np.int64
-        ),
+        requests_per_disk=req_count,
         spinups_per_disk=spinups,
         final_mapping=mapping,
         extra=extra,
+        response_stats=stats,
     )

@@ -92,8 +92,23 @@ class StorageConfig:
         every feature) or ``"fast"`` (the batched kernel in
         :mod:`repro.sim.fastkernel`; covers read *and* write streams, the
         §1.1 write-allocation policy and shared whole-file caches on
-        array-backed streams, typically 5-50x faster — see that module's
-        engine coverage matrix).
+        array-backed *and chunked* streams, typically 5-50x faster — see
+        that module's engine coverage matrix).
+    metrics_mode:
+        ``"full"`` (default) materializes the per-request response array on
+        :class:`~repro.system.metrics.SimulationResult`;
+        ``"streaming"`` replaces it with bounded-memory accumulators
+        (``response_times`` becomes ``None``, ``response_stats`` answers
+        mean/max exactly and p50/p95/p99 via P² estimates).  Required for
+        out-of-core runs — a chunked 10^8-request stream cannot hold its
+        responses in memory.
+    chunk_size:
+        When set, the fast kernel consumes array-backed streams in chunks
+        of this many requests (via ``stream.chunks(chunk_size)``) instead
+        of one monolithic pass — bit-identical results, bounded working
+        set.  Streams that are already chunked (expose ``iter_chunks``)
+        are consumed as-is regardless of this setting.  Ignored by the
+        event engine, which is request-at-a-time anyway.
     """
 
     spec: DiskSpec = ST3500630AS
@@ -112,6 +127,8 @@ class StorageConfig:
     slo_target: Optional[float] = None
     slo_percentile: float = 95.0
     engine: str = "event"
+    metrics_mode: str = "full"
+    chunk_size: Optional[int] = None
 
     def __post_init__(self) -> None:
         if self.num_disks < 1:
@@ -171,6 +188,17 @@ class StorageConfig:
         if self.engine not in ("event", "fast"):
             raise ConfigError(
                 f"engine must be 'event' or 'fast', got {self.engine!r}"
+            )
+        if self.metrics_mode not in ("full", "streaming"):
+            raise ConfigError(
+                "metrics_mode must be 'full' or 'streaming', got "
+                f"{self.metrics_mode!r}"
+            )
+        if self.chunk_size is not None and (
+            not isinstance(self.chunk_size, int) or self.chunk_size < 1
+        ):
+            raise ConfigError(
+                f"chunk_size must be a positive integer, got {self.chunk_size!r}"
             )
 
     @property

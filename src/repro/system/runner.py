@@ -32,7 +32,7 @@ from repro.core.packing import pack_disks
 from repro.errors import ConfigError
 from repro.sim.rng import rng_from_seed
 from repro.system.config import StorageConfig
-from repro.system.metrics import SimulationResult
+from repro.system.metrics import ResponseStats, SimulationResult
 from repro.system.storage import StorageSystem
 from repro.workload.arrivals import RequestStream
 from repro.workload.catalog import FileCatalog
@@ -255,6 +255,7 @@ class ReorganizingRunner:
         mapping_prev: Optional[np.ndarray] = None
         total_energy = 0.0
         responses = []
+        stats_parts: List = []
         epoch_energy: List[np.ndarray] = []
         arrivals = completions = spinups = spindowns = 0
         always_on = 0.0
@@ -285,7 +286,12 @@ class ReorganizingRunner:
             self.epoch_results.append(result)
 
             total_energy += result.energy
-            responses.append(result.response_times)
+            if result.response_times is not None:
+                responses.append(result.response_times)
+            else:
+                # Streaming-metrics epoch: carry the bounded stats instead
+                # of the (absent) response array.
+                stats_parts.append(result.response_stats)
             epoch_energy.append(result.energy_per_disk)
             arrivals += result.arrivals
             completions += result.completions
@@ -324,7 +330,14 @@ class ReorganizingRunner:
             energy_per_disk=energy_per_disk,
             state_durations=state_durations,
             response_times=(
-                np.concatenate(responses) if responses else np.empty(0)
+                None
+                if stats_parts
+                else np.concatenate(responses)
+                if responses
+                else np.empty(0)
+            ),
+            response_stats=(
+                ResponseStats.merge(stats_parts) if stats_parts else None
             ),
             arrivals=arrivals,
             completions=completions,

@@ -11,10 +11,14 @@ from repro.control.controller import EventControlLoop
 from repro.disk.array import DiskArray
 from repro.errors import ConfigError
 from repro.sim.environment import Environment
-from repro.sim.fastkernel import fast_unsupported_reason, simulate_fast
+from repro.sim.fastkernel import (
+    fast_unsupported_reason,
+    simulate_fast,
+    simulate_fast_chunked,
+)
 from repro.system.config import StorageConfig
 from repro.system.dispatcher import Dispatcher, drive_stream
-from repro.system.metrics import SimulationResult
+from repro.system.metrics import ResponseAccumulator, SimulationResult
 from repro.workload.catalog import FileCatalog
 
 __all__ = ["StorageSystem"]
@@ -139,6 +143,20 @@ class StorageSystem:
         semantics, with the per-interval traces attached to
         ``result.extra["dpm"]``.  The default ``"fixed"`` policy skips all
         of this and stays byte-identical to the fixed-threshold simulator.
+
+        Out-of-core streams: a chunked stream (``.iter_chunks()``, no
+        dense ``.times``) is dispatched to
+        :func:`~repro.sim.fastkernel.simulate_fast_chunked` under
+        ``engine="fast"`` and iterated request-by-request under
+        ``engine="event"`` (correct, but the event kernel's own event
+        queue is not memory-bounded).  Setting ``config.chunk_size`` on
+        an array-backed stream runs the fast kernel through the
+        equivalent chunked view — chiefly a differential/testing knob,
+        since the arrays already exist.  ``config.metrics_mode=
+        "streaming"`` replaces ``result.response_times`` with bounded
+        :class:`~repro.system.metrics.ResponseStats` on both engines
+        (on the event engine the stats are distilled post-hoc, for API
+        parity only).
         """
         if duration is None:
             duration = stream.duration
@@ -156,13 +174,27 @@ class StorageSystem:
                 if self.config.cache_policy
                 else None
             )
-            return simulate_fast(
+            if hasattr(stream, "times") and hasattr(stream, "file_ids"):
+                if self.config.chunk_size is not None and hasattr(
+                    stream, "chunks"
+                ):
+                    kernel = simulate_fast_chunked
+                    run_stream = stream.chunks(self.config.chunk_size)
+                else:
+                    kernel = simulate_fast
+                    run_stream = stream
+            else:
+                # Chunked-only stream: chunk_size is the producer's
+                # concern (the stream already yields chunks).
+                kernel = simulate_fast_chunked
+                run_stream = stream
+            return kernel(
                 sizes=self.catalog.sizes,
                 mapping=self._mapping,
                 spec=self.config.spec,
                 num_disks=self.num_disks,
                 threshold=self.config.threshold,
-                stream=stream,
+                stream=run_stream,
                 duration=duration,
                 label=label,
                 cache=cache,
@@ -171,6 +203,7 @@ class StorageSystem:
                 write_policy=self.config.placement_policy(),
                 dpm=self.config.dpm_controller(self.num_disks),
                 ladder=self.config.ladder(),
+                metrics_mode=self.config.metrics_mode,
             )
         controller = self.config.dpm_controller(self.num_disks)
         loop = None
@@ -183,6 +216,15 @@ class StorageSystem:
         self.env.process(drive_stream(self.env, self.dispatcher, stream))
         self.env.run(until=duration)
         result = self.collect(label)
+        if self.config.metrics_mode == "streaming":
+            # API parity with the fast kernel: distill the dispatcher's
+            # response log into bounded stats and drop the array.  (The
+            # event kernel itself is not memory-bounded — use
+            # engine="fast" for genuinely out-of-core runs.)
+            acc = ResponseAccumulator()
+            acc.add(np.asarray(result.response_times, dtype=float))
+            result.response_stats = acc.result()
+            result.response_times = None
         if loop is not None:
             loop.finalize()
             result.extra["dpm"] = controller.extra()

@@ -10,6 +10,15 @@ files are the smallest), and Poisson request arrivals at rate ``R``.
 
 from repro.workload.arrivals import RequestStream, poisson_arrival_times, sample_file_ids
 from repro.workload.catalog import FileCatalog
+from repro.workload.chunked import (
+    ChunkedDiurnalStream,
+    ChunkedMixedStream,
+    ChunkedNerscStream,
+    ChunkedPoissonStream,
+    ChunkedStreamView,
+    StreamChunk,
+    generate_mixed_workload_chunked,
+)
 from repro.workload.generator import (
     SyntheticWorkload,
     SyntheticWorkloadParams,
@@ -27,7 +36,12 @@ from repro.workload.mixed import (
     generate_mixed_workload,
 )
 from repro.workload.nersc import NerscTraceParams, nersc_statistics, synthesize_nersc_trace
-from repro.workload.trace import Trace, load_trace_csv, save_trace_csv
+from repro.workload.trace import (
+    ChunkedTraceStream,
+    Trace,
+    load_trace_csv,
+    save_trace_csv,
+)
 from repro.workload.zipf import (
     PAPER_THETA,
     generalized_harmonic,
@@ -36,6 +50,14 @@ from repro.workload.zipf import (
 )
 
 __all__ = [
+    "ChunkedDiurnalStream",
+    "ChunkedTraceStream",
+    "ChunkedMixedStream",
+    "ChunkedNerscStream",
+    "ChunkedPoissonStream",
+    "ChunkedStreamView",
+    "StreamChunk",
+    "generate_mixed_workload_chunked",
     "FileCatalog",
     "MixedRequestStream",
     "MixedWorkloadParams",

@@ -124,6 +124,18 @@ class RequestStream:
         for t, f in zip(self.times, self.file_ids):
             yield float(t), int(f)
 
+    def chunks(self, chunk_size: int):
+        """A chunked view of this stream (the ``ChunkedStream`` protocol).
+
+        Slices of the same arrays, so a chunked fast-kernel run is
+        bit-identical to the monolithic one.  See
+        :mod:`repro.workload.chunked`.
+        """
+        # Local import: chunked builds on this module.
+        from repro.workload.chunked import ChunkedStreamView
+
+        return ChunkedStreamView(self, chunk_size)
+
     @property
     def mean_rate(self) -> float:
         """Empirical arrival rate over the stream horizon.

@@ -58,6 +58,13 @@ class MixedRequestStream:
         for t, f, k in zip(self.times, self.file_ids, self.kinds):
             yield float(t), int(f), str(k)
 
+    def chunks(self, chunk_size: int):
+        """A chunked view of this stream (kinds included) — see
+        :meth:`repro.workload.arrivals.RequestStream.chunks`."""
+        from repro.workload.chunked import ChunkedStreamView
+
+        return ChunkedStreamView(self, chunk_size)
+
     @property
     def mean_rate(self) -> float:
         """Empirical rate; ``0.0`` for empty streams (never ``NaN``),

@@ -167,9 +167,18 @@ def _sample_bounded_powerlaw(
     return (lo**a + u * (hi**a - lo**a)) ** (1.0 / a)
 
 
-def synthesize_nersc_trace(params: NerscTraceParams = NerscTraceParams()) -> Trace:
-    """Generate a NERSC-like trace per the module docstring."""
-    rng = rng_from_seed(params.seed)
+def _synthesize_base(
+    params: NerscTraceParams, rng
+) -> "tuple[np.ndarray, np.ndarray]":
+    """The O(n_files) half of the synthesis: sizes + base arrival times.
+
+    Returns ``(sizes, times)`` — one request per file, a
+    ``batch_fraction`` of them inside same-size-bin batch sessions.
+    Shared by :func:`synthesize_nersc_trace` and the chunked streaming
+    variant (:class:`repro.workload.chunked.ChunkedNerscStream`); draw
+    order is part of the contract (the monolithic trace is regression-
+    pinned by seed).
+    """
     n = params.n_files
 
     # --- file sizes: bounded power law hitting the target mean --------------
@@ -222,6 +231,14 @@ def synthesize_nersc_trace(params: NerscTraceParams = NerscTraceParams()) -> Tra
 
     loose = ~in_session
     times[loose] = rng.uniform(0.0, params.duration, size=int(loose.sum()))
+    return sizes, times
+
+
+def synthesize_nersc_trace(params: NerscTraceParams = NerscTraceParams()) -> Trace:
+    """Generate a NERSC-like trace per the module docstring."""
+    rng = rng_from_seed(params.seed)
+    n = params.n_files
+    sizes, times = _synthesize_base(params, rng)
 
     # --- repeat requests: Zipf-skewed, partially temporally local ------------
     n_extra = params.n_requests - n

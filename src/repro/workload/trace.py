@@ -19,6 +19,13 @@ format is a single CSV with two sections::
 Popularities are reconstructed from empirical request counts (files never
 requested get a uniform share of a tiny epsilon mass so the catalog stays a
 valid distribution).
+
+Two readers exist: :func:`load_trace_csv` materializes the whole trace
+(fine for the paper-scale logs), and :class:`ChunkedTraceStream` streams
+the requests section in bounded chunks — the natural on-disk source for
+out-of-core runs (see :mod:`repro.workload.chunked`).  Both validate
+timestamp monotonicity and report violations with a paste-able
+``path:line`` location.
 """
 
 from __future__ import annotations
@@ -26,7 +33,7 @@ from __future__ import annotations
 import csv
 from dataclasses import dataclass
 from pathlib import Path
-from typing import Union
+from typing import Iterator, Union
 
 import numpy as np
 
@@ -34,7 +41,7 @@ from repro.errors import TraceFormatError
 from repro.workload.arrivals import RequestStream
 from repro.workload.catalog import FileCatalog
 
-__all__ = ["Trace", "load_trace_csv", "save_trace_csv"]
+__all__ = ["ChunkedTraceStream", "Trace", "load_trace_csv", "save_trace_csv"]
 
 
 @dataclass
@@ -118,59 +125,112 @@ def save_trace_csv(trace: Trace, path: Union[str, Path]) -> None:
             writer.writerow([repr(float(t)), int(f)])
 
 
+def _parse_trace_rows(path: Path) -> Iterator[tuple]:
+    """Line-by-line parse of the sectioned CSV.
+
+    Yields ``("name", lineno, str)``, ``("duration", lineno, float)``,
+    ``("file", lineno, file_id, size)`` and ``("request", lineno, time,
+    file_id)`` events; every structural error carries a paste-able
+    ``path:line`` location.
+    """
+    section = None
+    with path.open("r", newline="") as fh:
+        for lineno, raw in enumerate(fh, start=1):
+            line = raw.strip()
+            if not line:
+                continue
+            if line.startswith("#"):
+                tag = line[1:].strip()
+                if tag.startswith("trace:"):
+                    yield ("name", lineno, tag.split(":", 1)[1].strip())
+                elif tag.startswith("duration:"):
+                    try:
+                        yield ("duration", lineno, float(tag.split(":", 1)[1]))
+                    except ValueError as exc:
+                        raise TraceFormatError(
+                            f"{path}:{lineno}: bad duration header {line!r}"
+                        ) from exc
+                elif tag == "files":
+                    section = "files"
+                elif tag == "requests":
+                    section = "requests"
+                else:
+                    raise TraceFormatError(
+                        f"{path}:{lineno}: unknown section marker {line!r}"
+                    )
+                continue
+            try:
+                fields = next(csv.reader([line]))
+            except StopIteration as exc:  # pragma: no cover - csv quirk
+                raise TraceFormatError(
+                    f"{path}:{lineno}: unparseable row {line!r}"
+                ) from exc
+            if fields[0] in ("file_id", "time"):
+                continue  # header row
+            if section == "files":
+                if len(fields) != 2:
+                    raise TraceFormatError(
+                        f"{path}:{lineno}: bad file row {line!r}"
+                    )
+                try:
+                    yield ("file", lineno, int(fields[0]), float(fields[1]))
+                except ValueError as exc:
+                    raise TraceFormatError(
+                        f"{path}:{lineno}: bad file row {line!r}: {exc}"
+                    ) from exc
+            elif section == "requests":
+                if len(fields) != 2:
+                    raise TraceFormatError(
+                        f"{path}:{lineno}: bad request row {line!r}"
+                    )
+                try:
+                    yield ("request", lineno, float(fields[0]), int(fields[1]))
+                except ValueError as exc:
+                    raise TraceFormatError(
+                        f"{path}:{lineno}: bad request row {line!r}: {exc}"
+                    ) from exc
+            else:
+                raise TraceFormatError(
+                    f"{path}:{lineno}: data row {line!r} before any "
+                    "section marker"
+                )
+
+
 def load_trace_csv(path: Union[str, Path]) -> Trace:
     """Read a trace written by :func:`save_trace_csv`.
 
     Raises
     ------
     TraceFormatError
-        On any structural problem (missing sections, bad ids, unsorted
-        times are reported through RequestStream/Trace validation).
+        On any structural problem — including non-monotonic request times,
+        reported with the offending ``path:line`` so the row can be found
+        directly.
     """
     path = Path(path)
     name = path.stem
     duration = None
-    section = None
     sizes = {}
     times = []
     ids = []
-    try:
-        with path.open("r", newline="") as fh:
-            for raw in fh:
-                line = raw.strip()
-                if not line:
-                    continue
-                if line.startswith("#"):
-                    tag = line[1:].strip()
-                    if tag.startswith("trace:"):
-                        name = tag.split(":", 1)[1].strip()
-                    elif tag.startswith("duration:"):
-                        duration = float(tag.split(":", 1)[1])
-                    elif tag == "files":
-                        section = "files"
-                    elif tag == "requests":
-                        section = "requests"
-                    else:
-                        raise TraceFormatError(f"unknown section marker {line!r}")
-                    continue
-                fields = next(csv.reader([line]))
-                if fields[0] in ("file_id", "time"):
-                    continue  # header row
-                if section == "files":
-                    if len(fields) != 2:
-                        raise TraceFormatError(f"bad file row {line!r}")
-                    sizes[int(fields[0])] = float(fields[1])
-                elif section == "requests":
-                    if len(fields) != 2:
-                        raise TraceFormatError(f"bad request row {line!r}")
-                    times.append(float(fields[0]))
-                    ids.append(int(fields[1]))
-                else:
-                    raise TraceFormatError(
-                        f"data row {line!r} before any section marker"
-                    )
-    except (ValueError, StopIteration) as exc:
-        raise TraceFormatError(f"malformed trace file {path}: {exc}") from exc
+    prev_t = None
+    for event in _parse_trace_rows(path):
+        kind = event[0]
+        if kind == "name":
+            name = event[2]
+        elif kind == "duration":
+            duration = event[2]
+        elif kind == "file":
+            sizes[event[2]] = event[3]
+        else:  # request
+            _, lineno, t, fid = event
+            if prev_t is not None and t < prev_t:
+                raise TraceFormatError(
+                    f"{path}:{lineno}: request time {t!r} precedes previous "
+                    f"time {prev_t!r} (times must be non-decreasing)"
+                )
+            prev_t = t
+            times.append(t)
+            ids.append(fid)
 
     if not sizes:
         raise TraceFormatError(f"{path} contains no files section")
@@ -183,3 +243,128 @@ def load_trace_csv(path: Union[str, Path]) -> Trace:
     if duration is None:
         duration = float(times_arr[-1]) if times_arr.size else 0.0
     return Trace.from_requests(name, size_arr, times_arr, ids_arr, duration)
+
+
+class ChunkedTraceStream:
+    """Bounded-memory reader of the sectioned trace CSV.
+
+    Implements the ``ChunkedStream`` protocol of
+    :mod:`repro.workload.chunked`: the file catalog (O(n_files)) is parsed
+    eagerly — including a full validating pre-pass over the requests
+    section to derive empirical popularities, the horizon and the request
+    count — while ``iter_chunks()`` re-reads the requests section in
+    batches of ``chunk_size`` rows, so the request axis never materializes.
+    Monotonicity is validated per chunk (and across chunk boundaries) with
+    the offending ``path:line`` in the error.
+    """
+
+    def __init__(
+        self, path: Union[str, Path], chunk_size: int = 100_000
+    ) -> None:
+        if not isinstance(chunk_size, int) or chunk_size < 1:
+            raise TraceFormatError(
+                f"chunk_size must be a positive integer, got {chunk_size!r}"
+            )
+        self.path = Path(path)
+        self.chunk_size = chunk_size
+        self.name = self.path.stem
+        duration = None
+        sizes = {}
+        counts = {}
+        n_requests = 0
+        prev_t = None
+        last_t = 0.0
+        for event in _parse_trace_rows(self.path):
+            kind = event[0]
+            if kind == "name":
+                self.name = event[2]
+            elif kind == "duration":
+                duration = event[2]
+            elif kind == "file":
+                sizes[event[2]] = event[3]
+            else:  # request
+                _, lineno, t, fid = event
+                if prev_t is not None and t < prev_t:
+                    raise TraceFormatError(
+                        f"{self.path}:{lineno}: request time {t!r} precedes "
+                        f"previous time {prev_t!r} (times must be "
+                        "non-decreasing)"
+                    )
+                prev_t = t
+                last_t = t
+                counts[fid] = counts.get(fid, 0) + 1
+                n_requests += 1
+        if not sizes:
+            raise TraceFormatError(f"{self.path} contains no files section")
+        n = max(sizes) + 1
+        if sorted(sizes) != list(range(n)):
+            raise TraceFormatError(
+                f"{self.path} file ids are not dense 0..{n - 1}"
+            )
+        if counts and max(counts) >= n:
+            raise TraceFormatError(
+                "trace references file ids outside the catalog"
+            )
+        size_arr = np.array([sizes[i] for i in range(n)], dtype=float)
+        count_arr = np.zeros(n, dtype=float)
+        for fid, c in counts.items():
+            count_arr[fid] = c
+        total = count_arr.sum()
+        if total <= 0:
+            pops = np.full(n, 1.0 / n)
+        else:
+            eps = 1e-12  # same convention as Trace.from_requests
+            pops = (count_arr + eps) / (total + eps * n)
+        self.catalog = FileCatalog(sizes=size_arr, popularities=pops)
+        self.n_requests = n_requests
+        self.duration = float(
+            duration if duration is not None else last_t
+        )
+
+    def __len__(self) -> int:
+        return self.n_requests
+
+    @property
+    def mean_rate(self) -> float:
+        if not self.n_requests:
+            return 0.0
+        return (
+            self.n_requests / self.duration
+            if self.duration > 0
+            else float("nan")
+        )
+
+    def iter_chunks(self) -> Iterator:
+        from repro.workload.chunked import StreamChunk
+
+        times = []
+        ids = []
+        prev_t = None
+        for event in _parse_trace_rows(self.path):
+            if event[0] != "request":
+                continue
+            _, lineno, t, fid = event
+            if prev_t is not None and t < prev_t:
+                raise TraceFormatError(
+                    f"{self.path}:{lineno}: request time {t!r} precedes "
+                    f"previous time {prev_t!r} (times must be non-decreasing)"
+                )
+            prev_t = t
+            times.append(t)
+            ids.append(fid)
+            if len(times) >= self.chunk_size:
+                yield StreamChunk(
+                    times=np.array(times, dtype=float),
+                    file_ids=np.array(ids, dtype=np.int64),
+                )
+                times, ids = [], []
+        if times:
+            yield StreamChunk(
+                times=np.array(times, dtype=float),
+                file_ids=np.array(ids, dtype=np.int64),
+            )
+
+    def __iter__(self):
+        for chunk in self.iter_chunks():
+            for t, f in zip(chunk.times, chunk.file_ids):
+                yield float(t), int(f)

@@ -259,6 +259,78 @@ def assert_invariants(result, case: DifferentialCase) -> None:
     assert np.all(result.energy_per_disk >= -1e-9), note
 
 
+def run_chunked(case: DifferentialCase, chunk_size: int, metrics_mode="full"):
+    """Run the fast kernel out-of-core (``chunk_size`` requests at a time)."""
+    return StorageSystem(
+        case.catalog,
+        case.mapping,
+        case.config.with_overrides(
+            engine="fast", chunk_size=chunk_size, metrics_mode=metrics_mode
+        ),
+        num_disks=case.num_disks,
+    ).run(case.stream)
+
+
+def assert_chunked_identical(mono, chunk, case: DifferentialCase, k: int) -> None:
+    """The chunked axis is held to *bit* identity, not 1e-9: the chunked
+    core's accumulators are chosen for partition invariance (serial
+    scatter-adds continuing the monolithic reductions), so any drift is a
+    carry-state bug, not float noise.  The one exception is the controlled
+    per-interval power trace, whose incremental span binning regroups
+    float sums — held to 1e-9 relative instead.
+    """
+    note = f"{case.describe()}\n(chunk_size={k})"
+    assert np.array_equal(mono.response_times, chunk.response_times), note
+    assert np.array_equal(mono.energy_per_disk, chunk.energy_per_disk), note
+    assert np.array_equal(mono.final_mapping, chunk.final_mapping), note
+    assert np.array_equal(mono.requests_per_disk, chunk.requests_per_disk), note
+    assert np.array_equal(mono.spinups_per_disk, chunk.spinups_per_disk), note
+    assert mono.state_durations == chunk.state_durations, note
+    assert mono.arrivals == chunk.arrivals, note
+    assert mono.completions == chunk.completions, note
+    assert mono.spinups == chunk.spinups, note
+    assert mono.spindowns == chunk.spindowns, note
+    if mono.cache_stats is not None:
+        assert mono.cache_stats.hits == chunk.cache_stats.hits, note
+        assert mono.cache_stats.misses == chunk.cache_stats.misses, note
+    if "dpm" in mono.extra:
+        dpm_m, dpm_c = mono.extra["dpm"], chunk.extra["dpm"]
+        assert dpm_c["thresholds"] == dpm_m["thresholds"], note
+        assert dpm_c["t_end"] == dpm_m["t_end"], note
+        assert dpm_c["completions"] == dpm_m["completions"], note
+        np.testing.assert_allclose(
+            np.asarray(dpm_c["power"]),
+            np.asarray(dpm_m["power"]),
+            rtol=1e-9,
+            atol=1e-12,
+            err_msg=note,
+        )
+
+
+def assert_streaming_consistent(mono, streamed, case: DifferentialCase) -> None:
+    """Streaming metrics vs the full response array of the same run:
+    count/min/max exact, mean to serial-sum-regrouping noise (the
+    accumulator continues the same left-to-right reduction, so in practice
+    this is bit-exact too — asserted at 1e-12 to stay honest about the
+    contract rather than the implementation)."""
+    note = case.describe()
+    assert streamed.response_times is None, note
+    stats = streamed.response_stats
+    assert stats is not None, note
+    assert stats.count == mono.completions, note
+    if mono.completions:
+        resp = mono.response_times
+        assert stats.min == float(resp.min()), note
+        assert stats.max == float(resp.max()), note
+        assert abs(stats.mean - float(resp.mean())) <= 1e-12 * max(
+            1.0, abs(float(resp.mean()))
+        ), note
+    # Everything that never depended on the response array stays bit-equal.
+    assert np.array_equal(mono.energy_per_disk, streamed.energy_per_disk), note
+    assert mono.state_durations == streamed.state_durations, note
+    assert np.array_equal(mono.final_mapping, streamed.final_mapping), note
+
+
 def assert_engines_agree(event, fast, case: DifferentialCase) -> None:
     """The 1e-9 cross-engine contract, annotated with the repro recipe."""
     note = case.describe()

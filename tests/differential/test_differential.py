@@ -26,10 +26,13 @@ import numpy as np
 import pytest
 
 from diffgen import (
-    build_case,
-    run_engines,
+    assert_chunked_identical,
     assert_engines_agree,
     assert_invariants,
+    assert_streaming_consistent,
+    build_case,
+    run_chunked,
+    run_engines,
 )
 
 from repro.control.policies import dpm_policy_names
@@ -39,6 +42,14 @@ from repro.workload.generator import SyntheticWorkloadParams, generate_workload
 
 CASES = int(os.environ.get("REPRO_DIFF_CASES", "200"))
 BASE_SEED = int(os.environ.get("REPRO_DIFF_BASE_SEED", "20260726"))
+#: Seeds for the chunked-vs-monolithic axis (each costs 1 monolithic + 1
+#: streaming + len(CHUNK_SIZES) chunked fast runs — no event run, so the
+#: default budget stays comparable to ~30 cross-engine cases).
+CHUNK_CASES = int(os.environ.get("REPRO_DIFF_CHUNK_CASES", "30"))
+#: Pathological on purpose: 1 (every request its own chunk — maximal
+#: boundary count), a small prime (misaligned with every control interval
+#: and write segment), and a mid-size prime (several boundaries per run).
+CHUNK_SIZES = (1, 13, 101)
 
 
 @pytest.mark.parametrize("seed", range(BASE_SEED, BASE_SEED + CASES))
@@ -48,6 +59,27 @@ def test_random_config_agrees(seed):
     assert_invariants(event, case)
     assert_invariants(fast, case)
     assert_engines_agree(event, fast, case)
+
+
+@pytest.mark.parametrize("seed", range(BASE_SEED, BASE_SEED + CHUNK_CASES))
+def test_chunked_matches_monolithic(seed):
+    """Out-of-core axis: the chunked fast kernel is *bit-identical* to the
+    monolithic one across the whole random config space, at every chunk
+    size — and streaming metrics summarize the same run exactly."""
+    from repro.system import StorageSystem
+
+    case = build_case(seed)
+    mono = StorageSystem(
+        case.catalog,
+        case.mapping,
+        case.config.with_overrides(engine="fast"),
+        num_disks=case.num_disks,
+    ).run(case.stream)
+    for k in CHUNK_SIZES:
+        chunk = run_chunked(case, k)
+        assert_chunked_identical(mono, chunk, case, k)
+    streamed = run_chunked(case, CHUNK_SIZES[-1], metrics_mode="streaming")
+    assert_streaming_consistent(mono, streamed, case)
 
 
 def test_generator_is_deterministic():

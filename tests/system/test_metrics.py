@@ -77,12 +77,18 @@ class TestResponse:
 
     def test_empty_responses_nan(self):
         r = result(response_times=np.array([]))
-        assert math.isnan(r.mean_response)
-        assert math.isnan(r.median_response)
-        assert math.isnan(r.max_response)
-        assert math.isnan(r.response_percentile(95))
-        assert math.isnan(r.p95_response)
-        assert math.isnan(r.p99_response)
+        with pytest.warns(RuntimeWarning, match="no completed requests"):
+            assert math.isnan(r.mean_response)
+        with pytest.warns(RuntimeWarning, match="no completed requests"):
+            assert math.isnan(r.median_response)
+        with pytest.warns(RuntimeWarning, match="no completed requests"):
+            assert math.isnan(r.max_response)
+        with pytest.warns(RuntimeWarning, match="no completed requests"):
+            assert math.isnan(r.response_percentile(95))
+        with pytest.warns(RuntimeWarning, match="no completed requests"):
+            assert math.isnan(r.p95_response)
+        with pytest.warns(RuntimeWarning, match="no completed requests"):
+            assert math.isnan(r.p99_response)
 
     def test_response_ratio(self):
         a = result(response_times=np.array([2.0]))
@@ -92,7 +98,8 @@ class TestResponse:
     def test_ratio_vs_empty_nan(self):
         a = result()
         b = result(response_times=np.array([]))
-        assert math.isnan(a.response_ratio_vs(b))
+        with pytest.warns(RuntimeWarning, match="no completed requests"):
+            assert math.isnan(a.response_ratio_vs(b))
 
 
 class TestDiagnostics:

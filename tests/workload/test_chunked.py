@@ -1,0 +1,276 @@
+"""Chunked workload streams: protocol validation, equivalence to the
+monolithic constructors, and the bounded-memory trace reader."""
+
+import numpy as np
+import pytest
+
+from repro.disk.drive import READ, WRITE
+from repro.errors import ConfigError, TraceFormatError
+from repro.workload import (
+    ChunkedDiurnalStream,
+    ChunkedMixedStream,
+    ChunkedNerscStream,
+    ChunkedPoissonStream,
+    ChunkedTraceStream,
+    MixedWorkloadParams,
+    NerscTraceParams,
+    RequestStream,
+    StreamChunk,
+    Trace,
+    generate_mixed_workload_chunked,
+    load_trace_csv,
+    save_trace_csv,
+)
+from repro.workload.catalog import FileCatalog
+from repro.workload.mixed import MixedRequestStream
+
+
+def _catalog(n=20, seed=0):
+    rng = np.random.default_rng(seed)
+    sizes = rng.uniform(1e6, 1e8, size=n)
+    pops = rng.dirichlet(np.ones(n))
+    return FileCatalog(sizes=sizes, popularities=pops)
+
+
+def _drain(chunked):
+    """Concatenate every chunk of one iter_chunks() pass."""
+    times, ids, kinds = [], [], []
+    has_kinds = False
+    for chunk in chunked.iter_chunks():
+        times.append(chunk.times)
+        ids.append(chunk.file_ids)
+        if chunk.kinds is not None:
+            has_kinds = True
+            kinds.append(chunk.kinds)
+    t = np.concatenate(times) if times else np.empty(0)
+    f = np.concatenate(ids) if ids else np.empty(0, np.int64)
+    k = np.concatenate(kinds) if has_kinds else None
+    return t, f, k
+
+
+class TestStreamChunk:
+    def test_validates_alignment(self):
+        with pytest.raises(ConfigError, match="equal-length"):
+            StreamChunk(times=[1.0, 2.0], file_ids=[0])
+
+    def test_validates_monotonicity(self):
+        with pytest.raises(ConfigError, match="non-decreasing"):
+            StreamChunk(times=[2.0, 1.0], file_ids=[0, 1])
+
+    def test_kinds_and_sizes_align(self):
+        with pytest.raises(ConfigError, match="kinds"):
+            StreamChunk(times=[1.0], file_ids=[0], kinds=["read", "read"])
+        with pytest.raises(ConfigError, match="sizes"):
+            StreamChunk(times=[1.0], file_ids=[0], sizes=[1.0, 2.0])
+
+    def test_with_sizes_resolves_catalog(self):
+        chunk = StreamChunk(times=[0.0, 1.0], file_ids=[2, 0])
+        filled = chunk.with_sizes(np.array([10.0, 20.0, 30.0]))
+        assert np.array_equal(filled.sizes, [30.0, 10.0])
+
+
+class TestChunkedStreamView:
+    def test_chunks_tile_the_parent_exactly(self):
+        cat = _catalog()
+        stream = RequestStream.poisson(cat.popularities, 2.0, 500.0, rng=3)
+        for k in (1, 7, 1000, 10**9):
+            view = stream.chunks(k)
+            t, f, kinds = _drain(view)
+            assert np.array_equal(t, stream.times)
+            assert np.array_equal(f, stream.file_ids)
+            assert kinds is None
+            assert len(view) == len(stream)
+            assert view.duration == stream.duration
+
+    def test_mixed_view_keeps_kinds(self):
+        cat = _catalog()
+        stream = MixedRequestStream(
+            times=[0.0, 1.0, 2.0],
+            file_ids=[0, 1, 2],
+            kinds=[READ, WRITE, READ],
+            duration=10.0,
+        )
+        t, f, kinds = _drain(stream.chunks(2))
+        assert np.array_equal(t, stream.times)
+        assert list(kinds) == [READ, WRITE, READ]
+
+    def test_view_hides_times(self):
+        """storage.py routes on this: a chunked view must not look
+        array-backed."""
+        cat = _catalog()
+        stream = RequestStream.poisson(cat.popularities, 1.0, 100.0, rng=0)
+        assert not hasattr(stream.chunks(10), "times")
+
+    def test_rejects_bad_chunk_size(self):
+        cat = _catalog()
+        stream = RequestStream.poisson(cat.popularities, 1.0, 100.0, rng=0)
+        with pytest.raises(ConfigError, match="chunk_size"):
+            stream.chunks(0)
+        with pytest.raises(ConfigError, match="chunk_size"):
+            stream.chunks(2.5)
+
+
+class TestChunkedPoisson:
+    def test_reiteration_is_identical(self):
+        cat = _catalog()
+        s = ChunkedPoissonStream(
+            cat.popularities, rate=3.0, duration=400.0, chunk_size=64, seed=9
+        )
+        t1, f1, _ = _drain(s)
+        t2, f2, _ = _drain(s)
+        assert np.array_equal(t1, t2)
+        assert np.array_equal(f1, f2)
+
+    def test_none_seed_still_reiterable(self):
+        cat = _catalog()
+        s = ChunkedPoissonStream(
+            cat.popularities, rate=3.0, duration=200.0, chunk_size=64,
+            seed=None,
+        )
+        t1, _, _ = _drain(s)
+        t2, _, _ = _drain(s)
+        assert np.array_equal(t1, t2)
+
+    def test_rejects_generator_seed(self):
+        cat = _catalog()
+        with pytest.raises(ConfigError, match="Generator"):
+            ChunkedPoissonStream(
+                cat.popularities, 1.0, 100.0, seed=np.random.default_rng(0)
+            )
+
+    def test_globally_sorted_and_rate_plausible(self):
+        cat = _catalog()
+        rate, duration = 5.0, 2000.0
+        s = ChunkedPoissonStream(
+            cat.popularities, rate, duration, chunk_size=256, seed=4
+        )
+        t, f, _ = _drain(s)
+        assert np.all(np.diff(t) >= 0)
+        assert np.all((t >= 0) & (t < duration))
+        # ~4 sigma band around the Poisson mean.
+        mean = rate * duration
+        assert abs(t.size - mean) < 4 * np.sqrt(mean)
+        assert f.min() >= 0 and f.max() < cat.n
+
+
+class TestChunkedDiurnal:
+    def test_thinning_respects_rate_fn(self):
+        cat = _catalog()
+        rate_fn = lambda t: 2.0 + 2.0 * np.sin(2 * np.pi * t / 500.0) ** 2
+        s = ChunkedDiurnalStream(
+            cat.popularities, rate_fn, peak_rate=4.0, duration=3000.0,
+            chunk_size=512, seed=11,
+        )
+        t, _, _ = _drain(s)
+        assert np.all(np.diff(t) >= 0)
+        mean = 3.0 * 3000.0  # time-average of rate_fn is 3.0
+        assert abs(t.size - mean) < 5 * np.sqrt(mean)
+
+    def test_rate_fn_exceeding_peak_raises(self):
+        cat = _catalog()
+        s = ChunkedDiurnalStream(
+            cat.popularities, lambda t: 10.0, peak_rate=1.0, duration=500.0,
+            chunk_size=64, seed=0,
+        )
+        with pytest.raises(ConfigError, match="peak_rate"):
+            _drain(s)
+
+
+class TestChunkedMixed:
+    def test_generate_matches_contract(self):
+        cat = _catalog(n=30, seed=5)
+        params = MixedWorkloadParams(
+            write_fraction=0.3, new_file_fraction=0.4,
+            arrival_rate=2.0, duration=3000.0, seed=21,
+        )
+        extended, stream = generate_mixed_workload_chunked(cat, params)
+        assert isinstance(stream, ChunkedMixedStream)
+        assert extended.n == cat.n + stream.n_new_files
+        t, f, kinds = _drain(stream)
+        assert np.all(np.diff(t) >= 0)
+        assert f.max() < extended.n
+        # Every new file is written exactly once, in id order.
+        new_mask = f >= cat.n
+        assert np.array_equal(
+            f[new_mask], cat.n + np.arange(stream.n_new_files)
+        )
+        assert set(kinds[new_mask]) <= {WRITE}
+        # Write fraction lands near the requested mix.
+        wf = float(np.mean(kinds == WRITE))
+        assert abs(wf - params.write_fraction) < 0.05
+        # Re-iteration replays the same sequence.
+        t2, f2, k2 = _drain(stream)
+        assert np.array_equal(t, t2)
+        assert np.array_equal(f, f2)
+        assert np.array_equal(kinds, k2)
+
+
+class TestChunkedNersc:
+    def test_statistics_and_reiteration(self):
+        params = NerscTraceParams(
+            n_files=300, n_requests=1500, duration=5000.0, seed=6
+        )
+        s = ChunkedNerscStream(params, chunk_size=256)
+        assert s.catalog.n == params.n_files
+        t, f, _ = _drain(s)
+        assert np.all(np.diff(t) >= 0)
+        # Every file's base request is present at least once.
+        assert np.unique(f).size == params.n_files
+        # Request count within a few sigma of the target.
+        assert abs(t.size - params.n_requests) < 5 * np.sqrt(params.n_requests)
+        t2, f2, _ = _drain(s)
+        assert np.array_equal(t, t2)
+        assert np.array_equal(f, f2)
+
+
+class TestChunkedTrace:
+    def _write_trace(self, tmp_path, times, ids, sizes=None, duration=None):
+        sizes = sizes if sizes is not None else np.full(
+            int(max(ids)) + 1 if len(ids) else 1, 1e6
+        )
+        trace = Trace.from_requests(
+            "t", sizes, np.asarray(times, float), np.asarray(ids, np.int64),
+            duration if duration is not None else (times[-1] if len(times) else 0.0),
+        )
+        path = tmp_path / "t.csv"
+        save_trace_csv(trace, path)
+        return path
+
+    def test_matches_monolithic_reader(self, tmp_path):
+        rng = np.random.default_rng(2)
+        times = np.sort(rng.uniform(0, 300, size=500))
+        ids = rng.integers(0, 12, size=500)
+        path = self._write_trace(tmp_path, times, ids, duration=300.0)
+        mono = load_trace_csv(path)
+        chunked = ChunkedTraceStream(path, chunk_size=64)
+        t, f, kinds = _drain(chunked)
+        assert np.array_equal(t, mono.stream.times)
+        assert np.array_equal(f, mono.stream.file_ids)
+        assert kinds is None
+        assert chunked.duration == mono.stream.duration
+        assert len(chunked) == len(mono.stream)
+        assert np.array_equal(chunked.catalog.sizes, mono.catalog.sizes)
+        np.testing.assert_allclose(
+            chunked.catalog.popularities, mono.catalog.popularities
+        )
+
+    def test_non_monotonic_reports_line(self, tmp_path):
+        path = tmp_path / "bad.csv"
+        path.write_text(
+            "# trace: bad\n# duration: 10.0\n# files\n"
+            "file_id,size_bytes\n0,1000.0\n"
+            "# requests\ntime,file_id\n5.0,0\n3.0,0\n"
+        )
+        with pytest.raises(TraceFormatError, match=r"bad\.csv:9"):
+            ChunkedTraceStream(path)
+
+    def test_rejects_bad_chunk_size(self, tmp_path):
+        path = self._write_trace(tmp_path, [1.0], [0], duration=2.0)
+        with pytest.raises(TraceFormatError, match="chunk_size"):
+            ChunkedTraceStream(path, chunk_size=0)
+
+    def test_event_engine_iteration(self, tmp_path):
+        path = self._write_trace(tmp_path, [1.0, 2.0, 3.0], [0, 0, 0],
+                                 duration=5.0)
+        chunked = ChunkedTraceStream(path, chunk_size=2)
+        assert list(chunked) == [(1.0, 0), (2.0, 0), (3.0, 0)]
