@@ -1,0 +1,91 @@
+"""Bench (extension): heterogeneous fleets through the fast kernel.
+
+Per-disk spec vectors must not erase the batched kernel's advantage:
+``StorageConfig(fleet=...)`` turns every scalar in the banks (transfer
+rate, access overhead, spin times, power draws, thresholds) into a
+per-disk vector, and this bench guards that a mixed-generation pool —
+with and without per-slot DPM ladders — still beats the event engine
+>= 5x while agreeing to 1e-9.
+"""
+
+import math
+import time
+
+import pytest
+
+from repro.disk.fleet import Fleet, FleetDisk
+from repro.disk.specs import ST3500630AS, WD10EADS
+from repro.system import StorageConfig, StorageSystem, allocate
+from repro.workload.generator import SyntheticWorkloadParams, generate_workload
+
+#: Per-slot ladders and thresholds: the Seagate runs the 4-rung DRPM
+#: ladder, the green drive stays two-state (ladder backfill) with an
+#: aggressive per-slot threshold — the maximally mixed kernel path
+#: (per-group ladder assembly + per-disk threshold vectors).
+TIERED = Fleet(
+    "tiered",
+    (
+        FleetDisk(ST3500630AS, ladder="drpm4"),
+        FleetDisk(WD10EADS, threshold=30.0),
+    ),
+)
+
+FLEETS = {"mixed_generation": "mixed_generation", "tiered_ladders": TIERED}
+
+
+def _timed(run, rounds):
+    best = math.inf
+    result = None
+    for _ in range(rounds):
+        t0 = time.perf_counter()
+        result = run()
+        best = min(best, time.perf_counter() - t0)
+    return result, best
+
+
+@pytest.mark.parametrize("fleet_name", sorted(FLEETS))
+def test_fast_engine_speedup_hetero_fleet(scale, capsys, fleet_name):
+    """Mixed-fleet runs: the fast kernel must win >= 5x over the event
+    engine with per-disk spec (and ladder) vectors, agreeing to 1e-9."""
+    workload = generate_workload(
+        SyntheticWorkloadParams(
+            n_files=5_000,
+            arrival_rate=6.0,
+            duration=max(800.0, 4_000.0 * scale),
+            seed=11,
+        )
+    )
+    cfg = StorageConfig(
+        num_disks=100,
+        load_constraint=0.7,
+        fleet=FLEETS[fleet_name],
+    )
+    # Packing normalizes by the representative (smallest, disk-0 Seagate)
+    # capacity, so every bin fits every drive of the mixed pool.
+    mapping = allocate(workload.catalog, "pack", cfg, 6.0).mapping(
+        workload.catalog.n
+    )
+
+    def run_engine(engine):
+        return StorageSystem(
+            workload.catalog, mapping, cfg.with_overrides(engine=engine)
+        ).run(workload.stream)
+
+    # Best-of-N so a scheduling hiccup on a shared CI runner cannot flip
+    # the speedup assertion (the fast run is only milliseconds long).
+    event, event_s = _timed(lambda: run_engine("event"), rounds=2)
+    fast, fast_s = _timed(lambda: run_engine("fast"), rounds=5)
+    fast_s = max(fast_s, 1e-9)
+
+    assert fast.energy == pytest.approx(event.energy, rel=1e-9)
+    assert fast.spinups == event.spinups
+    assert fast.spindowns == event.spindowns
+    assert fast.completions == event.completions
+    assert event.spindowns > 0  # the mixed pool exercises spin transitions
+    with capsys.disabled():
+        print(
+            f"\n[fleet/{fleet_name}] {len(workload.stream)} requests: "
+            f"event {event_s:.3f}s, fast {fast_s:.4f}s "
+            f"({event_s / fast_s:.1f}x speedup)"
+        )
+    assert event_s >= 5.0 * fast_s

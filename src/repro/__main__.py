@@ -25,7 +25,10 @@ NAME`` (``two_state``, ``nap``, ``drpm4`` — see ``repro.disk.dpm``) to add
 a multi-state power-ladder axis: every cell re-runs with the ladder, whose
 intermediate low-power rungs both engines simulate identically, and the
 report shows where the ladder beats the best two-state static threshold
-at equal p95.
+at equal p95.  The ``hetero-fleet`` experiment (fleet mix x placement x
+DPM policy over heterogeneous pools — see ``repro.disk.fleet``) accepts
+``--fleet NAME`` (``uniform`` or a preset like ``mixed_generation``) to
+restrict its fleet axis.
 """
 
 from __future__ import annotations
@@ -48,6 +51,7 @@ def _experiment_registry() -> Dict[str, Callable]:
         fig5_idleness_power,
         fig6_idleness_response,
         groupsize_sweep,
+        hetero_fleet,
         placement_sweep,
         sensitivity,
         slo_frontier,
@@ -66,6 +70,7 @@ def _experiment_registry() -> Dict[str, Callable]:
         "groupsize": groupsize_sweep.run,
         "placement": placement_sweep.run,
         "slo-frontier": slo_frontier.run,
+        "hetero-fleet": hetero_fleet.run,
         "complexity": ablations.run_complexity,
         "quality": ablations.run_quality,
         "correlation": ablations.run_correlation,
@@ -139,6 +144,7 @@ def _cmd_run(args: argparse.Namespace) -> int:
         "dpm_policy": (args.dpm_policy, "the 'slo-frontier' experiment"),
         "slo_target": (args.slo_target, "the 'slo-frontier' experiment"),
         "dpm_ladder": (args.dpm_ladder, "the 'slo-frontier' experiment"),
+        "fleet": (args.fleet, "the 'hetero-fleet' experiment"),
     }
     for name in names:
         kwargs = {"scale": args.scale}
@@ -259,6 +265,19 @@ def build_parser() -> argparse.ArgumentParser:
             "add a multi-state DPM ladder axis to the 'slo-frontier' grid "
             "('two_state', 'nap' or 'drpm4'; see repro.disk.dpm) — every "
             "cell re-runs with StorageConfig(dpm_ladder=LADDER)"
+        ),
+    )
+    run.add_argument(
+        "--fleet",
+        type=str,
+        default=None,
+        metavar="FLEET",
+        help=(
+            "restrict the 'hetero-fleet' grid to one fleet: 'uniform' "
+            "(the paper's homogeneous Table 2 pool) or a preset from "
+            "repro.disk.fleet such as 'mixed_generation' (alternating "
+            "old/new-generation drives with per-disk capacities, "
+            "break-evens and power tables)"
         ),
     )
     run.add_argument(

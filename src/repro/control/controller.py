@@ -62,9 +62,11 @@ class ThresholdController:
     num_disks:
         Pool size (threshold vectors have this length).
     base_threshold:
-        The configured static threshold seeding the policy.
+        The configured static threshold seeding the policy — a scalar
+        for uniform pools or a per-disk vector for heterogeneous fleets.
     spec:
-        The :class:`~repro.disk.specs.DiskSpec` (break-even time etc.).
+        The :class:`~repro.disk.specs.DiskSpec` (break-even time etc.),
+        or one spec per disk for heterogeneous fleets.
     slo_target, slo_percentile:
         The response-time target (seconds at the given percentile) for
         SLO-constrained policies; ``slo_target=None`` when unused.

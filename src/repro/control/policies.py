@@ -100,7 +100,7 @@ class DPMPolicy:
     def reset(
         self,
         num_disks: int,
-        base_threshold: float,
+        base_threshold,
         spec,
         slo_target: Optional[float] = None,
         slo_percentile: float = 95.0,
@@ -110,14 +110,45 @@ class DPMPolicy:
         ``base_threshold`` is the configured static threshold (the spec's
         break-even value by default) and seeds every policy's initial
         vector; ``spec`` supplies the break-even time and transition
-        costs.
+        costs.  Both accept either one value for the whole pool (the
+        uniform array) or one per disk (heterogeneous fleets:
+        ``base_threshold`` as a length-``num_disks`` vector, ``spec`` as
+        a sequence of :class:`~repro.disk.specs.DiskSpec`) — policies
+        score and clamp every disk against *its own* break-even and base
+        threshold, so a mixed-generation fleet is steered per drive.
         """
         if num_disks < 1:
             raise ConfigError("num_disks must be >= 1")
         self.num_disks = int(num_disks)
-        self.base_threshold = float(base_threshold)
-        self.spec = spec
-        self.breakeven = float(spec.breakeven_threshold())
+        base = np.asarray(base_threshold, dtype=float)
+        if base.ndim == 0:
+            base = np.full(self.num_disks, float(base), dtype=float)
+        elif base.shape != (self.num_disks,):
+            raise ConfigError(
+                f"base_threshold must be scalar or one value per disk, "
+                f"got shape {base.shape} for {self.num_disks} disks"
+            )
+        #: Per-disk configured thresholds (uniform pools: one repeated value).
+        self.base_thresholds = base.copy()
+        if hasattr(spec, "breakeven_threshold"):
+            specs = (spec,) * self.num_disks
+        else:
+            specs = tuple(spec)
+            if len(specs) != self.num_disks:
+                raise ConfigError(
+                    f"spec must be one DiskSpec or one per disk, got "
+                    f"{len(specs)} for {self.num_disks} disks"
+                )
+        self.specs = specs
+        #: Per-disk break-even times (the energy floor each disk is scored
+        #: against).
+        self.breakevens = np.array(
+            [s.breakeven_threshold() for s in specs], dtype=float
+        )
+        # Representative (disk 0) scalars, kept for homogeneous callers.
+        self.base_threshold = float(self.base_thresholds[0])
+        self.spec = specs[0]
+        self.breakeven = float(self.breakevens[0])
         self.slo_target = None if slo_target is None else float(slo_target)
         self.slo_percentile = float(slo_percentile)
         self._post_reset()
@@ -127,7 +158,7 @@ class DPMPolicy:
 
     def initial_thresholds(self) -> np.ndarray:
         """Per-disk thresholds for the first control interval."""
-        return np.full(self.num_disks, self.base_threshold, dtype=float)
+        return self.base_thresholds.copy()
 
     def update(self, telemetry: IntervalTelemetry) -> np.ndarray:
         """Per-disk thresholds for the next interval (must be ``>= 0``)."""
@@ -208,7 +239,10 @@ class AdaptiveTimeout(DPMPolicy):
     More regrets than wastes → the threshold was too eager: multiply it by
     ``factor``.  More wastes than regrets → too lazy: divide.  Clamped to
     ``[base/16, base*16]``; an infinite base threshold (spin-down
-    disabled) is left untouched.
+    disabled) is left untouched.  Every disk is scored against its *own*
+    break-even time and clamped against its *own* base threshold, so a
+    heterogeneous fleet's cheap-transition drives settle on tighter
+    timeouts than its expensive ones.
     """
 
     name = "adaptive_timeout"
@@ -216,16 +250,16 @@ class AdaptiveTimeout(DPMPolicy):
     span = 16.0
 
     def _post_reset(self) -> None:
-        self._th = np.full(self.num_disks, self.base_threshold, dtype=float)
-        self._lo = self.base_threshold / self.span
-        self._hi = self.base_threshold * self.span
+        self._th = self.base_thresholds.copy()
+        self._lo = self.base_thresholds / self.span
+        self._hi = self.base_thresholds * self.span
 
     def initial_thresholds(self) -> np.ndarray:
         return self._th.copy()
 
     def update(self, telemetry: IntervalTelemetry) -> np.ndarray:
-        be = self.breakeven
         for d, gaps in enumerate(telemetry.gaps):
+            be = self.breakevens[d]
             regrets = 0
             wastes = 0
             for gap, th in gaps:
@@ -235,9 +269,9 @@ class AdaptiveTimeout(DPMPolicy):
                 elif gap > be:
                     wastes += 1
             if regrets > wastes:
-                self._th[d] = min(self._th[d] * self.factor, self._hi)
+                self._th[d] = min(self._th[d] * self.factor, self._hi[d])
             elif wastes > regrets:
-                self._th[d] = max(self._th[d] / self.factor, self._lo)
+                self._th[d] = max(self._th[d] / self.factor, self._lo[d])
         return self._th.copy()
 
 
@@ -247,17 +281,18 @@ class ExponentialPredictive(DPMPolicy):
 
     Each disk keeps an exponentially weighted moving average of its
     observed idle-gap lengths (``pred = alpha*gap + (1-alpha)*pred``,
-    seeded at the break-even time).  While the predicted next idle period
-    exceeds break-even the disk spins down *immediately* (threshold 0) —
-    the predictive shortcut that beats any timeout when gaps are long and
-    regular; otherwise the base threshold applies.
+    seeded at the disk's own break-even time).  While the predicted next
+    idle period exceeds that disk's break-even it spins down
+    *immediately* (threshold 0) — the predictive shortcut that beats any
+    timeout when gaps are long and regular; otherwise the disk's base
+    threshold applies.
     """
 
     name = "exponential_predictive"
     alpha = 0.5
 
     def _post_reset(self) -> None:
-        self._pred = np.full(self.num_disks, self.breakeven, dtype=float)
+        self._pred = self.breakevens.copy()
 
     def update(self, telemetry: IntervalTelemetry) -> np.ndarray:
         alpha = self.alpha
@@ -267,7 +302,7 @@ class ExponentialPredictive(DPMPolicy):
                 pred = alpha * gap + (1.0 - alpha) * pred
             self._pred[d] = pred
         return np.where(
-            self._pred > self.breakeven, 0.0, self.base_threshold
+            self._pred > self.breakevens, 0.0, self.base_thresholds
         )
 
 
@@ -290,7 +325,10 @@ class SloFeedback(DPMPolicy):
     Gains are asymmetric (relax fast, tighten slowly) so violations are
     corrected promptly and the threshold settles just tight enough to
     meet the target — typically between the points of any coarse static
-    grid.  Clamped to ``[base/32, base*32]``.
+    grid.  Clamped per disk to ``[base/32, base*32]``: the feedback
+    signal is array-wide, but on a heterogeneous fleet each disk's
+    threshold scales around its *own* base (infinite bases — spin-down
+    disabled — are left untouched).
     """
 
     name = "slo_feedback"
@@ -306,18 +344,23 @@ class SloFeedback(DPMPolicy):
                 "slo_feedback requires an slo_target (seconds at the "
                 "configured slo_percentile)"
             )
-        self._th = self.base_threshold
-        self._lo = self.base_threshold / self.span
-        self._hi = self.base_threshold * self.span
+        self._th = self.base_thresholds.copy()
+        self._lo = self.base_thresholds / self.span
+        self._hi = self.base_thresholds * self.span
 
     def initial_thresholds(self) -> np.ndarray:
-        return np.full(self.num_disks, self._th, dtype=float)
+        return self._th.copy()
 
     def update(self, telemetry: IntervalTelemetry) -> np.ndarray:
         estimate = telemetry.slo_estimate
-        if not math.isnan(estimate) and not math.isinf(self._th):
+        if not math.isnan(estimate):
+            finite = ~np.isinf(self._th)
             if estimate > self.slo_target:
-                self._th = min(self._th * self.relax, self._hi)
+                self._th[finite] = np.minimum(
+                    self._th[finite] * self.relax, self._hi[finite]
+                )
             elif estimate < self.margin * self.slo_target:
-                self._th = max(self._th / self.tighten, self._lo)
-        return np.full(self.num_disks, self._th, dtype=float)
+                self._th[finite] = np.maximum(
+                    self._th[finite] / self.tighten, self._lo[finite]
+                )
+        return self._th.copy()

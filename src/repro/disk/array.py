@@ -1,4 +1,4 @@
-"""A homogeneous array of simulated drives with aggregate accounting."""
+"""An array of simulated drives (uniform or mixed) with aggregate accounting."""
 
 from __future__ import annotations
 
@@ -9,6 +9,7 @@ import numpy as np
 
 from repro.disk.dpm import DpmLadder
 from repro.disk.drive import DiskDrive, DiskRequest
+from repro.disk.fleet import ResolvedFleet
 from repro.disk.multistate import MultiStateDiskDrive
 from repro.disk.power import DiskState, PowerModel
 from repro.disk.specs import DiskSpec
@@ -19,7 +20,7 @@ __all__ = ["DiskArray"]
 
 
 class DiskArray:
-    """``num_disks`` identical drives sharing one environment.
+    """``num_disks`` drives sharing one environment.
 
     Parameters
     ----------
@@ -36,6 +37,13 @@ class DiskArray:
         Optional :class:`~repro.disk.dpm.DpmLadder`: the pool is built
         from :class:`~repro.disk.multistate.MultiStateDiskDrive` instead
         of the classic two-state drive, descending the ladder while idle.
+    fleet:
+        Optional :class:`~repro.disk.fleet.ResolvedFleet`: per-drive
+        specs, ladders and thresholds (overriding ``spec``/
+        ``idleness_threshold``/``ladder``, which remain the uniform-pool
+        sugar).  Each drive is built from *its own* slot, so a
+        mixed-generation pool simulates every drive against its own
+        power figures and break-even.
     """
 
     def __init__(
@@ -47,13 +55,31 @@ class DiskArray:
         initial_state: DiskState = DiskState.IDLE,
         record_history: bool = False,
         ladder: Optional[DpmLadder] = None,
+        fleet: Optional[ResolvedFleet] = None,
     ) -> None:
         if num_disks < 1:
             raise ConfigError(f"num_disks must be >= 1, got {num_disks}")
         self.env = env
-        self.spec = spec
-        self.power_model = PowerModel(spec)
-        if ladder is not None:
+        if fleet is not None:
+            if fleet.num_disks != num_disks:
+                raise ConfigError(
+                    f"fleet resolves {fleet.num_disks} disks but the array "
+                    f"was asked for {num_disks}"
+                )
+            specs = fleet.specs
+            ladders = fleet.ladders
+            thresholds: List[Optional[float]] = [
+                float(t) for t in fleet.thresholds
+            ]
+        else:
+            specs = (spec,) * num_disks
+            ladders = (ladder,) * num_disks
+            thresholds = [idleness_threshold] * num_disks
+        self.specs = tuple(specs)
+        self.homogeneous_specs = len(set(self.specs)) == 1
+        self.spec = self.specs[0]
+        self.power_model = PowerModel(self.spec)
+        if ladders[0] is not None:
             if initial_state is not DiskState.IDLE:
                 raise ConfigError(
                     "ladder-backed arrays start spinning (rung 0)"
@@ -61,10 +87,10 @@ class DiskArray:
             self.disks: List = [
                 MultiStateDiskDrive(
                     env,
-                    spec,
-                    ladder,
+                    specs[i],
+                    ladders[i],
                     disk_id=i,
-                    idleness_threshold=idleness_threshold,
+                    idleness_threshold=thresholds[i],
                     record_history=record_history,
                 )
                 for i in range(num_disks)
@@ -73,9 +99,9 @@ class DiskArray:
             self.disks = [
                 DiskDrive(
                     env,
-                    spec,
+                    specs[i],
                     disk_id=i,
-                    idleness_threshold=idleness_threshold,
+                    idleness_threshold=thresholds[i],
                     initial_state=initial_state,
                     record_history=record_history,
                 )
@@ -122,11 +148,44 @@ class DiskArray:
     def requests_per_disk(self) -> np.ndarray:
         return np.array([d.stats.arrivals for d in self.disks], dtype=np.int64)
 
+    # -- per-drive spec views (vectors the dispatcher/placement consume) --------
+
+    def _spec_vector(self, attr: str) -> np.ndarray:
+        return np.array(
+            [float(getattr(s, attr)) for s in self.specs], dtype=float
+        )
+
+    @property
+    def capacities(self) -> np.ndarray:
+        """Raw per-drive capacities (bytes)."""
+        return self._spec_vector("capacity")
+
+    @property
+    def access_overheads(self) -> np.ndarray:
+        """Per-drive positioning time (seek + rotation, seconds)."""
+        return self._spec_vector("access_overhead")
+
+    @property
+    def transfer_rates(self) -> np.ndarray:
+        """Per-drive transfer rates (bytes/second)."""
+        return self._spec_vector("transfer_rate")
+
+    @property
+    def active_power(self) -> np.ndarray:
+        """Per-drive active power draw (W) — the placement power rank."""
+        return self._spec_vector("active_power")
+
     def always_on_energy(self, duration: float) -> float:
         """Figure 5 normalization: all drives spinning idle for ``duration``."""
         if duration < 0:
             raise ConfigError("duration must be >= 0")
-        return len(self.disks) * self.power_model.always_on_energy(duration)
+        if self.homogeneous_specs:
+            return len(self.disks) * self.power_model.always_on_energy(duration)
+        return float(
+            sum(
+                PowerModel(s).always_on_energy(duration) for s in self.specs
+            )
+        )
 
     def normalized_power_cost(self, duration: Optional[float] = None) -> float:
         """Energy so far as a fraction of the always-spinning baseline."""

@@ -8,7 +8,7 @@ from typing import Dict
 from repro.errors import ConfigError
 from repro.units import GB, MB, MS
 
-__all__ = ["DiskSpec", "ST3500630AS"]
+__all__ = ["DiskSpec", "ST3500630AS", "WD10EADS"]
 
 
 @dataclass(frozen=True)
@@ -136,4 +136,28 @@ ST3500630AS = DiskSpec(
     spindown_power=9.3,
     spinup_time=15.0,
     spindown_time=10.0,
+)
+
+#: A newer-generation green drive (WD Caviar Green class): twice the
+#: capacity, a faster sustained transfer rate, and roughly a third of the
+#: Seagate's idle draw, at the price of slower positioning.  Its cheap,
+#: quick spin transitions pull the break-even threshold (~46 s) below the
+#: Seagate's 53.3 s — exactly the asymmetry heterogeneous placement and
+#: per-disk DPM control exist to exploit (the ``mixed_generation`` fleet
+#: preset in :mod:`repro.disk.fleet` pairs the two).
+WD10EADS = DiskSpec(
+    model="WD Caviar Green WD10EADS",
+    capacity=1000 * GB,
+    transfer_rate=100 * MB,
+    avg_seek_time=12.0 * MS,
+    avg_rotation_time=5.56 * MS,
+    rotational_speed_rpm=5400,
+    idle_power=2.8,
+    standby_power=0.4,
+    active_power=5.4,
+    seek_power=6.0,
+    spinup_power=12.0,
+    spindown_power=2.8,
+    spinup_time=8.0,
+    spindown_time=5.0,
 )

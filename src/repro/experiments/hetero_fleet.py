@@ -1,0 +1,344 @@
+"""Heterogeneous fleets: fleet mix x placement x DPM policy.
+
+The paper's array is homogeneous — every disk is the Table 2 Seagate, so
+placement only has load and spin state to reason about, and one
+break-even threshold fits all.  Real installations are mixed-generation:
+drives bought years apart share a pool, and the newer ones hold more,
+idle cheaper and recover from standby faster.  This experiment quantifies
+what that asymmetry is worth: it sweeps
+
+* the **fleet axis** — the uniform Table 2 pool vs the
+  ``mixed_generation`` preset (:mod:`repro.disk.fleet`), which alternates
+  the Seagate with a newer green drive (double capacity, ~1/3 the idle
+  draw, lower break-even);
+* the **placement axis** — spec-blind policies (``round_robin``,
+  ``spinning_best_fit``) against the spec-aware ``cheapest_spinning``,
+  which ranks spinning candidates by their drive's own active power;
+* the **DPM axis** — per-disk static break-evens (``fixed``) against the
+  online controllers (``adaptive_timeout``, ``slo_feedback``), which on a
+  fleet steer every disk relative to *its own* break-even vector.
+
+The headline check, reported in the notes: on the mixed-generation
+fleet, at least one spec-aware cell (``cheapest_spinning`` + per-disk
+control) beats every spec-blind placement cell on the energy/p95
+frontier — more power saving at equal-or-better tail latency.  On the
+uniform fleet ``cheapest_spinning`` degenerates to load-based
+tie-breaking, so the same comparison shows *no* such gap: the win is
+heterogeneity-specific, not a free lunch the other policies left behind.
+
+Every grid point dispatches through the shared
+:class:`~repro.experiments.orchestrator.SweepRunner` (``--workers``,
+``--engine fast``, ``--chunk-size`` and the cross-session disk cache all
+apply; fingerprints are salted with the fleet preset via
+``StorageConfig.fleet``).  Run from the CLI with::
+
+    python -m repro run hetero-fleet --scale 0.25 --workers 4 --engine fast
+    python -m repro run hetero-fleet --fleet mixed_generation
+"""
+
+from __future__ import annotations
+
+from typing import Optional, Sequence
+
+import numpy as np
+
+from repro.disk.fleet import fleet_names
+from repro.errors import ConfigError
+from repro.experiments.common import ExperimentResult, Stopwatch, scaled_duration
+from repro.experiments.orchestrator import (
+    InlineWorkload,
+    SimTask,
+    default_runner,
+)
+from repro.reporting.series import SeriesBundle
+from repro.reporting.table import format_table
+from repro.system.config import StorageConfig
+from repro.system.runner import allocate
+from repro.units import MB
+from repro.workload.generator import SyntheticWorkloadParams, generate_workload
+from repro.workload.mixed import MixedWorkloadParams, generate_mixed_workload
+
+__all__ = ["build_tasks", "run"]
+
+#: Fleet axis: ``None`` is the paper's uniform Table 2 pool (bare
+#: ``spec=``), strings are presets from :data:`repro.disk.fleet.FLEETS`.
+DEFAULT_FLEETS = (None, "mixed_generation")
+
+#: Placement axis: two spec-blind policies vs the spec-aware one.
+DEFAULT_BLIND_POLICIES = ("round_robin", "spinning_best_fit")
+AWARE_POLICY = "cheapest_spinning"
+
+#: DPM axis: per-disk static break-evens vs the online controllers.
+DEFAULT_DPM_POLICIES = ("fixed", "adaptive_timeout", "slo_feedback")
+
+#: p95 target handed to the slo_feedback cells (seconds).
+DEFAULT_SLO_TARGET = 18.0
+
+
+def _fleet_tag(fleet: Optional[str]) -> str:
+    return "uniform" if fleet is None else fleet
+
+
+def build_tasks(
+    scale: float,
+    seed: int,
+    rate: float,
+    fleets: Sequence[Optional[str]],
+    placements: Sequence[str],
+    dpm_policies: Sequence[str],
+    slo_target: float,
+    num_disks: int,
+    load_constraint: float,
+    write_fraction: float,
+):
+    """The grid as :class:`SimTask` descriptions (shared with the bench).
+
+    One mixed read/write workload (new files enter the mapping as ``-1``
+    so the swept placement — not the packer — sites them), spread
+    round-robin so every disk sees idle gaps worth pricing; grid keys are
+    ``(fleet_or_None, placement, dpm_policy)``.
+    """
+    duration = scaled_duration(4_000.0, scale)
+    control_interval = max(50.0, duration / 10.0)
+    base_cfg = StorageConfig(
+        num_disks=num_disks,
+        load_constraint=load_constraint,
+        control_interval=control_interval,
+    )
+
+    base = generate_workload(
+        SyntheticWorkloadParams(
+            n_files=max(2_000, int(20_000 * scale)),
+            arrival_rate=rate,
+            duration=duration,
+            seed=seed,
+            s_max=500 * MB,
+            s_min=20 * MB,
+        )
+    )
+    base_mapping = allocate(
+        base.catalog, "round_robin", base_cfg, rate, num_disks=num_disks
+    ).mapping(base.catalog.n)
+    catalog, stream = generate_mixed_workload(
+        base.catalog,
+        MixedWorkloadParams(
+            write_fraction=write_fraction,
+            new_file_fraction=0.6,
+            arrival_rate=rate,
+            duration=duration,
+            seed=seed + 1,
+        ),
+    )
+    mapping = np.concatenate(
+        [
+            base_mapping,
+            np.full(catalog.n - base.catalog.n, -1, dtype=np.int64),
+        ]
+    )
+    workload = InlineWorkload(
+        sizes=catalog.sizes,
+        popularities=catalog.popularities,
+        times=stream.times,
+        file_ids=stream.file_ids,
+        duration=stream.duration,
+        kinds=stream.kinds,
+    )
+
+    tasks = []
+    for fleet in fleets:
+        fleet_cfg = (
+            base_cfg if fleet is None
+            else base_cfg.with_overrides(fleet=fleet)
+        )
+        for placement in placements:
+            for policy in dpm_policies:
+                cfg = fleet_cfg.with_overrides(write_policy=placement)
+                if policy == "slo_feedback":
+                    cfg = cfg.with_overrides(
+                        dpm_policy="slo_feedback",
+                        slo_target=slo_target,
+                        slo_percentile=95.0,
+                    )
+                elif policy != "fixed":
+                    cfg = cfg.with_overrides(dpm_policy=policy)
+                tasks.append(
+                    SimTask(
+                        label=(
+                            f"{_fleet_tag(fleet)} {placement} {policy}"
+                        ),
+                        workload=workload,
+                        config=cfg,
+                        mapping=mapping,
+                        num_disks=num_disks,
+                        key=(fleet, placement, policy),
+                    )
+                )
+    return tasks
+
+
+def _saving(result) -> float:
+    return 1.0 - result.normalized_power_cost
+
+
+def run(
+    scale: float = 1.0,
+    seed: int = 20090607,
+    rate: float = 0.25,
+    fleets: Sequence[Optional[str]] = DEFAULT_FLEETS,
+    blind_policies: Sequence[str] = DEFAULT_BLIND_POLICIES,
+    dpm_policies: Sequence[str] = DEFAULT_DPM_POLICIES,
+    slo_target: float = DEFAULT_SLO_TARGET,
+    num_disks: int = 12,
+    load_constraint: float = 0.6,
+    write_fraction: float = 0.3,
+    fleet: Optional[str] = None,
+) -> ExperimentResult:
+    """Sweep fleet mix x placement x DPM policy; report the frontier.
+
+    ``fleet`` (the CLI's ``--fleet``) restricts the fleet axis to one
+    preset name from :func:`repro.disk.fleet.fleet_names` (or
+    ``"uniform"`` for the bare-spec pool).
+    """
+    if fleet is not None:
+        if fleet == "uniform":
+            fleets = (None,)
+        elif fleet in fleet_names():
+            fleets = (fleet,)
+        else:
+            raise ConfigError(
+                f"unknown --fleet {fleet!r}; choose from "
+                f"{('uniform',) + fleet_names()}"
+            )
+    for name in fleets:
+        if name is not None and name not in fleet_names():
+            raise ConfigError(
+                f"unknown fleet {name!r}; choose from {fleet_names()}"
+            )
+    placements = tuple(blind_policies) + (AWARE_POLICY,)
+
+    with Stopwatch() as timer:
+        tasks = build_tasks(
+            scale=scale,
+            seed=seed,
+            rate=rate,
+            fleets=fleets,
+            placements=placements,
+            dpm_policies=dpm_policies,
+            slo_target=slo_target,
+            num_disks=num_disks,
+            load_constraint=load_constraint,
+            write_fraction=write_fraction,
+        )
+        by_key = default_runner().run_map(tasks)
+
+        result = ExperimentResult(name="hetero_fleet")
+        demonstrations = []
+        for flt in fleets:
+            tag = _fleet_tag(flt)
+            bundle = SeriesBundle(
+                title=f"Energy/p95 frontier on the {tag} fleet",
+                x_label="p95 response (s)",
+                y_label="normalized power saving",
+            )
+            rows = []
+            blind_cells = []
+            aware_cells = []
+            for placement in placements:
+                for policy in dpm_policies:
+                    res = by_key[(flt, placement, policy)]
+                    saving = _saving(res)
+                    p95 = res.p95_response
+                    bundle.add(f"{placement} {policy}", p95, saving)
+                    rows.append(
+                        [
+                            placement,
+                            policy,
+                            f"{saving:.3f}",
+                            f"{p95:.2f}",
+                            f"{res.mean_response:.2f}",
+                            res.spinups,
+                        ]
+                    )
+                    # On a fleet, even "fixed" is per-disk control: the
+                    # control layer hands every disk its own break-even
+                    # threshold from its own spec's vector.
+                    name = (
+                        f"{placement}+{policy}" if policy != "fixed"
+                        else f"{placement}+per-disk break-evens"
+                    )
+                    cell = (name, saving, p95)
+                    if placement == AWARE_POLICY:
+                        aware_cells.append(cell)
+                    else:
+                        blind_cells.append(cell)
+            result.bundles[tag] = bundle
+            result.tables[tag] = format_table(
+                rows,
+                headers=[
+                    "placement", "dpm", "saving", "p95", "mean", "spinups",
+                ],
+                title=f"Fleet {tag}: placement x DPM frontier",
+            )
+
+            # The acceptance cell: a spec-aware (placement, control) pair
+            # that strictly out-saves every spec-blind cell sitting at
+            # equal-or-better p95.
+            for label, saving, p95 in sorted(
+                aware_cells, key=lambda c: -c[1]
+            ):
+                rivals = [
+                    c for c in blind_cells if c[2] <= p95 * 1.02 + 0.25
+                ]
+                if not rivals:
+                    continue
+                best = max(rivals, key=lambda c: c[1])
+                if saving > best[1] + 1e-9:
+                    demonstrations.append(
+                        f"{tag}: {label} saves {saving:.3f} at "
+                        f"p95={p95:.2f}s — beating every spec-blind cell "
+                        f"at equal-or-better p95 (best: {best[0]}, saving "
+                        f"{best[1]:.3f}, p95={best[2]:.2f}s)"
+                    )
+                    break
+
+        hetero_demos = [
+            d for d in demonstrations if not d.startswith("uniform")
+        ]
+        if hetero_demos:
+            result.notes.append(
+                "hetero-fleet demonstration: " + "; ".join(hetero_demos)
+            )
+        elif any(f is not None for f in fleets):
+            result.notes.append(
+                "no mixed-fleet cell showed spec-aware placement + "
+                "per-disk control beating the spec-blind grid at this "
+                "scale — try scale>=0.25"
+            )
+        result.notes.append(
+            "cheapest_spinning ranks spinning write targets by their "
+            "drive's own active power; on a uniform fleet that rank is "
+            "flat and the policy degenerates to load tie-breaking, so "
+            "any frontier gap is heterogeneity-specific"
+        )
+        result.notes.append(
+            f"{len(tasks)} grid points dispatched through the shared "
+            "SweepRunner (fleet-salted fingerprints, disk-cacheable); "
+            "mixed-fleet cells run per-disk capacities, break-evens and "
+            "power tables through both engines"
+        )
+    result.wall_seconds = timer.elapsed
+    return result
+
+
+def main() -> None:  # pragma: no cover - CLI convenience
+    import argparse
+
+    parser = argparse.ArgumentParser(description=__doc__)
+    parser.add_argument("--scale", type=float, default=0.25)
+    parser.add_argument("--fleet", type=str, default=None)
+    args = parser.parse_args()
+    print(run(scale=args.scale, fleet=args.fleet).to_text())
+
+
+if __name__ == "__main__":  # pragma: no cover
+    main()

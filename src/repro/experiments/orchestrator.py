@@ -212,7 +212,7 @@ def _canon(obj: Any) -> Any:
 #: ``chunk_size`` salt fingerprints via the config dataclass; streaming
 #: results carry ``response_stats`` instead of ``response_times``) + the
 #: unified chunked fast-kernel core.
-RESULT_SCHEMA_VERSION = 6
+RESULT_SCHEMA_VERSION = 7
 
 
 def task_fingerprint(task: SimTask) -> str:

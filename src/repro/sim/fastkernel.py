@@ -37,6 +37,9 @@ mixed read/write + cache                   yes         yes
 online DPM policies (full registry)        yes         yes
 multi-state DPM ladders (presets + user)   yes         yes
 ladders under online control (scaled)      yes         yes
+heterogeneous fleets (per-disk specs)      yes         yes
+per-disk ladders / thresholds (fleets)     yes         yes
+fleets + chunked / streaming metrics       yes         yes
 array-backed streams (``.times``)          yes         yes
 chunked streams (``.iter_chunks()``)       yes         yes
 streaming metrics (bounded memory)         yes         API only
@@ -66,7 +69,18 @@ per-rung :class:`_LadderBank` recursion; the ``two_state`` preset is
 byte-identical to the classic :class:`_DiskBank` path, and the seeded
 randomized differential harness in ``tests/differential/`` holds both
 engines to 1e-9 agreement across the full config space (disks x streams
-x cache x write policy x DPM policy x ladder).
+x arrival shape x cache x write policy x DPM policy x ladder x fleet).
+
+Heterogeneous fleets (``StorageConfig(fleet=...)`` — the
+``mixed_generation`` preset or any :class:`~repro.disk.fleet.Fleet`)
+turn every per-disk scalar in the banks into a vector: capacities,
+transfer rates, access overheads, spin-up/-down durations, per-state
+power draws, idleness thresholds and (when any slot carries one) DPM
+ladders are all indexed by disk.  A uniform fleet collapses those
+vectors to identical entries, so the arithmetic — and the output — is
+byte-identical to the pre-fleet scalar path
+(``tests/regression/test_uniform_byte_identity.py`` pins this against
+recorded goldens).
 
 Every policy in :data:`repro.system.placement.PLACEMENT_POLICIES` is
 engine-agnostic: both kernels feed it the same
@@ -127,15 +141,21 @@ from __future__ import annotations
 
 from heapq import heappop, heappush
 from math import isinf
-from typing import List, Optional
+from typing import Dict, List, Optional
 
 import numpy as np
 
+from repro.disk.dpm import DpmLadder
 from repro.disk.drive import WRITE
+from repro.disk.fleet import ResolvedFleet
 from repro.disk.power import DiskState, PowerModel
 from repro.disk.specs import DiskSpec
 from repro.errors import ConfigError, SimulationError
-from repro.system.dispatcher import initial_free_bytes, validate_free_bytes
+from repro.system.dispatcher import (
+    initial_free_bytes,
+    per_disk_capacities,
+    validate_free_bytes,
+)
 from repro.system.metrics import ResponseAccumulator, SimulationResult
 from repro.system.placement import (
     PlacementContext,
@@ -170,6 +190,42 @@ def fast_unsupported_reason(config, stream) -> Optional[str]:
     )
 
 
+def _per_disk_specs(spec, num_disks: int) -> tuple:
+    """Normalize a spec-or-sequence into one :class:`DiskSpec` per disk."""
+    if isinstance(spec, DiskSpec):
+        return (spec,) * num_disks
+    specs = tuple(spec)
+    if len(specs) != num_disks:
+        raise ConfigError(
+            f"got {len(specs)} disk specs for a {num_disks}-disk pool"
+        )
+    return specs
+
+
+def _per_disk_ladders(ladder, num_disks: int) -> tuple:
+    """Normalize a ladder-or-sequence into one ladder per disk."""
+    if isinstance(ladder, DpmLadder):
+        return (ladder,) * num_disks
+    ladders = tuple(ladder)
+    if len(ladders) != num_disks:
+        raise ConfigError(
+            f"got {len(ladders)} DPM ladders for a {num_disks}-disk pool"
+        )
+    return ladders
+
+
+def _per_disk_floats(value, num_disks: int) -> List[float]:
+    """Normalize a scalar-or-vector into one float per disk."""
+    arr = np.asarray(value, dtype=float)
+    if arr.ndim == 0:
+        return [float(arr)] * num_disks
+    if arr.shape != (num_disks,):
+        raise ConfigError(
+            f"per-disk vector has shape {arr.shape}, expected ({num_disks},)"
+        )
+    return [float(v) for v in arr]
+
+
 class _DiskBank:
     """Scalar per-disk queue/power state with carry-in, shared by all paths.
 
@@ -178,16 +234,24 @@ class _DiskBank:
     plain Python lists, so single-request advances at coupling points stay
     cheap while :meth:`serve_batch` replays a whole per-disk FIFO segment
     with hoisted locals.
+
+    Heterogeneous fleets: every spec-derived constant (spin-down/up times,
+    access overhead, transfer rate) and the idleness threshold are held as
+    one value *per disk*.  ``spec``/``threshold`` accept a scalar (tiled
+    across the pool — a uniform fleet, bit-identical to the historical
+    scalar recursion) or a per-disk sequence/vector.
     """
 
     __slots__ = (
         "avail", "sd_t", "su_t", "sb_t", "n_up", "n_down", "load",
-        "th", "no_spindown", "D", "U", "oh", "T",
+        "th", "no_spindown", "D", "U", "oh", "rate", "oh_a", "rate_a",
+        "ap", "cap", "T",
     )
 
     def __init__(
-        self, num_disks: int, threshold: float, spec: DiskSpec, horizon: float
+        self, num_disks: int, threshold, spec, horizon: float
     ) -> None:
+        specs = _per_disk_specs(spec, num_disks)
         self.avail = [0.0] * num_disks
         self.sd_t = [0.0] * num_disks
         self.su_t = [0.0] * num_disks
@@ -198,11 +262,16 @@ class _DiskBank:
         # request at a time (same order as the event dispatcher's ledger,
         # so load-comparing placement policies see bit-equal values).
         self.load = [0.0] * num_disks
-        self.th = float(threshold)
-        self.no_spindown = isinf(self.th)
-        self.D = spec.spindown_time
-        self.U = spec.spinup_time
-        self.oh = spec.access_overhead
+        self.th = _per_disk_floats(threshold, num_disks)
+        self.no_spindown = all(isinf(t) for t in self.th)
+        self.D = [s.spindown_time for s in specs]
+        self.U = [s.spinup_time for s in specs]
+        self.oh = [s.access_overhead for s in specs]
+        self.rate = [s.transfer_rate for s in specs]
+        self.oh_a = np.asarray(self.oh, dtype=float)
+        self.rate_a = np.asarray(self.rate, dtype=float)
+        self.ap = np.array([s.active_power for s in specs], dtype=float)
+        self.cap = None  # per-disk usable bytes, set by _simulate_chunks
         self.T = horizon
 
     def serve(self, d: int, t: float, tr: float) -> float:
@@ -210,11 +279,13 @@ class _DiskBank:
         service start (the event kernel's SEEK entry time)."""
         a = self.avail[d]
         if t > a:
-            if not self.no_spindown and t - a > self.th:
+            # gap > inf is never true, so an inf-threshold disk never
+            # spins down — no separate no_spindown guard needed.
+            if t - a > self.th[d]:
                 # Idleness timer expired at a+th: spin down (not abortable),
                 # sleep, then spin up on this arrival.
-                sd = a + self.th
-                sd_end = sd + self.D
+                sd = a + self.th[d]
+                sd_end = sd + self.D[d]
                 self.n_down[d] += 1
                 self.sd_t[d] += min(sd_end, self.T) - sd
                 if t >= sd_end:
@@ -224,14 +295,14 @@ class _DiskBank:
                     su = sd_end
                 if su < self.T:
                     self.n_up[d] += 1
-                    self.su_t[d] += min(su + self.U, self.T) - su
-                s = su + self.U
+                    self.su_t[d] += min(su + self.U[d], self.T) - su
+                s = su + self.U[d]
             else:
                 s = t
         else:
             s = a
-        self.avail[d] = s + self.oh + tr
-        self.load[d] += self.oh + tr
+        self.avail[d] = s + self.oh[d] + tr
+        self.load[d] += self.oh[d] + tr
         return s
 
     def serve_batch(self, d: int, ts: list, trs: list) -> List[float]:
@@ -241,9 +312,10 @@ class _DiskBank:
         out: List[float] = []
         append = out.append
         a = self.avail[d]
-        oh = self.oh
+        oh = self.oh[d]
         ld = self.load[d]
-        if self.no_spindown:
+        th = self.th[d]
+        if isinf(th):
             # Pure Lindley recursion: serve at max(arrival, free time).
             for t, tr in zip(ts, trs):
                 s = t if t > a else a
@@ -251,9 +323,8 @@ class _DiskBank:
                 a = s + oh + tr
                 ld += oh + tr
         else:
-            th = self.th
-            D = self.D
-            U = self.U
+            D = self.D[d]
+            U = self.U[d]
             T = self.T
             sd_t = self.sd_t[d]
             su_t = self.su_t[d]
@@ -306,7 +377,8 @@ class _DiskBank:
         avail = np.asarray(self.avail)
         if self.no_spindown:
             return np.ones(avail.shape, dtype=bool)
-        return t < avail + self.th + self.D
+        # inf-threshold disks get avail + inf == inf: always spinning.
+        return t < avail + np.asarray(self.th) + np.asarray(self.D)
 
     def tail_arrays(self):
         """Spin/transition accounting as arrays, with trailing idleness.
@@ -324,10 +396,12 @@ class _DiskBank:
         spinups = np.asarray(self.n_up, dtype=np.int64)
         spindowns = np.asarray(self.n_down, dtype=np.int64)
         if not self.no_spindown:
-            sd = avail + self.th
+            # Per-disk vectors; an inf-threshold disk's sd is inf, so its
+            # tail mask is False and every where() contribution is 0.
+            sd = avail + np.asarray(self.th)
             tail = sd < self.T
             spindowns = spindowns + tail
-            sd_end = sd + self.D
+            sd_end = sd + np.asarray(self.D)
             spindown_time = spindown_time + np.where(
                 tail, np.minimum(sd_end, self.T) - sd, 0.0
             )
@@ -364,12 +438,14 @@ class _ControlledBank(_DiskBank):
         self,
         num_disks: int,
         init_thresholds: np.ndarray,
-        spec: DiskSpec,
+        spec,
         horizon: float,
         interval: float,
     ) -> None:
         super().__init__(num_disks, 0.0, spec, horizon)
-        self.th = float("nan")  # scalar threshold unused in controlled mode
+        # Static thresholds unused in controlled mode (gaps resolve
+        # against the applied-vector history instead).
+        self.th = [float("nan")] * num_disks
         self.no_spindown = False
         self.ci = float(interval)
         # One row per control interval; plain float lists because the hot
@@ -405,7 +481,7 @@ class _ControlledBank(_DiskBank):
             self.gap_log[d].append((t - a, th))
             if t - a > th:
                 sd = a + th
-                sd_end = sd + self.D
+                sd_end = sd + self.D[d]
                 self.n_down[d] += 1
                 self.sd_t[d] += min(sd_end, self.T) - sd
                 self.sd_spans.append((d, sd, sd_end))
@@ -417,15 +493,15 @@ class _ControlledBank(_DiskBank):
                     su = sd_end
                 if su < self.T:
                     self.n_up[d] += 1
-                    self.su_t[d] += min(su + self.U, self.T) - su
-                    self.su_spans.append((d, su, su + self.U))
-                s = su + self.U
+                    self.su_t[d] += min(su + self.U[d], self.T) - su
+                    self.su_spans.append((d, su, su + self.U[d]))
+                s = su + self.U[d]
             else:
                 s = t
         else:
             s = a
-        self.avail[d] = s + self.oh + tr
-        self.load[d] += self.oh + tr
+        self.avail[d] = s + self.oh[d] + tr
+        self.load[d] += self.oh[d] + tr
         return s
 
     def serve_batch(self, d: int, ts: list, trs: list) -> List[float]:
@@ -438,13 +514,13 @@ class _ControlledBank(_DiskBank):
         out: List[float] = []
         append = out.append
         a = self.avail[d]
-        oh = self.oh
+        oh = self.oh[d]
         ld = self.load[d]
         ci = self.ci
         th_rows = self._th_rows
         k = self.k
-        D = self.D
-        U = self.U
+        D = self.D[d]
+        U = self.U[d]
         T = self.T
         sd_t = self.sd_t[d]
         su_t = self.su_t[d]
@@ -497,7 +573,7 @@ class _ControlledBank(_DiskBank):
         out = np.empty(len(self.avail), dtype=bool)
         for d, a in enumerate(self.avail):
             # inf threshold => a + inf == inf => always spinning.
-            out[d] = t < a + self._th_at(a, d) + self.D
+            out[d] = t < a + self._th_at(a, d) + self.D[d]
         return out
 
     def tail_arrays(self):
@@ -511,7 +587,7 @@ class _ControlledBank(_DiskBank):
             sd = a + self._th_at(a, d)
             if sd < T:
                 spindowns[d] += 1
-                sd_end = sd + self.D
+                sd_end = sd + self.D[d]
                 spindown_time[d] += min(sd_end, T) - sd
                 self.sd_spans.append((d, sd, sd_end))
                 if sd_end < T:
@@ -536,39 +612,62 @@ class _LadderBank:
     ladder simulates byte-identically to the pre-ladder kernel (the
     regression tests in ``tests/sim/test_ladder_fastkernel.py`` assert
     bit-equal response times and energies).
+
+    Heterogeneous fleets: ``ladder``/``spec``/``threshold`` accept
+    per-disk sequences — every disk descends *its own* (threshold-scaled)
+    schedule, and the residencies are kept disk-major (``park_t[d][i]``)
+    because rung counts may differ across the pool.  Scalars tile across
+    the pool, reproducing the historical uniform recursion bit-for-bit.
     """
 
     def __init__(
-        self, num_disks: int, threshold: float, ladder, spec: DiskSpec,
+        self, num_disks: int, threshold, ladder, spec,
         horizon: float,
     ) -> None:
+        specs = _per_disk_specs(spec, num_disks)
+        ladders = _per_disk_ladders(ladder, num_disks)
         self.avail = [0.0] * num_disks
         self.load = [0.0] * num_disks
         self.n_up = [0] * num_disks
         self.n_down = [0] * num_disks
-        self.oh = spec.access_overhead
+        self.oh = [s.access_overhead for s in specs]
+        self.rate = [s.transfer_rate for s in specs]
+        self.oh_a = np.asarray(self.oh, dtype=float)
+        self.rate_a = np.asarray(self.rate, dtype=float)
+        self.ap = np.array([s.active_power for s in specs], dtype=float)
+        self.cap = None  # per-disk usable bytes, set by _simulate_chunks
         self.T = horizon
-        self.ladder = ladder
-        rungs = ladder.rungs
-        self.R = len(rungs)
-        self.dn = [r.down_time for r in rungs]
-        self.wk = [r.wake_time for r in rungs]
-        # Per-rung per-disk residencies; rung 0's park time is computed as
+        self.ladders = ladders
+        self.ladder = ladders[0]
+        self.R = [len(l.rungs) for l in ladders]
+        self.maxR = max(self.R)
+        self.dn = [[r.down_time for r in l.rungs] for l in ladders]
+        self.wk = [[r.wake_time for r in l.rungs] for l in ladders]
+        # Per-disk per-rung residencies (disk-major: rung counts may
+        # differ across a mixed fleet); rung 0's park time is computed as
         # the horizon residual (like the classic bank's idle time).
-        self.park_t = [[0.0] * num_disks for _ in rungs]
-        self.down_t = [[0.0] * num_disks for _ in rungs]
-        self.wake_t = [[0.0] * num_disks for _ in rungs]
-        self.th = float(threshold)
-        self.entries = ladder.scaled_entries(self.th)
-        self.no_descend = self.R == 1 or isinf(self.entries[1])
+        self.park_t = [[0.0] * self.R[d] for d in range(num_disks)]
+        self.down_t = [[0.0] * self.R[d] for d in range(num_disks)]
+        self.wake_t = [[0.0] * self.R[d] for d in range(num_disks)]
+        self.th = _per_disk_floats(threshold, num_disks)
+        self.entries = [
+            ladders[d].scaled_entries(self.th[d]) for d in range(num_disks)
+        ]
+        self.no_descend = [
+            self.R[d] == 1 or isinf(self.entries[d][1])
+            for d in range(num_disks)
+        ]
 
     def _descend(self, d: int, a: float, t: float, entries) -> float:
-        """Walk the idle gap ``[a, t)`` down the ladder; returns the wake
-        completion (service start) and bills every residency touched."""
+        """Walk the idle gap ``[a, t)`` down disk ``d``'s ladder; returns
+        the wake completion (service start) and bills every residency
+        touched."""
         g = t - a
         T = self.T
-        dn = self.dn
-        R = self.R
+        dn = self.dn[d]
+        R = self.R[d]
+        down_t = self.down_t[d]
+        park_t = self.park_t[d]
         i = 1
         while i + 1 < R and g > entries[i + 1]:
             i += 1
@@ -577,24 +676,24 @@ class _LadderBank:
             # park until the next rung's descent starts (all before t < T).
             ds = a + entries[j]
             de = ds + dn[j]
-            self.down_t[j][d] += de - ds
+            down_t[j] += de - ds
             pe = a + entries[j + 1]
             if pe > de:
-                self.park_t[j][d] += pe - de
+                park_t[j] += pe - de
         ds = a + entries[i]
         de = ds + dn[i]
         self.n_down[d] += i
-        self.down_t[i][d] += min(de, T) - ds
+        down_t[i] += min(de, T) - ds
         if t >= de:
-            self.park_t[i][d] += t - de
+            park_t[i] += t - de
             ws = t
         else:
             # Arrived mid-descent: the transition is not abortable.
             ws = de
-        w = self.wk[i]
+        w = self.wk[d][i]
         if ws < T:
             self.n_up[d] += 1
-            self.wake_t[i][d] += min(ws + w, T) - ws
+            self.wake_t[d][i] += min(ws + w, T) - ws
         return ws + w
 
     def serve(self, d: int, t: float, tr: float) -> float:
@@ -602,14 +701,14 @@ class _LadderBank:
         service start (the event kernel's seek entry time)."""
         a = self.avail[d]
         if t > a:
-            if self.no_descend or t - a <= self.entries[1]:
+            if self.no_descend[d] or t - a <= self.entries[d][1]:
                 s = t
             else:
-                s = self._descend(d, a, t, self.entries)
+                s = self._descend(d, a, t, self.entries[d])
         else:
             s = a
-        self.avail[d] = s + self.oh + tr
-        self.load[d] += self.oh + tr
+        self.avail[d] = s + self.oh[d] + tr
+        self.load[d] += self.oh[d] + tr
         return s
 
     def serve_batch(self, d: int, ts: list, trs: list) -> List[float]:
@@ -622,36 +721,41 @@ class _LadderBank:
         """Per-disk "not parked in the deepest rung at ``t``" — descents,
         intermediate rungs and wakes all count as spinning, exactly like
         the classic bank's SPINDOWN-inclusive mask."""
-        avail = np.asarray(self.avail)
-        if self.no_descend:
-            return np.ones(avail.shape, dtype=bool)
-        return t < (avail + self.entries[-1]) + self.dn[-1]
+        out = np.empty(len(self.avail), dtype=bool)
+        for d, a in enumerate(self.avail):
+            if self.no_descend[d]:
+                out[d] = True
+            else:
+                out[d] = t < (a + self.entries[d][-1]) + self.dn[d][-1]
+        return out
 
     def _tail_one(self, d: int, a: float, entries) -> None:
         """Fold one disk's post-drain trailing idleness (descents started
         before the horizon, parks clipped at it) into the residencies."""
         T = self.T
-        R = self.R
-        dn = self.dn
+        R = self.R[d]
+        dn = self.dn[d]
+        down_t = self.down_t[d]
+        park_t = self.park_t[d]
         for i in range(1, R):
             ds = a + entries[i]
             if ds >= T:
                 break
             de = ds + dn[i]
             self.n_down[d] += 1
-            self.down_t[i][d] += min(de, T) - ds
+            down_t[i] += min(de, T) - ds
             pe = (a + entries[i + 1]) if i + 1 < R else T
             if pe > T:
                 pe = T
             if pe > de:
-                self.park_t[i][d] += pe - de
+                park_t[i] += pe - de
 
     def apply_tail(self):
         """Trailing-idleness pass at the horizon; returns per-disk
         ``(spinups, spindowns)`` arrays."""
-        if not self.no_descend:
-            for d, a in enumerate(self.avail):
-                self._tail_one(d, a, self.entries)
+        for d, a in enumerate(self.avail):
+            if not self.no_descend[d]:
+                self._tail_one(d, a, self.entries[d])
         return (
             np.asarray(self.n_up, dtype=np.int64),
             np.asarray(self.n_down, dtype=np.int64),
@@ -676,23 +780,27 @@ class _ControlledLadderBank(_LadderBank):
         num_disks: int,
         init_thresholds: np.ndarray,
         ladder,
-        spec: DiskSpec,
+        spec,
         horizon: float,
         interval: float,
     ) -> None:
         super().__init__(num_disks, 0.0, ladder, spec, horizon)
         self.entries = None  # per-gap schedules only; never a shared one
-        self.no_descend = False
+        self.no_descend = [False] * num_disks
         self.ci = float(interval)
         self._th_rows: List[List[float]] = [
             np.asarray(init_thresholds, dtype=float).tolist()
         ]
         self.k = 0
-        self._entry_cache: dict = {}
+        # Per-disk scaled-entry caches (mixed fleets scale different
+        # ladders with the same controller threshold).
+        self._entry_cache: List[dict] = [{} for _ in range(num_disks)]
         self.gap_log: List[List[tuple]] = [[] for _ in range(num_disks)]
-        self.park_spans: List[List[tuple]] = [[] for _ in ladder.rungs]
-        self.down_spans: List[List[tuple]] = [[] for _ in ladder.rungs]
-        self.wake_spans: List[List[tuple]] = [[] for _ in ladder.rungs]
+        # Span logs are rung-index keyed across the whole pool (entries
+        # carry the disk id); maxR covers the deepest ladder in the mix.
+        self.park_spans: List[List[tuple]] = [[] for _ in range(self.maxR)]
+        self.down_spans: List[List[tuple]] = [[] for _ in range(self.maxR)]
+        self.wake_spans: List[List[tuple]] = [[] for _ in range(self.maxR)]
 
     def push_thresholds(self, thresholds: np.ndarray) -> None:
         """Apply the vector decided at the boundary entering interval k+1."""
@@ -706,46 +814,49 @@ class _ControlledLadderBank(_LadderBank):
             idx = self.k
         return self._th_rows[idx][d]
 
-    def _entries_for(self, th: float):
-        entries = self._entry_cache.get(th)
+    def _entries_for(self, d: int, th: float):
+        cache = self._entry_cache[d]
+        entries = cache.get(th)
         if entries is None:
-            entries = self.ladder.scaled_entries(th)
-            self._entry_cache[th] = entries
+            entries = self.ladders[d].scaled_entries(th)
+            cache[th] = entries
         return entries
 
     def _descend_logged(self, d: int, a: float, t: float, entries) -> float:
         """:meth:`_LadderBank._descend` plus span logging for the trace."""
         g = t - a
         T = self.T
-        dn = self.dn
-        R = self.R
+        dn = self.dn[d]
+        R = self.R[d]
+        down_t = self.down_t[d]
+        park_t = self.park_t[d]
         i = 1
         while i + 1 < R and g > entries[i + 1]:
             i += 1
         for j in range(1, i):
             ds = a + entries[j]
             de = ds + dn[j]
-            self.down_t[j][d] += de - ds
+            down_t[j] += de - ds
             self.down_spans[j].append((d, ds, de))
             pe = a + entries[j + 1]
             if pe > de:
-                self.park_t[j][d] += pe - de
+                park_t[j] += pe - de
                 self.park_spans[j].append((d, de, pe))
         ds = a + entries[i]
         de = ds + dn[i]
         self.n_down[d] += i
-        self.down_t[i][d] += min(de, T) - ds
+        down_t[i] += min(de, T) - ds
         self.down_spans[i].append((d, ds, de))
         if t >= de:
-            self.park_t[i][d] += t - de
+            park_t[i] += t - de
             self.park_spans[i].append((d, de, t))
             ws = t
         else:
             ws = de
-        w = self.wk[i]
+        w = self.wk[d][i]
         if ws < T:
             self.n_up[d] += 1
-            self.wake_t[i][d] += min(ws + w, T) - ws
+            self.wake_t[d][i] += min(ws + w, T) - ws
             self.wake_spans[i].append((d, ws, ws + w))
         return ws + w
 
@@ -754,49 +865,53 @@ class _ControlledLadderBank(_LadderBank):
         if t > a:
             th = self._th_at(a, d)
             self.gap_log[d].append((t - a, th))
-            entries = self._entries_for(th)
-            if self.R == 1 or isinf(entries[1]) or t - a <= entries[1]:
+            entries = self._entries_for(d, th)
+            if self.R[d] == 1 or isinf(entries[1]) or t - a <= entries[1]:
                 s = t
             else:
                 s = self._descend_logged(d, a, t, entries)
         else:
             s = a
-        self.avail[d] = s + self.oh + tr
-        self.load[d] += self.oh + tr
+        self.avail[d] = s + self.oh[d] + tr
+        self.load[d] += self.oh[d] + tr
         return s
 
     def spinning_mask(self, t: float) -> np.ndarray:
         out = np.empty(len(self.avail), dtype=bool)
-        last_dn = self.dn[-1]
         for d, a in enumerate(self.avail):
-            entries = self._entries_for(self._th_at(a, d))
+            if self.R[d] == 1:
+                out[d] = True
+                continue
+            entries = self._entries_for(d, self._th_at(a, d))
             # inf threshold => a + inf == inf => always spinning.
-            out[d] = t < (a + entries[-1]) + last_dn
+            out[d] = t < (a + entries[-1]) + self.dn[d][-1]
         return out
 
     def _tail_one(self, d: int, a: float, entries) -> None:
         """Trailing idleness with span logging (parks clipped at T)."""
         T = self.T
-        R = self.R
-        dn = self.dn
+        R = self.R[d]
+        dn = self.dn[d]
+        down_t = self.down_t[d]
+        park_t = self.park_t[d]
         for i in range(1, R):
             ds = a + entries[i]
             if ds >= T:
                 break
             de = ds + dn[i]
             self.n_down[d] += 1
-            self.down_t[i][d] += min(de, T) - ds
+            down_t[i] += min(de, T) - ds
             self.down_spans[i].append((d, ds, de))
             pe = (a + entries[i + 1]) if i + 1 < R else T
             if pe > T:
                 pe = T
             if pe > de:
-                self.park_t[i][d] += pe - de
+                park_t[i] += pe - de
                 self.park_spans[i].append((d, de, pe))
 
     def apply_tail(self):
         for d, a in enumerate(self.avail):
-            self._tail_one(d, a, self._entries_for(self._th_at(a, d)))
+            self._tail_one(d, a, self._entries_for(d, self._th_at(a, d)))
         return (
             np.asarray(self.n_up, dtype=np.int64),
             np.asarray(self.n_down, dtype=np.int64),
@@ -811,13 +926,16 @@ def _allocate_for_write(
     t: float,
 ) -> int:
     """Placement for a new file at time ``t``: the shared registry policy
-    decides against the banked spin state / free bytes / dispatched load,
+    decides against the banked spin state / free bytes / dispatched load
+    (plus the per-disk capacity and power-rank views a mixed fleet adds),
     so both engines pick byte-identical disks."""
     ctx = PlacementContext(
         time=t,
         spinning=bank.spinning_mask(t),
         free=free,
         load=np.asarray(bank.load, dtype=float),
+        capacity=bank.cap,
+        active_power=bank.ap,
     )
     return policy.choose(ctx, size)
 
@@ -862,7 +980,7 @@ def _serve_segmented(
     sizes: np.ndarray,
     fid: np.ndarray,
     t_all: np.ndarray,
-    tr_all: np.ndarray,
+    sz_all: np.ndarray,
     is_write: np.ndarray,
     starts: np.ndarray,
     d_req: np.ndarray,
@@ -872,8 +990,11 @@ def _serve_segmented(
     Only the *first* touch of an initially-unmapped file couples the disks
     (it runs the placement policy against global spin/load state);
     everything between those coupling points is replayed through the
-    vectorized per-disk recursion with carried-in state.
+    vectorized per-disk recursion with carried-in state.  Transfer times
+    are resolved here, once the serving disk is known — per-disk rates on
+    a mixed fleet make them a property of the (request, disk) pair.
     """
+    rate_a = bank.rate_a
     unmapped = np.flatnonzero(mapping[fid] < 0)
     if unmapped.size:
         _, first = np.unique(fid[unmapped], return_index=True)
@@ -892,7 +1013,10 @@ def _serve_segmented(
                     f"read of unallocated file {int(fid[prev + bad[0]])}; "
                     "allocate it first"
                 )
-            _serve_segment(bank, d_seg, t_all[seg], tr_all[seg], starts[seg])
+            _serve_segment(
+                bank, d_seg, t_all[seg], sz_all[seg] / rate_a[d_seg],
+                starts[seg],
+            )
             d_req[seg] = d_seg
         f = int(fid[b])
         if not is_write[b]:
@@ -904,7 +1028,7 @@ def _serve_segmented(
         d = _allocate_for_write(bank, policy, free, size, t)
         mapping[f] = d
         free[d] -= size
-        starts[b] = bank.serve(d, t, float(tr_all[b]))
+        starts[b] = bank.serve(d, t, size / bank.rate[d])
         d_req[b] = d
         prev = b + 1
 
@@ -916,7 +1040,9 @@ def _serve_segmented(
             f"read of unallocated file {int(fid[prev + bad[0]])}; "
             "allocate it first"
         )
-    _serve_segment(bank, d_tail, t_all[tail], tr_all[tail], starts[tail])
+    _serve_segment(
+        bank, d_tail, t_all[tail], sz_all[tail] / rate_a[d_tail], starts[tail]
+    )
     d_req[tail] = d_tail
 
 
@@ -928,7 +1054,6 @@ def _serve_coupled(
     sizes: np.ndarray,
     fid: np.ndarray,
     t_all: np.ndarray,
-    tr_all: np.ndarray,
     is_write: Optional[np.ndarray],
     cache,
     starts: np.ndarray,
@@ -966,11 +1091,11 @@ def _serve_coupled(
     lookup = cache.lookup
     admit = cache.admit
     serve = bank.serve
-    oh = bank.oh
+    oh_l = bank.oh
+    rate_l = bank.rate
     T = bank.T
     fid_l = fid.tolist()
     t_l = t_all.tolist()
-    tr_l = tr_all.tolist()
     w_l = is_write.tolist() if is_write is not None else None
     for i in range(len(t_l)):
         t = t_l[i]
@@ -986,7 +1111,7 @@ def _serve_coupled(
                 map_l[f] = d
                 mapping[f] = d
                 free[d] -= size
-            starts[i] = serve(d, t, tr_l[i])
+            starts[i] = serve(d, t, size_l[f] / rate_l[d])
             d_req[i] = d
         else:
             size = size_l[f]
@@ -999,11 +1124,11 @@ def _serve_coupled(
                 raise SimulationError(
                     f"read of unallocated file {f}; allocate it first"
                 )
-            tr = tr_l[i]
+            tr = size / rate_l[d]
             s = serve(d, t, tr)
             starts[i] = s
             d_req[i] = d
-            c = s + oh + tr
+            c = s + oh_l[d] + tr
             if c < T:
                 heappush(heap, (c, base_index + i, f, size))
     if flush:
@@ -1048,7 +1173,7 @@ class _ControlledDriver:
 
     __slots__ = (
         "bank", "dpm", "policy", "mapping", "free", "sizes", "cache",
-        "hit_lat", "heap", "map_l", "size_l", "T", "ci", "oh",
+        "hit_lat", "heap", "map_l", "size_l", "T", "ci", "oh_a", "rate_a",
         "pend_c", "pend_seq", "pend_r", "wait_s", "wait_d",
         "n_seen", "k", "t_start", "finished",
     )
@@ -1080,7 +1205,8 @@ class _ControlledDriver:
         self.size_l = size_l
         self.T = bank.T
         self.ci = dpm.interval
-        self.oh = bank.oh
+        self.oh_a = bank.oh_a
+        self.rate_a = bank.rate_a
         # Telemetry backlog: completions not yet reported at a boundary.
         self.pend_c: List[np.ndarray] = []
         self.pend_seq: List[np.ndarray] = []
@@ -1097,7 +1223,7 @@ class _ControlledDriver:
         self,
         fid: np.ndarray,
         t_all: np.ndarray,
-        tr_all: np.ndarray,
+        sz_all: np.ndarray,
         is_write: Optional[np.ndarray],
         starts: np.ndarray,
         d_req: np.ndarray,
@@ -1109,7 +1235,7 @@ class _ControlledDriver:
         if self.cache is not None:
             _serve_coupled(
                 bank, self.policy, self.mapping, self.free, self.sizes,
-                fid[sl], t_all[sl], tr_all[sl],
+                fid[sl], t_all[sl],
                 None if is_write is None else is_write[sl],
                 self.cache, starts[sl], d_req[sl],
                 heap=self.heap, base_index=self.n_seen + lo, flush=False,
@@ -1118,7 +1244,7 @@ class _ControlledDriver:
         elif is_write is not None:
             _serve_segmented(
                 bank, self.policy, self.mapping, self.free, self.sizes,
-                fid[sl], t_all[sl], tr_all[sl], is_write[sl],
+                fid[sl], t_all[sl], sz_all[sl], is_write[sl],
                 starts[sl], d_req[sl],
             )
         else:
@@ -1129,7 +1255,10 @@ class _ControlledDriver:
                     f"read of unallocated file {int(fid[lo + bad[0]])}; "
                     "allocate it first"
                 )
-            _serve_segment(bank, d_seg, t_all[sl], tr_all[sl], starts[sl])
+            _serve_segment(
+                bank, d_seg, t_all[sl], sz_all[sl] / self.rate_a[d_seg],
+                starts[sl],
+            )
             d_req[sl] = d_seg
         # Queue newly served requests' completions for the telemetry feed
         # (cache hits complete at their arrival instant; requests censored
@@ -1137,7 +1266,12 @@ class _ControlledDriver:
         # pre-empting their completion events).
         d_sl = d_req[sl]
         served = d_sl >= 0
-        c_sl = np.where(served, starts[sl] + self.oh + tr_all[sl], t_all[sl])
+        # Per-disk overheads/rates: resolve against disk 0 for unserved
+        # (hit) slots — the value is discarded by the where() below.
+        d_safe = np.where(served, d_sl, 0)
+        oh_sl = self.oh_a[d_safe]
+        tr_sl = sz_all[sl] / self.rate_a[d_safe]
+        c_sl = np.where(served, starts[sl] + oh_sl + tr_sl, t_all[sl])
         r_sl = np.where(served, c_sl - t_all[sl], self.hit_lat)
         keep = c_sl < self.T
         self.pend_c.append(c_sl[keep])
@@ -1199,7 +1333,7 @@ class _ControlledDriver:
         self,
         fid: np.ndarray,
         t_all: np.ndarray,
-        tr_all: np.ndarray,
+        sz_all: np.ndarray,
         is_write: Optional[np.ndarray],
         starts: np.ndarray,
         d_req: np.ndarray,
@@ -1212,7 +1346,7 @@ class _ControlledDriver:
             hi = int(np.searchsorted(t_all, t_end, side="left"))
             if hi > lo:
                 self._serve_slice(
-                    fid, t_all, tr_all, is_write, starts, d_req, lo, hi
+                    fid, t_all, sz_all, is_write, starts, d_req, lo, hi
                 )
             if hi == n:
                 # Chunk exhausted mid-interval: a later chunk may still add
@@ -1291,11 +1425,11 @@ class _SpanBinner:
         return mat
 
 
-def _flush_bank_spans(binner: _SpanBinner, bank, ladder) -> None:
+def _flush_bank_spans(binner: _SpanBinner, bank, is_ladder: bool) -> None:
     """Fold the controlled bank's logged transition spans into the binner
     and clear them in place (the serve loops hold bound references)."""
-    if ladder is not None:
-        for i in range(1, len(bank.ladder.rungs)):
+    if is_ladder:
+        for i in range(1, bank.maxR):
             binner.add_entries(("park", i), bank.park_spans[i])
             bank.park_spans[i].clear()
             binner.add_entries(("down", i), bank.down_spans[i])
@@ -1311,16 +1445,21 @@ def _flush_bank_spans(binner: _SpanBinner, bank, ladder) -> None:
         bank.sb_spans.clear()
 
 
-def _power_from_binner(
-    binner: _SpanBinner, power_model: PowerModel
-) -> np.ndarray:
+def _power_from_binner(binner: _SpanBinner, specs) -> np.ndarray:
     """Per-interval per-disk mean power from the binned state overlaps.
 
     The event engine diffs live drive energies at each boundary; this
     reconstructs the same physical quantity from the run's state spans
     (seek/active per request, logged spin transitions, idle as the window
     residual), so the two traces agree to float-accumulation noise.
+    State powers are per-disk row vectors — on a mixed fleet every disk
+    column is weighted by its own spec's draw.
     """
+    models = [PowerModel(s) for s in specs]
+
+    def p(state):
+        return np.array([m.power(state) for m in models], dtype=float)
+
     windows = np.diff(binner.edges)
     seek = binner.get("seek")
     active = binner.get("active")
@@ -1333,40 +1472,57 @@ def _power_from_binner(
         None,
     )
     energy = (
-        power_model.power(DiskState.SEEK) * seek
-        + power_model.power(DiskState.ACTIVE) * active
-        + power_model.power(DiskState.SPINDOWN) * spindown
-        + power_model.power(DiskState.SPINUP) * spinup
-        + power_model.power(DiskState.STANDBY) * standby
-        + power_model.power(DiskState.IDLE) * idle
+        p(DiskState.SEEK)[None, :] * seek
+        + p(DiskState.ACTIVE)[None, :] * active
+        + p(DiskState.SPINDOWN)[None, :] * spindown
+        + p(DiskState.SPINUP)[None, :] * spinup
+        + p(DiskState.STANDBY)[None, :] * standby
+        + p(DiskState.IDLE)[None, :] * idle
     )
     return energy / windows[:, None]
 
 
 def _ladder_power_from_binner(
-    binner: _SpanBinner, ladder, spec: DiskSpec
+    binner: _SpanBinner, ladders, specs
 ) -> np.ndarray:
     """Ladder analogue of :func:`_power_from_binner`: park/descent/wake
-    overlaps per rung, rung-0 park as the window residual."""
+    overlaps per rung, rung-0 park as the window residual.  Rung powers
+    are per-disk row vectors (each disk bills its own ladder); a disk
+    whose ladder is shallower than rung ``i`` has zero overlap in that
+    column, so its placeholder power never contributes.
+    """
     windows = np.diff(binner.edges)
     seek = binner.get("seek")
     active = binner.get("active")
-    rungs = ladder.rungs
     occupied = seek + active
-    energy = spec.seek_power * seek + spec.active_power * active
-    for i in range(1, len(rungs)):
+    seek_p = np.array([s.seek_power for s in specs], dtype=float)
+    active_p = np.array([s.active_power for s in specs], dtype=float)
+    energy = seek_p[None, :] * seek + active_p[None, :] * active
+    max_r = max(len(l.rungs) for l in ladders)
+
+    def rung_p(i, attr):
+        return np.array(
+            [
+                getattr(l.rungs[i], attr) if i < len(l.rungs) else 0.0
+                for l in ladders
+            ],
+            dtype=float,
+        )
+
+    for i in range(1, max_r):
         park = binner.get(("park", i))
         down = binner.get(("down", i))
         wake = binner.get(("wake", i))
         occupied = occupied + park + down + wake
         energy = (
             energy
-            + rungs[i].power * park
-            + rungs[i].down_power * down
-            + rungs[i].wake_power * wake
+            + rung_p(i, "power")[None, :] * park
+            + rung_p(i, "down_power")[None, :] * down
+            + rung_p(i, "wake_power")[None, :] * wake
         )
     idle = np.clip(windows[:, None] - occupied, 0.0, None)
-    energy = energy + rungs[0].power * idle
+    p0 = np.array([l.rungs[0].power for l in ladders], dtype=float)
+    energy = energy + p0[None, :] * idle
     return energy / windows[:, None]
 
 
@@ -1381,11 +1537,12 @@ def simulate_fast(
     label: str = "run",
     cache=None,
     cache_hit_latency: float = 0.0,
-    usable_capacity: Optional[float] = None,
+    usable_capacity=None,
     write_policy=None,
     dpm=None,
     ladder=None,
     metrics_mode: str = "full",
+    fleet: Optional[ResolvedFleet] = None,
 ) -> SimulationResult:
     """Simulate ``stream`` against ``mapping`` without the event loop.
 
@@ -1417,6 +1574,12 @@ def simulate_fast(
     produces, including the post-run ``final_mapping`` and — under
     control — the per-interval traces in ``extra["dpm"]``.  The caller's
     ``mapping`` is not mutated; writes allocate against an internal copy.
+
+    ``fleet`` is an optional :class:`~repro.disk.fleet.ResolvedFleet`
+    carrying per-disk specs, ladders and thresholds; when given it
+    overrides ``spec``/``threshold``/``ladder`` (which remain the
+    uniform-pool sugar) and the recursion runs per-disk constants —
+    ``usable_capacity`` may then be a per-disk vector too.
     """
     if not hasattr(stream, "times") or not hasattr(stream, "file_ids"):
         raise ConfigError(
@@ -1429,7 +1592,7 @@ def simulate_fast(
     return _simulate_chunks(
         sizes, mapping, spec, num_disks, threshold, (stream,), duration,
         label, cache, cache_hit_latency, usable_capacity, write_policy,
-        dpm, ladder, metrics_mode,
+        dpm, ladder, metrics_mode, fleet,
     )
 
 
@@ -1444,11 +1607,12 @@ def simulate_fast_chunked(
     label: str = "run",
     cache=None,
     cache_hit_latency: float = 0.0,
-    usable_capacity: Optional[float] = None,
+    usable_capacity=None,
     write_policy=None,
     dpm=None,
     ladder=None,
     metrics_mode: str = "full",
+    fleet: Optional[ResolvedFleet] = None,
 ) -> SimulationResult:
     """Out-of-core variant of :func:`simulate_fast` over a chunked stream.
 
@@ -1486,7 +1650,7 @@ def simulate_fast_chunked(
     return _simulate_chunks(
         sizes, mapping, spec, num_disks, threshold, stream.iter_chunks(),
         float(duration), label, cache, cache_hit_latency, usable_capacity,
-        write_policy, dpm, ladder, metrics_mode,
+        write_policy, dpm, ladder, metrics_mode, fleet,
     )
 
 
@@ -1501,11 +1665,12 @@ def _simulate_chunks(
     label: str,
     cache,
     cache_hit_latency: float,
-    usable_capacity: Optional[float],
+    usable_capacity,
     write_policy,
     dpm,
     ladder,
     metrics_mode: str,
+    fleet: Optional[ResolvedFleet] = None,
 ) -> SimulationResult:
     """Shared replay core: one pass over ``chunks`` with full carry state.
 
@@ -1533,14 +1698,41 @@ def _simulate_chunks(
             f"mapping references disk {int(mapping.max())} but the pool has "
             f"only {num_disks} disks"
         )
-    usable = spec.capacity if usable_capacity is None else float(usable_capacity)
+    # A resolved fleet overrides the uniform spec/threshold/ladder sugar
+    # with per-disk values; everything downstream runs per-disk vectors
+    # either way (a uniform pool is a tiled vector, bit-identical to the
+    # historical scalar constants).
+    if fleet is not None:
+        if fleet.num_disks != num_disks:
+            raise ConfigError(
+                f"fleet resolves {fleet.num_disks} disks but the pool has "
+                f"{num_disks}"
+            )
+        specs = fleet.specs
+        ladders = fleet.ladders if fleet.has_ladders else None
+        th_in = fleet.thresholds
+        homogeneous = fleet.homogeneous_specs
+    else:
+        specs = (spec,) * num_disks
+        ladders = ladder
+        th_in = threshold
+        homogeneous = True
+    has_ladder = ladders is not None
+    if usable_capacity is None:
+        usable = (
+            specs[0].capacity
+            if homogeneous
+            else np.array([s.capacity for s in specs], dtype=float)
+        )
+    elif np.ndim(usable_capacity) == 0:
+        usable = float(usable_capacity)
+    else:
+        usable = np.asarray(usable_capacity, dtype=float)
     free = initial_free_bytes(mapping, sizes, usable, num_disks)
     validate_free_bytes(free, usable)
     policy = make_placement_policy(write_policy)
     policy.reset(num_disks)
 
-    oh = spec.access_overhead
-    rate = spec.transfer_rate
     streaming = metrics_mode == "streaming"
 
     # Cache plumbing shared by every chunk: one heap of pending admissions
@@ -1558,13 +1750,13 @@ def _simulate_chunks(
                 f"controller sized for {dpm.num_disks} disks but the pool "
                 f"has {num_disks}"
             )
-        if ladder is not None:
+        if has_ladder:
             bank = _ControlledLadderBank(
-                num_disks, dpm.thresholds, ladder, spec, T, dpm.interval
+                num_disks, dpm.thresholds, ladders, specs, T, dpm.interval
             )
         else:
             bank = _ControlledBank(
-                num_disks, dpm.thresholds, spec, T, dpm.interval
+                num_disks, dpm.thresholds, specs, T, dpm.interval
             )
         driver = _ControlledDriver(
             bank, dpm, policy, mapping, free, sizes, cache,
@@ -1573,10 +1765,13 @@ def _simulate_chunks(
         binner = _SpanBinner(_interval_edges(dpm.interval, T), num_disks)
     else:
         bank = (
-            _LadderBank(num_disks, threshold, ladder, spec, T)
-            if ladder is not None
-            else _DiskBank(num_disks, threshold, spec, T)
+            _LadderBank(num_disks, th_in, ladders, specs, T)
+            if has_ladder
+            else _DiskBank(num_disks, th_in, specs, T)
         )
+    # The per-disk byte budget the placement context exposes (same values
+    # the event dispatcher hands its policies).
+    bank.cap = per_disk_capacities(usable, num_disks)
 
     # Persistent accumulators (fixed size in the pool, not the stream).
     seek_time = np.zeros(num_disks, dtype=float)
@@ -1627,7 +1822,7 @@ def _simulate_chunks(
             w = np.asarray(kinds)[:n] == WRITE
             if w.any():
                 is_write = w
-        tr_all = sizes[fid] / rate
+        sz_all = sizes[fid]
         starts = np.empty(n, dtype=float)
         d_req = np.empty(n, dtype=np.int64)
 
@@ -1637,18 +1832,18 @@ def _simulate_chunks(
                 # next chunk grows the logs.  A single-chunk run never gets
                 # here and takes the one-shot fold at the end, staying
                 # bit-exact with the historical monolithic binning.
-                _flush_bank_spans(binner, bank, ladder)
-            driver.feed(fid, t_all, tr_all, is_write, starts, d_req)
+                _flush_bank_spans(binner, bank, has_ladder)
+            driver.feed(fid, t_all, sz_all, is_write, starts, d_req)
         elif cache is not None:
             _serve_coupled(
-                bank, policy, mapping, free, sizes, fid, t_all, tr_all,
+                bank, policy, mapping, free, sizes, fid, t_all,
                 is_write, cache, starts, d_req,
                 heap=heap, base_index=arrivals, flush=False,
                 map_l=map_l, size_l=size_l,
             )
         elif is_write is not None:
             _serve_segmented(
-                bank, policy, mapping, free, sizes, fid, t_all, tr_all,
+                bank, policy, mapping, free, sizes, fid, t_all, sz_all,
                 is_write, starts, d_req,
             )
         else:
@@ -1658,7 +1853,9 @@ def _simulate_chunks(
                 raise SimulationError(
                     f"read of unallocated file {bad_f}; allocate it first"
                 )
-            _serve_segment(bank, disk, t_all, tr_all, starts)
+            _serve_segment(
+                bank, disk, t_all, sz_all / bank.rate_a[disk], starts
+            )
             d_req = disk
 
         # -- per-chunk accounting into the persistent accumulators ------------
@@ -1667,19 +1864,24 @@ def _simulate_chunks(
         if n_hits:
             d_s = d_req[served]
             s_s = starts[served]
-            tr_s = tr_all[served]
+            sz_s = sz_all[served]
             t_s = t_all[served]
         else:
-            d_s, s_s, tr_s, t_s = d_req, starts, tr_all, t_all
+            d_s, s_s, sz_s, t_s = d_req, starts, sz_all, t_all
+        # Per-request overhead/transfer resolved against the serving
+        # disk's own spec (identical to the uniform scalars on a
+        # homogeneous pool).
+        oh_s = bank.oh_a[d_s]
+        tr_s = sz_s / bank.rate_a[d_s]
         # Service accounting truncated at the horizon; the serial scatter-
         # add continues np.bincount's reduction exactly across chunks.
-        np.add.at(seek_time, d_s, np.clip(T - s_s, 0.0, oh))
-        np.add.at(active_time, d_s, np.clip(T - (s_s + oh), 0.0, tr_s))
+        np.add.at(seek_time, d_s, np.clip(T - s_s, 0.0, oh_s))
+        np.add.at(active_time, d_s, np.clip(T - (s_s + oh_s), 0.0, tr_s))
         req_count += np.bincount(d_s, minlength=num_disks)
         if binner is not None:
-            binner.add("seek", d_s, s_s, s_s + oh)
-            binner.add("active", d_s, s_s + oh, s_s + oh + tr_s)
-        completion = s_s + oh + tr_s
+            binner.add("seek", d_s, s_s, s_s + oh_s)
+            binner.add("active", d_s, s_s + oh_s, s_s + oh_s + tr_s)
+        completion = s_s + oh_s + tr_s
         done = completion < T
         if streaming:
             # Feed responses in arrival order (served completions where
@@ -1721,7 +1923,7 @@ def _simulate_chunks(
     # Spin accounting with trailing idleness applied (a disk whose
     # post-drain gap outlasts its threshold spins down — or descends the
     # ladder — before the horizon).
-    if ladder is not None:
+    if has_ladder:
         spinups, spindowns = bank.apply_tail()
     else:
         spindown_time, spinup_time, standby_time, spinups, spindowns = (
@@ -1730,9 +1932,9 @@ def _simulate_chunks(
     if binner is not None:
         # Remaining spans, including the trailing-idleness episodes the
         # tail pass just logged.
-        _flush_bank_spans(binner, bank, ladder)
+        _flush_bank_spans(binner, bank, has_ladder)
 
-    if ladder is None:
+    if not has_ladder:
         idle_time = np.clip(
             T
             - (
@@ -1771,37 +1973,64 @@ def _simulate_chunks(
         ]
         completions = int(response_times.size)
 
-    power_model = PowerModel(spec)
-    if ladder is not None:
+    if has_ladder:
         # Ladder runs are keyed by timeline label; the accumulation order
         # (rung 0, parks, seek, active, wakes, descents) makes the
         # two_state ladder's float arithmetic term-for-term identical to
-        # the classic DiskState path below.
-        rungs = ladder.rungs
-        park = [np.asarray(p, dtype=float) for p in bank.park_t]
-        down = [np.asarray(p, dtype=float) for p in bank.down_t]
-        wake = [np.asarray(p, dtype=float) for p in bank.wake_t]
-        occupied = seek_time + active_time
-        for arr in down[1:]:
-            occupied = occupied + arr
-        for arr in wake[1:]:
-            occupied = occupied + arr
-        for arr in park[1:]:
-            occupied = occupied + arr
-        idle_time = np.clip(T - occupied, 0.0, None)
-        per_state = {rungs[0].name: idle_time}
-        for i in range(1, len(rungs)):
-            per_state[rungs[i].name] = park[i]
-        per_state["seek"] = seek_time
-        per_state["active"] = active_time
-        for i in range(1, len(rungs)):
-            per_state[f"wake:{rungs[i].name}"] = wake[i]
-        for i in range(1, len(rungs)):
-            per_state[f"down:{rungs[i].name}"] = down[i]
-        powers = ladder.power_table(spec)
+        # the classic DiskState path below.  Disks are grouped by their
+        # (ladder, spec) pair and each group replays the historical
+        # rung-major arithmetic on its own sub-vectors: a uniform pool is
+        # a single group — term-for-term identical to the old scalar
+        # constants — while a mixed pool prices every drive against its
+        # own ladder depth and power table.
+        groups: Dict[tuple, List[int]] = {}
+        for d in range(num_disks):
+            groups.setdefault((bank.ladders[d], specs[d]), []).append(d)
         energy_per_disk = np.zeros(num_disks, dtype=float)
-        for state, per_disk in per_state.items():
-            energy_per_disk += powers[state] * per_disk
+        per_state: Dict = {}
+        for (lad, spec_g), idx_list in groups.items():
+            idx = np.asarray(idx_list, dtype=np.int64)
+            rungs = lad.rungs
+            R = len(rungs)
+            park = [
+                np.array([bank.park_t[d][i] for d in idx_list], dtype=float)
+                for i in range(R)
+            ]
+            down = [
+                np.array([bank.down_t[d][i] for d in idx_list], dtype=float)
+                for i in range(R)
+            ]
+            wake = [
+                np.array([bank.wake_t[d][i] for d in idx_list], dtype=float)
+                for i in range(R)
+            ]
+            occupied = seek_time[idx] + active_time[idx]
+            for arr in down[1:]:
+                occupied = occupied + arr
+            for arr in wake[1:]:
+                occupied = occupied + arr
+            for arr in park[1:]:
+                occupied = occupied + arr
+            idle_g = np.clip(T - occupied, 0.0, None)
+            per_state_g = {rungs[0].name: idle_g}
+            for i in range(1, R):
+                per_state_g[rungs[i].name] = park[i]
+            per_state_g["seek"] = seek_time[idx]
+            per_state_g["active"] = active_time[idx]
+            for i in range(1, R):
+                per_state_g[f"wake:{rungs[i].name}"] = wake[i]
+            for i in range(1, R):
+                per_state_g[f"down:{rungs[i].name}"] = down[i]
+            powers = lad.power_table(spec_g)
+            e_g = np.zeros(len(idx_list), dtype=float)
+            for state, per_disk in per_state_g.items():
+                e_g += powers[state] * per_disk
+            energy_per_disk[idx] = e_g
+            for state, per_disk in per_state_g.items():
+                vec = per_state.setdefault(
+                    state, np.zeros(num_disks, dtype=float)
+                )
+                vec[idx] = per_disk
     else:
         per_state = {
             DiskState.IDLE: idle_time,
@@ -1811,9 +2040,15 @@ def _simulate_chunks(
             DiskState.SPINUP: spinup_time,
             DiskState.SPINDOWN: spindown_time,
         }
+        state_power = {
+            state: np.array(
+                [PowerModel(s).power(state) for s in specs], dtype=float
+            )
+            for state in per_state
+        }
         energy_per_disk = np.zeros(num_disks, dtype=float)
         for state, per_disk in per_state.items():
-            energy_per_disk += power_model.power(state) * per_disk
+            energy_per_disk += state_power[state] * per_disk
     state_durations = {
         state: float(per_disk.sum())
         for state, per_disk in per_state.items()
@@ -1822,10 +2057,12 @@ def _simulate_chunks(
 
     extra = {}
     if dpm is not None:
-        if ladder is not None:
-            dpm.attach_power(_ladder_power_from_binner(binner, ladder, spec))
+        if has_ladder:
+            dpm.attach_power(
+                _ladder_power_from_binner(binner, bank.ladders, specs)
+            )
         else:
-            dpm.attach_power(_power_from_binner(binner, power_model))
+            dpm.attach_power(_power_from_binner(binner, specs))
         extra["dpm"] = dpm.extra()
 
     return SimulationResult(
@@ -1840,7 +2077,13 @@ def _simulate_chunks(
         completions=completions,
         spinups=int(spinups.sum()),
         spindowns=int(spindowns.sum()),
-        always_on_energy=num_disks * power_model.always_on_energy(T),
+        always_on_energy=(
+            num_disks * PowerModel(specs[0]).always_on_energy(T)
+            if homogeneous
+            else float(
+                sum(PowerModel(s).always_on_energy(T) for s in specs)
+            )
+        ),
         cache_stats=cache.stats if cache is not None else None,
         requests_per_disk=req_count,
         spinups_per_disk=spinups,

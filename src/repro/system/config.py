@@ -12,6 +12,7 @@ from repro.control.policies import (
     dpm_policy_names,
 )
 from repro.disk.dpm import DpmLadder, dpm_ladder_names, make_dpm_ladder
+from repro.disk.fleet import Fleet, ResolvedFleet, fleet_names, make_fleet
 from repro.disk.service import ServiceModel
 from repro.disk.specs import ST3500630AS, DiskSpec
 from repro.errors import ConfigError
@@ -32,7 +33,18 @@ class StorageConfig:
     Attributes
     ----------
     spec:
-        Drive model (Table 2's Seagate by default).
+        Drive model (Table 2's Seagate by default).  Sugar for a
+        *uniform* fleet — ignored when ``fleet`` is set.
+    fleet:
+        Optional heterogeneous fleet: a preset name from
+        :data:`repro.disk.fleet.FLEETS` (``mixed_generation``) or a
+        ready :class:`~repro.disk.fleet.Fleet`.  The fleet's repeating
+        profile of per-disk specs (and optional per-disk
+        ladders/thresholds) is tiled across the pool; per-disk
+        capacities, transfer rates, power draws and break-even
+        thresholds flow through packing, placement, control and both
+        engines.  ``None`` (default) keeps the uniform ``spec`` pool,
+        byte-identical to the pre-fleet simulator.
     num_disks:
         Size of the disk pool (Table 1 uses 100).  Allocators may use fewer
         disks; the remainder idle and eventually spin down.
@@ -112,6 +124,7 @@ class StorageConfig:
     """
 
     spec: DiskSpec = ST3500630AS
+    fleet: Union[None, str, Fleet] = None
     num_disks: int = 100
     idleness_threshold: Optional[float] = None
     load_constraint: float = 0.8
@@ -133,6 +146,12 @@ class StorageConfig:
     def __post_init__(self) -> None:
         if self.num_disks < 1:
             raise ConfigError("num_disks must be >= 1")
+        if isinstance(self.fleet, str) and self.fleet not in fleet_names():
+            raise ConfigError(
+                f"unknown fleet {self.fleet!r}; choose from {fleet_names()}"
+            )
+        if self.fleet is not None and not isinstance(self.fleet, (str, Fleet)):
+            raise ConfigError("fleet must be a preset name or a Fleet")
         if not 0 < self.load_constraint <= 1:
             raise ConfigError(
                 f"load_constraint must be in (0, 1], got {self.load_constraint}"
@@ -203,8 +222,40 @@ class StorageConfig:
 
     @property
     def usable_capacity(self) -> float:
-        """Bytes the packer may place on one disk."""
+        """Bytes the packer may place on one disk (uniform pools).
+
+        With a heterogeneous ``fleet`` this is the representative
+        (disk 0) figure; use :meth:`usable_capacities` for the per-disk
+        vector.
+        """
+        if self.fleet is not None:
+            return float(self.resolved_fleet(1).capacities[0]
+                         * self.storage_utilization)
         return self.spec.capacity * self.storage_utilization
+
+    def resolved_fleet(self, num_disks: Optional[int] = None) -> ResolvedFleet:
+        """The per-disk spec/ladder/threshold view both engines consume.
+
+        ``fleet=None`` resolves to a uniform fleet over ``spec`` — the
+        resulting vectors hold exactly the scalar values the pre-fleet
+        code used, so uniform configs stay byte-identical.
+        """
+        n = self.num_disks if num_disks is None else num_disks
+        fleet = make_fleet(self.fleet)
+        if fleet is None:
+            fleet = Fleet.uniform(self.spec)
+        return fleet.resolve(
+            n,
+            default_ladder=self.dpm_ladder,
+            default_threshold=self.idleness_threshold,
+        )
+
+    def usable_capacities(self, num_disks: Optional[int] = None):
+        """Per-disk usable bytes (``capacity * storage_utilization``)."""
+        return (
+            self.resolved_fleet(num_disks).capacities
+            * self.storage_utilization
+        )
 
     @property
     def threshold(self) -> float:
@@ -244,12 +295,23 @@ class StorageConfig:
         — static policies take the uncontrolled, byte-identical code path
         in both engines.
         """
+        if self.fleet is None:
+            return controller_from(
+                self.dpm_policy,
+                self.control_interval,
+                num_disks,
+                self.threshold,
+                self.spec,
+                slo_target=self.slo_target,
+                slo_percentile=self.slo_percentile,
+            )
+        fleet = self.resolved_fleet(num_disks)
         return controller_from(
             self.dpm_policy,
             self.control_interval,
             num_disks,
-            self.threshold,
-            self.spec,
+            fleet.thresholds,
+            fleet.specs,
             slo_target=self.slo_target,
             slo_percentile=self.slo_percentile,
         )

@@ -40,6 +40,7 @@ __all__ = [
     "choose_write_disk",
     "drive_stream",
     "initial_free_bytes",
+    "per_disk_capacities",
     "validate_free_bytes",
 ]
 
@@ -51,10 +52,29 @@ __all__ = [
 _OVERPACK_TOL = 1e-6
 
 
+def per_disk_capacities(
+    usable_capacity: Union[float, np.ndarray], num_disks: int
+) -> np.ndarray:
+    """Normalize a scalar-or-vector capacity budget to one value per disk.
+
+    Uniform pools pass the classic scalar; heterogeneous fleets pass the
+    per-disk vector from ``StorageConfig.usable_capacities``.
+    """
+    capacity = np.asarray(usable_capacity, dtype=float)
+    if capacity.ndim == 0:
+        return np.full(num_disks, float(capacity), dtype=float)
+    if capacity.shape != (num_disks,):
+        raise SimulationError(
+            f"usable_capacity must be scalar or one value per disk, got "
+            f"shape {capacity.shape} for {num_disks} disks"
+        )
+    return capacity.astype(float, copy=True)
+
+
 def initial_free_bytes(
     mapping: np.ndarray,
     sizes: np.ndarray,
-    usable_capacity: float,
+    usable_capacity: Union[float, np.ndarray],
     num_disks: int,
 ) -> np.ndarray:
     """Free space per disk under ``mapping`` (shared by both engines).
@@ -62,8 +82,10 @@ def initial_free_bytes(
     Both the event-kernel dispatcher and the fast kernel derive the §1.1
     write policy's free-space view through this one helper so their
     byte-for-byte allocation decisions cannot drift apart.
+    ``usable_capacity`` is a scalar (uniform pool) or a per-disk vector
+    (heterogeneous fleet).
     """
-    free = np.full(num_disks, float(usable_capacity), dtype=float)
+    free = per_disk_capacities(usable_capacity, num_disks)
     allocated = mapping >= 0
     if allocated.any():
         free -= np.bincount(
@@ -72,17 +94,26 @@ def initial_free_bytes(
     return free
 
 
-def validate_free_bytes(free: np.ndarray, usable_capacity: float) -> None:
+def validate_free_bytes(
+    free: np.ndarray, usable_capacity: Union[float, np.ndarray]
+) -> None:
     """Raise :class:`~repro.errors.CapacityError` when an initial mapping
-    materially overpacks a disk (beyond the packers' epsilon slack)."""
+    materially overpacks a disk (beyond the packers' epsilon slack).
+
+    The error names the offending disk and *its own* capacity — on a
+    heterogeneous fleet a 500 GB drive must not be judged against its
+    1 TB neighbor's budget.
+    """
     if not free.size:
         return
-    worst = int(np.argmin(free))
-    if free[worst] < -_OVERPACK_TOL * usable_capacity:
+    capacity = per_disk_capacities(usable_capacity, int(free.size))
+    excess = -free - _OVERPACK_TOL * capacity
+    worst = int(np.argmax(excess))
+    if excess[worst] > 0:
         raise CapacityError(
             f"initial mapping overpacks disk {worst}: "
-            f"{usable_capacity - free[worst]:.0f} bytes mapped but only "
-            f"{usable_capacity:.0f} usable"
+            f"{capacity[worst] - free[worst]:.0f} bytes mapped but only "
+            f"{capacity[worst]:.0f} usable on that disk"
         )
 
 
@@ -123,7 +154,9 @@ class Dispatcher:
     cache_hit_latency:
         Response time recorded for a cache hit.
     usable_capacity:
-        Per-disk byte budget used by the write-allocation policy.
+        Byte budget used by the write-allocation policy: a scalar
+        (uniform pool) or a per-disk vector (heterogeneous fleet).
+        Defaults to each drive's own spec capacity.
     write_policy:
         Placement strategy for not-yet-mapped written files: a registry
         name or a ready :class:`~repro.system.placement.WritePlacementPolicy`
@@ -138,7 +171,7 @@ class Dispatcher:
         sizes: np.ndarray,
         cache: Optional[BaseCache] = None,
         cache_hit_latency: float = 0.0,
-        usable_capacity: Optional[float] = None,
+        usable_capacity: Union[None, float, np.ndarray] = None,
         write_policy: Union[None, str, WritePlacementPolicy] = None,
     ) -> None:
         self.env = env
@@ -154,8 +187,19 @@ class Dispatcher:
             )
         self.cache = cache
         self.cache_hit_latency = float(cache_hit_latency)
+        if usable_capacity is None:
+            usable_capacity = (
+                array.spec.capacity
+                if array.homogeneous_specs
+                else array.capacities
+            )
         self.usable_capacity = (
-            array.spec.capacity if usable_capacity is None else float(usable_capacity)
+            float(usable_capacity)
+            if np.ndim(usable_capacity) == 0
+            else np.asarray(usable_capacity, dtype=float)
+        )
+        self._capacities = per_disk_capacities(
+            self.usable_capacity, len(array)
         )
         # Free space per disk under the current mapping (writes consume it).
         # A mapping that materially overpacks a disk is rejected up front
@@ -173,8 +217,9 @@ class Dispatcher:
         # policies comparing load (coldest_disk) then decide identically
         # in both engines.
         self.dispatched_seconds = np.zeros(len(array), dtype=float)
-        self._access_overhead = array.spec.access_overhead
-        self._transfer_rate = array.spec.transfer_rate
+        self._access_overhead = array.access_overheads
+        self._transfer_rate = array.transfer_rates
+        self._active_power = array.active_power
         #: Response time of every completed request, in completion order.
         self.response_times: List[float] = []
         #: Parallel list: True when the request was served from cache.
@@ -214,7 +259,7 @@ class Dispatcher:
         views are bit-identical across engines.
         """
         self.dispatched_seconds[disk] += (
-            self._access_overhead + size / self._transfer_rate
+            self._access_overhead[disk] + size / self._transfer_rate[disk]
         )
 
     def _complete(self, event, file_id: int, size: float) -> None:
@@ -261,6 +306,8 @@ class Dispatcher:
             spinning=spinning,
             free=self.free_bytes,
             load=self.dispatched_seconds,
+            capacity=self._capacities,
+            active_power=self._active_power,
         )
         return self.write_policy.choose(ctx, size)
 

@@ -65,6 +65,9 @@ class ResponseStats:
     #: first ``ResponseAccumulator.P2_WARMUP`` responses, then every
     #: ``P2_STRIDE``-th — a deterministic thinning, not a random sample).
     p2_observations: int = 0
+    #: A lossy :meth:`merge` already happened somewhere upstream (and
+    #: warned); percentiles are ``nan`` and further merges stay silent.
+    percentiles_lost: bool = False
 
     @property
     def mean(self) -> float:
@@ -77,6 +80,12 @@ class ResponseStats:
         to float-regrouping noise; the P² percentile estimators cannot be
         combined after the fact, so the merged percentiles are ``nan``
         unless exactly one non-empty part contributes them.
+
+        Dropping the percentiles is loud: the first lossy merge emits a
+        :class:`RuntimeWarning` and marks the result
+        (:attr:`percentiles_lost`), so chained merges — epochs folded
+        pairwise, or a merged result merged again — warn **once** per
+        chain rather than once per fold.
         """
         parts = [p for p in parts if p is not None]
         live = [p for p in parts if p.count]
@@ -87,6 +96,16 @@ class ResponseStats:
             )
         if len(live) == 1:
             return live[0]
+        if not any(p.percentiles_lost for p in live):
+            warnings.warn(
+                "ResponseStats.merge cannot combine P² percentile "
+                "estimators: merged p50/p95/p99 are NaN. Compute "
+                "percentiles per part before merging (each part keeps "
+                "its own estimates), or re-run unchunked with "
+                "metrics_mode='full' if you need exact merged tails.",
+                RuntimeWarning,
+                stacklevel=2,
+            )
         return ResponseStats(
             count=sum(p.count for p in live),
             total=sum(p.total for p in live),
@@ -96,6 +115,7 @@ class ResponseStats:
             p95=math.nan,
             p99=math.nan,
             p2_observations=0,
+            percentiles_lost=True,
         )
 
     def percentile(self, q: float) -> Optional[float]:

@@ -40,6 +40,10 @@ coldest_disk         the most-idle disk with room (least cumulative
 hottest_spinning     popularity-aware: the busiest spinning disk with room
                      (highest cumulative dispatched service time — the
                      observed heat ledger); worst-fit standby fallback
+cheapest_spinning    spec-aware (heterogeneous fleets): the lowest
+                     active-power spinning disk with room; worst-fit
+                     standby fallback — steers new data onto the
+                     efficient generation of a mixed fleet
 ==================== ========================================================
 
 Use :func:`make_placement_policy` to instantiate by name and
@@ -50,7 +54,7 @@ policies are covered by the cross-engine equivalence grid automatically).
 from __future__ import annotations
 
 from dataclasses import dataclass
-from typing import Callable, Dict, Tuple, Type, Union
+from typing import Callable, Dict, Optional, Tuple, Type, Union
 
 import numpy as np
 
@@ -89,12 +93,22 @@ class PlacementContext:
         transfer time of every request routed to the disk so far, cache
         hits excluded).  Both engines accumulate this in the same
         per-request order, so comparisons are exact across engines.
+    capacity:
+        Per-disk usable byte budget (heterogeneous fleets differ per
+        disk).  ``None`` when the caller predates the fleet refactor;
+        spec-blind policies never consult it.
+    active_power:
+        Per-disk active power draw (W) from the fleet's specs — the
+        power-rank view spec-aware policies (``cheapest_spinning``) place
+        by.  ``None`` when unavailable.
     """
 
     time: float
     spinning: np.ndarray
     free: np.ndarray
     load: np.ndarray
+    capacity: Optional[np.ndarray] = None
+    active_power: Optional[np.ndarray] = None
 
 
 def _no_room(size: float) -> CapacityError:
@@ -328,4 +342,29 @@ class HottestSpinning(WritePlacementPolicy):
         candidates = np.flatnonzero(ctx.spinning & (ctx.free >= size))
         if candidates.size:
             return int(candidates[np.argmax(ctx.load[candidates])])
+        return _worst_fit(ctx.free, size)
+
+
+@register_placement_policy
+class CheapestSpinning(WritePlacementPolicy):
+    """Spec-aware §1.1 variant: the cheapest-to-run spinning disk wins.
+
+    Among spinning disks with room, place on the one with the lowest
+    *active power* draw (:attr:`PlacementContext.active_power`) — on a
+    mixed-generation fleet that routes new data onto the efficient
+    drives, letting the power-hungry generation stay idle long enough to
+    spin down.  Ties (uniform fleets: every draw equal) break toward the
+    lowest disk id, and without a power view the policy degrades to
+    first-fit among spinning.  Falls back to §1.1's worst-fit among
+    standby disks so one unlucky spin-up absorbs future writes.
+    """
+
+    name = "cheapest_spinning"
+
+    def choose(self, ctx: PlacementContext, size: float) -> int:
+        candidates = np.flatnonzero(ctx.spinning & (ctx.free >= size))
+        if candidates.size:
+            if ctx.active_power is None:
+                return int(candidates[0])
+            return int(candidates[np.argmin(ctx.active_power[candidates])])
         return _worst_fit(ctx.free, size)

@@ -211,6 +211,15 @@ class ReorganizingRunner:
     :attr:`candidate_results`.  Without candidates the runner keeps the
     original serial-chain semantics: every epoch re-packs with ``policy``
     and no fan-out happens.
+
+    Streaming metrics caveat: with ``config.metrics_mode="streaming"``
+    the combined result's ``response_stats`` come from
+    :meth:`~repro.system.metrics.ResponseStats.merge` over the per-epoch
+    stats — count/min/max/mean survive, but the P² percentile estimators
+    cannot be combined after the fact, so the merged p50/p95/p99 are
+    ``NaN`` (the first lossy merge emits a :class:`RuntimeWarning`).
+    Per-epoch percentiles remain available on
+    ``epoch_results[i].response_stats``.
     """
 
     def __init__(

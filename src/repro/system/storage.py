@@ -81,12 +81,18 @@ class StorageSystem:
 
     def _build_event_machinery(self) -> None:
         self._env = Environment()
+        fleet = (
+            self.config.resolved_fleet(self.num_disks)
+            if self.config.fleet is not None
+            else None
+        )
         self._array = DiskArray(
             self._env,
             self.config.spec,
             self.num_disks,
             idleness_threshold=self.config.threshold,
             ladder=self.config.ladder(),
+            fleet=fleet,
         )
         cache = (
             make_cache(self.config.cache_policy, self.config.cache_capacity)
@@ -100,7 +106,11 @@ class StorageSystem:
             self.catalog.sizes,
             cache=cache,
             cache_hit_latency=self.config.cache_hit_latency,
-            usable_capacity=self.config.usable_capacity,
+            usable_capacity=(
+                self.config.usable_capacities(self.num_disks)
+                if fleet is not None
+                else self.config.usable_capacity
+            ),
             write_policy=self.config.placement_policy(),
         )
 
@@ -188,6 +198,11 @@ class StorageSystem:
                 # concern (the stream already yields chunks).
                 kernel = simulate_fast_chunked
                 run_stream = stream
+            fleet = (
+                self.config.resolved_fleet(self.num_disks)
+                if self.config.fleet is not None
+                else None
+            )
             return kernel(
                 sizes=self.catalog.sizes,
                 mapping=self._mapping,
@@ -199,11 +214,16 @@ class StorageSystem:
                 label=label,
                 cache=cache,
                 cache_hit_latency=self.config.cache_hit_latency,
-                usable_capacity=self.config.usable_capacity,
+                usable_capacity=(
+                    self.config.usable_capacities(self.num_disks)
+                    if fleet is not None
+                    else self.config.usable_capacity
+                ),
                 write_policy=self.config.placement_policy(),
                 dpm=self.config.dpm_controller(self.num_disks),
                 ladder=self.config.ladder(),
                 metrics_mode=self.config.metrics_mode,
+                fleet=fleet,
             )
         controller = self.config.dpm_controller(self.num_disks)
         loop = None

@@ -10,6 +10,10 @@ configuration product the engines must agree on:
     x write-placement policy x DPM policy (incl. SLO feedback)
     x idleness threshold (0 / finite / inf / default)
     x DPM ladder (none / presets / random user ladder)
+    x fleet (uniform / mixed_generation preset / random heterogeneous
+    profile with per-slot ladders and thresholds)
+    x arrival shape (uniform Poisson / diurnal intensity / NERSC-style
+    bursts)
 
 ``build_case(seed)`` returns the scenario plus a paste-able description;
 ``assert_engines_agree`` runs both kernels and holds them to 1e-9
@@ -29,6 +33,8 @@ import pytest
 
 from repro.control.policies import dpm_policy_names
 from repro.disk.dpm import DpmLadder, LadderRung, dpm_ladder_names
+from repro.disk.fleet import Fleet, FleetDisk
+from repro.disk.specs import ST3500630AS, WD10EADS
 from repro.system import StorageConfig, StorageSystem
 from repro.system.placement import placement_policy_names
 from repro.units import GiB, MB
@@ -50,6 +56,7 @@ class DifferentialCase:
     mapping: np.ndarray
     config: StorageConfig
     num_disks: int
+    arrival_shape: str = "uniform"
 
     def describe(self) -> str:
         """Paste-able summary for bug reports and shrink-by-hand."""
@@ -64,17 +71,30 @@ class DifferentialCase:
                 f"dn={r.down_time:.3f}, wk={r.wake_time:.3f})"
                 for r in ladder.rungs
             ) + ")"
+        fleet = cfg.fleet
+        if isinstance(fleet, Fleet):
+            fleet = "Fleet(" + ", ".join(
+                f"{s.spec.model}"
+                + (
+                    f"/{s.ladder if isinstance(s.ladder, str) else s.ladder.name}"
+                    if s.ladder is not None
+                    else ""
+                )
+                + (f"/th={s.threshold:g}" if s.threshold is not None else "")
+                for s in fleet.profile
+            ) + ")"
         return (
             f"DifferentialCase(seed={self.seed}): "
             f"{self.num_disks} disks, {len(stream.times)} requests "
-            f"({writes} writes) over {stream.duration:.0f}s, "
+            f"({writes} writes, {self.arrival_shape} arrivals) "
+            f"over {stream.duration:.0f}s, "
             f"files={self.catalog.n}, "
             f"threshold={cfg.idleness_threshold!r}, "
             f"cache={cfg.cache_policy!r}, write_policy={cfg.write_policy!r}, "
             f"dpm_policy={cfg.dpm_policy!r} "
             f"(interval={cfg.control_interval:g}, "
             f"slo={cfg.slo_target!r}@{cfg.slo_percentile:g}), "
-            f"ladder={ladder!r}\n"
+            f"ladder={ladder!r}, fleet={fleet!r}\n"
             f"Reproduce: PYTHONPATH=src REPRO_DIFF_CASES=1 "
             f"REPRO_DIFF_BASE_SEED={self.seed} "
             f"python -m pytest 'tests/differential/test_differential.py::"
@@ -109,6 +129,71 @@ def _random_ladder(rng: np.random.Generator) -> DpmLadder:
     return DpmLadder("random", tuple(rungs))
 
 
+def _random_fleet(rng: np.random.Generator) -> Fleet:
+    """A random heterogeneous profile: 2-3 slots over both registered
+    drive models, each slot optionally carrying its own ladder preset
+    and/or threshold (exercising mixed specs, mixed ladder depths, and
+    the ladderless-slot -> two_state backfill in one scenario)."""
+    n_slots = int(rng.integers(2, 4))
+    slots = []
+    for _ in range(n_slots):
+        spec = ST3500630AS if rng.random() < 0.5 else WD10EADS
+        ladder = (
+            str(rng.choice(dpm_ladder_names()))
+            if rng.random() < 0.3
+            else None
+        )
+        threshold = (
+            float(rng.uniform(3.0, 150.0)) if rng.random() < 0.3 else None
+        )
+        slots.append(FleetDisk(spec, ladder=ladder, threshold=threshold))
+    return Fleet("random_mix", tuple(slots))
+
+
+def _arrival_times(
+    rng: np.random.Generator, rate: float, duration: float, shape: str
+) -> np.ndarray:
+    """Arrival epochs under one of three intensity shapes.
+
+    ``uniform`` is the historical homogeneous-Poisson draw; ``diurnal``
+    thins proposals against a sinusoidal day-cycle intensity; ``bursty``
+    scatters NERSC-style request clusters (normal spread around a few
+    burst centers) over a thin uniform background.
+    """
+    count = int(rng.poisson(rate * duration))
+    if shape == "diurnal":
+        raw = np.sort(rng.uniform(0.0, duration, size=2 * count))
+        period = duration / float(rng.uniform(1.0, 3.0))
+        keep = rng.random(raw.size) < 0.5 * (
+            1.0 + np.sin(2.0 * np.pi * raw / period)
+        )
+        return raw[keep]
+    if shape == "bursty":
+        n_bursts = int(rng.integers(2, 8))
+        centers = rng.uniform(0.0, duration, size=n_bursts)
+        n_background = count // 5
+        n_clustered = count - n_background
+        clustered = (
+            centers[rng.integers(0, n_bursts, size=n_clustered)]
+            + rng.normal(0.0, duration / 40.0, size=n_clustered)
+        )
+        background = rng.uniform(0.0, duration, size=n_background)
+        # Clip strays to a *strictly positive* floor: an arrival at
+        # exactly t=0 coincides with the idle timer arming — a
+        # measure-zero tie the engine contract explicitly leaves
+        # unspecified (the event drive logs a zero-length idle gap, the
+        # fast kernel does not, and predictive DPM policies then see
+        # different telemetry).
+        return np.sort(
+            np.clip(
+                np.concatenate([clustered, background]),
+                duration * 1e-6,
+                duration,
+            )
+        )
+    return np.sort(rng.uniform(0.0, duration, size=count))
+
+
 def build_case(seed: int) -> DifferentialCase:
     """Expand one seed into a valid random scenario (deterministically)."""
     rng = np.random.default_rng(seed)
@@ -121,8 +206,9 @@ def build_case(seed: int) -> DifferentialCase:
     weights = rng.zipf(1.8, size=n_files).astype(float)
     catalog = FileCatalog(sizes=sizes, popularities=weights / weights.sum())
 
-    count = int(rng.poisson(rate * duration))
-    times = np.sort(rng.uniform(0.0, duration, size=count))
+    shape = str(rng.choice(["uniform", "uniform", "diurnal", "bursty"]))
+    times = _arrival_times(rng, rate, duration, shape)
+    count = int(times.size)
     file_ids = rng.choice(n_files, size=count, p=catalog.popularities)
 
     # A fraction of runs mix in writes, some of which create new files
@@ -185,6 +271,15 @@ def build_case(seed: int) -> DifferentialCase:
     else:
         dpm_ladder = ladder_choice
 
+    # ~1/3 of runs put a heterogeneous fleet under the same config: the
+    # mixed_generation preset or a random profile (per-slot ladders and
+    # thresholds override the config-wide choices above on their disks).
+    fleet_choice = rng.choice([None, None, "mixed_generation", "random"])
+    if fleet_choice == "random":
+        fleet = _random_fleet(rng)
+    else:
+        fleet = None if fleet_choice is None else str(fleet_choice)
+
     config = StorageConfig(
         num_disks=num_disks,
         idleness_threshold=idleness_threshold,
@@ -202,6 +297,7 @@ def build_case(seed: int) -> DifferentialCase:
         ),
         slo_percentile=float(rng.choice([95.0, 99.0])),
         dpm_ladder=dpm_ladder,
+        fleet=fleet,
     )
     return DifferentialCase(
         seed=seed,
@@ -210,6 +306,7 @@ def build_case(seed: int) -> DifferentialCase:
         mapping=mapping,
         config=config,
         num_disks=num_disks,
+        arrival_shape=shape,
     )
 
 
@@ -241,14 +338,26 @@ def assert_invariants(result, case: DifferentialCase) -> None:
     # Per-state residencies tile the run exactly.
     total = sum(result.state_durations.values())
     assert abs(total - T * n) < 1e-6 * max(1.0, T * n), note
-    # Energy bounded by the extreme constant draws.
-    spec = case.config.spec
-    powers = [
-        spec.idle_power, spec.standby_power, spec.active_power,
-        spec.seek_power, spec.spinup_power, spec.spindown_power,
-    ]
-    ladder = case.config.ladder()
-    if ladder is not None:
+    # Energy bounded by the extreme constant draws — over every spec and
+    # every ladder actually present in the pool (a heterogeneous fleet
+    # widens the envelope to the union of its drives').
+    if case.config.fleet is not None:
+        resolved = case.config.resolved_fleet(case.num_disks)
+        specs = set(resolved.specs)
+        ladders = {lad for lad in resolved.ladders if lad is not None}
+    else:
+        specs = {case.config.spec}
+        ladder = case.config.ladder()
+        ladders = set() if ladder is None else {ladder}
+    powers = []
+    for spec in specs:
+        powers.extend(
+            [
+                spec.idle_power, spec.standby_power, spec.active_power,
+                spec.seek_power, spec.spinup_power, spec.spindown_power,
+            ]
+        )
+    for ladder in ladders:
         powers.extend(
             [r.power for r in ladder.rungs]
             + [r.down_power for r in ladder.rungs]

@@ -113,6 +113,24 @@ def test_generator_covers_the_config_space():
         for c in cases
     }
     assert thresholds == {"default", "inf", "zero", "finite"}
+    fleets = {
+        c.config.fleet if isinstance(c.config.fleet, (str, type(None)))
+        else "random"
+        for c in cases
+    }
+    assert fleets == {None, "mixed_generation", "random"}
+    # At least one sampled random fleet mixes drive models and at least
+    # one carries a per-slot ladder (the mixed-ladder backfill path).
+    profiles = [
+        c.config.fleet.profile
+        for c in cases
+        if not isinstance(c.config.fleet, (str, type(None)))
+    ]
+    assert any(len({s.spec for s in p}) > 1 for p in profiles)
+    assert any(any(s.ladder is not None for s in p) for p in profiles)
+    assert {c.arrival_shape for c in cases} == {
+        "uniform", "diurnal", "bursty"
+    }
 
 
 @pytest.mark.slow

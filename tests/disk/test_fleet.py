@@ -1,0 +1,135 @@
+"""Unit tests for heterogeneous fleet profiles and their resolution."""
+
+import numpy as np
+import pytest
+
+from repro.disk.dpm import DPM_LADDERS, make_dpm_ladder
+from repro.disk.fleet import (
+    FLEETS,
+    Fleet,
+    FleetDisk,
+    fleet_names,
+    make_fleet,
+)
+from repro.disk.specs import ST3500630AS, WD10EADS
+from repro.errors import ConfigError
+
+
+class TestProfileTiling:
+    def test_profile_tiles_across_the_pool(self):
+        fleet = make_fleet("mixed_generation")
+        resolved = fleet.resolve(5)
+        assert [s.model for s in resolved.specs] == [
+            ST3500630AS.model,
+            WD10EADS.model,
+            ST3500630AS.model,
+            WD10EADS.model,
+            ST3500630AS.model,
+        ]
+        assert resolved.capacities[0] == ST3500630AS.capacity
+        assert resolved.capacities[1] == WD10EADS.capacity
+
+    def test_uniform_sugar_is_homogeneous(self):
+        resolved = Fleet.uniform(ST3500630AS).resolve(4)
+        assert resolved.homogeneous
+        assert not resolved.has_ladders
+        np.testing.assert_allclose(
+            resolved.thresholds, ST3500630AS.breakeven_threshold()
+        )
+
+    def test_mixed_specs_are_not_homogeneous(self):
+        resolved = make_fleet("mixed_generation").resolve(2)
+        assert not resolved.homogeneous
+        assert not resolved.homogeneous_specs
+
+
+class TestLadderResolution:
+    def test_partial_ladders_backfill_two_state(self):
+        fleet = Fleet(
+            "partial",
+            (FleetDisk(ST3500630AS, ladder="drpm4"), FleetDisk(WD10EADS)),
+        )
+        resolved = fleet.resolve(4)
+        assert resolved.has_ladders
+        assert resolved.ladders[0] == make_dpm_ladder("drpm4", ST3500630AS)
+        # The ladderless green slot gets *its own spec's* two-state rung.
+        assert resolved.ladders[1] == make_dpm_ladder("two_state", WD10EADS)
+
+    def test_no_ladders_anywhere_stays_ladderless(self):
+        resolved = make_fleet("mixed_generation").resolve(4)
+        assert not resolved.has_ladders
+        assert resolved.ladders == (None, None, None, None)
+
+    def test_config_default_ladder_applies_to_every_slot(self):
+        resolved = make_fleet("mixed_generation").resolve(
+            2, default_ladder="nap"
+        )
+        assert resolved.ladders[0] == make_dpm_ladder("nap", ST3500630AS)
+        assert resolved.ladders[1] == make_dpm_ladder("nap", WD10EADS)
+
+    def test_ladder_groups_cover_the_pool_once(self):
+        fleet = Fleet(
+            "partial",
+            (FleetDisk(ST3500630AS, ladder="drpm4"), FleetDisk(WD10EADS)),
+        )
+        groups = fleet.resolve(6).ladder_groups()
+        members = np.concatenate([idx for _, idx in groups])
+        assert sorted(members.tolist()) == list(range(6))
+        assert len(groups) == 2
+
+
+class TestThresholdFallback:
+    def test_slot_threshold_beats_config_default(self):
+        fleet = Fleet(
+            "t", (FleetDisk(ST3500630AS, threshold=7.0), FleetDisk(WD10EADS))
+        )
+        resolved = fleet.resolve(2, default_threshold=99.0)
+        assert resolved.thresholds[0] == 7.0
+        assert resolved.thresholds[1] == 99.0
+
+    def test_unset_threshold_falls_back_to_spec_breakeven(self):
+        resolved = make_fleet("mixed_generation").resolve(2)
+        assert resolved.thresholds[0] == ST3500630AS.breakeven_threshold()
+        assert resolved.thresholds[1] == WD10EADS.breakeven_threshold()
+
+    def test_ladder_entry_beats_spec_breakeven(self):
+        fleet = Fleet("l", (FleetDisk(ST3500630AS, ladder="drpm4"),))
+        resolved = fleet.resolve(1)
+        ladder = make_dpm_ladder("drpm4", ST3500630AS)
+        assert resolved.thresholds[0] == ladder.base_threshold
+
+
+class TestValidation:
+    def test_unknown_preset_rejected(self):
+        with pytest.raises(ConfigError, match="unknown fleet"):
+            make_fleet("nope")
+
+    def test_registry_and_names_agree(self):
+        assert fleet_names() == tuple(FLEETS)
+        assert "mixed_generation" in fleet_names()
+
+    def test_empty_profile_rejected(self):
+        with pytest.raises(ConfigError, match="at least one"):
+            Fleet("empty", ())
+
+    def test_bad_slot_ladder_rejected(self):
+        with pytest.raises(ConfigError, match="unknown DPM ladder"):
+            FleetDisk(ST3500630AS, ladder="not_a_ladder")
+
+    def test_negative_slot_threshold_rejected(self):
+        with pytest.raises(ConfigError, match=">= 0"):
+            FleetDisk(ST3500630AS, threshold=-1.0)
+
+    def test_non_spec_slot_rejected(self):
+        with pytest.raises(ConfigError, match="DiskSpec"):
+            FleetDisk("ST3500630AS")
+
+    def test_zero_disks_rejected(self):
+        with pytest.raises(ConfigError, match="num_disks"):
+            make_fleet("mixed_generation").resolve(0)
+
+    def test_describe_counts_models(self):
+        text = make_fleet("mixed_generation").resolve(5).describe()
+        assert ST3500630AS.model in text
+        assert WD10EADS.model in text
+        assert "3x" in text and "2x" in text

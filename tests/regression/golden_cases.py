@@ -1,0 +1,186 @@
+"""Frozen uniform-fleet scenarios for the byte-identity regression test.
+
+The heterogeneous-fleet refactor rewired per-disk constants through the
+dispatcher, placement, control and both simulation kernels.  Its contract
+is that **uniform** configurations (``spec=...``, no ``fleet``) remain
+byte-identical to the pre-refactor engines.  The scenarios here were run
+against the pre-refactor tree and their outputs recorded (as exact float
+hex) in ``golden_uniform.json``; ``test_uniform_byte_identity.py`` replays
+them against the current tree and compares bit-for-bit.
+
+Do not edit the scenario recipes — they are frozen by the recorded
+goldens.  Add new recipes (and regenerate the JSON) only for features
+whose uniform behaviour is *intended* to be frozen from now on.
+"""
+
+from __future__ import annotations
+
+import math
+
+import numpy as np
+
+from repro.system import StorageConfig, StorageSystem
+from repro.units import GiB, MB
+from repro.workload.catalog import FileCatalog
+from repro.workload.arrivals import RequestStream
+from repro.workload.mixed import MixedRequestStream
+
+
+def _workload(seed, num_disks, n_files, count, duration, write_frac, n_new):
+    """Deterministic catalog + stream + mapping (diffgen-lite, frozen)."""
+    rng = np.random.default_rng(seed)
+    sizes = rng.uniform(5 * MB, 400 * MB, size=n_files)
+    weights = rng.zipf(1.8, size=n_files).astype(float)
+    catalog = FileCatalog(sizes=sizes, popularities=weights / weights.sum())
+    times = np.sort(rng.uniform(0.0, duration, size=count))
+    file_ids = rng.choice(n_files, size=count, p=catalog.popularities)
+    mapping = rng.integers(0, num_disks, size=n_files).astype(np.int64)
+    if write_frac > 0.0:
+        if n_new:
+            new_sizes = rng.uniform(5 * MB, 400 * MB, size=n_new)
+            catalog = FileCatalog(
+                sizes=np.concatenate([catalog.sizes, new_sizes]),
+                popularities=np.concatenate(
+                    [catalog.popularities, np.zeros(n_new)]
+                ),
+            )
+            mapping = np.concatenate(
+                [mapping, np.full(n_new, -1, dtype=np.int64)]
+            )
+        kinds = np.where(
+            rng.random(count) < write_frac, "write", "read"
+        ).astype(object)
+        if n_new:
+            new_ids = np.arange(n_files, n_files + n_new)
+            slots = np.sort(
+                rng.choice(count, size=min(n_new, count), replace=False)
+            )
+            for slot, fid in zip(slots, new_ids):
+                file_ids[slot] = fid
+                kinds[slot] = "write"
+        stream = MixedRequestStream(
+            times=times,
+            file_ids=file_ids,
+            kinds=np.asarray(kinds, dtype=object),
+            duration=duration,
+        )
+    else:
+        stream = RequestStream(
+            times=times, file_ids=file_ids, duration=duration
+        )
+    return catalog, stream, mapping
+
+
+#: name -> (workload kwargs, config kwargs).  Every case runs on both
+#: engines.  All configs are uniform (``spec`` default, no ``fleet``).
+CASES = {
+    "read_finite_th": (
+        dict(seed=101, num_disks=4, n_files=60, count=400, duration=500.0,
+             write_frac=0.0, n_new=0),
+        dict(num_disks=4, idleness_threshold=20.0),
+    ),
+    "read_inf_th": (
+        dict(seed=102, num_disks=3, n_files=40, count=300, duration=400.0,
+             write_frac=0.0, n_new=0),
+        dict(num_disks=3, idleness_threshold=math.inf),
+    ),
+    "read_zero_th": (
+        dict(seed=103, num_disks=5, n_files=50, count=250, duration=450.0,
+             write_frac=0.0, n_new=0),
+        dict(num_disks=5, idleness_threshold=0.0),
+    ),
+    "writes_placement": (
+        dict(seed=104, num_disks=4, n_files=50, count=350, duration=500.0,
+             write_frac=0.4, n_new=10),
+        dict(num_disks=4, idleness_threshold=30.0,
+             write_policy="spinning_best_fit"),
+    ),
+    "cache_lru": (
+        dict(seed=105, num_disks=4, n_files=45, count=400, duration=450.0,
+             write_frac=0.0, n_new=0),
+        dict(num_disks=4, idleness_threshold=25.0, cache_policy="lru",
+             cache_capacity=2.0 * GiB, cache_hit_latency=0.05),
+    ),
+    "ladder_nap": (
+        dict(seed=106, num_disks=4, n_files=55, count=300, duration=500.0,
+             write_frac=0.0, n_new=0),
+        dict(num_disks=4, dpm_ladder="nap"),
+    ),
+    "ladder_drpm4_adaptive": (
+        dict(seed=107, num_disks=4, n_files=50, count=320, duration=480.0,
+             write_frac=0.0, n_new=0),
+        dict(num_disks=4, dpm_ladder="drpm4", dpm_policy="adaptive_timeout",
+             control_interval=60.0),
+    ),
+    "slo_feedback_writes": (
+        dict(seed=108, num_disks=5, n_files=60, count=380, duration=520.0,
+             write_frac=0.3, n_new=8),
+        dict(num_disks=5, idleness_threshold=40.0, dpm_policy="slo_feedback",
+             control_interval=80.0, slo_target=10.0, slo_percentile=95.0,
+             cache_policy="clock", cache_capacity=1.0 * GiB,
+             write_policy="spinning_worst_fit"),
+    ),
+    "exp_predictive": (
+        dict(seed=109, num_disks=3, n_files=40, count=260, duration=420.0,
+             write_frac=0.0, n_new=0),
+        dict(num_disks=3, dpm_policy="exponential_predictive",
+             control_interval=70.0),
+    ),
+    "chunked_writes_cache": (
+        dict(seed=110, num_disks=4, n_files=50, count=340, duration=480.0,
+             write_frac=0.35, n_new=9),
+        dict(num_disks=4, idleness_threshold=35.0, cache_policy="lru",
+             cache_capacity=1.5 * GiB, write_policy="round_robin",
+             chunk_size=17),
+    ),
+}
+
+#: Engines each case runs on; chunked configs are fast-only (chunk_size
+#: is a fast-kernel knob).
+def engines_for(name):
+    if name == "chunked_writes_cache":
+        return ("fast",)
+    return ("event", "fast")
+
+
+def run_case(name, engine):
+    wl_kw, cfg_kw = CASES[name]
+    catalog, stream, mapping = _workload(**wl_kw)
+    config = StorageConfig(engine=engine, **cfg_kw)
+    system = StorageSystem(
+        catalog, mapping, config, num_disks=cfg_kw["num_disks"]
+    )
+    return system.run(stream)
+
+
+def summarize(result):
+    """Exact (hex-float) digest of everything byte-identity promises."""
+    resp = np.asarray(result.response_times, dtype=float)
+    sample = resp[:3].tolist() + resp[-3:].tolist() if resp.size else []
+    out = {
+        "energy": float(result.energy).hex(),
+        "energy_per_disk": [float(e).hex() for e in result.energy_per_disk],
+        "arrivals": int(result.arrivals),
+        "completions": int(result.completions),
+        "spinups": int(result.spinups),
+        "spindowns": int(result.spindowns),
+        "resp_sum": float(resp.sum()).hex(),
+        "resp_sample": [float(v).hex() for v in sample],
+        "state_durations": {
+            str(k): float(v).hex()
+            for k, v in sorted(
+                result.state_durations.items(), key=lambda kv: str(kv[0])
+            )
+        },
+        "requests_per_disk": [int(v) for v in result.requests_per_disk],
+        "final_mapping": [int(v) for v in result.final_mapping],
+        "always_on_energy": float(result.always_on_energy).hex(),
+    }
+    if "dpm" in result.extra:
+        dpm = result.extra["dpm"]
+        out["dpm_thresholds"] = [
+            [float(t).hex() for t in row] for row in dpm["thresholds"]
+        ]
+        out["dpm_t_end"] = [float(t).hex() for t in dpm["t_end"]]
+        out["dpm_completions"] = [int(c) for c in dpm["completions"]]
+    return out

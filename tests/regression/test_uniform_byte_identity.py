@@ -1,0 +1,61 @@
+"""Uniform configs must stay byte-identical across the fleet refactor.
+
+``golden_uniform.json`` holds exact hex-float digests of the frozen
+scenarios in :mod:`golden_cases`, recorded against the pre-refactor tree
+(before per-disk capacity/threshold/spec vectors were threaded through
+the dispatcher, placement, control and both kernels).  A uniform pool is
+now represented internally as vectors of identical per-disk values;
+IEEE-754 arithmetic on those is bit-identical to the old scalar code, so
+every digest must match exactly — any mismatch is a real numeric
+regression, not float noise.
+"""
+
+import json
+import pathlib
+
+import pytest
+
+import golden_cases as gc
+
+_GOLDEN = json.loads(
+    (pathlib.Path(__file__).parent / "golden_uniform.json").read_text()
+)
+
+
+@pytest.mark.parametrize(
+    "key",
+    sorted(_GOLDEN),
+    ids=lambda k: k.replace(":", "-"),
+)
+def test_uniform_output_is_byte_identical(key):
+    name, engine = key.split(":")
+    got = gc.summarize(gc.run_case(name, engine))
+    want = _GOLDEN[key]
+    assert sorted(got) == sorted(want), f"digest keys changed for {key}"
+    for field in want:
+        assert got[field] == want[field], (
+            f"{key}: field {field!r} drifted from the pre-refactor value"
+        )
+
+
+def test_uniform_fleet_sugar_matches_spec():
+    """``fleet=Fleet.uniform(spec)`` is pure sugar for ``spec=...``."""
+    from repro.disk.fleet import Fleet
+    from repro.system import StorageConfig, StorageSystem
+
+    wl_kw, cfg_kw = gc.CASES["writes_placement"]
+    catalog, stream, mapping = gc._workload(**wl_kw)
+    for engine in ("event", "fast"):
+        base = StorageSystem(
+            catalog, mapping, StorageConfig(engine=engine, **cfg_kw),
+            num_disks=cfg_kw["num_disks"],
+        ).run(stream)
+        fleet_cfg = StorageConfig(
+            engine=engine,
+            fleet=Fleet.uniform(StorageConfig().spec),
+            **cfg_kw,
+        )
+        sugar = StorageSystem(
+            catalog, mapping, fleet_cfg, num_disks=cfg_kw["num_disks"]
+        ).run(stream)
+        assert gc.summarize(base) == gc.summarize(sugar), engine

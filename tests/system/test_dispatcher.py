@@ -80,6 +80,76 @@ class TestRouting:
         assert disp.free_bytes[0] == pytest.approx(-100.0)
 
 
+class TestHeterogeneousCapacities:
+    """Overpack errors on capacity *vectors* must name the offending disk
+    and judge it against **its own** budget, not a neighbor's."""
+
+    def test_overpack_error_names_disk_and_its_own_capacity(self, env):
+        # 200 GB lands on the small middle disk of a [1 TB, 100 GB, 1 TB]
+        # pool: the error must blame disk 1 and quote *its* 100 GB.
+        capacities = np.array([1000 * GB, 100 * GB, 1000 * GB])
+        sizes = np.array([200 * GB, 72 * MB, 72 * MB])
+        with pytest.raises(CapacityError) as err:
+            build(
+                env,
+                mapping=np.array([1, 0, 2]),
+                sizes=sizes,
+                usable_capacity=capacities,
+            )
+        message = str(err.value)
+        assert "disk 1" in message
+        assert f"{100 * GB:.0f}" in message
+        assert f"{1000 * GB:.0f}" not in message
+
+    def test_each_disk_judged_against_its_own_budget(self, env):
+        # The same 200 GB file is fine on a 1 TB disk even though the
+        # 100 GB neighbor could never hold it.
+        capacities = np.array([1000 * GB, 100 * GB, 1000 * GB])
+        sizes = np.array([200 * GB, 90 * GB, 72 * MB])
+        _, disp = build(
+            env,
+            mapping=np.array([0, 1, 2]),
+            sizes=sizes,
+            usable_capacity=capacities,
+        )
+        assert disp.free_bytes[0] == pytest.approx(800 * GB)
+        assert disp.free_bytes[1] == pytest.approx(10 * GB)
+
+    @pytest.mark.parametrize("engine", ["event", "fast"])
+    def test_fleet_overpack_end_to_end(self, engine):
+        # mixed_generation alternates 500 GB / 1 TB drives: 700 GB fits
+        # the green disk 1 but overpacks the Seagate disk 0 — and the
+        # error says so, on both engines.
+        from repro.system import StorageConfig, StorageSystem
+        from repro.workload.arrivals import RequestStream
+        from repro.workload.catalog import FileCatalog
+
+        catalog = FileCatalog(
+            sizes=np.array([700 * GB, 72 * MB]),
+            popularities=np.array([0.5, 0.5]),
+        )
+        # The 700 GB read needs ~7000 s of transfer; give it room.
+        stream = RequestStream(
+            times=np.array([1.0, 2.0]),
+            file_ids=np.array([0, 1]),
+            duration=20_000.0,
+        )
+        config = StorageConfig(engine=engine, fleet="mixed_generation")
+
+        ok = StorageSystem(
+            catalog, np.array([1, 0]), config, num_disks=2
+        ).run(stream)
+        assert ok.completions == 2
+
+        with pytest.raises(CapacityError) as err:
+            StorageSystem(
+                catalog, np.array([0, 1]), config, num_disks=2
+            ).run(stream)
+        message = str(err.value)
+        assert "disk 0" in message
+        assert f"{500 * GB:.0f}" in message
+
+
 class TestCachePath:
     def test_hit_skips_disk(self, env):
         cache = LRUCache(1 * GB)

@@ -104,13 +104,15 @@ class TestResponseStatsMerge:
     def test_exact_fields_merge(self):
         a = _fold([np.array([1.0, 5.0, 3.0])])
         b = _fold([np.array([0.5, 9.0])])
-        merged = ResponseStats.merge([a, b])
+        with pytest.warns(RuntimeWarning, match="percentile"):
+            merged = ResponseStats.merge([a, b])
         assert merged.count == 5
         assert merged.min == 0.5
         assert merged.max == 9.0
         assert merged.total == pytest.approx(a.total + b.total)
         # P² states cannot be combined post-hoc.
         assert math.isnan(merged.p95)
+        assert merged.percentiles_lost
 
     def test_single_live_part_passes_through(self):
         a = _fold([np.array([1.0, 2.0])])
@@ -122,6 +124,27 @@ class TestResponseStatsMerge:
         assert merged.count == 0
         assert math.isnan(merged.min) and math.isnan(merged.max)
         assert math.isnan(merged.mean)
+
+    def test_lossy_merge_warns_once_per_chain(self):
+        """The first percentile-dropping merge warns; re-merging an
+        already-lossy result (pairwise epoch folds) stays silent."""
+        a = _fold([np.array([1.0, 2.0])])
+        b = _fold([np.array([3.0, 4.0])])
+        c = _fold([np.array([5.0, 6.0])])
+        with pytest.warns(RuntimeWarning, match="cannot combine"):
+            first = ResponseStats.merge([a, b])
+        with warnings.catch_warnings():
+            warnings.simplefilter("error")
+            chained = ResponseStats.merge([first, c])
+        assert chained.count == 6
+        assert chained.percentiles_lost
+        assert math.isnan(chained.p95)
+
+    def test_single_part_merge_does_not_warn(self):
+        a = _fold([np.array([1.0, 2.0])])
+        with warnings.catch_warnings():
+            warnings.simplefilter("error")
+            assert ResponseStats.merge([a]) is a
 
 
 def _result(response_times=None, response_stats=None, completions=0):
