@@ -27,13 +27,17 @@ from __future__ import annotations
 import math
 from bisect import insort
 from dataclasses import dataclass
-from typing import List, Optional, Sequence, Tuple
+from typing import Any, List, Optional, Sequence, Tuple
 
 import numpy as np
+import numpy.typing as npt
 
 from repro.errors import ConfigError
 
 __all__ = ["IntervalRecord", "IntervalTelemetry", "P2Quantile"]
+
+#: Dense float vector (the dtype every telemetry array is coerced to).
+FloatArray = npt.NDArray[np.float64]
 
 
 class P2Quantile:
@@ -67,7 +71,9 @@ class P2Quantile:
         self.count = 0
         p = percentile / 100.0
         self._p = p
-        self._dn = (0.0, p / 2.0, p, (1.0 + p) / 2.0, 1.0)
+        self._dn: Tuple[float, float, float, float, float] = (
+            0.0, p / 2.0, p, (1.0 + p) / 2.0, 1.0,
+        )
         self._q: Optional[List[float]] = None  # marker heights
         self._n: Optional[List[int]] = None  # marker positions
         self._np: Optional[List[float]] = None  # desired positions
@@ -86,6 +92,7 @@ class P2Quantile:
                 self._np = [0.0, 2.0 * p, 4.0 * p, 2.0 + 2.0 * p, 4.0]
             return
         q, n, npos = self._q, self._n, self._np
+        assert n is not None and npos is not None
         if x < q[0]:
             q[0] = x
             k = 0
@@ -134,6 +141,7 @@ class P2Quantile:
         q = self._q
         n = self._n
         npos = self._np
+        assert q is not None and n is not None and npos is not None
         q0, q1, q2, q3, q4 = q
         n1, n2, n3, n4 = n[1], n[2], n[3], n[4]  # n[0] is pinned at 0
         np0, np1, np2, np3, np4 = npos
@@ -222,6 +230,7 @@ class P2Quantile:
 
     def _parabolic(self, i: int, d: int) -> float:
         q, n = self._q, self._n
+        assert q is not None and n is not None
         return q[i] + d / (n[i + 1] - n[i - 1]) * (
             (n[i] - n[i - 1] + d) * (q[i + 1] - q[i]) / (n[i + 1] - n[i])
             + (n[i + 1] - n[i] - d) * (q[i] - q[i - 1]) / (n[i] - n[i - 1])
@@ -229,6 +238,7 @@ class P2Quantile:
 
     def _linear(self, i: int, d: int) -> float:
         q, n = self._q, self._n
+        assert q is not None and n is not None
         return q[i] + d * (q[i + d] - q[i]) / (n[i + d] - n[i])
 
     @property
@@ -287,10 +297,10 @@ class IntervalTelemetry:
     index: int
     t_start: float
     t_end: float
-    responses: np.ndarray
+    responses: FloatArray
     gaps: Sequence[Sequence[GapObservation]]
-    queue_depth: np.ndarray
-    thresholds: np.ndarray
+    queue_depth: FloatArray
+    thresholds: FloatArray
     p95_running: float
     p99_running: float
     slo_estimate: float
@@ -304,7 +314,7 @@ class IntervalRecord:
     t_start: float
     t_end: float
     #: Thresholds in effect during the interval (per disk).
-    thresholds: np.ndarray
+    thresholds: FloatArray
     completions: int
     #: Exact percentile of this interval's responses alone (``nan`` when
     #: the interval completed nothing).
@@ -315,17 +325,17 @@ class IntervalRecord:
     mean_queue_depth: float
     #: Per-disk mean draw over the interval (W); filled by the event
     #: engine online and by the fast kernel's post-run span binning.
-    power: Optional[np.ndarray] = None
+    power: Optional[FloatArray] = None
     gap_count: int = 0
 
 
 def bin_spans(
-    disks: np.ndarray,
-    starts: np.ndarray,
-    ends: np.ndarray,
-    edges: Sequence[float],
+    disks: npt.ArrayLike,
+    starts: npt.ArrayLike,
+    ends: npt.ArrayLike,
+    edges: "Sequence[float] | npt.NDArray[Any]",
     num_disks: int,
-) -> np.ndarray:
+) -> FloatArray:
     """Overlap seconds of ``[start, end)`` spans with contiguous windows.
 
     ``edges`` are the ``K+1`` ascending boundaries of ``K`` contiguous
@@ -343,10 +353,10 @@ def bin_spans(
     """
     edges = np.asarray(edges, dtype=float)
     n_windows = int(edges.size) - 1
-    out = np.zeros((max(n_windows, 0), num_disks), dtype=float)
-    if not len(disks) or n_windows <= 0:
-        return out
+    out: FloatArray = np.zeros((max(n_windows, 0), num_disks), dtype=float)
     d = np.asarray(disks, dtype=np.int64)
+    if not d.size or n_windows <= 0:
+        return out
     s = np.clip(np.asarray(starts, dtype=float), edges[0], edges[-1])
     e = np.clip(np.asarray(ends, dtype=float), edges[0], edges[-1])
     keep = e > s

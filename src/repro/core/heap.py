@@ -8,7 +8,7 @@ insertion sequence so packing output is fully deterministic.
 
 from __future__ import annotations
 
-from typing import Any, Generic, Iterable, List, Optional, Tuple, TypeVar
+from typing import Generic, Iterable, List, Optional, Tuple, TypeVar
 
 __all__ = ["MaxHeap"]
 

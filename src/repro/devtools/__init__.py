@@ -1,0 +1,45 @@
+"""Project-specific static analysis (``reprolint``).
+
+The repo's correctness story rests on contracts that are invisible to a
+generic linter but statically checkable:
+
+* **determinism** — every stochastic draw flows through seeded
+  :class:`numpy.random.Generator` streams (:mod:`repro.sim.rng`), never
+  global RNG state, and simulation code never consults wall clocks or
+  process environment;
+* **cache salting** — every :class:`~repro.system.config.StorageConfig`
+  field shapes :func:`~repro.experiments.orchestrator.task_fingerprint`,
+  so each field must be listed in the checked-in salt manifest
+  (``salt_manifest.json``) and semantic changes must bump
+  ``RESULT_SCHEMA_VERSION``;
+* **cross-engine parity** — everything registered (placement policies,
+  DPM policies, ladder presets, fleet presets) must be exercised by the
+  cross-engine differential/smoke grids;
+* **chunked-view discipline** — engine code never reaches for dense
+  ``.times``/``.file_ids`` arrays on a value it already knows is a
+  chunked stream.
+
+``python -m repro.devtools.lint src/repro`` runs the whole rule set (see
+:mod:`repro.devtools.rules` for the rule catalog and
+:mod:`repro.devtools.engine` for the AST-visitor machinery, inline
+``# reprolint: disable=RULE-ID`` suppressions included).
+"""
+
+from repro.devtools.engine import (
+    FileRule,
+    Linter,
+    ProjectRule,
+    Suppressions,
+    Violation,
+)
+from repro.devtools.rules import default_file_rules, default_project_rules
+
+__all__ = [
+    "FileRule",
+    "Linter",
+    "ProjectRule",
+    "Suppressions",
+    "Violation",
+    "default_file_rules",
+    "default_project_rules",
+]

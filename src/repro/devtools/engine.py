@@ -1,0 +1,294 @@
+"""The ``reprolint`` engine: rule interfaces, suppressions, and the runner.
+
+Two rule shapes exist:
+
+* :class:`FileRule` — an AST pass over one file.  ``applies(ctx)`` scopes
+  the rule by project-relative path (e.g. R004 only looks at simulation
+  code) and ``check(ctx)`` yields :class:`Violation` objects.
+* :class:`ProjectRule` — a whole-project invariant (the salt manifest,
+  registry/test-grid parity) that runs **once** per invocation against
+  the project root, regardless of which files were targeted.  Project
+  rules must degrade gracefully: when an anchor file is absent (a test
+  sandbox, a vendored subtree) the rule silently skips what it cannot
+  see rather than erroring.
+
+Suppressions are inline comments::
+
+    np.random.seed(0)  # reprolint: disable=R001
+    # reprolint: disable-file=R004   (anywhere in the file, whole file)
+
+Multiple rule ids separate with commas.  Suppressions are parsed with
+:mod:`tokenize`, so the marker inside a string literal does not count.
+"""
+
+from __future__ import annotations
+
+import ast
+import io
+import re
+import tokenize
+from dataclasses import dataclass
+from pathlib import Path
+from typing import Dict, Iterable, Iterator, List, Optional, Sequence, Set
+
+__all__ = [
+    "FileContext",
+    "FileRule",
+    "Linter",
+    "ProjectRule",
+    "Suppressions",
+    "Violation",
+]
+
+#: Pseudo-rule id attached to files the engine cannot parse at all.
+PARSE_ERROR_ID = "E999"
+
+_SUPPRESS_RE = re.compile(
+    r"#\s*reprolint:\s*disable(?P<file>-file)?\s*=\s*"
+    r"(?P<rules>[A-Za-z0-9_]+(?:\s*,\s*[A-Za-z0-9_]+)*)"
+)
+
+
+@dataclass(frozen=True)
+class Violation:
+    """One finding: ``path:line: RULE-ID message``."""
+
+    path: Path
+    line: int
+    rule_id: str
+    message: str
+
+    def render(self, base: Optional[Path] = None) -> str:
+        path = self.path
+        if base is not None:
+            try:
+                path = path.relative_to(base)
+            except ValueError:
+                pass
+        return f"{path.as_posix()}:{self.line}: {self.rule_id} {self.message}"
+
+
+class Suppressions:
+    """Per-file ``# reprolint: disable[-file]=...`` markers."""
+
+    def __init__(
+        self,
+        file_rules: Set[str],
+        line_rules: Dict[int, Set[str]],
+    ) -> None:
+        self.file_rules = file_rules
+        self.line_rules = line_rules
+
+    @classmethod
+    def scan(cls, source: str) -> "Suppressions":
+        file_rules: Set[str] = set()
+        line_rules: Dict[int, Set[str]] = {}
+        try:
+            tokens = list(
+                tokenize.generate_tokens(io.StringIO(source).readline)
+            )
+        except (tokenize.TokenError, IndentationError, SyntaxError):
+            # Unparseable files surface as E999 elsewhere; no suppression
+            # info is better than crashing the linter on them.
+            return cls(set(), {})
+        for tok in tokens:
+            if tok.type != tokenize.COMMENT:
+                continue
+            match = _SUPPRESS_RE.search(tok.string)
+            if match is None:
+                continue
+            rules = {r.strip() for r in match.group("rules").split(",")}
+            rules.discard("")
+            if match.group("file"):
+                file_rules |= rules
+            else:
+                line_rules.setdefault(tok.start[0], set()).update(rules)
+        return cls(file_rules, line_rules)
+
+    def active(self, rule_id: str, line: int) -> bool:
+        """Is ``rule_id`` suppressed at ``line``?"""
+        if rule_id in self.file_rules:
+            return True
+        return rule_id in self.line_rules.get(line, set())
+
+
+@dataclass
+class FileContext:
+    """Everything a :class:`FileRule` may consult about one file."""
+
+    #: Absolute path on disk.
+    path: Path
+    #: Path relative to the project root (posix separators), or ``None``
+    #: when the file lives outside the root — scoped rules then skip it.
+    rel: Optional[str]
+    tree: ast.AST
+    source: str
+
+
+class FileRule:
+    """One AST pass over a single file."""
+
+    rule_id: str = ""
+    name: str = ""
+    summary: str = ""
+
+    def applies(self, ctx: FileContext) -> bool:
+        return True
+
+    def check(self, ctx: FileContext) -> Iterator[Violation]:
+        raise NotImplementedError
+
+
+class ProjectRule:
+    """A whole-project invariant, run once per lint invocation."""
+
+    rule_id: str = ""
+    name: str = ""
+    summary: str = ""
+
+    def check(self, root: Path) -> Iterator[Violation]:
+        raise NotImplementedError
+
+
+def _iter_python_files(target: Path) -> Iterator[Path]:
+    if target.is_dir():
+        for path in sorted(target.rglob("*.py")):
+            if "__pycache__" in path.parts:
+                continue
+            yield path
+    else:
+        yield target
+
+
+def dotted_chain(node: ast.AST) -> Optional[List[str]]:
+    """``a.b.c`` as ``["a", "b", "c"]``; ``None`` if the root isn't a Name."""
+    parts: List[str] = []
+    while isinstance(node, ast.Attribute):
+        parts.append(node.attr)
+        node = node.value
+    if isinstance(node, ast.Name):
+        parts.append(node.id)
+        return parts[::-1]
+    return None
+
+
+def maximal_attribute_chains(
+    tree: ast.AST,
+) -> Iterator["tuple[ast.Attribute, List[str]]"]:
+    """Every outermost ``a.b.c`` attribute chain rooted at a plain name.
+
+    "Maximal" means the node is not itself the ``.value`` of an enclosing
+    attribute access, so ``np.random.default_rng`` yields one chain of
+    three parts instead of also yielding the inner ``np.random``.
+    """
+    inner: Set[int] = set()
+    for node in ast.walk(tree):
+        if isinstance(node, ast.Attribute) and isinstance(
+            node.value, ast.Attribute
+        ):
+            inner.add(id(node.value))
+    for node in ast.walk(tree):
+        if isinstance(node, ast.Attribute) and id(node) not in inner:
+            chain = dotted_chain(node)
+            if chain is not None:
+                yield node, chain
+
+
+class Linter:
+    """Runs file rules over targets and project rules over the root."""
+
+    def __init__(
+        self,
+        root: Path,
+        file_rules: Optional[Sequence[FileRule]] = None,
+        project_rules: Optional[Sequence[ProjectRule]] = None,
+    ) -> None:
+        # Imported lazily so engine.py stays importable from rules.py
+        # without a circular import.
+        from repro.devtools.rules import (
+            default_file_rules,
+            default_project_rules,
+        )
+
+        self.root = root.resolve()
+        self.file_rules: List[FileRule] = list(
+            default_file_rules() if file_rules is None else file_rules
+        )
+        self.project_rules: List[ProjectRule] = list(
+            default_project_rules() if project_rules is None else project_rules
+        )
+
+    def select(self, rule_ids: Iterable[str]) -> "Linter":
+        """Restrict to a subset of rule ids (the CLI's ``--select``)."""
+        wanted = set(rule_ids)
+        self.file_rules = [r for r in self.file_rules if r.rule_id in wanted]
+        self.project_rules = [
+            r for r in self.project_rules if r.rule_id in wanted
+        ]
+        return self
+
+    def _relative(self, path: Path) -> Optional[str]:
+        try:
+            return path.resolve().relative_to(self.root).as_posix()
+        except ValueError:
+            return None
+
+    def lint_file(self, path: Path) -> List[Violation]:
+        source = path.read_text(encoding="utf-8")
+        try:
+            tree = ast.parse(source, filename=str(path))
+        except SyntaxError as exc:
+            return [
+                Violation(
+                    path=path.resolve(),
+                    line=exc.lineno or 1,
+                    rule_id=PARSE_ERROR_ID,
+                    message=f"syntax error: {exc.msg}",
+                )
+            ]
+        ctx = FileContext(
+            path=path.resolve(),
+            rel=self._relative(path),
+            tree=tree,
+            source=source,
+        )
+        found: List[Violation] = []
+        for rule in self.file_rules:
+            if rule.applies(ctx):
+                found.extend(rule.check(ctx))
+        return self._apply_suppressions(found, {ctx.path: source})
+
+    def run(self, targets: Sequence[Path]) -> List[Violation]:
+        """Lint every ``.py`` under the targets + project-wide invariants."""
+        found: List[Violation] = []
+        sources: Dict[Path, str] = {}
+        for target in targets:
+            for path in _iter_python_files(target):
+                file_found = self.lint_file(path)
+                found.extend(file_found)
+        for rule in self.project_rules:
+            found.extend(self._apply_suppressions(list(rule.check(self.root)), sources))
+        found.sort(key=lambda v: (str(v.path), v.line, v.rule_id))
+        return found
+
+    def _apply_suppressions(
+        self, found: List[Violation], sources: Dict[Path, str]
+    ) -> List[Violation]:
+        kept: List[Violation] = []
+        cache: Dict[Path, Suppressions] = {}
+        for violation in found:
+            path = violation.path
+            if path not in cache:
+                source = sources.get(path)
+                if source is None:
+                    try:
+                        source = path.read_text(encoding="utf-8")
+                    except (OSError, UnicodeDecodeError):
+                        source = ""
+                if path.suffix == ".py":
+                    cache[path] = Suppressions.scan(source)
+                else:
+                    cache[path] = Suppressions(set(), {})
+            if not cache[path].active(violation.rule_id, violation.line):
+                kept.append(violation)
+        return kept

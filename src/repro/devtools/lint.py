@@ -1,0 +1,130 @@
+"""``python -m repro.devtools.lint`` — run reprolint over files/dirs.
+
+Usage::
+
+    python -m repro.devtools.lint src/repro            # whole source tree
+    python -m repro.devtools.lint src/repro/sim/engine.py
+    python -m repro.devtools.lint --select R002 --root . src/repro
+    python -m repro.devtools.lint --list-rules
+
+Output is one ``path:line: RULE-ID message`` per finding, sorted; the
+exit status is 0 when clean, 1 when anything fired.  The project root
+(where the project-wide rules anchor: the salt manifest, the registries,
+the test corpus) is discovered by walking up from the first target until
+a ``pyproject.toml`` is found; ``--root`` overrides that, which is how
+the fixture tests point the linter at sandbox trees.
+"""
+
+from __future__ import annotations
+
+import argparse
+import sys
+from pathlib import Path
+from typing import List, Optional, Sequence
+
+from repro.devtools.engine import Linter
+from repro.devtools.rules import default_file_rules, default_project_rules
+
+
+def discover_root(start: Path) -> Path:
+    """Walk up from ``start`` to the nearest dir with a pyproject.toml."""
+    node = start.resolve()
+    if node.is_file():
+        node = node.parent
+    for candidate in (node, *node.parents):
+        if (candidate / "pyproject.toml").is_file():
+            return candidate
+    return node
+
+
+def build_parser() -> argparse.ArgumentParser:
+    parser = argparse.ArgumentParser(
+        prog="python -m repro.devtools.lint",
+        description=(
+            "Project-specific static analysis: determinism, cache "
+            "salting, cross-engine parity, chunked-view discipline."
+        ),
+    )
+    parser.add_argument(
+        "targets",
+        nargs="*",
+        type=Path,
+        help="files or directories to lint (directories recurse)",
+    )
+    parser.add_argument(
+        "--root",
+        type=Path,
+        default=None,
+        help=(
+            "project root for the project-wide rules (default: walk up "
+            "from the first target to the nearest pyproject.toml)"
+        ),
+    )
+    parser.add_argument(
+        "--select",
+        action="append",
+        default=None,
+        metavar="RULE-ID",
+        help="run only these rule ids (repeatable, comma-separable)",
+    )
+    parser.add_argument(
+        "--list-rules",
+        action="store_true",
+        help="print the rule catalog and exit",
+    )
+    return parser
+
+
+def list_rules() -> str:
+    lines: List[str] = []
+    for rule in (*default_file_rules(), *default_project_rules()):
+        lines.append(f"{rule.rule_id} {rule.name}: {rule.summary}")
+    lines.sort()
+    return "\n".join(lines)
+
+
+def main(argv: Optional[Sequence[str]] = None) -> int:
+    parser = build_parser()
+    args = parser.parse_args(argv)
+
+    if args.list_rules:
+        print(list_rules())
+        return 0
+
+    if not args.targets:
+        parser.error("no targets given (try: src/repro)")
+
+    for target in args.targets:
+        if not target.exists():
+            parser.error(f"no such file or directory: {target}")
+
+    root = (
+        args.root.resolve()
+        if args.root is not None
+        else discover_root(args.targets[0])
+    )
+
+    linter = Linter(root)
+    if args.select:
+        selected = {
+            rule_id.strip()
+            for entry in args.select
+            for rule_id in entry.split(",")
+            if rule_id.strip()
+        }
+        linter.select(selected)
+
+    violations = linter.run(args.targets)
+    cwd = Path.cwd().resolve()
+    for violation in violations:
+        print(violation.render(base=cwd))
+    if violations:
+        count = len(violations)
+        plural = "" if count == 1 else "s"
+        print(f"reprolint: {count} finding{plural}", file=sys.stderr)
+        return 1
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

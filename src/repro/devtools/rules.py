@@ -1,0 +1,790 @@
+"""The ``reprolint`` rule catalog (R001–R006).
+
+Each rule encodes a contract this repo has already been burned by (see
+the module docstring of :mod:`repro.devtools`): determinism (R001,
+R004), fingerprint salting (R002), cross-engine parity (R003),
+chunked-view discipline (R005), and merged-percentile hygiene (R006).
+
+Rules are AST-only — nothing here imports simulator modules, so the
+linter runs on trees that do not import (sandboxes, broken branches).
+"""
+
+from __future__ import annotations
+
+import ast
+import json
+from pathlib import Path
+from typing import Dict, Iterator, List, Optional, Sequence, Set, Tuple
+
+from repro.devtools.engine import (
+    FileContext,
+    FileRule,
+    ProjectRule,
+    Violation,
+    dotted_chain,
+    maximal_attribute_chains,
+)
+
+__all__ = [
+    "NoUnseededRng",
+    "FingerprintSaltCompleteness",
+    "RegistryParityCoverage",
+    "NoWallclockOrEnvInSim",
+    "ChunkedViewDiscipline",
+    "MergedPercentileGuard",
+    "default_file_rules",
+    "default_project_rules",
+]
+
+#: The checked-in manifest R002 compares ``StorageConfig`` against.
+SALT_MANIFEST = "src/repro/devtools/salt_manifest.json"
+
+#: Where ``StorageConfig`` and ``RESULT_SCHEMA_VERSION`` live.
+CONFIG_MODULE = "src/repro/system/config.py"
+ORCHESTRATOR_MODULE = "src/repro/experiments/orchestrator.py"
+
+
+def _in_tree(rel: Optional[str], prefixes: Sequence[str]) -> bool:
+    if rel is None:
+        return False
+    return any(
+        rel == p or rel.startswith(p.rstrip("/") + "/") for p in prefixes
+    )
+
+
+def _import_aliases(tree: ast.AST, module: str) -> Set[str]:
+    """Local names bound to ``module`` via ``import``/``import .. as``."""
+    names: Set[str] = set()
+    for node in ast.walk(tree):
+        if isinstance(node, ast.Import):
+            for alias in node.names:
+                if alias.name == module:
+                    names.add(alias.asname or module.split(".")[0])
+    return names
+
+
+def _from_import_aliases(
+    tree: ast.AST, module: str, symbol: str
+) -> Set[str]:
+    """Local names bound via ``from module import symbol [as alias]``."""
+    names: Set[str] = set()
+    for node in ast.walk(tree):
+        if isinstance(node, ast.ImportFrom):
+            if node.module != module:
+                continue
+            for alias in node.names:
+                if alias.name == symbol:
+                    names.add(alias.asname or symbol)
+    return names
+
+
+class NoUnseededRng(FileRule):
+    """R001: all randomness flows through seeded Generator streams.
+
+    The differential harness (event vs fast at 1e-9) and the sweep cache
+    both assume a config + seed pins the result bit-for-bit.  The stdlib
+    ``random`` module and numpy's *global* RNG (``np.random.seed``,
+    ``np.random.rand``, ...) are process-wide mutable state that breaks
+    that.  Only the stream-constructor API is allowed: ``default_rng``,
+    ``Generator``, ``SeedSequence``, and named bit generators.
+    :mod:`repro.sim.rng` is the sanctioned wrapper and is exempt.
+    """
+
+    rule_id = "R001"
+    name = "no-unseeded-rng"
+    summary = (
+        "bare `random` module or numpy global-state RNG outside "
+        "repro.sim.rng"
+    )
+
+    #: ``np.random.<attr>`` accesses that are stream/constructor API, not
+    #: global state.
+    ALLOWED_NP_RANDOM = {
+        "default_rng",
+        "Generator",
+        "SeedSequence",
+        "BitGenerator",
+        "PCG64",
+        "PCG64DXSM",
+        "Philox",
+        "SFC64",
+    }
+
+    EXEMPT = ("src/repro/sim/rng.py", "src/repro/devtools/")
+
+    def applies(self, ctx: FileContext) -> bool:
+        return _in_tree(ctx.rel, ["src/repro"]) and not _in_tree(
+            ctx.rel, self.EXEMPT
+        )
+
+    def check(self, ctx: FileContext) -> Iterator[Violation]:
+        tree = ctx.tree
+        for node in ast.walk(tree):
+            if isinstance(node, ast.Import):
+                for alias in node.names:
+                    if alias.name == "random" or alias.name.startswith(
+                        "random."
+                    ):
+                        yield Violation(
+                            ctx.path,
+                            node.lineno,
+                            self.rule_id,
+                            "stdlib `random` is process-global state; use "
+                            "a seeded np.random.Generator "
+                            "(repro.sim.rng)",
+                        )
+            elif isinstance(node, ast.ImportFrom):
+                if node.module == "random":
+                    yield Violation(
+                        ctx.path,
+                        node.lineno,
+                        self.rule_id,
+                        "stdlib `random` is process-global state; use a "
+                        "seeded np.random.Generator (repro.sim.rng)",
+                    )
+
+        numpy_names = _import_aliases(tree, "numpy")
+        npr_names = _import_aliases(tree, "numpy.random")
+        npr_names |= _from_import_aliases(tree, "numpy", "random")
+        for node, chain in maximal_attribute_chains(tree):
+            attr: Optional[str] = None
+            if (
+                len(chain) >= 3
+                and chain[0] in numpy_names
+                and chain[1] == "random"
+            ):
+                attr = chain[2]
+            elif len(chain) >= 2 and chain[0] in npr_names:
+                attr = chain[1]
+            elif (
+                len(chain) == 2
+                and chain[0] in numpy_names
+                and chain[1] == "random"
+            ):
+                # A bare ``np.random`` reference (passed around as the
+                # global-state module object).
+                attr = ""
+            if attr is None or attr in self.ALLOWED_NP_RANDOM:
+                continue
+            shown = f"np.random.{attr}" if attr else "np.random"
+            yield Violation(
+                ctx.path,
+                node.lineno,
+                self.rule_id,
+                f"`{shown}` touches numpy's global RNG state; use a "
+                "seeded np.random.Generator (repro.sim.rng)",
+            )
+
+
+def _storage_config_fields(tree: ast.AST) -> List[Tuple[str, int]]:
+    """``(field, lineno)`` for each annotated field of StorageConfig."""
+    fields: List[Tuple[str, int]] = []
+    for node in ast.walk(tree):
+        if isinstance(node, ast.ClassDef) and node.name == "StorageConfig":
+            for stmt in node.body:
+                if isinstance(stmt, ast.AnnAssign) and isinstance(
+                    stmt.target, ast.Name
+                ):
+                    fields.append((stmt.target.id, stmt.lineno))
+    return fields
+
+
+def _result_schema_version(tree: ast.AST) -> Optional[Tuple[int, int]]:
+    """``(value, lineno)`` of the RESULT_SCHEMA_VERSION assignment."""
+    for node in ast.walk(tree):
+        if isinstance(node, ast.Assign):
+            for target in node.targets:
+                if (
+                    isinstance(target, ast.Name)
+                    and target.id == "RESULT_SCHEMA_VERSION"
+                    and isinstance(node.value, ast.Constant)
+                    and isinstance(node.value.value, int)
+                ):
+                    return node.value.value, node.lineno
+    return None
+
+
+class FingerprintSaltCompleteness(ProjectRule):
+    """R002: every ``StorageConfig`` field is pinned in the salt manifest.
+
+    ``task_fingerprint`` pickles the whole config dataclass, so a *new*
+    field does enter the digest — but whether that was intended has to be
+    an explicit, reviewable act.  The manifest (`salt_manifest.json`)
+    records the blessed field set and the ``RESULT_SCHEMA_VERSION`` it
+    was blessed at; adding a field without updating both is exactly the
+    stale-cache hazard PRs 4/6/7 handled by hand.
+    """
+
+    rule_id = "R002"
+    name = "fingerprint-salt-completeness"
+    summary = (
+        "StorageConfig fields must match the salt manifest, and the "
+        "manifest must pin the current RESULT_SCHEMA_VERSION"
+    )
+
+    def check(self, root: Path) -> Iterator[Violation]:
+        config_path = root / CONFIG_MODULE
+        manifest_path = root / SALT_MANIFEST
+        orch_path = root / ORCHESTRATOR_MODULE
+        if not config_path.is_file() or not manifest_path.is_file():
+            # Sandbox / partial tree: nothing to anchor the check to.
+            return
+        try:
+            config_tree = ast.parse(
+                config_path.read_text(encoding="utf-8")
+            )
+        except SyntaxError:
+            return
+        try:
+            manifest = json.loads(manifest_path.read_text(encoding="utf-8"))
+        except (json.JSONDecodeError, UnicodeDecodeError):
+            yield Violation(
+                manifest_path,
+                1,
+                self.rule_id,
+                "salt manifest is not valid JSON",
+            )
+            return
+        manifest_fields = list(manifest.get("fields", []))
+        fields = _storage_config_fields(config_tree)
+        field_names = {name for name, _ in fields}
+        for name, lineno in fields:
+            if name not in manifest_fields:
+                yield Violation(
+                    config_path,
+                    lineno,
+                    self.rule_id,
+                    f"StorageConfig.{name} is not listed in "
+                    f"{SALT_MANIFEST}; new fields change task "
+                    "fingerprints — add the field to the manifest and "
+                    "bump RESULT_SCHEMA_VERSION",
+                )
+        for name in manifest_fields:
+            if name not in field_names:
+                yield Violation(
+                    manifest_path,
+                    1,
+                    self.rule_id,
+                    f"manifest lists {name!r} but StorageConfig has no "
+                    "such field; remove the stale entry and bump "
+                    "RESULT_SCHEMA_VERSION",
+                )
+        if orch_path.is_file():
+            try:
+                orch_tree = ast.parse(orch_path.read_text(encoding="utf-8"))
+            except SyntaxError:
+                return
+            found = _result_schema_version(orch_tree)
+            if found is not None:
+                version, lineno = found
+                pinned = manifest.get("schema_version")
+                if pinned != version:
+                    yield Violation(
+                        orch_path,
+                        lineno,
+                        self.rule_id,
+                        f"RESULT_SCHEMA_VERSION is {version} but "
+                        f"{SALT_MANIFEST} pins schema_version="
+                        f"{pinned!r}; re-bless the manifest when the "
+                        "schema version moves",
+                    )
+
+
+#: (registry file, how names are declared, iterator function) per registry.
+_REGISTRIES: Tuple[Tuple[str, str, str, str], ...] = (
+    # (label, path, mode, iterator-fn). mode "decorated-class" collects
+    # ``name = "..."`` class attrs from classes decorated with the
+    # register_* decorator named in the file; mode "dict" collects string
+    # keys of the module-level dict literal named by label.
+    ("placement", "src/repro/system/placement.py", "decorated-class",
+     "placement_policy_names"),
+    ("dpm-policy", "src/repro/control/policies.py", "decorated-class",
+     "dpm_policy_names"),
+    ("DPM_LADDERS", "src/repro/disk/dpm.py", "dict",
+     "dpm_ladder_names"),
+    ("FLEETS", "src/repro/disk/fleet.py", "dict",
+     "fleet_names"),
+)
+
+#: The test files/directories whose contents count as "covered by the
+#: cross-engine grids".
+_COVERAGE_CORPUS: Tuple[str, ...] = (
+    "tests/differential",
+    "tests/experiments/test_engine_smoke.py",
+    "tests/control",
+)
+
+
+def _registered_names(
+    tree: ast.AST, mode: str, label: str
+) -> List[Tuple[str, int]]:
+    names: List[Tuple[str, int]] = []
+    if mode == "decorated-class":
+        for node in ast.walk(tree):
+            if not isinstance(node, ast.ClassDef):
+                continue
+            decorated = any(
+                (isinstance(d, ast.Name) and d.id.startswith("register_"))
+                or (
+                    isinstance(d, ast.Attribute)
+                    and d.attr.startswith("register_")
+                )
+                for d in node.decorator_list
+            )
+            if not decorated:
+                continue
+            for stmt in node.body:
+                if (
+                    isinstance(stmt, ast.Assign)
+                    and len(stmt.targets) == 1
+                    and isinstance(stmt.targets[0], ast.Name)
+                    and stmt.targets[0].id == "name"
+                    and isinstance(stmt.value, ast.Constant)
+                    and isinstance(stmt.value.value, str)
+                    and stmt.value.value
+                ):
+                    names.append((stmt.value.value, stmt.lineno))
+    elif mode == "dict":
+        for node in ast.walk(tree):
+            value: Optional[ast.expr] = None
+            if isinstance(node, ast.Assign):
+                if not (
+                    len(node.targets) == 1
+                    and isinstance(node.targets[0], ast.Name)
+                    and node.targets[0].id == label
+                ):
+                    continue
+                value = node.value
+            elif isinstance(node, ast.AnnAssign):
+                if not (
+                    isinstance(node.target, ast.Name)
+                    and node.target.id == label
+                ):
+                    continue
+                value = node.value
+            if isinstance(value, ast.Dict):
+                for key in value.keys:
+                    if isinstance(key, ast.Constant) and isinstance(
+                        key.value, str
+                    ):
+                        names.append((key.value, key.lineno))
+    return names
+
+
+class RegistryParityCoverage(ProjectRule):
+    """R003: every registered name is exercised by the parity grids.
+
+    A placement policy, DPM policy, ladder preset, or fleet preset that
+    is registered but never named in the cross-engine smoke/differential
+    corpus ships without the event-vs-fast equivalence guarantee the rest
+    of the registry enjoys.  A name counts as covered when its literal
+    string appears in the corpus, or when the corpus calls the registry's
+    iterator (``*_names()``) — the grids that iterate a whole registry
+    cover every member by construction.
+    """
+
+    rule_id = "R003"
+    name = "registry-parity-coverage"
+    summary = (
+        "registered placement/DPM/ladder/fleet names must appear in the "
+        "cross-engine smoke/differential test grids"
+    )
+
+    def _corpus_tokens(self, root: Path) -> Tuple[Set[str], Set[str]]:
+        """(string literals, referenced identifiers) across the corpus."""
+        literals: Set[str] = set()
+        identifiers: Set[str] = set()
+        for entry in _COVERAGE_CORPUS:
+            target = root / entry
+            if target.is_dir():
+                paths = sorted(target.rglob("*.py"))
+            elif target.is_file():
+                paths = [target]
+            else:
+                continue
+            for path in paths:
+                try:
+                    tree = ast.parse(path.read_text(encoding="utf-8"))
+                except (SyntaxError, UnicodeDecodeError, OSError):
+                    continue
+                for node in ast.walk(tree):
+                    if isinstance(node, ast.Constant) and isinstance(
+                        node.value, str
+                    ):
+                        literals.add(node.value)
+                    elif isinstance(node, ast.Name):
+                        identifiers.add(node.id)
+                    elif isinstance(node, ast.Attribute):
+                        identifiers.add(node.attr)
+                    elif isinstance(node, ast.ImportFrom):
+                        identifiers.update(
+                            a.asname or a.name for a in node.names
+                        )
+        return literals, identifiers
+
+    def check(self, root: Path) -> Iterator[Violation]:
+        registry_paths = [
+            (label, root / rel, mode, iterator)
+            for label, rel, mode, iterator in _REGISTRIES
+        ]
+        if not any(path.is_file() for _, path, _, _ in registry_paths):
+            return
+        literals, identifiers = self._corpus_tokens(root)
+        for label, path, mode, iterator in registry_paths:
+            if not path.is_file():
+                continue
+            try:
+                tree = ast.parse(path.read_text(encoding="utf-8"))
+            except SyntaxError:
+                continue
+            iterated = iterator in identifiers
+            for name, lineno in _registered_names(tree, mode, label):
+                if iterated or name in literals:
+                    continue
+                yield Violation(
+                    path,
+                    lineno,
+                    self.rule_id,
+                    f"{label} registry entry {name!r} never appears in "
+                    "the cross-engine smoke/differential grids "
+                    f"({', '.join(_COVERAGE_CORPUS)}); add it to a grid "
+                    f"or iterate {iterator}() there",
+                )
+
+
+class NoWallclockOrEnvInSim(FileRule):
+    """R004: simulation code reads neither wall clocks nor the environment.
+
+    ``repro.sim`` / ``repro.disk`` / ``repro.system`` must be pure
+    functions of (config, workload, seed) — a ``time.time()`` or
+    ``os.environ`` read in a hot path silently couples results to the
+    machine running them and invalidates both the differential harness
+    and the sweep cache.  Benchmarks and the orchestrator (which *time*
+    things and read env knobs deliberately) are outside this scope.
+    """
+
+    rule_id = "R004"
+    name = "no-wallclock-or-env-in-sim"
+    summary = (
+        "time.time/datetime.now/os.environ reads inside "
+        "repro.sim/repro.disk/repro.system"
+    )
+
+    SCOPE = ("src/repro/sim/", "src/repro/disk/", "src/repro/system/")
+
+    #: Banned dotted accesses (first two components after alias
+    #: resolution).
+    BANNED_CHAINS = {
+        ("time", "time"): "time.time()",
+        ("time", "time_ns"): "time.time_ns()",
+        ("time", "monotonic"): "time.monotonic()",
+        ("time", "perf_counter"): "time.perf_counter()",
+        ("datetime", "now"): "datetime.now()",
+        ("datetime", "utcnow"): "datetime.utcnow()",
+        ("datetime", "today"): "datetime.today()",
+        ("os", "environ"): "os.environ",
+        ("os", "getenv"): "os.getenv()",
+    }
+
+    def applies(self, ctx: FileContext) -> bool:
+        return _in_tree(ctx.rel, self.SCOPE)
+
+    def check(self, ctx: FileContext) -> Iterator[Violation]:
+        tree = ctx.tree
+        # Alias maps: local name -> canonical module key used in
+        # BANNED_CHAINS.
+        module_alias: Dict[str, str] = {}
+        for module in ("time", "os", "datetime"):
+            for alias in _import_aliases(tree, module):
+                module_alias[alias] = module
+        # ``from datetime import datetime`` makes the *class* available
+        # under a local name; ``datetime.now`` etc. on it is banned.
+        for alias in _from_import_aliases(tree, "datetime", "datetime"):
+            module_alias[alias] = "datetime"
+
+        # Direct ``from X import y`` of a banned symbol.
+        from_imports: Dict[str, str] = {}
+        for (module, symbol), shown in self.BANNED_CHAINS.items():
+            if module == "datetime":
+                continue  # `from datetime import now` is not a thing
+            for alias in _from_import_aliases(tree, module, symbol):
+                from_imports[alias] = shown
+
+        for node, chain in maximal_attribute_chains(tree):
+            if len(chain) < 2:
+                continue
+            module = module_alias.get(chain[0])
+            if module is None:
+                continue
+            # datetime.datetime.now -> ("datetime", "now")
+            parts = [p for p in chain[1:] if p != "datetime"]
+            if not parts:
+                continue
+            shown = self.BANNED_CHAINS.get((module, parts[0]))
+            if shown is not None:
+                yield Violation(
+                    ctx.path,
+                    node.lineno,
+                    self.rule_id,
+                    f"`{shown}` in simulation code couples results to "
+                    "the host; thread simulated time / explicit config "
+                    "through instead",
+                )
+        for node in ast.walk(tree):
+            if isinstance(node, ast.Name) and node.id in from_imports:
+                if isinstance(node.ctx, ast.Load):
+                    yield Violation(
+                        ctx.path,
+                        node.lineno,
+                        self.rule_id,
+                        f"`{from_imports[node.id]}` in simulation code "
+                        "couples results to the host; thread simulated "
+                        "time / explicit config through instead",
+                    )
+
+
+class _ChunkedUseVisitor(ast.NodeVisitor):
+    """Per-function tracker for R005 (see ChunkedViewDiscipline)."""
+
+    BANNED_ATTRS = ("times", "file_ids")
+
+    def __init__(self, path: Path, rule_id: str) -> None:
+        self.path = path
+        self.rule_id = rule_id
+        self.violations: List[Violation] = []
+
+    # -- entry point ---------------------------------------------------
+    def run(self, func: ast.AST) -> List[Violation]:
+        body = getattr(func, "body", [])
+        self._scan_block(body, set())
+        return self.violations
+
+    # -- helpers -------------------------------------------------------
+    @staticmethod
+    def _hasattr_guard(test: ast.expr) -> Optional[Tuple[str, str, bool]]:
+        """Decompose ``[not] hasattr(x, "attr")`` -> (x, attr, negated)."""
+        negated = False
+        node = test
+        if isinstance(node, ast.UnaryOp) and isinstance(node.op, ast.Not):
+            negated = True
+            node = node.operand
+        if (
+            isinstance(node, ast.Call)
+            and isinstance(node.func, ast.Name)
+            and node.func.id == "hasattr"
+            and len(node.args) == 2
+            and isinstance(node.args[0], ast.Name)
+            and isinstance(node.args[1], ast.Constant)
+            and isinstance(node.args[1].value, str)
+        ):
+            return node.args[0].id, node.args[1].value, negated
+        return None
+
+    def _flag_reads(self, node: ast.AST, chunked: Set[str]) -> None:
+        for sub in ast.walk(node):
+            if (
+                isinstance(sub, ast.Attribute)
+                and sub.attr in self.BANNED_ATTRS
+                and isinstance(sub.value, ast.Name)
+                and sub.value.id in chunked
+            ):
+                self.violations.append(
+                    Violation(
+                        self.path,
+                        sub.lineno,
+                        self.rule_id,
+                        f"`.{sub.attr}` read on `{sub.value.id}`, which "
+                        "this scope established is a chunked stream; "
+                        "consume it via iter_chunks() — chunked views "
+                        "deliberately hide dense arrays",
+                    )
+                )
+
+    def _track_assign(self, stmt: ast.stmt, chunked: Set[str]) -> None:
+        targets: List[ast.expr] = []
+        value: Optional[ast.expr] = None
+        if isinstance(stmt, ast.Assign):
+            targets, value = stmt.targets, stmt.value
+        elif isinstance(stmt, ast.AnnAssign) and stmt.value is not None:
+            targets, value = [stmt.target], stmt.value
+        if value is None:
+            return
+        is_chunked_value = (
+            isinstance(value, ast.Call)
+            and isinstance(value.func, ast.Attribute)
+            and value.func.attr in ("chunks", "iter_chunks")
+        )
+        for target in targets:
+            if not isinstance(target, ast.Name):
+                continue
+            if is_chunked_value:
+                chunked.add(target.id)
+            else:
+                # Rebinding a tracked name to something else clears it.
+                chunked.discard(target.id)
+
+    def _scan_block(self, body: List[ast.stmt], chunked: Set[str]) -> None:
+        for stmt in body:
+            if isinstance(stmt, ast.If):
+                guard = self._hasattr_guard(stmt.test)
+                self._flag_reads(stmt.test, chunked)
+                body_set = set(chunked)
+                else_set = set(chunked)
+                if guard is not None:
+                    var, attr, negated = guard
+                    if attr == "iter_chunks":
+                        (else_set if negated else body_set).add(var)
+                    elif attr in self.BANNED_ATTRS:
+                        # ``hasattr(x, "times")`` means dense in the body
+                        # and chunked in the orelse (and vice versa).
+                        (body_set if negated else else_set).add(var)
+                self._scan_block(stmt.body, body_set)
+                self._scan_block(stmt.orelse, else_set)
+            elif isinstance(stmt, (ast.Assign, ast.AnnAssign)):
+                self._flag_reads(stmt, chunked)
+                self._track_assign(stmt, chunked)
+            elif isinstance(
+                stmt, (ast.For, ast.While, ast.With, ast.Try)
+            ):
+                if isinstance(stmt, ast.While):
+                    self._flag_reads(stmt.test, chunked)
+                elif isinstance(stmt, ast.For):
+                    self._flag_reads(stmt.iter, chunked)
+                for sub_body in (
+                    getattr(stmt, "body", []),
+                    getattr(stmt, "orelse", []),
+                    getattr(stmt, "finalbody", []),
+                ):
+                    self._scan_block(sub_body, chunked)
+                for handler in getattr(stmt, "handlers", []):
+                    self._scan_block(handler.body, chunked)
+            elif isinstance(
+                stmt, (ast.FunctionDef, ast.AsyncFunctionDef, ast.ClassDef)
+            ):
+                # Nested scopes are visited independently by the rule.
+                continue
+            else:
+                self._flag_reads(stmt, chunked)
+
+
+class ChunkedViewDiscipline(FileRule):
+    """R005: no dense-array access on values known to be chunked streams.
+
+    ``ChunkedStreamView`` deliberately has no ``.times`` / ``.file_ids``
+    — an out-of-core stream cannot materialize them.  Engine code that
+    guards ``hasattr(stream, "iter_chunks")`` (or takes the
+    ``not hasattr(stream, "times")`` branch, or calls ``.chunks(...)``)
+    and *then* reaches for the dense arrays would only blow up on a
+    10^8-request run; this catches it at lint time.
+    """
+
+    rule_id = "R005"
+    name = "chunked-view-discipline"
+    summary = (
+        "no .times/.file_ids access on values guarded as chunked "
+        "streams in engine code"
+    )
+
+    SCOPE = ("src/repro/sim/", "src/repro/system/")
+
+    def applies(self, ctx: FileContext) -> bool:
+        return _in_tree(ctx.rel, self.SCOPE)
+
+    def check(self, ctx: FileContext) -> Iterator[Violation]:
+        for node in ast.walk(ctx.tree):
+            if isinstance(node, (ast.FunctionDef, ast.AsyncFunctionDef)):
+                visitor = _ChunkedUseVisitor(ctx.path, self.rule_id)
+                yield from visitor.run(node)
+
+
+class MergedPercentileGuard(FileRule):
+    """R006: merged ResponseStats percentiles are read only behind the marker.
+
+    ``ResponseStats.merge`` cannot merge P² estimators, so it returns
+    NaN percentiles and sets ``percentiles_lost``.  Experiment code that
+    reads ``.p50/.p95/.p99`` (or calls ``.percentile(...)``) off a value
+    it just merged, in a function that never consults
+    ``percentiles_lost``, is publishing NaNs.
+    """
+
+    rule_id = "R006"
+    name = "merged-percentile-guard"
+    summary = (
+        "p50/p95/p99 reads on ResponseStats.merge() results must check "
+        "percentiles_lost"
+    )
+
+    PERCENTILE_ATTRS = ("p50", "p95", "p99")
+
+    def applies(self, ctx: FileContext) -> bool:
+        return _in_tree(ctx.rel, ["src/repro"]) and not _in_tree(
+            ctx.rel,
+            ["src/repro/system/metrics.py", "src/repro/devtools/"],
+        )
+
+    def check(self, ctx: FileContext) -> Iterator[Violation]:
+        for func in ast.walk(ctx.tree):
+            if not isinstance(func, (ast.FunctionDef, ast.AsyncFunctionDef)):
+                continue
+            checks_marker = any(
+                isinstance(node, ast.Attribute)
+                and node.attr == "percentiles_lost"
+                for node in ast.walk(func)
+            )
+            if checks_marker:
+                continue
+            merged: Set[str] = set()
+            for node in ast.walk(func):
+                if (
+                    isinstance(node, ast.Assign)
+                    and isinstance(node.value, ast.Call)
+                    and isinstance(node.value.func, ast.Attribute)
+                    and node.value.func.attr == "merge"
+                ):
+                    chain = dotted_chain(node.value.func)
+                    # Only *Stats.merge(...) / stats-ish merges; a generic
+                    # dict merge should not trip the rule.
+                    if chain is not None and not any(
+                        "stats" in part.lower() or "Stats" in part
+                        for part in chain
+                    ):
+                        continue
+                    for target in node.targets:
+                        if isinstance(target, ast.Name):
+                            merged.add(target.id)
+            if not merged:
+                continue
+            for node in ast.walk(func):
+                if (
+                    isinstance(node, ast.Attribute)
+                    and isinstance(node.value, ast.Name)
+                    and node.value.id in merged
+                ):
+                    if node.attr in self.PERCENTILE_ATTRS or (
+                        node.attr == "percentile"
+                    ):
+                        yield Violation(
+                            ctx.path,
+                            node.lineno,
+                            self.rule_id,
+                            f"`.{node.attr}` read on merged ResponseStats "
+                            f"`{node.value.id}` without checking "
+                            "`percentiles_lost`; merged p50/p95/p99 are "
+                            "NaN by contract",
+                        )
+
+
+def default_file_rules() -> List[FileRule]:
+    return [
+        NoUnseededRng(),
+        NoWallclockOrEnvInSim(),
+        ChunkedViewDiscipline(),
+        MergedPercentileGuard(),
+    ]
+
+
+def default_project_rules() -> List[ProjectRule]:
+    return [
+        FingerprintSaltCompleteness(),
+        RegistryParityCoverage(),
+    ]

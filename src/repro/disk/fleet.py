@@ -23,6 +23,7 @@ from dataclasses import dataclass
 from typing import Dict, List, Optional, Sequence, Tuple, Union
 
 import numpy as np
+import numpy.typing as npt
 
 from repro.disk.dpm import DpmLadder, dpm_ladder_names, make_dpm_ladder
 from repro.disk.power import DiskState, PowerModel
@@ -144,7 +145,7 @@ class Fleet:
                 l if l is not None else make_dpm_ladder("two_state", sp)
                 for l, sp in zip(ladders, specs)
             ]
-        thresholds = []
+        thresholds: List[float] = []
         for slot, spec, lad in zip(slots, specs, ladders):
             if slot.threshold is not None:
                 th = slot.threshold
@@ -176,7 +177,9 @@ class ResolvedFleet:
     ) -> None:
         self.specs: Tuple[DiskSpec, ...] = tuple(specs)
         self.ladders: Tuple[Optional[DpmLadder], ...] = tuple(ladders)
-        self.thresholds = np.asarray(thresholds, dtype=float)
+        self.thresholds: npt.NDArray[np.float64] = np.asarray(
+            thresholds, dtype=float
+        )
         n = len(self.specs)
         if not (n == len(self.ladders) == self.thresholds.size):
             raise ConfigError("specs/ladders/thresholds lengths differ")
@@ -197,7 +200,7 @@ class ResolvedFleet:
             and len(set(self.thresholds.tolist())) == 1
         )
 
-    def _vec(self, attr: str) -> np.ndarray:
+    def _vec(self, attr: str) -> npt.NDArray[np.float64]:
         return np.array(
             [float(getattr(s, attr)) for s in self.specs], dtype=float
         )
@@ -208,57 +211,57 @@ class ResolvedFleet:
         return self.specs[0]
 
     @property
-    def capacities(self) -> np.ndarray:
+    def capacities(self) -> npt.NDArray[np.float64]:
         return self._vec("capacity")
 
     @property
-    def transfer_rates(self) -> np.ndarray:
+    def transfer_rates(self) -> npt.NDArray[np.float64]:
         return self._vec("transfer_rate")
 
     @property
-    def access_overheads(self) -> np.ndarray:
+    def access_overheads(self) -> npt.NDArray[np.float64]:
         return self._vec("access_overhead")
 
     @property
-    def spinup_times(self) -> np.ndarray:
+    def spinup_times(self) -> npt.NDArray[np.float64]:
         return self._vec("spinup_time")
 
     @property
-    def spindown_times(self) -> np.ndarray:
+    def spindown_times(self) -> npt.NDArray[np.float64]:
         return self._vec("spindown_time")
 
     @property
-    def idle_power(self) -> np.ndarray:
+    def idle_power(self) -> npt.NDArray[np.float64]:
         return self._vec("idle_power")
 
     @property
-    def standby_power(self) -> np.ndarray:
+    def standby_power(self) -> npt.NDArray[np.float64]:
         return self._vec("standby_power")
 
     @property
-    def active_power(self) -> np.ndarray:
+    def active_power(self) -> npt.NDArray[np.float64]:
         return self._vec("active_power")
 
     @property
-    def seek_power(self) -> np.ndarray:
+    def seek_power(self) -> npt.NDArray[np.float64]:
         return self._vec("seek_power")
 
     @property
-    def spinup_power(self) -> np.ndarray:
+    def spinup_power(self) -> npt.NDArray[np.float64]:
         return self._vec("spinup_power")
 
     @property
-    def spindown_power(self) -> np.ndarray:
+    def spindown_power(self) -> npt.NDArray[np.float64]:
         return self._vec("spindown_power")
 
     @property
-    def breakevens(self) -> np.ndarray:
+    def breakevens(self) -> npt.NDArray[np.float64]:
         """Per-disk break-even thresholds (the control policies' floor)."""
         return np.array(
             [s.breakeven_threshold() for s in self.specs], dtype=float
         )
 
-    def power_vector(self, state: DiskState) -> np.ndarray:
+    def power_vector(self, state: DiskState) -> npt.NDArray[np.float64]:
         """Per-disk draw (W) in one classic :class:`DiskState`."""
         return self._vec(
             {
@@ -271,7 +274,9 @@ class ResolvedFleet:
             }[state]
         )
 
-    def ladder_groups(self) -> List[Tuple[DpmLadder, np.ndarray]]:
+    def ladder_groups(
+        self,
+    ) -> List[Tuple[Optional[DpmLadder], npt.NDArray[np.intp]]]:
         """Disks grouped by identical ladder, in first-seen order.
 
         The fast kernel assembles ladder energy per group; a uniform
@@ -279,7 +284,7 @@ class ResolvedFleet:
         pre-fleet vectorized assembly (and its bit-exact summation
         order) intact.
         """
-        groups: List[Tuple[DpmLadder, List[int]]] = []
+        groups: List[Tuple[Optional[DpmLadder], List[int]]] = []
         for d, lad in enumerate(self.ladders):
             for known, members in groups:
                 if known == lad:

@@ -16,7 +16,7 @@ but the distinction matters for small-file workloads.
 
 from __future__ import annotations
 
-from typing import Iterable, Union
+from typing import Union
 
 import numpy as np
 

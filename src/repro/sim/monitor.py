@@ -8,7 +8,7 @@ from __future__ import annotations
 
 import math
 from bisect import insort
-from typing import Any, Dict, Hashable, List, Optional, Tuple
+from typing import Dict, Hashable, List, Optional, Tuple
 
 __all__ = ["StateTimeline", "Tally", "TimeWeighted"]
 

@@ -13,7 +13,7 @@ from collections import deque
 from heapq import heappop, heappush
 from itertools import count
 from math import inf
-from typing import Any, Optional
+from typing import Any
 
 from repro.errors import SimulationError
 from repro.sim.events import Event

@@ -292,9 +292,9 @@ class SimulationResult:
             if self.response_times.size:
                 return float(np.median(self.response_times))
             return _nan_no_completions()
-        if self.response_stats is not None and self.response_stats.count:
-            return self.response_stats.p50
-        return _nan_no_completions()
+        # Streaming mode: route through response_percentile so the
+        # percentiles_lost guard covers the median too.
+        return self.response_percentile(50.0)
 
     def response_percentile(self, q: float) -> float:
         """q-th percentile (0-100) of response time.
@@ -308,6 +308,21 @@ class SimulationResult:
             return float(np.percentile(self.response_times, q))
         if self.response_stats is None or not self.response_stats.count:
             return _nan_no_completions()
+        if self.response_stats.percentiles_lost:
+            # The merge already warned once; reading a percentile off the
+            # merged result is the moment a NaN would silently reach a
+            # table/plot, so say it again here (reprolint R006's runtime
+            # counterpart).
+            warnings.warn(
+                "this result's ResponseStats were merged across parts and "
+                "the P² percentile estimators could not be combined "
+                "(percentiles_lost=True): percentiles are NaN. Read "
+                "per-part percentiles before merging, or re-run with "
+                "metrics_mode='full'.",
+                RuntimeWarning,
+                stacklevel=3,
+            )
+            return math.nan
         value = self.response_stats.percentile(q)
         if value is None:
             warnings.warn(

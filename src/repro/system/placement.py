@@ -54,7 +54,7 @@ policies are covered by the cross-engine equivalence grid automatically).
 from __future__ import annotations
 
 from dataclasses import dataclass
-from typing import Callable, Dict, Optional, Tuple, Type, Union
+from typing import Dict, Optional, Tuple, Type, Union
 
 import numpy as np
 

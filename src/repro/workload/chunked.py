@@ -46,13 +46,28 @@ from __future__ import annotations
 
 import math
 from dataclasses import dataclass, replace
-from typing import Iterator, Optional, Tuple
+from typing import (
+    TYPE_CHECKING,
+    Any,
+    Callable,
+    Iterator,
+    Optional,
+    Protocol,
+    Sequence,
+    Tuple,
+    Union,
+)
 
 import numpy as np
+import numpy.typing as npt
 
 from repro.disk.drive import READ, WRITE
 from repro.errors import ConfigError
 from repro.workload.catalog import FileCatalog
+
+if TYPE_CHECKING:
+    from repro.workload.mixed import MixedWorkloadParams
+    from repro.workload.nersc import NerscTraceParams
 
 __all__ = [
     "ChunkedDiurnalStream",
@@ -67,6 +82,42 @@ __all__ = [
 #: Default number of requests per generated chunk.
 DEFAULT_CHUNK_SIZE = 262_144
 
+#: Anything `np.random.SeedSequence` accepts as entropy.  A ready
+#: `Generator` is rejected at runtime (see `_SeededStream`), so it appears
+#: here only to give that check a precise error message.
+SeedLike = Union[
+    None, int, Sequence[int], "np.random.SeedSequence", "np.random.Generator"
+]
+
+#: One per-request tuple the event-engine adapter yields:
+#: ``(time, file_id)`` or ``(time, file_id, kind)``.
+RequestTuple = Union[Tuple[float, int], Tuple[float, int, str]]
+
+
+class SupportsIterChunks(Protocol):
+    """The ChunkedStream protocol's structural core (see module docstring)."""
+
+    def iter_chunks(self) -> Iterator["StreamChunk"]: ...
+
+
+class ArrayBackedStream(Protocol):
+    """What :class:`ChunkedStreamView` needs from its parent stream."""
+
+    duration: float
+
+    @property
+    def times(self) -> Any: ...
+
+    @property
+    def file_ids(self) -> Any: ...
+
+    @property
+    def mean_rate(self) -> float: ...
+
+    def __len__(self) -> int: ...
+
+    def __iter__(self) -> Iterator[Any]: ...
+
 
 @dataclass
 class StreamChunk:
@@ -76,10 +127,10 @@ class StreamChunk:
     (the kernel resolves sizes through the catalog — see module docstring).
     """
 
-    times: np.ndarray
-    file_ids: np.ndarray
-    kinds: Optional[np.ndarray] = None
-    sizes: Optional[np.ndarray] = None
+    times: npt.NDArray[np.float64]
+    file_ids: npt.NDArray[np.int64]
+    kinds: Optional[npt.NDArray[Any]] = None
+    sizes: Optional[npt.NDArray[np.float64]] = None
 
     def __post_init__(self) -> None:
         self.times = np.asarray(self.times, dtype=float)
@@ -100,14 +151,14 @@ class StreamChunk:
     def __len__(self) -> int:
         return int(self.times.shape[0])
 
-    def with_sizes(self, catalog_sizes: np.ndarray) -> "StreamChunk":
+    def with_sizes(self, catalog_sizes: npt.ArrayLike) -> "StreamChunk":
         """Copy of the chunk with ``sizes`` filled from a catalog array."""
         return replace(
             self, sizes=np.asarray(catalog_sizes, dtype=float)[self.file_ids]
         )
 
 
-def _iter_requests(chunked) -> Iterator[Tuple]:
+def _iter_requests(chunked: SupportsIterChunks) -> Iterator[RequestTuple]:
     """Per-request tuples from a chunked stream (event-engine adapter)."""
     for chunk in chunked.iter_chunks():
         if chunk.kinds is None:
@@ -118,7 +169,7 @@ def _iter_requests(chunked) -> Iterator[Tuple]:
                 yield float(t), int(f), str(k)
 
 
-def _check_chunk_size(chunk_size: int) -> int:
+def _check_chunk_size(chunk_size: "int | np.integer[Any]") -> int:
     if not isinstance(chunk_size, (int, np.integer)) or chunk_size < 1:
         raise ConfigError(
             f"chunk_size must be a positive integer, got {chunk_size!r}"
@@ -129,7 +180,7 @@ def _check_chunk_size(chunk_size: int) -> int:
 class _SeededStream:
     """Shared re-seeding machinery for the windowed generators."""
 
-    def __init__(self, seed) -> None:
+    def __init__(self, seed: SeedLike) -> None:
         if isinstance(seed, np.random.Generator):
             raise ConfigError(
                 "chunked streams need a re-usable seed (int, SeedSequence or "
@@ -143,7 +194,7 @@ class _SeededStream:
     def _rng(self) -> np.random.Generator:
         return np.random.default_rng(np.random.SeedSequence(self._entropy))
 
-    def __iter__(self):
+    def __iter__(self) -> Iterator[RequestTuple]:
         return _iter_requests(self)
 
 
@@ -157,7 +208,7 @@ class ChunkedStreamView:
     apart from array-backed ones.
     """
 
-    def __init__(self, stream, chunk_size: int) -> None:
+    def __init__(self, stream: ArrayBackedStream, chunk_size: int) -> None:
         self.chunk_size = _check_chunk_size(chunk_size)
         self._stream = stream
         self.duration = float(stream.duration)
@@ -177,7 +228,7 @@ class ChunkedStreamView:
     def __len__(self) -> int:
         return len(self._stream)
 
-    def __iter__(self):
+    def __iter__(self) -> Iterator[Any]:
         return iter(self._stream)
 
     @property
@@ -197,11 +248,11 @@ class ChunkedPoissonStream(_SeededStream):
 
     def __init__(
         self,
-        popularities: np.ndarray,
+        popularities: npt.ArrayLike,
         rate: float,
         duration: float,
         chunk_size: int = DEFAULT_CHUNK_SIZE,
-        seed=None,
+        seed: SeedLike = None,
     ) -> None:
         super().__init__(seed)
         if rate < 0:
@@ -253,12 +304,12 @@ class ChunkedDiurnalStream(_SeededStream):
 
     def __init__(
         self,
-        popularities: np.ndarray,
-        rate_fn,
+        popularities: npt.ArrayLike,
+        rate_fn: Callable[[float], float],
         peak_rate: float,
         duration: float,
         chunk_size: int = DEFAULT_CHUNK_SIZE,
-        seed=None,
+        seed: SeedLike = None,
     ) -> None:
         super().__init__(seed)
         if peak_rate <= 0:
@@ -312,14 +363,14 @@ class ChunkedMixedStream(_SeededStream):
 
     def __init__(
         self,
-        popularities: np.ndarray,
+        popularities: npt.ArrayLike,
         other_rate: float,
         rewrite_prob: float,
-        new_times: np.ndarray,
+        new_times: npt.ArrayLike,
         first_new_id: int,
         duration: float,
         chunk_size: int = DEFAULT_CHUNK_SIZE,
-        seed=None,
+        seed: SeedLike = None,
     ) -> None:
         super().__init__(seed)
         self.chunk_size = _check_chunk_size(chunk_size)
@@ -376,7 +427,7 @@ class ChunkedMixedStream(_SeededStream):
 
 def generate_mixed_workload_chunked(
     catalog: FileCatalog,
-    params,
+    params: "MixedWorkloadParams",
     chunk_size: int = DEFAULT_CHUNK_SIZE,
 ) -> Tuple[FileCatalog, ChunkedMixedStream]:
     """Chunked analogue of
@@ -448,7 +499,7 @@ class ChunkedNerscStream(_SeededStream):
 
     def __init__(
         self,
-        params=None,
+        params: "Optional[NerscTraceParams]" = None,
         chunk_size: int = DEFAULT_CHUNK_SIZE,
     ) -> None:
         from repro.workload.nersc import (

@@ -14,7 +14,7 @@ these streams: epoch popularity estimates track the cycle.
 from __future__ import annotations
 
 import math
-from typing import Callable, Optional
+from typing import Callable
 
 import numpy as np
 

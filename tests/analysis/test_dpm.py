@@ -1,6 +1,5 @@
 """Tests for the multi-state DPM policy (paper §2's framework)."""
 
-import math
 
 import numpy as np
 import pytest

@@ -9,7 +9,6 @@ from repro.core import (
     best_fit,
     first_fit,
     first_fit_decreasing,
-    make_items,
     next_fit,
     random_allocation,
     round_robin_allocation,

@@ -1,0 +1,43 @@
+"""Fixtures for the reprolint test suite.
+
+The linter's file rules scope by project-relative path, and its project
+rules anchor on specific files (the salt manifest, the registries, the
+coverage corpus).  Tests therefore build throwaway *sandbox* project
+trees under ``tmp_path``: a ``pyproject.toml`` marker at the root plus
+fixture snippets copied to whatever relative path puts them in (or out
+of) a rule's scope.
+"""
+
+from __future__ import annotations
+
+from pathlib import Path
+
+import pytest
+
+FIXTURES = Path(__file__).parent / "fixtures"
+
+
+@pytest.fixture
+def sandbox(tmp_path):
+    """Build a sandbox project tree from (fixture_name, rel_dest) pairs.
+
+    Returns the sandbox root.  Each fixture file from ``fixtures/`` is
+    copied to its destination; ``(None, rel_dest, text)`` triples write
+    literal file contents instead.
+    """
+
+    def build(*placements):
+        (tmp_path / "pyproject.toml").write_text("", encoding="utf-8")
+        for placement in placements:
+            if len(placement) == 2:
+                fixture_name, rel = placement
+                text = (FIXTURES / fixture_name).read_text(encoding="utf-8")
+            else:
+                fixture_name, rel, text = placement
+                assert fixture_name is None
+            dest = tmp_path / rel
+            dest.parent.mkdir(parents=True, exist_ok=True)
+            dest.write_text(text, encoding="utf-8")
+        return tmp_path
+
+    return build

@@ -1,0 +1,16 @@
+"""R001 fixture: every form of global-state RNG the rule must catch."""
+
+import random
+import numpy as np
+import numpy.random as npr
+from random import choice
+
+
+def draw(n):
+    a = np.random.rand(n)          # numpy global state
+    np.random.seed(42)             # global reseed
+    npr.shuffle(a)                 # aliased numpy.random module
+    b = random.random()            # stdlib global RNG
+    c = choice([1, 2, 3])          # from-imported stdlib RNG
+    state = np.random              # the module object itself
+    return a, b, c, state

@@ -1,0 +1,9 @@
+"""R001 fixture: the sanctioned seeded-stream API only."""
+
+import numpy as np
+
+
+def draw(n, seed):
+    rng = np.random.default_rng(np.random.SeedSequence(seed))
+    child = np.random.Generator(np.random.PCG64(seed))
+    return rng.normal(size=n) + child.normal(size=n)

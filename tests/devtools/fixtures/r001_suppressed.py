@@ -1,0 +1,8 @@
+"""R001 fixture: inline suppression silences the finding on that line."""
+
+import numpy as np  # noqa
+
+
+def legacy_shim(n):
+    # Intentional: reproducing the pre-seeding behavior of an old script.
+    return np.random.rand(n)  # reprolint: disable=R001

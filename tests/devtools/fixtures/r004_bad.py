@@ -1,0 +1,17 @@
+"""R004 fixture: wall-clock and environment reads in simulation code."""
+
+import os
+import time
+from datetime import datetime
+from time import perf_counter
+
+
+def stamp():
+    a = time.time()
+    b = time.monotonic()
+    c = datetime.now()
+    d = datetime.utcnow()
+    e = os.environ.get("REPRO_KNOB")
+    f = os.getenv("REPRO_OTHER")
+    g = perf_counter()
+    return a, b, c, d, e, f, g

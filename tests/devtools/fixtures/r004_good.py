@@ -1,0 +1,21 @@
+"""R004 fixture: simulated time and benign os/time usage only."""
+
+import os.path
+import time
+
+
+def simulate(env, horizon):
+    # env.now is simulated time, not the host clock.
+    while env.now < horizon:
+        env.step()
+    return env.now
+
+
+def cache_path(base, name):
+    # os.path is pure path arithmetic, not an environment read.
+    return os.path.join(base, name)
+
+
+def nap(seconds):
+    # Sleeping (in a benchmark harness) is not *reading* the clock.
+    time.sleep(seconds)

@@ -1,0 +1,19 @@
+"""R005 fixture: dense-array reads on values known to be chunked."""
+
+
+def engine(stream):
+    if hasattr(stream, "iter_chunks"):
+        return stream.times  # chunked branch reaches for the dense array
+
+
+def engine_inverted(stream):
+    if not hasattr(stream, "times"):
+        return stream.file_ids  # the not-dense branch is the chunked one
+
+
+def from_chunks_call(stream):
+    view = stream.chunks(1024)
+    total = 0
+    for chunk in view.iter_chunks():
+        total += len(chunk)
+    return view.times  # view was created chunked two statements up

@@ -1,0 +1,25 @@
+"""R005 fixture: disciplined chunked/dense handling."""
+
+
+def engine(stream):
+    if hasattr(stream, "iter_chunks"):
+        total = 0.0
+        for chunk in stream.iter_chunks():
+            total += float(chunk.times.sum())  # chunk arrays are dense
+        return total
+    return float(stream.times.sum())  # dense branch may use .times
+
+
+def dense_guard(stream):
+    if hasattr(stream, "times"):
+        return stream.times  # guarded dense read
+
+
+def rebound(stream):
+    view = stream.chunks(1024)
+    view = materialize(view)  # rebinding clears the chunked tracking
+    return view.times
+
+
+def materialize(view):
+    return view

@@ -1,0 +1,13 @@
+"""R006 fixture: percentile reads off a merged ResponseStats, unguarded."""
+
+from repro.system.metrics import ResponseStats
+
+
+def epoch_summary(parts):
+    merged = ResponseStats.merge(parts)
+    return merged.p95  # NaN by contract after a lossy merge
+
+
+def epoch_percentile(parts):
+    merged = ResponseStats.merge(parts)
+    return merged.percentile(95.0)

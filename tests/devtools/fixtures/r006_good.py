@@ -1,0 +1,19 @@
+"""R006 fixture: guarded merged-percentile reads and non-stats merges."""
+
+import math
+
+from repro.system.metrics import ResponseStats
+
+
+def epoch_summary(parts):
+    merged = ResponseStats.merge(parts)
+    if merged.percentiles_lost:
+        return math.nan
+    return merged.p95
+
+
+def config_overlay(defaults, override):
+    # A generic dict-style merge is not a stats merge; .p95 here is a
+    # coincidence of naming and must not trip the rule.
+    cfg = defaults.merge(override)
+    return cfg.p95

@@ -1,0 +1,33 @@
+"""Shared helpers for the reprolint test suite (imported bare, like
+``tests/differential/diffgen.py`` — pytest puts this directory on the
+path when collecting the sibling test modules)."""
+
+from __future__ import annotations
+
+from pathlib import Path
+from typing import Iterable, List, Optional, Sequence, Set
+
+from repro.devtools.engine import Linter, Violation
+
+FIXTURES = Path(__file__).parent / "fixtures"
+
+#: The real repository root (the tree the meta-tests lint).
+REPO_ROOT = Path(__file__).resolve().parents[2]
+
+
+def run_lint(
+    root: Path,
+    targets: Optional[Sequence[Path]] = None,
+    select: Optional[Set[str]] = None,
+) -> List[Violation]:
+    """Run the linter and return its violations (sorted by the engine)."""
+    linter = Linter(Path(root))
+    if select is not None:
+        linter.select(select)
+    if targets is None:
+        targets = [Path(root) / "src"]
+    return linter.run([Path(t) for t in targets])
+
+
+def rule_ids(violations: Iterable[Violation]) -> List[str]:
+    return [v.rule_id for v in violations]

@@ -1,0 +1,130 @@
+"""Engine-level tests: suppressions, parse errors, selection, output."""
+
+from __future__ import annotations
+
+from pathlib import Path
+
+from repro.devtools.engine import (
+    PARSE_ERROR_ID,
+    Suppressions,
+    Violation,
+    dotted_chain,
+    maximal_attribute_chains,
+)
+from repro.devtools.lint import discover_root, list_rules, main
+
+from lintutils import rule_ids, run_lint
+
+
+class TestSuppressions:
+    def test_line_suppression(self):
+        sup = Suppressions.scan("x = 1  # reprolint: disable=R001\n")
+        assert sup.active("R001", 1)
+        assert not sup.active("R001", 2)
+        assert not sup.active("R002", 1)
+
+    def test_multiple_rules_comma_separated(self):
+        sup = Suppressions.scan("x = 1  # reprolint: disable=R001, R004\n")
+        assert sup.active("R001", 1)
+        assert sup.active("R004", 1)
+
+    def test_file_suppression_applies_everywhere(self):
+        sup = Suppressions.scan("# reprolint: disable-file=R005\nx = 1\n")
+        assert sup.active("R005", 1)
+        assert sup.active("R005", 99)
+
+    def test_marker_inside_string_is_not_a_suppression(self):
+        sup = Suppressions.scan('x = "# reprolint: disable=R001"\n')
+        assert not sup.active("R001", 1)
+
+
+class TestAstHelpers:
+    def test_dotted_chain(self):
+        import ast
+
+        expr = ast.parse("a.b.c").body[0].value
+        assert dotted_chain(expr) == ["a", "b", "c"]
+        call = ast.parse("f().b").body[0].value
+        assert dotted_chain(call) is None
+
+    def test_maximal_chains_skip_inner_nodes(self):
+        import ast
+
+        tree = ast.parse("np.random.default_rng(0)")
+        chains = [c for _, c in maximal_attribute_chains(tree)]
+        assert ["np", "random", "default_rng"] in chains
+        assert ["np", "random"] not in chains
+
+
+class TestEngine:
+    def test_syntax_error_becomes_e999(self, sandbox):
+        root = sandbox((None, "src/repro/broken.py", "def f(:\n"))
+        found = run_lint(root)
+        assert rule_ids(found) == [PARSE_ERROR_ID]
+
+    def test_select_restricts_rules(self, sandbox):
+        root = sandbox(
+            ("r001_bad.py", "src/repro/workload/mod.py"),
+        )
+        everything = run_lint(root)
+        only_r001 = run_lint(root, select={"R001"})
+        assert set(rule_ids(only_r001)) == {"R001"}
+        assert len(only_r001) <= len(everything)
+
+    def test_violation_render_is_path_line_rule(self):
+        v = Violation(Path("/x/y.py"), 3, "R001", "msg")
+        assert v.render() == "/x/y.py:3: R001 msg"
+        assert v.render(base=Path("/x")) == "y.py:3: R001 msg"
+
+    def test_suppressed_fixture_is_clean(self, sandbox):
+        root = sandbox(("r001_suppressed.py", "src/repro/workload/mod.py"))
+        assert run_lint(root) == []
+
+    def test_out_of_scope_paths_are_ignored(self, sandbox):
+        # The same bad RNG outside src/repro is none of R001's business.
+        root = sandbox(("r001_bad.py", "scripts/mod.py"))
+        assert run_lint(root, targets=[root / "scripts"]) == []
+
+
+class TestCli:
+    def test_exit_zero_on_clean_tree(self, sandbox, capsys):
+        root = sandbox(("r001_good.py", "src/repro/workload/mod.py"))
+        assert main([str(root / "src"), "--root", str(root)]) == 0
+
+    def test_exit_one_and_structured_output_on_findings(self, sandbox, capsys):
+        root = sandbox(("r001_bad.py", "src/repro/workload/mod.py"))
+        code = main([str(root / "src"), "--root", str(root)])
+        out = capsys.readouterr().out
+        assert code == 1
+        assert "R001" in out
+        # path:line: RULE-ID message
+        first = out.splitlines()[0]
+        path_part, line_part, rest = first.split(":", 2)
+        assert path_part.endswith("mod.py")
+        assert line_part.isdigit()
+        assert rest.strip().startswith("R001")
+
+    def test_list_rules_covers_catalog(self, capsys):
+        assert main(["--list-rules"]) == 0
+        out = capsys.readouterr().out
+        for rid in ("R001", "R002", "R003", "R004", "R005", "R006"):
+            assert rid in out
+        assert list_rules() == out.strip()
+
+    def test_select_flag(self, sandbox, capsys):
+        root = sandbox(
+            ("r001_bad.py", "src/repro/workload/mod.py"),
+            ("r004_bad.py", "src/repro/sim/mod.py"),
+        )
+        code = main(
+            [str(root / "src"), "--root", str(root), "--select", "R004"]
+        )
+        out = capsys.readouterr().out
+        assert code == 1
+        assert "R004" in out
+        assert "R001" not in out
+
+    def test_discover_root_walks_to_pyproject(self, sandbox):
+        root = sandbox(("r001_good.py", "src/repro/workload/mod.py"))
+        nested = root / "src" / "repro" / "workload" / "mod.py"
+        assert discover_root(nested) == root

@@ -1,0 +1,72 @@
+"""Meta-tests: the shipped tree itself passes the full check suite.
+
+``reprolint`` always runs (it is part of this repo).  The conventional
+checkers (ruff, mypy) run when installed and skip otherwise — the CI
+lint job installs both, so they are enforced on every push even though
+minimal local environments may lack them.
+"""
+
+from __future__ import annotations
+
+import importlib.util
+import os
+import subprocess
+import sys
+
+import pytest
+
+from lintutils import REPO_ROOT, run_lint
+
+
+def _env_with_src():
+    env = dict(os.environ)
+    src = str(REPO_ROOT / "src")
+    existing = env.get("PYTHONPATH")
+    env["PYTHONPATH"] = src if not existing else src + os.pathsep + existing
+    return env
+
+
+def test_reprolint_clean_on_src(capsys):
+    """Acceptance criterion: `python -m repro.devtools.lint src/repro`
+    exits 0 on the final tree."""
+    found = run_lint(REPO_ROOT, targets=[REPO_ROOT / "src" / "repro"])
+    assert [v.render(base=REPO_ROOT) for v in found] == []
+
+
+def test_reprolint_cli_clean_on_src():
+    """Same check through the real CLI entry point (module spawn)."""
+    proc = subprocess.run(
+        [sys.executable, "-m", "repro.devtools.lint", "src/repro"],
+        cwd=REPO_ROOT,
+        env=_env_with_src(),
+        capture_output=True,
+        text=True,
+    )
+    assert proc.returncode == 0, proc.stdout + proc.stderr
+
+
+def _has(module):
+    return importlib.util.find_spec(module) is not None
+
+
+@pytest.mark.skipif(not _has("ruff"), reason="ruff not installed")
+def test_ruff_clean():
+    proc = subprocess.run(
+        [sys.executable, "-m", "ruff", "check", "src", "tests", "benchmarks"],
+        cwd=REPO_ROOT,
+        capture_output=True,
+        text=True,
+    )
+    assert proc.returncode == 0, proc.stdout + proc.stderr
+
+
+@pytest.mark.skipif(not _has("mypy"), reason="mypy not installed")
+def test_mypy_strict_set_clean():
+    # The module set lives in pyproject.toml ([tool.mypy] files=...).
+    proc = subprocess.run(
+        [sys.executable, "-m", "mypy"],
+        cwd=REPO_ROOT,
+        capture_output=True,
+        text=True,
+    )
+    assert proc.returncode == 0, proc.stdout + proc.stderr

@@ -1,0 +1,97 @@
+"""Good/bad fixture pairs for the file-scoped rules (R001/R004/R005/R006).
+
+Each bad fixture must make its rule fire (the acceptance criterion: every
+rule has at least one failing fixture proving it catches its bug class);
+each good fixture must stay silent under the *full* default rule set, so
+the rules do not flag idiomatic code.
+"""
+
+from __future__ import annotations
+
+import pytest
+
+from lintutils import rule_ids, run_lint
+
+#: (bad fixture, destination inside the sandbox, rule, minimum findings)
+BAD_CASES = [
+    ("r001_bad.py", "src/repro/workload/mod.py", "R001", 6),
+    ("r004_bad.py", "src/repro/sim/mod.py", "R004", 7),
+    ("r005_bad.py", "src/repro/sim/mod.py", "R005", 3),
+    ("r006_bad.py", "src/repro/experiments/mod.py", "R006", 2),
+]
+
+GOOD_CASES = [
+    ("r001_good.py", "src/repro/workload/mod.py"),
+    ("r004_good.py", "src/repro/sim/mod.py"),
+    ("r005_good.py", "src/repro/sim/mod.py"),
+    ("r006_good.py", "src/repro/experiments/mod.py"),
+]
+
+
+@pytest.mark.parametrize("fixture, dest, rule, min_findings", BAD_CASES)
+def test_bad_fixture_fires(sandbox, fixture, dest, rule, min_findings):
+    root = sandbox((fixture, dest))
+    found = run_lint(root, select={rule})
+    assert len(found) >= min_findings, [v.render() for v in found]
+    assert set(rule_ids(found)) == {rule}
+    # Line numbers are 1-based and point into the fixture.
+    n_lines = (root / dest).read_text().count("\n") + 1
+    assert all(1 <= v.line <= n_lines for v in found)
+
+
+@pytest.mark.parametrize("fixture, dest", GOOD_CASES)
+def test_good_fixture_is_silent(sandbox, fixture, dest):
+    root = sandbox((fixture, dest))
+    assert [v.render() for v in run_lint(root)] == []
+
+
+class TestScoping:
+    def test_r001_exempts_the_rng_wrapper(self, sandbox):
+        # repro.sim.rng is the sanctioned wrapper: the same constructs
+        # that fire elsewhere are allowed there.
+        root = sandbox(("r001_bad.py", "src/repro/sim/rng.py"))
+        assert run_lint(root, select={"R001"}) == []
+
+    def test_r004_only_watches_simulation_trees(self, sandbox):
+        # Benchmarks and experiments *should* time things.
+        root = sandbox(("r004_bad.py", "src/repro/experiments/mod.py"))
+        assert run_lint(root, select={"R004"}) == []
+
+    def test_r005_only_watches_engine_code(self, sandbox):
+        root = sandbox(("r005_bad.py", "src/repro/workload/mod.py"))
+        assert run_lint(root, select={"R005"}) == []
+
+    def test_r006_exempts_the_metrics_module(self, sandbox):
+        # metrics.py itself implements merge(); it must be free to touch
+        # its own fields.
+        root = sandbox(("r006_bad.py", "src/repro/system/metrics.py"))
+        assert run_lint(root, select={"R006"}) == []
+
+
+class TestR001Details:
+    def test_seeded_constructor_api_is_allowed(self, sandbox):
+        src = (
+            "import numpy as np\n"
+            "rng = np.random.default_rng(7)\n"
+            "seq = np.random.SeedSequence(7)\n"
+            "gen = np.random.Generator(np.random.PCG64DXSM(seq))\n"
+        )
+        root = sandbox((None, "src/repro/workload/mod.py", src))
+        assert run_lint(root, select={"R001"}) == []
+
+    def test_aliased_numpy_import_is_caught(self, sandbox):
+        src = "import numpy\nx = numpy.random.rand(3)\n"
+        root = sandbox((None, "src/repro/workload/mod.py", src))
+        assert rule_ids(run_lint(root, select={"R001"})) == ["R001"]
+
+
+class TestR004Details:
+    def test_aliased_time_import_is_caught(self, sandbox):
+        src = "import time as t\nnow = t.time()\n"
+        root = sandbox((None, "src/repro/sim/mod.py", src))
+        assert rule_ids(run_lint(root, select={"R004"})) == ["R004"]
+
+    def test_datetime_class_now_is_caught(self, sandbox):
+        src = "import datetime\nnow = datetime.datetime.now()\n"
+        root = sandbox((None, "src/repro/disk/mod.py", src))
+        assert rule_ids(run_lint(root, select={"R004"})) == ["R004"]

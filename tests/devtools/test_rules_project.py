@@ -1,0 +1,192 @@
+"""Project-rule tests: R002 (salt manifest) and R003 (registry parity).
+
+The R002 cases include the acceptance criterion's mutation-style test:
+copy the *real* ``StorageConfig`` + salt manifest into a sandbox, graft a
+fake config field onto the class, and prove the linter catches the
+unsalted field.
+"""
+
+from __future__ import annotations
+
+import ast
+import json
+
+import pytest
+
+from lintutils import REPO_ROOT, rule_ids, run_lint
+
+CONFIG_REL = "src/repro/system/config.py"
+MANIFEST_REL = "src/repro/devtools/salt_manifest.json"
+ORCH_REL = "src/repro/experiments/orchestrator.py"
+
+
+def _real(rel):
+    return (REPO_ROOT / rel).read_text(encoding="utf-8")
+
+
+def _with_fake_field(config_src, field_line="totally_new_knob: float = 0.0"):
+    """Insert an (unsalted) field after StorageConfig's last field."""
+    tree = ast.parse(config_src)
+    last_end = None
+    for node in ast.walk(tree):
+        if isinstance(node, ast.ClassDef) and node.name == "StorageConfig":
+            ann = [s for s in node.body if isinstance(s, ast.AnnAssign)]
+            assert ann, "StorageConfig has no annotated fields?"
+            last_end = max(s.end_lineno for s in ann)
+    assert last_end is not None, "StorageConfig not found"
+    lines = config_src.splitlines(keepends=True)
+    lines.insert(last_end, f"    {field_line}\n")
+    return "".join(lines)
+
+
+def _real_project(sandbox):
+    return sandbox(
+        (None, CONFIG_REL, _real(CONFIG_REL)),
+        (None, MANIFEST_REL, _real(MANIFEST_REL)),
+        (None, ORCH_REL, _real(ORCH_REL)),
+    )
+
+
+class TestR002:
+    def test_real_config_and_manifest_agree(self, sandbox):
+        root = _real_project(sandbox)
+        assert run_lint(root, select={"R002"}) == []
+
+    def test_mutation_fake_field_is_caught(self, sandbox):
+        """Acceptance criterion: adding a StorageConfig field without
+        updating the manifest is a lint error."""
+        root = _real_project(sandbox)
+        mutated = _with_fake_field(_real(CONFIG_REL))
+        (root / CONFIG_REL).write_text(mutated, encoding="utf-8")
+        found = run_lint(root, select={"R002"})
+        assert rule_ids(found) == ["R002"]
+        assert "totally_new_knob" in found[0].message
+        assert "RESULT_SCHEMA_VERSION" in found[0].message
+        assert found[0].path == (root / CONFIG_REL).resolve()
+
+    def test_stale_manifest_entry_is_caught(self, sandbox):
+        root = _real_project(sandbox)
+        manifest = json.loads(_real(MANIFEST_REL))
+        manifest["fields"].append("ghost_field")
+        (root / MANIFEST_REL).write_text(json.dumps(manifest))
+        found = run_lint(root, select={"R002"})
+        assert rule_ids(found) == ["R002"]
+        assert "ghost_field" in found[0].message
+
+    def test_schema_version_mismatch_is_caught(self, sandbox):
+        root = _real_project(sandbox)
+        manifest = json.loads(_real(MANIFEST_REL))
+        manifest["schema_version"] = manifest["schema_version"] - 1
+        (root / MANIFEST_REL).write_text(json.dumps(manifest))
+        found = run_lint(root, select={"R002"})
+        assert rule_ids(found) == ["R002"]
+        assert "RESULT_SCHEMA_VERSION" in found[0].message
+
+    def test_invalid_manifest_json_is_one_finding(self, sandbox):
+        root = _real_project(sandbox)
+        (root / MANIFEST_REL).write_text("{not json")
+        found = run_lint(root, select={"R002"})
+        assert rule_ids(found) == ["R002"]
+        assert "JSON" in found[0].message
+
+    def test_sandbox_without_anchors_skips(self, sandbox):
+        root = sandbox((None, "src/repro/mod.py", "x = 1\n"))
+        assert run_lint(root, select={"R002"}) == []
+
+
+_PLACEMENT_SRC = '''\
+def register_placement(cls):
+    return cls
+
+
+@register_placement
+class Covered:
+    name = "covered_policy"
+
+
+@register_placement
+class Uncovered:
+    name = "uncovered_policy"
+'''
+
+_DPM_SRC = '''\
+DPM_LADDERS = {
+    "two_state": object(),
+    "ghost_ladder": object(),
+}
+
+
+def dpm_ladder_names():
+    return tuple(DPM_LADDERS)
+'''
+
+
+class TestR003:
+    def test_uncovered_registry_entries_fire(self, sandbox):
+        root = sandbox(
+            (None, "src/repro/system/placement.py", _PLACEMENT_SRC),
+            (
+                None,
+                "tests/differential/test_grid.py",
+                'GRID = ["covered_policy"]\n',
+            ),
+        )
+        found = run_lint(root, select={"R003"})
+        assert rule_ids(found) == ["R003"]
+        assert "uncovered_policy" in found[0].message
+
+    def test_iterator_reference_covers_whole_registry(self, sandbox):
+        root = sandbox(
+            (None, "src/repro/system/placement.py", _PLACEMENT_SRC),
+            (
+                None,
+                "tests/differential/test_grid.py",
+                "from repro.system.placement import placement_policy_names\n"
+                "GRID = list(placement_policy_names())\n",
+            ),
+        )
+        assert run_lint(root, select={"R003"}) == []
+
+    def test_dict_registry_entries_fire(self, sandbox):
+        root = sandbox(
+            (None, "src/repro/disk/dpm.py", _DPM_SRC),
+            (
+                None,
+                "tests/differential/test_grid.py",
+                'LADDERS = ["two_state"]\n',
+            ),
+        )
+        found = run_lint(root, select={"R003"})
+        assert rule_ids(found) == ["R003"]
+        assert "ghost_ladder" in found[0].message
+
+    def test_no_registries_skips(self, sandbox):
+        root = sandbox((None, "src/repro/mod.py", "x = 1\n"))
+        assert run_lint(root, select={"R003"}) == []
+
+    def test_real_repo_registries_are_covered(self):
+        found = run_lint(REPO_ROOT, targets=[], select={"R003"})
+        assert [v.render() for v in found] == []
+
+
+class TestRealRepoSaltManifest:
+    def test_real_repo_manifest_is_blessed(self):
+        found = run_lint(REPO_ROOT, targets=[], select={"R002"})
+        assert [v.render() for v in found] == []
+
+    def test_manifest_matches_live_dataclass(self):
+        """The manifest agrees with the *imported* StorageConfig too (the
+        AST view and the runtime view cannot drift apart)."""
+        import dataclasses
+
+        from repro.system.config import StorageConfig
+
+        manifest = json.loads(_real(MANIFEST_REL))
+        live = [f.name for f in dataclasses.fields(StorageConfig)]
+        assert sorted(manifest["fields"]) == sorted(live)
+
+    def test_manifest_pins_current_schema_version(self):
+        from repro.experiments import orchestrator
+
+        manifest = json.loads(_real(MANIFEST_REL))
+        assert manifest["schema_version"] == orchestrator.RESULT_SCHEMA_VERSION

@@ -3,7 +3,7 @@
 import numpy as np
 import pytest
 
-from repro.disk.dpm import DPM_LADDERS, make_dpm_ladder
+from repro.disk.dpm import make_dpm_ladder
 from repro.disk.fleet import (
     FLEETS,
     Fleet,

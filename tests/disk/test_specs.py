@@ -2,7 +2,6 @@
 
 import pytest
 
-from repro.disk import DiskSpec, ST3500630AS
 from repro.errors import ConfigError
 from repro.units import GB, MB
 

@@ -13,7 +13,7 @@ import pytest
 from hypothesis import given, settings
 from hypothesis import strategies as st
 
-from repro.disk import DiskDrive, DiskState, ST3500630AS
+from repro.disk import DiskDrive, ST3500630AS
 from repro.disk.power import PowerModel
 from repro.sim import AllOf, AnyOf, Environment, Interrupt
 from repro.units import MB

@@ -1,0 +1,103 @@
+"""The merged-percentile guard (reprolint R006's runtime counterpart).
+
+``ResponseStats.merge`` cannot combine P² estimators, so merged
+percentiles are NaN and the result carries ``percentiles_lost=True``.
+These tests pin the guard rails around that contract: experiment code
+cannot read ``p95_response`` (or any percentile) off a merged-stats
+result without a loud warning, while unmerged streaming results stay
+silent.
+"""
+
+from __future__ import annotations
+
+import math
+import warnings
+
+import numpy as np
+import pytest
+
+from repro.system.metrics import ResponseAccumulator, ResponseStats, SimulationResult
+
+
+def _stats(values):
+    acc = ResponseAccumulator()
+    acc.add(np.asarray(values, dtype=float))
+    return acc.result()
+
+
+def _result_with(stats):
+    return SimulationResult(
+        algorithm="test",
+        duration=100.0,
+        num_disks=1,
+        energy=1.0,
+        energy_per_disk=np.array([1.0]),
+        state_durations={},
+        response_times=None,
+        arrivals=stats.count,
+        completions=stats.count,
+        spinups=0,
+        spindowns=0,
+        always_on_energy=2.0,
+        response_stats=stats,
+    )
+
+
+@pytest.fixture
+def merged():
+    with warnings.catch_warnings():
+        warnings.simplefilter("ignore", RuntimeWarning)
+        return ResponseStats.merge(
+            [_stats([1.0, 2.0, 3.0]), _stats([4.0, 5.0, 6.0])]
+        )
+
+
+class TestMergeContract:
+    def test_merge_warns_once_per_chain(self):
+        parts = [_stats([1.0, 2.0]), _stats([3.0, 4.0])]
+        with pytest.warns(RuntimeWarning, match="cannot combine"):
+            merged = ResponseStats.merge(parts)
+        # Re-merging an already-lossy result stays silent (the chain
+        # already warned) but keeps the marker.
+        with warnings.catch_warnings():
+            warnings.simplefilter("error")
+            again = ResponseStats.merge([merged, _stats([5.0])])
+        assert again.percentiles_lost
+
+    def test_merged_percentiles_are_nan_and_marked(self, merged):
+        assert merged.percentiles_lost
+        assert math.isnan(merged.p95)
+        assert merged.count == 6
+        assert merged.min == 1.0 and merged.max == 6.0
+
+    def test_exact_fields_still_merge(self, merged):
+        assert merged.total == pytest.approx(21.0)
+        assert merged.mean == pytest.approx(3.5)
+
+
+class TestSimulationResultGuard:
+    def test_p95_read_off_merged_stats_warns(self, merged):
+        result = _result_with(merged)
+        with pytest.warns(RuntimeWarning, match="percentiles_lost"):
+            value = result.p95_response
+        assert math.isnan(value)
+
+    def test_median_read_off_merged_stats_warns(self, merged):
+        result = _result_with(merged)
+        with pytest.warns(RuntimeWarning, match="percentiles_lost"):
+            value = result.median_response
+        assert math.isnan(value)
+
+    def test_mean_stays_exact_and_silent(self, merged):
+        result = _result_with(merged)
+        with warnings.catch_warnings():
+            warnings.simplefilter("error")
+            assert result.mean_response == pytest.approx(3.5)
+
+    def test_unmerged_streaming_result_is_silent(self):
+        result = _result_with(_stats([1.0, 2.0, 3.0, 4.0, 5.0]))
+        with warnings.catch_warnings():
+            warnings.simplefilter("error")
+            # A P² estimate, not the exact percentile — the guard cares
+            # only that the read is finite and silent.
+            assert math.isfinite(result.p95_response)

@@ -5,8 +5,6 @@ import pytest
 
 from repro.errors import TraceFormatError
 from repro.workload import Trace, load_trace_csv, save_trace_csv
-from repro.workload.arrivals import RequestStream
-from repro.workload.catalog import FileCatalog
 
 
 def tiny_trace():
