@@ -29,6 +29,14 @@ at equal p95.  The ``hetero-fleet`` experiment (fleet mix x placement x
 DPM policy over heterogeneous pools — see ``repro.disk.fleet``) accepts
 ``--fleet NAME`` (``uniform`` or a preset like ``mixed_generation``) to
 restrict its fleet axis.
+
+Observability (see the README's "Observability" section): ``--verbose``
+prints a one-line summary per sweep, ``--profile`` a per-task wall-time
+and worker-occupancy report, ``--trace-out PATH`` exports the sweeps'
+task profiles as Chrome trace-event JSON (Perfetto-loadable) and
+``--metrics-out PATH`` the per-run sweep stats as JSON; with a sweep
+cache enabled each grid also writes a JSON run manifest under
+``<cache>/manifests/``.
 """
 
 from __future__ import annotations
@@ -113,6 +121,7 @@ def _cmd_run(args: argparse.Namespace) -> int:
         or args.engine is not None
         or args.sweep_cache is not None
         or args.chunk_size is not None
+        or args.verbose
     ):
         from repro.experiments import orchestrator
 
@@ -125,6 +134,7 @@ def _cmd_run(args: argparse.Namespace) -> int:
             max_workers=args.workers,
             engine=args.engine,
             chunk_size=args.chunk_size,
+            verbose=args.verbose,
             **kwargs,
         )
     names = list(registry) if args.experiment == "all" else [args.experiment]
@@ -170,6 +180,16 @@ def _cmd_run(args: argparse.Namespace) -> int:
         if args.csv_dir:
             for path in result.save_csv(args.csv_dir):
                 print(f"wrote {path}")
+    if args.profile or args.trace_out or args.metrics_out:
+        from repro.experiments import orchestrator
+
+        runner = orchestrator.default_runner()
+        if args.profile:
+            print(runner.profile_report())
+        if args.trace_out:
+            print(f"wrote {runner.write_trace(args.trace_out)}")
+        if args.metrics_out:
+            print(f"wrote {runner.write_metrics(args.metrics_out)}")
     return 0
 
 
@@ -289,6 +309,39 @@ def build_parser() -> argparse.ArgumentParser:
             "directory for cross-session sweep result caching, or 'off' to "
             "disable (default: REPRO_SWEEP_CACHE or ~/.cache/repro/sweeps)"
         ),
+    )
+    run.add_argument(
+        "--verbose",
+        action="store_true",
+        help=(
+            "print a one-line summary per sweep "
+            "(executed/cached/deduplicated/elapsed)"
+        ),
+    )
+    run.add_argument(
+        "--profile",
+        action="store_true",
+        help=(
+            "after the run, print per-task wall times and worker "
+            "occupancy for every sweep"
+        ),
+    )
+    run.add_argument(
+        "--trace-out",
+        type=str,
+        default=None,
+        metavar="PATH",
+        help=(
+            "export the sweeps' task profiles as a Chrome trace-event "
+            "JSON (load in Perfetto / chrome://tracing)"
+        ),
+    )
+    run.add_argument(
+        "--metrics-out",
+        type=str,
+        default=None,
+        metavar="PATH",
+        help="export the sweeps' stats (per run + totals) as JSON",
     )
     run.set_defaults(func=_cmd_run)
     return parser

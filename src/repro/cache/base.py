@@ -4,7 +4,7 @@ from __future__ import annotations
 
 from abc import ABC, abstractmethod
 from dataclasses import dataclass
-from typing import Dict
+from typing import Callable, Dict, Optional
 
 from repro.errors import ConfigError
 
@@ -60,6 +60,10 @@ class BaseCache(ABC):
         self.used = 0.0
         self._sizes: Dict[int, float] = {}
         self.stats = CacheStats()
+        # Optional observability callback (``repro.obs``): called with the
+        # victim's file id on every eviction.  Purely passive — engines
+        # install it only when a run carries an enabled observer.
+        self.evict_hook: Optional[Callable[[int], None]] = None
 
     def __len__(self) -> int:
         return len(self._sizes)
@@ -117,6 +121,8 @@ class BaseCache(ABC):
             self.used = 0.0
         self.stats.evictions += 1
         self._on_evict(file_id)
+        if self.evict_hook is not None:
+            self.evict_hook(file_id)
 
     # -- policy hooks ------------------------------------------------------------
 

@@ -298,12 +298,17 @@ class EventControlLoop:
     drives (before any simulation event has run).
     """
 
-    def __init__(self, env, drives, dispatcher, controller, horizon):
+    def __init__(self, env, drives, dispatcher, controller, horizon,
+                 observer=None):
         self.env = env
         self.drives = list(drives)
         self.dispatcher = dispatcher
         self.controller = controller
         self.horizon = float(horizon)
+        # Optional repro.obs observer: receives each applied threshold
+        # vector at its boundary instant (same emission points as the
+        # fast kernel's controlled driver).
+        self.observer = observer
         self._consumed_responses = 0
         self._consumed_gaps = [0] * len(self.drives)
         self._last_energy = np.array(
@@ -345,6 +350,8 @@ class EventControlLoop:
             thresholds = self.controller.advance(
                 self._t_start, t_next, *self._collect(t_next)
             )
+            if self.observer is not None:
+                self.observer.on_thresholds(t_next, thresholds)
             for drive, th in zip(self.drives, thresholds):
                 drive.threshold = float(th)
             self._t_start = t_next

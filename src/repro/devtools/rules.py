@@ -1,12 +1,15 @@
-"""The ``reprolint`` rule catalog (R001–R006).
+"""The ``reprolint`` rule catalog (R001–R007).
 
 Each rule encodes a contract this repo has already been burned by (see
 the module docstring of :mod:`repro.devtools`): determinism (R001,
 R004), fingerprint salting (R002), cross-engine parity (R003),
-chunked-view discipline (R005), and merged-percentile hygiene (R006).
+chunked-view discipline (R005), merged-percentile hygiene (R006), and
+observer-protocol discipline (R007).
 
 Rules are AST-only — nothing here imports simulator modules, so the
 linter runs on trees that do not import (sandboxes, broken branches).
+The one import beyond the engine is :mod:`repro.obs.hooks` (R007's
+protocol vocabulary), which is dependency-free by design.
 """
 
 from __future__ import annotations
@@ -24,6 +27,7 @@ from repro.devtools.engine import (
     dotted_chain,
     maximal_attribute_chains,
 )
+from repro.obs.hooks import RunObserver
 
 __all__ = [
     "NoUnseededRng",
@@ -32,6 +36,7 @@ __all__ = [
     "NoWallclockOrEnvInSim",
     "ChunkedViewDiscipline",
     "MergedPercentileGuard",
+    "ObserverProtocolDiscipline",
     "default_file_rules",
     "default_project_rules",
 ]
@@ -774,12 +779,150 @@ class MergedPercentileGuard(FileRule):
                         )
 
 
+class ObserverProtocolDiscipline(FileRule):
+    """R007: sim-tree observability goes through ``repro.obs.hooks``.
+
+    The simulation trees report what happened through exactly one
+    channel: a :class:`~repro.obs.hooks.RunObserver` carrying *simulated*
+    timestamps.  Three drift modes are caught here:
+
+    * a ``print(...)`` call or a ``logging`` import in simulation code —
+      ad-hoc console output bypasses the observer (and tempts wall-clock
+      timestamps, which R004 bans for sim/disk/system and this rule's
+      ``time`` check extends to control/cache);
+    * an ``obs.on_*``/``observer.on_*`` call whose method is not part of
+      the :class:`RunObserver` protocol — an emission the default no-op
+      observer would crash on and the trace exporter would never see
+      (the vocabulary is read off the class, so extending the protocol
+      in ``hooks.py`` updates the rule automatically);
+    * a wall-clock read (``time.time`` etc.) in the control/cache trees,
+      which sit outside R004's scope but feed observer timestamps.
+    """
+
+    rule_id = "R007"
+    name = "observer-protocol-discipline"
+    summary = (
+        "sim-tree observability must flow through repro.obs.hooks "
+        "(no print/logging, no off-protocol on_* emissions, no "
+        "wallclock timestamps)"
+    )
+
+    SCOPE = (
+        "src/repro/sim/",
+        "src/repro/disk/",
+        "src/repro/system/",
+        "src/repro/control/",
+        "src/repro/cache/",
+    )
+
+    #: Trees R004 already polices for wall-clock reads; the ``time``
+    #: check here only covers the remainder (control/cache).
+    R004_SCOPE = ("src/repro/sim/", "src/repro/disk/", "src/repro/system/")
+
+    #: The observer protocol, read off the class so hooks.py stays the
+    #: single source of truth.
+    PROTOCOL = frozenset(
+        attr for attr in dir(RunObserver) if attr.startswith("on_")
+    )
+
+    #: Receiver names treated as observers when an ``on_*`` method is
+    #: called on them (``obs.on_x``, ``self.observer.on_x``, ...).
+    OBSERVER_NAMES = ("obs", "observer")
+
+    WALLCLOCK_ATTRS = ("time", "time_ns", "monotonic", "perf_counter")
+
+    def applies(self, ctx: FileContext) -> bool:
+        return _in_tree(ctx.rel, self.SCOPE)
+
+    def check(self, ctx: FileContext) -> Iterator[Violation]:
+        tree = ctx.tree
+        for node in ast.walk(tree):
+            if isinstance(node, ast.Import):
+                for alias in node.names:
+                    if alias.name == "logging" or alias.name.startswith(
+                        "logging."
+                    ):
+                        yield Violation(
+                            ctx.path,
+                            node.lineno,
+                            self.rule_id,
+                            "`logging` in simulation code bypasses the "
+                            "observer protocol; emit through a "
+                            "repro.obs.hooks.RunObserver instead",
+                        )
+            elif isinstance(node, ast.ImportFrom):
+                if node.module == "logging" or (
+                    node.module or ""
+                ).startswith("logging."):
+                    yield Violation(
+                        ctx.path,
+                        node.lineno,
+                        self.rule_id,
+                        "`logging` in simulation code bypasses the "
+                        "observer protocol; emit through a "
+                        "repro.obs.hooks.RunObserver instead",
+                    )
+            elif isinstance(node, ast.Call):
+                if (
+                    isinstance(node.func, ast.Name)
+                    and node.func.id == "print"
+                ):
+                    yield Violation(
+                        ctx.path,
+                        node.lineno,
+                        self.rule_id,
+                        "`print(...)` in simulation code is ad-hoc "
+                        "observability; emit through a "
+                        "repro.obs.hooks.RunObserver instead",
+                    )
+                elif isinstance(node.func, ast.Attribute):
+                    method = node.func.attr
+                    if not method.startswith("on_"):
+                        continue
+                    chain = dotted_chain(node.func)
+                    if chain is None or len(chain) < 2:
+                        continue
+                    receiver = chain[-2]
+                    if (
+                        receiver in self.OBSERVER_NAMES
+                        and method not in self.PROTOCOL
+                    ):
+                        known = ", ".join(sorted(self.PROTOCOL))
+                        yield Violation(
+                            ctx.path,
+                            node.lineno,
+                            self.rule_id,
+                            f"`.{method}(...)` is not part of the "
+                            "RunObserver protocol (known hooks: "
+                            f"{known}); extend repro.obs.hooks instead "
+                            "of inventing emission methods",
+                        )
+        if not _in_tree(ctx.rel, self.R004_SCOPE):
+            time_names = _import_aliases(tree, "time")
+            for node, chain in maximal_attribute_chains(tree):
+                if (
+                    len(chain) >= 2
+                    and chain[0] in time_names
+                    and chain[1] in self.WALLCLOCK_ATTRS
+                ):
+                    yield Violation(
+                        ctx.path,
+                        node.lineno,
+                        self.rule_id,
+                        f"`time.{chain[1]}()` in simulation code: "
+                        "observer events carry *simulated* timestamps; "
+                        "wall-clock reads belong in the orchestrator "
+                        "layer",
+                    )
+
+
 def default_file_rules() -> List[FileRule]:
     return [
         NoUnseededRng(),
         NoWallclockOrEnvInSim(),
         ChunkedViewDiscipline(),
         MergedPercentileGuard(),
+        ObserverProtocolDiscipline(),
     ]
 
 

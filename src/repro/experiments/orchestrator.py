@@ -43,11 +43,14 @@ from __future__ import annotations
 import dataclasses
 import functools
 import hashlib
+import json
 import os
 import pickle
 import tempfile
+import time
+import warnings
 from concurrent.futures import ProcessPoolExecutor
-from dataclasses import dataclass
+from dataclasses import dataclass, field
 from pathlib import Path
 from typing import Any, Dict, Hashable, List, Optional, Sequence, Tuple, Union
 
@@ -68,6 +71,8 @@ __all__ = [
     "InlineWorkload",
     "SimTask",
     "SweepRunner",
+    "SweepStats",
+    "TaskProfile",
     "configure",
     "default_cache_dir",
     "default_runner",
@@ -294,6 +299,21 @@ def _synthesize_cached(
     raise ConfigError(f"unsupported workload spec {type(workload).__name__}")
 
 
+def _execute_task_profiled(
+    task: SimTask,
+) -> Tuple[SimulationResult, Tuple[float, float, int]]:
+    """:func:`_execute_task` plus ``(start, end, pid)`` wall-clock profile.
+
+    Wall-clock reads live here — strictly in the orchestrator layer, never
+    in the simulation trees (reprolint R004) — and use ``time.time()``
+    rather than a monotonic clock because the timestamps must be
+    comparable across pool worker processes.
+    """
+    t0 = time.time()
+    result = _execute_task(task)
+    return result, (t0, time.time(), os.getpid())
+
+
 def _execute_task(task: SimTask) -> SimulationResult:
     """Run one grid point (module-level so ProcessPoolExecutor can pickle)."""
     catalog, stream = materialize_workload(task.workload)
@@ -380,12 +400,89 @@ def default_cache_dir() -> Optional[Path]:
 
 
 @dataclass
+class TaskProfile:
+    """Wall-clock profile of one executed grid point.
+
+    ``started`` is the offset (seconds) from the sweep's start, so
+    profiles from different worker processes share one time base;
+    ``wall`` is the task's own elapsed wall time on its worker.
+    """
+
+    label: str
+    fingerprint: str
+    started: float
+    wall: float
+    pid: int
+
+    def as_dict(self) -> Dict[str, Any]:
+        return {
+            "label": self.label,
+            "fingerprint": self.fingerprint,
+            "started_s": self.started,
+            "wall_s": self.wall,
+            "pid": self.pid,
+        }
+
+
+@dataclass
 class SweepStats:
-    """Counters of what one runner actually computed vs reused."""
+    """What one :meth:`SweepRunner.run` call computed vs reused.
+
+    Reset at the start of every ``run()`` so multi-sweep sessions report
+    per-sweep numbers, not accumulated stale counts; per-run snapshots
+    pile up on :attr:`SweepRunner.history` for cross-sweep reporting.
+    ``cached`` splits into ``memory_hits`` (this runner already held the
+    result) and ``disk_hits`` (revived from the persistent cache).
+    """
 
     executed: int = 0
     cached: int = 0
     deduplicated: int = 0
+    memory_hits: int = 0
+    disk_hits: int = 0
+    elapsed: float = 0.0
+    profiles: List[TaskProfile] = field(default_factory=list)
+
+    @property
+    def total(self) -> int:
+        return self.executed + self.cached + self.deduplicated
+
+    def reset(self) -> None:
+        self.executed = 0
+        self.cached = 0
+        self.deduplicated = 0
+        self.memory_hits = 0
+        self.disk_hits = 0
+        self.elapsed = 0.0
+        self.profiles = []
+
+    def summary_line(self) -> str:
+        """The one-line sweep summary the CLI prints under ``--verbose``."""
+        return (
+            f"sweep: {self.total} tasks — {self.executed} executed, "
+            f"{self.cached} cached ({self.memory_hits} memory / "
+            f"{self.disk_hits} disk), {self.deduplicated} deduplicated "
+            f"in {self.elapsed:.2f}s"
+        )
+
+    def worker_occupancy(self) -> Dict[int, float]:
+        """Busy wall-seconds per worker pid (from the executed profiles)."""
+        busy: Dict[int, float] = {}
+        for profile in self.profiles:
+            busy[profile.pid] = busy.get(profile.pid, 0.0) + profile.wall
+        return busy
+
+    def as_dict(self) -> Dict[str, Any]:
+        """Plain-JSON form (profiles included) for manifests/exports."""
+        return {
+            "executed": self.executed,
+            "cached": self.cached,
+            "deduplicated": self.deduplicated,
+            "memory_hits": self.memory_hits,
+            "disk_hits": self.disk_hits,
+            "elapsed_s": self.elapsed,
+            "profiles": [p.as_dict() for p in self.profiles],
+        }
 
 
 class SweepRunner:
@@ -414,6 +511,15 @@ class SweepRunner:
         (the differential harness's chunked axis enforces it), so the
         fingerprint still salts on the config — a chunked sweep and a
         monolithic sweep are distinct cache entries by design.
+    verbose:
+        Print :meth:`SweepStats.summary_line` after every ``run()`` (the
+        CLI's ``--verbose``).
+
+    Each ``run()`` resets :attr:`stats` and appends a finished snapshot
+    (with per-task :class:`TaskProfile` records) to :attr:`history`; with
+    a ``cache_dir`` it also writes a JSON run manifest — fingerprints,
+    seeds, :data:`RESULT_SCHEMA_VERSION`, timings — under
+    ``cache_dir/manifests/`` (path kept on :attr:`last_manifest`).
     """
 
     def __init__(
@@ -422,6 +528,7 @@ class SweepRunner:
         engine: Optional[str] = None,
         cache_dir: Union[None, str, Path] = None,
         chunk_size: Optional[int] = None,
+        verbose: bool = False,
     ) -> None:
         if engine is not None and engine not in ("event", "fast"):
             raise ConfigError(
@@ -435,8 +542,11 @@ class SweepRunner:
         self.engine = engine
         self.chunk_size = chunk_size
         self.cache_dir = Path(cache_dir) if cache_dir is not None else None
+        self.verbose = bool(verbose)
         self._memory: Dict[str, SimulationResult] = {}
         self.stats = SweepStats()
+        self.history: List[SweepStats] = []
+        self.last_manifest: Optional[Path] = None
 
     # -- engine + cache plumbing ---------------------------------------------
 
@@ -475,6 +585,7 @@ class SweepRunner:
     def _lookup(self, key: str) -> Optional[SimulationResult]:
         hit = self._memory.get(key)
         if hit is not None:
+            self.stats.memory_hits += 1
             return hit
         path = self._cache_path(key)
         if path is not None and path.exists():
@@ -486,6 +597,7 @@ class SweepRunner:
                 # miss, not a fatal error; it will be rewritten below.
                 return None
             self._memory[key] = result
+            self.stats.disk_hits += 1
             return result
         return None
 
@@ -515,6 +627,8 @@ class SweepRunner:
 
     def run(self, tasks: Sequence[SimTask]) -> List[SimulationResult]:
         """Execute (or fetch) every task; results in task order."""
+        self.stats.reset()
+        t_sweep = time.time()
         tasks = [self._with_engine(t) for t in tasks]
         keys = [task_fingerprint(t) for t in tasks]
         results: List[Optional[SimulationResult]] = [None] * len(tasks)
@@ -535,7 +649,7 @@ class SweepRunner:
         if fresh:
             workers = min(self.max_workers, len(fresh))
             if workers <= 1:
-                outputs = [_execute_task(task) for _, task in fresh]
+                outputs = [_execute_task_profiled(task) for _, task in fresh]
             else:
                 # Ship each distinct inline workload once per worker (via
                 # the pool initializer) and submit lightweight digest refs
@@ -556,25 +670,167 @@ class SweepRunner:
                     pool_kwargs["initializer"] = _install_shared_workloads
                     pool_kwargs["initargs"] = (shared,)
                 with ProcessPoolExecutor(**pool_kwargs) as pool:
-                    outputs = list(pool.map(_execute_task, submit))
-            for (key, _), result in zip(fresh, outputs):
+                    outputs = list(pool.map(_execute_task_profiled, submit))
+            for (key, task), (result, (t0, t1, pid)) in zip(fresh, outputs):
                 self._store(key, result)
                 self.stats.executed += 1
+                self.stats.profiles.append(
+                    TaskProfile(
+                        label=task.label,
+                        fingerprint=key,
+                        started=max(0.0, t0 - t_sweep),
+                        wall=t1 - t0,
+                        pid=pid,
+                    )
+                )
 
         for i, key in enumerate(keys):
             if results[i] is None:
                 results[i] = self._memory[key]
+        self.stats.elapsed = time.time() - t_sweep
+        self.history.append(dataclasses.replace(
+            self.stats, profiles=list(self.stats.profiles)
+        ))
+        self._write_manifest(tasks, keys)
+        if self.verbose:
+            print(self.stats.summary_line())
         return results  # type: ignore[return-value]
 
     def run_map(
         self, tasks: Sequence[SimTask]
     ) -> Dict[Hashable, SimulationResult]:
-        """Like :meth:`run`, keyed by each task's ``key`` (index fallback)."""
+        """Like :meth:`run`, keyed by each task's ``key`` (index fallback).
+
+        Duplicate keys collapse to one entry (the last task wins); a
+        :class:`RuntimeWarning` flags the dropped results rather than
+        losing them silently.
+        """
         results = self.run(tasks)
-        return {
-            task.key if task.key is not None else i: result
-            for i, (task, result) in enumerate(zip(tasks, results))
+        by_key: Dict[Hashable, SimulationResult] = {}
+        dupes: List[Hashable] = []
+        for i, (task, result) in enumerate(zip(tasks, results)):
+            key = task.key if task.key is not None else i
+            if key in by_key:
+                dupes.append(key)
+            by_key[key] = result
+        if dupes:
+            warnings.warn(
+                f"run_map: {len(dupes)} duplicate task key(s) "
+                f"(e.g. {dupes[0]!r}) — earlier results were overwritten; "
+                "give grid points distinct keys to keep every result",
+                RuntimeWarning,
+                stacklevel=2,
+            )
+        return by_key
+
+    # -- observability exports ---------------------------------------------------
+
+    def _write_manifest(
+        self, tasks: Sequence[SimTask], keys: Sequence[str]
+    ) -> None:
+        """Persist the sweep's run manifest next to the result cache.
+
+        One JSON file per distinct grid (named by a digest of the task
+        fingerprints) recording what was run, from which inputs, under
+        which schema version, and how long it took — enough to audit a
+        figure's provenance without re-running anything.  Skipped when
+        the runner has no ``cache_dir`` (nothing persists anyway).
+        """
+        self.last_manifest = None
+        if self.cache_dir is None or not tasks:
+            return
+        digest = hashlib.sha256("\n".join(keys).encode()).hexdigest()[:16]
+        path = self.cache_dir / "manifests" / f"sweep-{digest}.json"
+        payload = {
+            "schema_version": RESULT_SCHEMA_VERSION,
+            "created_unix": time.time(),
+            "elapsed_s": self.stats.elapsed,
+            "workers": self.max_workers,
+            "engine": self.engine,
+            "chunk_size": self.chunk_size,
+            "stats": self.stats.as_dict(),
+            "tasks": [
+                {
+                    "label": task.label,
+                    "fingerprint": key,
+                    "seed": getattr(task.workload, "seed", None),
+                }
+                for task, key in zip(tasks, keys)
+            ],
         }
+        path.parent.mkdir(parents=True, exist_ok=True)
+        fd, tmp_name = tempfile.mkstemp(
+            dir=path.parent, prefix=f".sweep-{digest}-", suffix=".tmp"
+        )
+        try:
+            with os.fdopen(fd, "w") as fh:
+                json.dump(payload, fh, indent=2, default=str)
+            os.replace(tmp_name, path)
+        except BaseException:
+            try:
+                os.unlink(tmp_name)
+            except OSError:
+                pass
+            raise
+        self.last_manifest = path
+
+    def write_trace(self, path: Union[str, Path]) -> Path:
+        """Export all recorded task profiles as a Chrome trace (wall clock).
+
+        One ``X`` (complete) event per executed task, grouped by worker
+        pid — load in Perfetto/``chrome://tracing`` to see the sweep's
+        worker occupancy timeline.
+        """
+        from repro.obs.trace import sweep_chrome_trace, write_trace
+
+        profiles = [p for stats in self.history for p in stats.profiles]
+        return write_trace(sweep_chrome_trace(profiles), path)
+
+    def write_metrics(self, path: Union[str, Path]) -> Path:
+        """Export the per-run sweep stats as plain JSON."""
+        path = Path(path)
+        totals = SweepStats()
+        for stats in self.history:
+            totals.executed += stats.executed
+            totals.cached += stats.cached
+            totals.deduplicated += stats.deduplicated
+            totals.memory_hits += stats.memory_hits
+            totals.disk_hits += stats.disk_hits
+            totals.elapsed += stats.elapsed
+        payload = {
+            "version": 1,
+            "runs": [stats.as_dict() for stats in self.history],
+            "totals": {
+                k: v
+                for k, v in totals.as_dict().items()
+                if k != "profiles"
+            },
+        }
+        path.parent.mkdir(parents=True, exist_ok=True)
+        with path.open("w") as fh:
+            json.dump(payload, fh, indent=2)
+        return path
+
+    def profile_report(self) -> str:
+        """Human-readable per-task wall times and worker occupancy."""
+        lines: List[str] = []
+        for n, stats in enumerate(self.history):
+            lines.append(f"run {n}: {stats.summary_line()}")
+            for profile in sorted(
+                stats.profiles, key=lambda p: p.wall, reverse=True
+            ):
+                lines.append(
+                    f"  {profile.wall:8.3f}s  pid {profile.pid}  "
+                    f"+{profile.started:.3f}s  {profile.label}"
+                )
+            occupancy = stats.worker_occupancy()
+            if occupancy and stats.elapsed > 0:
+                busy = ", ".join(
+                    f"pid {pid}: {seconds / stats.elapsed:.0%}"
+                    for pid, seconds in sorted(occupancy.items())
+                )
+                lines.append(f"  occupancy: {busy}")
+        return "\n".join(lines) if lines else "no sweeps recorded"
 
 
 _DEFAULT: Optional[SweepRunner] = None
@@ -603,9 +859,11 @@ def configure(
     engine: Optional[str] = None,
     cache_dir: Union[None, str, Path, object] = AUTO_CACHE,
     chunk_size: Optional[int] = None,
+    verbose: bool = False,
 ) -> SweepRunner:
     """Replace the shared runner (used by the CLI's ``--workers``,
-    ``--engine``, ``--sweep-cache`` and ``--chunk-size`` flags).
+    ``--engine``, ``--sweep-cache``, ``--chunk-size`` and ``--verbose``
+    flags).
 
     ``cache_dir`` accepts a directory, ``None`` (no disk cache), or the
     default :data:`AUTO_CACHE` sentinel (resolve via
@@ -619,5 +877,6 @@ def configure(
         engine=engine,
         cache_dir=cache_dir,
         chunk_size=chunk_size,
+        verbose=verbose,
     )
     return _DEFAULT

@@ -1,0 +1,23 @@
+"""Unified run observability: hooks, traces, metrics.
+
+- :mod:`repro.obs.hooks` — the ``RunObserver`` protocol both engines
+  honor, plus the allocation-free ``NullObserver`` default.
+- :mod:`repro.obs.trace` — ``TraceRecorder`` and the Chrome-trace-event
+  (Perfetto-loadable) JSON exporter.
+- :mod:`repro.obs.metrics` — counters/gauges/histograms and the
+  structured ``SimulationResult.extra["obs"]`` snapshot.
+"""
+
+from repro.obs.hooks import NULL_OBSERVER, NullObserver, RunObserver, active_observer
+from repro.obs.metrics import MetricsRegistry, observability_snapshot
+from repro.obs.trace import TraceRecorder
+
+__all__ = [
+    "RunObserver",
+    "NullObserver",
+    "NULL_OBSERVER",
+    "active_observer",
+    "MetricsRegistry",
+    "observability_snapshot",
+    "TraceRecorder",
+]

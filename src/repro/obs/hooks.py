@@ -1,0 +1,94 @@
+"""The ``RunObserver`` hook protocol: simulated-time run observability.
+
+Both engines thread a single observer object through
+:meth:`repro.system.storage.StorageSystem.run` and report what the
+simulated system *did* — disk power-state spans (including ladder rung
+dwells), cache hits/misses/admissions/evictions, online-controller
+threshold decisions, and write-placement choices.  Every timestamp an
+observer receives is **simulated seconds** (the event-loop clock /
+kernel arrival clock), never wall-clock; orchestrator-layer wall-clock
+profiling lives in ``repro.experiments.orchestrator`` instead (rule
+R004 keeps the two from mixing, and rule R007 keeps sim-tree
+observability on this protocol).
+
+Observation is strictly passive: engines only *append* to an observer,
+so an instrumented run is bit-identical to an uninstrumented one.  The
+differential harness enforces this across the random config space
+(``tests/differential/test_differential.py::test_observer_runs_bit_identical``).
+
+Granularity differs by engine, results do not: the event engine emits
+the full per-request drive timeline (seek/active spans included), while
+the fast kernel emits power-state *transitions* (spin-downs, spin-ups,
+standby dwells, ladder rung changes) recovered from its span logs at
+batch boundaries — per-request service spans would defeat its batching.
+
+Hot paths stay allocation-free by normalizing observers up front with
+:func:`active_observer`: a disabled (or absent) observer becomes
+``None`` and the kernels take their original, untouched branches.
+"""
+
+from __future__ import annotations
+
+from typing import Optional, Sequence
+
+__all__ = [
+    "RunObserver",
+    "NullObserver",
+    "NULL_OBSERVER",
+    "CACHE_EVENT_KINDS",
+    "active_observer",
+]
+
+#: Vocabulary of ``on_cache_event`` kinds, in lifecycle order.
+CACHE_EVENT_KINDS = ("hit", "miss", "admit", "evict")
+
+
+class RunObserver:
+    """Base observer: every hook is a no-op; subclass what you need.
+
+    Subclasses must treat every call as read-only telemetry — mutating
+    engine state from a hook voids the bit-identity contract.
+    """
+
+    #: Engines skip all instrumentation when this is falsy (see
+    #: :func:`active_observer`); ``NullObserver`` flips it off.
+    enabled: bool = True
+
+    def on_state_span(self, disk: int, state: str, start: float, end: float) -> None:
+        """A disk dwelled in ``state`` over ``[start, end)`` sim-seconds.
+
+        ``state`` labels are lowercase power states (``"spinning"``,
+        ``"spindown"``, ``"standby"``, ``"spinup"``, ``"seek"``,
+        ``"active"``) or ladder vocabulary (rung names plus
+        ``"down:<rung>"`` / ``"wake:<rung>"`` transitions).
+        """
+
+    def on_cache_event(self, time: float, kind: str, file_id: int) -> None:
+        """A shared-cache event (``kind`` in :data:`CACHE_EVENT_KINDS`)."""
+
+    def on_thresholds(self, time: float, thresholds: Sequence[float]) -> None:
+        """An online DPM controller pushed per-disk idleness thresholds."""
+
+    def on_placement(self, time: float, file_id: int, disk: int) -> None:
+        """A write-placement policy allocated ``file_id`` to ``disk``."""
+
+
+class NullObserver(RunObserver):
+    """The default do-nothing observer; engines treat it as absent."""
+
+    enabled = False
+
+
+#: Shared default instance — safe because it carries no state.
+NULL_OBSERVER = NullObserver()
+
+
+def active_observer(observer: Optional[RunObserver]) -> Optional[RunObserver]:
+    """Normalize an observer argument to ``None`` unless it is enabled.
+
+    Engines call this once at the top of a run so their hot loops test
+    a plain ``obs is not None`` instead of a method lookup.
+    """
+    if observer is None or not getattr(observer, "enabled", True):
+        return None
+    return observer

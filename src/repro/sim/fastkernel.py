@@ -40,6 +40,7 @@ ladders under online control (scaled)      yes         yes
 heterogeneous fleets (per-disk specs)      yes         yes
 per-disk ladders / thresholds (fleets)     yes         yes
 fleets + chunked / streaming metrics       yes         yes
+observer hooks (``repro.obs``)             yes         yes
 array-backed streams (``.times``)          yes         yes
 chunked streams (``.iter_chunks()``)       yes         yes
 streaming metrics (bounded memory)         yes         API only
@@ -151,6 +152,7 @@ from repro.disk.fleet import ResolvedFleet
 from repro.disk.power import DiskState, PowerModel
 from repro.disk.specs import DiskSpec
 from repro.errors import ConfigError, SimulationError
+from repro.obs.hooks import active_observer
 from repro.system.dispatcher import (
     initial_free_bytes,
     per_disk_capacities,
@@ -596,6 +598,131 @@ class _ControlledBank(_DiskBank):
         return spindown_time, spinup_time, standby_time, spinups, spindowns
 
 
+class _ObservedDiskBank(_DiskBank):
+    """:class:`_DiskBank` plus spin-transition span logging for observers.
+
+    Selected (once, at run start) when a fixed-threshold run carries an
+    enabled :class:`~repro.obs.hooks.RunObserver`, so the unobserved hot
+    path stays untouched.  The recursion and every accounting update are
+    copied verbatim from the base class — the only additions are the
+    ``(disk, start, end)`` span appends the controlled bank already
+    performs; the differential harness's observer axis asserts observed
+    and unobserved runs are bit-identical.
+    """
+
+    __slots__ = ("sd_spans", "su_spans", "sb_spans")
+
+    def __init__(
+        self, num_disks: int, threshold, spec, horizon: float
+    ) -> None:
+        super().__init__(num_disks, threshold, spec, horizon)
+        self.sd_spans: List[tuple] = []
+        self.su_spans: List[tuple] = []
+        self.sb_spans: List[tuple] = []
+
+    def serve(self, d: int, t: float, tr: float) -> float:
+        a = self.avail[d]
+        if t > a:
+            if t - a > self.th[d]:
+                sd = a + self.th[d]
+                sd_end = sd + self.D[d]
+                self.n_down[d] += 1
+                self.sd_t[d] += min(sd_end, self.T) - sd
+                self.sd_spans.append((d, sd, sd_end))
+                if t >= sd_end:
+                    self.sb_t[d] += t - sd_end
+                    self.sb_spans.append((d, sd_end, t))
+                    su = t
+                else:
+                    su = sd_end
+                if su < self.T:
+                    self.n_up[d] += 1
+                    self.su_t[d] += min(su + self.U[d], self.T) - su
+                    self.su_spans.append((d, su, su + self.U[d]))
+                s = su + self.U[d]
+            else:
+                s = t
+        else:
+            s = a
+        self.avail[d] = s + self.oh[d] + tr
+        self.load[d] += self.oh[d] + tr
+        return s
+
+    def serve_batch(self, d: int, ts: list, trs: list) -> List[float]:
+        out: List[float] = []
+        append = out.append
+        a = self.avail[d]
+        oh = self.oh[d]
+        ld = self.load[d]
+        th = self.th[d]
+        if isinf(th):
+            for t, tr in zip(ts, trs):
+                s = t if t > a else a
+                append(s)
+                a = s + oh + tr
+                ld += oh + tr
+        else:
+            D = self.D[d]
+            U = self.U[d]
+            T = self.T
+            sd_t = self.sd_t[d]
+            su_t = self.su_t[d]
+            sb_t = self.sb_t[d]
+            n_up = self.n_up[d]
+            n_down = self.n_down[d]
+            sd_spans = self.sd_spans
+            su_spans = self.su_spans
+            sb_spans = self.sb_spans
+            for t, tr in zip(ts, trs):
+                if t > a:
+                    if t - a > th:
+                        sd = a + th
+                        sd_end = sd + D
+                        n_down += 1
+                        sd_t += min(sd_end, T) - sd
+                        sd_spans.append((d, sd, sd_end))
+                        if t >= sd_end:
+                            sb_t += t - sd_end
+                            sb_spans.append((d, sd_end, t))
+                            su = t
+                        else:
+                            su = sd_end
+                        if su < T:
+                            n_up += 1
+                            su_t += min(su + U, T) - su
+                            su_spans.append((d, su, su + U))
+                        s = su + U
+                    else:
+                        s = t
+                else:
+                    s = a
+                append(s)
+                a = s + oh + tr
+                ld += oh + tr
+            self.sd_t[d] = sd_t
+            self.su_t[d] = su_t
+            self.sb_t[d] = sb_t
+            self.n_up[d] = n_up
+            self.n_down[d] = n_down
+        self.avail[d] = a
+        self.load[d] = ld
+        return out
+
+    def tail_arrays(self):
+        # Log the trailing spin-down/standby episodes the vectorized base
+        # pass is about to bill, then let it do the (unchanged) math.
+        if not self.no_spindown:
+            T = self.T
+            for d, a in enumerate(self.avail):
+                sd = a + self.th[d]
+                if sd < T:
+                    sd_end = sd + self.D[d]
+                    self.sd_spans.append((d, sd, sd_end))
+                    if sd_end < T:
+                        self.sb_spans.append((d, sd_end, T))
+        return super().tail_arrays()
+
+
 class _LadderBank:
     """Multi-rung generalization of :class:`_DiskBank` for DPM ladders.
 
@@ -918,6 +1045,29 @@ class _ControlledLadderBank(_LadderBank):
         )
 
 
+class _ObservedLadderBank(_LadderBank):
+    """:class:`_LadderBank` plus rung-transition span logging for observers.
+
+    The controlled ladder bank's logged walk is term-for-term the base
+    recursion plus span appends, and the base class dispatches its gap
+    walks through ``self._descend`` / ``self._tail_one`` — so rebinding
+    those to the logged variants (plus allocating the span logs) is the
+    whole override.  Selected once at run start when a fixed-threshold
+    ladder run carries an enabled observer.
+    """
+
+    _descend = _ControlledLadderBank._descend_logged
+    _tail_one = _ControlledLadderBank._tail_one
+
+    def __init__(
+        self, num_disks: int, threshold, ladder, spec, horizon: float
+    ) -> None:
+        super().__init__(num_disks, threshold, ladder, spec, horizon)
+        self.park_spans: List[List[tuple]] = [[] for _ in range(self.maxR)]
+        self.down_spans: List[List[tuple]] = [[] for _ in range(self.maxR)]
+        self.wake_spans: List[List[tuple]] = [[] for _ in range(self.maxR)]
+
+
 def _allocate_for_write(
     bank: _DiskBank,
     policy: WritePlacementPolicy,
@@ -984,6 +1134,7 @@ def _serve_segmented(
     is_write: np.ndarray,
     starts: np.ndarray,
     d_req: np.ndarray,
+    obs=None,
 ) -> None:
     """Mixed read/write stream without a cache.
 
@@ -1026,6 +1177,8 @@ def _serve_segmented(
         t = float(t_all[b])
         size = float(sizes[f])
         d = _allocate_for_write(bank, policy, free, size, t)
+        if obs is not None:
+            obs.on_placement(t, f, d)
         mapping[f] = d
         free[d] -= size
         starts[b] = bank.serve(d, t, size / bank.rate[d])
@@ -1063,6 +1216,8 @@ def _serve_coupled(
     flush: bool = True,
     map_l: Optional[list] = None,
     size_l: Optional[list] = None,
+    obs=None,
+    obs_clock: Optional[list] = None,
 ) -> None:
     """Globally time-merged pass for shared-cache runs (writes optional).
 
@@ -1084,6 +1239,8 @@ def _serve_coupled(
     """
     if heap is None:
         heap = []
+    if obs is not None and obs_clock is None:
+        obs_clock = [0.0]
     if map_l is None:
         map_l = mapping.tolist()
     if size_l is None:
@@ -1101,13 +1258,18 @@ def _serve_coupled(
         t = t_l[i]
         f = fid_l[i]
         while heap and heap[0][0] <= t:
-            _, _, hf, hs = heappop(heap)
+            c_adm, _, hf, hs = heappop(heap)
+            if obs is not None:
+                obs_clock[0] = c_adm
+                obs.on_cache_event(c_adm, "admit", hf)
             admit(hf, hs)
         if w_l is not None and w_l[i]:
             d = map_l[f]
             if d < 0:
                 size = size_l[f]
                 d = _allocate_for_write(bank, policy, free, size, t)
+                if obs is not None:
+                    obs.on_placement(t, f, d)
                 map_l[f] = d
                 mapping[f] = d
                 free[d] -= size
@@ -1116,9 +1278,13 @@ def _serve_coupled(
         else:
             size = size_l[f]
             if lookup(f, size):
+                if obs is not None:
+                    obs.on_cache_event(t, "hit", f)
                 starts[i] = t  # a hit "completes" at its arrival instant
                 d_req[i] = -1
                 continue
+            if obs is not None:
+                obs.on_cache_event(t, "miss", f)
             d = map_l[f]
             if d < 0:
                 raise SimulationError(
@@ -1133,7 +1299,10 @@ def _serve_coupled(
                 heappush(heap, (c, base_index + i, f, size))
     if flush:
         while heap and heap[0][0] < T:
-            _, _, hf, hs = heappop(heap)
+            c_adm, _, hf, hs = heappop(heap)
+            if obs is not None:
+                obs_clock[0] = c_adm
+                obs.on_cache_event(c_adm, "admit", hf)
             admit(hf, hs)
 
 class _ControlledDriver:
@@ -1175,7 +1344,7 @@ class _ControlledDriver:
         "bank", "dpm", "policy", "mapping", "free", "sizes", "cache",
         "hit_lat", "heap", "map_l", "size_l", "T", "ci", "oh_a", "rate_a",
         "pend_c", "pend_seq", "pend_r", "wait_s", "wait_d",
-        "n_seen", "k", "t_start", "finished",
+        "n_seen", "k", "t_start", "finished", "obs", "obs_clock",
     )
 
     def __init__(
@@ -1191,6 +1360,8 @@ class _ControlledDriver:
         heap: Optional[list],
         map_l: Optional[list],
         size_l: Optional[list],
+        obs=None,
+        obs_clock: Optional[list] = None,
     ) -> None:
         self.bank = bank
         self.dpm = dpm
@@ -1218,6 +1389,8 @@ class _ControlledDriver:
         self.k = 0
         self.t_start = 0.0
         self.finished = False
+        self.obs = obs
+        self.obs_clock = obs_clock
 
     def _serve_slice(
         self,
@@ -1240,12 +1413,13 @@ class _ControlledDriver:
                 self.cache, starts[sl], d_req[sl],
                 heap=self.heap, base_index=self.n_seen + lo, flush=False,
                 map_l=self.map_l, size_l=self.size_l,
+                obs=self.obs, obs_clock=self.obs_clock,
             )
         elif is_write is not None:
             _serve_segmented(
                 bank, self.policy, self.mapping, self.free, self.sizes,
                 fid[sl], t_all[sl], sz_all[sl], is_write[sl],
-                starts[sl], d_req[sl],
+                starts[sl], d_req[sl], obs=self.obs,
             )
         else:
             d_seg = self.mapping[fid[sl]]
@@ -1321,11 +1495,12 @@ class _ControlledDriver:
             self.dpm.finalize(self.t_start, t_end, responses, gaps, queue_depth)
             self.finished = True
         else:
-            bank.push_thresholds(
-                self.dpm.advance(
-                    self.t_start, t_end, responses, gaps, queue_depth
-                )
+            new_th = self.dpm.advance(
+                self.t_start, t_end, responses, gaps, queue_depth
             )
+            bank.push_thresholds(new_th)
+            if self.obs is not None:
+                self.obs.on_thresholds(t_end, new_th)
             self.t_start = t_end
             self.k += 1
 
@@ -1425,24 +1600,48 @@ class _SpanBinner:
         return mat
 
 
-def _flush_bank_spans(binner: _SpanBinner, bank, is_ladder: bool) -> None:
-    """Fold the controlled bank's logged transition spans into the binner
-    and clear them in place (the serve loops hold bound references)."""
+def _flush_bank_spans(
+    binner: Optional[_SpanBinner], bank, is_ladder: bool, obs=None
+) -> None:
+    """Drain a bank's logged transition spans and clear them in place
+    (the serve loops hold bound references): fold them into the binner
+    (controlled runs), emit them to an observer (clipped at the horizon,
+    like every accounting path), or both.  Called between chunks and once
+    at the end of the run, so span-log memory stays bounded by the chunk
+    size and observer emission order is deterministic for any chunking.
+    """
+    T = bank.T
     if is_ladder:
         for i in range(1, bank.maxR):
-            binner.add_entries(("park", i), bank.park_spans[i])
-            bank.park_spans[i].clear()
-            binner.add_entries(("down", i), bank.down_spans[i])
-            bank.down_spans[i].clear()
-            binner.add_entries(("wake", i), bank.wake_spans[i])
-            bank.wake_spans[i].clear()
+            for prefix, spans in (
+                ("park", bank.park_spans[i]),
+                ("down", bank.down_spans[i]),
+                ("wake", bank.wake_spans[i]),
+            ):
+                if binner is not None:
+                    binner.add_entries((prefix, i), spans)
+                if obs is not None:
+                    for d, s, e in spans:
+                        if s >= T:
+                            continue
+                        name = bank.ladders[d].rungs[i].name
+                        if prefix != "park":
+                            name = f"{prefix}:{name}"
+                        obs.on_state_span(int(d), name, s, e if e < T else T)
+                spans.clear()
     else:
-        binner.add_entries("sd", bank.sd_spans)
-        bank.sd_spans.clear()
-        binner.add_entries("su", bank.su_spans)
-        bank.su_spans.clear()
-        binner.add_entries("sb", bank.sb_spans)
-        bank.sb_spans.clear()
+        for key, name, spans in (
+            ("sd", "spindown", bank.sd_spans),
+            ("su", "spinup", bank.su_spans),
+            ("sb", "standby", bank.sb_spans),
+        ):
+            if binner is not None:
+                binner.add_entries(key, spans)
+            if obs is not None:
+                for d, s, e in spans:
+                    if s < T:
+                        obs.on_state_span(int(d), name, s, e if e < T else T)
+            spans.clear()
 
 
 def _power_from_binner(binner: _SpanBinner, specs) -> np.ndarray:
@@ -1543,6 +1742,7 @@ def simulate_fast(
     ladder=None,
     metrics_mode: str = "full",
     fleet: Optional[ResolvedFleet] = None,
+    observer=None,
 ) -> SimulationResult:
     """Simulate ``stream`` against ``mapping`` without the event loop.
 
@@ -1580,6 +1780,15 @@ def simulate_fast(
     overrides ``spec``/``threshold``/``ladder`` (which remain the
     uniform-pool sugar) and the recursion runs per-disk constants —
     ``usable_capacity`` may then be a per-disk vector too.
+
+    ``observer`` is an optional :class:`~repro.obs.hooks.RunObserver`:
+    spin/ladder transition spans, cache events, controller threshold
+    pushes and placement choices are emitted in simulated time
+    (transition-level granularity — per-request seek/active spans would
+    defeat the batching; the event engine emits those).  A disabled or
+    ``None`` observer leaves every hot path untouched, and an enabled
+    one never changes the result (the differential harness's observer
+    axis asserts bit-identity).
     """
     if not hasattr(stream, "times") or not hasattr(stream, "file_ids"):
         raise ConfigError(
@@ -1592,7 +1801,7 @@ def simulate_fast(
     return _simulate_chunks(
         sizes, mapping, spec, num_disks, threshold, (stream,), duration,
         label, cache, cache_hit_latency, usable_capacity, write_policy,
-        dpm, ladder, metrics_mode, fleet,
+        dpm, ladder, metrics_mode, fleet, observer,
     )
 
 
@@ -1613,6 +1822,7 @@ def simulate_fast_chunked(
     ladder=None,
     metrics_mode: str = "full",
     fleet: Optional[ResolvedFleet] = None,
+    observer=None,
 ) -> SimulationResult:
     """Out-of-core variant of :func:`simulate_fast` over a chunked stream.
 
@@ -1650,7 +1860,7 @@ def simulate_fast_chunked(
     return _simulate_chunks(
         sizes, mapping, spec, num_disks, threshold, stream.iter_chunks(),
         float(duration), label, cache, cache_hit_latency, usable_capacity,
-        write_policy, dpm, ladder, metrics_mode, fleet,
+        write_policy, dpm, ladder, metrics_mode, fleet, observer,
     )
 
 
@@ -1671,6 +1881,7 @@ def _simulate_chunks(
     ladder,
     metrics_mode: str,
     fleet: Optional[ResolvedFleet] = None,
+    observer=None,
 ) -> SimulationResult:
     """Shared replay core: one pass over ``chunks`` with full carry state.
 
@@ -1734,6 +1945,7 @@ def _simulate_chunks(
     policy.reset(num_disks)
 
     streaming = metrics_mode == "streaming"
+    obs = active_observer(observer)
 
     # Cache plumbing shared by every chunk: one heap of pending admissions
     # and one list materialization of the (large) per-file arrays
@@ -1741,6 +1953,16 @@ def _simulate_chunks(
     heap: Optional[list] = [] if cache is not None else None
     map_l = mapping.tolist() if cache is not None else None
     size_l = sizes.tolist() if cache is not None else None
+
+    # Evictions happen inside ``cache.admit``, which has no notion of
+    # simulated time — the serve loops keep ``obs_clock`` at the current
+    # admission/arrival instant so the evict hook can timestamp them.
+    obs_clock: Optional[list] = None
+    if obs is not None and cache is not None:
+        obs_clock = [0.0]
+        cache.evict_hook = lambda f: obs.on_cache_event(
+            obs_clock[0], "evict", f
+        )
 
     driver: Optional[_ControlledDriver] = None
     binner: Optional[_SpanBinner] = None
@@ -1761,12 +1983,19 @@ def _simulate_chunks(
         driver = _ControlledDriver(
             bank, dpm, policy, mapping, free, sizes, cache,
             cache_hit_latency, heap, map_l, size_l,
+            obs=obs, obs_clock=obs_clock,
         )
         binner = _SpanBinner(_interval_edges(dpm.interval, T), num_disks)
+    elif has_ladder:
+        bank = (
+            _ObservedLadderBank(num_disks, th_in, ladders, specs, T)
+            if obs is not None
+            else _LadderBank(num_disks, th_in, ladders, specs, T)
+        )
     else:
         bank = (
-            _LadderBank(num_disks, th_in, ladders, specs, T)
-            if has_ladder
+            _ObservedDiskBank(num_disks, th_in, specs, T)
+            if obs is not None
             else _DiskBank(num_disks, th_in, specs, T)
         )
     # The per-disk byte budget the placement context exposes (same values
@@ -1826,13 +2055,19 @@ def _simulate_chunks(
         starts = np.empty(n, dtype=float)
         d_req = np.empty(n, dtype=np.int64)
 
+        if arrivals and driver is None and obs is not None:
+            # Bounded memory for the observed banks' span logs on the
+            # fixed-threshold paths (the controlled path folds below;
+            # emission order is chunking-invariant either way because
+            # spans are only ever appended in simulation order).
+            _flush_bank_spans(None, bank, has_ladder, obs)
         if driver is not None:
             if arrivals:
                 # Bounded memory: fold the spans logged so far before the
                 # next chunk grows the logs.  A single-chunk run never gets
                 # here and takes the one-shot fold at the end, staying
                 # bit-exact with the historical monolithic binning.
-                _flush_bank_spans(binner, bank, has_ladder)
+                _flush_bank_spans(binner, bank, has_ladder, obs)
             driver.feed(fid, t_all, sz_all, is_write, starts, d_req)
         elif cache is not None:
             _serve_coupled(
@@ -1840,11 +2075,12 @@ def _simulate_chunks(
                 is_write, cache, starts, d_req,
                 heap=heap, base_index=arrivals, flush=False,
                 map_l=map_l, size_l=size_l,
+                obs=obs, obs_clock=obs_clock,
             )
         elif is_write is not None:
             _serve_segmented(
                 bank, policy, mapping, free, sizes, fid, t_all, sz_all,
-                is_write, starts, d_req,
+                is_write, starts, d_req, obs=obs,
             )
         else:
             disk = mapping[fid]
@@ -1915,8 +2151,13 @@ def _simulate_chunks(
         # kernel's stop event pre-empts completions at T).
         admit = cache.admit
         while heap and heap[0][0] < T:
-            _, _, hf, hs = heappop(heap)
+            c_adm, _, hf, hs = heappop(heap)
+            if obs is not None:
+                obs_clock[0] = c_adm
+                obs.on_cache_event(c_adm, "admit", hf)
             admit(hf, hs)
+        if obs is not None:
+            cache.evict_hook = None
 
     # -- vectorized accounting over the banked state ---------------------------
 
@@ -1929,10 +2170,10 @@ def _simulate_chunks(
         spindown_time, spinup_time, standby_time, spinups, spindowns = (
             bank.tail_arrays()
         )
-    if binner is not None:
+    if binner is not None or obs is not None:
         # Remaining spans, including the trailing-idleness episodes the
         # tail pass just logged.
-        _flush_bank_spans(binner, bank, has_ladder)
+        _flush_bank_spans(binner, bank, has_ladder, obs)
 
     if not has_ladder:
         idle_time = np.clip(

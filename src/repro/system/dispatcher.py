@@ -226,6 +226,10 @@ class Dispatcher:
         self.served_from_cache: List[bool] = []
         self.arrivals = 0
         self.write_count = 0
+        #: Optional :class:`~repro.obs.hooks.RunObserver` (installed by
+        #: ``StorageSystem.run`` for instrumented runs): receives cache
+        #: hit/miss/admit events and placement choices at ``env.now``.
+        self.observer = None
 
     # -- read path ------------------------------------------------------------
 
@@ -236,10 +240,15 @@ class Dispatcher:
             self._submit_write(file_id)
             return
         size = self.sizes[file_id]
-        if self.cache is not None and self.cache.lookup(file_id, size):
-            self.response_times.append(self.cache_hit_latency)
-            self.served_from_cache.append(True)
-            return
+        if self.cache is not None:
+            if self.cache.lookup(file_id, size):
+                if self.observer is not None:
+                    self.observer.on_cache_event(self.env.now, "hit", file_id)
+                self.response_times.append(self.cache_hit_latency)
+                self.served_from_cache.append(True)
+                return
+            if self.observer is not None:
+                self.observer.on_cache_event(self.env.now, "miss", file_id)
         disk = self.mapping[file_id]
         if disk < 0:
             raise SimulationError(
@@ -266,6 +275,8 @@ class Dispatcher:
         self.response_times.append(event.value)
         self.served_from_cache.append(False)
         if self.cache is not None:
+            if self.observer is not None:
+                self.observer.on_cache_event(self.env.now, "admit", file_id)
             self.cache.admit(file_id, size)
 
     # -- write path (pluggable placement; §1.1 by default) ----------------------
@@ -275,6 +286,8 @@ class Dispatcher:
         disk = self.mapping[file_id]
         if disk < 0:
             disk = self._allocate_for_write(size)
+            if self.observer is not None:
+                self.observer.on_placement(self.env.now, file_id, int(disk))
             self.mapping[file_id] = disk
             self.free_bytes[disk] -= size
         self.write_count += 1

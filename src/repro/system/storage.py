@@ -9,7 +9,10 @@ import numpy as np
 from repro.cache.base import make_cache
 from repro.control.controller import EventControlLoop
 from repro.disk.array import DiskArray
+from repro.disk.power import DiskState
 from repro.errors import ConfigError
+from repro.obs.hooks import active_observer
+from repro.obs.metrics import observability_snapshot
 from repro.sim.environment import Environment
 from repro.sim.fastkernel import (
     fast_unsupported_reason,
@@ -22,6 +25,29 @@ from repro.system.metrics import ResponseAccumulator, SimulationResult
 from repro.workload.catalog import FileCatalog
 
 __all__ = ["StorageSystem"]
+
+
+def _state_label(state) -> str:
+    """Normalize a timeline state to the observer's span vocabulary:
+    lowercase power-state names for :class:`DiskState`, ladder timeline
+    labels (rung names, ``down:``/``wake:`` transitions) unchanged."""
+    return state.name.lower() if isinstance(state, DiskState) else str(state)
+
+
+def _emit_timeline_spans(observer, drives, horizon: float) -> None:
+    """Walk each drive's recorded timeline history, emitting one
+    ``on_state_span`` per dwell (the final open dwell closes at the
+    horizon) — the event engine's full per-request granularity."""
+    for d, drive in enumerate(drives):
+        history = drive.timeline.history
+        if not history:
+            continue
+        for (t0, state), (t1, _next) in zip(history, history[1:]):
+            if t1 > t0:
+                observer.on_state_span(d, _state_label(state), t0, t1)
+        t_last, s_last = history[-1]
+        if horizon > t_last:
+            observer.on_state_span(d, _state_label(s_last), t_last, horizon)
 
 
 class StorageSystem:
@@ -132,7 +158,13 @@ class StorageSystem:
             self._build_event_machinery()
         return self._dispatcher
 
-    def run(self, stream, duration: Optional[float] = None, label: str = "run") -> SimulationResult:
+    def run(
+        self,
+        stream,
+        duration: Optional[float] = None,
+        label: str = "run",
+        observer=None,
+    ) -> SimulationResult:
         """Replay ``stream`` and measure until ``duration`` (default: the
         stream's horizon).
 
@@ -167,7 +199,19 @@ class StorageSystem:
         :class:`~repro.system.metrics.ResponseStats` on both engines
         (on the event engine the stats are distilled post-hoc, for API
         parity only).
+
+        ``observer`` (a :class:`repro.obs.hooks.RunObserver`) receives
+        simulated-time events from either engine — disk state spans,
+        cache hit/miss/admit/evict, threshold decisions, placements —
+        and the run attaches a structured metrics snapshot to
+        ``result.extra["obs"]``.  Observation is purely passive: an
+        observed run is bit-identical to an unobserved one (enforced by
+        the differential harness).  The observer is a ``run()`` argument
+        rather than a config field because :class:`StorageConfig` is
+        frozen and fingerprint-salted — observers must never influence
+        cache keys.
         """
+        obs = active_observer(observer)
         if duration is None:
             duration = stream.duration
         if duration <= 0:
@@ -203,7 +247,7 @@ class StorageSystem:
                 if self.config.fleet is not None
                 else None
             )
-            return kernel(
+            result = kernel(
                 sizes=self.catalog.sizes,
                 mapping=self._mapping,
                 spec=self.config.spec,
@@ -224,13 +268,32 @@ class StorageSystem:
                 ladder=self.config.ladder(),
                 metrics_mode=self.config.metrics_mode,
                 fleet=fleet,
+                observer=obs,
             )
+            if obs is not None:
+                result.extra["obs"] = observability_snapshot(result, obs)
+            return result
         controller = self.config.dpm_controller(self.num_disks)
+        if obs is not None:
+            # Enable timeline history (purely additive — recording does
+            # not perturb the simulation) so per-dwell state spans can be
+            # replayed to the observer after the run, and install the
+            # dispatcher/cache event taps.
+            for drive in self.array.disks:
+                drive.timeline.history = [
+                    (self.env.now, drive.timeline.state)
+                ]
+            self.dispatcher.observer = obs
+            if self.dispatcher.cache is not None:
+                env = self.env
+                self.dispatcher.cache.evict_hook = (
+                    lambda f: obs.on_cache_event(env.now, "evict", f)
+                )
         loop = None
         if controller is not None:
             loop = EventControlLoop(
                 self.env, self.array.disks, self.dispatcher, controller,
-                horizon=duration,
+                horizon=duration, observer=obs,
             )
             self.env.process(loop.run())
         self.env.process(drive_stream(self.env, self.dispatcher, stream))
@@ -248,6 +311,9 @@ class StorageSystem:
         if loop is not None:
             loop.finalize()
             result.extra["dpm"] = controller.extra()
+        if obs is not None:
+            _emit_timeline_spans(obs, self.array.disks, float(duration))
+            result.extra["obs"] = observability_snapshot(result, obs)
         return result
 
     def collect(self, label: str = "run") -> SimulationResult:

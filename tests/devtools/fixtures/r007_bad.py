@@ -1,0 +1,18 @@
+"""R007 fixture: ad-hoc observability in simulation code."""
+
+import logging
+import time
+
+from logging import getLogger
+
+
+def serve(obs, observer, t):
+    # Off-protocol emissions: methods the RunObserver protocol does not
+    # define, which the no-op default observer would crash on.
+    obs.on_weird_event(t, "spindown")
+    observer.on_custom_counter("spinups", 1)
+    # Ad-hoc console output instead of observer emission.
+    print("disk 3 spun down at", t)
+    # Wall-clock timestamps on observer events (control/cache trees sit
+    # outside R004's scope; R007 extends the ban there).
+    obs.on_state_span(0, "idle", time.time(), time.perf_counter())

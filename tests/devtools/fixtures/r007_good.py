@@ -1,0 +1,12 @@
+"""R007 fixture: protocol-conformant observer usage in simulation code."""
+
+
+def serve(obs, observer, env, handler):
+    # Protocol emissions with simulated timestamps are the sanctioned
+    # channel.
+    obs.on_state_span(0, "idle", 0.0, env.now)
+    obs.on_cache_event(env.now, "hit", 3)
+    observer.on_thresholds(env.now, (15.0, 30.0))
+    observer.on_placement(env.now, 7, 1)
+    # on_* calls on non-observer receivers are someone else's protocol.
+    handler.on_message("spindown")

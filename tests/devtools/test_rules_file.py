@@ -1,4 +1,4 @@
-"""Good/bad fixture pairs for the file-scoped rules (R001/R004/R005/R006).
+"""Good/bad fixture pairs for the file-scoped rules (R001/R004-R007).
 
 Each bad fixture must make its rule fire (the acceptance criterion: every
 rule has at least one failing fixture proving it catches its bug class);
@@ -18,6 +18,7 @@ BAD_CASES = [
     ("r004_bad.py", "src/repro/sim/mod.py", "R004", 7),
     ("r005_bad.py", "src/repro/sim/mod.py", "R005", 3),
     ("r006_bad.py", "src/repro/experiments/mod.py", "R006", 2),
+    ("r007_bad.py", "src/repro/control/mod.py", "R007", 6),
 ]
 
 GOOD_CASES = [
@@ -25,6 +26,7 @@ GOOD_CASES = [
     ("r004_good.py", "src/repro/sim/mod.py"),
     ("r005_good.py", "src/repro/sim/mod.py"),
     ("r006_good.py", "src/repro/experiments/mod.py"),
+    ("r007_good.py", "src/repro/cache/mod.py"),
 ]
 
 
@@ -67,6 +69,12 @@ class TestScoping:
         root = sandbox(("r006_bad.py", "src/repro/system/metrics.py"))
         assert run_lint(root, select={"R006"}) == []
 
+    def test_r007_only_watches_simulation_trees(self, sandbox):
+        # The orchestrator/CLI layer prints, logs and reads the clock on
+        # purpose.
+        root = sandbox(("r007_bad.py", "src/repro/experiments/mod.py"))
+        assert run_lint(root, select={"R007"}) == []
+
 
 class TestR001Details:
     def test_seeded_constructor_api_is_allowed(self, sandbox):
@@ -94,4 +102,47 @@ class TestR004Details:
     def test_datetime_class_now_is_caught(self, sandbox):
         src = "import datetime\nnow = datetime.datetime.now()\n"
         root = sandbox((None, "src/repro/disk/mod.py", src))
+        assert rule_ids(run_lint(root, select={"R004"})) == ["R004"]
+
+
+class TestR007Details:
+    def test_protocol_vocabulary_tracks_the_hooks_class(self):
+        from repro.devtools.rules import ObserverProtocolDiscipline
+        from repro.obs.hooks import RunObserver
+
+        protocol = {
+            attr for attr in dir(RunObserver) if attr.startswith("on_")
+        }
+        assert ObserverProtocolDiscipline.PROTOCOL == protocol
+        assert "on_state_span" in protocol  # sanity: not empty
+
+    def test_self_observer_attribute_is_checked(self, sandbox):
+        src = (
+            "class Loop:\n"
+            "    def fire(self, t):\n"
+            "        self.observer.on_novel_thing(t)\n"
+        )
+        root = sandbox((None, "src/repro/control/mod.py", src))
+        assert rule_ids(run_lint(root, select={"R007"})) == ["R007"]
+
+    def test_protocol_emission_on_self_observer_is_allowed(self, sandbox):
+        src = (
+            "class Loop:\n"
+            "    def fire(self, t, th):\n"
+            "        self.observer.on_thresholds(t, th)\n"
+        )
+        root = sandbox((None, "src/repro/control/mod.py", src))
+        assert run_lint(root, select={"R007"}) == []
+
+    def test_wallclock_in_cache_tree_is_caught(self, sandbox):
+        src = "import time\nstamp = time.time()\n"
+        root = sandbox((None, "src/repro/cache/mod.py", src))
+        assert rule_ids(run_lint(root, select={"R007"})) == ["R007"]
+
+    def test_sim_tree_wallclock_left_to_r004(self, sandbox):
+        # Inside R004's scope the time check stays R004's: one finding
+        # per rule, not double-reported.
+        src = "import time\nstamp = time.time()\n"
+        root = sandbox((None, "src/repro/sim/mod.py", src))
+        assert run_lint(root, select={"R007"}) == []
         assert rule_ids(run_lint(root, select={"R004"})) == ["R004"]

@@ -368,6 +368,43 @@ def assert_invariants(result, case: DifferentialCase) -> None:
     assert np.all(result.energy_per_disk >= -1e-9), note
 
 
+def run_observed(case: DifferentialCase, engine: str, observer=None):
+    """Run the scenario on one kernel, optionally under an observer."""
+    return StorageSystem(
+        case.catalog,
+        case.mapping,
+        case.config.with_overrides(engine=engine),
+        num_disks=case.num_disks,
+    ).run(case.stream, observer=observer)
+
+
+def assert_observer_invisible(off, on, case: DifferentialCase, engine: str) -> None:
+    """Observation is purely passive: an observed run must be *bit*
+    identical to an unobserved one — not 1e-9, bit — in every simulated
+    quantity.  Any drift means an observer hook leaked arithmetic into
+    the kernel.  (``extra["obs"]`` is the one sanctioned difference.)
+    """
+    note = f"{case.describe()}\n(engine={engine!r}, observer on vs off)"
+    assert np.array_equal(off.response_times, on.response_times), note
+    assert np.array_equal(off.energy_per_disk, on.energy_per_disk), note
+    assert off.energy == on.energy, note
+    assert np.array_equal(off.final_mapping, on.final_mapping), note
+    assert np.array_equal(off.requests_per_disk, on.requests_per_disk), note
+    assert np.array_equal(off.spinups_per_disk, on.spinups_per_disk), note
+    assert off.state_durations == on.state_durations, note
+    assert off.arrivals == on.arrivals, note
+    assert off.completions == on.completions, note
+    assert off.spinups == on.spinups, note
+    assert off.spindowns == on.spindowns, note
+    if off.cache_stats is not None:
+        assert off.cache_stats == on.cache_stats, note
+    if "dpm" in off.extra:
+        assert off.extra["dpm"]["thresholds"] == on.extra["dpm"]["thresholds"], note
+        assert off.extra["dpm"]["t_end"] == on.extra["dpm"]["t_end"], note
+    assert "obs" not in off.extra, note
+    assert "obs" in on.extra, note
+
+
 def run_chunked(case: DifferentialCase, chunk_size: int, metrics_mode="full"):
     """Run the fast kernel out-of-core (``chunk_size`` requests at a time)."""
     return StorageSystem(

@@ -14,6 +14,9 @@ Budget knobs (environment variables):
 ``REPRO_DIFF_BASE_SEED``
     First seed (default 20260726).  Pin a single failing seed with
     ``REPRO_DIFF_CASES=1 REPRO_DIFF_BASE_SEED=<seed>``.
+``REPRO_DIFF_OBSERVER_CASES``
+    Seeds for the observer-passivity axis (default 40): each case runs
+    both engines observed and unobserved and requires *bit* identity.
 
 The ``--runslow``-gated grid at the bottom exhaustively crosses every
 registered ladder preset with every registered DPM policy (the
@@ -29,11 +32,14 @@ from diffgen import (
     assert_chunked_identical,
     assert_engines_agree,
     assert_invariants,
+    assert_observer_invisible,
     assert_streaming_consistent,
     build_case,
     run_chunked,
     run_engines,
+    run_observed,
 )
+from repro.obs.trace import TraceRecorder
 
 from repro.control.policies import dpm_policy_names
 from repro.disk.dpm import dpm_ladder_names
@@ -50,6 +56,9 @@ CHUNK_CASES = int(os.environ.get("REPRO_DIFF_CHUNK_CASES", "30"))
 #: boundary count), a small prime (misaligned with every control interval
 #: and write segment), and a mid-size prime (several boundaries per run).
 CHUNK_SIZES = (1, 13, 101)
+#: Seeds for the observer-passivity axis (each costs 2 event + 2 fast
+#: runs, so the default budget matches ~40 cross-engine cases).
+OBSERVER_CASES = int(os.environ.get("REPRO_DIFF_OBSERVER_CASES", "40"))
 
 
 @pytest.mark.parametrize("seed", range(BASE_SEED, BASE_SEED + CASES))
@@ -80,6 +89,28 @@ def test_chunked_matches_monolithic(seed):
         assert_chunked_identical(mono, chunk, case, k)
     streamed = run_chunked(case, CHUNK_SIZES[-1], metrics_mode="streaming")
     assert_streaming_consistent(mono, streamed, case)
+
+
+@pytest.mark.parametrize("seed", range(BASE_SEED, BASE_SEED + OBSERVER_CASES))
+def test_observer_runs_bit_identical(seed):
+    """Observer axis: attaching a ``TraceRecorder`` must not perturb a
+    single bit of either engine's output, anywhere in the random config
+    space.  The recorder must also actually *see* the run (non-empty
+    state spans) — a silently disconnected observer would pass the
+    identity check vacuously."""
+    case = build_case(seed)
+    for engine in ("event", "fast"):
+        off = run_observed(case, engine)
+        recorder = TraceRecorder()
+        on = run_observed(case, engine, observer=recorder)
+        assert_observer_invisible(off, on, case, engine)
+        if engine == "event":
+            # The event engine reports the full per-disk state timeline.
+            assert recorder.state_spans, (case.describe(), engine)
+        elif off.spindowns:
+            # The fast kernel's granularity is spin transitions; a run
+            # with none legitimately leaves an empty span track.
+            assert recorder.state_spans, (case.describe(), engine)
 
 
 def test_generator_is_deterministic():

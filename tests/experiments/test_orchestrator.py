@@ -84,12 +84,19 @@ class TestSweepRunner:
         assert result.extra["alloc_disks"] > 0
 
     def test_caching_across_batches(self):
+        # Stats reset per run(): each call reports its own sweep, with the
+        # per-run snapshots piling up on history.
         runner = SweepRunner(max_workers=1)
         first = runner.run([make_task()])
-        second = runner.run([make_task()])
         assert runner.stats.executed == 1
+        assert runner.stats.cached == 0
+        second = runner.run([make_task()])
+        assert runner.stats.executed == 0
         assert runner.stats.cached == 1
+        assert runner.stats.memory_hits == 1
         assert first[0] is second[0]
+        assert [s.executed for s in runner.history] == [1, 0]
+        assert [s.cached for s in runner.history] == [0, 1]
 
     def test_dedup_within_batch(self):
         runner = SweepRunner(max_workers=1)

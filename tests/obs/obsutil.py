@@ -1,0 +1,90 @@
+"""Shared scenario builders for the observability suite.
+
+Every helper returns deterministic, seeded scenarios sized so spin
+transitions, cache churn, controller pushes, and write placements all
+actually occur (an observability test over a trace with no events proves
+nothing).
+"""
+
+from __future__ import annotations
+
+from functools import lru_cache
+
+import numpy as np
+
+from repro.system import StorageConfig, StorageSystem
+from repro.workload.generator import SyntheticWorkloadParams, generate_workload
+from repro.workload.mixed import MixedWorkloadParams, generate_mixed_workload
+
+DURATION = 200.0
+NUM_DISKS = 20
+ENGINES = ("event", "fast")
+
+#: Per-request inter-arrivals per disk (~20 s at rate 1.0 over 20 disks)
+#: dwarf this threshold, so every scenario spins disks up and down.
+THRESHOLD = 5.0
+
+#: Shared-cache overrides sized so the multi-GB catalog actually hits
+#: (a too-small capacity rejects every insertion — zero cache events).
+CACHE = {"cache_policy": "lru", "cache_capacity": float(2**36)}
+
+#: An *online* DPM policy ("fixed" is static — engines skip its control
+#: loop entirely, so it never pushes thresholds to an observer).
+DPM = {"dpm_policy": "adaptive_timeout", "control_interval": 25.0}
+
+
+@lru_cache(maxsize=1)
+def base_workload():
+    return generate_workload(
+        SyntheticWorkloadParams(
+            n_files=400, arrival_rate=1.0, duration=DURATION, seed=9
+        )
+    )
+
+
+def make_config(**overrides) -> StorageConfig:
+    kwargs = dict(
+        num_disks=NUM_DISKS,
+        load_constraint=0.7,
+        idleness_threshold=THRESHOLD,
+    )
+    kwargs.update(overrides)
+    return StorageConfig(**kwargs)
+
+
+def run_traced(engine: str, observer=None, *, mixed: bool = False, **overrides):
+    """Run the standard scenario on one engine, returning the result.
+
+    ``mixed=True`` switches to a read/write stream (new files unmapped)
+    so write-placement emissions occur; ``overrides`` go straight into
+    :class:`StorageConfig` (cache, DPM, chunking, ...).
+    """
+    wl = base_workload()
+    cfg = make_config(engine=engine, **overrides)
+    mapping = np.arange(wl.catalog.n, dtype=np.int64) % NUM_DISKS
+    if mixed:
+        catalog, stream = generate_mixed_workload(
+            wl.catalog,
+            MixedWorkloadParams(
+                write_fraction=0.3,
+                new_file_fraction=0.6,
+                arrival_rate=1.0,
+                duration=DURATION,
+                seed=10,
+            ),
+        )
+        mapping = np.concatenate(
+            [mapping, np.full(catalog.n - wl.catalog.n, -1, dtype=np.int64)]
+        )
+    else:
+        catalog, stream = wl.catalog, wl.stream
+    system = StorageSystem(catalog, mapping, cfg, num_disks=NUM_DISKS)
+    return system.run(stream, observer=observer)
+
+
+def track_events(trace: dict):
+    """Group a Chrome trace's events by ``(pid, tid)`` track, in order."""
+    tracks: dict = {}
+    for event in trace["traceEvents"]:
+        tracks.setdefault((event["pid"], event["tid"]), []).append(event)
+    return tracks

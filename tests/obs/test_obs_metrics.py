@@ -1,0 +1,111 @@
+"""The metrics registry and the ``extra["obs"]`` snapshot contract."""
+
+from __future__ import annotations
+
+import json
+
+import pytest
+
+from obsutil import CACHE, DURATION, ENGINES, NUM_DISKS, run_traced
+
+from repro.obs.metrics import (
+    Counter,
+    Gauge,
+    Histogram,
+    MetricsRegistry,
+    OBS_SNAPSHOT_VERSION,
+)
+from repro.obs.trace import TraceRecorder
+
+
+class TestPrimitives:
+    def test_counter(self):
+        c = Counter("x")
+        c.inc()
+        c.inc(4)
+        assert c.value == 5
+
+    def test_gauge_last_write_wins(self):
+        g = Gauge("x")
+        g.set(3)
+        g.set(1.5)
+        assert g.value == 1.5
+
+    def test_histogram_buckets(self):
+        h = Histogram("x", bounds=(1.0, 10.0))
+        for v in (0.5, 1.0, 5.0, 100.0):
+            h.observe(v)
+        assert h.counts == [2, 1, 1]  # <=1, <=10, overflow
+        assert h.count == 4
+        assert h.min == 0.5 and h.max == 100.0
+        snap = h.snapshot()
+        assert snap["mean"] == pytest.approx(106.5 / 4)
+
+    def test_histogram_rejects_unsorted_bounds(self):
+        with pytest.raises(ValueError):
+            Histogram("x", bounds=(3.0, 1.0))
+
+    def test_empty_histogram_snapshot(self):
+        snap = Histogram("x").snapshot()
+        assert snap["count"] == 0
+        assert snap["mean"] is None and snap["min"] is None
+
+    def test_registry_interns_by_name(self):
+        reg = MetricsRegistry()
+        assert reg.counter("a") is reg.counter("a")
+        assert reg.gauge("b") is reg.gauge("b")
+        assert reg.histogram("c") is reg.histogram("c")
+        snap = reg.snapshot()
+        assert set(snap) == {"counters", "gauges", "histograms"}
+        assert json.loads(json.dumps(snap)) == snap
+
+
+@pytest.mark.parametrize("engine", ENGINES)
+class TestRunSnapshot:
+    def run_observed(self, engine):
+        recorder = TraceRecorder()
+        result = run_traced(engine, observer=recorder, **CACHE)
+        return result, recorder
+
+    def test_snapshot_attached_and_versioned(self, engine):
+        result, _ = self.run_observed(engine)
+        snap = result.extra["obs"]
+        assert snap["version"] == OBS_SNAPSHOT_VERSION
+        assert set(snap) == {"version", "run", "events"}
+        assert json.loads(json.dumps(snap)) == snap
+
+    def test_run_counters_mirror_the_result(self, engine):
+        result, _ = self.run_observed(engine)
+        counters = result.extra["obs"]["run"]["counters"]
+        assert counters["run.arrivals"] == result.arrivals
+        assert counters["run.spinups"] == result.spinups
+        assert counters["run.spindowns"] == result.spindowns
+        assert counters["cache.hits"] == result.cache_stats.hits
+        assert counters["cache.misses"] == result.cache_stats.misses
+
+    def test_run_gauges_and_state_residency(self, engine):
+        result, _ = self.run_observed(engine)
+        gauges = result.extra["obs"]["run"]["gauges"]
+        assert gauges["run.duration_s"] == DURATION
+        assert gauges["run.num_disks"] == NUM_DISKS
+        assert gauges["run.energy_j"] == pytest.approx(result.energy)
+        residency = sum(v for k, v in gauges.items() if k.startswith("state."))
+        assert residency == pytest.approx(NUM_DISKS * DURATION)
+
+    def test_response_histogram_covers_every_response(self, engine):
+        result, _ = self.run_observed(engine)
+        hist = result.extra["obs"]["run"]["histograms"]["response_s"]
+        assert hist["count"] == len(result.response_times)
+        assert sum(hist["counts"]) == hist["count"]
+        assert hist["min"] == pytest.approx(float(min(result.response_times)))
+        assert hist["max"] == pytest.approx(float(max(result.response_times)))
+
+    def test_observer_event_counts_merge_into_events(self, engine):
+        result, recorder = self.run_observed(engine)
+        events = result.extra["obs"]["events"]["counters"]
+        assert events["cache.hit"] == result.cache_stats.hits
+        assert events["cache.miss"] == result.cache_stats.misses
+        span_total = sum(
+            v for k, v in events.items() if k.startswith("span.")
+        )
+        assert span_total == len(recorder.state_spans)

@@ -1,0 +1,129 @@
+"""Chrome-trace exporter contracts: schema, per-track ordering, pairing.
+
+Traces must load in Perfetto / ``chrome://tracing``: a structurally valid
+JSON object whose events carry the required keys, whose timestamps never
+run backwards within a track, and whose duration spans arrive as strictly
+nested, name-matched B/E pairs.
+"""
+
+from __future__ import annotations
+
+import json
+
+import pytest
+
+from obsutil import CACHE, DPM, ENGINES, run_traced, track_events
+
+from repro.experiments.orchestrator import TaskProfile
+from repro.obs.hooks import NULL_OBSERVER, NullObserver, active_observer
+from repro.obs.trace import TraceRecorder, sweep_chrome_trace, write_trace
+
+_PHASES = {"B", "E", "i", "M", "X"}
+_REQUIRED_KEYS = {"ph", "pid", "tid", "ts", "name"}
+
+
+def record(engine: str, **overrides) -> TraceRecorder:
+    recorder = TraceRecorder()
+    run_traced(engine, observer=recorder, **overrides)
+    return recorder
+
+
+@pytest.fixture(scope="module", params=ENGINES)
+def trace(request):
+    """A full-featured trace (cache + DPM + writes) per engine."""
+    recorder = record(
+        request.param,
+        mixed=True,
+        **CACHE,
+        **DPM,
+    )
+    return recorder.to_chrome_trace()
+
+
+def test_trace_schema(trace):
+    assert set(trace) == {"traceEvents", "displayTimeUnit", "otherData"}
+    assert trace["otherData"]["clock"] == "simulated-seconds"
+    assert trace["traceEvents"], "instrumented run produced an empty trace"
+    for event in trace["traceEvents"]:
+        assert _REQUIRED_KEYS <= set(event), event
+        assert event["ph"] in _PHASES, event
+        assert event["ts"] >= 0.0, event
+    # Round-trips through JSON (no numpy scalars or other non-JSON types).
+    assert json.loads(json.dumps(trace)) == trace
+
+
+def test_timestamps_monotonic_per_track(trace):
+    for key, events in track_events(trace).items():
+        stamps = [e["ts"] for e in events if e["ph"] != "M"]
+        assert stamps == sorted(stamps), key
+
+
+def test_span_begin_end_pairing(trace):
+    """Every track's B/E events nest like a well-formed bracket string."""
+    saw_spans = False
+    for key, events in track_events(trace).items():
+        stack = []
+        for event in events:
+            if event["ph"] == "B":
+                stack.append(event["name"])
+            elif event["ph"] == "E":
+                saw_spans = True
+                assert stack, (key, event)
+                assert stack.pop() == event["name"], (key, event)
+        assert stack == [], (key, stack)
+    assert saw_spans
+
+
+def test_every_event_class_is_present(trace):
+    names = {e["name"] for e in trace["traceEvents"] if e["ph"] != "M"}
+    assert "thresholds" in names
+    assert "place" in names
+    assert {n for n in names if n.startswith("cache:")} >= {
+        "cache:hit",
+        "cache:miss",
+        "cache:admit",
+    }
+
+
+def test_write_chrome_trace_round_trips(tmp_path):
+    recorder = record("fast")
+    out = recorder.write_chrome_trace(tmp_path / "sub" / "trace.json")
+    loaded = json.loads(out.read_text(encoding="utf-8"))
+    assert loaded == recorder.to_chrome_trace()
+
+
+def test_zero_length_spans_are_dropped():
+    recorder = TraceRecorder()
+    recorder.on_state_span(0, "spinning", 3.0, 3.0)
+    recorder.on_state_span(0, "spinning", 3.0, 5.0)
+    spans = [e for e in recorder.to_chrome_trace()["traceEvents"] if e["ph"] in "BE"]
+    assert len(spans) == 2  # one B/E pair; the empty dwell vanished
+
+
+def test_sweep_trace_uses_complete_events(tmp_path):
+    profiles = [
+        TaskProfile(label="a", fingerprint="f1", started=0.0, wall=1.5, pid=11),
+        TaskProfile(label="b", fingerprint="f2", started=0.5, wall=0.25, pid=12),
+    ]
+    trace = sweep_chrome_trace(profiles)
+    tasks = [e for e in trace["traceEvents"] if e["ph"] == "X"]
+    assert {e["name"] for e in tasks} == {"a", "b"}
+    assert all(e["dur"] > 0 for e in tasks)
+    assert {e["tid"] for e in tasks} == {11, 12}
+    assert trace["otherData"]["clock"] == "wall-seconds"
+    out = write_trace(trace, tmp_path / "sweep.json")
+    assert json.loads(out.read_text(encoding="utf-8")) == trace
+
+
+def test_active_observer_normalization():
+    recorder = TraceRecorder()
+    assert active_observer(None) is None
+    assert active_observer(NULL_OBSERVER) is None
+    assert active_observer(NullObserver()) is None
+    assert active_observer(recorder) is recorder
+
+
+@pytest.mark.parametrize("engine", ENGINES)
+def test_null_observer_leaves_no_snapshot(engine):
+    assert "obs" not in run_traced(engine, observer=NULL_OBSERVER).extra
+    assert "obs" not in run_traced(engine).extra
