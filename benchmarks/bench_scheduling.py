@@ -1,0 +1,132 @@
+"""Bench: request scheduling overhead and the fast kernel's speedup.
+
+Guards two properties of the slack-aware scheduling subsystem:
+
+* **scheduled-kernel speedup** — with a deferring request scheduler in
+  front of the drives (the scheduling pre-pass re-times every arrival
+  before the Lindley banks see it) the fast kernel must still beat the
+  event engine by >= 5x while agreeing on the physics request-by-request;
+* **composition** — the scheduler composes with the ``slo_feedback``
+  controller (the scheduler reads the controller's live percentile
+  telemetry for its stress gate) without breaking cross-engine agreement
+  on the control trajectory.
+"""
+
+import math
+import time
+
+import pytest
+
+from repro.system import StorageConfig, StorageSystem, allocate
+from repro.units import MB
+from repro.workload.generator import SyntheticWorkloadParams, generate_workload
+
+
+def _timed(run, rounds):
+    best = math.inf
+    result = None
+    for _ in range(rounds):
+        t0 = time.perf_counter()
+        result = run()
+        best = min(best, time.perf_counter() - t0)
+    return result, best
+
+
+def test_fast_engine_speedup_under_scheduling(scale, capsys):
+    """Deferring scheduler: fast must win 5x over the event engine."""
+    duration = max(800.0, 4_000.0 * scale)
+    workload = generate_workload(
+        SyntheticWorkloadParams(
+            n_files=6_000,
+            arrival_rate=6.0,
+            duration=duration,
+            seed=11,
+            s_max=500 * MB,
+            s_min=20 * MB,
+        )
+    )
+    cfg = StorageConfig(
+        num_disks=100,
+        load_constraint=0.6,
+        idleness_threshold=60.0,
+        scheduler="slack_defer",
+        scheduler_params=(("target", 90.0), ("max_hold", 75.0)),
+    )
+    mapping = allocate(
+        workload.catalog, "round_robin", cfg, 6.0, num_disks=100
+    ).mapping(workload.catalog.n)
+
+    def run_engine(engine):
+        system = StorageSystem(
+            workload.catalog, mapping, cfg.with_overrides(engine=engine)
+        )
+        return system.run(workload.stream)
+
+    # Best-of-N so a scheduling hiccup on a shared CI runner cannot flip
+    # the speedup assertion (the fast run is only milliseconds long).
+    event, event_s = _timed(lambda: run_engine("event"), rounds=2)
+    fast, fast_s = _timed(lambda: run_engine("fast"), rounds=5)
+    fast_s = max(fast_s, 1e-9)
+
+    assert fast.energy == pytest.approx(event.energy, rel=1e-6)
+    assert fast.mean_response == pytest.approx(event.mean_response, rel=1e-6)
+    assert fast.spinups == event.spinups
+    assert fast.completions == event.completions
+    with capsys.disabled():
+        print(
+            f"\n[scheduling] {len(workload.stream)} requests, slack_defer: "
+            f"event {event_s:.3f}s, fast {fast_s:.4f}s "
+            f"({event_s / fast_s:.1f}x speedup)"
+        )
+    assert event_s >= 5.0 * fast_s
+
+
+def test_scheduler_composes_with_controller(scale, capsys):
+    """slack_defer + slo_feedback: both engines, same control trajectory."""
+    duration = max(800.0, 4_000.0 * scale)
+    workload = generate_workload(
+        SyntheticWorkloadParams(
+            n_files=4_000,
+            arrival_rate=4.0,
+            duration=duration,
+            seed=13,
+            s_max=500 * MB,
+            s_min=20 * MB,
+        )
+    )
+    cfg = StorageConfig(
+        num_disks=100,
+        load_constraint=0.6,
+        dpm_policy="slo_feedback",
+        slo_target=90.0,
+        control_interval=max(50.0, duration / 10.0),
+        scheduler="slack_defer",
+        scheduler_params=(("max_hold", 75.0),),
+    )
+    mapping = allocate(
+        workload.catalog, "round_robin", cfg, 4.0, num_disks=100
+    ).mapping(workload.catalog.n)
+
+    def run_engine(engine):
+        system = StorageSystem(
+            workload.catalog, mapping, cfg.with_overrides(engine=engine)
+        )
+        return system.run(workload.stream)
+
+    event, event_s = _timed(lambda: run_engine("event"), rounds=1)
+    fast, fast_s = _timed(lambda: run_engine("fast"), rounds=3)
+    fast_s = max(fast_s, 1e-9)
+
+    assert fast.energy == pytest.approx(event.energy, rel=1e-6)
+    assert fast.spinups == event.spinups
+    # The controller walked the same trajectory on both engines even with
+    # the scheduler re-timing arrivals underneath it.
+    assert (
+        fast.extra["dpm"]["thresholds"] == event.extra["dpm"]["thresholds"]
+    )
+    with capsys.disabled():
+        print(
+            f"\n[scheduling+control] {len(workload.stream)} requests: "
+            f"event {event_s:.3f}s, fast {fast_s:.4f}s "
+            f"({event_s / fast_s:.1f}x speedup)"
+        )

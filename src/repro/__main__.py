@@ -25,7 +25,12 @@ NAME`` (``two_state``, ``nap``, ``drpm4`` — see ``repro.disk.dpm``) to add
 a multi-state power-ladder axis: every cell re-runs with the ladder, whose
 intermediate low-power rungs both engines simulate identically, and the
 report shows where the ladder beats the best two-state static threshold
-at equal p95.  The ``hetero-fleet`` experiment (fleet mix x placement x
+at equal p95, plus ``--scheduler NAME`` (``slack_defer``,
+``batch_release``, ``spinup_coalesce`` — see ``repro.system.scheduling``)
+to add a slack-aware request-scheduler axis: two-state cells re-run with
+arrivals held back to lengthen idle gaps, and the report shows where a
+scheduled cell strictly dominates the best scheduler-less cell at
+equal-or-better p95.  The ``hetero-fleet`` experiment (fleet mix x placement x
 DPM policy over heterogeneous pools — see ``repro.disk.fleet``) accepts
 ``--fleet NAME`` (``uniform`` or a preset like ``mixed_generation``) to
 restrict its fleet axis.
@@ -154,6 +159,7 @@ def _cmd_run(args: argparse.Namespace) -> int:
         "dpm_policy": (args.dpm_policy, "the 'slo-frontier' experiment"),
         "slo_target": (args.slo_target, "the 'slo-frontier' experiment"),
         "dpm_ladder": (args.dpm_ladder, "the 'slo-frontier' experiment"),
+        "scheduler": (args.scheduler, "the 'slo-frontier' experiment"),
         "fleet": (args.fleet, "the 'hetero-fleet' experiment"),
     }
     for name in names:
@@ -285,6 +291,19 @@ def build_parser() -> argparse.ArgumentParser:
             "add a multi-state DPM ladder axis to the 'slo-frontier' grid "
             "('two_state', 'nap' or 'drpm4'; see repro.disk.dpm) — every "
             "cell re-runs with StorageConfig(dpm_ladder=LADDER)"
+        ),
+    )
+    run.add_argument(
+        "--scheduler",
+        type=str,
+        default=None,
+        metavar="SCHEDULER",
+        help=(
+            "add a slack-aware request-scheduler axis to the "
+            "'slo-frontier' grid ('slack_defer', 'batch_release' or "
+            "'spinup_coalesce'; see repro.system.scheduling) — two-state "
+            "cells re-run with StorageConfig(scheduler=SCHEDULER), holding "
+            "requests back to lengthen idle gaps and coalesce wake-ups"
         ),
     )
     run.add_argument(

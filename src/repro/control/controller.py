@@ -113,6 +113,19 @@ class ThresholdController:
             self._slo_estimator = P2Quantile(slo_percentile)
         self.records: List[IntervalRecord] = []
 
+    @property
+    def slo_estimate(self) -> float:
+        """The running SLO-percentile estimate (NaN before warm-up).
+
+        Interval-constant: the underlying P² estimator is only fed at
+        control boundaries, so between boundaries this value is frozen —
+        which is what lets request schedulers
+        (:mod:`repro.system.scheduling`) read it at arrival instants on
+        the event engine and in interval batches on the fast kernel and
+        still see byte-identical telemetry.
+        """
+        return self._slo_estimator.value
+
     # -- the per-boundary protocol ----------------------------------------------
 
     def _observe(

@@ -303,6 +303,8 @@ _REGISTRIES: Tuple[Tuple[str, str, str, str], ...] = (
     # keys of the module-level dict literal named by label.
     ("placement", "src/repro/system/placement.py", "decorated-class",
      "placement_policy_names"),
+    ("scheduling", "src/repro/system/scheduling.py", "decorated-class",
+     "request_scheduler_names"),
     ("dpm-policy", "src/repro/control/policies.py", "decorated-class",
      "dpm_policy_names"),
     ("DPM_LADDERS", "src/repro/disk/dpm.py", "dict",

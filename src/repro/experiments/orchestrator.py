@@ -217,7 +217,11 @@ def _canon(obj: Any) -> Any:
 #: ``chunk_size`` salt fingerprints via the config dataclass; streaming
 #: results carry ``response_stats`` instead of ``response_times``) + the
 #: unified chunked fast-kernel core.
-RESULT_SCHEMA_VERSION = 7
+#: v8: slack-aware request scheduling (``StorageConfig.scheduler`` /
+#: ``scheduler_params`` salt fingerprints via the config dataclass;
+#: scheduled runs hold requests back and measure response from the
+#: original arrival).
+RESULT_SCHEMA_VERSION = 8
 
 
 def task_fingerprint(task: SimTask) -> str:

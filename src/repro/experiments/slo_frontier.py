@@ -28,6 +28,19 @@ equal-or-better p95* (intermediate rungs buy power saving on
 medium-length gaps that a single threshold must either idle through or
 pay a full spin-up for).
 
+``--scheduler NAME`` adds a **request-scheduler axis** (registry in
+:mod:`repro.system.scheduling`: ``slack_defer``, ``batch_release``,
+``spinup_coalesce``): every cell of the two-state grid is re-run with
+``StorageConfig(scheduler=NAME)``, so arrivals are held back to lengthen
+idle gaps and coalesce wake-ups.  ``slack_defer`` composes with the
+feedback controller — it reads the controller's live percentile estimate
+and stops deferring under SLO stress, and on the feedback cells it
+inherits the cell's ``slo_target`` (without an explicit ``target`` param
+it rides *only* on those cells).  The headline scheduler check: some
+scheduled cell — the acceptance pair is ``slack_defer`` +
+``slo_feedback`` — saves strictly more power than the best
+scheduler-less cell at equal-or-better p95.
+
 The workload deliberately spreads load (round-robin placement, small
 files): under the paper's packed allocations the threshold is nearly
 free — hot disks never idle, cold disks never wake (Figures 2-6 show
@@ -67,6 +80,10 @@ from repro.reporting.series import SeriesBundle
 from repro.reporting.table import format_table
 from repro.system.config import StorageConfig
 from repro.system.runner import allocate
+from repro.system.scheduling import (
+    normalize_scheduler_params,
+    request_scheduler_names,
+)
 from repro.units import MB
 from repro.workload.generator import SyntheticWorkloadParams, generate_workload
 
@@ -101,15 +118,21 @@ def build_tasks(
     num_disks: int,
     load_constraint: float,
     dpm_ladder: Optional[str] = None,
+    scheduler: Optional[str] = None,
+    scheduler_params=(),
 ):
     """The grid as :class:`SimTask` descriptions (shared with the bench).
 
     One workload per rate (shipped to pool workers once as an
     :class:`InlineWorkload`), mapped round-robin across the full pool;
     grid keys are ``(policy, rate, threshold_or_None, target_or_None,
-    ladder_or_None)``.  With ``dpm_ladder`` set, every cell is duplicated
-    on the ladder axis (plus a ladder cell at the ladder's *native*
-    descent schedule, ``threshold=None``).
+    ladder_or_None, scheduler_or_None)``.  With ``dpm_ladder`` set, every
+    cell is duplicated on the ladder axis (plus a ladder cell at the
+    ladder's *native* descent schedule, ``threshold=None``).  With
+    ``scheduler`` set, the *two-state* cells are duplicated on the
+    request-scheduler axis (``slack_defer`` without an explicit
+    ``target`` param rides only on the feedback cells, which feed it
+    their ``slo_target``).
     """
     duration = scaled_duration(4_000.0, scale)
     # Decide ~10 times per run regardless of scale, with a floor so tiny
@@ -124,6 +147,12 @@ def build_tasks(
     tasks = []
     ladders: Sequence[Optional[str]] = (
         (None,) if dpm_ladder is None else (None, dpm_ladder)
+    )
+    # slack_defer needs a response-time target; without an explicit
+    # `target` param only the feedback cells (whose slo_target feeds it
+    # at reset) can carry it.
+    sched_needs_target = scheduler == "slack_defer" and "target" not in dict(
+        normalize_scheduler_params(scheduler_params)
     )
     for rate in rates:
         wl = generate_workload(
@@ -160,40 +189,58 @@ def build_tasks(
             )
 
         for ladder in ladders:
+            # The scheduler axis rides only on the two-state grid — a
+            # ladder x scheduler product would square the cell count for
+            # a comparison neither headline check needs.
+            scheds: Sequence[Optional[str]] = (
+                (None,)
+                if ladder is not None or scheduler is None
+                else (None, scheduler)
+            )
             cfg = (
                 base_cfg if ladder is None
                 else base_cfg.with_overrides(dpm_ladder=ladder)
             )
             tag = "" if ladder is None else f" [{ladder}]"
-            if ladder is not None:
-                # The ladder's own envelope schedule, unscaled.
-                add(
-                    f"fixed native{tag} R={rate:g}",
-                    cfg,
-                    ("fixed", rate, None, None, ladder),
-                )
-            for threshold in static_thresholds:
-                add(
-                    f"fixed th={threshold:g}{tag} R={rate:g}",
-                    cfg.with_overrides(idleness_threshold=threshold),
-                    ("fixed", rate, threshold, None, ladder),
-                )
-            for policy in dynamic_policies:
-                add(
-                    f"{policy}{tag} R={rate:g}",
-                    cfg.with_overrides(dpm_policy=policy),
-                    (policy, rate, None, None, ladder),
-                )
-            for target in slo_targets:
-                add(
-                    f"slo_feedback p95<={target:g}s{tag} R={rate:g}",
-                    cfg.with_overrides(
-                        dpm_policy="slo_feedback",
-                        slo_target=target,
-                        slo_percentile=95.0,
-                    ),
-                    ("slo_feedback", rate, None, target, ladder),
-                )
+            for sched in scheds:
+                if sched is None:
+                    scfg, stag = cfg, tag
+                else:
+                    scfg = cfg.with_overrides(
+                        scheduler=sched, scheduler_params=scheduler_params
+                    )
+                    stag = f"{tag} +{sched}"
+                unfed = sched is not None and sched_needs_target
+                if ladder is not None:
+                    # The ladder's own envelope schedule, unscaled.
+                    add(
+                        f"fixed native{stag} R={rate:g}",
+                        scfg,
+                        ("fixed", rate, None, None, ladder, sched),
+                    )
+                if not unfed:
+                    for threshold in static_thresholds:
+                        add(
+                            f"fixed th={threshold:g}{stag} R={rate:g}",
+                            scfg.with_overrides(idleness_threshold=threshold),
+                            ("fixed", rate, threshold, None, ladder, sched),
+                        )
+                    for policy in dynamic_policies:
+                        add(
+                            f"{policy}{stag} R={rate:g}",
+                            scfg.with_overrides(dpm_policy=policy),
+                            (policy, rate, None, None, ladder, sched),
+                        )
+                for target in slo_targets:
+                    add(
+                        f"slo_feedback p95<={target:g}s{stag} R={rate:g}",
+                        scfg.with_overrides(
+                            dpm_policy="slo_feedback",
+                            slo_target=target,
+                            slo_percentile=95.0,
+                        ),
+                        ("slo_feedback", rate, None, target, ladder, sched),
+                    )
     return tasks
 
 
@@ -213,6 +260,8 @@ def run(
     dpm_policy: Optional[str] = None,
     slo_target: Optional[float] = None,
     dpm_ladder: Optional[str] = None,
+    scheduler: Optional[str] = None,
+    scheduler_params=(),
 ) -> ExperimentResult:
     """Sweep DPM policy x load x SLO target (x ladder); report the frontier.
 
@@ -221,12 +270,28 @@ def run(
     ``slo_target`` (``--slo-target``) restricts the feedback targets to
     one value; ``dpm_ladder`` (``--dpm-ladder``) duplicates the grid on a
     multi-state ladder axis and reports where the ladder beats the best
-    two-state static threshold at equal-or-better p95.
+    two-state static threshold at equal-or-better p95; ``scheduler``
+    (``--scheduler``) duplicates the two-state grid on a request-scheduler
+    axis and reports where a scheduled cell strictly dominates the best
+    scheduler-less cell at equal-or-better p95.
     """
     if dpm_ladder is not None and dpm_ladder not in dpm_ladder_names():
         raise ConfigError(
             f"unknown --dpm-ladder {dpm_ladder!r}; choose from "
             f"{dpm_ladder_names()}"
+        )
+    if scheduler is not None and scheduler not in request_scheduler_names():
+        raise ConfigError(
+            f"unknown --scheduler {scheduler!r}; choose from "
+            f"{request_scheduler_names()}"
+        )
+    if scheduler == "fifo":
+        # fifo is the baseline itself; a "+fifo" axis would duplicate
+        # every cell bit-for-bit and report a vacuous comparison.
+        raise ConfigError(
+            "--scheduler fifo is the scheduler-less baseline; pick a "
+            "deferring scheduler "
+            f"{tuple(n for n in request_scheduler_names() if n != 'fifo')}"
         )
     if dpm_policy is not None:
         valid = ("fixed", "slo_feedback") + tuple(DEFAULT_DYNAMIC_POLICIES)
@@ -259,15 +324,18 @@ def run(
             num_disks=num_disks,
             load_constraint=load_constraint,
             dpm_ladder=dpm_ladder,
+            scheduler=scheduler,
+            scheduler_params=scheduler_params,
         )
         by_key = default_runner().run_map(tasks)
 
         result = ExperimentResult(name="slo_frontier")
         demonstrations = []
         ladder_demonstrations = []
+        scheduler_demonstrations = []
         for rate in rates:
             statics = {
-                th: by_key[("fixed", rate, th, None, None)]
+                th: by_key[("fixed", rate, th, None, None, None)]
                 for th in static_thresholds
             }
 
@@ -279,9 +347,17 @@ def run(
             curves = {}
             rows = []
 
-            def account(label, res, target=None):
+            #: (label, p95, saving) of scheduler-less two-state cells —
+            #: the rival pool for the scheduler demonstration — and of
+            #: the scheduled cells claiming to dominate them.
+            plain_cells = []
+            sched_cells = []
+
+            def account(label, res, target=None, bucket=None):
                 p95 = res.p95_response
                 saving = _saving(res)
+                if bucket is not None:
+                    bucket.append((label, p95, saving))
                 bundle.add(label, p95, saving)
                 curves.setdefault(label.split(" ")[0], ([], []))
                 xs, ys = curves[label.split(" ")[0]]
@@ -303,13 +379,17 @@ def run(
                 )
 
             for th, res in statics.items():
-                account(f"fixed th={th:g}", res)
+                account(f"fixed th={th:g}", res, bucket=plain_cells)
             for policy in dynamic_policies:
-                account(policy, by_key[(policy, rate, None, None, None)])
+                account(
+                    policy,
+                    by_key[(policy, rate, None, None, None, None)],
+                    bucket=plain_cells,
+                )
             ladder_cells = []
             if dpm_ladder is not None:
                 for th in (None,) + tuple(static_thresholds):
-                    res = by_key[("fixed", rate, th, None, dpm_ladder)]
+                    res = by_key[("fixed", rate, th, None, dpm_ladder, None)]
                     label = (
                         f"fixed native [{dpm_ladder}]" if th is None
                         else f"fixed th={th:g} [{dpm_ladder}]"
@@ -317,12 +397,48 @@ def run(
                     account(label, res)
                     ladder_cells.append((label, res))
                 for policy in dynamic_policies:
-                    res = by_key[(policy, rate, None, None, dpm_ladder)]
+                    res = by_key[(policy, rate, None, None, dpm_ladder, None)]
                     account(f"{policy} [{dpm_ladder}]", res)
                     ladder_cells.append((f"{policy} [{dpm_ladder}]", res))
+            if scheduler is not None:
+                # Scheduled static/dynamic cells (absent when slack_defer
+                # has no target to read outside the feedback cells).
+                for th in static_thresholds:
+                    res = by_key.get(
+                        ("fixed", rate, th, None, None, scheduler)
+                    )
+                    if res is not None:
+                        account(
+                            f"fixed th={th:g} +{scheduler}",
+                            res,
+                            bucket=sched_cells,
+                        )
+                for policy in dynamic_policies:
+                    res = by_key.get(
+                        (policy, rate, None, None, None, scheduler)
+                    )
+                    if res is not None:
+                        account(
+                            f"{policy} +{scheduler}", res, bucket=sched_cells
+                        )
             for target in slo_targets:
-                fb = by_key[("slo_feedback", rate, None, target, None)]
-                account(f"slo_feedback p95<={target:g}", fb, target=target)
+                fb = by_key[("slo_feedback", rate, None, target, None, None)]
+                account(
+                    f"slo_feedback p95<={target:g}",
+                    fb,
+                    target=target,
+                    bucket=plain_cells,
+                )
+                if scheduler is not None:
+                    sfb = by_key[
+                        ("slo_feedback", rate, None, target, None, scheduler)
+                    ]
+                    account(
+                        f"slo_feedback p95<={target:g} +{scheduler}",
+                        sfb,
+                        target=target,
+                        bucket=sched_cells,
+                    )
 
                 # The headline comparison: does the controller meet a
                 # target that every static threshold at equal-or-better
@@ -352,7 +468,7 @@ def run(
                     )
                 if dpm_ladder is not None:
                     lfb = by_key[
-                        ("slo_feedback", rate, None, target, dpm_ladder)
+                        ("slo_feedback", rate, None, target, dpm_ladder, None)
                     ]
                     account(
                         f"slo_feedback p95<={target:g} [{dpm_ladder}]",
@@ -386,6 +502,32 @@ def run(
                             f"static at equal-or-better p95 (th={best_th:g}"
                             f", saving {_saving(best):.3f}, "
                             f"p95={best.p95_response:.2f}s)"
+                        )
+
+            # The scheduler headline: a scheduled cell that saves strictly
+            # more power than the *best* scheduler-less cell among those
+            # with equal-or-better p95 — held-back arrivals lengthen the
+            # idle gaps and coalesce the wake-ups the baseline pays for
+            # one at a time.
+            if scheduler is not None:
+                for label, p95, saving in sched_cells:
+                    rivals = [
+                        cell
+                        for cell in plain_cells
+                        if cell[1] <= p95 * 1.02 + 0.25
+                    ]
+                    if not rivals:
+                        continue
+                    best_label, best_p95, best_saving = max(
+                        rivals, key=lambda cell: cell[2]
+                    )
+                    if saving > best_saving + 1e-9:
+                        scheduler_demonstrations.append(
+                            f"R={rate:g}: {label} saves {saving:.3f} at "
+                            f"p95={p95:.2f}s — strictly dominating the best "
+                            f"scheduler-less cell at equal-or-better p95 "
+                            f"({best_label}, saving {best_saving:.3f}, "
+                            f"p95={best_p95:.2f}s)"
                         )
 
             result.bundles[f"R_{rate:g}"] = bundle
@@ -427,6 +569,17 @@ def run(
                 "two-state static threshold at equal p95 at this scale — "
                 "try scale>=0.25"
             )
+        if scheduler_demonstrations:
+            result.notes.append(
+                "scheduler frontier demonstration: "
+                + "; ".join(scheduler_demonstrations)
+            )
+        elif scheduler is not None:
+            result.notes.append(
+                f"no cell showed the {scheduler} scheduler dominating the "
+                "best scheduler-less cell at equal-or-better p95 at this "
+                "scale — try scale>=0.25"
+            )
         result.notes.append(
             "spread (round_robin) placement on purpose: packed allocations "
             "make the threshold nearly free (Figs 2-6), spread traffic "
@@ -451,6 +604,7 @@ def main() -> None:  # pragma: no cover - CLI convenience
     parser.add_argument("--dpm-policy", type=str, default=None)
     parser.add_argument("--slo-target", type=float, default=None)
     parser.add_argument("--dpm-ladder", type=str, default=None)
+    parser.add_argument("--scheduler", type=str, default=None)
     args = parser.parse_args()
     print(
         run(
@@ -458,6 +612,7 @@ def main() -> None:  # pragma: no cover - CLI convenience
             dpm_policy=args.dpm_policy,
             slo_target=args.slo_target,
             dpm_ladder=args.dpm_ladder,
+            scheduler=args.scheduler,
         ).to_text()
     )
 

@@ -207,6 +207,24 @@ def observability_snapshot(result: Any, observer: Any = None) -> Dict[str, Any]:
     responses = getattr(result, "response_times", None)
     if responses is not None and len(responses):
         registry.histogram("response_s").observe_many(responses)
+    elif responses is None:
+        # Streaming-metrics run: the per-request array was never
+        # materialized, but the bounded accumulator still knows the
+        # distribution — report it as gauges so observed
+        # ``metrics_mode="streaming"`` runs keep a response section.
+        stats = getattr(result, "response_stats", None)
+        if stats is not None and stats.count:
+            registry.gauge("response.count").set(float(stats.count))
+            registry.gauge("response.mean_s").set(stats.mean)
+            registry.gauge("response.min_s").set(stats.min)
+            registry.gauge("response.max_s").set(stats.max)
+            for name, value in (
+                ("p50", stats.p50), ("p95", stats.p95), ("p99", stats.p99)
+            ):
+                # NaN (pre-warmup estimator or a lossy merge) is not a
+                # measurement; omit the gauge rather than publish it.
+                if not math.isnan(value):
+                    registry.gauge(f"response.{name}_s").set(value)
 
     snapshot = {"version": OBS_SNAPSHOT_VERSION, "run": registry.snapshot()}
 

@@ -41,6 +41,7 @@ heterogeneous fleets (per-disk specs)      yes         yes
 per-disk ladders / thresholds (fleets)     yes         yes
 fleets + chunked / streaming metrics       yes         yes
 observer hooks (``repro.obs``)             yes         yes
+slack-aware request scheduling (registry)  yes         yes
 array-backed streams (``.times``)          yes         yes
 chunked streams (``.iter_chunks()``)       yes         yes
 streaming metrics (bounded memory)         yes         API only
@@ -147,7 +148,7 @@ from typing import Dict, List, Optional
 import numpy as np
 
 from repro.disk.dpm import DpmLadder
-from repro.disk.drive import WRITE
+from repro.disk.drive import READ, WRITE
 from repro.disk.fleet import ResolvedFleet
 from repro.disk.power import DiskState, PowerModel
 from repro.disk.specs import DiskSpec
@@ -247,7 +248,7 @@ class _DiskBank:
     __slots__ = (
         "avail", "sd_t", "su_t", "sb_t", "n_up", "n_down", "load",
         "th", "no_spindown", "D", "U", "oh", "rate", "oh_a", "rate_a",
-        "ap", "cap", "T",
+        "ap", "cap", "T", "pt", "pv",
     )
 
     def __init__(
@@ -264,6 +265,15 @@ class _DiskBank:
         # request at a time (same order as the event dispatcher's ledger,
         # so load-comparing placement policies see bit-equal values).
         self.load = [0.0] * num_disks
+        # Same-instant state snapshot for the placement policy's spin view:
+        # ``pv[d]`` is disk ``d``'s ``avail`` as of the *start* of instant
+        # ``pt[d]`` (the arrival time of its most recent serve).  The event
+        # kernel's drive processes do not run between same-instant
+        # submissions — the dispatcher submits a whole release batch in one
+        # resumption — so a placement at time t must see the spin states as
+        # they stood when the instant began, not mid-batch.
+        self.pt = [float("-inf")] * num_disks
+        self.pv = [0.0] * num_disks
         self.th = _per_disk_floats(threshold, num_disks)
         self.no_spindown = all(isinf(t) for t in self.th)
         self.D = [s.spindown_time for s in specs]
@@ -280,6 +290,9 @@ class _DiskBank:
         """Queue one request on disk ``d`` arriving at ``t``; returns the
         service start (the event kernel's SEEK entry time)."""
         a = self.avail[d]
+        if t != self.pt[d]:
+            self.pt[d] = t
+            self.pv[d] = a
         if t > a:
             # gap > inf is never true, so an inf-threshold disk never
             # spins down — no separate no_spindown guard needed.
@@ -333,7 +346,12 @@ class _DiskBank:
             sb_t = self.sb_t[d]
             n_up = self.n_up[d]
             n_down = self.n_down[d]
+            pt_d = self.pt[d]
+            pv_d = self.pv[d]
             for t, tr in zip(ts, trs):
+                if t != pt_d:
+                    pt_d = t
+                    pv_d = a
                 if t > a:
                     if t - a > th:
                         sd = a + th
@@ -361,9 +379,22 @@ class _DiskBank:
             self.sb_t[d] = sb_t
             self.n_up[d] = n_up
             self.n_down[d] = n_down
+            self.pt[d] = pt_d
+            self.pv[d] = pv_d
         self.avail[d] = a
         self.load[d] = ld
         return out
+
+    def _avail_at_instant_start(self, t: float) -> List[float]:
+        """Per-disk ``avail`` as the event kernel's placement context would
+        see it at instant ``t``: serves that happened *at* ``t`` itself are
+        rolled back to the snapshot taken when the instant began (the event
+        engine's drive processes have not run yet mid-batch)."""
+        pt = self.pt
+        pv = self.pv
+        return [
+            pv[d] if pt[d] == t else a for d, a in enumerate(self.avail)
+        ]
 
     def spinning_mask(self, t: float) -> np.ndarray:
         """Per-disk "not STANDBY at time ``t``" — the §1.1 write policy's
@@ -374,9 +405,11 @@ class _DiskBank:
         IDLE until ``avail + th``, SPINDOWN until ``avail + th + D``, and
         STANDBY after; a disk still working (``t < avail``) is never in
         STANDBY because a pending request always rides the spin transitions
-        straight back up.
+        straight back up.  Same-instant earlier serves are excluded via the
+        instant-start snapshot: a disk woken at exactly ``t`` still reads
+        STANDBY, like the event kernel's not-yet-resumed drive process.
         """
-        avail = np.asarray(self.avail)
+        avail = np.asarray(self._avail_at_instant_start(t))
         if self.no_spindown:
             return np.ones(avail.shape, dtype=bool)
         # inf-threshold disks get avail + inf == inf: always spinning.
@@ -478,6 +511,9 @@ class _ControlledBank(_DiskBank):
         """:meth:`_DiskBank.serve` with the per-gap threshold lookup,
         gap logging and transition-span logging."""
         a = self.avail[d]
+        if t != self.pt[d]:
+            self.pt[d] = t
+            self.pv[d] = a
         if t > a:
             th = self._th_at(a, d)
             self.gap_log[d].append((t - a, th))
@@ -533,7 +569,12 @@ class _ControlledBank(_DiskBank):
         sd_spans = self.sd_spans
         su_spans = self.su_spans
         sb_spans = self.sb_spans
+        pt_d = self.pt[d]
+        pv_d = self.pv[d]
         for t, tr in zip(ts, trs):
+            if t != pt_d:
+                pt_d = t
+                pv_d = a
             if t > a:
                 idx = int(a / ci)
                 th = th_rows[idx if idx <= k else k][d]
@@ -567,13 +608,15 @@ class _ControlledBank(_DiskBank):
         self.sb_t[d] = sb_t
         self.n_up[d] = n_up
         self.n_down[d] = n_down
+        self.pt[d] = pt_d
+        self.pv[d] = pv_d
         self.avail[d] = a
         self.load[d] = ld
         return out
 
     def spinning_mask(self, t: float) -> np.ndarray:
         out = np.empty(len(self.avail), dtype=bool)
-        for d, a in enumerate(self.avail):
+        for d, a in enumerate(self._avail_at_instant_start(t)):
             # inf threshold => a + inf == inf => always spinning.
             out[d] = t < a + self._th_at(a, d) + self.D[d]
         return out
@@ -622,6 +665,9 @@ class _ObservedDiskBank(_DiskBank):
 
     def serve(self, d: int, t: float, tr: float) -> float:
         a = self.avail[d]
+        if t != self.pt[d]:
+            self.pt[d] = t
+            self.pv[d] = a
         if t > a:
             if t - a > self.th[d]:
                 sd = a + self.th[d]
@@ -673,7 +719,12 @@ class _ObservedDiskBank(_DiskBank):
             sd_spans = self.sd_spans
             su_spans = self.su_spans
             sb_spans = self.sb_spans
+            pt_d = self.pt[d]
+            pv_d = self.pv[d]
             for t, tr in zip(ts, trs):
+                if t != pt_d:
+                    pt_d = t
+                    pv_d = a
                 if t > a:
                     if t - a > th:
                         sd = a + th
@@ -704,6 +755,8 @@ class _ObservedDiskBank(_DiskBank):
             self.sb_t[d] = sb_t
             self.n_up[d] = n_up
             self.n_down[d] = n_down
+            self.pt[d] = pt_d
+            self.pv[d] = pv_d
         self.avail[d] = a
         self.load[d] = ld
         return out
@@ -755,6 +808,10 @@ class _LadderBank:
         ladders = _per_disk_ladders(ladder, num_disks)
         self.avail = [0.0] * num_disks
         self.load = [0.0] * num_disks
+        # Instant-start avail snapshot (see _DiskBank.pt/pv): placements at
+        # time t must not see disks woken by same-instant earlier serves.
+        self.pt = [float("-inf")] * num_disks
+        self.pv = [0.0] * num_disks
         self.n_up = [0] * num_disks
         self.n_down = [0] * num_disks
         self.oh = [s.access_overhead for s in specs]
@@ -827,6 +884,9 @@ class _LadderBank:
         """Queue one request on disk ``d`` arriving at ``t``; returns the
         service start (the event kernel's seek entry time)."""
         a = self.avail[d]
+        if t != self.pt[d]:
+            self.pt[d] = t
+            self.pv[d] = a
         if t > a:
             if self.no_descend[d] or t - a <= self.entries[d][1]:
                 s = t
@@ -847,9 +907,15 @@ class _LadderBank:
     def spinning_mask(self, t: float) -> np.ndarray:
         """Per-disk "not parked in the deepest rung at ``t``" — descents,
         intermediate rungs and wakes all count as spinning, exactly like
-        the classic bank's SPINDOWN-inclusive mask."""
+        the classic bank's SPINDOWN-inclusive mask (and like it, computed
+        from the instant-start snapshot so same-instant wakes stay
+        invisible)."""
+        pt = self.pt
+        pv = self.pv
         out = np.empty(len(self.avail), dtype=bool)
         for d, a in enumerate(self.avail):
+            if pt[d] == t:
+                a = pv[d]
             if self.no_descend[d]:
                 out[d] = True
             else:
@@ -989,6 +1055,9 @@ class _ControlledLadderBank(_LadderBank):
 
     def serve(self, d: int, t: float, tr: float) -> float:
         a = self.avail[d]
+        if t != self.pt[d]:
+            self.pt[d] = t
+            self.pv[d] = a
         if t > a:
             th = self._th_at(a, d)
             self.gap_log[d].append((t - a, th))
@@ -1004,8 +1073,12 @@ class _ControlledLadderBank(_LadderBank):
         return s
 
     def spinning_mask(self, t: float) -> np.ndarray:
+        pt = self.pt
+        pv = self.pv
         out = np.empty(len(self.avail), dtype=bool)
         for d, a in enumerate(self.avail):
+            if pt[d] == t:
+                a = pv[d]
             if self.R[d] == 1:
                 out[d] = True
                 continue
@@ -1402,6 +1475,7 @@ class _ControlledDriver:
         d_req: np.ndarray,
         lo: int,
         hi: int,
+        holds: Optional[np.ndarray] = None,
     ) -> None:
         bank = self.bank
         sl = slice(lo, hi)
@@ -1447,6 +1521,11 @@ class _ControlledDriver:
         tr_sl = sz_all[sl] / self.rate_a[d_safe]
         c_sl = np.where(served, starts[sl] + oh_sl + tr_sl, t_all[sl])
         r_sl = np.where(served, c_sl - t_all[sl], self.hit_lat)
+        if holds is not None:
+            # Scheduled runs measure responses from the *original* arrival:
+            # the hold (release - arrival) rides on top of the post-release
+            # response, exactly like the event dispatcher's response_offset.
+            r_sl = r_sl + holds[sl]
         keep = c_sl < self.T
         self.pend_c.append(c_sl[keep])
         self.pend_seq.append(
@@ -1532,6 +1611,16 @@ class _ControlledDriver:
             if self.finished:  # pragma: no cover - arrivals are censored < T
                 break
         self.n_seen += n
+
+    def drain_to(self, t: float) -> None:
+        """Process every boundary at or before ``t`` (scheduled runs: a
+        deferred release landing exactly on a control boundary submits
+        *after* that boundary, matching the event engine's requeue)."""
+        while not self.finished:
+            t_end = min((self.k + 1) * self.ci, self.T)
+            if t_end > t:
+                break
+            self._boundary(t_end, t_end >= self.T)
 
     def finish(self) -> None:
         """Process every remaining boundary (trailing empty intervals
@@ -1743,6 +1832,7 @@ def simulate_fast(
     metrics_mode: str = "full",
     fleet: Optional[ResolvedFleet] = None,
     observer=None,
+    scheduler=None,
 ) -> SimulationResult:
     """Simulate ``stream`` against ``mapping`` without the event loop.
 
@@ -1789,6 +1879,21 @@ def simulate_fast(
     ``None`` observer leaves every hot path untouched, and an enabled
     one never changes the result (the differential harness's observer
     axis asserts bit-identity).
+
+    ``scheduler`` is an optional *reset* (or fresh)
+    :class:`~repro.system.scheduling.RequestScheduler`: each arrival is
+    assigned a release time by the scheduler's deterministic forecast and
+    submitted to the disks at that release, in ``(release, arrival
+    order)`` order; recorded responses measure from the original arrival
+    (the hold rides on top).  Under a dynamic DPM policy the scheduler
+    reads the controller's interval-constant ``slo_estimate`` at each
+    arrival, and a release landing exactly on a control boundary submits
+    after the boundary — both exactly like the event engine's
+    ``drive_scheduled_stream``, so every registered scheduler is held to
+    1e-9 cross-engine agreement by the differential harness's scheduler
+    axis.  ``None`` (what :meth:`StorageConfig.request_scheduler` returns
+    for the default ``"fifo"``) keeps every path byte-identical to the
+    unscheduled kernel.
     """
     if not hasattr(stream, "times") or not hasattr(stream, "file_ids"):
         raise ConfigError(
@@ -1801,7 +1906,7 @@ def simulate_fast(
     return _simulate_chunks(
         sizes, mapping, spec, num_disks, threshold, (stream,), duration,
         label, cache, cache_hit_latency, usable_capacity, write_policy,
-        dpm, ladder, metrics_mode, fleet, observer,
+        dpm, ladder, metrics_mode, fleet, observer, scheduler,
     )
 
 
@@ -1823,6 +1928,7 @@ def simulate_fast_chunked(
     metrics_mode: str = "full",
     fleet: Optional[ResolvedFleet] = None,
     observer=None,
+    scheduler=None,
 ) -> SimulationResult:
     """Out-of-core variant of :func:`simulate_fast` over a chunked stream.
 
@@ -1844,6 +1950,13 @@ def simulate_fast_chunked(
     ``metrics_mode="streaming"`` for bounded memory — peak usage is then
     O(chunk + files + disks), independent of the request count.
     ``duration`` defaults to the stream's ``duration`` attribute.
+
+    ``scheduler`` composes with chunking: a request held across a chunk
+    boundary stays in the pending release heap (bounded by the number of
+    simultaneously-held requests, not the stream length), and the global
+    ``(release, arrival order)`` submission sequence is invariant to the
+    chunk partition, so scheduled chunked runs stay bit-identical to the
+    monolithic call.
     """
     if not hasattr(stream, "iter_chunks"):
         raise ConfigError(
@@ -1860,7 +1973,7 @@ def simulate_fast_chunked(
     return _simulate_chunks(
         sizes, mapping, spec, num_disks, threshold, stream.iter_chunks(),
         float(duration), label, cache, cache_hit_latency, usable_capacity,
-        write_policy, dpm, ladder, metrics_mode, fleet, observer,
+        write_policy, dpm, ladder, metrics_mode, fleet, observer, scheduler,
     )
 
 
@@ -1882,6 +1995,7 @@ def _simulate_chunks(
     metrics_mode: str,
     fleet: Optional[ResolvedFleet] = None,
     observer=None,
+    scheduler=None,
 ) -> SimulationResult:
     """Shared replay core: one pass over ``chunks`` with full carry state.
 
@@ -2012,6 +2126,147 @@ def _simulate_chunks(
     resp_c_parts: List[np.ndarray] = []
     resp_v_parts: List[np.ndarray] = []
     hit_t_parts: List[np.ndarray] = []
+    hit_v_parts: List[np.ndarray] = []
+
+    # -- slack-aware request scheduling (repro.system.scheduling) --------------
+    # Arrivals are assigned release times by the scheduler's deterministic
+    # forecast (in arrival order, reading the controller's interval-constant
+    # slo_estimate under control) and submitted to the disks in global
+    # (release, arrival-seq) order — the exact submission sequence the event
+    # engine's drive_scheduled_stream produces.  Pending releases ride a heap
+    # across interval and chunk boundaries; recorded responses measure from
+    # the original arrival (the hold rides on top of the post-release
+    # response).  scheduler=None takes the historical unscheduled paths,
+    # byte-identical to the pre-scheduler kernel.
+    sched_pending: List[tuple] = []  # (release, seq, fid, is_write, hold)
+    sched_seq = 0
+    if scheduler is not None:
+
+        def _schedule(fid_l, t_l, w_l, lo, hi, est) -> None:
+            """Assign releases to arrivals [lo, hi) (one open interval)."""
+            nonlocal sched_seq
+            rel = scheduler.release
+            for i in range(lo, hi):
+                t_i = t_l[i]
+                f_i = fid_l[i]
+                w_i = False if w_l is None else w_l[i]
+                r = rel(t_i, f_i, WRITE if w_i else READ, slo_estimate=est)
+                if r < T:
+                    # A release at or past the horizon never submits (the
+                    # event engine's URGENT stop pre-empts it) — censored,
+                    # neither an arrival nor a completion.
+                    heappush(sched_pending, (r, sched_seq, f_i, w_i, r - t_i))
+                sched_seq += 1
+
+        def _consume(fid_c, t_c, sz_c, w_c, holds_c) -> None:
+            """Serve one (release, seq)-ordered batch of released requests
+            through whichever path applies and fold it into the persistent
+            accumulators — the scheduled analogue of the per-chunk body."""
+            nonlocal arrivals, hits, req_count
+            n_c = int(t_c.size)
+            starts_c = np.empty(n_c, dtype=float)
+            d_req_c = np.empty(n_c, dtype=np.int64)
+            if driver is not None:
+                driver._serve_slice(
+                    fid_c, t_c, sz_c, w_c, starts_c, d_req_c, 0, n_c,
+                    holds=holds_c,
+                )
+                driver.n_seen += n_c
+            elif cache is not None:
+                _serve_coupled(
+                    bank, policy, mapping, free, sizes, fid_c, t_c, w_c,
+                    cache, starts_c, d_req_c, heap=heap, base_index=arrivals,
+                    flush=False, map_l=map_l, size_l=size_l,
+                    obs=obs, obs_clock=obs_clock,
+                )
+            elif w_c is not None:
+                _serve_segmented(
+                    bank, policy, mapping, free, sizes, fid_c, t_c, sz_c,
+                    w_c, starts_c, d_req_c, obs=obs,
+                )
+            else:
+                disk_c = mapping[fid_c]
+                if n_c and int(disk_c.min()) < 0:
+                    bad_f = int(fid_c[int(np.argmin(disk_c))])
+                    raise SimulationError(
+                        f"read of unallocated file {bad_f}; allocate it first"
+                    )
+                _serve_segment(
+                    bank, disk_c, t_c, sz_c / bank.rate_a[disk_c], starts_c
+                )
+                d_req_c = disk_c
+            served_c = d_req_c >= 0
+            n_hits = n_c - int(served_c.sum())
+            if n_hits:
+                d_s = d_req_c[served_c]
+                s_s = starts_c[served_c]
+                sz_s = sz_c[served_c]
+                t_s = t_c[served_c]
+                h_s = holds_c[served_c]
+            else:
+                d_s, s_s, sz_s, t_s, h_s = (
+                    d_req_c, starts_c, sz_c, t_c, holds_c
+                )
+            oh_s = bank.oh_a[d_s]
+            tr_s = sz_s / bank.rate_a[d_s]
+            np.add.at(seek_time, d_s, np.clip(T - s_s, 0.0, oh_s))
+            np.add.at(active_time, d_s, np.clip(T - (s_s + oh_s), 0.0, tr_s))
+            req_count += np.bincount(d_s, minlength=num_disks)
+            if binner is not None:
+                binner.add("seek", d_s, s_s, s_s + oh_s)
+                binner.add("active", d_s, s_s + oh_s, s_s + oh_s + tr_s)
+            completion = s_s + oh_s + tr_s
+            done = completion < T
+            if streaming:
+                vals = np.empty(n_c, dtype=float)
+                ok = np.ones(n_c, dtype=bool)
+                vals[served_c] = (completion - t_s) + h_s
+                ok[served_c] = done
+                if n_hits:
+                    vals[~served_c] = (
+                        float(cache_hit_latency) + holds_c[~served_c]
+                    )
+                acc.add(vals[ok])
+            else:
+                resp_c_parts.append(completion[done])
+                resp_v_parts.append((completion[done] - t_s[done]) + h_s[done])
+                if n_hits:
+                    hit_t_parts.append(t_c[~served_c])
+                    hit_v_parts.append(
+                        float(cache_hit_latency) + holds_c[~served_c]
+                    )
+            arrivals += n_c
+            hits += n_hits
+
+        def _flush(limit: float, inclusive: bool) -> None:
+            """Pop pending releases up to ``limit`` — in (release, seq)
+            order — and serve them as one batch."""
+            if not sched_pending:
+                return
+            rel_l: List[float] = []
+            fid_fl: List[int] = []
+            w_fl: List[bool] = []
+            h_fl: List[float] = []
+            while sched_pending:
+                r0 = sched_pending[0][0]
+                if (r0 > limit) if inclusive else (r0 >= limit):
+                    break
+                r0, _, f0, w0, h0 = heappop(sched_pending)
+                rel_l.append(r0)
+                fid_fl.append(f0)
+                w_fl.append(w0)
+                h_fl.append(h0)
+            if not rel_l:
+                return
+            fid_c = np.asarray(fid_fl, dtype=np.int64)
+            w_arr = np.asarray(w_fl, dtype=bool)
+            _consume(
+                fid_c,
+                np.asarray(rel_l, dtype=float),
+                sizes[fid_c],
+                w_arr if w_arr.any() else None,
+                np.asarray(h_fl, dtype=float),
+            )
 
     prev_last: Optional[float] = None
     for chunk in chunks:
@@ -2051,6 +2306,51 @@ def _simulate_chunks(
             w = np.asarray(kinds)[:n] == WRITE
             if w.any():
                 is_write = w
+        if scheduler is not None:
+            if arrivals and (driver is not None or obs is not None):
+                # Bounded memory for the banks' span logs, exactly like the
+                # unscheduled per-chunk folds below.
+                _flush_bank_spans(
+                    binner if driver is not None else None,
+                    bank, has_ladder, obs,
+                )
+            t_l = t_all.tolist()
+            fid_list = fid.tolist()
+            w_l = is_write.tolist() if is_write is not None else None
+            if driver is not None:
+                # Interval-segmented: arrivals in one control interval all
+                # read the same slo_estimate, and a boundary is processed —
+                # with every release strictly before it flushed first — as
+                # soon as an arrival at or past it is seen.
+                ci = driver.ci
+                pos = 0
+                while pos < n:
+                    t_edge = min((driver.k + 1) * ci, T)
+                    hi = int(np.searchsorted(t_all, t_edge, side="left"))
+                    if hi > pos:
+                        _schedule(
+                            fid_list, t_l, w_l, pos, hi, dpm.slo_estimate
+                        )
+                    if hi == n:
+                        # Chunk exhausted mid-interval: a later chunk may
+                        # still add arrivals before t_edge, so the boundary
+                        # stays open.
+                        break
+                    _flush(t_edge, False)
+                    driver._boundary(t_edge, t_edge >= T)
+                    pos = hi
+            else:
+                _schedule(fid_list, t_l, w_l, 0, n, None)
+            # Releases at or before the chunk's last arrival are final:
+            # every future arrival (hence every future release) is at or
+            # after it, and at a tie the smaller arrival seq flushes first
+            # either way — so the global submission order is invariant to
+            # the chunk partition.
+            _flush(float(t_all[-1]), True)
+            if censored:
+                break
+            continue
+
         sz_all = sizes[fid]
         starts = np.empty(n, dtype=float)
         d_req = np.empty(n, dtype=np.int64)
@@ -2144,6 +2444,17 @@ def _simulate_chunks(
             # engine's URGENT stop discarding queued arrivals.
             break
 
+    if scheduler is not None and sched_pending:
+        # Requests still held past the last arrival: interleave the
+        # remaining releases (all < T) with the control boundaries they
+        # straddle — a release exactly on a boundary submits after it.
+        if driver is not None:
+            ci = driver.ci
+            while sched_pending:
+                driver.drain_to(sched_pending[0][0])
+                _flush(min((driver.k + 1) * ci, T), False)
+        else:
+            _flush(T, False)
     if driver is not None:
         driver.finish()
     if cache is not None:
@@ -2204,9 +2515,12 @@ def _simulate_chunks(
         if hits:
             hit_times = np.concatenate(hit_t_parts)
             resp_completion = np.concatenate((resp_completion, hit_times))
-            resp_values = np.concatenate(
-                (resp_values, np.full(hits, float(cache_hit_latency)))
+            hit_values = (
+                np.concatenate(hit_v_parts)
+                if scheduler is not None
+                else np.full(hits, float(cache_hit_latency))
             )
+            resp_values = np.concatenate((resp_values, hit_values))
         # Report response times in completion order, like the dispatcher
         # does (stable at ties: served completions before cache hits).
         response_times = resp_values[

@@ -21,6 +21,12 @@ from repro.system.placement import (
     make_placement_policy,
     placement_policy_names,
 )
+from repro.system.scheduling import (
+    DEFAULT_SCHEDULER,
+    make_request_scheduler,
+    normalize_scheduler_params,
+    request_scheduler_names,
+)
 from repro.units import GiB
 
 __all__ = ["StorageConfig"]
@@ -99,6 +105,21 @@ class StorageConfig:
         ``slo_feedback`` (which tightens/relaxes thresholds to maximize
         power saving subject to the target) and ignored by policies that
         do not steer by it.
+    scheduler / scheduler_params:
+        Slack-aware request scheduling (see
+        :mod:`repro.system.scheduling`): ``scheduler`` names a
+        :class:`~repro.system.scheduling.RequestScheduler` from the
+        registry (``"fifo"`` default — requests dispatch at arrival,
+        byte-identical to the pre-scheduler simulator; ``"slack_defer"``,
+        ``"batch_release"``, ``"spinup_coalesce"`` hold requests back to
+        lengthen idle gaps and coalesce spin-ups) and
+        ``scheduler_params`` tunes it (a dict or ``(name, value)``
+        pairs, normalized to a sorted hashable tuple — e.g.
+        ``{"margin": 0.7, "max_hold": 20.0}``).  Both engines honor the
+        schedule identically (~1e-9); held requests' response times
+        measure from original arrival, so deferral is never free.
+        ``slack_defer`` composes with the ``slo_feedback`` controller by
+        reading its live percentile telemetry.
     engine:
         Simulation kernel: ``"event"`` (the discrete-event loop; supports
         every feature) or ``"fast"`` (the batched kernel in
@@ -139,6 +160,8 @@ class StorageConfig:
     dpm_ladder: Union[None, str, DpmLadder] = None
     slo_target: Optional[float] = None
     slo_percentile: float = 95.0
+    scheduler: str = DEFAULT_SCHEDULER
+    scheduler_params: tuple = ()
     engine: str = "event"
     metrics_mode: str = "full"
     chunk_size: Optional[int] = None
@@ -204,6 +227,21 @@ class StorageConfig:
                 f"dpm_policy {self.dpm_policy!r} requires an slo_target "
                 "(seconds at slo_percentile)"
             )
+        if self.scheduler not in request_scheduler_names():
+            raise ConfigError(
+                f"unknown request scheduler {self.scheduler!r}; "
+                f"choose from {request_scheduler_names()}"
+            )
+        # Normalize params to the canonical hashable tuple (the config is
+        # frozen and pickled into sweep-cache fingerprints, so a dict and
+        # its pair-tuple form must fingerprint identically), then build a
+        # throwaway instance so unknown params fail at construction.
+        object.__setattr__(
+            self,
+            "scheduler_params",
+            normalize_scheduler_params(self.scheduler_params),
+        )
+        make_request_scheduler(self.scheduler, self.scheduler_params)
         if self.engine not in ("event", "fast"):
             raise ConfigError(
                 f"engine must be 'event' or 'fast', got {self.engine!r}"
@@ -288,6 +326,16 @@ class StorageConfig:
         must not leak decisions between independent simulation runs.
         """
         return make_placement_policy(self.write_policy)
+
+    def request_scheduler(self):
+        """A fresh :class:`~repro.system.scheduling.RequestScheduler`
+        for one run, or ``None`` for ``"fifo"`` — the identity schedule
+        takes the classic unscheduled code path in both engines, so fifo
+        runs stay byte-identical to the pre-scheduler simulator.
+        """
+        if self.scheduler == DEFAULT_SCHEDULER and not self.scheduler_params:
+            return None
+        return make_request_scheduler(self.scheduler, self.scheduler_params)
 
     def dpm_controller(self, num_disks: int):
         """A fresh :class:`~repro.control.controller.ThresholdController`

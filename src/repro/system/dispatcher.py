@@ -19,6 +19,8 @@ kernel, so placement decisions are byte-identical across engines.
 
 from __future__ import annotations
 
+import heapq
+import math
 from typing import List, Optional, Union
 
 import numpy as np
@@ -38,6 +40,7 @@ from repro.system.placement import (
 __all__ = [
     "Dispatcher",
     "choose_write_disk",
+    "drive_scheduled_stream",
     "drive_stream",
     "initial_free_bytes",
     "per_disk_capacities",
@@ -233,18 +236,31 @@ class Dispatcher:
 
     # -- read path ------------------------------------------------------------
 
-    def submit(self, file_id: int, kind: str = READ) -> None:
-        """Dispatch one request (fire-and-forget; outcome recorded on completion)."""
+    def submit(
+        self, file_id: int, kind: str = READ, response_offset: float = 0.0
+    ) -> None:
+        """Dispatch one request (fire-and-forget; outcome recorded on completion).
+
+        ``response_offset`` is added to the recorded response time — the
+        release-queue scheduler passes the hold it imposed (release minus
+        original arrival) so a deferred request's response still measures
+        from arrival.  The zero default leaves recorded values untouched
+        (not even a ``+ 0.0`` float round-trip), keeping unscheduled runs
+        byte-identical.
+        """
         self.arrivals += 1
         if kind == WRITE:
-            self._submit_write(file_id)
+            self._submit_write(file_id, response_offset)
             return
         size = self.sizes[file_id]
         if self.cache is not None:
             if self.cache.lookup(file_id, size):
                 if self.observer is not None:
                     self.observer.on_cache_event(self.env.now, "hit", file_id)
-                self.response_times.append(self.cache_hit_latency)
+                value = self.cache_hit_latency
+                if response_offset:
+                    value += response_offset
+                self.response_times.append(value)
                 self.served_from_cache.append(True)
                 return
             if self.observer is not None:
@@ -257,7 +273,9 @@ class Dispatcher:
         self._track_dispatch(int(disk), size)
         request = self.array.submit(int(disk), file_id, size, READ)
         request.done.callbacks.append(
-            lambda ev, fid=file_id, sz=size: self._complete(ev, fid, sz)
+            lambda ev, fid=file_id, sz=size, off=response_offset: (
+                self._complete(ev, fid, sz, off)
+            )
         )
 
     def _track_dispatch(self, disk: int, size: float) -> None:
@@ -271,8 +289,13 @@ class Dispatcher:
             self._access_overhead[disk] + size / self._transfer_rate[disk]
         )
 
-    def _complete(self, event, file_id: int, size: float) -> None:
-        self.response_times.append(event.value)
+    def _complete(
+        self, event, file_id: int, size: float, offset: float = 0.0
+    ) -> None:
+        value = event.value
+        if offset:
+            value += offset
+        self.response_times.append(value)
         self.served_from_cache.append(False)
         if self.cache is not None:
             if self.observer is not None:
@@ -281,7 +304,7 @@ class Dispatcher:
 
     # -- write path (pluggable placement; §1.1 by default) ----------------------
 
-    def _submit_write(self, file_id: int) -> None:
+    def _submit_write(self, file_id: int, response_offset: float = 0.0) -> None:
         size = self.sizes[file_id]
         disk = self.mapping[file_id]
         if disk < 0:
@@ -294,11 +317,14 @@ class Dispatcher:
         self._track_dispatch(int(disk), size)
         request = self.array.submit(int(disk), file_id, size, WRITE)
         request.done.callbacks.append(
-            lambda ev, fid=file_id, sz=size: self._complete_write(ev)
+            lambda ev, off=response_offset: self._complete_write(ev, off)
         )
 
-    def _complete_write(self, event) -> None:
-        self.response_times.append(event.value)
+    def _complete_write(self, event, offset: float = 0.0) -> None:
+        value = event.value
+        if offset:
+            value += offset
+        self.response_times.append(value)
         self.served_from_cache.append(False)
 
     def _allocate_for_write(self, size: float) -> int:
@@ -362,3 +388,72 @@ def drive_stream(env: Environment, dispatcher: Dispatcher, stream) -> "object":
         if delay > 0:
             yield env.timeout(delay)
         dispatcher.submit(file_id, kind=rest[0] if rest else READ)
+
+
+def drive_scheduled_stream(
+    env: Environment,
+    dispatcher: Dispatcher,
+    stream,
+    scheduler,
+    controller=None,
+) -> "object":
+    """The release-queue process: arrivals -> scheduler -> ``submit``.
+
+    Sits between the stream replay and the dispatcher when a non-fifo
+    :class:`~repro.system.scheduling.RequestScheduler` is configured.
+    Each arrival is assigned a release time at its arrival instant (the
+    scheduler sees the controller's telemetry *as of the last control
+    boundary*, because boundaries are simulation events that have already
+    fired by then); released requests are submitted at their release
+    times in stable ``(release_time, arrival_sequence)`` order — at a
+    release/arrival time tie the release goes first, matching the fast
+    kernel's sorted flush.  The hold (release minus arrival) rides along
+    as ``response_offset`` so recorded response times measure from the
+    original arrival.
+
+    Requests whose release lands at or past the measurement horizon
+    simply never fire (the ``env.run(until=...)`` cutoff pre-empts
+    them), mirroring the fast kernel's release-time censoring.
+
+    A release landing *exactly* on a control boundary (not measure-zero:
+    ``batch_release`` windows can divide the control interval) is
+    submitted after that boundary fires — the fast kernel feeds releases
+    strictly below each boundary before processing it — by requeueing
+    once via a zero timeout, which the environment's stable same-instant
+    ordering places behind the already-scheduled boundary event.
+    """
+    interval = None if controller is None else float(controller.interval)
+    pending: list = []  # heap of (release, seq, file_id, kind, hold)
+    seq = 0
+    last: Optional[float] = None
+    it = iter(stream)
+    item = next(it, None)
+    while item is not None or pending:
+        t_arrival = item[0] if item is not None else math.inf
+        if pending and pending[0][0] <= t_arrival:
+            release, _, file_id, kind, hold = heapq.heappop(pending)
+            delay = release - env.now
+            if delay > 0:
+                yield env.timeout(delay)
+                if interval is not None:
+                    k = round(release / interval)
+                    if k >= 1 and k * interval == release:
+                        yield env.timeout(0)  # boundary first, then submit
+            dispatcher.submit(file_id, kind=kind, response_offset=hold)
+            continue
+        t, file_id, *rest = item
+        if last is not None and t < last:
+            raise SimulationError(
+                f"request stream times must be non-decreasing: got {t} "
+                f"after {last}"
+            )
+        last = t
+        delay = t - env.now
+        if delay > 0:
+            yield env.timeout(delay)
+        kind = rest[0] if rest else READ
+        estimate = None if controller is None else controller.slo_estimate
+        release = scheduler.release(t, file_id, kind, slo_estimate=estimate)
+        heapq.heappush(pending, (release, seq, file_id, kind, release - t))
+        seq += 1
+        item = next(it, None)

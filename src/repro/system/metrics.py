@@ -376,14 +376,29 @@ class SimulationResult:
 
     def summary(self) -> str:
         """Multi-line human-readable digest."""
-        if self.completions:
+        if not self.completions:
+            resp_line = "  response    (no completed requests)"
+        elif (
+            self.response_times is None
+            and self.response_stats is not None
+            and self.response_stats.percentiles_lost
+        ):
+            # Merged streaming stats: the P² estimators were dropped at
+            # merge time (which already warned).  mean/max are still
+            # exact — report those and name the loss, rather than
+            # printing "median nan s, p95 nan s" and re-firing the
+            # percentiles_lost warning once per percentile read.
+            stats = self.response_stats
+            resp_line = (
+                f"  response    mean {stats.mean:.2f} s, "
+                f"max {stats.max:.2f} s (percentiles lost in merge)"
+            )
+        else:
             resp_line = (
                 f"  response    mean {self.mean_response:.2f} s, "
                 f"median {self.median_response:.2f} s, "
                 f"p95 {self.response_percentile(95):.2f} s"
             )
-        else:
-            resp_line = "  response    (no completed requests)"
         lines = [
             f"{self.algorithm}: {self.num_disks} disks, {self.duration:.0f} s",
             f"  energy      {self.energy / 3.6e6:.3f} kWh "

@@ -20,8 +20,13 @@ from repro.sim.fastkernel import (
     simulate_fast_chunked,
 )
 from repro.system.config import StorageConfig
-from repro.system.dispatcher import Dispatcher, drive_stream
+from repro.system.dispatcher import (
+    Dispatcher,
+    drive_scheduled_stream,
+    drive_stream,
+)
 from repro.system.metrics import ResponseAccumulator, SimulationResult
+from repro.system.scheduling import build_scheduling_setup
 from repro.workload.catalog import FileCatalog
 
 __all__ = ["StorageSystem"]
@@ -247,6 +252,16 @@ class StorageSystem:
                 if self.config.fleet is not None
                 else None
             )
+            scheduler = self.config.request_scheduler()
+            if scheduler is not None:
+                scheduler.reset(
+                    build_scheduling_setup(
+                        self.config,
+                        self.catalog.sizes,
+                        self._mapping,
+                        self.num_disks,
+                    )
+                )
             result = kernel(
                 sizes=self.catalog.sizes,
                 mapping=self._mapping,
@@ -269,6 +284,7 @@ class StorageSystem:
                 metrics_mode=self.config.metrics_mode,
                 fleet=fleet,
                 observer=obs,
+                scheduler=scheduler,
             )
             if obs is not None:
                 result.extra["obs"] = observability_snapshot(result, obs)
@@ -296,7 +312,24 @@ class StorageSystem:
                 horizon=duration, observer=obs,
             )
             self.env.process(loop.run())
-        self.env.process(drive_stream(self.env, self.dispatcher, stream))
+        scheduler = self.config.request_scheduler()
+        if scheduler is not None:
+            scheduler.reset(
+                build_scheduling_setup(
+                    self.config,
+                    self.catalog.sizes,
+                    self._mapping,
+                    self.num_disks,
+                )
+            )
+            self.env.process(
+                drive_scheduled_stream(
+                    self.env, self.dispatcher, stream, scheduler,
+                    controller=controller,
+                )
+            )
+        else:
+            self.env.process(drive_stream(self.env, self.dispatcher, stream))
         self.env.run(until=duration)
         result = self.collect(label)
         if self.config.metrics_mode == "streaming":

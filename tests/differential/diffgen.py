@@ -15,6 +15,10 @@ configuration product the engines must agree on:
     x arrival shape (uniform Poisson / diurnal intensity / NERSC-style
     bursts)
 
+A second, independently-seeded axis layers a random request scheduler
+(``scheduler`` x ``scheduler_params``) over the same scenarios —
+``build_scheduled_case(seed)`` — without perturbing the base draws.
+
 ``build_case(seed)`` returns the scenario plus a paste-able description;
 ``assert_engines_agree`` runs both kernels and holds them to 1e-9
 agreement plus a battery of physical invariants.  This harness replaces
@@ -26,7 +30,7 @@ covers the product where curated grids cannot.
 from __future__ import annotations
 
 import math
-from dataclasses import dataclass
+from dataclasses import dataclass, replace
 
 import numpy as np
 import pytest
@@ -37,6 +41,7 @@ from repro.disk.fleet import Fleet, FleetDisk
 from repro.disk.specs import ST3500630AS, WD10EADS
 from repro.system import StorageConfig, StorageSystem
 from repro.system.placement import placement_policy_names
+from repro.system.scheduling import request_scheduler_names
 from repro.units import GiB, MB
 from repro.workload.catalog import FileCatalog
 from repro.workload.arrivals import RequestStream
@@ -307,6 +312,61 @@ def build_case(seed: int) -> DifferentialCase:
         config=config,
         num_disks=num_disks,
         arrival_shape=shape,
+    )
+
+
+#: XOR salt for the scheduler axis' private RNG stream.  The scheduler
+#: draw must NOT come from the ``build_case`` generator: inserting a draw
+#: there would shift every downstream sample and silently re-roll the
+#: entire historical seed corpus (pinned repro recipes included).
+_SCHED_SALT = 0x5CED
+
+def sample_scheduler(seed: int):
+    """Deterministically draw ``(scheduler, scheduler_params)`` for a seed.
+
+    Uses a salted, independent RNG stream so the base scenario for the
+    same seed is unchanged.  ``slack_defer`` always receives an explicit
+    ``target``: the random config space leaves ``slo_target`` unset for
+    every policy but ``slo_feedback``, and the scheduler must be
+    exercised against *all* DPM policies.
+    """
+    rng = np.random.default_rng(seed ^ _SCHED_SALT)
+    name = str(
+        rng.choice(
+            ["slack_defer", "slack_defer", "batch_release",
+             "spinup_coalesce", "fifo"]
+        )
+    )
+    params = []
+    if name == "slack_defer":
+        params.append(("target", float(rng.uniform(5.0, 40.0))))
+        if rng.random() < 0.5:
+            params.append(("margin", float(rng.uniform(0.3, 1.0))))
+        if rng.random() < 0.5:
+            params.append(("max_hold", float(rng.uniform(0.0, 60.0))))
+        if rng.random() < 0.3:
+            params.append(("window", float(rng.uniform(2.0, 20.0))))
+    elif name == "batch_release":
+        if rng.random() < 0.7:
+            params.append(("window", float(rng.uniform(2.0, 30.0))))
+        if rng.random() < 0.5:
+            params.append(("max_hold", float(rng.uniform(5.0, 60.0))))
+    elif name == "spinup_coalesce":
+        if rng.random() < 0.7:
+            params.append(("max_hold", float(rng.uniform(5.0, 90.0))))
+    return name, tuple(params)
+
+
+def build_scheduled_case(seed: int) -> DifferentialCase:
+    """The random scenario for ``seed`` with a random request scheduler
+    layered on top (independent draw — see :func:`sample_scheduler`)."""
+    case = build_case(seed)
+    name, params = sample_scheduler(seed)
+    return replace(
+        case,
+        config=case.config.with_overrides(
+            scheduler=name, scheduler_params=params
+        ),
     )
 
 

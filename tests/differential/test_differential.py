@@ -17,6 +17,11 @@ Budget knobs (environment variables):
 ``REPRO_DIFF_OBSERVER_CASES``
     Seeds for the observer-passivity axis (default 40): each case runs
     both engines observed and unobserved and requires *bit* identity.
+``REPRO_DIFF_SCHED_CASES``
+    Seeds for the request-scheduler axis (default 60): each case layers
+    a random scheduler over the random config space and holds both
+    engines to the same 1e-9 contract (plus chunked bit identity on a
+    subset).
 
 The ``--runslow``-gated grid at the bottom exhaustively crosses every
 registered ladder preset with every registered DPM policy (the
@@ -35,14 +40,17 @@ from diffgen import (
     assert_observer_invisible,
     assert_streaming_consistent,
     build_case,
+    build_scheduled_case,
     run_chunked,
     run_engines,
     run_observed,
+    sample_scheduler,
 )
 from repro.obs.trace import TraceRecorder
 
 from repro.control.policies import dpm_policy_names
 from repro.disk.dpm import dpm_ladder_names
+from repro.system.scheduling import request_scheduler_names
 from repro.system import StorageConfig, StorageSystem, allocate
 from repro.workload.generator import SyntheticWorkloadParams, generate_workload
 
@@ -59,6 +67,11 @@ CHUNK_SIZES = (1, 13, 101)
 #: Seeds for the observer-passivity axis (each costs 2 event + 2 fast
 #: runs, so the default budget matches ~40 cross-engine cases).
 OBSERVER_CASES = int(os.environ.get("REPRO_DIFF_OBSERVER_CASES", "40"))
+#: Seeds for the scheduler axis: each case layers a random request
+#: scheduler (independent salted draw — base scenarios unchanged) over
+#: the random config space and runs both engines; every third case also
+#: re-runs the fast kernel chunked and requires bit identity.
+SCHED_CASES = int(os.environ.get("REPRO_DIFF_SCHED_CASES", "60"))
 
 
 @pytest.mark.parametrize("seed", range(BASE_SEED, BASE_SEED + CASES))
@@ -111,6 +124,44 @@ def test_observer_runs_bit_identical(seed):
             # The fast kernel's granularity is spin transitions; a run
             # with none legitimately leaves an empty span track.
             assert recorder.state_spans, (case.describe(), engine)
+
+
+@pytest.mark.parametrize("seed", range(BASE_SEED, BASE_SEED + SCHED_CASES))
+def test_scheduled_config_agrees(seed):
+    """Scheduler axis: with a random request scheduler layered over the
+    random config space, both engines still agree to 1e-9 — same release
+    decisions, same submission order, same response accounting (measured
+    from the *original* arrival).  Every third case additionally re-runs
+    the fast kernel chunked at a misaligned prime chunk size and requires
+    bit identity (the scheduler's pending heap is carry-state)."""
+    case = build_scheduled_case(seed)
+    event, fast = run_engines(case)
+    assert_invariants(event, case)
+    assert_invariants(fast, case)
+    assert_engines_agree(event, fast, case)
+    if (seed - BASE_SEED) % 3 == 0:
+        for k in (13,):
+            chunk = run_chunked(case, k)
+            assert_chunked_identical(fast, chunk, case, k)
+
+
+def test_scheduler_axis_covers_every_registered_scheduler():
+    """The salted draw exercises every registered scheduler and both the
+    parameterized and default-parameter arms (no silently dead branch)."""
+    draws = [
+        sample_scheduler(s) for s in range(BASE_SEED, BASE_SEED + 120)
+    ]
+    names = {name for name, _ in draws}
+    assert names == set(request_scheduler_names())
+    assert any(params for name, params in draws if name == "batch_release")
+    assert any(
+        not params for name, params in draws if name == "batch_release"
+    )
+    assert all(
+        dict(params).get("target") is not None
+        for name, params in draws
+        if name == "slack_defer"
+    )
 
 
 def test_generator_is_deterministic():

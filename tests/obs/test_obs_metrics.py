@@ -100,6 +100,30 @@ class TestRunSnapshot:
         assert hist["min"] == pytest.approx(float(min(result.response_times)))
         assert hist["max"] == pytest.approx(float(max(result.response_times)))
 
+    def test_streaming_run_keeps_a_response_section(self, engine):
+        """Regression: observed ``metrics_mode="streaming"`` runs used to
+        lose the response section entirely (the snapshot only read
+        ``response_times``, which streaming mode sets to ``None``).  The
+        accumulator's summary must surface as gauges instead."""
+        recorder = TraceRecorder()
+        result = run_traced(
+            engine, observer=recorder, metrics_mode="streaming", **CACHE
+        )
+        assert result.response_times is None
+        stats = result.response_stats
+        snap = result.extra["obs"]["run"]
+        assert "response_s" not in snap["histograms"]
+        gauges = snap["gauges"]
+        assert gauges["response.count"] == stats.count
+        assert gauges["response.mean_s"] == pytest.approx(stats.mean)
+        assert gauges["response.min_s"] == stats.min
+        assert gauges["response.max_s"] == stats.max
+        for name, value in (
+            ("p50", stats.p50), ("p95", stats.p95), ("p99", stats.p99)
+        ):
+            assert gauges[f"response.{name}_s"] == pytest.approx(value)
+        assert json.loads(json.dumps(snap)) == snap
+
     def test_observer_event_counts_merge_into_events(self, engine):
         result, recorder = self.run_observed(engine)
         events = result.extra["obs"]["events"]["counters"]

@@ -101,3 +101,34 @@ class TestSimulationResultGuard:
             # A P² estimate, not the exact percentile — the guard cares
             # only that the read is finite and silent.
             assert math.isfinite(result.p95_response)
+
+
+class TestSummaryRendering:
+    def test_summary_on_merged_stats_names_the_loss_silently(self, merged):
+        """Regression: ``summary()`` on merged streaming stats used to
+        print "median nan s, p95 nan s" and re-fire the percentiles_lost
+        RuntimeWarning twice (once per percentile read).  It must render
+        the exact fields plus "(percentiles lost in merge)" and emit no
+        warning at all."""
+        result = _result_with(merged)
+        with warnings.catch_warnings():
+            warnings.simplefilter("error")
+            text = result.summary()
+        assert "(percentiles lost in merge)" in text
+        assert "mean 3.50 s" in text
+        assert "max 6.00 s" in text
+        assert "nan" not in text
+
+    def test_summary_on_unmerged_streaming_stats_unchanged(self):
+        result = _result_with(_stats([1.0, 2.0, 3.0, 4.0, 5.0]))
+        with warnings.catch_warnings():
+            warnings.simplefilter("error")
+            text = result.summary()
+        assert "median" in text and "p95" in text
+        assert "percentiles lost" not in text
+
+    def test_summary_on_full_result_unchanged(self):
+        result = _result_with(_stats([1.0, 2.0, 3.0]))
+        result.response_times = np.array([1.0, 2.0, 3.0])
+        text = result.summary()
+        assert "mean 2.00 s" in text and "median 2.00 s" in text

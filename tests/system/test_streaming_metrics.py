@@ -61,6 +61,31 @@ class TestPartitionInvariance:
             split = _fold([values[:cut], values[cut:]])
             assert split == mono
 
+    def test_warmup_boundary_exhaustive_with_small_constants(self, monkeypatch):
+        """Shrink the warmup/stride constants and sweep *every* cut and
+        several multi-part partitions around the switchover, so the
+        stride-offset arithmetic in ``ResponseAccumulator.add`` (the
+        ``(first - start) + (-(first - P2_WARMUP)) % P2_STRIDE`` formula)
+        is exercised at every possible chunk/warmup phase — including
+        chunks that end exactly on the boundary, straddle it, or start
+        mid-stride — without paying for 65k values per case."""
+        monkeypatch.setattr(ResponseAccumulator, "P2_WARMUP", 16)
+        monkeypatch.setattr(ResponseAccumulator, "P2_STRIDE", 3)
+        rng = np.random.default_rng(42)
+        values = rng.exponential(5.0, size=64)
+        mono = _fold([values])
+        assert mono.p2_observations == 16 + len(range(16, 64, 3))
+        for cut in range(values.size + 1):
+            split = _fold([values[:cut], values[cut:]])
+            assert split == mono, f"cut={cut}"
+        for cuts in ([5, 16, 17], [15, 16], [16, 19, 22], [1] * 3 + [30]):
+            split = _fold(_partition(values, cuts))
+            assert split == mono, f"cuts={cuts}"
+        # Single-value chunks: every add() call lands on a different
+        # warmup/stride phase.
+        split = _fold([values[i : i + 1] for i in range(values.size)])
+        assert split == mono
+
     def test_mean_is_exactly_the_serial_mean(self):
         """total is the strict left-to-right sum (what the scalar
         ``np.add.at`` carry computes), identically for any chunking."""
